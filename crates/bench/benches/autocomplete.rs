@@ -1,0 +1,40 @@
+//! E10 bench: trie prefix ranges and TASTIER pruning vs vocabulary size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kwdb_datasets::products::generate_laptops;
+use kwdb_qclean::autocomplete::{tastier_search, ForwardIndex, Trie};
+use kwdb_qclean::spell::SpellCorrector;
+use kwdb_relational::TupleId;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("autocomplete");
+    for n in [100usize, 1000] {
+        let (db, table) = generate_laptops(n, 9);
+        let ix = db.text_index();
+        let trie = Trie::build(ix.terms().map(|t| t.to_string()));
+        let mut fwd = ForwardIndex::new();
+        for (rid, _) in db.table(table).iter() {
+            for tok in db.tuple_tokens(TupleId::new(table, rid)) {
+                if let Some(id) = trie.token_id(&tok) {
+                    fwd.add(rid.0 as u64, id);
+                }
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("prefix_range", n), &n, |b, _| {
+            b.iter(|| trie.prefix_range("lap"))
+        });
+        group.bench_with_input(BenchmarkId::new("tastier", n), &n, |b, _| {
+            b.iter(|| tastier_search(&trie, &fwd, &["len", "lap"]).1.len())
+        });
+        // spelling correction over the same vocabulary for comparison
+        let sc =
+            SpellCorrector::from_vocab(ix.terms().map(|t| (t.to_string(), ix.doc_freq(t) as u64)));
+        group.bench_with_input(BenchmarkId::new("confusion_set", n), &n, |b, _| {
+            b.iter(|| sc.confusion_set("laptp", 2).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

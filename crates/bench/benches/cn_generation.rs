@@ -1,0 +1,60 @@
+//! E02 bench: candidate-network generation cost vs keyword count and Tmax,
+//! with the canonical-dedup ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kwdb_relational::database::dblp_schema;
+use kwdb_relational::Database;
+use kwdb_relsearch::cn::{CnGenConfig, CnGenerator, MaskOracle};
+
+fn bench(c: &mut Criterion) {
+    let mut db = Database::new();
+    dblp_schema(&mut db).unwrap();
+    let tables: Vec<_> = ["author", "paper", "conference", "write", "cite"]
+        .iter()
+        .map(|t| db.table_id(t).unwrap())
+        .collect();
+    let mut group = c.benchmark_group("cn_generation");
+    for k in [2usize, 3] {
+        for tmax in [4usize, 5] {
+            let oracle = MaskOracle::schema_level(&tables, k);
+            group.bench_with_input(
+                BenchmarkId::new(format!("k{k}"), tmax),
+                &tmax,
+                |b, &tmax| {
+                    b.iter(|| {
+                        let mut g = CnGenerator::new(
+                            db.schema_graph(),
+                            &oracle,
+                            CnGenConfig {
+                                max_size: tmax,
+                                dedupe: true,
+                                max_cns: 0,
+                            },
+                        );
+                        g.generate().len()
+                    })
+                },
+            );
+        }
+    }
+    // ablation: dedupe off (bounded so it terminates quickly)
+    let oracle = MaskOracle::schema_level(&tables, 2);
+    group.bench_function("k2_tmax4_nodedup", |b| {
+        b.iter(|| {
+            let mut g = CnGenerator::new(
+                db.schema_graph(),
+                &oracle,
+                CnGenConfig {
+                    max_size: 4,
+                    dedupe: false,
+                    max_cns: 5000,
+                },
+            );
+            g.generate().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

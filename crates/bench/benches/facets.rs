@@ -1,0 +1,63 @@
+//! E15 bench: greedy navigation-tree construction vs result-set size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kwdb_explore::facets::{build_fixed, build_greedy, FacetTable, LogModel, LogQuery};
+
+fn table(n: usize) -> FacetTable {
+    let rows = (0..n)
+        .map(|i| {
+            vec![
+                ["redmond", "bellevue", "seattle", "kirkland"][i % 4].to_string(),
+                ["500-1000", "1000-1500", "1500-2000"][i % 3].to_string(),
+                ["yes", "no"][i % 2].to_string(),
+                ["studio", "1br", "2br", "3br", "loft"][i % 5].to_string(),
+            ]
+        })
+        .collect();
+    FacetTable::new(
+        vec![
+            "neighborhood".into(),
+            "price".into(),
+            "pets".into(),
+            "layout".into(),
+        ],
+        rows,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let log: Vec<LogQuery> = (0..30)
+        .map(|i| {
+            vec![(
+                ["price", "neighborhood", "layout"][i % 3].to_string(),
+                format!("v{}", i % 4),
+            )]
+        })
+        .collect();
+    let mut group = c.benchmark_group("facets");
+    for n in [100usize, 1000] {
+        let t = table(n);
+        let model = LogModel::new(&log);
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, &n| {
+            b.iter(|| build_greedy(&t, &model, (0..n).collect(), 3).expected_cost(&model))
+        });
+        group.bench_with_input(BenchmarkId::new("fixed", n), &n, |b, &n| {
+            b.iter(|| {
+                build_fixed(
+                    &t,
+                    &[
+                        "pets".to_string(),
+                        "price".to_string(),
+                        "layout".to_string(),
+                    ],
+                    (0..n).collect(),
+                )
+                .expected_cost(&model)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

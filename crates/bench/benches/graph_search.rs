@@ -1,0 +1,38 @@
+//! E05/E20 bench: graph engines on random graphs of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kwdb_datasets::graphs::{generate_graph, GraphConfig};
+use kwdb_graphsearch::{blinks::Blinks, BanksI, BanksII, Dpbf};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_search");
+    group.sample_size(15);
+    let kws = ["kw0", "kw1", "kw2"];
+    for n in [1000usize, 5000] {
+        let g = generate_graph(&GraphConfig {
+            n_nodes: n,
+            n_keywords: 3,
+            matches_per_keyword: 10,
+            seed: 11,
+            ..Default::default()
+        });
+        group.bench_with_input(BenchmarkId::new("dpbf", n), &n, |b, _| {
+            b.iter(|| Dpbf::new(&g).search(&kws, 1).len())
+        });
+        group.bench_with_input(BenchmarkId::new("banks1", n), &n, |b, _| {
+            b.iter(|| BanksI::new(&g).search(&kws, 1).len())
+        });
+        group.bench_with_input(BenchmarkId::new("banks2", n), &n, |b, _| {
+            b.iter(|| BanksII::new(&g).search(&kws, 1).len())
+        });
+        group.bench_with_input(BenchmarkId::new("blinks_query", n), &n, |b, _| {
+            let mut bl = Blinks::new(&g);
+            let ix = bl.build_index(&kws);
+            b.iter(|| bl.search(&ix, &kws, 1).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

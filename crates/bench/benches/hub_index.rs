@@ -1,0 +1,38 @@
+//! E19 bench: hub-index build/query vs plain Dijkstra, and the
+//! hub-selection ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kwdb_datasets::graphs::{generate_graph, GraphConfig};
+use kwdb_graph::hub::{HubIndex, HubSelection};
+use kwdb_graph::shortest::distance;
+use kwdb_graph::NodeId;
+
+fn bench(c: &mut Criterion) {
+    let g = generate_graph(&GraphConfig {
+        n_nodes: 400,
+        avg_degree: 3.0,
+        seed: 5,
+        ..Default::default()
+    });
+    let mut group = c.benchmark_group("hub_index");
+    group.sample_size(10);
+    for (hubs, name) in [(10usize, "degree10"), (40, "degree40")] {
+        group.bench_with_input(BenchmarkId::new("build", name), &hubs, |b, &h| {
+            b.iter(|| HubIndex::build(&g, h, HubSelection::HighestDegree).entry_count())
+        });
+    }
+    group.bench_function("build_strided40", |b| {
+        b.iter(|| HubIndex::build(&g, 40, HubSelection::Strided { stride: 9 }).entry_count())
+    });
+    let ix = HubIndex::build(&g, 40, HubSelection::HighestDegree);
+    group.bench_function("query_indexed", |b| {
+        b.iter(|| ix.distance(NodeId(3), NodeId(397)))
+    });
+    group.bench_function("query_dijkstra", |b| {
+        b.iter(|| distance(&g, NodeId(3), NodeId(397)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E22 bench: real multi-threaded CN execution under the different
+//! partitioning strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kwdb_datasets::{generate_dblp, DblpConfig};
+use kwdb_relational::ExecStats;
+use kwdb_relsearch::cn::{CnGenConfig, CnGenerator, MaskOracle};
+use kwdb_relsearch::parallel::{
+    estimate_cost, execute_parallel, partition_lpt, partition_sharing_aware,
+};
+use kwdb_relsearch::TupleSets;
+
+fn bench(c: &mut Criterion) {
+    let db = generate_dblp(&DblpConfig {
+        n_authors: 120,
+        n_papers: 400,
+        ..Default::default()
+    });
+    let keywords = vec!["data".to_string(), "query".to_string()];
+    let ts = TupleSets::build(&db, &keywords);
+    let oracle = MaskOracle::from_tuplesets(&ts);
+    let mut generator = CnGenerator::new(
+        db.schema_graph(),
+        &oracle,
+        CnGenConfig {
+            max_size: 5,
+            dedupe: true,
+            max_cns: 200,
+        },
+    );
+    let cns = generator.generate();
+    let costs: Vec<f64> = cns.iter().map(|cn| estimate_cost(&db, &ts, cn)).collect();
+    let mut group = c.benchmark_group("parallel_cn");
+    group.sample_size(10);
+    for cores in [1usize, 4] {
+        let lpt = partition_lpt(&costs, cores);
+        group.bench_with_input(BenchmarkId::new("lpt", cores), &cores, |b, &cores| {
+            b.iter(|| execute_parallel(&db, &ts, &cns, &lpt, cores, &ExecStats::new()).len())
+        });
+        let aware = partition_sharing_aware(&cns, &costs, cores);
+        group.bench_with_input(
+            BenchmarkId::new("sharing_aware", cores),
+            &cores,
+            |b, &cores| {
+                b.iter(|| execute_parallel(&db, &ts, &cns, &aware, cores, &ExecStats::new()).len())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E07 bench: SPARK's non-monotonic top-k algorithms, including the
+//! block-size ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kwdb_datasets::{generate_dblp, DblpConfig};
+use kwdb_relational::ExecStats;
+use kwdb_relsearch::cn::{CnGenConfig, CnGenerator, MaskOracle};
+use kwdb_relsearch::spark::{block_pipeline, naive_spark, skyline_sweep};
+use kwdb_relsearch::topk::TopKQuery;
+use kwdb_relsearch::{ResultScorer, TupleSets};
+
+fn bench(c: &mut Criterion) {
+    let db = generate_dblp(&DblpConfig {
+        n_authors: 100,
+        n_papers: 300,
+        ..Default::default()
+    });
+    let scorer = ResultScorer::new(&db);
+    let keywords = vec!["data".to_string(), "search".to_string()];
+    let ts = TupleSets::build(&db, &keywords);
+    let oracle = MaskOracle::from_tuplesets(&ts);
+    let mut generator = CnGenerator::new(
+        db.schema_graph(),
+        &oracle,
+        CnGenConfig {
+            max_size: 4,
+            dedupe: true,
+            max_cns: 200,
+        },
+    );
+    let cns = generator.generate();
+    let q = TopKQuery {
+        db: &db,
+        ts: &ts,
+        cns: &cns,
+        scorer: &scorer,
+        keywords: &keywords,
+    };
+    let mut group = c.benchmark_group("spark");
+    group.sample_size(15);
+    group.bench_function("naive", |b| {
+        b.iter(|| naive_spark(&q, 10, &ExecStats::new()).len())
+    });
+    group.bench_function("skyline_sweep", |b| {
+        b.iter(|| skyline_sweep(&q, 10, &ExecStats::new()).len())
+    });
+    for block in [4usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("block_pipeline", block),
+            &block,
+            |b, &block| b.iter(|| block_pipeline(&q, 10, block, &ExecStats::new()).len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E06 bench: Naive vs Sparse vs Global Pipeline at different k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kwdb_datasets::{generate_dblp, DblpConfig};
+use kwdb_relational::ExecStats;
+use kwdb_relsearch::cn::{CnGenConfig, CnGenerator, MaskOracle};
+use kwdb_relsearch::topk::{global_pipeline, naive, sparse, TopKQuery};
+use kwdb_relsearch::{ResultScorer, TupleSets};
+
+fn bench(c: &mut Criterion) {
+    let db = generate_dblp(&DblpConfig {
+        n_authors: 120,
+        n_papers: 400,
+        ..Default::default()
+    });
+    let scorer = ResultScorer::new(&db);
+    let keywords = vec!["data".to_string(), "query".to_string()];
+    let ts = TupleSets::build(&db, &keywords);
+    let oracle = MaskOracle::from_tuplesets(&ts);
+    let mut generator = CnGenerator::new(
+        db.schema_graph(),
+        &oracle,
+        CnGenConfig {
+            max_size: 4,
+            dedupe: true,
+            max_cns: 300,
+        },
+    );
+    let cns = generator.generate();
+    let q = TopKQuery {
+        db: &db,
+        ts: &ts,
+        cns: &cns,
+        scorer: &scorer,
+        keywords: &keywords,
+    };
+    let mut group = c.benchmark_group("topk_strategies");
+    group.sample_size(15);
+    for k in [1usize, 10] {
+        group.bench_with_input(BenchmarkId::new("naive", k), &k, |b, &k| {
+            b.iter(|| naive(&q, k, &ExecStats::new()).len())
+        });
+        group.bench_with_input(BenchmarkId::new("sparse", k), &k, |b, &k| {
+            b.iter(|| sparse(&q, k, &ExecStats::new()).len())
+        });
+        group.bench_with_input(BenchmarkId::new("pipeline", k), &k, |b, &k| {
+            b.iter(|| global_pipeline(&q, k, &ExecStats::new()).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

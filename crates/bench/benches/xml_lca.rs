@@ -1,0 +1,32 @@
+//! E04 bench: SLCA algorithms vs |S_min| at fixed |S_max|, plus ELCA.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kwdb_datasets::xmlgen::generate_slca_workload;
+use kwdb_xml::XmlIndex;
+use kwdb_xmlsearch::elca::elca;
+use kwdb_xmlsearch::slca::{multiway_slca, slca_indexed_lookup_eager, slca_scan_eager};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xml_lca");
+    for n_rare in [50usize, 500, 5000] {
+        let tree = generate_slca_workload(50, 20_000, n_rare, 7);
+        let ix = XmlIndex::build(&tree);
+        let kws = ["common", "rare"];
+        group.bench_with_input(BenchmarkId::new("ile", n_rare), &n_rare, |b, _| {
+            b.iter(|| slca_indexed_lookup_eager(&tree, &ix, &kws).unwrap().0.len())
+        });
+        group.bench_with_input(BenchmarkId::new("scan", n_rare), &n_rare, |b, _| {
+            b.iter(|| slca_scan_eager(&tree, &ix, &kws).unwrap().0.len())
+        });
+        group.bench_with_input(BenchmarkId::new("multiway", n_rare), &n_rare, |b, _| {
+            b.iter(|| multiway_slca(&tree, &ix, &kws).unwrap().0.len())
+        });
+        group.bench_with_input(BenchmarkId::new("elca", n_rare), &n_rare, |b, _| {
+            b.iter(|| elca(&tree, &ix, &kws).unwrap().0.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Regenerate the tutorial's experiment tables.
+//!
+//! ```sh
+//! cargo run -p kwdb-bench --bin reproduce            # all experiments
+//! cargo run -p kwdb-bench --bin reproduce e04 e06    # a selection
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        for (_, run) in kwdb_bench::all_experiments() {
+            run().print();
+        }
+        return;
+    }
+    for id in &args {
+        match kwdb_bench::experiment_by_id(id) {
+            Some(run) => run().print(),
+            None => {
+                eprintln!("unknown experiment '{id}' (expected e01…e34)");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Evaluation-framework experiments (E17, E18).
+
+use crate::Report;
+use kwdb_eval::axioms::{
+    check_data_consistency, check_data_monotonicity, check_query_consistency,
+    check_query_monotonicity, SlcaEngine, XmlSearchEngine,
+};
+use kwdb_eval::inex::{agp, fragment_score, gp_at_k};
+use kwdb_xml::{NodeId, XmlBuilder, XmlTree};
+
+/// E17 (slides 104–106): INEX metrics under the tolerance reading model.
+pub fn e17_inex() -> Report {
+    // a fragment: relevant head, long irrelevant middle, relevant tail
+    let mut frag = vec![true; 40];
+    frag.extend(vec![false; 120]);
+    frag.extend(vec![true; 40]);
+    let total_relevant = 80;
+    let mut rows = vec![format!(
+        "{:>10} {:>7} {:>10} {:>8} {:>6}",
+        "tolerance", "read", "precision", "recall", "F"
+    )];
+    for tol in [10usize, 50, 200] {
+        let s = fragment_score(&frag, total_relevant, Some(tol));
+        rows.push(format!(
+            "{tol:>10} {:>7} {:>10.3} {:>8.3} {:>6.3}",
+            s.read, s.precision, s.recall, s.f_measure
+        ));
+    }
+    // ranked-list metrics
+    let scores = [0.9, 0.6, 0.0, 0.3];
+    rows.push(format!(
+        "ranked list {scores:?}: gP@1 {:.2}, gP@3 {:.2}, AgP {:.3}",
+        gp_at_k(&scores, 1),
+        gp_at_k(&scores, 3),
+        agp(&scores)
+    ));
+    rows.push("a small tolerance stops the user inside the irrelevant gap — recall halves".into());
+    Report {
+        id: "e17",
+        title: "INEX metrics",
+        claim: "slides 105–106: char-level P/R/F with a tolerance reading model; gP@k and AgP",
+        rows,
+    }
+}
+
+fn slide109() -> XmlTree {
+    let mut b = XmlBuilder::new("conf");
+    b.leaf("name", "SIGMOD")
+        .leaf("year", "2007")
+        .open("paper")
+        .leaf("title", "keyword")
+        .leaf("author", "Mark")
+        .close()
+        .open("paper")
+        .leaf("title", "XML")
+        .leaf("author", "Yang")
+        .close()
+        .open("demo")
+        .leaf("title", "Top-k")
+        .leaf("author", "Soliman")
+        .close();
+    b.build()
+}
+
+/// E18 (slides 108–109): the axioms detect the slide's violation.
+pub fn e18_axioms() -> Report {
+    let tree = slide109();
+    let q: Vec<String> = vec!["paper".into(), "mark".into()];
+    let reference = SlcaEngine;
+    let mut rows = Vec::new();
+    // reference engine passes all four
+    let paper = tree
+        .iter()
+        .find(|&n| tree.label(n) == "paper")
+        .expect("paper node");
+    let checks = [
+        (
+            "query monotonicity",
+            check_query_monotonicity(&reference, &tree, &q, "sigmod"),
+        ),
+        (
+            "query consistency",
+            check_query_consistency(&reference, &tree, &q, "sigmod"),
+        ),
+        (
+            "data monotonicity",
+            check_data_monotonicity(&reference, &tree, &q, paper, "author", "Mark"),
+        ),
+        (
+            "data consistency",
+            check_data_consistency(&reference, &tree, &q, paper, "author", "Mark"),
+        ),
+    ];
+    for (name, r) in checks {
+        rows.push(format!(
+            "SLCA engine, {name}: {}",
+            if r.is_satisfied() { "✓" } else { "✗" }
+        ));
+    }
+    // the slide's broken engine
+    let demo = tree.iter().find(|&n| tree.label(n) == "demo").unwrap();
+    let broken = move |t: &XmlTree, kws: &[String]| -> Vec<NodeId> {
+        if kws.contains(&"sigmod".to_string()) {
+            vec![demo]
+        } else {
+            SlcaEngine.search(t, kws)
+        }
+    };
+    let verdict = check_query_consistency(&broken, &tree, &q, "sigmod");
+    rows.push(format!(
+        "slide-109 engine (returns the demo for Q∪{{sigmod}}): query consistency {}",
+        if verdict.is_satisfied() {
+            "✓ (BUG)"
+        } else {
+            "✗ — violation detected"
+        }
+    ));
+    Report {
+        id: "e18",
+        title: "Axiomatic evaluation",
+        claim: "slide 109: an engine returning a subtree without the new keyword violates query consistency",
+        rows,
+    }
+}

@@ -1,0 +1,10 @@
+//! Experiment implementations, grouped by technique family.
+
+pub mod ambiguity;
+pub mod evalx;
+pub mod explorex;
+pub mod extensions;
+pub mod formsx;
+pub mod graphs;
+pub mod relational;
+pub mod xmlx;

@@ -1,0 +1,70 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenient result alias used across all kwdb crates.
+pub type Result<T> = std::result::Result<T, KwdbError>;
+
+/// Errors surfaced by kwdb substrates and search engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KwdbError {
+    /// A named schema object (table, column, label) does not exist.
+    UnknownObject(String),
+    /// A value had the wrong type for the operation.
+    TypeMismatch {
+        expected: &'static str,
+        found: &'static str,
+    },
+    /// Schema-level constraint violation (duplicate table, bad FK, …).
+    Schema(String),
+    /// Malformed input (XML text, query syntax, …).
+    Parse(String),
+    /// A query referenced something the engine cannot satisfy.
+    InvalidQuery(String),
+    /// An internal invariant was violated; indicates a bug in kwdb.
+    Internal(String),
+}
+
+impl fmt::Display for KwdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KwdbError::UnknownObject(name) => write!(f, "unknown object: {name}"),
+            KwdbError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            KwdbError::Schema(msg) => write!(f, "schema error: {msg}"),
+            KwdbError::Parse(msg) => write!(f, "parse error: {msg}"),
+            KwdbError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            KwdbError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KwdbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            KwdbError::UnknownObject("paper".into()).to_string(),
+            "unknown object: paper"
+        );
+        assert_eq!(
+            KwdbError::TypeMismatch {
+                expected: "int",
+                found: "text"
+            }
+            .to_string(),
+            "type mismatch: expected int, found text"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&KwdbError::Parse("x".into()));
+    }
+}

@@ -1,0 +1,139 @@
+//! String-distance utilities backing query cleaning and auto-completion.
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+///
+/// Two-row dynamic program: `O(|a|·|b|)` time, `O(min)` space. Operates on
+/// Unicode scalar values, not bytes.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Damerau–Levenshtein distance (adds adjacent transposition), the error
+/// model the noisy-channel speller uses: `datbase → database` is distance 1.
+#[allow(clippy::needless_range_loop)] // the DP recurrence reads best with indices
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let n = a.len();
+    let m = b.len();
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    // Three-row DP (restricted Damerau / optimal string alignment).
+    let mut d = vec![vec![0usize; m + 1]; n + 1];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[0] = i;
+    }
+    for j in 0..=m {
+        d[0][j] = j;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut v = (d[i - 1][j] + 1)
+                .min(d[i][j - 1] + 1)
+                .min(d[i - 1][j - 1] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                v = v.min(d[i - 2][j - 2] + 1);
+            }
+            d[i][j] = v;
+        }
+    }
+    d[n][m]
+}
+
+/// Bounded edit-distance check: returns `Some(d)` iff
+/// `levenshtein(a,b) = d ≤ max`, bailing out early otherwise. Used on the hot
+/// path of confusion-set construction where most vocabulary words are far.
+pub fn levenshtein_within(a: &str, b: &str, max: usize) -> Option<usize> {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    if la.abs_diff(lb) > max {
+        return None;
+    }
+    let d = levenshtein(a, b);
+    (d <= max).then_some(d)
+}
+
+/// Length (in chars) of the longest common prefix of `a` and `b`.
+pub fn common_prefix_len(a: &str, b: &str) -> usize {
+    a.chars().zip(b.chars()).take_while(|(x, y)| x == y).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("datbase", "database"), 1);
+    }
+
+    #[test]
+    fn damerau_counts_transposition_once() {
+        assert_eq!(levenshtein("ipda", "ipad"), 2);
+        assert_eq!(damerau_levenshtein("ipda", "ipad"), 1);
+        assert_eq!(damerau_levenshtein("abc", "abc"), 0);
+        assert_eq!(damerau_levenshtein("", "ab"), 2);
+    }
+
+    #[test]
+    fn within_bound() {
+        assert_eq!(levenshtein_within("ipd", "ipad", 1), Some(1));
+        assert_eq!(levenshtein_within("ipd", "ipad", 2), Some(1));
+        assert_eq!(levenshtein_within("ipd", "thinkpad", 2), None);
+        assert_eq!(levenshtein_within("a", "abcd", 2), None); // length filter
+    }
+
+    #[test]
+    fn prefix_len() {
+        assert_eq!(common_prefix_len("sigmod", "sigir"), 3);
+        assert_eq!(common_prefix_len("", "a"), 0);
+        assert_eq!(common_prefix_len("same", "same"), 4);
+    }
+
+    proptest! {
+        #[test]
+        fn levenshtein_symmetric(a in "[a-c]{0,8}", b in "[a-c]{0,8}") {
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        }
+
+        #[test]
+        fn levenshtein_identity(a in "[a-z]{0,10}") {
+            prop_assert_eq!(levenshtein(&a, &a), 0);
+        }
+
+        #[test]
+        fn damerau_le_levenshtein(a in "[a-c]{0,8}", b in "[a-c]{0,8}") {
+            prop_assert!(damerau_levenshtein(&a, &b) <= levenshtein(&a, &b));
+        }
+
+        #[test]
+        fn triangle_inequality(a in "[a-b]{0,6}", b in "[a-b]{0,6}", c in "[a-b]{0,6}") {
+            prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Tokenization shared by every full-text index in kwdb.
+//!
+//! All indexes (relational inverted index, XML keyword lists, graph node
+//! content) must agree on what a "keyword" is, so the tokenizer lives here.
+//! Tokens are lower-cased maximal runs of alphanumeric characters, except
+//! that a small set of intra-word punctuation (`&`, `+`, `'`) is kept so that
+//! product-style tokens such as `at&t` or `o'reilly` survive — the tutorial's
+//! query-cleaning example depends on `at&t` being a single token.
+
+/// A token with its character offset in the source string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub text: String,
+    /// Byte offset of the token start in the original string.
+    pub offset: usize,
+}
+
+fn is_token_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '&' || c == '+' || c == '\''
+}
+
+/// Split `input` into normalized tokens with offsets.
+pub fn tokenize_spans(input: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut start = None;
+    for (i, c) in input.char_indices() {
+        if is_token_char(c) {
+            if start.is_none() {
+                start = Some(i);
+            }
+        } else if let Some(s) = start.take() {
+            out.push(Token {
+                text: normalize(&input[s..i]),
+                offset: s,
+            });
+        }
+    }
+    if let Some(s) = start {
+        out.push(Token {
+            text: normalize(&input[s..]),
+            offset: s,
+        });
+    }
+    out
+}
+
+/// Split `input` into normalized tokens.
+pub fn tokenize(input: &str) -> Vec<String> {
+    tokenize_spans(input).into_iter().map(|t| t.text).collect()
+}
+
+/// Normalize a single keyword: lower-case and trim stray punctuation kept by
+/// the tokenizer from the edges (`'90s` → `'90s` stays, `word'` → `word`).
+pub fn normalize(word: &str) -> String {
+    word.trim_matches(|c| c == '\'' || c == '+').to_lowercase()
+}
+
+/// Parse a keyword query string into its normalized keyword list,
+/// de-duplicating while preserving first-occurrence order (the AND semantics
+/// used throughout the tutorial treat repeated keywords as one).
+pub fn parse_query(q: &str) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    tokenize(q)
+        .into_iter()
+        .filter(|t| !t.is_empty() && seen.insert(t.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokenization() {
+        assert_eq!(
+            tokenize("Keyword Search on DB"),
+            vec!["keyword", "search", "on", "db"]
+        );
+    }
+
+    #[test]
+    fn punctuation_splits() {
+        assert_eq!(tokenize("a,b;c.d"), vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn at_and_t_survives() {
+        assert_eq!(tokenize("apple ipad at&t"), vec!["apple", "ipad", "at&t"]);
+    }
+
+    #[test]
+    fn apostrophes_inside_survive_edges_trim() {
+        assert_eq!(tokenize("o'reilly books'"), vec!["o'reilly", "books"]);
+    }
+
+    #[test]
+    fn offsets_are_byte_positions() {
+        let toks = tokenize_spans("ab  cd");
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 4);
+    }
+
+    #[test]
+    fn unicode_tokens() {
+        assert_eq!(tokenize("Müller café"), vec!["müller", "café"]);
+    }
+
+    #[test]
+    fn parse_query_dedups_preserving_order() {
+        assert_eq!(parse_query("XML john XML"), vec!["xml", "john"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("  ,, ").is_empty());
+    }
+}

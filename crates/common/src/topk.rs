@@ -1,0 +1,181 @@
+//! Bounded top-k collection, used by every ranked search engine in kwdb.
+
+use crate::Score;
+use std::collections::BinaryHeap;
+
+/// Keeps the `k` items with the highest scores seen so far.
+///
+/// Internally a min-heap of size ≤ k over `(score, seq)`; ties on score are
+/// broken by insertion order so results are deterministic. `O(log k)` per
+/// insertion.
+/// Heap entry: min-heap via `Reverse` on `(Score, Reverse(seq))` — the
+/// smallest score (and among equals, the most recently inserted) is evicted
+/// first, so earlier insertions win ties.
+type Entry<T> = std::cmp::Reverse<(Score, std::cmp::Reverse<u64>, Slot<T>)>;
+
+#[derive(Debug)]
+pub struct TopK<T> {
+    k: usize,
+    seq: u64,
+    heap: BinaryHeap<Entry<T>>,
+}
+
+/// Wrapper that opts an arbitrary payload out of comparison.
+#[derive(Debug)]
+struct Slot<T>(T);
+
+impl<T> PartialEq for Slot<T> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<T> Eq for Slot<T> {}
+impl<T> PartialOrd for Slot<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Slot<T> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<T> TopK<T> {
+    /// Create a collector for the best `k` items. `k == 0` accepts nothing.
+    pub fn new(k: usize) -> Self {
+        TopK {
+            k,
+            seq: 0,
+            heap: BinaryHeap::with_capacity(k.saturating_add(1)),
+        }
+    }
+
+    /// Offer an item; it is kept iff it beats the current k-th best.
+    /// Returns `true` if the item was retained.
+    pub fn push(&mut self, score: f64, item: T) -> bool {
+        if self.k == 0 {
+            return false;
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        if self.heap.len() < self.k {
+            self.heap.push(std::cmp::Reverse((
+                Score(score),
+                std::cmp::Reverse(seq),
+                Slot(item),
+            )));
+            return true;
+        }
+        // Full: only admit if strictly better than the current minimum
+        // (equal scores keep the earlier item).
+        let min = &self.heap.peek().unwrap().0;
+        if Score(score) > min.0 {
+            self.heap.push(std::cmp::Reverse((
+                Score(score),
+                std::cmp::Reverse(seq),
+                Slot(item),
+            )));
+            self.heap.pop();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The k-th best score, i.e. the score a new item must beat to enter.
+    /// `None` while fewer than `k` items are held.
+    pub fn threshold(&self) -> Option<f64> {
+        if self.heap.len() < self.k {
+            None
+        } else {
+            self.heap.peek().map(|r| r.0 .0 .0)
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// True once `k` items are held.
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// Drain into a `Vec<(score, item)>` sorted best-first.
+    pub fn into_sorted_vec(self) -> Vec<(f64, T)> {
+        let mut v: Vec<_> = self
+            .heap
+            .into_iter()
+            .map(|std::cmp::Reverse((s, std::cmp::Reverse(seq), Slot(t)))| (s, seq, t))
+            .collect();
+        v.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        v.into_iter().map(|(s, _, t)| (s.0, t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_best_k() {
+        let mut tk = TopK::new(3);
+        for (s, v) in [(1.0, "a"), (5.0, "b"), (3.0, "c"), (4.0, "d"), (2.0, "e")] {
+            tk.push(s, v);
+        }
+        let out = tk.into_sorted_vec();
+        assert_eq!(out, vec![(5.0, "b"), (4.0, "d"), (3.0, "c")]);
+    }
+
+    #[test]
+    fn threshold_tracks_kth_best() {
+        let mut tk = TopK::new(2);
+        assert_eq!(tk.threshold(), None);
+        tk.push(1.0, ());
+        assert_eq!(tk.threshold(), None);
+        tk.push(3.0, ());
+        assert_eq!(tk.threshold(), Some(1.0));
+        tk.push(2.0, ());
+        assert_eq!(tk.threshold(), Some(2.0));
+    }
+
+    #[test]
+    fn ties_keep_earlier_item() {
+        let mut tk = TopK::new(1);
+        assert!(tk.push(1.0, "first"));
+        assert!(!tk.push(1.0, "second"));
+        assert_eq!(tk.into_sorted_vec(), vec![(1.0, "first")]);
+    }
+
+    #[test]
+    fn equal_scores_order_by_insertion() {
+        let mut tk = TopK::new(3);
+        tk.push(2.0, "a");
+        tk.push(2.0, "b");
+        tk.push(2.0, "c");
+        let out: Vec<&str> = tk.into_sorted_vec().into_iter().map(|(_, v)| v).collect();
+        assert_eq!(out, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn zero_k_accepts_nothing() {
+        let mut tk = TopK::new(0);
+        assert!(!tk.push(10.0, "x"));
+        assert!(tk.is_empty());
+        assert!(tk.into_sorted_vec().is_empty());
+    }
+
+    #[test]
+    fn fewer_than_k_items() {
+        let mut tk = TopK::new(10);
+        tk.push(1.0, 1);
+        tk.push(2.0, 2);
+        assert!(!tk.is_full());
+        assert_eq!(tk.into_sorted_vec(), vec![(2.0, 2), (1.0, 1)]);
+    }
+}

@@ -1,0 +1,202 @@
+//! DBLP-like relational database generator.
+
+use crate::words;
+use kwdb_relational::database::dblp_schema;
+use kwdb_relational::Database;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DblpConfig {
+    pub n_conferences: usize,
+    pub n_authors: usize,
+    pub n_papers: usize,
+    /// Average authors per paper (≥ 1).
+    pub authors_per_paper: f64,
+    /// Probability a paper cites another (expected citations per paper).
+    pub citations_per_paper: f64,
+    pub seed: u64,
+}
+
+impl Default for DblpConfig {
+    fn default() -> Self {
+        DblpConfig {
+            n_conferences: 10,
+            n_authors: 200,
+            n_papers: 500,
+            authors_per_paper: 2.2,
+            citations_per_paper: 1.5,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate a database with the classic DBLP schema
+/// (conference, author, paper, write, cite), text index built.
+pub fn generate_dblp(cfg: &DblpConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut db = Database::new();
+    dblp_schema(&mut db).expect("static schema is valid");
+
+    for cid in 0..cfg.n_conferences {
+        let venue = words::VENUES[cid % words::VENUES.len()];
+        let year = 1995 + (cid / words::VENUES.len()) as i64 + (cid % 13) as i64;
+        db.insert(
+            "conference",
+            vec![(cid as i64).into(), venue.into(), year.into()],
+        )
+        .expect("valid row");
+    }
+    for aid in 0..cfg.n_authors {
+        db.insert(
+            "author",
+            vec![(aid as i64).into(), words::person(&mut rng).into()],
+        )
+        .expect("valid row");
+    }
+    for pid in 0..cfg.n_papers {
+        let title_len = rng.gen_range(3..=7);
+        let cid = words::zipf(&mut rng, cfg.n_conferences) as i64;
+        db.insert(
+            "paper",
+            vec![
+                (pid as i64).into(),
+                words::title(&mut rng, title_len).into(),
+                cid.into(),
+            ],
+        )
+        .expect("valid row");
+    }
+    // authorship: Zipf-popular authors write more
+    let mut wid = 0i64;
+    for pid in 0..cfg.n_papers {
+        let n = sample_count(&mut rng, cfg.authors_per_paper).max(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..n {
+            let aid = words::zipf(&mut rng, cfg.n_authors) as i64;
+            if seen.insert(aid) {
+                db.insert("write", vec![wid.into(), aid.into(), (pid as i64).into()])
+                    .expect("valid row");
+                wid += 1;
+            }
+        }
+    }
+    // citations: later papers cite earlier ones
+    let mut cite_id = 0i64;
+    for pid in 1..cfg.n_papers {
+        let n = sample_count(&mut rng, cfg.citations_per_paper);
+        for _ in 0..n {
+            let cited = rng.gen_range(0..pid) as i64;
+            db.insert(
+                "cite",
+                vec![cite_id.into(), (pid as i64).into(), cited.into()],
+            )
+            .expect("valid row");
+            cite_id += 1;
+        }
+    }
+    db.build_text_index();
+    db
+}
+
+/// Poisson-ish small-count sampler around `mean`.
+fn sample_count(rng: &mut StdRng, mean: f64) -> usize {
+    let base = mean.floor() as usize;
+    let frac = mean - base as f64;
+    base + usize::from(rng.gen::<f64>() < frac)
+}
+
+/// A keyword-query generator over a database: picks terms actually present
+/// in the index, mixing common and rare ones.
+pub fn sample_queries(db: &Database, n: usize, len: usize, seed: u64) -> Vec<Vec<String>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ix = db.text_index();
+    let mut terms: Vec<(String, usize)> = ix
+        .terms()
+        .map(|t| (t.to_string(), ix.doc_freq(t)))
+        .collect();
+    terms.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut queries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut q = Vec::with_capacity(len);
+        let mut seen = std::collections::HashSet::new();
+        while q.len() < len {
+            let idx = words::zipf(&mut rng, terms.len());
+            let t = &terms[idx].0;
+            if seen.insert(t.clone()) {
+                q.push(t.clone());
+            }
+        }
+        queries.push(q);
+    }
+    queries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_configured_sizes() {
+        let cfg = DblpConfig {
+            n_conferences: 4,
+            n_authors: 20,
+            n_papers: 30,
+            ..Default::default()
+        };
+        let db = generate_dblp(&cfg);
+        assert_eq!(db.table_by_name("conference").unwrap().len(), 4);
+        assert_eq!(db.table_by_name("author").unwrap().len(), 20);
+        assert_eq!(db.table_by_name("paper").unwrap().len(), 30);
+        assert!(db.table_by_name("write").unwrap().len() >= 30);
+        assert!(db.is_index_fresh());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = DblpConfig {
+            n_papers: 25,
+            n_authors: 10,
+            ..Default::default()
+        };
+        let a = generate_dblp(&cfg);
+        let b = generate_dblp(&cfg);
+        assert_eq!(a.tuple_count(), b.tuple_count());
+        let pa = a.table_by_name("paper").unwrap();
+        let pb = b.table_by_name("paper").unwrap();
+        for (ra, rb) in pa.iter().zip(pb.iter()) {
+            assert_eq!(ra.1, rb.1);
+        }
+    }
+
+    #[test]
+    fn fks_resolve() {
+        let db = generate_dblp(&DblpConfig {
+            n_papers: 40,
+            ..Default::default()
+        });
+        let write = db.table_by_name("write").unwrap();
+        for (rid, _) in write.iter() {
+            let t = kwdb_relational::TupleId::new(write.id, rid);
+            assert_eq!(
+                db.fk_neighbors(t).len(),
+                2,
+                "write row must resolve both FKs"
+            );
+        }
+    }
+
+    #[test]
+    fn queries_use_indexed_terms() {
+        let db = generate_dblp(&DblpConfig::default());
+        let queries = sample_queries(&db, 5, 2, 7);
+        assert_eq!(queries.len(), 5);
+        for q in &queries {
+            assert_eq!(q.len(), 2);
+            for t in q {
+                assert!(db.text_index().doc_freq(t) > 0, "term {t} not in index");
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Random weighted data graphs with planted keywords, for the graph-search
+//! experiments (E05, E19, E20, E34).
+
+use kwdb_graph::{DataGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for a random graph.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphConfig {
+    pub n_nodes: usize,
+    /// Average degree (edges ≈ n·degree/2).
+    pub avg_degree: f64,
+    /// Number of distinct keywords planted (named `kw0`, `kw1`, …).
+    pub n_keywords: usize,
+    /// Nodes matching each keyword.
+    pub matches_per_keyword: usize,
+    pub seed: u64,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        GraphConfig {
+            n_nodes: 1000,
+            avg_degree: 4.0,
+            n_keywords: 3,
+            matches_per_keyword: 10,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate a connected random graph (a spanning backbone plus random
+/// extra edges) with keywords planted on random nodes.
+pub fn generate_graph(cfg: &GraphConfig) -> DataGraph {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.n_nodes.max(1);
+    // decide keyword placement first
+    let mut content = vec![String::new(); n];
+    for k in 0..cfg.n_keywords {
+        let kw = format!("kw{k}");
+        let mut placed = 0;
+        let mut guard = 0;
+        while placed < cfg.matches_per_keyword.min(n) && guard < 50 * n {
+            guard += 1;
+            let v = rng.gen_range(0..n);
+            if !content[v].contains(&kw) {
+                if !content[v].is_empty() {
+                    content[v].push(' ');
+                }
+                content[v].push_str(&kw);
+                placed += 1;
+            }
+        }
+    }
+    let mut g = DataGraph::new();
+    let ids: Vec<NodeId> = content.iter().map(|c| g.add_node("node", c)).collect();
+    // spanning backbone keeps it connected
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        g.add_edge(ids[i], ids[j], rng.gen_range(1..=5) as f64);
+    }
+    // extra edges up to the target degree
+    let target_edges = ((n as f64 * cfg.avg_degree) / 2.0) as usize;
+    let mut guard = 0;
+    while g.edge_count() < target_edges && guard < 20 * target_edges {
+        guard += 1;
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            g.add_edge(ids[a], ids[b], rng.gen_range(1..=5) as f64);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwdb_graph::shortest::distance;
+
+    #[test]
+    fn graph_is_connected_with_planted_keywords() {
+        let cfg = GraphConfig {
+            n_nodes: 100,
+            ..Default::default()
+        };
+        let g = generate_graph(&cfg);
+        assert_eq!(g.node_count(), 100);
+        for k in 0..cfg.n_keywords {
+            let kw = format!("kw{k}");
+            assert_eq!(g.keyword_nodes(&kw).len(), cfg.matches_per_keyword);
+        }
+        // connectivity: node 0 reaches the last node
+        assert!(distance(&g, NodeId(0), NodeId(99)).is_some());
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = GraphConfig {
+            n_nodes: 50,
+            seed: 7,
+            ..Default::default()
+        };
+        let a = generate_graph(&cfg);
+        let b = generate_graph(&cfg);
+        assert_eq!(a.edge_count(), b.edge_count());
+        for n in a.iter() {
+            assert_eq!(a.terms(n), b.terms(n));
+        }
+    }
+
+    #[test]
+    fn degree_scales_with_config() {
+        let sparse = generate_graph(&GraphConfig {
+            n_nodes: 200,
+            avg_degree: 2.5,
+            seed: 1,
+            ..Default::default()
+        });
+        let dense = generate_graph(&GraphConfig {
+            n_nodes: 200,
+            avg_degree: 8.0,
+            seed: 1,
+            ..Default::default()
+        });
+        assert!(dense.edge_count() > sparse.edge_count());
+    }
+}

@@ -1,0 +1,22 @@
+//! Seeded synthetic datasets for the kwdb experiments.
+//!
+//! The paper's systems were evaluated on DBLP, IMDB and product catalogs;
+//! those corpora are not shipped here, so these generators produce
+//! statistically similar substitutes (documented in DESIGN.md): the same
+//! schema shapes, Zipf-distributed vocabulary, and configurable sizes and
+//! fan-outs. All generators are deterministic given a seed.
+//!
+//! * [`words`] — vocabulary and Zipf sampling;
+//! * [`dblp`] — author/paper/conference/write/cite relational databases;
+//! * [`xmlgen`] — bibliography and movie XML documents;
+//! * [`products`] — laptop-style entity tables with query logs;
+//! * [`graphs`] — random weighted graphs with planted keywords.
+
+pub mod dblp;
+pub mod graphs;
+pub mod products;
+pub mod words;
+pub mod xmlgen;
+
+pub use dblp::{generate_dblp, DblpConfig};
+pub use xmlgen::{generate_bib_xml, BibConfig};

@@ -1,0 +1,136 @@
+//! Product entity tables with query/click logs — the Keyword++ and
+//! query-cleaning substrate.
+
+use kwdb_relational::{ColumnType, Database, TableBuilder, TableId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const BRANDS: &[(&str, &str)] = &[
+    ("Lenovo", "ibm thinkpad business laptop"),
+    ("Apple", "macbook thin premium laptop"),
+    ("HP", "pavilion gaming laptop"),
+    ("Acer", "aspire value laptop"),
+    ("Asus", "zenbook ultrabook laptop"),
+];
+
+const MODELS: &[&str] = &["alpha", "bravo", "carbon", "delta", "edge", "flex"];
+
+/// Generate a laptop table: name, brand, screen size, price, description.
+/// Returns the database and the table id. Descriptions deliberately embed
+/// brand aliases ("ibm" for Lenovo) so Keyword++ has something to learn.
+pub fn generate_laptops(n: usize, seed: u64) -> (Database, TableId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    let t = db
+        .create_table(
+            TableBuilder::new("product")
+                .column("name", ColumnType::Text)
+                .column("brand", ColumnType::Text)
+                .column("screen", ColumnType::Float)
+                .column("price", ColumnType::Int)
+                .column("description", ColumnType::Text),
+        )
+        .expect("static schema");
+    for i in 0..n {
+        let (brand, flavor) = BRANDS[i % BRANDS.len()];
+        let model = MODELS[rng.gen_range(0..MODELS.len())];
+        let screen = [11.6, 12.5, 13.3, 14.0, 15.6, 17.3][rng.gen_range(0..6)];
+        let price = 400 + 100 * rng.gen_range(0..20) as i64;
+        let size_word = if screen < 13.0 {
+            "small light portable"
+        } else if screen > 16.0 {
+            "big large desktop replacement"
+        } else {
+            "standard"
+        };
+        db.insert(
+            "product",
+            vec![
+                format!("{brand} {model} {i}").into(),
+                brand.into(),
+                screen.into(),
+                price.into(),
+                format!("{flavor} {size_word}").into(),
+            ],
+        )
+        .expect("valid row");
+    }
+    db.build_text_index();
+    (db, t)
+}
+
+/// A product query log with the DQP structure Keyword++ needs: background
+/// queries plus foreground variants adding one modifier.
+pub fn product_query_log(seed: u64, n: usize) -> Vec<Vec<String>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let modifiers = ["ibm", "small", "big", "gaming", "premium"];
+    let mut log: Vec<Vec<String>> = vec![vec!["laptop".to_string()]];
+    for _ in 0..n {
+        let m = modifiers[rng.gen_range(0..modifiers.len())];
+        log.push(vec![m.to_string(), "laptop".to_string()]);
+        log.push(vec!["laptop".to_string()]);
+    }
+    log
+}
+
+/// Misspell a word deterministically: swap two adjacent characters or drop
+/// one, based on the seed.
+pub fn corrupt(word: &str, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed ^ word.len() as u64);
+    let chars: Vec<char> = word.chars().collect();
+    if chars.len() < 3 {
+        return word.to_string();
+    }
+    let i = rng.gen_range(1..chars.len() - 1);
+    if rng.gen_bool(0.5) {
+        // transpose
+        let mut c = chars.clone();
+        c.swap(i, i + 1);
+        c.into_iter().collect()
+    } else {
+        // deletion
+        chars
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &c)| c)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laptops_generated_with_learnable_aliases() {
+        let (db, t) = generate_laptops(25, 5);
+        assert_eq!(db.table(t).len(), 25);
+        // Lenovo rows mention "ibm" in descriptions
+        let ix = db.text_index();
+        assert!(!ix.postings("ibm").is_empty());
+        assert!(!ix.postings("laptop").is_empty());
+    }
+
+    #[test]
+    fn log_contains_dqp_structure() {
+        let log = product_query_log(3, 5);
+        assert!(log.contains(&vec!["laptop".to_string()]));
+        let with_modifier = log.iter().filter(|q| q.len() == 2).count();
+        assert_eq!(with_modifier, 5);
+    }
+
+    #[test]
+    fn corrupt_is_one_edit_away() {
+        for (seed, word) in [(1u64, "database"), (2, "keyword"), (3, "thinkpad")] {
+            let bad = corrupt(word, seed);
+            let d = kwdb_common::strutil::damerau_levenshtein(word, &bad);
+            assert!(d <= 1, "{word} → {bad} is {d} edits");
+        }
+    }
+
+    #[test]
+    fn corrupt_short_words_unchanged() {
+        assert_eq!(corrupt("ab", 1), "ab");
+    }
+}

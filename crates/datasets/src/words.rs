@@ -1,0 +1,172 @@
+//! Vocabulary and Zipf sampling for the generators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Database-flavoured title vocabulary (ranked roughly by how common the
+/// term is in real venue titles, so Zipf sampling looks natural).
+pub const TITLE_WORDS: &[&str] = &[
+    "data",
+    "query",
+    "database",
+    "search",
+    "keyword",
+    "xml",
+    "system",
+    "processing",
+    "efficient",
+    "distributed",
+    "graph",
+    "web",
+    "index",
+    "optimization",
+    "stream",
+    "mining",
+    "relational",
+    "semantic",
+    "schema",
+    "join",
+    "ranking",
+    "cloud",
+    "scalable",
+    "storage",
+    "transaction",
+    "parallel",
+    "spatial",
+    "temporal",
+    "probabilistic",
+    "approximate",
+    "adaptive",
+    "incremental",
+    "secure",
+    "privacy",
+    "workflow",
+    "provenance",
+    "benchmark",
+    "sampling",
+    "compression",
+    "recovery",
+    "views",
+    "caching",
+    "partitioning",
+    "replication",
+    "consistency",
+    "concurrency",
+    "learning",
+    "embedding",
+    "federated",
+    "crowdsourcing",
+];
+
+/// First names for authors/people.
+pub const FIRST_NAMES: &[&str] = &[
+    "jennifer", "serge", "michael", "david", "hector", "rakesh", "jeffrey", "jim", "moshe",
+    "christos", "yannis", "susan", "laura", "divesh", "surajit", "joseph", "raghu", "mary",
+    "peter", "wei", "hans", "anhai", "gerhard", "jiawei", "elisa", "timos", "ricardo", "umesh",
+    "stefano", "sihem",
+];
+
+/// Last names.
+pub const LAST_NAMES: &[&str] = &[
+    "widom",
+    "abiteboul",
+    "stonebraker",
+    "dewitt",
+    "garcia",
+    "agrawal",
+    "ullman",
+    "gray",
+    "vardi",
+    "faloutsos",
+    "ioannidis",
+    "davidson",
+    "haas",
+    "srivastava",
+    "chaudhuri",
+    "hellerstein",
+    "ramakrishnan",
+    "fernandez",
+    "buneman",
+    "wang",
+    "boral",
+    "doan",
+    "weikum",
+    "han",
+    "bertino",
+    "sellis",
+    "baeza",
+    "dayal",
+    "ceri",
+    "amer",
+];
+
+/// Conference names.
+pub const VENUES: &[&str] = &[
+    "sigmod", "vldb", "icde", "edbt", "cikm", "kdd", "www", "sigir", "pods", "cidr",
+];
+
+/// Sample an index in `0..n` under a Zipf(s≈1) distribution.
+pub fn zipf(rng: &mut StdRng, n: usize) -> usize {
+    debug_assert!(n > 0);
+    // inverse-CDF over harmonic weights, computed incrementally
+    let h: f64 = (1..=n).map(|i| 1.0 / i as f64).sum();
+    let target = rng.gen::<f64>() * h;
+    let mut acc = 0.0;
+    for i in 1..=n {
+        acc += 1.0 / i as f64;
+        if acc >= target {
+            return i - 1;
+        }
+    }
+    n - 1
+}
+
+/// A title of `len` Zipf-sampled distinct-ish words.
+pub fn title(rng: &mut StdRng, len: usize) -> String {
+    let mut words = Vec::with_capacity(len);
+    for _ in 0..len {
+        words.push(TITLE_WORDS[zipf(rng, TITLE_WORDS.len())]);
+    }
+    words.join(" ")
+}
+
+/// A person name `first last`.
+pub fn person(rng: &mut StdRng) -> String {
+    format!(
+        "{} {}",
+        FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())],
+        LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())]
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[zipf(&mut rng, 10)] += 1;
+        }
+        assert!(counts[0] > counts[4]);
+        assert!(counts[0] > 2 * counts[9]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        assert_eq!(title(&mut a, 4), title(&mut b, 4));
+        assert_eq!(person(&mut a), person(&mut b));
+    }
+
+    #[test]
+    fn titles_have_requested_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = title(&mut rng, 5);
+        assert_eq!(t.split(' ').count(), 5);
+    }
+}

@@ -1,0 +1,173 @@
+//! XML document generators: bibliography trees (for SLCA/ELCA/XReal) and
+//! movie trees (for XSeek/snippets).
+
+use crate::words;
+use kwdb_xml::{XmlBuilder, XmlTree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Bibliography generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BibConfig {
+    pub n_conferences: usize,
+    pub n_journals: usize,
+    pub papers_per_venue: usize,
+    pub authors_per_paper: usize,
+    pub seed: u64,
+}
+
+impl Default for BibConfig {
+    fn default() -> Self {
+        BibConfig {
+            n_conferences: 5,
+            n_journals: 3,
+            papers_per_venue: 20,
+            authors_per_paper: 2,
+            seed: 42,
+        }
+    }
+}
+
+/// `<bib><conf>…<paper><title/><author/>…` — the shape XReal's slide-37
+/// example assumes.
+pub fn generate_bib_xml(cfg: &BibConfig) -> XmlTree {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = XmlBuilder::new("bib");
+    for (kind, count) in [("conf", cfg.n_conferences), ("journal", cfg.n_journals)] {
+        for v in 0..count {
+            b.open(kind);
+            b.leaf("name", words::VENUES[v % words::VENUES.len()]);
+            b.leaf("year", &(1998 + (v % 14)).to_string());
+            for _ in 0..cfg.papers_per_venue {
+                b.open("paper");
+                let len = rng.gen_range(3..=6);
+                b.leaf("title", &words::title(&mut rng, len));
+                for _ in 0..cfg.authors_per_paper {
+                    b.leaf("author", &words::person(&mut rng));
+                }
+                b.close();
+            }
+            b.close();
+        }
+    }
+    b.build()
+}
+
+/// A skewed-list tree for SLCA complexity experiments: `n_rare` nodes carry
+/// the rare keyword, `n_common` the common one, spread across `n_sections`.
+/// `|S_min| = n_rare`, `|S_max| = n_common` — E04 sweeps the ratio.
+pub fn generate_slca_workload(
+    n_sections: usize,
+    n_common: usize,
+    n_rare: usize,
+    seed: u64,
+) -> XmlTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = XmlBuilder::new("root");
+    // distribute nodes round-robin over sections
+    let mut slots: Vec<(bool, bool)> = Vec::new(); // (has_common, has_rare)
+    for i in 0..n_common.max(n_rare) {
+        slots.push((i < n_common, i < n_rare));
+    }
+    // shuffle rare positions so they are not all prefixed
+    for i in (1..slots.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        slots.swap(i, j);
+    }
+    let per_section = slots.len().div_ceil(n_sections.max(1));
+    for chunk in slots.chunks(per_section.max(1)) {
+        b.open("section");
+        for &(common, rare) in chunk {
+            let mut text = String::new();
+            if common {
+                text.push_str("common ");
+            }
+            if rare {
+                text.push_str("rare ");
+            }
+            text.push_str(words::TITLE_WORDS[rng.gen_range(0..words::TITLE_WORDS.len())]);
+            b.leaf("item", text.trim());
+        }
+        b.close();
+    }
+    b.build()
+}
+
+/// IMDB-style movie tree (slide 27's running example).
+pub fn generate_movies(n_movies: usize, seed: u64) -> XmlTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let titles = [
+        "shining",
+        "simpsons",
+        "scoop",
+        "friends",
+        "casablanca",
+        "vertigo",
+        "alien",
+        "amadeus",
+        "fargo",
+        "heat",
+    ];
+    let mut b = XmlBuilder::new("imdb");
+    for i in 0..n_movies {
+        b.open("movie");
+        b.leaf("name", titles[i % titles.len()]);
+        b.leaf("year", &(1960 + (i * 7) % 60).to_string());
+        b.leaf("plot", &words::title(&mut rng, 8));
+        b.open("director");
+        b.leaf("name", &words::person(&mut rng));
+        b.leaf("dob", &(1930 + (i * 3) % 50).to_string());
+        b.close();
+        b.close();
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwdb_xml::XmlIndex;
+
+    #[test]
+    fn bib_has_expected_shape() {
+        let t = generate_bib_xml(&BibConfig {
+            n_conferences: 2,
+            n_journals: 1,
+            papers_per_venue: 3,
+            authors_per_paper: 2,
+            seed: 1,
+        });
+        assert_eq!(t.label(t.root()), "bib");
+        let confs = t
+            .children(t.root())
+            .iter()
+            .filter(|&&c| t.label(c) == "conf")
+            .count();
+        assert_eq!(confs, 2);
+        // papers: 3 venues × 3 papers
+        let papers = t.iter().filter(|&n| t.label(n) == "paper").count();
+        assert_eq!(papers, 9);
+    }
+
+    #[test]
+    fn slca_workload_list_sizes() {
+        let t = generate_slca_workload(10, 500, 20, 3);
+        let ix = XmlIndex::build(&t);
+        assert_eq!(ix.freq("common"), 500);
+        assert_eq!(ix.freq("rare"), 20);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = generate_movies(5, 9);
+        let b = generate_movies(5, 9);
+        assert_eq!(a.to_xml(a.root()), b.to_xml(b.root()));
+    }
+
+    #[test]
+    fn movies_have_directors() {
+        let t = generate_movies(4, 1);
+        let directors = t.iter().filter(|&n| t.label(n) == "director").count();
+        assert_eq!(directors, 4);
+    }
+}

@@ -1,0 +1,178 @@
+//! INEX-style metrics (tutorial slides 104–106).
+//!
+//! INEX scores a retrieved XML fragment at character granularity against
+//! assessor-highlighted ground truth, under a **tolerance reading model**:
+//! the user reads the fragment in order and stops after `tolerance`
+//! consecutive non-relevant characters. Precision is the relevant fraction
+//! of what was read; recall is the fraction of all relevant characters that
+//! were read; F is their harmonic mean. A ranked list is summarized by
+//! generalized precision `gP@k` (mean score of the first k results) and
+//! `AgP` (mean of gP over every k).
+
+/// Score of one retrieved fragment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FragmentScore {
+    pub precision: f64,
+    pub recall: f64,
+    pub f_measure: f64,
+    /// Characters actually read under the tolerance model.
+    pub read: usize,
+}
+
+/// Score one fragment: `relevance[i]` says whether the fragment's `i`-th
+/// character is relevant; `total_relevant` is the corpus-wide relevant
+/// character count (for recall); `tolerance` is the consecutive-irrelevant
+/// budget before the user stops reading (`None` = reads everything).
+pub fn fragment_score(
+    relevance: &[bool],
+    total_relevant: usize,
+    tolerance: Option<usize>,
+) -> FragmentScore {
+    // reading model: stop after `tolerance` consecutive irrelevant chars
+    let mut read = relevance.len();
+    if let Some(tol) = tolerance {
+        let mut run = 0usize;
+        for (i, &rel) in relevance.iter().enumerate() {
+            if rel {
+                run = 0;
+            } else {
+                run += 1;
+                if run > tol {
+                    read = i + 1;
+                    break;
+                }
+            }
+        }
+    }
+    let relevant_read = relevance[..read].iter().filter(|&&r| r).count();
+    let precision = if read == 0 {
+        0.0
+    } else {
+        relevant_read as f64 / read as f64
+    };
+    let recall = if total_relevant == 0 {
+        0.0
+    } else {
+        relevant_read as f64 / total_relevant as f64
+    };
+    let f_measure = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    FragmentScore {
+        precision,
+        recall,
+        f_measure,
+        read,
+    }
+}
+
+/// Generalized precision at rank `k`: the mean fragment score of the first
+/// `k` results (scores beyond the list count as 0 — a short list is not
+/// rewarded for stopping early).
+pub fn gp_at_k(scores: &[f64], k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let sum: f64 = scores.iter().take(k).sum();
+    sum / k as f64
+}
+
+/// Average generalized precision over all ranks `1..=n`.
+pub fn agp(scores: &[f64]) -> f64 {
+    let n = scores.len();
+    if n == 0 {
+        return 0.0;
+    }
+    (1..=n).map(|k| gp_at_k(scores, k)).sum::<f64>() / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_fragment() {
+        let s = fragment_score(&[true, true, true], 3, Some(2));
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.f_measure, 1.0);
+        assert_eq!(s.read, 3);
+    }
+
+    #[test]
+    fn tolerance_stops_reading() {
+        // slide 105: reading stops in the long irrelevant gap, so the
+        // trailing relevant chunk is never seen
+        let mut rel = vec![true; 4];
+        rel.extend(vec![false; 10]);
+        rel.extend(vec![true; 6]);
+        let s = fragment_score(&rel, 10, Some(3));
+        assert_eq!(s.read, 8); // 4 relevant + 4 irrelevant (tolerance 3 exceeded)
+        assert!((s.recall - 0.4).abs() < 1e-12, "only 4 of 10 relevant read");
+        assert!((s.precision - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_tolerance_reads_everything() {
+        let mut rel = vec![true; 2];
+        rel.extend(vec![false; 50]);
+        rel.extend(vec![true; 2]);
+        let s = fragment_score(&rel, 4, None);
+        assert_eq!(s.read, 54);
+        assert_eq!(s.recall, 1.0);
+    }
+
+    #[test]
+    fn empty_and_irrelevant_fragments() {
+        let s = fragment_score(&[], 5, Some(2));
+        assert_eq!(s.f_measure, 0.0);
+        let s = fragment_score(&[false, false], 5, Some(10));
+        assert_eq!(s.precision, 0.0);
+        assert_eq!(s.f_measure, 0.0);
+    }
+
+    #[test]
+    fn gp_and_agp() {
+        let scores = [1.0, 0.5, 0.0];
+        assert_eq!(gp_at_k(&scores, 1), 1.0);
+        assert_eq!(gp_at_k(&scores, 2), 0.75);
+        assert_eq!(gp_at_k(&scores, 3), 0.5);
+        // short list penalized at deeper ranks
+        assert_eq!(gp_at_k(&scores, 6), 0.25);
+        let expected = (1.0 + 0.75 + 0.5) / 3.0;
+        assert!((agp(&scores) - expected).abs() < 1e-12);
+        assert_eq!(agp(&[]), 0.0);
+    }
+
+    #[test]
+    fn front_loaded_ranking_scores_higher() {
+        let good = [1.0, 0.2];
+        let bad = [0.2, 1.0];
+        assert!(agp(&good) > agp(&bad));
+    }
+
+    proptest! {
+        #[test]
+        fn metrics_bounded(rel in proptest::collection::vec(any::<bool>(), 0..40),
+                           tol in 0usize..6) {
+            let total = rel.iter().filter(|&&r| r).count().max(1);
+            let s = fragment_score(&rel, total, Some(tol));
+            prop_assert!((0.0..=1.0).contains(&s.precision));
+            prop_assert!((0.0..=1.0).contains(&s.recall));
+            prop_assert!((0.0..=1.0).contains(&s.f_measure));
+            prop_assert!(s.read <= rel.len());
+        }
+
+        #[test]
+        fn larger_tolerance_reads_at_least_as_much(
+            rel in proptest::collection::vec(any::<bool>(), 1..40)) {
+            let s1 = fragment_score(&rel, 10, Some(1));
+            let s2 = fragment_score(&rel, 10, Some(5));
+            prop_assert!(s2.read >= s1.read);
+            prop_assert!(s2.recall >= s1.recall);
+        }
+    }
+}

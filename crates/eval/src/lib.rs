@@ -1,0 +1,19 @@
+//! Evaluating keyword search systems (tutorial slides 103–109).
+//!
+//! Two complementary methodologies:
+//!
+//! * [`inex`] — benchmark-style evaluation as run by the INEX campaigns:
+//!   assessors highlight relevant character fragments, a tolerance-bounded
+//!   reading model decides how much of each result the user actually reads,
+//!   and ranked lists are scored with generalized precision (gP@k) and its
+//!   average (AgP);
+//! * [`axioms`] — the axiomatic framework of Liu & Chen (VLDB 08): four
+//!   cheap, dataset-independent sanity properties — data/query monotonicity
+//!   and data/query consistency — as executable checkers that flag
+//!   abnormal engine behaviour (slide 109's query-consistency violation).
+
+pub mod axioms;
+pub mod inex;
+
+pub use axioms::{AxiomReport, XmlSearchEngine};
+pub use inex::{agp, fragment_score, gp_at_k, FragmentScore};

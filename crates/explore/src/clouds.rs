@@ -1,0 +1,166 @@
+//! Data clouds: suggesting expansion terms from query results
+//! (Koutrika, Zadeh & Garcia-Molina, EDBT 09; Tao & Yu, EDBT 09) —
+//! tutorial slides 76–78.
+//!
+//! After a query like "XML", the system surfaces the important terms inside
+//! the results ("keyword", "xpath", …) as refinement suggestions. Two
+//! rankings from slide 77:
+//!
+//! * **popularity** — plain frequency across results: simple, but favors
+//!   generic terms like "data";
+//! * **relevance** — each result weights its terms by the result's own
+//!   score and per-attribute weights (a title term counts more than a
+//!   description term), so terms from *good* results in *important* fields
+//!   win.
+//!
+//! [`co_occurring_terms`] is the Tao & Yu variant: top co-occurring terms
+//! straight from the inverted lists of documents containing all query
+//! terms, without scoring or materializing ranked results.
+
+use std::collections::{HashMap, HashSet};
+
+/// One result as weighted attribute texts: `(attribute weight, tokens)`.
+pub type WeightedResult = Vec<(f64, Vec<String>)>;
+
+/// Top-k terms by raw popularity across result token lists. Query terms
+/// themselves are excluded.
+pub fn top_terms_popularity<S: AsRef<str>>(
+    results: &[Vec<String>],
+    query: &[S],
+    k: usize,
+) -> Vec<(String, f64)> {
+    let qset: HashSet<&str> = query.iter().map(|s| s.as_ref()).collect();
+    let mut freq: HashMap<&str, f64> = HashMap::new();
+    for r in results {
+        for t in r {
+            if !qset.contains(t.as_str()) {
+                *freq.entry(t).or_insert(0.0) += 1.0;
+            }
+        }
+    }
+    rank(freq, k)
+}
+
+/// Top-k terms by relevance: Σ over results of
+/// `result_score · attribute_weight · tf` (slide 77's improved TF).
+pub fn top_terms_relevance<S: AsRef<str>>(
+    results: &[(f64, WeightedResult)],
+    query: &[S],
+    k: usize,
+) -> Vec<(String, f64)> {
+    let qset: HashSet<&str> = query.iter().map(|s| s.as_ref()).collect();
+    let mut weight: HashMap<&str, f64> = HashMap::new();
+    for (score, attrs) in results {
+        for (aw, toks) in attrs {
+            for t in toks {
+                if !qset.contains(t.as_str()) {
+                    *weight.entry(t).or_insert(0.0) += score * aw;
+                }
+            }
+        }
+    }
+    rank(weight, k)
+}
+
+/// Frequent co-occurring terms (Tao & Yu, EDBT 09): scan the corpus once,
+/// count non-query terms inside documents containing *all* query terms.
+/// No per-result scoring or ranking is materialized.
+pub fn co_occurring_terms<S: AsRef<str>>(
+    docs: &[Vec<String>],
+    query: &[S],
+    k: usize,
+) -> Vec<(String, f64)> {
+    let mut freq: HashMap<&str, f64> = HashMap::new();
+    let qset: Vec<&str> = query.iter().map(|s| s.as_ref()).collect();
+    for d in docs {
+        if !qset.iter().all(|q| d.iter().any(|t| t == q)) {
+            continue;
+        }
+        for t in d {
+            if !qset.contains(&t.as_str()) {
+                *freq.entry(t).or_insert(0.0) += 1.0;
+            }
+        }
+    }
+    rank(freq, k)
+}
+
+fn rank(freq: HashMap<&str, f64>, k: usize) -> Vec<(String, f64)> {
+    let mut v: Vec<(String, f64)> = freq.into_iter().map(|(t, f)| (t.to_string(), f)).collect();
+    v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    v.truncate(k);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        kwdb_common::text::tokenize(s)
+    }
+
+    #[test]
+    fn popularity_counts_and_excludes_query() {
+        let results = vec![
+            toks("xml keyword search data"),
+            toks("xml xpath query data"),
+            toks("xml keyword data"),
+        ];
+        let top = top_terms_popularity(&results, &["xml"], 3);
+        assert_eq!(top[0].0, "data");
+        assert!(top.iter().all(|(t, _)| t != "xml"));
+        assert!(top.iter().any(|(t, _)| t == "keyword"));
+    }
+
+    #[test]
+    fn relevance_weights_attributes_and_scores() {
+        // "data" appears everywhere but in low-weight description fields;
+        // "xpath" appears in high-weight titles of the best result
+        let results: Vec<(f64, WeightedResult)> = vec![
+            (
+                10.0,
+                vec![(1.0, toks("xpath")), (0.2, toks("data data data"))],
+            ),
+            (1.0, vec![(1.0, toks("storage")), (0.2, toks("data data"))]),
+        ];
+        let top = top_terms_relevance(&results, &["xml"], 2);
+        assert_eq!(top[0].0, "xpath", "{top:?}");
+    }
+
+    #[test]
+    fn popularity_vs_relevance_differ_on_generic_terms() {
+        // slide 77: popularity picks "data"; relevance demotes it
+        let raw: Vec<Vec<String>> = vec![toks("xpath data data"), toks("keyword data data")];
+        let weighted: Vec<(f64, WeightedResult)> = vec![
+            (5.0, vec![(1.0, toks("xpath")), (0.1, toks("data data"))]),
+            (1.0, vec![(1.0, toks("keyword")), (0.1, toks("data data"))]),
+        ];
+        let pop = top_terms_popularity(&raw, &["xml"], 1);
+        let rel = top_terms_relevance(&weighted, &["xml"], 1);
+        assert_eq!(pop[0].0, "data");
+        assert_eq!(rel[0].0, "xpath");
+    }
+
+    #[test]
+    fn co_occurring_requires_all_query_terms() {
+        let docs = vec![
+            toks("xml search keyword"),
+            toks("xml storage"),
+            toks("search ranking"),
+            toks("xml search snippets"),
+        ];
+        let top = co_occurring_terms(&docs, &["xml", "search"], 5);
+        let terms: Vec<&str> = top.iter().map(|(t, _)| t.as_str()).collect();
+        assert!(terms.contains(&"keyword"));
+        assert!(terms.contains(&"snippets"));
+        assert!(!terms.contains(&"storage"), "doc lacks 'search'");
+        assert!(!terms.contains(&"ranking"), "doc lacks 'xml'");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(top_terms_popularity(&[], &["q"], 3).is_empty());
+        assert!(co_occurring_terms(&[toks("a b")], &["zz"], 3).is_empty());
+    }
+}

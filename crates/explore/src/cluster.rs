@@ -1,0 +1,271 @@
+//! Result clustering (tutorial slides 155–162).
+//!
+//! * [`cluster_by_context`] — XBridge (Li et al., EDBT 10): results whose
+//!   roots share a root-to-root label path form one cluster ("conference
+//!   papers" vs "journal papers" vs "workshop papers"); clusters are ranked
+//!   by the sum of their top-R result scores with `R = min(avg, |G|)` so
+//!   huge clusters don't win on bulk (slide 157);
+//! * [`describable_clusters`] — Liu & Chen (TODS 10): each cluster
+//!   corresponds to one *semantics* of an ambiguous query, derived from the
+//!   roles query keywords play in each result (slide 161's
+//!   seller/buyer/auctioneer example); clusters can be split further by
+//!   keyword context for finer granularity.
+
+use kwdb_common::text::tokenize;
+use kwdb_xml::{NodeId, XmlIndex, XmlTree};
+use std::collections::BTreeMap;
+
+/// A cluster of results with a score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    /// The describing key (label path for XBridge, role pattern for
+    /// describable clustering).
+    pub description: String,
+    /// Member results (indices into the input) best-score first.
+    pub members: Vec<usize>,
+    pub score: f64,
+}
+
+/// XBridge: cluster scored results by the label path of their roots, rank
+/// clusters by top-R member scores.
+pub fn cluster_by_context(tree: &XmlTree, results: &[(NodeId, f64)]) -> Vec<Cluster> {
+    let mut groups: BTreeMap<String, Vec<(usize, f64)>> = BTreeMap::new();
+    for (i, &(n, score)) in results.iter().enumerate() {
+        groups
+            .entry(tree.label_path(n))
+            .or_default()
+            .push((i, score));
+    }
+    let avg = if groups.is_empty() {
+        0.0
+    } else {
+        results.len() as f64 / groups.len() as f64
+    };
+    let mut out: Vec<Cluster> = groups
+        .into_iter()
+        .map(|(path, mut members)| {
+            members.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            let r = (avg.round() as usize).clamp(1, members.len());
+            let score: f64 = members.iter().take(r).map(|&(_, s)| s).sum();
+            Cluster {
+                description: path,
+                members: members.into_iter().map(|(i, _)| i).collect(),
+                score,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap()
+            .then(a.description.cmp(&b.description))
+    });
+    out
+}
+
+/// The role a keyword plays in one result: the label of the node whose text
+/// matched it (or the node's own label for structure matches).
+pub fn keyword_role(tree: &XmlTree, result_root: NodeId, keyword: &str) -> Option<String> {
+    for n in tree.subtree(result_root) {
+        let label = tree.label(n).trim_start_matches('@').to_lowercase();
+        if label == keyword {
+            return Some(format!("label:{label}"));
+        }
+        if let Some(t) = tree.text(n) {
+            if tokenize(t).iter().any(|tok| tok == keyword) {
+                return Some(tree.label(n).trim_start_matches('@').to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Describable clustering: group results by the role pattern of their
+/// keywords. Every cluster's description reads like the slide's
+/// interpretations ("Tom is the seller" vs "Tom is the buyer").
+pub fn describable_clusters<S: AsRef<str>>(
+    tree: &XmlTree,
+    _index: &XmlIndex,
+    results: &[NodeId],
+    keywords: &[S],
+) -> Vec<Cluster> {
+    let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, &root) in results.iter().enumerate() {
+        let pattern: Vec<String> = keywords
+            .iter()
+            .map(|k| keyword_role(tree, root, k.as_ref()).unwrap_or_else(|| "∅".to_string()))
+            .collect();
+        let desc = keywords
+            .iter()
+            .zip(&pattern)
+            .map(|(k, r)| format!("{}→{r}", k.as_ref()))
+            .collect::<Vec<_>>()
+            .join(", ");
+        groups.entry(desc).or_default().push(i);
+    }
+    groups
+        .into_iter()
+        .map(|(description, members)| Cluster {
+            score: members.len() as f64,
+            description,
+            members,
+        })
+        .collect()
+}
+
+/// Finer granularity (slide 162): split one cluster's members by the label
+/// path of the node matching `keyword` (the keyword's *context*), with at
+/// most `max_clusters` output groups (smallest groups merged into the last).
+pub fn split_by_context<S: AsRef<str>>(
+    tree: &XmlTree,
+    results: &[NodeId],
+    members: &[usize],
+    keyword: S,
+    max_clusters: usize,
+) -> Vec<Vec<usize>> {
+    let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for &m in members {
+        let root = results[m];
+        let ctx = tree
+            .subtree(root)
+            .into_iter()
+            .find(|&n| {
+                tree.text(n)
+                    .map(|t| tokenize(t).iter().any(|tok| tok == keyword.as_ref()))
+                    .unwrap_or(false)
+            })
+            .map(|n| tree.label_path(n))
+            .unwrap_or_else(|| "∅".to_string());
+        groups.entry(ctx).or_default().push(m);
+    }
+    let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+    out.sort_by_key(|g| std::cmp::Reverse(g.len()));
+    while out.len() > max_clusters.max(1) {
+        let tail = out.pop().expect("len > 1");
+        out.last_mut().expect("len >= 1").extend(tail);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwdb_xml::XmlBuilder;
+
+    /// Slide 156: papers under conference / journal / workshop contexts.
+    fn bib() -> (XmlTree, Vec<(NodeId, f64)>) {
+        let mut b = XmlBuilder::new("bib");
+        b.open("conference");
+        for i in 0..3 {
+            b.open("paper")
+                .leaf("title", &format!("keyword query processing {i}"))
+                .close();
+        }
+        b.close();
+        b.open("journal");
+        b.open("paper")
+            .leaf("title", "keyword query processing survey")
+            .close();
+        b.close();
+        b.open("workshop");
+        b.open("paper")
+            .leaf("title", "keyword query processing demo")
+            .close();
+        b.close();
+        let t = b.build();
+        let results: Vec<(NodeId, f64)> = t
+            .iter()
+            .filter(|&n| t.label(n) == "paper")
+            .enumerate()
+            .map(|(i, n)| (n, 10.0 - i as f64))
+            .collect();
+        (t, results)
+    }
+
+    #[test]
+    fn xbridge_clusters_by_root_context() {
+        let (t, results) = bib();
+        let clusters = cluster_by_context(&t, &results);
+        assert_eq!(clusters.len(), 3);
+        let descs: Vec<&str> = clusters.iter().map(|c| c.description.as_str()).collect();
+        assert!(descs.contains(&"/bib/conference/paper"));
+        assert!(descs.contains(&"/bib/journal/paper"));
+        assert!(descs.contains(&"/bib/workshop/paper"));
+        // scores descend
+        assert!(clusters.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn top_r_prevents_bulk_wins() {
+        let (t, results) = bib();
+        let clusters = cluster_by_context(&t, &results);
+        // avg = 5/3 ≈ 2 → conference counts only its top-2 (10+9), not all 3
+        let conf = clusters
+            .iter()
+            .find(|c| c.description == "/bib/conference/paper")
+            .unwrap();
+        assert_eq!(conf.score, 19.0);
+    }
+
+    /// Slide 161: auctions where Tom is seller/buyer/auctioneer.
+    fn auctions() -> (XmlTree, Vec<NodeId>) {
+        let mut b = XmlBuilder::new("auctions");
+        for (seller, buyer, auctioneer) in [
+            ("Bob", "Mary", "Tom"),
+            ("Frank", "Tom", "Louis"),
+            ("Tom", "Peter", "Mark"),
+            ("Tom", "Alice", "Louis"),
+        ] {
+            b.open("auction")
+                .leaf("seller", seller)
+                .leaf("buyer", buyer)
+                .leaf("auctioneer", auctioneer)
+                .close();
+        }
+        let t = b.build();
+        let results: Vec<NodeId> = t.iter().filter(|&n| t.label(n) == "auction").collect();
+        (t, results)
+    }
+
+    #[test]
+    fn slide161_roles_create_three_clusters() {
+        let (t, results) = auctions();
+        let ix = XmlIndex::build(&t);
+        let clusters = describable_clusters(&t, &ix, &results, &["tom"]);
+        assert_eq!(clusters.len(), 3, "{clusters:?}");
+        let descs: Vec<&str> = clusters.iter().map(|c| c.description.as_str()).collect();
+        assert!(descs.contains(&"tom→seller"));
+        assert!(descs.contains(&"tom→buyer"));
+        assert!(descs.contains(&"tom→auctioneer"));
+        // the seller cluster has two members
+        let seller = clusters
+            .iter()
+            .find(|c| c.description == "tom→seller")
+            .unwrap();
+        assert_eq!(seller.members.len(), 2);
+    }
+
+    #[test]
+    fn split_by_context_bounds_cluster_count() {
+        let (t, results) = auctions();
+        let all: Vec<usize> = (0..results.len()).collect();
+        let split = split_by_context(&t, &results, &all, "tom", 2);
+        assert!(split.len() <= 2);
+        let total: usize = split.iter().map(|g| g.len()).sum();
+        assert_eq!(total, results.len());
+    }
+
+    #[test]
+    fn keyword_role_detects_label_matches() {
+        let (t, results) = auctions();
+        assert_eq!(
+            keyword_role(&t, results[0], "seller"),
+            Some("label:seller".into())
+        );
+        assert_eq!(
+            keyword_role(&t, results[0], "tom"),
+            Some("auctioneer".into())
+        );
+        assert_eq!(keyword_role(&t, results[0], "zzz"), None);
+    }
+}

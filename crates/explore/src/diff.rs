@@ -1,0 +1,248 @@
+//! Result differentiation (Liu, Sun & Chen, *Structured Search Result
+//! Differentiation*, VLDB 09) — tutorial slides 149–153.
+//!
+//! Snippets summarize one result; comparison shows how results *differ*.
+//! Each result is summarized by at most `B` of its features (typed values),
+//! chosen to maximize the **Degree of Differentiation** — the number of
+//! (result-pair, feature-type) combinations whose selected values differ.
+//! Optimal selection is NP-hard (slide 153); this module implements the
+//! paper's two tractable targets:
+//!
+//! * **weak local optimality** — no single-feature swap in any one result
+//!   improves DoD ([`differentiate`]'s hill-climbing loop);
+//! * the exhaustive [`brute_force`] oracle for tests.
+
+use std::collections::{BTreeSet, HashMap};
+
+/// A typed feature of a result, e.g. `("paper:title", "cloud")`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Feature {
+    pub ftype: String,
+    pub value: String,
+}
+
+impl Feature {
+    pub fn new(ftype: &str, value: &str) -> Self {
+        Feature {
+            ftype: ftype.to_string(),
+            value: value.to_string(),
+        }
+    }
+}
+
+/// The selected comparison table: per result, the chosen features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonTable {
+    pub selections: Vec<Vec<Feature>>,
+    pub dod: usize,
+}
+
+/// Degree of differentiation of a selection: for every result pair, count
+/// the feature types selected **in both** results whose value sets differ.
+/// Types selected on one side only don't count — a difference the user
+/// cannot see in the other column is not a comparison (and counting
+/// presence-only differences would reward degenerate disjoint selections).
+pub fn degree_of_differentiation(selections: &[Vec<Feature>]) -> usize {
+    let mut dod = 0;
+    for i in 0..selections.len() {
+        for j in i + 1..selections.len() {
+            let ti: BTreeSet<&str> = selections[i].iter().map(|f| f.ftype.as_str()).collect();
+            let tj: BTreeSet<&str> = selections[j].iter().map(|f| f.ftype.as_str()).collect();
+            for t in ti.intersection(&tj) {
+                let vi: BTreeSet<&str> = selections[i]
+                    .iter()
+                    .filter(|f| f.ftype == *t)
+                    .map(|f| f.value.as_str())
+                    .collect();
+                let vj: BTreeSet<&str> = selections[j]
+                    .iter()
+                    .filter(|f| f.ftype == *t)
+                    .map(|f| f.value.as_str())
+                    .collect();
+                if vi != vj {
+                    dod += 1;
+                }
+            }
+        }
+    }
+    dod
+}
+
+/// Select at most `budget` features per result, maximizing DoD by greedy
+/// seeding plus single-swap hill climbing (weak local optimality).
+pub fn differentiate(results: &[Vec<Feature>], budget: usize) -> ComparisonTable {
+    // seed: most *distinctive* features first — features whose value is rare
+    // across results
+    let mut value_count: HashMap<&Feature, usize> = HashMap::new();
+    for r in results {
+        for f in r {
+            *value_count.entry(f).or_insert(0) += 1;
+        }
+    }
+    let mut selections: Vec<Vec<Feature>> = results
+        .iter()
+        .map(|r| {
+            let mut fs: Vec<&Feature> = r.iter().collect();
+            fs.sort_by_key(|f| (value_count[f], f.ftype.clone(), f.value.clone()));
+            fs.into_iter().take(budget).cloned().collect()
+        })
+        .collect();
+    let mut dod = degree_of_differentiation(&selections);
+    // hill climb: try replacing any selected feature with any unselected one
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for (ri, result) in results.iter().enumerate() {
+            for si in 0..selections[ri].len() {
+                for cand in result {
+                    if selections[ri].contains(cand) {
+                        continue;
+                    }
+                    let old = std::mem::replace(&mut selections[ri][si], cand.clone());
+                    let nd = degree_of_differentiation(&selections);
+                    if nd > dod {
+                        dod = nd;
+                        improved = true;
+                    } else {
+                        selections[ri][si] = old;
+                    }
+                }
+            }
+        }
+    }
+    ComparisonTable { selections, dod }
+}
+
+/// Exhaustive optimum for tiny inputs (tests only).
+pub fn brute_force(results: &[Vec<Feature>], budget: usize) -> ComparisonTable {
+    fn combos(features: &[Feature], budget: usize) -> Vec<Vec<Feature>> {
+        let mut out = vec![Vec::new()];
+        for f in features {
+            let mut extra = Vec::new();
+            for c in &out {
+                if c.len() < budget {
+                    let mut n = c.clone();
+                    n.push(f.clone());
+                    extra.push(n);
+                }
+            }
+            out.extend(extra);
+        }
+        out
+    }
+    let per_result: Vec<Vec<Vec<Feature>>> = results.iter().map(|r| combos(r, budget)).collect();
+    let mut best: Option<ComparisonTable> = None;
+    let mut idx = vec![0usize; results.len()];
+    loop {
+        let selection: Vec<Vec<Feature>> = idx
+            .iter()
+            .zip(&per_result)
+            .map(|(&i, cs)| cs[i].clone())
+            .collect();
+        let dod = degree_of_differentiation(&selection);
+        if best.as_ref().is_none_or(|b| dod > b.dod) {
+            best = Some(ComparisonTable {
+                selections: selection,
+                dod,
+            });
+        }
+        let mut pos = 0;
+        loop {
+            if pos == idx.len() {
+                return best.expect("at least one combination");
+            }
+            idx[pos] += 1;
+            if idx[pos] < per_result[pos].len() {
+                break;
+            }
+            idx[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Slide 151: ICDE 2000 vs ICDE 2010.
+    fn icde_results() -> Vec<Vec<Feature>> {
+        vec![
+            vec![
+                Feature::new("conf:year", "2000"),
+                Feature::new("paper:title", "olap"),
+                Feature::new("paper:title", "data mining"),
+                Feature::new("paper:title", "network"),
+                Feature::new("author:country", "usa"),
+            ],
+            vec![
+                Feature::new("conf:year", "2010"),
+                Feature::new("paper:title", "cloud"),
+                Feature::new("paper:title", "scalability"),
+                Feature::new("paper:title", "network"),
+                Feature::new("author:country", "usa"),
+            ],
+        ]
+    }
+
+    #[test]
+    fn slide151_differentiating_features_chosen() {
+        let table = differentiate(&icde_results(), 2);
+        // both results should expose year (differs) and distinct titles,
+        // not the shared "network" title or "usa" country
+        for sel in &table.selections {
+            assert!(!sel.iter().any(|f| f.value == "network"));
+            assert!(!sel.iter().any(|f| f.value == "usa"));
+        }
+        assert!(table.selections[0].iter().any(|f| f.ftype == "conf:year"));
+        // DoD: with 2 features each differing on 2 types = 2 (pairs=1)
+        assert_eq!(table.dod, 2);
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_inputs() {
+        let results = icde_results();
+        for budget in 1..=3 {
+            let greedy = differentiate(&results, budget);
+            let opt = brute_force(&results, budget);
+            assert_eq!(greedy.dod, opt.dod, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn identical_results_have_zero_dod() {
+        let r = vec![
+            vec![Feature::new("t", "a"), Feature::new("t", "b")],
+            vec![Feature::new("t", "a"), Feature::new("t", "b")],
+        ];
+        let table = differentiate(&r, 2);
+        assert_eq!(table.dod, 0);
+    }
+
+    #[test]
+    fn budget_respected() {
+        let table = differentiate(&icde_results(), 1);
+        assert!(table.selections.iter().all(|s| s.len() <= 1));
+        assert_eq!(table.dod, 1);
+    }
+
+    #[test]
+    fn three_results_pairwise_dod() {
+        let r = vec![
+            vec![Feature::new("x", "1")],
+            vec![Feature::new("x", "2")],
+            vec![Feature::new("x", "3")],
+        ];
+        let table = differentiate(&r, 1);
+        // 3 pairs, all differing on type x
+        assert_eq!(table.dod, 3);
+    }
+
+    #[test]
+    fn presence_only_differences_do_not_count() {
+        let a = vec![vec![Feature::new("x", "1")], vec![Feature::new("y", "2")]];
+        assert_eq!(degree_of_differentiation(&a), 0); // no shared type
+        let b = vec![vec![Feature::new("x", "1")], vec![Feature::new("x", "2")]];
+        assert_eq!(degree_of_differentiation(&b), 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! Query expansion from result clusters (tutorial slides 80–82).
+//!
+//! An ambiguous query ("java") has results in several semantic clusters
+//! (language / island / band). Each cluster should get one *expanded query*
+//! that retrieves exactly it: maximal recall of the cluster, minimal leakage
+//! from the others — i.e. maximize the F-measure of the expanded query's
+//! result set against the cluster. The optimization is APX-hard (slide 82);
+//! the greedy below adds the term with the best F-gain until no term helps.
+
+use std::collections::HashSet;
+
+/// Precision/recall/F of retrieving `retrieved` (doc indices) against the
+/// target `cluster`.
+pub fn f_measure(retrieved: &HashSet<usize>, cluster: &HashSet<usize>) -> f64 {
+    if retrieved.is_empty() || cluster.is_empty() {
+        return 0.0;
+    }
+    let tp = retrieved.intersection(cluster).count() as f64;
+    if tp == 0.0 {
+        return 0.0;
+    }
+    let p = tp / retrieved.len() as f64;
+    let r = tp / cluster.len() as f64;
+    2.0 * p * r / (p + r)
+}
+
+/// An expanded query for one cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpandedQuery {
+    /// Original query terms plus the added expansion terms.
+    pub terms: Vec<String>,
+    pub f_measure: f64,
+}
+
+/// Documents matching all `terms` (AND semantics).
+fn retrieve(docs: &[Vec<String>], terms: &[String]) -> HashSet<usize> {
+    docs.iter()
+        .enumerate()
+        .filter(|(_, d)| terms.iter().all(|t| d.iter().any(|x| x == t)))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Greedy per-cluster expansion: starting from the original query, add the
+/// term (from the cluster's vocabulary) with the largest F-measure gain.
+pub fn expand_for_cluster<S: AsRef<str>>(
+    docs: &[Vec<String>],
+    original: &[S],
+    cluster: &HashSet<usize>,
+    max_extra_terms: usize,
+) -> ExpandedQuery {
+    let mut terms: Vec<String> = original.iter().map(|s| s.as_ref().to_string()).collect();
+    let mut current_f = f_measure(&retrieve(docs, &terms), cluster);
+    // candidate vocabulary: terms appearing in the cluster's documents
+    let mut vocab: Vec<String> = cluster
+        .iter()
+        .flat_map(|&i| docs[i].iter().cloned())
+        .collect::<std::collections::BTreeSet<String>>()
+        .into_iter()
+        .collect();
+    vocab.retain(|t| !terms.contains(t));
+    for _ in 0..max_extra_terms {
+        let mut best: Option<(f64, String)> = None;
+        for t in &vocab {
+            let mut cand = terms.clone();
+            cand.push(t.clone());
+            let f = f_measure(&retrieve(docs, &cand), cluster);
+            if f > current_f && best.as_ref().is_none_or(|(bf, _)| f > *bf) {
+                best = Some((f, t.clone()));
+            }
+        }
+        let Some((f, t)) = best else { break };
+        current_f = f;
+        vocab.retain(|v| v != &t);
+        terms.push(t);
+    }
+    ExpandedQuery {
+        terms,
+        f_measure: current_f,
+    }
+}
+
+/// Expand every cluster of a clustering.
+pub fn expand_all<S: AsRef<str>>(
+    docs: &[Vec<String>],
+    original: &[S],
+    clusters: &[HashSet<usize>],
+    max_extra_terms: usize,
+) -> Vec<ExpandedQuery> {
+    clusters
+        .iter()
+        .map(|c| expand_for_cluster(docs, original, c, max_extra_terms))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        kwdb_common::text::tokenize(s)
+    }
+
+    /// Slide 81's three Java senses.
+    fn java_docs() -> (Vec<Vec<String>>, Vec<HashSet<usize>>) {
+        let docs = vec![
+            toks("java oo language developed at sun"), // 0 language
+            toks("java software platform applet language"), // 1 language
+            toks("java three languages programming"),  // 2 language
+            toks("java island of indonesia"),          // 3 island
+            toks("java island has four provinces"),    // 4 island
+            toks("java band formed in paris"),         // 5 band
+            toks("java band active from 1972 to 1983"), // 6 band
+        ];
+        let clusters = vec![
+            HashSet::from([0, 1, 2]),
+            HashSet::from([3, 4]),
+            HashSet::from([5, 6]),
+        ];
+        (docs, clusters)
+    }
+
+    #[test]
+    fn expansions_describe_their_clusters() {
+        let (docs, clusters) = java_docs();
+        let expanded = expand_all(&docs, &["java"], &clusters, 2);
+        assert_eq!(expanded.len(), 3);
+        // the island and band clusters have perfect describing terms
+        assert!(expanded[1].terms.contains(&"island".to_string()));
+        assert!((expanded[1].f_measure - 1.0).abs() < 1e-12);
+        assert!(expanded[2].terms.contains(&"band".to_string()));
+        assert!((expanded[2].f_measure - 1.0).abs() < 1e-12);
+        // every expansion keeps the original query term
+        assert!(expanded
+            .iter()
+            .all(|e| e.terms.contains(&"java".to_string())));
+    }
+
+    #[test]
+    fn expansion_improves_f_over_original() {
+        let (docs, clusters) = java_docs();
+        for cluster in &clusters {
+            let base = f_measure(&retrieve(&docs, &["java".to_string()]), cluster);
+            let exp = expand_for_cluster(&docs, &["java"], cluster, 2);
+            assert!(exp.f_measure >= base);
+        }
+    }
+
+    #[test]
+    fn f_measure_basics() {
+        let cluster: HashSet<usize> = [0, 1].into();
+        assert_eq!(f_measure(&HashSet::from([0, 1]), &cluster), 1.0);
+        assert_eq!(f_measure(&HashSet::from([2]), &cluster), 0.0);
+        assert_eq!(f_measure(&HashSet::new(), &cluster), 0.0);
+        // half precision, full recall → F = 2/3... precision 2/4, recall 1
+        let f = f_measure(&HashSet::from([0, 1, 2, 3]), &cluster);
+        assert!((f - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_extra_terms_respected() {
+        let (docs, clusters) = java_docs();
+        let exp = expand_for_cluster(&docs, &["java"], &clusters[0], 1);
+        assert!(exp.terms.len() <= 2);
+    }
+
+    #[test]
+    fn greedy_stops_when_no_gain() {
+        let docs = vec![toks("a b"), toks("a b")];
+        let cluster: HashSet<usize> = [0, 1].into();
+        let exp = expand_for_cluster(&docs, &["a"], &cluster, 5);
+        // already perfect; nothing should be added
+        assert_eq!(exp.terms, vec!["a".to_string()]);
+        assert_eq!(exp.f_measure, 1.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Result analysis and exploration (tutorial slides 75–93, 143–167).
+//!
+//! Half the tutorial is about what happens *after* results exist:
+//! exploratory searches return many relevant results, and the user needs
+//! machinery to compare, group, summarize and refine. One module per
+//! technique family:
+//!
+//! * [`diff`] — result differentiation: DoD-maximizing comparison tables
+//!   with weak/strong local optimality (Liu, Sun & Chen, VLDB 09;
+//!   slides 149–153);
+//! * [`cluster`] — XBridge root-context clusters with top-R ranking
+//!   (Li et al., EDBT 10; slides 156–157) and describable clustering by
+//!   keyword roles (Liu & Chen, TODS 10; slides 161–162);
+//! * [`facets`] — faceted navigation trees minimizing expected navigation
+//!   cost under two user models: the log-driven model (Chakrabarti et al.
+//!   04; slides 86–91) and FACeTOR's interestingness + SHOWMORE model
+//!   (Kashyap et al., CIKM 10; slides 92–93);
+//! * [`clouds`] — data clouds: suggesting expansion terms from results by
+//!   popularity vs relevance (Koutrika et al., EDBT 09; slides 76–78),
+//!   including frequent co-occurring terms without full materialization
+//!   (Tao & Yu, EDBT 09);
+//! * [`expand`] — cluster-describing query expansion maximizing F-measure
+//!   (slides 80–82; APX-hard, greedy here);
+//! * [`tableagg`] — aggregate keyword queries with minimal group-bys
+//!   (Zhou & Pei, EDBT 09; slides 16, 164–165);
+//! * [`textcube`] — TopCells keyword search in text cubes
+//!   (Ding et al., ICDE 10; slides 166–167).
+
+pub mod clouds;
+pub mod cluster;
+pub mod diff;
+pub mod expand;
+pub mod facets;
+pub mod tableagg;
+pub mod textcube;
+
+pub use diff::{differentiate, ComparisonTable, Feature};

@@ -1,0 +1,242 @@
+//! Aggregate keyword queries over tables with minimal group-bys
+//! (Zhou & Pei, EDBT 09) — tutorial slides 16 and 164–165.
+//!
+//! "When and where can I experience pool, motorcycle and American food
+//! together?" No single row covers all keywords; the answer is a *group* of
+//! rows sharing interesting attribute values whose union covers the query:
+//! `{month=December, state=Texas}` and `{state=Michigan}` in the slide's
+//! events table. Groups are defined by a subset of the user's interesting
+//! attributes; *minimal* group-bys prefer the most specific qualifying
+//! groups (no qualifying group with strictly more shared attributes and a
+//! subset of rows).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A table of rows: interesting attribute values + a free-text document.
+#[derive(Debug, Clone)]
+pub struct AggTable {
+    pub attributes: Vec<String>,
+    /// Per row: attribute values aligned with `attributes`.
+    pub values: Vec<Vec<String>>,
+    /// Per row: tokenized text (the searchable description etc.).
+    pub text: Vec<Vec<String>>,
+}
+
+/// One qualifying cluster: shared attribute values (None = `*`) plus member
+/// rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggCluster {
+    /// `shared[i]` is `Some(v)` when all members agree on attribute `i`.
+    pub shared: Vec<Option<String>>,
+    pub rows: Vec<usize>,
+}
+
+impl AggCluster {
+    /// Render like the slide: `December Texas` / `* Michigan`.
+    pub fn display(&self) -> String {
+        self.shared
+            .iter()
+            .map(|v| v.as_deref().unwrap_or("*").to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    fn specificity(&self) -> usize {
+        self.shared.iter().filter(|v| v.is_some()).count()
+    }
+}
+
+/// Does a phrase (token sequence) occur in a token list?
+fn contains_phrase(tokens: &[String], phrase: &[String]) -> bool {
+    !phrase.is_empty() && tokens.windows(phrase.len()).any(|w| w == phrase)
+}
+
+/// Find qualifying clusters for `phrases` (each a keyword or multi-token
+/// phrase): for every subset of interesting attributes, group rows by those
+/// attributes and keep groups whose rows jointly cover every phrase.
+/// Dominated clusters (same rows, fewer shared attributes) are dropped,
+/// then clusters are ordered most-specific first.
+pub fn aggregate_search(table: &AggTable, phrases: &[Vec<String>]) -> Vec<AggCluster> {
+    let n_attrs = table.attributes.len();
+    assert!(
+        n_attrs <= 16,
+        "attribute subsets are enumerated exhaustively"
+    );
+    // rows matching each phrase
+    let phrase_rows: Vec<BTreeSet<usize>> = phrases
+        .iter()
+        .map(|p| {
+            table
+                .text
+                .iter()
+                .enumerate()
+                .filter(|(_, toks)| contains_phrase(toks, p))
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+    if phrase_rows.iter().any(|s| s.is_empty()) {
+        return Vec::new();
+    }
+    let candidate_rows: BTreeSet<usize> = phrase_rows.iter().flatten().copied().collect();
+
+    let mut clusters: Vec<AggCluster> = Vec::new();
+    for mask in 0u32..(1 << n_attrs) {
+        let attrs: Vec<usize> = (0..n_attrs).filter(|&a| mask & (1 << a) != 0).collect();
+        // group candidate rows by the chosen attributes
+        let mut groups: BTreeMap<Vec<&str>, Vec<usize>> = BTreeMap::new();
+        for &r in &candidate_rows {
+            let key: Vec<&str> = attrs.iter().map(|&a| table.values[r][a].as_str()).collect();
+            groups.entry(key).or_default().push(r);
+        }
+        for (key, rows) in groups {
+            // the group must cover every phrase
+            let covers = phrase_rows
+                .iter()
+                .all(|pr| rows.iter().any(|r| pr.contains(r)));
+            if !covers {
+                continue;
+            }
+            // keep only rows contributing some phrase
+            let rows: Vec<usize> = rows
+                .into_iter()
+                .filter(|r| phrase_rows.iter().any(|pr| pr.contains(r)))
+                .collect();
+            let mut shared: Vec<Option<String>> = vec![None; n_attrs];
+            for (i, &a) in attrs.iter().enumerate() {
+                shared[a] = Some(key[i].to_string());
+            }
+            clusters.push(AggCluster { shared, rows });
+        }
+    }
+    // minimality (Zhou & Pei's minimal group-bys): drop a cluster when its
+    // rows are covered by strictly more specific qualifying refinements —
+    // e.g. {*, *} is redundant once {dec, tx} and {*, mi} qualify.
+    clusters.sort_by_key(|c| std::cmp::Reverse(c.specificity()));
+    let mut kept: Vec<AggCluster> = Vec::new();
+    for c in clusters {
+        let covered: BTreeSet<usize> = kept
+            .iter()
+            .filter(|k| {
+                k.specificity() > c.specificity()
+                    && k.shared
+                        .iter()
+                        .zip(&c.shared)
+                        .all(|(kv, cv)| cv.is_none() || kv == cv)
+            })
+            .flat_map(|k| k.rows.iter().copied())
+            .collect();
+        if !c.rows.iter().all(|r| covered.contains(r)) {
+            kept.push(c);
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        kwdb_common::text::tokenize(s)
+    }
+
+    /// The slide-16/165 events table.
+    fn events() -> AggTable {
+        let rows: Vec<(&str, &str, &str, &str)> = vec![
+            ("dec", "tx", "houston", "US Open Pool Best of 19 ranking"),
+            ("dec", "tx", "dallas", "Cowboy dream run motorcycle beer"),
+            (
+                "dec",
+                "tx",
+                "austin",
+                "SPAM museum party classical american food",
+            ),
+            (
+                "oct",
+                "mi",
+                "detroit",
+                "Motorcycle rallies tournament round robin",
+            ),
+            ("oct", "mi", "flint", "Michigan pool exhibition non-ranking"),
+            (
+                "sep",
+                "mi",
+                "lansing",
+                "American food history best food from usa",
+            ),
+        ];
+        AggTable {
+            attributes: vec!["month".into(), "state".into()],
+            values: rows
+                .iter()
+                .map(|(m, s, _, _)| vec![m.to_string(), s.to_string()])
+                .collect(),
+            text: rows.iter().map(|(_, _, _, d)| toks(d)).collect(),
+        }
+    }
+
+    fn query() -> Vec<Vec<String>> {
+        vec![toks("motorcycle"), toks("pool"), toks("american food")]
+    }
+
+    #[test]
+    fn slide165_december_texas_and_michigan() {
+        let clusters = aggregate_search(&events(), &query());
+        let rendered: Vec<String> = clusters.iter().map(|c| c.display()).collect();
+        assert!(rendered.contains(&"dec tx".to_string()), "{rendered:?}");
+        assert!(rendered.contains(&"* mi".to_string()), "{rendered:?}");
+    }
+
+    #[test]
+    fn texas_cluster_has_three_events() {
+        let clusters = aggregate_search(&events(), &query());
+        let tx = clusters.iter().find(|c| c.display() == "dec tx").unwrap();
+        assert_eq!(tx.rows, vec![0, 1, 2]);
+        let mi = clusters.iter().find(|c| c.display() == "* mi").unwrap();
+        assert_eq!(mi.rows, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn phrases_match_as_sequences() {
+        let t = events();
+        // "food american" (wrong order) must not match anything
+        let none = aggregate_search(&t, &[toks("food american")]);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn unmatched_phrase_gives_no_clusters() {
+        let clusters = aggregate_search(&events(), &[toks("opera")]);
+        assert!(clusters.is_empty());
+    }
+
+    #[test]
+    fn all_star_cluster_suppressed_by_refinements() {
+        // {dec, tx} and {*, mi} jointly cover every qualifying row, so the
+        // trivial {*, *} group must not be reported (slide 165's output has
+        // exactly two clusters).
+        let clusters = aggregate_search(&events(), &query());
+        assert!(
+            clusters.iter().all(|c| c.display() != "* *"),
+            "{clusters:?}"
+        );
+        assert_eq!(clusters.len(), 2, "{clusters:?}");
+    }
+
+    #[test]
+    fn specific_clusters_dominate_star_duplicates() {
+        let clusters = aggregate_search(&events(), &query());
+        // {dec, tx} and the fully-star cluster over the same rows must not
+        // coexist with identical row sets
+        let tx_rows = clusters
+            .iter()
+            .find(|c| c.display() == "dec tx")
+            .unwrap()
+            .rows
+            .clone();
+        assert!(!clusters
+            .iter()
+            .any(|c| c.rows == tx_rows && c.display() == "* *"));
+    }
+}

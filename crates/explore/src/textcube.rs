@@ -1,0 +1,197 @@
+//! TopCells: keyword search in text cubes (Ding, Zhao, Lin, Han & Zhai,
+//! ICDE 10) — tutorial slides 166–167.
+//!
+//! A text cube extends a data cube with a document per row: each **cell**
+//! fixes some dimension values (`{Brand:Acer, Model:AOA110, *, *}`) and
+//! aggregates the documents of matching rows. For a keyword query, TopCells
+//! returns the cells with the highest *average document relevance*, subject
+//! to a minimum support (number of matching documents) — shoppers see the
+//! common feature combinations of relevant products, not just individual
+//! rows.
+
+use kwdb_rank::{CorpusStats, TfIdf};
+use std::collections::BTreeMap;
+
+/// The cube: dimension names, per-row dimension values, per-row documents.
+#[derive(Debug, Clone)]
+pub struct TextCube {
+    pub dimensions: Vec<String>,
+    pub values: Vec<Vec<String>>,
+    pub docs: Vec<Vec<String>>,
+}
+
+/// A scored cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// `coords[i]` fixes dimension `i` (`None` = `*`).
+    pub coords: Vec<Option<String>>,
+    /// Rows matching the cell whose documents contain all keywords.
+    pub support: usize,
+    /// Average relevance of the supporting documents.
+    pub score: f64,
+}
+
+impl Cell {
+    pub fn display(&self) -> String {
+        self.coords
+            .iter()
+            .map(|c| c.as_deref().unwrap_or("*").to_string())
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+}
+
+/// Top-k cells for `keywords` with support ≥ `min_support`.
+pub fn top_cells<S: AsRef<str>>(
+    cube: &TextCube,
+    keywords: &[S],
+    min_support: usize,
+    k: usize,
+) -> Vec<Cell> {
+    let d = cube.dimensions.len();
+    assert!(d <= 16, "dimension subsets are enumerated exhaustively");
+    let mut stats = CorpusStats::new();
+    for doc in &cube.docs {
+        stats.add_doc(doc);
+    }
+    let scorer = TfIdf::new(&stats);
+    // rows whose documents contain all keywords, with their relevance
+    let matching: Vec<(usize, f64)> = cube
+        .docs
+        .iter()
+        .enumerate()
+        .filter(|(_, doc)| {
+            keywords
+                .iter()
+                .all(|kw| doc.iter().any(|t| t == kw.as_ref()))
+        })
+        .map(|(i, doc)| (i, scorer.score(keywords, doc)))
+        .collect();
+    if matching.is_empty() {
+        return Vec::new();
+    }
+    let mut cells: Vec<Cell> = Vec::new();
+    for mask in 0u32..(1 << d) {
+        let dims: Vec<usize> = (0..d).filter(|&i| mask & (1 << i) != 0).collect();
+        let mut groups: BTreeMap<Vec<&str>, Vec<f64>> = BTreeMap::new();
+        for &(row, score) in &matching {
+            let key: Vec<&str> = dims.iter().map(|&i| cube.values[row][i].as_str()).collect();
+            groups.entry(key).or_default().push(score);
+        }
+        for (key, scores) in groups {
+            if scores.len() < min_support {
+                continue;
+            }
+            let mut coords: Vec<Option<String>> = vec![None; d];
+            for (i, &dim) in dims.iter().enumerate() {
+                coords[dim] = Some(key[i].to_string());
+            }
+            cells.push(Cell {
+                coords,
+                support: scores.len(),
+                score: scores.iter().sum::<f64>() / scores.len() as f64,
+            });
+        }
+    }
+    cells.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap()
+            .then(b.support.cmp(&a.support))
+            .then(a.coords.cmp(&b.coords))
+    });
+    cells.truncate(k);
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        kwdb_common::text::tokenize(s)
+    }
+
+    /// The slide-166 laptop cube.
+    fn laptops() -> TextCube {
+        TextCube {
+            dimensions: vec!["brand".into(), "model".into(), "cpu".into(), "os".into()],
+            values: vec![
+                vec![
+                    "acer".into(),
+                    "aoa110".into(),
+                    "1.6ghz".into(),
+                    "win7".into(),
+                ],
+                vec![
+                    "acer".into(),
+                    "aoa110".into(),
+                    "1.7ghz".into(),
+                    "win7".into(),
+                ],
+                vec![
+                    "asus".into(),
+                    "eeepc".into(),
+                    "1.7ghz".into(),
+                    "vista".into(),
+                ],
+            ],
+            docs: vec![
+                toks("lightweight powerful laptop"),
+                toks("powerful processor laptop"),
+                toks("large disk powerful laptop"),
+            ],
+        }
+    }
+
+    #[test]
+    fn slide166_cells_found() {
+        let cube = laptops();
+        let cells = top_cells(&cube, &["powerful", "laptop"], 2, 20);
+        let rendered: Vec<String> = cells.iter().map(|c| c.display()).collect();
+        // {Acer, AOA110, *, *} support 2 and {*, *, 1.7GHz, *} support 2
+        assert!(
+            rendered.contains(&"acer | aoa110 | * | *".to_string()),
+            "{rendered:?}"
+        );
+        assert!(
+            rendered.contains(&"* | * | 1.7ghz | *".to_string()),
+            "{rendered:?}"
+        );
+        assert!(cells.iter().all(|c| c.support >= 2));
+    }
+
+    #[test]
+    fn min_support_filters_small_cells() {
+        let cube = laptops();
+        let strict = top_cells(&cube, &["powerful", "laptop"], 3, 50);
+        // only cells covering all three rows qualify (e.g. the all-star cell)
+        assert!(strict.iter().all(|c| c.support == 3));
+        assert!(strict.iter().any(|c| c.display() == "* | * | * | *"));
+    }
+
+    #[test]
+    fn scores_are_average_relevance() {
+        let cube = laptops();
+        let cells = top_cells(&cube, &["powerful"], 1, 100);
+        assert!(cells.windows(2).all(|w| w[0].score >= w[1].score));
+        assert!(cells.iter().all(|c| c.score > 0.0));
+    }
+
+    #[test]
+    fn unmatched_keywords_give_no_cells() {
+        let cube = laptops();
+        assert!(top_cells(&cube, &["tablet"], 1, 5).is_empty());
+    }
+
+    #[test]
+    fn keyword_restriction_changes_support() {
+        let cube = laptops();
+        let cells = top_cells(&cube, &["lightweight"], 1, 100);
+        // only row 0 matches → every cell has support 1 and fixes row-0 values
+        assert!(cells.iter().all(|c| c.support == 1));
+        assert!(cells
+            .iter()
+            .any(|c| c.display() == "acer | aoa110 | 1.6ghz | win7"));
+    }
+}

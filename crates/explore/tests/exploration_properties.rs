@@ -1,0 +1,113 @@
+//! Property tests for the exploration algorithms.
+
+use kwdb_explore::diff::{brute_force, differentiate, Feature};
+use kwdb_explore::expand::f_measure;
+use kwdb_explore::facets::{build_greedy, FacetTable, LogModel, NavNode};
+use kwdb_explore::tableagg::{aggregate_search, AggTable};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Greedy differentiation never loses to brute force on tiny inputs
+    /// (weak local optimality happens to reach the optimum there), and the
+    /// budget is always respected.
+    #[test]
+    fn differentiation_budget_and_quality(
+        r1 in proptest::collection::vec((0u8..3, 0u8..4), 1..4),
+        r2 in proptest::collection::vec((0u8..3, 0u8..4), 1..4),
+        budget in 1usize..3,
+    ) {
+        let to_features = |v: &[(u8, u8)]| -> Vec<Feature> {
+            let mut fs: Vec<Feature> = v
+                .iter()
+                .map(|&(t, val)| Feature::new(&format!("t{t}"), &format!("v{val}")))
+                .collect();
+            fs.dedup();
+            fs
+        };
+        let results = vec![to_features(&r1), to_features(&r2)];
+        let greedy = differentiate(&results, budget);
+        prop_assert!(greedy.selections.iter().all(|s| s.len() <= budget));
+        let opt = brute_force(&results, budget);
+        prop_assert!(greedy.dod <= opt.dod);
+        // every selected feature belongs to its result
+        for (sel, r) in greedy.selections.iter().zip(&results) {
+            for f in sel {
+                prop_assert!(r.contains(f));
+            }
+        }
+    }
+
+    /// F-measure is symmetric-bounded and perfect only on exact retrieval.
+    #[test]
+    fn f_measure_properties(
+        retrieved in proptest::collection::hash_set(0usize..10, 0..8),
+        cluster in proptest::collection::hash_set(0usize..10, 1..8),
+    ) {
+        let f = f_measure(&retrieved, &cluster);
+        prop_assert!((0.0..=1.0).contains(&f));
+        if f == 1.0 {
+            prop_assert_eq!(&retrieved, &cluster);
+        }
+        if retrieved == cluster {
+            prop_assert_eq!(f, 1.0);
+        }
+    }
+
+    /// Every aggregate cluster really covers every phrase, and specific
+    /// clusters never coexist with identical star-duplicates.
+    #[test]
+    fn aggregate_clusters_cover(
+        months in proptest::collection::vec(0u8..3, 2..8),
+        texts in proptest::collection::vec(0u8..4, 2..8),
+    ) {
+        let n = months.len().min(texts.len());
+        let vocab = ["pool", "motorcycle", "food", "pool motorcycle"];
+        let table = AggTable {
+            attributes: vec!["month".into()],
+            values: (0..n).map(|i| vec![format!("m{}", months[i])]).collect(),
+            text: (0..n)
+                .map(|i| kwdb_common::text::tokenize(vocab[texts[i] as usize]))
+                .collect(),
+        };
+        let phrases = vec![vec!["pool".to_string()], vec!["motorcycle".to_string()]];
+        let clusters = aggregate_search(&table, &phrases);
+        for c in &clusters {
+            for p in &phrases {
+                let covered = c.rows.iter().any(|&r| {
+                    table.text[r].windows(p.len()).any(|w| w == p.as_slice())
+                });
+                prop_assert!(covered, "cluster {c:?} misses phrase {p:?}");
+            }
+        }
+        // no two clusters with identical rows
+        let sigs: Vec<&Vec<usize>> = clusters.iter().map(|c| &c.rows).collect();
+        let uniq: HashSet<_> = sigs.iter().collect();
+        prop_assert_eq!(uniq.len(), sigs.len());
+    }
+
+    /// The greedy navigation tree never costs more than the flat list.
+    #[test]
+    fn greedy_tree_never_worse_than_flat(
+        rows in proptest::collection::vec((0u8..3, 0u8..3), 1..20),
+        log_attr in proptest::collection::vec(0u8..2, 0..6),
+    ) {
+        let table = FacetTable::new(
+            vec!["a".into(), "b".into()],
+            rows.iter()
+                .map(|&(x, y)| vec![format!("x{x}"), format!("y{y}")])
+                .collect(),
+        );
+        let log: Vec<Vec<(String, String)>> = log_attr
+            .iter()
+            .map(|&a| vec![(if a == 0 { "a" } else { "b" }.to_string(), "x0".to_string())])
+            .collect();
+        let model = LogModel::new(&log);
+        let all: Vec<usize> = (0..rows.len()).collect();
+        let flat = NavNode::Leaf { rows: all.clone() };
+        let greedy = build_greedy(&table, &model, all, 2);
+        prop_assert!(greedy.expected_cost(&model) <= flat.expected_cost(&model) + 1e-9);
+    }
+}

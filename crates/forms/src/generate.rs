@@ -1,0 +1,310 @@
+//! Offline form generation (Chu et al., SIGMOD 09, offline phase;
+//! Jayapandian & Jagadish, PVLDB 08) — tutorial slides 55–56, 59–63.
+//!
+//! 1. enumerate *skeleton templates*: connected subtrees of the schema
+//!    graph up to a size bound (the joins of the eventual SQL);
+//! 2. rank skeletons by the queriability of their tables;
+//! 3. fill each skeleton with predicate attributes (selection-queriable)
+//!    and output attributes (projection-queriable).
+
+use crate::queriability::{entity_queriability, operator_queriability, Operator};
+use kwdb_relational::{Database, TableId};
+use std::collections::BTreeSet;
+
+/// A query form: an incomplete SQL query over a join skeleton.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Form {
+    /// Joined tables (the skeleton), sorted.
+    pub tables: Vec<TableId>,
+    /// `(table, column)` pairs the user fills with `op expr`.
+    pub predicates: Vec<(TableId, usize)>,
+    /// `(table, column)` pairs projected in the output.
+    pub outputs: Vec<(TableId, usize)>,
+    /// Combined queriability score.
+    pub score: f64,
+}
+
+impl Form {
+    /// The skeleton identity (for grouping): the sorted table multiset.
+    pub fn skeleton_key(&self) -> Vec<TableId> {
+        self.tables.clone()
+    }
+
+    /// Render as an incomplete SQL string.
+    pub fn display(&self, db: &Database) -> String {
+        let tables: Vec<&str> = self
+            .tables
+            .iter()
+            .map(|&t| db.table(t).schema.name.as_str())
+            .collect();
+        let preds: Vec<String> = self
+            .predicates
+            .iter()
+            .map(|&(t, c)| {
+                format!(
+                    "{}.{} op expr",
+                    db.table(t).schema.name,
+                    db.table(t).schema.columns[c].name
+                )
+            })
+            .collect();
+        let outs: Vec<String> = self
+            .outputs
+            .iter()
+            .map(|&(t, c)| {
+                format!(
+                    "{}.{}",
+                    db.table(t).schema.name,
+                    db.table(t).schema.columns[c].name
+                )
+            })
+            .collect();
+        format!(
+            "SELECT {} FROM {} WHERE {}",
+            if outs.is_empty() {
+                "*".to_string()
+            } else {
+                outs.join(", ")
+            },
+            tables.join(", "),
+            preds.join(" AND ")
+        )
+    }
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FormGenConfig {
+    /// Maximum tables per skeleton.
+    pub max_tables: usize,
+    /// Maximum predicate attributes per form.
+    pub max_predicates: usize,
+    /// Maximum output attributes per form.
+    pub max_outputs: usize,
+    /// Number of forms to keep.
+    pub max_forms: usize,
+}
+
+impl Default for FormGenConfig {
+    fn default() -> Self {
+        FormGenConfig {
+            max_tables: 3,
+            max_predicates: 2,
+            max_outputs: 3,
+            max_forms: 50,
+        }
+    }
+}
+
+/// The offline form generator.
+#[derive(Debug)]
+pub struct FormGenerator<'a> {
+    db: &'a Database,
+    cfg: FormGenConfig,
+}
+
+impl<'a> FormGenerator<'a> {
+    pub fn new(db: &'a Database, cfg: FormGenConfig) -> Self {
+        FormGenerator { db, cfg }
+    }
+
+    /// Generate ranked forms.
+    pub fn generate(&self) -> Vec<Form> {
+        let eq = entity_queriability(self.db);
+        // skeletons: connected table sets up to max_tables, via BFS growth
+        let mut skeletons: BTreeSet<Vec<TableId>> = BTreeSet::new();
+        for t in self.db.tables() {
+            grow(self.db, vec![t.id], &mut skeletons, self.cfg.max_tables);
+        }
+        let mut forms: Vec<Form> = skeletons
+            .into_iter()
+            .map(|tables| self.fill(tables, &eq))
+            .collect();
+        forms.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap()
+                .then(a.tables.cmp(&b.tables))
+        });
+        forms.truncate(self.cfg.max_forms);
+        forms
+    }
+
+    /// Pick predicate and output attributes for a skeleton.
+    fn fill(&self, tables: Vec<TableId>, eq: &std::collections::HashMap<TableId, f64>) -> Form {
+        let mut preds: Vec<(f64, TableId, usize)> = Vec::new();
+        let mut outs: Vec<(f64, TableId, usize)> = Vec::new();
+        for &t in &tables {
+            let schema = &self.db.table(t).schema;
+            for c in 0..schema.arity() {
+                // skip key columns for predicates/outputs: users type values,
+                // not surrogate ids
+                if Some(c) == schema.primary_key
+                    || schema.foreign_keys.iter().any(|fk| fk.column == c)
+                {
+                    continue;
+                }
+                let s = operator_queriability(self.db, t, c, Operator::Selection);
+                if s > 0.0 {
+                    preds.push((s, t, c));
+                }
+                let p = operator_queriability(self.db, t, c, Operator::Projection);
+                if p > 0.0 {
+                    outs.push((p, t, c));
+                }
+            }
+        }
+        preds.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap()
+                .then((a.1, a.2).cmp(&(b.1, b.2)))
+        });
+        outs.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap()
+                .then((a.1, a.2).cmp(&(b.1, b.2)))
+        });
+        let entity_score: f64 = tables
+            .iter()
+            .map(|t| eq.get(t).copied().unwrap_or(0.0))
+            .sum();
+        let attr_score: f64 = preds
+            .iter()
+            .take(self.cfg.max_predicates)
+            .map(|p| p.0)
+            .sum();
+        Form {
+            score: entity_score * (1.0 + attr_score) / tables.len() as f64,
+            predicates: preds
+                .into_iter()
+                .take(self.cfg.max_predicates)
+                .map(|(_, t, c)| (t, c))
+                .collect(),
+            outputs: outs
+                .into_iter()
+                .take(self.cfg.max_outputs)
+                .map(|(_, t, c)| (t, c))
+                .collect(),
+            tables,
+        }
+    }
+}
+
+/// Grow connected table sets (skeletons are sets: join paths are implied by
+/// the schema graph).
+fn grow(db: &Database, current: Vec<TableId>, out: &mut BTreeSet<Vec<TableId>>, max: usize) {
+    let mut key = current.clone();
+    key.sort();
+    if !out.insert(key) {
+        return;
+    }
+    if current.len() >= max {
+        return;
+    }
+    for &t in &current {
+        for (_, nbr) in db.schema_graph().neighbors(t) {
+            if !current.contains(&nbr) {
+                let mut next = current.clone();
+                next.push(nbr);
+                grow(db, next, out, max);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwdb_relational::database::dblp_schema;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        dblp_schema(&mut db).unwrap();
+        db.insert("conference", vec![1.into(), "SIGMOD".into(), 2007.into()])
+            .unwrap();
+        for aid in 1..=3 {
+            db.insert("author", vec![aid.into(), format!("author {aid}").into()])
+                .unwrap();
+        }
+        for pid in 1..=4 {
+            db.insert(
+                "paper",
+                vec![
+                    pid.into(),
+                    format!("interesting paper about topic {pid}").into(),
+                    1.into(),
+                ],
+            )
+            .unwrap();
+        }
+        db.insert("write", vec![1.into(), 1.into(), 1.into()])
+            .unwrap();
+        db.insert("write", vec![2.into(), 2.into(), 2.into()])
+            .unwrap();
+        db.build_text_index();
+        db
+    }
+
+    #[test]
+    fn generates_connected_ranked_forms() {
+        let db = db();
+        let generator = FormGenerator::new(&db, FormGenConfig::default());
+        let forms = generator.generate();
+        assert!(!forms.is_empty());
+        assert!(forms.windows(2).all(|w| w[0].score >= w[1].score));
+        // the author–write–paper skeleton must be present
+        let a = db.table_id("author").unwrap();
+        let w = db.table_id("write").unwrap();
+        let p = db.table_id("paper").unwrap();
+        let mut key = vec![a, w, p];
+        key.sort();
+        assert!(forms.iter().any(|f| f.skeleton_key() == key));
+    }
+
+    #[test]
+    fn predicates_exclude_key_columns() {
+        let db = db();
+        let generator = FormGenerator::new(&db, FormGenConfig::default());
+        for f in generator.generate() {
+            for &(t, c) in f.predicates.iter().chain(&f.outputs) {
+                let schema = &db.table(t).schema;
+                assert_ne!(Some(c), schema.primary_key);
+                assert!(!schema.foreign_keys.iter().any(|fk| fk.column == c));
+            }
+        }
+    }
+
+    #[test]
+    fn display_renders_incomplete_sql() {
+        let db = db();
+        let generator = FormGenerator::new(
+            &db,
+            FormGenConfig {
+                max_tables: 1,
+                ..Default::default()
+            },
+        );
+        let forms = generator.generate();
+        let author_form = forms
+            .iter()
+            .find(|f| f.tables.len() == 1 && db.table(f.tables[0]).schema.name == "author")
+            .expect("single-table author form");
+        let sql = author_form.display(&db);
+        assert!(sql.contains("FROM author"));
+        assert!(sql.contains("author.name op expr"));
+    }
+
+    #[test]
+    fn max_tables_bounds_skeletons() {
+        let db = db();
+        let generator = FormGenerator::new(
+            &db,
+            FormGenConfig {
+                max_tables: 2,
+                max_forms: 1000,
+                ..Default::default()
+            },
+        );
+        assert!(generator.generate().iter().all(|f| f.tables.len() <= 2));
+    }
+}

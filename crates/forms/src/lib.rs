@@ -1,0 +1,33 @@
+//! Query forms: structure from templates (tutorial slides 11, 40, 52–64).
+//!
+//! Forms resolve keyword ambiguity by letting users pick a structured
+//! template instead of inferring one. The pieces:
+//!
+//! * [`relatedness`] — generalized participation ratios between entity
+//!   types (Jayapandian & Jagadish, VLDB 08; slide 40);
+//! * [`queriability`] — how likely a table/attribute is to be queried:
+//!   PageRank-style navigation model over the schema graph, non-null
+//!   ratios, and operator-specific attribute scores (slides 60–63);
+//! * [`generate`] — offline form generation: skeleton templates (connected
+//!   schema subtrees) ranked by queriability, filled with predicate and
+//!   output attributes (Chu et al. SIGMOD 09, step 1–2; slide 56);
+//! * [`select`] — online keyword → form matching with IR ranking and
+//!   two-level grouping (Chu et al.; slides 57–58);
+//! * [`qunit`] — QUnits: materialized semantic units retrieved by keyword
+//!   (Nandi & Jagadish, CIDR 09; slides 26, 64);
+//! * [`precis`] — Précis: weighted-path bounded return expansion
+//!   (Koutrika et al., ICDE 06; slide 52);
+//! * [`iqp`] — SUITS/IQP keyword-binding interpretation: keyword queries
+//!   scored into structured queries via template priors and binding
+//!   probabilities (slides 44–46).
+
+pub mod generate;
+pub mod iqp;
+pub mod precis;
+pub mod queriability;
+pub mod qunit;
+pub mod relatedness;
+pub mod select;
+
+pub use generate::{Form, FormGenerator};
+pub use select::FormIndex;

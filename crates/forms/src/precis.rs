@@ -1,0 +1,141 @@
+//! Précis: fine-grained return expansion with weighted schema paths
+//! (Koutrika, Simitsis & Ioannidis, ICDE 06) — tutorial slide 52.
+//!
+//! When a result's anchor table is chosen, which related attributes join
+//! the answer? Précis walks the *weighted* schema graph from the anchor and
+//! keeps an attribute iff
+//!
+//! * the product of edge weights on its path ≥ a minimum-weight threshold,
+//!   and
+//! * the total kept attributes stay within a maximum count,
+//!
+//! both user/admin-specified. Slide 52's example: with threshold 0.4,
+//! `person → review → conference → sponsor` at `0.8·0.9·0.5 = 0.36` prunes
+//! `sponsor`.
+
+use std::collections::{BinaryHeap, HashMap};
+
+/// A weighted schema graph for Précis (node = table/attribute name; weights
+/// in `(0, 1]` express relationship importance).
+#[derive(Debug, Clone, Default)]
+pub struct WeightedSchema {
+    adj: HashMap<String, Vec<(String, f64)>>,
+}
+
+impl WeightedSchema {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an undirected weighted edge.
+    pub fn add_edge(&mut self, a: &str, b: &str, w: f64) {
+        assert!(w > 0.0 && w <= 1.0, "Précis weights lie in (0, 1]");
+        self.adj
+            .entry(a.to_string())
+            .or_default()
+            .push((b.to_string(), w));
+        self.adj
+            .entry(b.to_string())
+            .or_default()
+            .push((a.to_string(), w));
+    }
+
+    /// Best (maximum-product) path weight from `anchor` to every node —
+    /// a Dijkstra in the log domain.
+    pub fn path_weights(&self, anchor: &str) -> HashMap<String, f64> {
+        let mut best: HashMap<String, f64> = HashMap::new();
+        let mut heap: BinaryHeap<(kwdb_common::Score, String)> = BinaryHeap::new();
+        best.insert(anchor.to_string(), 1.0);
+        heap.push((kwdb_common::Score(1.0), anchor.to_string()));
+        while let Some((kwdb_common::Score(w), node)) = heap.pop() {
+            if best.get(&node).is_some_and(|&b| w < b) {
+                continue;
+            }
+            for (nbr, ew) in self.adj.get(&node).into_iter().flatten() {
+                let nw = w * ew;
+                if best.get(nbr).is_none_or(|&b| nw > b) {
+                    best.insert(nbr.clone(), nw);
+                    heap.push((kwdb_common::Score(nw), nbr.clone()));
+                }
+            }
+        }
+        best
+    }
+
+    /// The Précis expansion: nodes whose best path weight ≥ `min_weight`,
+    /// strongest first, at most `max_nodes` (anchor excluded from the count).
+    pub fn expand(&self, anchor: &str, min_weight: f64, max_nodes: usize) -> Vec<(String, f64)> {
+        let weights = self.path_weights(anchor);
+        let mut out: Vec<(String, f64)> = weights
+            .into_iter()
+            .filter(|(n, w)| n != anchor && *w >= min_weight)
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out.truncate(max_nodes);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The slide-52 schema: person —1.0— name; person —0.8— review —0.9—
+    /// conference —0.5— sponsor; conference —1.0— year, pname.
+    fn schema() -> WeightedSchema {
+        let mut s = WeightedSchema::new();
+        s.add_edge("person", "name", 1.0);
+        s.add_edge("person", "review", 0.8);
+        s.add_edge("review", "conference", 0.9);
+        s.add_edge("conference", "sponsor", 0.5);
+        s.add_edge("conference", "year", 1.0);
+        s.add_edge("conference", "pname", 1.0);
+        s
+    }
+
+    #[test]
+    fn slide52_sponsor_pruned_at_threshold_04() {
+        let s = schema();
+        let w = s.path_weights("person");
+        assert!((w["sponsor"] - 0.36).abs() < 1e-12, "0.8·0.9·0.5 = 0.36");
+        let kept = s.expand("person", 0.4, 10);
+        assert!(kept.iter().all(|(n, _)| n != "sponsor"));
+        assert!(kept.iter().any(|(n, _)| n == "conference")); // 0.72 ≥ 0.4
+        assert!(kept.iter().any(|(n, _)| n == "year")); // 0.72·1.0
+    }
+
+    #[test]
+    fn lower_threshold_admits_sponsor() {
+        let s = schema();
+        let kept = s.expand("person", 0.3, 10);
+        assert!(kept.iter().any(|(n, _)| n == "sponsor"));
+    }
+
+    #[test]
+    fn max_nodes_caps_expansion() {
+        let s = schema();
+        let kept = s.expand("person", 0.0, 2);
+        assert_eq!(kept.len(), 2);
+        // strongest first: name (1.0) then review (0.8)
+        assert_eq!(kept[0].0, "name");
+        assert_eq!(kept[1].0, "review");
+    }
+
+    #[test]
+    fn best_path_is_max_product() {
+        let mut s = WeightedSchema::new();
+        s.add_edge("a", "b", 0.5);
+        s.add_edge("b", "c", 0.5);
+        s.add_edge("a", "c", 0.3);
+        let w = s.path_weights("a");
+        // direct 0.3 beats 0.25 via b
+        assert!((w["c"] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1]")]
+    fn invalid_weight_rejected() {
+        let mut s = WeightedSchema::new();
+        s.add_edge("a", "b", 1.5);
+    }
+}

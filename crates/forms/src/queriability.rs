@@ -1,0 +1,219 @@
+//! Queriability: which schema elements will users ask about?
+//! (Jayapandian & Jagadish, PVLDB 08) — tutorial slides 60–63.
+//!
+//! * **Entity queriability** — adapt PageRank to data navigation over the
+//!   schema graph, spreading weight along FK edges proportionally to their
+//!   instance fan-out (slide 60's `inproceedings → author` example);
+//! * **Attribute queriability** — the non-null occurrence ratio of the
+//!   attribute among its parent's instances (slide 62);
+//! * **Operator-specific queriability** (slide 63) — highly selective
+//!   attributes suit selections, text attributes projections, single-valued
+//!   mandatory attributes order-by, numeric attributes aggregation.
+
+use kwdb_common::value::ValueType;
+use kwdb_rank::pagerank::{PageRank, PageRankConfig};
+use kwdb_relational::{Database, TableId};
+use std::collections::HashMap;
+
+/// Entity (table) queriability via fan-out-weighted PageRank.
+pub fn entity_queriability(db: &Database) -> HashMap<TableId, f64> {
+    let n = db.table_count();
+    let mut pr = PageRank::new(n);
+    for e in db.schema_graph().edges() {
+        // instance fan-out of the edge: avg referencing rows per referenced
+        let from_rows = db.table(e.from).len().max(1) as f64;
+        let to_rows = db.table(e.to).len().max(1) as f64;
+        let fanout = from_rows / to_rows;
+        // navigation flows both ways; weight each direction by how many
+        // instances a step reaches on average
+        pr.add_edge(e.from.0 as usize, e.to.0 as usize, 1.0, fanout);
+    }
+    let ranks = pr.run(&PageRankConfig::default());
+    ranks
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| (TableId(i as u32), r))
+        .collect()
+}
+
+/// Attribute queriability: non-null ratio (slide 62).
+pub fn attribute_queriability(db: &Database, table: TableId, col: usize) -> f64 {
+    let t = db.table(table);
+    if t.is_empty() {
+        return 0.0;
+    }
+    let non_null = t.iter().filter(|(_, row)| !row[col].is_null()).count();
+    non_null as f64 / t.len() as f64
+}
+
+/// The operators a form can use an attribute for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operator {
+    Selection,
+    Projection,
+    OrderBy,
+    Aggregation,
+}
+
+/// Operator-specific queriability (slide 63's rules, made quantitative).
+pub fn operator_queriability(db: &Database, table: TableId, col: usize, op: Operator) -> f64 {
+    let t = db.table(table);
+    if t.is_empty() {
+        return 0.0;
+    }
+    let base = attribute_queriability(db, table, col);
+    let ty = t.schema.columns[col].ty;
+    match op {
+        Operator::Selection => {
+            // selectivity: distinct values / rows — names are selective,
+            // flags are not
+            let distinct: std::collections::HashSet<&kwdb_common::Value> =
+                t.iter().map(|(r, _)| t.get(r, col)).collect();
+            base * distinct.len() as f64 / t.len() as f64
+        }
+        Operator::Projection => {
+            // informative text: average token count of text values
+            if ty != ValueType::Text {
+                return 0.0;
+            }
+            let (mut toks, mut vals) = (0usize, 0usize);
+            for (_, row) in t.iter() {
+                if let Some(s) = row[col].as_text() {
+                    toks += kwdb_common::text::tokenize(s).len();
+                    vals += 1;
+                }
+            }
+            if vals == 0 {
+                0.0
+            } else {
+                base * (toks as f64 / vals as f64).min(10.0) / 10.0
+            }
+        }
+        Operator::OrderBy => {
+            // single-valued and mandatory: non-null ratio is the signal; only
+            // ordered types qualify
+            if matches!(ty, ValueType::Int | ValueType::Float | ValueType::Text) {
+                base
+            } else {
+                0.0
+            }
+        }
+        Operator::Aggregation => {
+            if matches!(ty, ValueType::Int | ValueType::Float) {
+                base
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwdb_relational::database::dblp_schema;
+    use kwdb_relational::{ColumnType, TableBuilder};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        dblp_schema(&mut db).unwrap();
+        db.insert("conference", vec![1.into(), "SIGMOD".into(), 2007.into()])
+            .unwrap();
+        for aid in 1..=4 {
+            db.insert(
+                "author",
+                vec![aid.into(), format!("author number {aid}").into()],
+            )
+            .unwrap();
+        }
+        for pid in 1..=6 {
+            db.insert(
+                "paper",
+                vec![
+                    (pid + 100).into(),
+                    format!("a longer descriptive paper title number {pid}").into(),
+                    1.into(),
+                ],
+            )
+            .unwrap();
+        }
+        let mut wid = 0;
+        for pid in 1..=6 {
+            for aid in 1..=2 {
+                wid += 1;
+                db.insert("write", vec![wid.into(), aid.into(), (pid + 100).into()])
+                    .unwrap();
+            }
+        }
+        db.build_text_index();
+        db
+    }
+
+    #[test]
+    fn frequently_navigated_entities_rank_high() {
+        let db = db();
+        let q = entity_queriability(&db);
+        let paper = db.table_id("paper").unwrap();
+        let cite = db.table_id("cite").unwrap();
+        // papers are navigation hubs; the empty cite table is not
+        assert!(q[&paper] > q[&cite]);
+        let total: f64 = q.values().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_null_ratio() {
+        let mut db = Database::new();
+        db.create_table(
+            TableBuilder::new("t")
+                .column("a", ColumnType::Int)
+                .column("b", ColumnType::Text),
+        )
+        .unwrap();
+        db.insert("t", vec![1.into(), "x".into()]).unwrap();
+        db.insert("t", vec![2.into(), kwdb_common::Value::Null])
+            .unwrap();
+        let t = db.table_id("t").unwrap();
+        assert_eq!(attribute_queriability(&db, t, 0), 1.0);
+        assert_eq!(attribute_queriability(&db, t, 1), 0.5);
+    }
+
+    #[test]
+    fn selective_attribute_suits_selection() {
+        let db = db();
+        let author = db.table_id("author").unwrap();
+        // names are all distinct → high selection score
+        let sel = operator_queriability(&db, author, 1, Operator::Selection);
+        assert!(sel > 0.9);
+    }
+
+    #[test]
+    fn text_fields_suit_projection_numerics_aggregation() {
+        let db = db();
+        let paper = db.table_id("paper").unwrap();
+        let title_proj = operator_queriability(&db, paper, 1, Operator::Projection);
+        let pid_proj = operator_queriability(&db, paper, 0, Operator::Projection);
+        assert!(title_proj > 0.0);
+        assert_eq!(pid_proj, 0.0);
+        let conf = db.table_id("conference").unwrap();
+        let year_agg = operator_queriability(&db, conf, 2, Operator::Aggregation);
+        let name_agg = operator_queriability(&db, conf, 1, Operator::Aggregation);
+        assert!(year_agg > 0.0);
+        assert_eq!(name_agg, 0.0);
+    }
+
+    #[test]
+    fn order_by_requires_ordered_type() {
+        let mut db = Database::new();
+        db.create_table(
+            TableBuilder::new("t")
+                .column("flag", ColumnType::Bool)
+                .column("year", ColumnType::Int),
+        )
+        .unwrap();
+        db.insert("t", vec![true.into(), 2007.into()]).unwrap();
+        let t = db.table_id("t").unwrap();
+        assert_eq!(operator_queriability(&db, t, 0, Operator::OrderBy), 0.0);
+        assert!(operator_queriability(&db, t, 1, Operator::OrderBy) > 0.0);
+    }
+}

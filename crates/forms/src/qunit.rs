@@ -1,0 +1,212 @@
+//! QUnits: queried units in database search (Nandi & Jagadish, CIDR 09) —
+//! tutorial slides 26, 64.
+//!
+//! A QUnit is "a basic, independent semantic unit of information in the DB"
+//! — e.g. *a director with the movies they directed*. QUnits are defined
+//! over the schema (root table + related tables to fold in), materialized
+//! into flat documents, and retrieved with plain keyword search: the
+//! simplest possible interface, everything structural decided offline.
+
+use kwdb_rank::{CorpusStats, TfIdf};
+use kwdb_relational::{Database, TableId, TupleId};
+
+/// A QUnit definition: root entity plus related tables whose connected rows
+/// fold into each unit.
+#[derive(Debug, Clone)]
+pub struct QUnitDef {
+    pub name: String,
+    pub root: TableId,
+    /// Tables folded in: any table FK-adjacent to the root or to `write`-style
+    /// join tables adjacent to the root (one hop of folding).
+    pub include: Vec<TableId>,
+}
+
+/// A materialized QUnit instance.
+#[derive(Debug, Clone)]
+pub struct QUnit {
+    pub def_name: String,
+    pub root: TupleId,
+    /// All folded tuples (root first).
+    pub tuples: Vec<TupleId>,
+    /// The flattened text document.
+    pub text: Vec<String>,
+}
+
+/// Materialize all instances of a definition.
+pub fn materialize(db: &Database, def: &QUnitDef) -> Vec<QUnit> {
+    let root_table = db.table(def.root);
+    let mut units = Vec::with_capacity(root_table.len());
+    for (rid, _) in root_table.iter() {
+        let root = TupleId::new(def.root, rid);
+        let mut tuples = vec![root];
+        // fold one and two hops: direct FK neighbors, and rows of included
+        // tables referencing the root (or referencing via a join table)
+        collect_related(db, root, def, &mut tuples);
+        let mut text = Vec::new();
+        for &t in &tuples {
+            text.extend(db.tuple_tokens(t));
+        }
+        units.push(QUnit {
+            def_name: def.name.clone(),
+            root,
+            tuples,
+            text,
+        });
+    }
+    units
+}
+
+fn collect_related(db: &Database, root: TupleId, def: &QUnitDef, out: &mut Vec<TupleId>) {
+    // rows referencing the root
+    let root_pk = match db.table(root.table).schema.primary_key {
+        Some(pk) => db.table(root.table).get(root.row, pk).clone(),
+        None => return,
+    };
+    for e in db
+        .schema_graph()
+        .edges()
+        .iter()
+        .filter(|e| e.to == root.table)
+    {
+        let referencing = db.table(e.from);
+        for (rid, row) in referencing.iter() {
+            if row[e.fk_column] != root_pk {
+                continue;
+            }
+            let t = TupleId::new(e.from, rid);
+            if def.include.contains(&e.from) && !out.contains(&t) {
+                out.push(t);
+            }
+            // hop through join tables: tuples referenced by this row
+            for nbr in db.fk_neighbors(t) {
+                if nbr != root && def.include.contains(&nbr.table) && !out.contains(&nbr) {
+                    out.push(nbr);
+                }
+            }
+        }
+    }
+    // direct FK targets of the root
+    for nbr in db.fk_neighbors(root) {
+        if def.include.contains(&nbr.table) && !out.contains(&nbr) {
+            out.push(nbr);
+        }
+    }
+}
+
+/// Keyword search over materialized QUnits: AND semantics, tf·idf ranking.
+pub fn search<'u, S: AsRef<str>>(
+    units: &'u [QUnit],
+    keywords: &[S],
+    k: usize,
+) -> Vec<(&'u QUnit, f64)> {
+    let mut stats = CorpusStats::new();
+    for u in units {
+        stats.add_doc(&u.text);
+    }
+    let scorer = TfIdf::new(&stats);
+    let mut scored: Vec<(&QUnit, f64)> = units
+        .iter()
+        .filter(|u| {
+            keywords
+                .iter()
+                .all(|kw| u.text.iter().any(|t| t == kw.as_ref()))
+        })
+        .map(|u| (u, scorer.score(keywords, &u.text)))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.root.cmp(&b.0.root)));
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwdb_relational::{ColumnType, TableBuilder};
+
+    /// Slide 26: directors and the movies they directed.
+    fn imdb() -> (Database, QUnitDef) {
+        let mut db = Database::new();
+        db.create_table(
+            TableBuilder::new("director")
+                .column("did", ColumnType::Int)
+                .column("name", ColumnType::Text)
+                .primary_key("did"),
+        )
+        .unwrap();
+        db.create_table(
+            TableBuilder::new("movie")
+                .column("mid", ColumnType::Int)
+                .column("title", ColumnType::Text)
+                .column("year", ColumnType::Int)
+                .column("did", ColumnType::Int)
+                .primary_key("mid")
+                .foreign_key("did", "director"),
+        )
+        .unwrap();
+        db.insert("director", vec![101.into(), "Woody Allen".into()])
+            .unwrap();
+        db.insert("director", vec![102.into(), "Stanley Kubrick".into()])
+            .unwrap();
+        db.insert(
+            "movie",
+            vec![1.into(), "Match Point".into(), 2005.into(), 101.into()],
+        )
+        .unwrap();
+        db.insert(
+            "movie",
+            vec![
+                2.into(),
+                "Melinda and Melinda".into(),
+                2004.into(),
+                101.into(),
+            ],
+        )
+        .unwrap();
+        db.insert(
+            "movie",
+            vec![3.into(), "The Shining".into(), 1980.into(), 102.into()],
+        )
+        .unwrap();
+        db.build_text_index();
+        let def = QUnitDef {
+            name: "director+movies".into(),
+            root: db.table_id("director").unwrap(),
+            include: vec![db.table_id("movie").unwrap()],
+        };
+        (db, def)
+    }
+
+    #[test]
+    fn materializes_director_with_movies() {
+        let (db, def) = imdb();
+        let units = materialize(&db, &def);
+        assert_eq!(units.len(), 2);
+        let allen = units
+            .iter()
+            .find(|u| u.text.contains(&"woody".to_string()))
+            .unwrap();
+        assert_eq!(allen.tuples.len(), 3); // director + 2 movies
+        assert!(allen.text.contains(&"melinda".to_string()));
+        assert!(!allen.text.contains(&"shining".to_string()));
+    }
+
+    #[test]
+    fn keyword_search_retrieves_the_right_unit() {
+        let (db, def) = imdb();
+        let units = materialize(&db, &def);
+        let hits = search(&units, &["woody", "match"], 5);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].0.text.contains(&"allen".to_string()));
+        // cross-unit keywords have no answer: the unit is the result granule
+        assert!(search(&units, &["woody", "shining"], 5).is_empty());
+    }
+
+    #[test]
+    fn ranking_prefers_stronger_matches() {
+        let (db, def) = imdb();
+        let units = materialize(&db, &def);
+        let hits = search(&units, &["melinda"], 5);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].1 > 0.0);
+    }
+}

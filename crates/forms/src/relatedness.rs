@@ -1,0 +1,209 @@
+//! Related entity types via generalized participation ratios
+//! (Jayapandian & Jagadish, VLDB 08) — tutorial slide 40.
+//!
+//! `P(E₁ → E₂)` is the fraction of `E₁` instances connected (through the FK
+//! path between the two tables) to at least one `E₂` instance; the
+//! relatedness of the pair is the average of both directions. Longer chains
+//! compose approximately: `P(A → P → E) ≈ P(A → P) · P(P → E)` — slide 40
+//! shows the approximation is *not* exact, which
+//! `tests::composition_is_approximate` reproduces.
+
+use kwdb_relational::{Database, RowId, TableId};
+use std::collections::HashSet;
+
+/// Instances of `from` connected to ≥1 instance of `to` along `path`
+/// (a table sequence; consecutive tables must share a schema edge).
+fn connected_rows(db: &Database, path: &[TableId]) -> HashSet<RowId> {
+    assert!(path.len() >= 2, "path needs at least two tables");
+    // walk from the far end backwards, semi-joining row sets
+    let mut alive: HashSet<RowId> = db
+        .table(*path.last().unwrap())
+        .iter()
+        .map(|(r, _)| r)
+        .collect();
+    for w in path.windows(2).rev() {
+        let (near, far) = (w[0], w[1]);
+        let edge = db
+            .schema_graph()
+            .edges()
+            .iter()
+            .find(|e| (e.from == near && e.to == far) || (e.from == far && e.to == near))
+            .unwrap_or_else(|| panic!("no FK between {near:?} and {far:?}"));
+        let (near_col, far_col) = if edge.from == near {
+            (edge.fk_column, edge.pk_column)
+        } else {
+            (edge.pk_column, edge.fk_column)
+        };
+        let far_table = db.table(far);
+        let keys: HashSet<&kwdb_common::Value> = alive
+            .iter()
+            .map(|&r| far_table.get(r, far_col))
+            .filter(|v| !v.is_null())
+            .collect();
+        let near_table = db.table(near);
+        alive = near_table
+            .iter()
+            .filter(|&(_, row)| {
+                let v = &row[near_col];
+                !v.is_null() && keys.contains(v)
+            })
+            .map(|(r, _)| r)
+            .collect();
+    }
+    alive
+}
+
+/// `P(path[0] → path[last])`: participation ratio along a table path.
+pub fn participation(db: &Database, path: &[TableId]) -> f64 {
+    let total = db.table(path[0]).len();
+    if total == 0 {
+        return 0.0;
+    }
+    connected_rows(db, path).len() as f64 / total as f64
+}
+
+/// Slide 40's symmetric relatedness of two entity types along a path:
+/// `[P(E₁→E₂) + P(E₂→E₁)] / 2`.
+pub fn relatedness(db: &Database, path: &[TableId]) -> f64 {
+    let mut rev: Vec<TableId> = path.to_vec();
+    rev.reverse();
+    (participation(db, path) + participation(db, &rev)) / 2.0
+}
+
+/// The product approximation for a 3-hop chain:
+/// `P(A → B → C) ≈ P(A → B) · P(B → C)`.
+pub fn composed_estimate(db: &Database, path: &[TableId]) -> f64 {
+    path.windows(2).map(|w| participation(db, w)).product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwdb_relational::{ColumnType, TableBuilder};
+
+    /// Slide 40's instance: 6 authors (5 connected to papers), papers all
+    /// authored, editors fully connected to papers, half the papers edited.
+    fn db() -> (Database, TableId, TableId, TableId) {
+        let mut db = Database::new();
+        let p = db
+            .create_table(
+                TableBuilder::new("paper")
+                    .column("pid", ColumnType::Int)
+                    .column("title", ColumnType::Text)
+                    .primary_key("pid"),
+            )
+            .unwrap();
+        let a = db
+            .create_table(
+                TableBuilder::new("author")
+                    .column("aid", ColumnType::Int)
+                    .column("name", ColumnType::Text)
+                    .column("pid", ColumnType::Int)
+                    .primary_key("aid")
+                    .foreign_key("pid", "paper"),
+            )
+            .unwrap();
+        let e = db
+            .create_table(
+                TableBuilder::new("editor")
+                    .column("eid", ColumnType::Int)
+                    .column("name", ColumnType::Text)
+                    .column("pid", ColumnType::Int)
+                    .primary_key("eid")
+                    .foreign_key("pid", "paper"),
+            )
+            .unwrap();
+        // 4 papers, every paper has an author (P(P→A)=1)
+        for pid in 1..=4 {
+            db.insert("paper", vec![pid.into(), format!("paper {pid}").into()])
+                .unwrap();
+        }
+        // 6 authors: 5 wrote papers (P(A→P)=5/6), one did not
+        for (aid, pid) in [
+            (1, Some(1)),
+            (2, Some(2)),
+            (3, Some(2)),
+            (4, Some(3)),
+            (5, Some(4)),
+        ] {
+            db.insert(
+                "author",
+                vec![
+                    aid.into(),
+                    format!("author {aid}").into(),
+                    pid.map(kwdb_common::Value::from)
+                        .unwrap_or(kwdb_common::Value::Null),
+                ],
+            )
+            .unwrap();
+        }
+        db.insert(
+            "author",
+            vec![6.into(), "author 6".into(), kwdb_common::Value::Null],
+        )
+        .unwrap();
+        // 2 editors, each editing a paper (P(E→P)=1); papers edited: 2 of 4
+        db.insert("editor", vec![1.into(), "ed 1".into(), 1.into()])
+            .unwrap();
+        db.insert("editor", vec![2.into(), "ed 2".into(), 2.into()])
+            .unwrap();
+        db.build_text_index();
+        (db, a, p, e)
+    }
+
+    #[test]
+    fn slide40_participation_ratios() {
+        let (db, a, p, e) = db();
+        assert!((participation(&db, &[a, p]) - 5.0 / 6.0).abs() < 1e-12);
+        assert!((participation(&db, &[p, a]) - 1.0).abs() < 1e-12);
+        assert!((participation(&db, &[e, p]) - 1.0).abs() < 1e-12);
+        assert!((participation(&db, &[p, e]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relatedness_is_symmetric_average() {
+        let (db, a, p, _) = db();
+        let r = relatedness(&db, &[a, p]);
+        assert!((r - (5.0 / 6.0 + 1.0) / 2.0).abs() < 1e-12);
+        assert!((r - relatedness(&db, &[p, a])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composition_is_approximate() {
+        // Slide 40: P(A→P→E) ≈ P(A→P)·P(P→E), but the true 3-hop ratio
+        // differs (4/6 ≠ 5/6 · 1/2).
+        let (db, a, p, e) = db();
+        let exact = participation(&db, &[a, p, e]);
+        let approx = composed_estimate(&db, &[a, p, e]);
+        // authors connected to an edited paper: authors of papers 1, 2 →
+        // authors 1, 2, 3 → 3/6
+        assert!((exact - 3.0 / 6.0).abs() < 1e-12);
+        assert!((approx - 5.0 / 6.0 * 0.5).abs() < 1e-12);
+        assert!(
+            (exact - approx).abs() > 1e-6,
+            "slide 40: composition is approximate"
+        );
+    }
+
+    #[test]
+    fn empty_table_participation_zero() {
+        let mut db = Database::new();
+        db.create_table(
+            TableBuilder::new("x")
+                .column("id", ColumnType::Int)
+                .primary_key("id"),
+        )
+        .unwrap();
+        db.create_table(
+            TableBuilder::new("y")
+                .column("id", ColumnType::Int)
+                .column("xid", ColumnType::Int)
+                .primary_key("id")
+                .foreign_key("xid", "x"),
+        )
+        .unwrap();
+        let x = db.table_id("x").unwrap();
+        let y = db.table_id("y").unwrap();
+        assert_eq!(participation(&db, &[y, x]), 0.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Online form selection: keyword query → ranked, grouped forms
+//! (Chu et al., SIGMOD 09) — tutorial slides 57–58.
+//!
+//! Each form is indexed as a document of its schema terms (table names,
+//! attribute names). A keyword query is expanded by substituting keywords
+//! with schema terms ("John, XML" also tries "author, XML", "John, paper",
+//! "author, paper"); forms matching any variant under AND semantics are
+//! returned, ranked by tf·idf, and grouped two-level: first by skeleton,
+//! then by query class.
+
+use crate::generate::Form;
+use kwdb_common::text::tokenize;
+use kwdb_rank::{CorpusStats, TfIdf};
+use kwdb_relational::{Database, TableId};
+use std::collections::HashMap;
+
+/// SQL query classes for second-level grouping (slide 58).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QueryClass {
+    Select,
+    Aggregate,
+    GroupBy,
+    UnionIntersect,
+}
+
+/// A searchable index over generated forms.
+#[derive(Debug)]
+pub struct FormIndex {
+    forms: Vec<Form>,
+    /// Schema-term document per form.
+    docs: Vec<Vec<String>>,
+    stats: CorpusStats,
+    /// Schema vocabulary: term → tables whose name/attributes mention it.
+    schema_terms: HashMap<String, Vec<TableId>>,
+}
+
+/// A form group identity: the skeleton plus the SQL query class.
+pub type GroupKey = (Vec<TableId>, QueryClass);
+
+/// A ranked, grouped selection result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedForm {
+    pub form_index: usize,
+    pub score: f64,
+    /// First-level group: skeleton key.
+    pub skeleton: Vec<TableId>,
+}
+
+impl FormIndex {
+    /// Index `forms` over `db`'s schema vocabulary.
+    pub fn build(db: &Database, forms: Vec<Form>) -> Self {
+        let mut docs = Vec::with_capacity(forms.len());
+        let mut stats = CorpusStats::new();
+        for f in &forms {
+            let mut doc: Vec<String> = Vec::new();
+            for &t in &f.tables {
+                doc.extend(tokenize(&db.table(t).schema.name));
+            }
+            for &(t, c) in f.predicates.iter().chain(&f.outputs) {
+                doc.extend(tokenize(&db.table(t).schema.columns[c].name));
+            }
+            stats.add_doc(&doc);
+            docs.push(doc);
+        }
+        let mut schema_terms: HashMap<String, Vec<TableId>> = HashMap::new();
+        for t in db.tables() {
+            for tok in tokenize(&t.schema.name) {
+                schema_terms.entry(tok).or_default().push(t.id);
+            }
+            for c in &t.schema.columns {
+                for tok in tokenize(&c.name) {
+                    schema_terms.entry(tok).or_default().push(t.id);
+                }
+            }
+        }
+        FormIndex {
+            forms,
+            docs,
+            stats,
+            schema_terms,
+        }
+    }
+
+    pub fn forms(&self) -> &[Form] {
+        &self.forms
+    }
+
+    /// Query variants: the original plus versions where value keywords are
+    /// replaced by schema terms of the tables that contain them in the data
+    /// (slide 57's "John" → "author").
+    pub fn query_variants<S: AsRef<str>>(&self, db: &Database, query: &[S]) -> Vec<Vec<String>> {
+        let ix = db.text_index();
+        let mut variants: Vec<Vec<String>> =
+            vec![query.iter().map(|k| k.as_ref().to_string()).collect()];
+        for (i, k) in query.iter().enumerate() {
+            let k = k.as_ref();
+            if self.schema_terms.contains_key(k) {
+                continue; // already a schema term
+            }
+            // tables whose data contains this keyword
+            let mut tables: Vec<TableId> = ix.postings(k).iter().map(|p| p.tuple.table).collect();
+            tables.dedup();
+            let mut new_variants = Vec::new();
+            for v in &variants {
+                for &t in &tables {
+                    let mut nv = v.clone();
+                    nv[i] = db.table(t).schema.name.clone();
+                    new_variants.push(nv);
+                }
+            }
+            variants.extend(new_variants);
+        }
+        variants.dedup();
+        variants
+    }
+
+    /// Rank forms for a keyword query: a form matches if some variant's
+    /// schema-term tokens all appear in its document; score = best variant
+    /// tf·idf.
+    pub fn select<S: AsRef<str>>(&self, db: &Database, query: &[S], k: usize) -> Vec<RankedForm> {
+        let variants = self.query_variants(db, query);
+        let scorer = TfIdf::new(&self.stats);
+        let mut out: Vec<RankedForm> = Vec::new();
+        for (fi, doc) in self.docs.iter().enumerate() {
+            let mut best = 0.0f64;
+            for v in &variants {
+                // AND over the schema terms present in this variant
+                let schema_tokens: Vec<&String> = v
+                    .iter()
+                    .filter(|t| self.schema_terms.contains_key(*t))
+                    .collect();
+                if schema_tokens.is_empty() {
+                    continue;
+                }
+                if schema_tokens.iter().all(|t| doc.contains(t)) {
+                    let s = scorer.score(&schema_tokens, doc);
+                    best = best.max(s);
+                }
+            }
+            if best > 0.0 {
+                out.push(RankedForm {
+                    form_index: fi,
+                    score: best * (1.0 + self.forms[fi].score),
+                    skeleton: self.forms[fi].skeleton_key(),
+                });
+            }
+        }
+        out.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap()
+                .then(a.form_index.cmp(&b.form_index))
+        });
+        out.truncate(k);
+        out
+    }
+
+    /// Two-level grouping of a ranked list: skeleton → class → members.
+    pub fn group(
+        &self,
+        ranked: &[RankedForm],
+        class_of: impl Fn(&Form) -> QueryClass,
+    ) -> Vec<(GroupKey, Vec<usize>)> {
+        let mut groups: HashMap<(Vec<TableId>, QueryClass), Vec<usize>> = HashMap::new();
+        for r in ranked {
+            let class = class_of(&self.forms[r.form_index]);
+            groups
+                .entry((r.skeleton.clone(), class))
+                .or_default()
+                .push(r.form_index);
+        }
+        let mut out: Vec<_> = groups.into_iter().collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{FormGenConfig, FormGenerator};
+    use kwdb_relational::database::dblp_schema;
+    use kwdb_relational::Database;
+
+    fn setup() -> (Database, FormIndex) {
+        let mut db = Database::new();
+        dblp_schema(&mut db).unwrap();
+        db.insert("conference", vec![1.into(), "SIGMOD".into(), 2007.into()])
+            .unwrap();
+        db.insert("author", vec![1.into(), "John Smith".into()])
+            .unwrap();
+        db.insert(
+            "paper",
+            vec![1.into(), "XML keyword search".into(), 1.into()],
+        )
+        .unwrap();
+        db.insert("write", vec![1.into(), 1.into(), 1.into()])
+            .unwrap();
+        db.build_text_index();
+        let forms = FormGenerator::new(&db, FormGenConfig::default()).generate();
+        let ix = FormIndex::build(&db, forms);
+        (db, ix)
+    }
+
+    #[test]
+    fn variants_substitute_schema_terms() {
+        let (db, ix) = setup();
+        let vs = ix.query_variants(&db, &["john", "xml"]);
+        // original + john→author, xml→paper, both
+        assert!(vs.contains(&vec!["john".to_string(), "xml".to_string()]));
+        assert!(vs.contains(&vec!["author".to_string(), "xml".to_string()]));
+        assert!(vs.contains(&vec!["john".to_string(), "paper".to_string()]));
+        assert!(vs.contains(&vec!["author".to_string(), "paper".to_string()]));
+    }
+
+    #[test]
+    fn john_xml_selects_author_paper_forms_first() {
+        let (db, ix) = setup();
+        let ranked = ix.select(&db, &["john", "xml"], 5);
+        assert!(!ranked.is_empty());
+        let a = db.table_id("author").unwrap();
+        let p = db.table_id("paper").unwrap();
+        let top = &ix.forms()[ranked[0].form_index];
+        assert!(
+            top.tables.contains(&a) && top.tables.contains(&p),
+            "top form should join author and paper: {:?}",
+            top.tables
+        );
+    }
+
+    #[test]
+    fn schema_term_queries_match_directly() {
+        let (db, ix) = setup();
+        let ranked = ix.select(&db, &["conference", "year"], 5);
+        assert!(!ranked.is_empty());
+        let c = db.table_id("conference").unwrap();
+        assert!(ix.forms()[ranked[0].form_index].tables.contains(&c));
+    }
+
+    #[test]
+    fn grouping_is_by_skeleton_and_class() {
+        let (db, ix) = setup();
+        let ranked = ix.select(&db, &["john", "xml"], 20);
+        let groups = ix.group(&ranked, |f| {
+            if f.tables.len() > 2 {
+                QueryClass::Aggregate
+            } else {
+                QueryClass::Select
+            }
+        });
+        let total: usize = groups.iter().map(|(_, m)| m.len()).sum();
+        assert_eq!(total, ranked.len());
+        // all members of a group share the skeleton
+        for ((skel, _), members) in &groups {
+            for &m in members {
+                assert_eq!(&ix.forms()[m].skeleton_key(), skel);
+            }
+        }
+    }
+
+    #[test]
+    fn nonsense_query_selects_nothing() {
+        let (db, ix) = setup();
+        assert!(ix.select(&db, &["zzzqqq"], 5).is_empty());
+    }
+}

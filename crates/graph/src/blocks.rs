@@ -1,0 +1,187 @@
+//! Block partitioning with portal nodes — the BLINKS bi-level layout
+//! (He et al., SIGMOD 07) and the hyper-graph partitioning TASTIER uses.
+//!
+//! The graph is split into roughly equal-size connected blocks by
+//! round-robin BFS growth; nodes incident to a cross-block edge are
+//! *portals*. BLINKS then builds intra-block indexes and routes inter-block
+//! search through portals.
+
+use crate::graph::{DataGraph, NodeId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A partition of a graph's nodes into blocks.
+#[derive(Debug, Clone)]
+pub struct BlockPartition {
+    /// node → block id
+    pub block_of: HashMap<NodeId, usize>,
+    /// block id → member nodes
+    pub blocks: Vec<Vec<NodeId>>,
+    /// Portal nodes: endpoints of cross-block edges.
+    pub portals: HashSet<NodeId>,
+}
+
+impl BlockPartition {
+    /// Partition `g` into (at most) `n_blocks` blocks by round-robin BFS:
+    /// seeds are spread across the node range, and each block claims one
+    /// frontier node per round, keeping sizes balanced.
+    pub fn build(g: &DataGraph, n_blocks: usize) -> Self {
+        let n = g.node_count();
+        let n_blocks = n_blocks.clamp(1, n.max(1));
+        let mut block_of: HashMap<NodeId, usize> = HashMap::with_capacity(n);
+        let mut blocks: Vec<Vec<NodeId>> = vec![Vec::new(); n_blocks];
+        let mut queues: Vec<VecDeque<NodeId>> = vec![VecDeque::new(); n_blocks];
+
+        // Spread seeds over the id range.
+        let mut unassigned: Vec<NodeId> = g.iter().collect();
+        #[allow(clippy::needless_range_loop)] // b indexes two parallel vecs
+        for b in 0..n_blocks {
+            let seed_idx = b * n / n_blocks;
+            queues[b].push_back(unassigned[seed_idx]);
+        }
+        let mut assigned = 0usize;
+        let mut next_unseeded = 0usize;
+        while assigned < n {
+            let mut progressed = false;
+            for b in 0..n_blocks {
+                // Claim the first unassigned node in this block's frontier.
+                while let Some(u) = queues[b].pop_front() {
+                    if block_of.contains_key(&u) {
+                        continue;
+                    }
+                    block_of.insert(u, b);
+                    blocks[b].push(u);
+                    assigned += 1;
+                    progressed = true;
+                    for &(v, _) in g.neighbors(u) {
+                        if !block_of.contains_key(&v) {
+                            queues[b].push_back(v);
+                        }
+                    }
+                    break;
+                }
+            }
+            if !progressed {
+                // Disconnected remainder: seed the smallest block with the
+                // next unassigned node.
+                while next_unseeded < unassigned.len()
+                    && block_of.contains_key(&unassigned[next_unseeded])
+                {
+                    next_unseeded += 1;
+                }
+                if next_unseeded >= unassigned.len() {
+                    break;
+                }
+                let smallest = (0..n_blocks).min_by_key(|&b| blocks[b].len()).unwrap_or(0);
+                queues[smallest].push_back(unassigned[next_unseeded]);
+            }
+        }
+        unassigned.clear();
+
+        // Portals: endpoints of cross-block edges.
+        let mut portals = HashSet::new();
+        for u in g.iter() {
+            for &(v, _) in g.neighbors(u) {
+                if block_of[&u] != block_of[&v] {
+                    portals.insert(u);
+                    portals.insert(v);
+                }
+            }
+        }
+        BlockPartition {
+            block_of,
+            blocks,
+            portals,
+        }
+    }
+
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Size of the largest block divided by the ideal size — 1.0 is perfect
+    /// balance.
+    pub fn imbalance(&self) -> f64 {
+        let total: usize = self.blocks.iter().map(|b| b.len()).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let ideal = total as f64 / self.blocks.len() as f64;
+        let max = self.blocks.iter().map(|b| b.len()).max().unwrap_or(0) as f64;
+        max / ideal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(w: usize, h: usize) -> DataGraph {
+        let mut g = DataGraph::new();
+        let ids: Vec<NodeId> = (0..w * h)
+            .map(|i| g.add_node("n", &format!("n{i}")))
+            .collect();
+        for y in 0..h {
+            for x in 0..w {
+                let i = y * w + x;
+                if x + 1 < w {
+                    g.add_edge(ids[i], ids[i + 1], 1.0);
+                }
+                if y + 1 < h {
+                    g.add_edge(ids[i], ids[i + w], 1.0);
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn every_node_assigned_exactly_once() {
+        let g = grid(6, 6);
+        let p = BlockPartition::build(&g, 4);
+        assert_eq!(p.block_of.len(), 36);
+        let total: usize = p.blocks.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 36);
+    }
+
+    #[test]
+    fn blocks_are_balanced() {
+        let g = grid(8, 8);
+        let p = BlockPartition::build(&g, 4);
+        assert!(p.imbalance() < 1.5, "imbalance {}", p.imbalance());
+    }
+
+    #[test]
+    fn portals_are_cross_block_endpoints() {
+        let g = grid(4, 4);
+        let p = BlockPartition::build(&g, 2);
+        assert!(!p.portals.is_empty());
+        for &u in &p.portals {
+            let has_cross = g
+                .neighbors(u)
+                .iter()
+                .any(|&(v, _)| p.block_of[&u] != p.block_of[&v]);
+            assert!(has_cross);
+        }
+    }
+
+    #[test]
+    fn single_block_has_no_portals() {
+        let g = grid(3, 3);
+        let p = BlockPartition::build(&g, 1);
+        assert!(p.portals.is_empty());
+        assert_eq!(p.n_blocks(), 1);
+    }
+
+    #[test]
+    fn disconnected_components_all_assigned() {
+        let mut g = DataGraph::new();
+        let a = g.add_node("n", "");
+        let b = g.add_node("n", "");
+        let c = g.add_node("n", "");
+        let d = g.add_node("n", "");
+        g.add_edge(a, b, 1.0);
+        g.add_edge(c, d, 1.0);
+        let p = BlockPartition::build(&g, 2);
+        assert_eq!(p.block_of.len(), 4);
+    }
+}

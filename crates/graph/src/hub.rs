@@ -1,0 +1,194 @@
+//! Hub-based distance index (Goldman et al., *Proximity Search in
+//! Databases*, VLDB 98) — tutorial slide 122.
+//!
+//! Storing all-pairs distances costs `O(|V|²)`; instead, select a hub set `H`
+//! (ideally balanced separators), store
+//!
+//! * `d*(u, v)` — shortest distances **not crossing any hub** (hubs may be
+//!   endpoints), which stay local when hubs separate the graph, and
+//! * `d_H(A, B)` — full pairwise distances between hubs,
+//!
+//! and answer `d(x, y) = min(d*(x, y), min_{A,B∈H} d*(x,A) + d_H(A,B) + d*(B,y))`.
+
+use crate::graph::{DataGraph, NodeId};
+use crate::shortest::{dijkstra, dijkstra_all};
+use std::collections::{HashMap, HashSet};
+
+/// Hub-selection strategy (an ablation axis in the benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HubSelection {
+    /// Highest-degree nodes — degree correlates with being a separator in
+    /// FK graphs (hub relations like `write` touch everything).
+    HighestDegree,
+    /// Every `stride`-th node — a baseline to ablate against.
+    Strided { stride: usize },
+}
+
+/// The precomputed index.
+#[derive(Debug, Clone)]
+pub struct HubIndex {
+    hubs: Vec<NodeId>,
+    hub_pos: HashMap<NodeId, usize>,
+    /// d*(u, ·): hub-avoiding distances from every node. Key is the source.
+    local: HashMap<NodeId, HashMap<NodeId, f64>>,
+    /// Dense hub-to-hub distance matrix (f64::INFINITY when disconnected).
+    hub_dist: Vec<Vec<f64>>,
+}
+
+impl HubIndex {
+    /// Build the index with `n_hubs` hubs chosen by `selection`.
+    pub fn build(g: &DataGraph, n_hubs: usize, selection: HubSelection) -> Self {
+        let hubs = select_hubs(g, n_hubs, selection);
+        let hub_set: HashSet<NodeId> = hubs.iter().copied().collect();
+        // d*: run hub-avoiding Dijkstra from every node. Hubs themselves are
+        // sources too (they may be endpoints of d*).
+        let mut local = HashMap::with_capacity(g.node_count());
+        for u in g.iter() {
+            let sp = dijkstra(g, u, None, None, &|n| hub_set.contains(&n));
+            local.insert(u, sp.dist);
+        }
+        // d_H via full Dijkstra from each hub.
+        let mut hub_dist = vec![vec![f64::INFINITY; hubs.len()]; hubs.len()];
+        for (i, &h) in hubs.iter().enumerate() {
+            let sp = dijkstra_all(g, h);
+            for (j, &h2) in hubs.iter().enumerate() {
+                if let Some(&d) = sp.dist.get(&h2) {
+                    hub_dist[i][j] = d;
+                }
+            }
+        }
+        let hub_pos = hubs.iter().enumerate().map(|(i, &h)| (h, i)).collect();
+        HubIndex {
+            hubs,
+            hub_pos,
+            local,
+            hub_dist,
+        }
+    }
+
+    pub fn hubs(&self) -> &[NodeId] {
+        &self.hubs
+    }
+
+    /// Index size in stored distance entries — the space the hub scheme is
+    /// trading against `O(|V|²)`.
+    pub fn entry_count(&self) -> usize {
+        self.local.values().map(|m| m.len()).sum::<usize>() + self.hubs.len().pow(2)
+    }
+
+    /// Query the distance between `x` and `y`; `None` if disconnected.
+    pub fn distance(&self, x: NodeId, y: NodeId) -> Option<f64> {
+        let lx = self.local.get(&x)?;
+        let ly = self.local.get(&y)?;
+        let mut best = lx.get(&y).copied().unwrap_or(f64::INFINITY);
+        // Reachable hubs from x and from y, with d* distances.
+        for (&a, &da) in lx.iter().filter(|(n, _)| self.hub_pos.contains_key(n)) {
+            let ia = self.hub_pos[&a];
+            for (&b, &db) in ly.iter().filter(|(n, _)| self.hub_pos.contains_key(n)) {
+                let ib = self.hub_pos[&b];
+                let total = da + self.hub_dist[ia][ib] + db;
+                if total < best {
+                    best = total;
+                }
+            }
+        }
+        (best < f64::INFINITY).then_some(best)
+    }
+}
+
+fn select_hubs(g: &DataGraph, n_hubs: usize, selection: HubSelection) -> Vec<NodeId> {
+    let n_hubs = n_hubs.min(g.node_count());
+    match selection {
+        HubSelection::HighestDegree => {
+            let mut nodes: Vec<NodeId> = g.iter().collect();
+            nodes.sort_by_key(|&n| std::cmp::Reverse(g.degree(n)));
+            nodes.truncate(n_hubs);
+            nodes.sort();
+            nodes
+        }
+        HubSelection::Strided { stride } => {
+            let stride = stride.max(1);
+            g.iter().step_by(stride).take(n_hubs).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shortest::distance;
+
+    /// Two triangles joined through a single cut vertex `c`.
+    fn barbell() -> (DataGraph, Vec<NodeId>) {
+        let mut g = DataGraph::new();
+        let ids: Vec<NodeId> = (0..7).map(|i| g.add_node("n", &format!("n{i}"))).collect();
+        // triangle 1: 0-1-2
+        g.add_edge(ids[0], ids[1], 1.0);
+        g.add_edge(ids[1], ids[2], 1.0);
+        g.add_edge(ids[0], ids[2], 1.0);
+        // cut vertex 3 links the triangles
+        g.add_edge(ids[2], ids[3], 1.0);
+        g.add_edge(ids[3], ids[4], 1.0);
+        // triangle 2: 4-5-6
+        g.add_edge(ids[4], ids[5], 1.0);
+        g.add_edge(ids[5], ids[6], 1.0);
+        g.add_edge(ids[4], ids[6], 1.0);
+        (g, ids)
+    }
+
+    #[test]
+    fn hub_distances_match_dijkstra() {
+        let (g, _) = barbell();
+        let ix = HubIndex::build(&g, 1, HubSelection::HighestDegree);
+        for x in g.iter() {
+            for y in g.iter() {
+                assert_eq!(
+                    ix.distance(x, y),
+                    distance(&g, x, y),
+                    "mismatch for {x:?}→{y:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cut_vertex_is_chosen_as_hub() {
+        let (g, ids) = barbell();
+        let ix = HubIndex::build(&g, 1, HubSelection::HighestDegree);
+        // highest-degree nodes are 2, 3, 4 (degree 3); any separates well,
+        // but there must be exactly one hub.
+        assert_eq!(ix.hubs().len(), 1);
+        let _ = ids;
+    }
+
+    #[test]
+    fn disconnected_returns_none() {
+        let mut g = DataGraph::new();
+        let a = g.add_node("n", "");
+        let b = g.add_node("n", "");
+        let c = g.add_node("n", "");
+        g.add_edge(a, b, 1.0);
+        let ix = HubIndex::build(&g, 1, HubSelection::HighestDegree);
+        assert_eq!(ix.distance(a, c), None);
+        assert_eq!(ix.distance(a, b), Some(1.0));
+    }
+
+    #[test]
+    fn strided_selection_works_too() {
+        let (g, _) = barbell();
+        let ix = HubIndex::build(&g, 3, HubSelection::Strided { stride: 2 });
+        for x in g.iter() {
+            for y in g.iter() {
+                assert_eq!(ix.distance(x, y), distance(&g, x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn good_hubs_shrink_local_maps() {
+        let (g, _) = barbell();
+        let with_hub = HubIndex::build(&g, 1, HubSelection::HighestDegree);
+        let no_hub = HubIndex::build(&g, 0, HubSelection::HighestDegree);
+        assert!(with_hub.entry_count() < no_hub.entry_count());
+    }
+}

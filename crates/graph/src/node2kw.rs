@@ -1,0 +1,145 @@
+//! Node-to-keyword distance index — SLINKS/BLINKS (He et al., SIGMOD 07),
+//! tutorial slides 123–125.
+//!
+//! For each keyword `k` the index stores, for every node `r`, the distance
+//! from `r` to the nearest node matching `k`. Space is `O(K·|V|)` instead of
+//! `O(|V|²)`. Two access paths are provided:
+//!
+//! * random access `dist(r, k)` — the probe Fagin's TA needs;
+//! * a distance-sorted cursor per keyword — TA's sorted access.
+//!
+//! Building uses one multi-source Dijkstra per keyword (sources = the
+//! keyword's match nodes), optionally distance-capped (the `D` threshold of
+//! the D-reachability indexes, Markowetz et al. ICDE 09).
+
+use crate::graph::{DataGraph, NodeId};
+use crate::shortest::multi_source;
+use std::collections::HashMap;
+
+/// Distance lists for a set of keywords.
+#[derive(Debug, Clone, Default)]
+pub struct NodeKeywordIndex {
+    /// keyword → (node → (distance, nearest match node))
+    dist: HashMap<String, HashMap<NodeId, (f64, NodeId)>>,
+    /// keyword → nodes sorted by ascending distance (ties by node id).
+    sorted: HashMap<String, Vec<(NodeId, f64)>>,
+}
+
+impl NodeKeywordIndex {
+    /// Build for the given `keywords` over `g`. `max_dist` caps the index
+    /// range (distances beyond it are treated as unreachable).
+    pub fn build<S: AsRef<str>>(g: &DataGraph, keywords: &[S], max_dist: Option<f64>) -> Self {
+        let mut ix = NodeKeywordIndex::default();
+        for k in keywords {
+            let k = k.as_ref();
+            let sources = g.keyword_nodes(k);
+            let (d, origin) = multi_source(g, sources, max_dist);
+            let mut entry: HashMap<NodeId, (f64, NodeId)> = HashMap::with_capacity(d.len());
+            let mut sorted: Vec<(NodeId, f64)> = Vec::with_capacity(d.len());
+            for (&n, &dd) in &d {
+                entry.insert(n, (dd, origin[&n]));
+                sorted.push((n, dd));
+            }
+            sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+            ix.dist.insert(k.to_string(), entry);
+            ix.sorted.insert(k.to_string(), sorted);
+        }
+        ix
+    }
+
+    /// Distance from `node` to the nearest match of `keyword`.
+    pub fn dist(&self, node: NodeId, keyword: &str) -> Option<f64> {
+        self.dist.get(keyword)?.get(&node).map(|&(d, _)| d)
+    }
+
+    /// The nearest match node of `keyword` from `node`.
+    pub fn nearest_match(&self, node: NodeId, keyword: &str) -> Option<NodeId> {
+        self.dist.get(keyword)?.get(&node).map(|&(_, m)| m)
+    }
+
+    /// Distance-sorted list `(node, dist)` for `keyword` — TA sorted access.
+    pub fn sorted_list(&self, keyword: &str) -> &[(NodeId, f64)] {
+        self.sorted
+            .get(keyword)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Total stored entries, for index-size reporting.
+    pub fn entry_count(&self) -> usize {
+        self.dist.values().map(|m| m.len()).sum()
+    }
+
+    pub fn keywords(&self) -> impl Iterator<Item = &str> {
+        self.dist.keys().map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// a(x) — b — c(y) — d, unit weights.
+    fn line() -> (DataGraph, Vec<NodeId>) {
+        let mut g = DataGraph::new();
+        let a = g.add_node("n", "x");
+        let b = g.add_node("n", "");
+        let c = g.add_node("n", "y");
+        let d = g.add_node("n", "");
+        g.add_edge(a, b, 1.0);
+        g.add_edge(b, c, 1.0);
+        g.add_edge(c, d, 1.0);
+        (g, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn distances_to_nearest_match() {
+        let (g, ids) = line();
+        let ix = NodeKeywordIndex::build(&g, &["x", "y"], None);
+        assert_eq!(ix.dist(ids[0], "x"), Some(0.0));
+        assert_eq!(ix.dist(ids[3], "x"), Some(3.0));
+        assert_eq!(ix.dist(ids[1], "y"), Some(1.0));
+        assert_eq!(ix.nearest_match(ids[3], "x"), Some(ids[0]));
+    }
+
+    #[test]
+    fn sorted_access_is_ascending() {
+        let (g, _) = line();
+        let ix = NodeKeywordIndex::build(&g, &["x"], None);
+        let list = ix.sorted_list("x");
+        assert_eq!(list.len(), 4);
+        assert!(list.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(list[0].1, 0.0);
+    }
+
+    #[test]
+    fn max_dist_caps_index_size() {
+        let (g, ids) = line();
+        let full = NodeKeywordIndex::build(&g, &["x"], None);
+        let capped = NodeKeywordIndex::build(&g, &["x"], Some(1.0));
+        assert!(capped.entry_count() < full.entry_count());
+        assert_eq!(capped.dist(ids[3], "x"), None);
+        assert_eq!(capped.dist(ids[1], "x"), Some(1.0));
+    }
+
+    #[test]
+    fn missing_keyword_is_empty() {
+        let (g, ids) = line();
+        let ix = NodeKeywordIndex::build(&g, &["x"], None);
+        assert_eq!(ix.dist(ids[0], "zzz"), None);
+        assert!(ix.sorted_list("zzz").is_empty());
+    }
+
+    #[test]
+    fn multiple_matches_pick_nearest() {
+        let mut g = DataGraph::new();
+        let a = g.add_node("n", "k");
+        let b = g.add_node("n", "");
+        let c = g.add_node("n", "k");
+        g.add_edge(a, b, 5.0);
+        g.add_edge(b, c, 1.0);
+        let ix = NodeKeywordIndex::build(&g, &["k"], None);
+        assert_eq!(ix.dist(b, "k"), Some(1.0));
+        assert_eq!(ix.nearest_match(b, "k"), Some(c));
+    }
+}

@@ -1,0 +1,241 @@
+//! Shortest paths: Dijkstra, multi-source Dijkstra, and hop-bounded BFS.
+
+use crate::graph::{DataGraph, NodeId};
+use kwdb_common::Score;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Result of a Dijkstra run: distance and predecessor maps.
+#[derive(Debug, Clone, Default)]
+pub struct ShortestPaths {
+    pub dist: HashMap<NodeId, f64>,
+    pub pred: HashMap<NodeId, NodeId>,
+}
+
+impl ShortestPaths {
+    /// Reconstruct the path from the source to `target` (inclusive), or
+    /// `None` if unreachable.
+    pub fn path_to(&self, target: NodeId) -> Option<Vec<NodeId>> {
+        self.dist.get(&target)?;
+        let mut path = vec![target];
+        let mut cur = target;
+        while let Some(&p) = self.pred.get(&cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Dijkstra from `source`, optionally stopping once `target` is settled
+/// and/or pruning at `max_dist`. `avoid` nodes are never *expanded* (but can
+/// be settled) — the hub index uses this to compute hub-avoiding distances.
+pub fn dijkstra(
+    g: &DataGraph,
+    source: NodeId,
+    target: Option<NodeId>,
+    max_dist: Option<f64>,
+    avoid_expanding: &dyn Fn(NodeId) -> bool,
+) -> ShortestPaths {
+    let mut out = ShortestPaths::default();
+    let mut heap: BinaryHeap<std::cmp::Reverse<(Score, NodeId)>> = BinaryHeap::new();
+    out.dist.insert(source, 0.0);
+    heap.push(std::cmp::Reverse((Score(0.0), source)));
+    while let Some(std::cmp::Reverse((Score(d), u))) = heap.pop() {
+        if let Some(&best) = out.dist.get(&u) {
+            if d > best {
+                continue; // stale entry
+            }
+        }
+        if target == Some(u) {
+            break;
+        }
+        if u != source && avoid_expanding(u) {
+            continue;
+        }
+        for &(v, w) in g.neighbors(u) {
+            let nd = d + w;
+            if let Some(md) = max_dist {
+                if nd > md {
+                    continue;
+                }
+            }
+            if out.dist.get(&v).is_none_or(|&cur| nd < cur) {
+                out.dist.insert(v, nd);
+                out.pred.insert(v, u);
+                heap.push(std::cmp::Reverse((Score(nd), v)));
+            }
+        }
+    }
+    out
+}
+
+/// Plain single-source Dijkstra over the whole graph.
+pub fn dijkstra_all(g: &DataGraph, source: NodeId) -> ShortestPaths {
+    dijkstra(g, source, None, None, &|_| false)
+}
+
+/// Shortest distance between two nodes, or `None` if disconnected.
+pub fn distance(g: &DataGraph, a: NodeId, b: NodeId) -> Option<f64> {
+    dijkstra(g, a, Some(b), None, &|_| false)
+        .dist
+        .get(&b)
+        .copied()
+}
+
+/// Multi-source Dijkstra: distance from every node to the nearest of
+/// `sources`. Returns `(dist, nearest-source)` maps — the node-to-keyword
+/// index is built from this with the keyword's match list as sources.
+///
+/// Ties are broken deterministically: among equidistant sources the one
+/// with the **smallest node id** wins, so independent implementations of
+/// nearest-match semantics (e.g. the RDBMS-powered formulation) agree
+/// exactly.
+pub fn multi_source(
+    g: &DataGraph,
+    sources: &[NodeId],
+    max_dist: Option<f64>,
+) -> (HashMap<NodeId, f64>, HashMap<NodeId, NodeId>) {
+    // Dijkstra over the lexicographic key (dist, origin).
+    let mut best: HashMap<NodeId, (f64, NodeId)> = HashMap::new();
+    let mut heap: BinaryHeap<std::cmp::Reverse<(Score, NodeId, NodeId)>> = BinaryHeap::new();
+    for &s in sources {
+        let cand = (0.0, s);
+        if best.get(&s).is_none_or(|&cur| cand < cur) {
+            best.insert(s, cand);
+            heap.push(std::cmp::Reverse((Score(0.0), s, s)));
+        }
+    }
+    while let Some(std::cmp::Reverse((Score(d), org, u))) = heap.pop() {
+        if best.get(&u).is_some_and(|&(bd, bo)| (d, org) > (bd, bo)) {
+            continue;
+        }
+        for &(v, w) in g.neighbors(u) {
+            let nd = d + w;
+            if let Some(md) = max_dist {
+                if nd > md {
+                    continue;
+                }
+            }
+            let cand = (nd, org);
+            if best.get(&v).is_none_or(|&cur| cand < cur) {
+                best.insert(v, cand);
+                heap.push(std::cmp::Reverse((Score(nd), org, v)));
+            }
+        }
+    }
+    let mut dist = HashMap::with_capacity(best.len());
+    let mut origin = HashMap::with_capacity(best.len());
+    for (n, (d, o)) in best {
+        dist.insert(n, d);
+        origin.insert(n, o);
+    }
+    (dist, origin)
+}
+
+/// Nodes within `hops` edges of `source` (unweighted BFS), including it.
+pub fn within_hops(g: &DataGraph, source: NodeId, hops: usize) -> HashMap<NodeId, usize> {
+    let mut seen: HashMap<NodeId, usize> = HashMap::new();
+    seen.insert(source, 0);
+    let mut frontier = vec![source];
+    for h in 1..=hops {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &(v, _) in g.neighbors(u) {
+                if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(v) {
+                    e.insert(h);
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path graph a—b—c—d with weights 1, 2, 3 plus a shortcut a—d weight 10.
+    fn path_graph() -> (DataGraph, Vec<NodeId>) {
+        let mut g = DataGraph::new();
+        let ids: Vec<NodeId> = (0..4).map(|i| g.add_node("n", &format!("w{i}"))).collect();
+        g.add_edge(ids[0], ids[1], 1.0);
+        g.add_edge(ids[1], ids[2], 2.0);
+        g.add_edge(ids[2], ids[3], 3.0);
+        g.add_edge(ids[0], ids[3], 10.0);
+        (g, ids)
+    }
+
+    #[test]
+    fn dijkstra_finds_shortest() {
+        let (g, ids) = path_graph();
+        assert_eq!(distance(&g, ids[0], ids[3]), Some(6.0));
+        assert_eq!(distance(&g, ids[0], ids[0]), Some(0.0));
+    }
+
+    #[test]
+    fn path_reconstruction() {
+        let (g, ids) = path_graph();
+        let sp = dijkstra_all(&g, ids[0]);
+        assert_eq!(
+            sp.path_to(ids[3]).unwrap(),
+            vec![ids[0], ids[1], ids[2], ids[3]]
+        );
+        assert_eq!(sp.path_to(ids[0]).unwrap(), vec![ids[0]]);
+    }
+
+    #[test]
+    fn disconnected_is_none() {
+        let mut g = DataGraph::new();
+        let a = g.add_node("n", "");
+        let b = g.add_node("n", "");
+        assert_eq!(distance(&g, a, b), None);
+        let sp = dijkstra_all(&g, a);
+        assert!(sp.path_to(b).is_none());
+    }
+
+    #[test]
+    fn avoid_expanding_blocks_through_traffic() {
+        let (g, ids) = path_graph();
+        // Avoid expanding b: the only route to d is the direct 10-edge.
+        let block = ids[1];
+        let sp = dijkstra(&g, ids[0], None, None, &|n| n == block);
+        assert_eq!(sp.dist[&ids[3]], 10.0);
+        // b itself is still settled (distance 1) — it's a border node.
+        assert_eq!(sp.dist[&ids[1]], 1.0);
+    }
+
+    #[test]
+    fn max_dist_prunes() {
+        let (g, ids) = path_graph();
+        let sp = dijkstra(&g, ids[0], None, Some(3.0), &|_| false);
+        assert!(sp.dist.contains_key(&ids[2]));
+        assert!(!sp.dist.contains_key(&ids[3]));
+    }
+
+    #[test]
+    fn multi_source_tracks_origin() {
+        let (g, ids) = path_graph();
+        let (dist, origin) = multi_source(&g, &[ids[0], ids[3]], None);
+        assert_eq!(dist[&ids[1]], 1.0);
+        assert_eq!(origin[&ids[1]], ids[0]);
+        // c is equidistant from both sources (a–b–c = 3 = d–c); the
+        // deterministic tie-break picks the smaller node id
+        assert_eq!(dist[&ids[2]], 3.0);
+        assert_eq!(origin[&ids[2]], ids[0]);
+    }
+
+    #[test]
+    fn within_hops_counts_edges_not_weights() {
+        let (g, ids) = path_graph();
+        let h = within_hops(&g, ids[0], 1);
+        // a's 1-hop neighbourhood: a, b, d (via the shortcut)
+        assert_eq!(h.len(), 3);
+        assert_eq!(h[&ids[3]], 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests over random graphs: the hub index must always agree with
+//! Dijkstra, block partitions must cover every node exactly once, and the
+//! keyword-distance index must match direct shortest-path computation.
+
+use kwdb_graph::blocks::BlockPartition;
+use kwdb_graph::hub::{HubIndex, HubSelection};
+use kwdb_graph::shortest::distance;
+use kwdb_graph::{DataGraph, NodeId, NodeKeywordIndex};
+use proptest::prelude::*;
+
+fn build_graph(n: usize, edges: &[(u8, u8, u8)], keyword_nodes: &[u8]) -> DataGraph {
+    let mut g = DataGraph::new();
+    let kw: std::collections::HashSet<usize> =
+        keyword_nodes.iter().map(|&k| k as usize % n).collect();
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| g.add_node("n", if kw.contains(&i) { "kw" } else { "" }))
+        .collect();
+    for &(u, v, w) in edges {
+        let (u, v) = (u as usize % n, v as usize % n);
+        if u != v {
+            g.add_edge(ids[u], ids[v], (w % 5 + 1) as f64);
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn hub_index_always_exact(
+        n in 2usize..12,
+        edges in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..24),
+        n_hubs in 0usize..4,
+    ) {
+        let g = build_graph(n, &edges, &[]);
+        let ix = HubIndex::build(&g, n_hubs, HubSelection::HighestDegree);
+        for i in 0..n {
+            for j in 0..n {
+                let (a, b) = (NodeId(i as u32), NodeId(j as u32));
+                prop_assert_eq!(ix.distance(a, b), distance(&g, a, b),
+                    "hub index wrong for {:?}→{:?}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn block_partition_covers_exactly_once(
+        n in 1usize..30,
+        edges in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..40),
+        blocks in 1usize..6,
+    ) {
+        let g = build_graph(n, &edges, &[]);
+        let p = BlockPartition::build(&g, blocks);
+        prop_assert_eq!(p.block_of.len(), n);
+        let total: usize = p.blocks.iter().map(|b| b.len()).sum();
+        prop_assert_eq!(total, n);
+        // consistency between the two views
+        for (bi, members) in p.blocks.iter().enumerate() {
+            for m in members {
+                prop_assert_eq!(p.block_of[m], bi);
+            }
+        }
+        // portals really have cross-block edges
+        for &u in &p.portals {
+            prop_assert!(g.neighbors(u).iter().any(|&(v, _)| p.block_of[&u] != p.block_of[&v]));
+        }
+    }
+
+    #[test]
+    fn keyword_index_matches_direct_search(
+        n in 2usize..10,
+        edges in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..20),
+        kw_nodes in proptest::collection::vec(any::<u8>(), 1..4),
+    ) {
+        let g = build_graph(n, &edges, &kw_nodes);
+        let ix = NodeKeywordIndex::build(&g, &["kw"], None);
+        let sources = g.keyword_nodes("kw");
+        prop_assert!(!sources.is_empty());
+        for node in g.iter() {
+            let direct = sources
+                .iter()
+                .filter_map(|&s| distance(&g, node, s))
+                .fold(None::<f64>, |acc, d| Some(acc.map_or(d, |a| a.min(d))));
+            prop_assert_eq!(ix.dist(node, "kw"), direct, "node {:?}", node);
+        }
+        // sorted list is ascending and complete
+        let list = ix.sorted_list("kw");
+        prop_assert!(list.windows(2).all(|w| w[0].1 <= w[1].1));
+        prop_assert_eq!(list.len(), ix.entry_count());
+    }
+}

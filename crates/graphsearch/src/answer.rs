@@ -1,0 +1,260 @@
+//! Answer trees: the common result type of all graph search engines.
+
+use kwdb_graph::{DataGraph, NodeId};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// A connecting tree: a root, the tree edges, and for each query keyword the
+/// node that matched it. Cost is the total edge weight (group-Steiner cost).
+#[derive(Debug, Clone)]
+pub struct AnswerTree {
+    pub root: NodeId,
+    /// Tree edges as normalized `(min, max)` pairs.
+    pub edges: Vec<(NodeId, NodeId)>,
+    /// `matches[i]` is the node matching the `i`-th query keyword.
+    pub matches: Vec<NodeId>,
+    pub cost: f64,
+}
+
+impl AnswerTree {
+    /// A single-node answer (one node matches every keyword).
+    pub fn singleton(node: NodeId, n_keywords: usize) -> Self {
+        AnswerTree {
+            root: node,
+            edges: Vec::new(),
+            matches: vec![node; n_keywords],
+            cost: 0.0,
+        }
+    }
+
+    /// All nodes of the tree (root, internal, matches), sorted.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut s: BTreeSet<NodeId> = BTreeSet::new();
+        s.insert(self.root);
+        for &(u, v) in &self.edges {
+            s.insert(u);
+            s.insert(v);
+        }
+        for &m in &self.matches {
+            s.insert(m);
+        }
+        s.into_iter().collect()
+    }
+
+    /// Number of nodes.
+    pub fn size(&self) -> usize {
+        self.nodes().len()
+    }
+
+    /// Canonical signature for duplicate elimination across engines: the
+    /// sorted edge set plus the node set (two trees with identical structure
+    /// are one answer even if discovered from different roots).
+    pub fn signature(&self) -> Vec<(NodeId, NodeId)> {
+        let mut e = self.edges.clone();
+        e.sort();
+        e
+    }
+
+    /// Signature of the keyword-match combination — the *distinct core* of
+    /// the answer (Qin et al., ICDE 09).
+    pub fn core_signature(&self) -> Vec<NodeId> {
+        let mut m = self.matches.clone();
+        m.sort();
+        m.dedup();
+        m
+    }
+
+    /// Validate against the graph and query: every edge exists, the edge set
+    /// is a tree containing root and all matches, match `i` contains keyword
+    /// `i`, and `cost` equals the sum of edge weights.
+    pub fn validate<S: AsRef<str>>(&self, g: &DataGraph, keywords: &[S]) -> Result<(), String> {
+        if self.matches.len() != keywords.len() {
+            return Err(format!(
+                "expected {} matches, got {}",
+                keywords.len(),
+                self.matches.len()
+            ));
+        }
+        for (i, (m, k)) in self.matches.iter().zip(keywords).enumerate() {
+            if !g.node_has_term(*m, k.as_ref()) {
+                return Err(format!(
+                    "match {i} ({m:?}) does not contain '{}'",
+                    k.as_ref()
+                ));
+            }
+        }
+        let mut cost = 0.0;
+        let mut adj: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        let mut seen_edges = HashSet::new();
+        for &(u, v) in &self.edges {
+            let w = g
+                .edge_weight(u, v)
+                .ok_or_else(|| format!("edge ({u:?},{v:?}) not in graph"))?;
+            if !seen_edges.insert(if u < v { (u, v) } else { (v, u) }) {
+                return Err(format!("duplicate edge ({u:?},{v:?})"));
+            }
+            cost += w;
+            adj.entry(u).or_default().push(v);
+            adj.entry(v).or_default().push(u);
+        }
+        if (cost - self.cost).abs() > 1e-6 {
+            return Err(format!(
+                "cost mismatch: stored {} computed {}",
+                self.cost, cost
+            ));
+        }
+        // Connectivity: everything reachable from root over tree edges.
+        let mut reach = HashSet::new();
+        let mut stack = vec![self.root];
+        while let Some(u) = stack.pop() {
+            if reach.insert(u) {
+                for &v in adj.get(&u).into_iter().flatten() {
+                    stack.push(v);
+                }
+            }
+        }
+        for &m in &self.matches {
+            if !reach.contains(&m) {
+                return Err(format!("match {m:?} not connected to root"));
+            }
+        }
+        // Tree check: |edges| == |touched nodes| - 1 (no cycles).
+        let touched: HashSet<NodeId> = self
+            .edges
+            .iter()
+            .flat_map(|&(u, v)| [u, v])
+            .chain(std::iter::once(self.root))
+            .collect();
+        if !self.edges.is_empty() && self.edges.len() != touched.len() - 1 {
+            return Err(format!(
+                "not a tree: {} edges over {} nodes",
+                self.edges.len(),
+                touched.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Render using a node formatter.
+    pub fn display(&self, g: &DataGraph) -> String {
+        let nodes: Vec<String> = self
+            .nodes()
+            .iter()
+            .map(|&n| format!("{}#{}", g.kind(n), n.0))
+            .collect();
+        format!(
+            "cost={:.2} root={} [{}]",
+            self.cost,
+            self.root.0,
+            nodes.join(", ")
+        )
+    }
+}
+
+/// Normalize an edge to `(min, max)` order.
+pub fn norm_edge(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+    if u < v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri() -> (DataGraph, Vec<NodeId>) {
+        let mut g = DataGraph::new();
+        let a = g.add_node("n", "alpha");
+        let b = g.add_node("n", "beta");
+        let c = g.add_node("n", "gamma");
+        g.add_edge(a, b, 1.0);
+        g.add_edge(b, c, 2.0);
+        g.add_edge(a, c, 5.0);
+        (g, vec![a, b, c])
+    }
+
+    #[test]
+    fn valid_tree_passes() {
+        let (g, ids) = tri();
+        let t = AnswerTree {
+            root: ids[1],
+            edges: vec![(ids[0], ids[1]), (ids[1], ids[2])],
+            matches: vec![ids[0], ids[2]],
+            cost: 3.0,
+        };
+        assert!(t.validate(&g, &["alpha", "gamma"]).is_ok());
+        assert_eq!(t.size(), 3);
+    }
+
+    #[test]
+    fn singleton_is_valid() {
+        let (g, ids) = tri();
+        let t = AnswerTree::singleton(ids[0], 1);
+        assert!(t.validate(&g, &["alpha"]).is_ok());
+        assert_eq!(t.size(), 1);
+        assert_eq!(t.cost, 0.0);
+    }
+
+    #[test]
+    fn wrong_match_keyword_fails() {
+        let (g, ids) = tri();
+        let t = AnswerTree::singleton(ids[0], 1);
+        assert!(t.validate(&g, &["beta"]).is_err());
+    }
+
+    #[test]
+    fn disconnected_match_fails() {
+        let (g, ids) = tri();
+        let t = AnswerTree {
+            root: ids[0],
+            edges: vec![],
+            matches: vec![ids[0], ids[2]],
+            cost: 0.0,
+        };
+        assert!(t.validate(&g, &["alpha", "gamma"]).is_err());
+    }
+
+    #[test]
+    fn cycle_fails_tree_check() {
+        let (g, ids) = tri();
+        let t = AnswerTree {
+            root: ids[0],
+            edges: vec![(ids[0], ids[1]), (ids[1], ids[2]), (ids[0], ids[2])],
+            matches: vec![ids[0], ids[2]],
+            cost: 8.0,
+        };
+        assert!(t.validate(&g, &["alpha", "gamma"]).is_err());
+    }
+
+    #[test]
+    fn cost_mismatch_fails() {
+        let (g, ids) = tri();
+        let t = AnswerTree {
+            root: ids[0],
+            edges: vec![(ids[0], ids[1])],
+            matches: vec![ids[0], ids[1]],
+            cost: 9.0,
+        };
+        assert!(t.validate(&g, &["alpha", "beta"]).is_err());
+    }
+
+    #[test]
+    fn signatures_are_order_insensitive() {
+        let (_, ids) = tri();
+        let t1 = AnswerTree {
+            root: ids[0],
+            edges: vec![(ids[1], ids[2]), (ids[0], ids[1])],
+            matches: vec![ids[0], ids[2]],
+            cost: 3.0,
+        };
+        let t2 = AnswerTree {
+            root: ids[2],
+            edges: vec![(ids[0], ids[1]), (ids[1], ids[2])],
+            matches: vec![ids[2], ids[0]],
+            cost: 3.0,
+        };
+        assert_eq!(t1.signature(), t2.signature());
+        assert_eq!(t1.core_signature(), t2.core_signature());
+    }
+}

@@ -1,0 +1,329 @@
+//! BANKS I: backward expanding search (Bhalotia et al., ICDE 02) —
+//! tutorial slide 114.
+//!
+//! One equi-distance Dijkstra expansion runs *backward* from each keyword's
+//! match set; a node reached by all expansions is a connection point — an
+//! answer tree rooted there is the union of the shortest paths back to each
+//! keyword's nearest match, with cost `Σᵢ dist(root, Sᵢ)` (the distinct-root
+//! cost BANKS ranks by).
+//!
+//! The search settles nodes globally in distance order (the paper's
+//! "equi-distance expansion"). Termination is sound for the distinct-root
+//! cost: every yet-unseen connection point must still be settled by at least
+//! one expansion, so its cost is at least that expansion's current radius;
+//! once the k-th best found cost is below every expansion's radius, no better
+//! answer can appear.
+//!
+//! BANKS trees approximate Steiner trees: union-of-shortest-paths is within
+//! a factor of the group count of optimal but not exact — E05 measures the
+//! gap against DPBF.
+
+use crate::answer::{norm_edge, AnswerTree};
+use kwdb_common::{topk::TopK, Score};
+use kwdb_graph::{DataGraph, NodeId};
+use std::collections::{BinaryHeap, HashMap};
+
+/// Incremental multi-source Dijkstra for one keyword group.
+#[derive(Debug)]
+struct GroupExpansion {
+    heap: BinaryHeap<std::cmp::Reverse<(Score, NodeId)>>,
+    dist: HashMap<NodeId, f64>,
+    pred: HashMap<NodeId, NodeId>,
+    /// Distance of the last settled node — the expansion radius.
+    radius: f64,
+}
+
+impl GroupExpansion {
+    fn new(sources: &[NodeId]) -> Self {
+        let mut heap = BinaryHeap::new();
+        let mut dist = HashMap::new();
+        for &s in sources {
+            dist.insert(s, 0.0);
+            heap.push(std::cmp::Reverse((Score(0.0), s)));
+        }
+        GroupExpansion {
+            heap,
+            dist,
+            pred: HashMap::new(),
+            radius: 0.0,
+        }
+    }
+
+    /// Distance of the next node to be settled, if any.
+    fn peek(&self) -> Option<f64> {
+        self.heap.peek().map(|std::cmp::Reverse((Score(d), _))| *d)
+    }
+
+    /// Settle one node; returns it and its distance.
+    fn settle(&mut self, g: &DataGraph) -> Option<(NodeId, f64)> {
+        while let Some(std::cmp::Reverse((Score(d), u))) = self.heap.pop() {
+            if self.dist.get(&u).is_some_and(|&best| d > best) {
+                continue; // stale
+            }
+            self.radius = d;
+            for &(v, w) in g.neighbors(u) {
+                let nd = d + w;
+                if self.dist.get(&v).is_none_or(|&cur| nd < cur) {
+                    self.dist.insert(v, nd);
+                    self.pred.insert(v, u);
+                    self.heap.push(std::cmp::Reverse((Score(nd), v)));
+                }
+            }
+            return Some((u, d));
+        }
+        None
+    }
+
+    /// Shortest-path edges from `n` back to this group's nearest source.
+    fn path_edges(&self, mut n: NodeId) -> Vec<(NodeId, NodeId)> {
+        let mut edges = Vec::new();
+        while let Some(&p) = self.pred.get(&n) {
+            edges.push(norm_edge(n, p));
+            n = p;
+        }
+        edges
+    }
+
+    /// The source that `n`'s shortest path leads to.
+    fn source_of(&self, mut n: NodeId) -> NodeId {
+        while let Some(&p) = self.pred.get(&n) {
+            n = p;
+        }
+        n
+    }
+}
+
+/// The BANKS I engine.
+#[derive(Debug)]
+pub struct BanksI<'g> {
+    g: &'g DataGraph,
+    /// Total nodes settled across all expansions — the work metric.
+    pub nodes_expanded: usize,
+}
+
+impl<'g> BanksI<'g> {
+    pub fn new(g: &'g DataGraph) -> Self {
+        BanksI {
+            g,
+            nodes_expanded: 0,
+        }
+    }
+
+    /// Top-k answers by distinct-root cost, best first.
+    pub fn search<S: AsRef<str>>(&mut self, keywords: &[S], k: usize) -> Vec<AnswerTree> {
+        let l = keywords.len();
+        if l == 0 || k == 0 {
+            return Vec::new();
+        }
+        let mut groups: Vec<GroupExpansion> = Vec::with_capacity(l);
+        for kw in keywords {
+            let sources = self.g.keyword_nodes(kw.as_ref());
+            if sources.is_empty() {
+                return Vec::new();
+            }
+            groups.push(GroupExpansion::new(sources));
+        }
+        // settled_by[node] = bitmask of groups that settled it
+        let mut settled_by: HashMap<NodeId, u32> = HashMap::new();
+        let full: u32 = (1 << l) - 1;
+        let mut topk: TopK<NodeId> = TopK::new(k);
+
+        loop {
+            // Equi-distance: settle from the expansion with smallest frontier.
+            let next = groups
+                .iter()
+                .enumerate()
+                .filter_map(|(i, e)| e.peek().map(|d| (i, d)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            let Some((gi, _)) = next else { break };
+            let Some((node, _)) = groups[gi].settle(self.g) else {
+                break;
+            };
+            self.nodes_expanded += 1;
+            let mask = settled_by.entry(node).or_insert(0);
+            *mask |= 1 << gi;
+            if *mask == full {
+                let cost: f64 = groups.iter().map(|e| e.dist[&node]).sum();
+                topk.push(-cost, node); // TopK keeps max; negate cost
+            }
+            // Sound stop: any future connection point costs at least the
+            // smallest current radius.
+            if topk.is_full() {
+                let kth_cost = -topk.threshold().expect("full");
+                let min_radius = groups
+                    .iter()
+                    .map(|e| e.peek().unwrap_or(f64::INFINITY))
+                    .fold(f64::INFINITY, f64::min);
+                if kth_cost <= min_radius {
+                    break;
+                }
+            }
+        }
+
+        topk.into_sorted_vec()
+            .into_iter()
+            .map(|(neg_cost, root)| self.build_tree(root, -neg_cost, &groups, l))
+            .collect()
+    }
+
+    fn build_tree(
+        &self,
+        root: NodeId,
+        cost: f64,
+        groups: &[GroupExpansion],
+        l: usize,
+    ) -> AnswerTree {
+        let mut edges = Vec::new();
+        let mut matches = Vec::with_capacity(l);
+        for e in groups {
+            edges.extend(e.path_edges(root));
+            matches.push(e.source_of(root));
+        }
+        edges.sort();
+        edges.dedup();
+        // Union of shortest paths may form a non-tree (shared segments create
+        // cycles); prune to a tree by BFS from the root over the edge union.
+        let (tree_edges, tree_cost) = prune_to_tree(self.g, root, &edges, &matches);
+        let _ = cost; // distinct-root cost ranks; the tree cost is the real weight
+        AnswerTree {
+            root,
+            edges: tree_edges,
+            matches,
+            cost: tree_cost,
+        }
+    }
+}
+
+/// Restrict an edge union to a BFS tree from `root` that still reaches every
+/// match, and drop branches that lead nowhere useful. Shared with BANKS II.
+pub(crate) fn prune_to_tree_pub(
+    g: &DataGraph,
+    root: NodeId,
+    edges: &[(NodeId, NodeId)],
+    matches: &[NodeId],
+) -> (Vec<(NodeId, NodeId)>, f64) {
+    prune_to_tree(g, root, edges, matches)
+}
+
+fn prune_to_tree(
+    g: &DataGraph,
+    root: NodeId,
+    edges: &[(NodeId, NodeId)],
+    matches: &[NodeId],
+) -> (Vec<(NodeId, NodeId)>, f64) {
+    let mut adj: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    for &(u, v) in edges {
+        adj.entry(u).or_default().push(v);
+        adj.entry(v).or_default().push(u);
+    }
+    // BFS tree from root.
+    let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut order = vec![root];
+    let mut seen: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+    seen.insert(root);
+    let mut qi = 0;
+    while qi < order.len() {
+        let u = order[qi];
+        qi += 1;
+        for &v in adj.get(&u).into_iter().flatten() {
+            if seen.insert(v) {
+                parent.insert(v, u);
+                order.push(v);
+            }
+        }
+    }
+    // Keep only edges on root→match paths.
+    let mut keep: std::collections::HashSet<(NodeId, NodeId)> = std::collections::HashSet::new();
+    for &m in matches {
+        let mut cur = m;
+        while let Some(&p) = parent.get(&cur) {
+            keep.insert(norm_edge(cur, p));
+            cur = p;
+        }
+    }
+    let mut out: Vec<(NodeId, NodeId)> = keep.into_iter().collect();
+    out.sort();
+    let cost = out
+        .iter()
+        .map(|&(u, v)| g.edge_weight(u, v).expect("edge from union exists"))
+        .sum();
+    (out, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slide30() -> DataGraph {
+        let mut g = DataGraph::new();
+        let a = g.add_node("n", "k1");
+        let b = g.add_node("n", "");
+        let c = g.add_node("n", "k2");
+        let d = g.add_node("n", "k3");
+        let e = g.add_node("n", "k1");
+        g.add_edge(a, b, 5.0);
+        g.add_edge(b, c, 2.0);
+        g.add_edge(b, d, 3.0);
+        g.add_edge(a, c, 6.0);
+        g.add_edge(a, d, 7.0);
+        g.add_edge(e, b, 10.0);
+        g.add_edge(e, c, 11.0);
+        g
+    }
+
+    #[test]
+    fn finds_valid_answers() {
+        let g = slide30();
+        let mut banks = BanksI::new(&g);
+        let res = banks.search(&["k1", "k2", "k3"], 3);
+        assert!(!res.is_empty());
+        for t in &res {
+            t.validate(&g, &["k1", "k2", "k3"]).unwrap();
+        }
+    }
+
+    #[test]
+    fn best_answer_is_near_optimal_on_slide_graph() {
+        let g = slide30();
+        let mut banks = BanksI::new(&g);
+        let res = banks.search(&["k1", "k2", "k3"], 1);
+        // optimal Steiner cost is 10; BANKS (union of shortest paths from the
+        // best root) finds exactly it here
+        assert_eq!(res[0].cost, 10.0);
+    }
+
+    #[test]
+    fn distinct_roots() {
+        let g = slide30();
+        let mut banks = BanksI::new(&g);
+        let res = banks.search(&["k1", "k2"], 5);
+        let mut roots: Vec<NodeId> = res.iter().map(|t| t.root).collect();
+        roots.sort();
+        roots.dedup();
+        assert_eq!(roots.len(), res.len());
+    }
+
+    #[test]
+    fn missing_keyword_is_empty() {
+        let g = slide30();
+        let mut banks = BanksI::new(&g);
+        assert!(banks.search(&["k1", "nope"], 3).is_empty());
+    }
+
+    #[test]
+    fn single_keyword_returns_match_roots() {
+        let g = slide30();
+        let mut banks = BanksI::new(&g);
+        let res = banks.search(&["k1"], 2);
+        assert_eq!(res.len(), 2);
+        assert!(res.iter().all(|t| t.cost == 0.0 && t.size() == 1));
+    }
+
+    #[test]
+    fn expansion_work_is_counted() {
+        let g = slide30();
+        let mut banks = BanksI::new(&g);
+        banks.search(&["k1", "k2", "k3"], 1);
+        assert!(banks.nodes_expanded > 0);
+    }
+}

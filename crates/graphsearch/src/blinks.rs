@@ -1,0 +1,251 @@
+//! BLINKS: distinct-root top-k via a node→keyword index and Fagin's
+//! threshold algorithm (He et al., SIGMOD 07) — tutorial slide 123.
+//!
+//! Under distinct-root semantics an answer is a root `r` with cost
+//! `Σᵢ dist(r, Sᵢ)`. With the [`NodeKeywordIndex`] giving, per keyword, a
+//! distance-sorted node list (sorted access) and `dist(r, k)` lookups
+//! (random access), top-k roots fall out of the classic TA loop:
+//! round-robin the sorted lists, complete each discovered root by random
+//! access, and stop once the k-th best cost is below the threshold
+//! `Σᵢ d̄ᵢ` of current sorted-access depths — every unseen root must cost at
+//! least that. This is the single-level ("SLINKS") layout; the bi-level
+//! BLINKS partitioning is available as
+//! [`kwdb_graph::blocks::BlockPartition`] and changes index layout, not the
+//! TA logic.
+
+use crate::answer::{norm_edge, AnswerTree};
+use kwdb_common::topk::TopK;
+use kwdb_graph::shortest::dijkstra;
+use kwdb_graph::{DataGraph, NodeId, NodeKeywordIndex};
+use std::collections::HashSet;
+
+/// The BLINKS engine. Holds a prebuilt index so repeated queries over the
+/// same keyword vocabulary amortize construction.
+#[derive(Debug)]
+pub struct Blinks<'g> {
+    g: &'g DataGraph,
+    /// Sorted accesses performed in the last search.
+    pub sorted_accesses: usize,
+    /// Random accesses performed in the last search.
+    pub random_accesses: usize,
+}
+
+impl<'g> Blinks<'g> {
+    pub fn new(g: &'g DataGraph) -> Self {
+        Blinks {
+            g,
+            sorted_accesses: 0,
+            random_accesses: 0,
+        }
+    }
+
+    /// Build the node→keyword index for `keywords` (callers may cache it).
+    pub fn build_index<S: AsRef<str>>(&self, keywords: &[S]) -> NodeKeywordIndex {
+        NodeKeywordIndex::build(self.g, keywords, None)
+    }
+
+    /// Top-k distinct-root answers, best first.
+    pub fn search<S: AsRef<str>>(
+        &mut self,
+        index: &NodeKeywordIndex,
+        keywords: &[S],
+        k: usize,
+    ) -> Vec<AnswerTree> {
+        self.sorted_accesses = 0;
+        self.random_accesses = 0;
+        let l = keywords.len();
+        if l == 0 || k == 0 {
+            return Vec::new();
+        }
+        let lists: Vec<&[(NodeId, f64)]> = keywords
+            .iter()
+            .map(|kw| index.sorted_list(kw.as_ref()))
+            .collect();
+        if lists.iter().any(|lst| lst.is_empty()) {
+            return Vec::new();
+        }
+        let mut cursors = vec![0usize; l];
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut topk: TopK<NodeId> = TopK::new(k);
+
+        'ta: loop {
+            let mut any = false;
+            for (i, list) in lists.iter().enumerate() {
+                let Some(&(node, _)) = list.get(cursors[i]) else {
+                    continue;
+                };
+                cursors[i] += 1;
+                self.sorted_accesses += 1;
+                any = true;
+                if seen.insert(node) {
+                    // random access: complete the root's score
+                    let mut total = 0.0;
+                    let mut complete = true;
+                    for kw in keywords {
+                        self.random_accesses += 1;
+                        match index.dist(node, kw.as_ref()) {
+                            Some(d) => total += d,
+                            None => {
+                                complete = false;
+                                break;
+                            }
+                        }
+                    }
+                    if complete {
+                        topk.push(-total, node);
+                    }
+                }
+                // threshold check after each sorted access
+                if topk.is_full() {
+                    let threshold: f64 = lists
+                        .iter()
+                        .zip(&cursors)
+                        .map(|(lst, &c)| {
+                            // last value read on this list (lists are ascending)
+                            lst.get(c.saturating_sub(1)).map(|&(_, d)| d).unwrap_or(0.0)
+                        })
+                        .sum();
+                    let kth_cost = -topk.threshold().expect("full");
+                    if kth_cost <= threshold {
+                        break 'ta;
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+
+        topk.into_sorted_vec()
+            .into_iter()
+            .map(|(neg, root)| self.build_tree(index, keywords, root, -neg))
+            .collect()
+    }
+
+    /// Materialize a root's answer tree: shortest paths to each keyword's
+    /// nearest match.
+    fn build_tree<S: AsRef<str>>(
+        &self,
+        index: &NodeKeywordIndex,
+        keywords: &[S],
+        root: NodeId,
+        _rank_cost: f64,
+    ) -> AnswerTree {
+        let mut edges = Vec::new();
+        let mut matches = Vec::with_capacity(keywords.len());
+        for kw in keywords {
+            let m = index
+                .nearest_match(root, kw.as_ref())
+                .expect("complete root");
+            matches.push(m);
+            if m != root {
+                let sp = dijkstra(self.g, root, Some(m), None, &|_| false);
+                let path = sp.path_to(m).expect("indexed distance implies a path");
+                for w in path.windows(2) {
+                    edges.push(norm_edge(w[0], w[1]));
+                }
+            }
+        }
+        edges.sort();
+        edges.dedup();
+        let (tree_edges, cost) = crate::banks1::prune_to_tree_pub(self.g, root, &edges, &matches);
+        AnswerTree {
+            root,
+            edges: tree_edges,
+            matches,
+            cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slide30() -> DataGraph {
+        let mut g = DataGraph::new();
+        let a = g.add_node("n", "k1");
+        let b = g.add_node("n", "");
+        let c = g.add_node("n", "k2");
+        let d = g.add_node("n", "k3");
+        let e = g.add_node("n", "k1");
+        g.add_edge(a, b, 5.0);
+        g.add_edge(b, c, 2.0);
+        g.add_edge(b, d, 3.0);
+        g.add_edge(a, c, 6.0);
+        g.add_edge(a, d, 7.0);
+        g.add_edge(e, b, 10.0);
+        g.add_edge(e, c, 11.0);
+        g
+    }
+
+    #[test]
+    fn top1_matches_best_distinct_root() {
+        let g = slide30();
+        let kws = ["k1", "k2", "k3"];
+        let mut bl = Blinks::new(&g);
+        let ix = bl.build_index(&kws);
+        let res = bl.search(&ix, &kws, 1);
+        assert_eq!(res.len(), 1);
+        // b is the best distinct root (5 + 2 + 3 = 10)
+        assert_eq!(res[0].cost, 10.0);
+        res[0].validate(&g, &kws).unwrap();
+    }
+
+    #[test]
+    fn topk_agrees_with_exhaustive_scan() {
+        let g = slide30();
+        let kws = ["k1", "k2"];
+        let mut bl = Blinks::new(&g);
+        let ix = bl.build_index(&kws);
+        let res = bl.search(&ix, &kws, 3);
+        // exhaustive: score every node by sum of index distances
+        let mut all: Vec<(f64, NodeId)> = g
+            .iter()
+            .filter_map(|n| {
+                let d1 = ix.dist(n, "k1")?;
+                let d2 = ix.dist(n, "k2")?;
+                Some((d1 + d2, n))
+            })
+            .collect();
+        all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        let ta_costs: Vec<f64> = res
+            .iter()
+            .map(|t| ix.dist(t.root, "k1").unwrap() + ix.dist(t.root, "k2").unwrap())
+            .collect();
+        let best: Vec<f64> = all.iter().take(3).map(|&(c, _)| c).collect();
+        assert_eq!(ta_costs, best);
+    }
+
+    #[test]
+    fn ta_stops_before_exhausting_lists() {
+        // Long path: early stop should not read everything.
+        let mut g = DataGraph::new();
+        let first = g.add_node("n", "x y");
+        let mut prev = first;
+        for i in 0..50 {
+            let n = g.add_node("n", &format!("f{i}"));
+            g.add_edge(prev, n, 1.0);
+            prev = n;
+        }
+        let kws = ["x", "y"];
+        let mut bl = Blinks::new(&g);
+        let ix = bl.build_index(&kws);
+        let res = bl.search(&ix, &kws, 1);
+        assert_eq!(res[0].cost, 0.0);
+        assert!(
+            bl.sorted_accesses < 20,
+            "TA should stop early, did {} accesses",
+            bl.sorted_accesses
+        );
+    }
+
+    #[test]
+    fn missing_keyword_is_empty() {
+        let g = slide30();
+        let kws = ["k1", "none"];
+        let mut bl = Blinks::new(&g);
+        let ix = bl.build_index(&kws);
+        assert!(bl.search(&ix, &kws, 2).is_empty());
+    }
+}

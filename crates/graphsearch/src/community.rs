@@ -1,0 +1,166 @@
+//! Distinct-core semantics / communities (Qin et al., *Querying Communities
+//! in Relational Databases*, ICDE 09) — tutorial slides 31 and 126.
+//!
+//! Two answers with the same *core* — the combination of keyword match nodes
+//! — are the same community even if connected through different centers.
+//! A community exists for core `(m₁, …, m_l)` when some center `x` satisfies
+//! `dist(x, mᵢ) ≤ Dmax` for all `i`; its cost is the best center's total
+//! distance. This mirrors the `Pairs(n1, n2, dist ≤ Dmax)` formulation the
+//! RDBMS-powered evaluation uses (slide 126), so
+//! `kwdb_relsearch::rdbms_power` can be cross-checked against this module.
+
+use kwdb_graph::shortest::multi_source;
+use kwdb_graph::{DataGraph, NodeId};
+use std::collections::HashMap;
+
+/// A community answer: a distinct keyword-match combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Community {
+    /// `core[i]` matches keyword `i`.
+    pub core: Vec<NodeId>,
+    /// Best center and its total distance to the core.
+    pub center: NodeId,
+    pub cost: f64,
+}
+
+/// Enumerate communities with centers within `d_max` of every keyword.
+///
+/// Implementation: one distance-capped multi-source Dijkstra per keyword
+/// (tracking the nearest-match origin), then every node reached by all
+/// keywords proposes the core formed by its nearest matches. Distinct cores
+/// are kept with their cheapest center, sorted by cost.
+///
+/// Note this enumerates cores *realized by some nearest-match assignment*;
+/// cores only reachable through non-nearest matches are not produced, which
+/// matches the pruning behaviour of the semi-join evaluation.
+pub fn search<S: AsRef<str>>(
+    g: &DataGraph,
+    keywords: &[S],
+    d_max: f64,
+    k: usize,
+) -> Vec<Community> {
+    let l = keywords.len();
+    if l == 0 || k == 0 {
+        return Vec::new();
+    }
+    let mut dists: Vec<HashMap<NodeId, f64>> = Vec::with_capacity(l);
+    let mut origins: Vec<HashMap<NodeId, NodeId>> = Vec::with_capacity(l);
+    for kw in keywords {
+        let sources = g.keyword_nodes(kw.as_ref());
+        if sources.is_empty() {
+            return Vec::new();
+        }
+        let (d, o) = multi_source(g, sources, Some(d_max));
+        dists.push(d);
+        origins.push(o);
+    }
+    // Iterate candidates from the smallest reach set.
+    let smallest = (0..l).min_by_key(|&i| dists[i].len()).expect("l >= 1");
+    let mut best: HashMap<Vec<NodeId>, (NodeId, f64)> = HashMap::new();
+    'centers: for (&x, &d0) in &dists[smallest] {
+        let mut core = vec![NodeId(0); l];
+        let mut total = 0.0;
+        for i in 0..l {
+            if i == smallest {
+                core[i] = origins[i][&x];
+                total += d0;
+                continue;
+            }
+            match dists[i].get(&x) {
+                Some(&d) => {
+                    core[i] = origins[i][&x];
+                    total += d;
+                }
+                None => continue 'centers,
+            }
+        }
+        match best.get_mut(&core) {
+            Some(slot) => {
+                if total < slot.1 || (total == slot.1 && x < slot.0) {
+                    *slot = (x, total);
+                }
+            }
+            None => {
+                best.insert(core, (x, total));
+            }
+        }
+    }
+    let mut out: Vec<Community> = best
+        .into_iter()
+        .map(|(core, (center, cost))| Community { core, center, cost })
+        .collect();
+    out.sort_by(|a, b| {
+        a.cost
+            .partial_cmp(&b.cost)
+            .unwrap()
+            .then(a.core.cmp(&b.core))
+    });
+    out.truncate(k);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two x-matches and one y-match on a path: x1—a—y1—b—x2.
+    fn graph() -> (DataGraph, Vec<NodeId>) {
+        let mut g = DataGraph::new();
+        let x1 = g.add_node("n", "x");
+        let a = g.add_node("n", "");
+        let y1 = g.add_node("n", "y");
+        let b = g.add_node("n", "");
+        let x2 = g.add_node("n", "x");
+        g.add_edge(x1, a, 1.0);
+        g.add_edge(a, y1, 1.0);
+        g.add_edge(y1, b, 1.0);
+        g.add_edge(b, x2, 1.0);
+        (g, vec![x1, a, y1, b, x2])
+    }
+
+    #[test]
+    fn distinct_cores_found() {
+        let (g, ids) = graph();
+        let res = search(&g, &["x", "y"], 2.0, 10);
+        // cores: (x1, y1) and (x2, y1)
+        assert_eq!(res.len(), 2);
+        let cores: Vec<Vec<NodeId>> = res.iter().map(|c| c.core.clone()).collect();
+        assert!(cores.contains(&vec![ids[0], ids[2]]));
+        assert!(cores.contains(&vec![ids[4], ids[2]]));
+    }
+
+    #[test]
+    fn costs_sorted_and_best_center_chosen() {
+        let (g, _) = graph();
+        let res = search(&g, &["x", "y"], 3.0, 10);
+        assert!(res.windows(2).all(|w| w[0].cost <= w[1].cost));
+        // best center for (x1,y1): a or the matches themselves — cost 2
+        assert_eq!(res[0].cost, 2.0);
+    }
+
+    #[test]
+    fn dmax_restricts_communities() {
+        let (g, _) = graph();
+        // d_max 1: a center must be adjacent to both an x and the y
+        let res = search(&g, &["x", "y"], 1.0, 10);
+        assert_eq!(res.len(), 2); // centers a and b qualify
+        let res0 = search(&g, &["x", "y"], 0.4, 10);
+        assert!(res0.is_empty(), "no node matches both keywords directly");
+    }
+
+    #[test]
+    fn node_matching_all_keywords_is_its_own_community() {
+        let mut g = DataGraph::new();
+        let n = g.add_node("n", "x y");
+        let res = search(&g, &["x", "y"], 1.0, 5);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].core, vec![n, n]);
+        assert_eq!(res[0].cost, 0.0);
+    }
+
+    #[test]
+    fn missing_keyword_empty() {
+        let (g, _) = graph();
+        assert!(search(&g, &["x", "none"], 5.0, 5).is_empty());
+    }
+}

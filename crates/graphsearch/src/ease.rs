@@ -1,0 +1,227 @@
+//! EASE: r-radius Steiner subgraphs (Li et al., SIGMOD 08) —
+//! tutorial slide 31.
+//!
+//! An answer is a subgraph of hop-radius ≤ r around a center node whose
+//! neighborhood contains a match of every keyword, *reduced to its Steiner
+//! part*: only nodes on shortest center→match paths survive ("less
+//! unnecessary nodes"). Subgraphs with identical node sets are reported
+//! once (maximality by node-set dedup). Scored by keyword proximity: the
+//! closer the matches sit to each other, the higher the score.
+
+use kwdb_graph::shortest::within_hops;
+use kwdb_graph::{DataGraph, NodeId};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// An r-radius Steiner subgraph answer.
+#[derive(Debug, Clone)]
+pub struct SteinerSubgraph {
+    pub center: NodeId,
+    /// All retained nodes (sorted).
+    pub nodes: Vec<NodeId>,
+    /// Retained edges (normalized, sorted).
+    pub edges: Vec<(NodeId, NodeId)>,
+    /// `matches[i]` are the matches of keyword `i` inside the subgraph.
+    pub matches: Vec<Vec<NodeId>>,
+    pub score: f64,
+}
+
+/// Search for r-radius Steiner subgraphs.
+pub fn search<S: AsRef<str>>(
+    g: &DataGraph,
+    keywords: &[S],
+    radius: usize,
+    k: usize,
+) -> Vec<SteinerSubgraph> {
+    let l = keywords.len();
+    if l == 0 || k == 0 {
+        return Vec::new();
+    }
+    let groups: Vec<HashSet<NodeId>> = keywords
+        .iter()
+        .map(|kw| g.keyword_nodes(kw.as_ref()).iter().copied().collect())
+        .collect();
+    if groups.iter().any(|s| s.is_empty()) {
+        return Vec::new();
+    }
+    let mut out: Vec<SteinerSubgraph> = Vec::new();
+    let mut seen_nodesets: HashSet<Vec<NodeId>> = HashSet::new();
+
+    for center in g.iter() {
+        let hood = within_hops(g, center, radius);
+        // per-keyword matches within the neighborhood
+        let matches: Vec<Vec<NodeId>> = groups
+            .iter()
+            .map(|grp| {
+                let mut m: Vec<NodeId> = hood.keys().filter(|n| grp.contains(n)).copied().collect();
+                m.sort();
+                m
+            })
+            .collect();
+        if matches.iter().any(|m| m.is_empty()) {
+            continue;
+        }
+        // Steiner reduction: keep nodes on BFS-hop shortest paths center→match.
+        let kept = steiner_nodes(g, center, &hood, &matches);
+        let mut nodes: Vec<NodeId> = kept.iter().copied().collect();
+        nodes.sort();
+        if !seen_nodesets.insert(nodes.clone()) {
+            continue; // same reduced subgraph found from another center
+        }
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for &u in &nodes {
+            for &(v, _) in g.neighbors(u) {
+                if u < v && kept.contains(&v) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        edges.sort();
+        let score = proximity_score(&hood, &matches);
+        out.push(SteinerSubgraph {
+            center,
+            nodes,
+            edges,
+            matches,
+            score,
+        });
+    }
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap()
+            .then(a.nodes.len().cmp(&b.nodes.len()))
+            .then(a.center.cmp(&b.center))
+    });
+    out.truncate(k);
+    out
+}
+
+/// Nodes on some hop-shortest path from the center to a match.
+fn steiner_nodes(
+    g: &DataGraph,
+    center: NodeId,
+    hood: &HashMap<NodeId, usize>,
+    matches: &[Vec<NodeId>],
+) -> BTreeSet<NodeId> {
+    let mut kept: BTreeSet<NodeId> = BTreeSet::new();
+    kept.insert(center);
+    // Walk back from each match along decreasing hop count.
+    let mut frontier: Vec<NodeId> = matches.iter().flatten().copied().collect();
+    while let Some(n) = frontier.pop() {
+        if !kept.insert(n) {
+            continue;
+        }
+        let h = hood[&n];
+        if h == 0 {
+            continue;
+        }
+        for &(p, _) in g.neighbors(n) {
+            if hood.get(&p).is_some_and(|&hp| hp + 1 == h) {
+                frontier.push(p);
+                break; // one shortest predecessor suffices for the reduction
+            }
+        }
+    }
+    kept
+}
+
+/// EASE-style proximity score: sum over keyword-match pairs (across distinct
+/// keywords) of `1 / (hops(m1) + hops(m2) + 1)` — matches close to the
+/// center (hence to each other) score high.
+fn proximity_score(hood: &HashMap<NodeId, usize>, matches: &[Vec<NodeId>]) -> f64 {
+    let mut score = 0.0;
+    for (i, mi) in matches.iter().enumerate() {
+        for mj in matches.iter().skip(i + 1) {
+            for &a in mi {
+                for &b in mj {
+                    let d = hood[&a] + hood[&b];
+                    score += 1.0 / (d as f64 + 1.0);
+                }
+            }
+        }
+    }
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// x—c—y plus a far pair x2——(3 hops)——y2.
+    fn graph() -> (DataGraph, Vec<NodeId>) {
+        let mut g = DataGraph::new();
+        let x = g.add_node("n", "apple");
+        let c = g.add_node("n", "");
+        let y = g.add_node("n", "banana");
+        g.add_edge(x, c, 1.0);
+        g.add_edge(c, y, 1.0);
+        let x2 = g.add_node("n", "apple");
+        let m1 = g.add_node("n", "");
+        let m2 = g.add_node("n", "");
+        let y2 = g.add_node("n", "banana");
+        g.add_edge(x2, m1, 1.0);
+        g.add_edge(m1, m2, 1.0);
+        g.add_edge(m2, y2, 1.0);
+        (g, vec![x, c, y, x2, m1, m2, y2])
+    }
+
+    #[test]
+    fn tight_subgraph_ranks_first() {
+        let (g, ids) = graph();
+        let res = search(&g, &["apple", "banana"], 2, 10);
+        assert!(!res.is_empty());
+        let top = &res[0];
+        assert!(top.nodes.contains(&ids[0]) && top.nodes.contains(&ids[2]));
+        assert!(res.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn radius_limits_answers() {
+        let (g, _) = graph();
+        // radius 1: no center sees both keywords in the far component,
+        // and in the near component only c does.
+        let res = search(&g, &["apple", "banana"], 1, 10);
+        assert_eq!(res.len(), 1);
+        // radius 2 adds centers covering the far pair
+        let res2 = search(&g, &["apple", "banana"], 2, 10);
+        assert!(res2.len() > res.len());
+    }
+
+    #[test]
+    fn steiner_reduction_drops_unrelated_nodes() {
+        let mut g = DataGraph::new();
+        let x = g.add_node("n", "p");
+        let c = g.add_node("n", "");
+        let y = g.add_node("n", "q");
+        let stray = g.add_node("n", "");
+        g.add_edge(x, c, 1.0);
+        g.add_edge(c, y, 1.0);
+        g.add_edge(c, stray, 1.0);
+        let res = search(&g, &["p", "q"], 1, 10);
+        assert_eq!(res.len(), 1);
+        assert!(
+            !res[0].nodes.contains(&stray),
+            "stray node must be reduced away"
+        );
+    }
+
+    #[test]
+    fn duplicate_nodesets_reported_once() {
+        // Both matches sit on one node; every center that can see it reduces
+        // to a subgraph containing it, and the identical singleton reduction
+        // (center = x itself) must be reported exactly once.
+        let mut g = DataGraph::new();
+        let x = g.add_node("n", "p q");
+        let _lone = g.add_node("n", "other");
+        let res = search(&g, &["p", "q"], 1, 10);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].nodes, vec![x]);
+        assert_eq!(res[0].center, x);
+    }
+
+    #[test]
+    fn missing_keyword_empty() {
+        let (g, _) = graph();
+        assert!(search(&g, &["apple", "zzz"], 2, 5).is_empty());
+    }
+}

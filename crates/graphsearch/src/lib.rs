@@ -1,0 +1,38 @@
+//! Graph-based keyword search.
+//!
+//! Slide 29 of the tutorial lays out the taxonomy of graph answer semantics;
+//! this crate implements one engine per family:
+//!
+//! | Semantics | System | Module |
+//! |---|---|---|
+//! | (Group) Steiner tree, exact top-k | DPBF (Ding et al., ICDE 07) | [`dpbf`] |
+//! | Steiner tree, approximate | BANKS I backward search (ICDE 02) | [`banks1`] |
+//! | Steiner tree, approximate | BANKS II bidirectional search (VLDB 05) | [`banks2`] |
+//! | Steiner tree, approximate | shortest-path-tree heuristic (STAR-style) | [`approx`] |
+//! | Distinct root | BLINKS node→keyword index + TA (SIGMOD 07) | [`blinks`] |
+//! | Distinct core / community | Qin et al. (ICDE 09) | [`community`] |
+//! | r-radius Steiner subgraph | EASE (SIGMOD 08) | [`ease`] |
+//!
+//! [`proximity_search`] is the family's ancestor (Goldman et al., VLDB 98;
+//! slide 25): rank *find*-objects by distance to *near*-objects, optionally
+//! served from the hub index.
+//!
+//! All engines consume a [`kwdb_graph::DataGraph`] and produce
+//! [`answer::AnswerTree`]s (or subgraphs), so they are directly comparable —
+//! experiment E34 runs the whole zoo on one graph.
+
+pub mod answer;
+pub mod approx;
+pub mod banks1;
+pub mod banks2;
+pub mod blinks;
+pub mod community;
+pub mod dpbf;
+pub mod ease;
+pub mod proximity_search;
+
+pub use answer::AnswerTree;
+pub use banks1::BanksI;
+pub use banks2::BanksII;
+pub use blinks::Blinks;
+pub use dpbf::Dpbf;

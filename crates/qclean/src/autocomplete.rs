@@ -1,0 +1,227 @@
+//! Type-ahead keyword search — TASTIER (Li et al., SIGMOD 09) —
+//! tutorial slides 71–73.
+//!
+//! Every query keyword is treated as a *prefix*: `{srivasta, sig}` matches
+//! papers by srivastava in sigmod. The machinery:
+//!
+//! * a [`Trie`] over the data's tokens, where each prefix corresponds to a
+//!   contiguous **range of token ids** (tokens are numbered in sorted
+//!   order, so a subtree of the trie is an id interval);
+//! * candidate elements come from the *least frequent* prefix; the other
+//!   prefixes prune candidates through a **δ-step forward index** mapping
+//!   each element to the token ids reachable within δ steps (slide 73's
+//!   table) — exactly the structure `kwdb_graph::shortest::within_hops`
+//!   produces for a data graph.
+
+use std::collections::{HashMap, HashSet};
+
+/// A trie over a sorted vocabulary; each node knows the token-id range of
+/// its subtree.
+#[derive(Debug, Clone)]
+pub struct Trie {
+    /// Sorted vocabulary; token id = index.
+    words: Vec<String>,
+}
+
+impl Trie {
+    /// Build from any word iterator (deduplicated, sorted internally).
+    pub fn build<I, S>(words: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut v: Vec<String> = words.into_iter().map(Into::into).collect();
+        v.sort();
+        v.dedup();
+        Trie { words: v }
+    }
+
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The id range `[lo, hi)` of tokens starting with `prefix` — the
+    /// trie-subtree interval of slide 72.
+    pub fn prefix_range(&self, prefix: &str) -> (usize, usize) {
+        let lo = self.words.partition_point(|w| w.as_str() < prefix);
+        let hi = self
+            .words
+            .partition_point(|w| w.as_str() < prefix || w.starts_with(prefix));
+        (lo, hi)
+    }
+
+    /// Tokens completing `prefix`, in sorted order.
+    pub fn complete(&self, prefix: &str) -> &[String] {
+        let (lo, hi) = self.prefix_range(prefix);
+        &self.words[lo..hi]
+    }
+
+    /// Id of an exact token.
+    pub fn token_id(&self, word: &str) -> Option<usize> {
+        self.words.binary_search_by(|w| w.as_str().cmp(word)).ok()
+    }
+
+    pub fn word(&self, id: usize) -> &str {
+        &self.words[id]
+    }
+}
+
+/// δ-step forward index: element → token ids reachable within δ steps.
+/// For flat documents "reachable" is simply "contained"; for a data graph
+/// it is the tokens of the δ-hop neighborhood.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardIndex {
+    reach: HashMap<u64, HashSet<usize>>,
+}
+
+impl ForwardIndex {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `element` can reach token `token_id`.
+    pub fn add(&mut self, element: u64, token_id: usize) {
+        self.reach.entry(element).or_default().insert(token_id);
+    }
+
+    pub fn reachable(&self, element: u64) -> Option<&HashSet<usize>> {
+        self.reach.get(&element)
+    }
+
+    /// Elements that directly contain a token in `[lo, hi)` — the candidate
+    /// generator for the rarest prefix.
+    pub fn elements_in_range(&self, lo: usize, hi: usize) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .reach
+            .iter()
+            .filter(|(_, toks)| toks.iter().any(|&t| lo <= t && t < hi))
+            .map(|(&e, _)| e)
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+/// TASTIER search: elements whose δ-neighborhood matches *every* prefix.
+/// Returns `(candidates examined, surviving elements)` so E10 can report
+/// the pruning power of the forward index.
+pub fn tastier_search(trie: &Trie, fwd: &ForwardIndex, prefixes: &[&str]) -> (usize, Vec<u64>) {
+    if prefixes.is_empty() {
+        return (0, Vec::new());
+    }
+    let ranges: Vec<(usize, usize)> = prefixes.iter().map(|p| trie.prefix_range(p)).collect();
+    if ranges.iter().any(|&(lo, hi)| lo == hi) {
+        return (0, Vec::new());
+    }
+    // candidates from the smallest range
+    let (smallest_idx, &(slo, shi)) = ranges
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &(lo, hi))| hi - lo)
+        .expect("nonempty prefixes");
+    let candidates = fwd.elements_in_range(slo, shi);
+    let examined = candidates.len();
+    let survivors = candidates
+        .into_iter()
+        .filter(|&e| {
+            let Some(reach) = fwd.reachable(e) else {
+                return false;
+            };
+            ranges
+                .iter()
+                .enumerate()
+                .all(|(j, &(lo, hi))| j == smallest_idx || reach.iter().any(|&t| lo <= t && t < hi))
+        })
+        .collect();
+    (examined, survivors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trie() -> Trie {
+        Trie::build([
+            "sigact",
+            "sigmod",
+            "sigweb",
+            "sigir",
+            "srivastava",
+            "smith",
+            "stonebraker",
+        ])
+    }
+
+    #[test]
+    fn prefix_range_is_contiguous_and_correct() {
+        let t = trie();
+        let (lo, hi) = t.prefix_range("sig");
+        let words: Vec<&str> = t.words[lo..hi].iter().map(|s| s.as_str()).collect();
+        assert_eq!(words, vec!["sigact", "sigir", "sigmod", "sigweb"]);
+        assert_eq!(t.complete("sr"), &["srivastava".to_string()]);
+        assert_eq!(t.prefix_range("zzz"), (7, 7));
+        assert_eq!(t.complete("s").len(), 7);
+    }
+
+    #[test]
+    fn exact_token_lookup() {
+        let t = trie();
+        let id = t.token_id("sigmod").unwrap();
+        assert_eq!(t.word(id), "sigmod");
+        assert!(t.token_id("sig").is_none());
+    }
+
+    /// Slide 73: {srivasta, sig} — candidates from the rare prefix are
+    /// pruned by the δ-step forward index.
+    #[test]
+    fn slide73_pruning() {
+        let t = trie();
+        let sid = |w: &str| t.token_id(w).unwrap();
+        let mut fwd = ForwardIndex::new();
+        // element 11: srivastava paper in sigweb-adjacent context? no sig*
+        fwd.add(11, sid("srivastava"));
+        fwd.add(11, sid("smith"));
+        // element 12: srivastava with sigmod reachable in δ steps
+        fwd.add(12, sid("srivastava"));
+        fwd.add(12, sid("sigmod"));
+        // element 78: srivastava alone
+        fwd.add(78, sid("srivastava"));
+        let (examined, survivors) = tastier_search(&t, &fwd, &["srivasta", "sig"]);
+        assert_eq!(examined, 3, "all srivasta-candidates examined");
+        assert_eq!(survivors, vec![12], "only 12 reaches a sig* token");
+    }
+
+    #[test]
+    fn empty_prefix_range_short_circuits() {
+        let t = trie();
+        let fwd = ForwardIndex::new();
+        let (examined, survivors) = tastier_search(&t, &fwd, &["zzz", "sig"]);
+        assert_eq!(examined, 0);
+        assert!(survivors.is_empty());
+    }
+
+    #[test]
+    fn single_prefix_returns_all_containing_elements() {
+        let t = trie();
+        let mut fwd = ForwardIndex::new();
+        fwd.add(1, t.token_id("sigmod").unwrap());
+        fwd.add(2, t.token_id("smith").unwrap());
+        let (_, survivors) = tastier_search(&t, &fwd, &["sig"]);
+        assert_eq!(survivors, vec![1]);
+    }
+
+    #[test]
+    fn multiple_tokens_same_element() {
+        let t = trie();
+        let mut fwd = ForwardIndex::new();
+        fwd.add(5, t.token_id("sigmod").unwrap());
+        fwd.add(5, t.token_id("sigir").unwrap());
+        fwd.add(5, t.token_id("stonebraker").unwrap());
+        let (_, survivors) = tastier_search(&t, &fwd, &["sig", "stone"]);
+        assert_eq!(survivors, vec![5]);
+    }
+}

@@ -1,0 +1,410 @@
+//! Keyword++: mapping non-quantitative keywords to structured predicates
+//! (Xin, He & Ganti, VLDB 10) — tutorial slides 95–100.
+//!
+//! `small IBM laptop` served literally has low precision ("IBM" no longer
+//! appears on Lenovo products) and low recall ("small" matches no row).
+//! Keyword++ *learns* what each keyword means by comparing the results of
+//! **differential query pairs** (DQPs) from the query log: `Qf = Qb ∪ {k}`.
+//! If adding `k` skews an attribute's value distribution, that attribute
+//! value is `k`'s meaning:
+//!
+//! * categorical attributes — KL divergence between the foreground and
+//!   background distributions; the dominant value becomes an `=` predicate
+//!   (`IBM → Brand = 'Lenovo'`);
+//! * numeric attributes — distribution shift (mean displacement, a 1-D
+//!   earth-mover's distance); the direction becomes an `ORDER BY`
+//!   (`small → ORDER BY ScreenSize ASC`).
+
+use kwdb_common::Value;
+use kwdb_relational::{Database, RowId, TableId};
+use std::collections::HashMap;
+
+/// How a keyword translates into structure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mapping {
+    /// `column = value`.
+    Eq {
+        column: usize,
+        value: Value,
+        score: f64,
+    },
+    /// `ORDER BY column ASC/DESC`.
+    OrderBy {
+        column: usize,
+        ascending: bool,
+        score: f64,
+    },
+}
+
+/// A translated query (slide 96's CNF form).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranslatedQuery {
+    /// Structured predicates from mapped keywords.
+    pub predicates: Vec<Mapping>,
+    /// Residual keywords served as full-text containment.
+    pub residual: Vec<String>,
+}
+
+/// The Keyword++ learner for one entity table.
+#[derive(Debug)]
+pub struct KeywordPlusPlus<'a> {
+    db: &'a Database,
+    table: TableId,
+    /// Columns eligible as categorical / numeric predicate targets.
+    categorical: Vec<usize>,
+    numeric: Vec<usize>,
+    mappings: HashMap<String, Mapping>,
+}
+
+/// Divergence a mapping must clear to be adopted.
+const MIN_SCORE: f64 = 0.2;
+
+impl<'a> KeywordPlusPlus<'a> {
+    pub fn new(
+        db: &'a Database,
+        table: TableId,
+        categorical: Vec<usize>,
+        numeric: Vec<usize>,
+    ) -> Self {
+        KeywordPlusPlus {
+            db,
+            table,
+            categorical,
+            numeric,
+            mappings: HashMap::new(),
+        }
+    }
+
+    /// Rows matching a keyword query under plain containment semantics.
+    pub fn keyword_results<S: AsRef<str>>(&self, query: &[S]) -> Vec<RowId> {
+        let t = self.db.table(self.table);
+        t.iter()
+            .filter(|&(rid, _)| {
+                let toks = self
+                    .db
+                    .tuple_tokens(kwdb_relational::TupleId::new(self.table, rid));
+                query.iter().all(|k| toks.iter().any(|t| t == k.as_ref()))
+            })
+            .map(|(rid, _)| rid)
+            .collect()
+    }
+
+    /// Learn mappings for every keyword occurring in the log, using all the
+    /// log's DQPs per keyword and averaging their divergence scores.
+    pub fn learn(&mut self, log: &[Vec<String>]) {
+        // keyword → list of (foreground rows, background rows)
+        type Dqps<'k> = HashMap<&'k str, Vec<(Vec<RowId>, Vec<RowId>)>>;
+        let mut dqps: Dqps<'_> = HashMap::new();
+        for qf in log {
+            for (i, k) in qf.iter().enumerate() {
+                let mut qb = qf.clone();
+                qb.remove(i);
+                // the background query must itself appear in the log
+                if !log
+                    .iter()
+                    .any(|q| q.len() == qb.len() && qb.iter().all(|t| q.contains(t)))
+                {
+                    continue;
+                }
+                let f_rows = self.keyword_results(qf);
+                let b_rows = self.keyword_results(&qb);
+                if b_rows.is_empty() {
+                    continue;
+                }
+                dqps.entry(k.as_str()).or_default().push((f_rows, b_rows));
+            }
+        }
+        let mut learned: Vec<(String, Mapping)> = Vec::new();
+        for (k, pairs) in &dqps {
+            if let Some(m) = self.best_mapping(pairs) {
+                learned.push((k.to_string(), m));
+            }
+        }
+        for (k, m) in learned {
+            self.mappings.insert(k, m);
+        }
+    }
+
+    fn best_mapping(&self, pairs: &[(Vec<RowId>, Vec<RowId>)]) -> Option<Mapping> {
+        let mut best: Option<Mapping> = None;
+        let score_of = |m: &Mapping| match m {
+            Mapping::Eq { score, .. } | Mapping::OrderBy { score, .. } => *score,
+        };
+        for &col in &self.categorical {
+            if let Some(m) = self.categorical_mapping(col, pairs) {
+                if best.as_ref().is_none_or(|b| score_of(&m) > score_of(b)) {
+                    best = Some(m);
+                }
+            }
+        }
+        for &col in &self.numeric {
+            if let Some(m) = self.numeric_mapping(col, pairs) {
+                if best.as_ref().is_none_or(|b| score_of(&m) > score_of(b)) {
+                    best = Some(m);
+                }
+            }
+        }
+        best.filter(|m| score_of(m) >= MIN_SCORE)
+    }
+
+    /// KL-style divergence on one categorical column, averaged over DQPs;
+    /// returns the value with the dominant positive contribution.
+    fn categorical_mapping(
+        &self,
+        col: usize,
+        pairs: &[(Vec<RowId>, Vec<RowId>)],
+    ) -> Option<Mapping> {
+        let t = self.db.table(self.table);
+        let mut contrib: HashMap<Value, f64> = HashMap::new();
+        let mut n_pairs = 0.0;
+        for (f, b) in pairs {
+            if f.is_empty() {
+                continue;
+            }
+            n_pairs += 1.0;
+            let dist = |rows: &[RowId]| -> HashMap<Value, f64> {
+                let mut m: HashMap<Value, f64> = HashMap::new();
+                for &r in rows {
+                    *m.entry(t.get(r, col).clone()).or_insert(0.0) += 1.0;
+                }
+                let total: f64 = m.values().sum();
+                m.into_iter().map(|(v, c)| (v, c / total)).collect()
+            };
+            let pf = dist(f);
+            let pb = dist(b);
+            let vocab = pb.len().max(1) as f64;
+            for (v, p) in pf {
+                let q = pb.get(&v).copied().unwrap_or(0.0);
+                // smoothed pointwise KL contribution
+                let c = p * ((p + 1e-9) / (q + 1.0 / vocab * 0.1 + 1e-9)).ln();
+                *contrib.entry(v).or_insert(0.0) += c;
+            }
+        }
+        if n_pairs == 0.0 {
+            return None;
+        }
+        let (value, score) = contrib
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())?;
+        (score > 0.0).then_some(Mapping::Eq {
+            column: col,
+            value,
+            score: score / n_pairs,
+        })
+    }
+
+    /// Mean-shift (1-D EMD) on a numeric column; a consistent downward shift
+    /// maps to `ORDER BY … ASC`.
+    fn numeric_mapping(&self, col: usize, pairs: &[(Vec<RowId>, Vec<RowId>)]) -> Option<Mapping> {
+        let t = self.db.table(self.table);
+        let mean = |rows: &[RowId]| -> Option<f64> {
+            let vals: Vec<f64> = rows
+                .iter()
+                .filter_map(|&r| t.get(r, col).as_f64())
+                .collect();
+            (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
+        };
+        let mut total_shift = 0.0;
+        let mut spread = 0.0;
+        let mut n = 0.0;
+        for (f, b) in pairs {
+            let (Some(mf), Some(mb)) = (mean(f), mean(b)) else {
+                continue;
+            };
+            let vals: Vec<f64> = b.iter().filter_map(|&r| t.get(r, col).as_f64()).collect();
+            // effect size: shift in units of background standard deviation
+            let var = vals.iter().map(|v| (v - mb) * (v - mb)).sum::<f64>() / vals.len() as f64;
+            total_shift += mf - mb;
+            spread += var.sqrt().max(1e-9);
+            n += 1.0;
+        }
+        if n == 0.0 {
+            return None;
+        }
+        let norm = (total_shift / spread).abs();
+        Some(Mapping::OrderBy {
+            column: col,
+            ascending: total_shift < 0.0,
+            score: norm,
+        })
+    }
+
+    /// Look up a learned mapping.
+    pub fn mapping(&self, keyword: &str) -> Option<&Mapping> {
+        self.mappings.get(keyword)
+    }
+
+    /// Translate a keyword query: mapped keywords become predicates, the
+    /// rest stay as containment keywords (slide 100's segmentation step is
+    /// per-token here; phrase segments come from [`crate::segment`]).
+    pub fn translate<S: AsRef<str>>(&self, query: &[S]) -> TranslatedQuery {
+        let mut predicates = Vec::new();
+        let mut residual = Vec::new();
+        for k in query {
+            match self.mappings.get(k.as_ref()) {
+                Some(m) => predicates.push(m.clone()),
+                None => residual.push(k.as_ref().to_string()),
+            }
+        }
+        TranslatedQuery {
+            predicates,
+            residual,
+        }
+    }
+
+    /// Execute a translated query: filter by Eq predicates + residual
+    /// containment, then apply the first ORDER BY.
+    pub fn execute(&self, tq: &TranslatedQuery) -> Vec<RowId> {
+        let t = self.db.table(self.table);
+        let mut rows: Vec<RowId> = t
+            .iter()
+            .filter(|&(rid, row)| {
+                tq.predicates.iter().all(|p| match p {
+                    Mapping::Eq { column, value, .. } => &row[*column] == value,
+                    Mapping::OrderBy { .. } => true,
+                }) && {
+                    let toks = self
+                        .db
+                        .tuple_tokens(kwdb_relational::TupleId::new(self.table, rid));
+                    tq.residual.iter().all(|k| toks.iter().any(|t| t == k))
+                }
+            })
+            .map(|(rid, _)| rid)
+            .collect();
+        if let Some(Mapping::OrderBy {
+            column, ascending, ..
+        }) = tq
+            .predicates
+            .iter()
+            .find(|p| matches!(p, Mapping::OrderBy { .. }))
+        {
+            rows.sort_by(|&a, &b| {
+                let va = t.get(a, *column).as_f64().unwrap_or(f64::NAN);
+                let vb = t.get(b, *column).as_f64().unwrap_or(f64::NAN);
+                let ord = va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal);
+                if *ascending {
+                    ord
+                } else {
+                    ord.reverse()
+                }
+            });
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwdb_relational::{ColumnType, TableBuilder};
+
+    /// The slide-95 laptop table.
+    fn laptops() -> (Database, TableId) {
+        let mut db = Database::new();
+        let t = db
+            .create_table(
+                TableBuilder::new("product")
+                    .column("name", ColumnType::Text)
+                    .column("brand", ColumnType::Text)
+                    .column("screen", ColumnType::Float)
+                    .column("description", ColumnType::Text),
+            )
+            .unwrap();
+        for (name, brand, screen, desc) in [
+            (
+                "ThinkPad T60",
+                "Lenovo",
+                14.0,
+                "The IBM laptop for business",
+            ),
+            (
+                "ThinkPad X40",
+                "Lenovo",
+                12.0,
+                "This IBM notebook laptop is small and light",
+            ),
+            ("MacBook Air", "Apple", 11.6, "thin small laptop"),
+            ("Pavilion", "HP", 17.0, "big laptop for gaming"),
+            ("Aspire", "Acer", 15.0, "value laptop"),
+        ] {
+            db.insert(
+                "product",
+                vec![name.into(), brand.into(), screen.into(), desc.into()],
+            )
+            .unwrap();
+        }
+        db.build_text_index();
+        (db, t)
+    }
+
+    fn log() -> Vec<Vec<String>> {
+        [
+            vec!["laptop"],
+            vec!["ibm", "laptop"],
+            vec!["small", "laptop"],
+            vec!["ibm", "laptop"],
+        ]
+        .iter()
+        .map(|q| q.iter().map(|s| s.to_string()).collect())
+        .collect()
+    }
+
+    #[test]
+    fn ibm_maps_to_brand_lenovo() {
+        let (db, t) = laptops();
+        let mut kpp = KeywordPlusPlus::new(&db, t, vec![1], vec![2]);
+        kpp.learn(&log());
+        match kpp.mapping("ibm") {
+            Some(Mapping::Eq { column, value, .. }) => {
+                assert_eq!(*column, 1);
+                assert_eq!(value.as_text(), Some("Lenovo"));
+            }
+            other => panic!("expected Eq mapping for ibm, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn small_maps_to_order_by_screen_asc() {
+        let (db, t) = laptops();
+        let mut kpp = KeywordPlusPlus::new(&db, t, vec![1], vec![2]);
+        kpp.learn(&log());
+        match kpp.mapping("small") {
+            Some(Mapping::OrderBy {
+                column, ascending, ..
+            }) => {
+                assert_eq!(*column, 2);
+                assert!(*ascending, "small screens sort ascending");
+            }
+            other => panic!("expected OrderBy mapping for small, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn translation_improves_recall_over_literal_like() {
+        let (db, t) = laptops();
+        let mut kpp = KeywordPlusPlus::new(&db, t, vec![1], vec![2]);
+        kpp.learn(&log());
+        let q = ["small", "ibm", "laptop"];
+        let literal = kpp.keyword_results(&q);
+        let translated = kpp.translate(&q);
+        let rows = kpp.execute(&translated);
+        // literal LIKE finds only descriptions containing all three words;
+        // the translated query returns every Lenovo laptop, smallest first
+        assert!(rows.len() >= literal.len());
+        assert_eq!(rows.len(), 2);
+        let tname = db.table(t);
+        assert_eq!(tname.get(rows[0], 0).as_text(), Some("ThinkPad X40"));
+    }
+
+    #[test]
+    fn unmapped_keywords_stay_residual() {
+        let (db, t) = laptops();
+        let mut kpp = KeywordPlusPlus::new(&db, t, vec![1], vec![2]);
+        kpp.learn(&log());
+        let tq = kpp.translate(&["gaming", "laptop"]);
+        assert!(tq.predicates.is_empty());
+        assert_eq!(tq.residual, vec!["gaming", "laptop"]);
+        let rows = kpp.execute(&tq);
+        assert_eq!(rows.len(), 1);
+    }
+}

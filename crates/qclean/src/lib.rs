@@ -1,0 +1,30 @@
+//! Handling keyword ambiguity (tutorial slides 12, 65–102).
+//!
+//! Keyword queries are misspelled, under-specified, over-specified and
+//! non-quantitative. One module per remedy family the tutorial covers:
+//!
+//! * [`spell`] — noisy-channel spelling correction with database-backed
+//!   confusion sets (Pu & Yu, VLDB 08; slides 66–67);
+//! * [`segment`] — maximum-probability query segmentation by dynamic
+//!   programming (slide 68), recovering multi-token values like
+//!   `apple ipad nano`;
+//! * [`xclean`] — cleaning with a non-empty-result guarantee and without
+//!   rare-token bias (Lu et al., ICDE 11; slides 69–70);
+//! * [`autocomplete`] — trie-based type-ahead with per-keyword prefix
+//!   semantics and δ-step forward-index pruning (TASTIER, SIGMOD 09;
+//!   slides 71–73);
+//! * [`keywordpp`] — differential-query-pair mapping of non-quantitative
+//!   keywords to structured predicates (Keyword++, VLDB 10; slides 95–100);
+//! * [`rewrite`] — query rewriting from data statistics alone (Nambiar &
+//!   Kambhampati, ICDE 06) and from click logs (Cheng et al., ICDE 10;
+//!   slides 101–102).
+
+pub mod autocomplete;
+pub mod keywordpp;
+pub mod rewrite;
+pub mod segment;
+pub mod spell;
+pub mod xclean;
+
+pub use autocomplete::Trie;
+pub use spell::SpellCorrector;

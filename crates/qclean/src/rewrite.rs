@@ -1,0 +1,173 @@
+//! Query rewriting (tutorial slides 101–102).
+//!
+//! * [`similar_values`] — rewriting **from data only** (Nambiar &
+//!   Kambhampati, ICDE 06): two attribute values are similar when the
+//!   tuples carrying them look alike on the *other* attributes — "Honda
+//!   Civic" buyers also see "Toyota Corolla" because both are compact,
+//!   low-price sedans. Each value gets a bag-of-features vector from its
+//!   co-occurring attribute values; similarity is the cosine.
+//! * [`synonyms_from_clicks`] — rewriting **from click logs** (Cheng, Lauw
+//!   & Paparizos, ICDE 10): two queries are synonymous when their clicked
+//!   ("ground truth") result sets overlap heavily — `Indiana Jones IV` ≈
+//!   `Indian Jones 4`.
+
+use kwdb_rank::SparseVector;
+use kwdb_relational::{Database, TableId};
+use std::collections::HashMap;
+
+/// Values of `table.column` most similar to `value`, by co-occurrence
+/// cosine over the other columns. Best first; excludes `value` itself.
+pub fn similar_values(
+    db: &Database,
+    table: TableId,
+    column: usize,
+    value: &str,
+    k: usize,
+) -> Vec<(String, f64)> {
+    let t = db.table(table);
+    // feature vector per distinct value of `column`
+    let mut vectors: HashMap<String, SparseVector> = HashMap::new();
+    for (_, row) in t.iter() {
+        let Some(v) = row[column].as_text() else {
+            continue;
+        };
+        let vec = vectors.entry(v.to_string()).or_default();
+        for (c, cell) in row.iter().enumerate() {
+            if c == column || cell.is_null() {
+                continue;
+            }
+            // feature = column-qualified value (numeric values are bucketed
+            // so "close" numbers share features)
+            let feature = match cell.as_f64() {
+                Some(x) if cell.as_text().is_none() => {
+                    format!("{c}:{}", bucket(x))
+                }
+                _ => format!("{c}:{}", cell),
+            };
+            vec.add(feature, 1.0);
+        }
+    }
+    let Some(target) = vectors.get(value) else {
+        return Vec::new();
+    };
+    let mut sims: Vec<(String, f64)> = vectors
+        .iter()
+        .filter(|(v, _)| v.as_str() != value)
+        .map(|(v, vec)| (v.clone(), target.cosine(vec)))
+        .collect();
+    sims.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    sims.truncate(k);
+    sims
+}
+
+/// Coarse magnitude bucket for numeric co-occurrence features.
+fn bucket(x: f64) -> i64 {
+    (x / 10.0f64.powf(x.abs().max(1.0).log10().floor())).round() as i64
+        * 10i64.pow(x.abs().max(1.0).log10().floor() as u32)
+}
+
+/// Suggested rewrites from a click log: queries whose clicked result sets
+/// have Jaccard overlap ≥ `min_overlap` with `query`'s.
+pub fn synonyms_from_clicks<'a>(
+    log: &'a [(String, Vec<u64>)],
+    query: &str,
+    min_overlap: f64,
+) -> Vec<(&'a str, f64)> {
+    let Some((_, clicks)) = log.iter().find(|(q, _)| q == query) else {
+        return Vec::new();
+    };
+    let target: std::collections::HashSet<u64> = clicks.iter().copied().collect();
+    if target.is_empty() {
+        return Vec::new();
+    }
+    let mut out: Vec<(&str, f64)> = log
+        .iter()
+        .filter(|(q, _)| q != query)
+        .filter_map(|(q, cs)| {
+            let other: std::collections::HashSet<u64> = cs.iter().copied().collect();
+            let inter = target.intersection(&other).count() as f64;
+            let union = target.union(&other).count() as f64;
+            let j = if union == 0.0 { 0.0 } else { inter / union };
+            (j >= min_overlap).then_some((q.as_str(), j))
+        })
+        .collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwdb_relational::{ColumnType, TableBuilder};
+
+    /// Slide 102's used-car scenario.
+    fn cars() -> (Database, TableId) {
+        let mut db = Database::new();
+        let t = db
+            .create_table(
+                TableBuilder::new("car")
+                    .column("model", ColumnType::Text)
+                    .column("type", ColumnType::Text)
+                    .column("price", ColumnType::Int),
+            )
+            .unwrap();
+        for (model, ty, price) in [
+            ("Honda Civic", "sedan", 8000),
+            ("Honda Civic", "sedan", 9000),
+            ("Toyota Corolla", "sedan", 8500),
+            ("Toyota Corolla", "sedan", 9500),
+            ("Ferrari F40", "supercar", 400000),
+            ("Ford F150", "truck", 30000),
+        ] {
+            db.insert("car", vec![model.into(), ty.into(), price.into()])
+                .unwrap();
+        }
+        db.build_text_index();
+        (db, t)
+    }
+
+    #[test]
+    fn civic_is_similar_to_corolla_not_ferrari() {
+        let (db, t) = cars();
+        let sims = similar_values(&db, t, 0, "Honda Civic", 5);
+        assert!(!sims.is_empty());
+        assert_eq!(sims[0].0, "Toyota Corolla");
+        let ferrari = sims.iter().find(|(v, _)| v == "Ferrari F40");
+        if let Some((_, s)) = ferrari {
+            assert!(*s < sims[0].1, "Ferrari must be less similar than Corolla");
+        }
+    }
+
+    #[test]
+    fn unknown_value_gives_empty() {
+        let (db, t) = cars();
+        assert!(similar_values(&db, t, 0, "DeLorean", 3).is_empty());
+    }
+
+    #[test]
+    fn click_synonyms_found() {
+        let log = vec![
+            ("indiana jones iv".to_string(), vec![1, 2, 3, 4]),
+            ("indian jones 4".to_string(), vec![1, 2, 3, 5]),
+            ("star wars".to_string(), vec![9, 10]),
+        ];
+        let syn = synonyms_from_clicks(&log, "indiana jones iv", 0.5);
+        assert_eq!(syn.len(), 1);
+        assert_eq!(syn[0].0, "indian jones 4");
+        assert!((syn[0].1 - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn click_threshold_filters() {
+        let log = vec![("a".to_string(), vec![1, 2]), ("b".to_string(), vec![2, 3])];
+        assert!(synonyms_from_clicks(&log, "a", 0.9).is_empty());
+        assert_eq!(synonyms_from_clicks(&log, "a", 0.3).len(), 1);
+        assert!(synonyms_from_clicks(&log, "zzz", 0.1).is_empty());
+    }
+
+    #[test]
+    fn numeric_bucket_groups_magnitudes() {
+        assert_eq!(bucket(8000.0), bucket(8400.0));
+        assert_ne!(bucket(8000.0), bucket(400000.0));
+    }
+}

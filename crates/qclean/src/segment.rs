@@ -1,0 +1,252 @@
+//! Query cleaning with segmentation (Pu & Yu, VLDB 08) — tutorial
+//! slides 67–68.
+//!
+//! A query is a sequence of segments, each a multi-token phrase backed by
+//! tuples in the database (`{apple ipad} {at&t}`). Cleaning picks, jointly,
+//! a correction for every token *and* a segmentation, maximizing the
+//! product of segment probabilities; "prevent fragmentation" means a longer
+//! database-backed phrase beats the same tokens as singletons. The search
+//! is the slide-68 bottom-up dynamic program: `best(i)` = best cleaning of
+//! the first `i` tokens, extending by segments of length 1..=L.
+
+use crate::spell::{Candidate, SpellCorrector};
+
+/// How segments are validated and scored against the database.
+pub trait PhraseModel {
+    /// Probability-like score of `phrase` (tokens) appearing as one segment;
+    /// 0.0 when the database does not back the phrase.
+    fn phrase_score(&self, phrase: &[String]) -> f64;
+}
+
+/// A cleaned query: segments of corrected tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CleanedQuery {
+    pub segments: Vec<Vec<String>>,
+    pub score: f64,
+}
+
+impl CleanedQuery {
+    /// Flat token list.
+    pub fn tokens(&self) -> Vec<&str> {
+        self.segments.iter().flatten().map(|s| s.as_str()).collect()
+    }
+
+    /// Render as `{a b} {c}`.
+    pub fn display(&self) -> String {
+        self.segments
+            .iter()
+            .map(|s| format!("{{{}}}", s.join(" ")))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Maximum segment length considered.
+const MAX_SEG: usize = 3;
+/// Candidates kept per token.
+const PER_TOKEN: usize = 4;
+/// Bonus factor per extra token folded into one segment (anti-fragmentation).
+const MERGE_BONUS: f64 = 4.0;
+
+/// Clean `tokens`: correct and segment jointly.
+pub fn clean_query<M: PhraseModel>(
+    corrector: &SpellCorrector,
+    model: &M,
+    tokens: &[String],
+    max_dist: usize,
+) -> Option<CleanedQuery> {
+    let n = tokens.len();
+    if n == 0 {
+        return None;
+    }
+    // per-token correction candidates
+    let cands: Vec<Vec<Candidate>> = tokens
+        .iter()
+        .map(|t| {
+            let mut cs = corrector.confusion_set(t, max_dist);
+            cs.truncate(PER_TOKEN);
+            cs
+        })
+        .collect();
+    if cands.iter().any(|c| c.is_empty()) {
+        return None;
+    }
+    // DP over prefix lengths
+    let mut best: Vec<Option<CleanedQuery>> = vec![None; n + 1];
+    best[0] = Some(CleanedQuery {
+        segments: vec![],
+        score: 1.0,
+    });
+    for i in 1..=n {
+        for len in 1..=MAX_SEG.min(i) {
+            let start = i - len;
+            let Some(prefix) = best[start].clone() else {
+                continue;
+            };
+            // best phrase assignment for tokens[start..i]
+            if let Some((seg, seg_score)) = best_segment(model, &cands[start..i], len) {
+                let score = prefix.score * seg_score;
+                if best[i].as_ref().is_none_or(|b| score > b.score) {
+                    let mut segments = prefix.segments;
+                    segments.push(seg);
+                    best[i] = Some(CleanedQuery { segments, score });
+                }
+            }
+        }
+    }
+    best[n].take()
+}
+
+/// Choose corrections for a segment's tokens maximizing
+/// `Π candidate-scores · phrase_score · bonus^(len−1)`; segments must be
+/// database-backed (`phrase_score > 0`), except singletons which fall back
+/// to the candidate's own score.
+fn best_segment(
+    model: &dyn PhraseModel,
+    cands: &[Vec<Candidate>],
+    len: usize,
+) -> Option<(Vec<String>, f64)> {
+    // enumerate the (small) cartesian product of per-token candidates
+    let mut best: Option<(Vec<String>, f64)> = None;
+    let mut idx = vec![0usize; len];
+    loop {
+        let phrase: Vec<String> = idx
+            .iter()
+            .zip(cands)
+            .map(|(&i, c)| c[i].word.clone())
+            .collect();
+        let cand_score: f64 = idx.iter().zip(cands).map(|(&i, c)| c[i].score).product();
+        let ps = model.phrase_score(&phrase);
+        let total = if len == 1 {
+            // singletons survive without phrase backing (but backed ones win)
+            cand_score * if ps > 0.0 { 1.0 + ps } else { 1.0 }
+        } else if ps > 0.0 {
+            cand_score * (1.0 + ps) * MERGE_BONUS.powi(len as i32 - 1)
+        } else {
+            0.0
+        };
+        if total > 0.0 && best.as_ref().is_none_or(|(_, b)| total > *b) {
+            best = Some((phrase, total));
+        }
+        // advance mixed-radix counter
+        let mut pos = 0;
+        loop {
+            if pos == len {
+                return best;
+            }
+            idx[pos] += 1;
+            if idx[pos] < cands[pos].len() {
+                break;
+            }
+            idx[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+/// A phrase model backed by a set of known attribute values: a phrase
+/// scores when its tokens appear contiguously in some value.
+#[derive(Debug, Clone, Default)]
+pub struct ValuePhraseModel {
+    values: Vec<Vec<String>>,
+}
+
+impl ValuePhraseModel {
+    /// Build from attribute value strings (tokenized internally).
+    pub fn from_values<S: AsRef<str>>(values: &[S]) -> Self {
+        ValuePhraseModel {
+            values: values
+                .iter()
+                .map(|v| kwdb_common::text::tokenize(v.as_ref()))
+                .collect(),
+        }
+    }
+}
+
+impl PhraseModel for ValuePhraseModel {
+    fn phrase_score(&self, phrase: &[String]) -> f64 {
+        let hits = self
+            .values
+            .iter()
+            .filter(|v| v.windows(phrase.len()).any(|w| w == phrase))
+            .count();
+        hits as f64 / self.values.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spell::SpellCorrector;
+
+    fn setup() -> (SpellCorrector, ValuePhraseModel) {
+        let values = [
+            "Apple iPad nano",
+            "Apple iPod nano",
+            "Apple iPad nano",
+            "at&t wireless",
+            "Apple iMac",
+        ];
+        let mut corr = SpellCorrector::new();
+        for v in &values {
+            for tok in kwdb_common::text::tokenize(v) {
+                corr.add_word(tok, 1);
+            }
+        }
+        (corr, ValuePhraseModel::from_values(&values))
+    }
+
+    #[test]
+    fn slide68_appl_ipd_nan_att() {
+        let (corr, model) = setup();
+        let tokens: Vec<String> = ["appl", "ipd", "nan", "att"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cleaned = clean_query(&corr, &model, &tokens, 2).unwrap();
+        assert_eq!(cleaned.tokens(), vec!["apple", "ipad", "nano", "at&t"]);
+        // segmentation: {apple ipad nano} {at&t}
+        assert_eq!(cleaned.segments.len(), 2);
+        assert_eq!(cleaned.segments[0], vec!["apple", "ipad", "nano"]);
+        assert_eq!(cleaned.display(), "{apple ipad nano} {at&t}");
+    }
+
+    #[test]
+    fn fragmentation_prevented() {
+        let (corr, model) = setup();
+        let tokens: Vec<String> = ["apple", "ipad"].iter().map(|s| s.to_string()).collect();
+        let cleaned = clean_query(&corr, &model, &tokens, 1).unwrap();
+        assert_eq!(cleaned.segments.len(), 1, "backed phrase must not fragment");
+    }
+
+    #[test]
+    fn unbacked_pair_stays_fragmented() {
+        let (corr, model) = setup();
+        // "nano at&t" never co-occur in one value
+        let tokens: Vec<String> = ["nano", "at&t"].iter().map(|s| s.to_string()).collect();
+        let cleaned = clean_query(&corr, &model, &tokens, 1).unwrap();
+        assert_eq!(cleaned.segments.len(), 2);
+    }
+
+    #[test]
+    fn hopeless_token_fails_cleanly() {
+        let (corr, model) = setup();
+        let tokens: Vec<String> = ["qqqqqq"].iter().map(|s| s.to_string()).collect();
+        assert!(clean_query(&corr, &model, &tokens, 1).is_none());
+        assert!(clean_query(&corr, &model, &[], 1).is_none());
+    }
+
+    #[test]
+    fn brute_force_agreement_on_small_inputs() {
+        // exhaustive over segmentations of 3 tokens with fixed corrections
+        let (corr, model) = setup();
+        let tokens: Vec<String> = ["apple", "ipod", "nano"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cleaned = clean_query(&corr, &model, &tokens, 0).unwrap();
+        // the full phrase is backed → single segment must win
+        assert_eq!(cleaned.segments.len(), 1);
+        assert_eq!(cleaned.segments[0], vec!["apple", "ipod", "nano"]);
+    }
+}

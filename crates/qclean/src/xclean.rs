@@ -1,0 +1,163 @@
+//! XClean: spelling suggestions with a validity guarantee
+//! (Lu, Wang, Li & Liu, ICDE 11) — tutorial slides 69–70.
+//!
+//! Two defects of plain noisy-channel cleaning on XML data:
+//!
+//! 1. the best-scoring correction may have **no results** under AND
+//!    semantics (each token corrected independently);
+//! 2. idf-style priors are **biased toward rare tokens** (slide 70's
+//!    `rävel`/`dairy` failure) — a frequency-smoothed language model prior
+//!    avoids that.
+//!
+//! XClean therefore enumerates whole-query candidates best-first and
+//! returns the first one a *result oracle* certifies non-empty. The oracle
+//! is any AND-semantics checker — an SLCA engine, a tuple-set check, or a
+//! plain co-occurrence test.
+
+use crate::spell::{Candidate, SpellCorrector};
+
+/// A cleaned query with its noisy-channel score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XCleaned {
+    pub tokens: Vec<String>,
+    pub score: f64,
+}
+
+/// Candidates considered per token.
+const PER_TOKEN: usize = 5;
+/// Whole-query hypotheses examined before giving up.
+const MAX_HYPOTHESES: usize = 256;
+
+/// Clean `tokens`, guaranteeing `oracle(tokens)` holds for the returned
+/// query. `oracle` receives the candidate token list and must return
+/// whether the database has at least one AND-semantics result.
+pub fn clean_with_guarantee<F>(
+    corrector: &SpellCorrector,
+    tokens: &[String],
+    max_dist: usize,
+    oracle: F,
+) -> Option<XCleaned>
+where
+    F: Fn(&[String]) -> bool,
+{
+    if tokens.is_empty() {
+        return None;
+    }
+    let cands: Vec<Vec<Candidate>> = tokens
+        .iter()
+        .map(|t| {
+            let mut cs = corrector.confusion_set(t, max_dist);
+            cs.truncate(PER_TOKEN);
+            cs
+        })
+        .collect();
+    if cands.iter().any(|c| c.is_empty()) {
+        return None;
+    }
+    // Best-first over the combination lattice (indices into each candidate
+    // list), exactly like a skyline sweep.
+    use std::cmp::Reverse;
+    use std::collections::{BinaryHeap, HashSet};
+    let score_of =
+        |idx: &[usize]| -> f64 { idx.iter().zip(&cands).map(|(&i, c)| c[i].score).product() };
+    let mut heap: BinaryHeap<(kwdb_common::Score, Reverse<Vec<usize>>)> = BinaryHeap::new();
+    let mut seen: HashSet<Vec<usize>> = HashSet::new();
+    let start = vec![0usize; tokens.len()];
+    heap.push((kwdb_common::Score(score_of(&start)), Reverse(start.clone())));
+    seen.insert(start);
+    let mut examined = 0usize;
+    while let Some((kwdb_common::Score(score), Reverse(idx))) = heap.pop() {
+        examined += 1;
+        if examined > MAX_HYPOTHESES {
+            break;
+        }
+        let candidate: Vec<String> = idx
+            .iter()
+            .zip(&cands)
+            .map(|(&i, c)| c[i].word.clone())
+            .collect();
+        if oracle(&candidate) {
+            return Some(XCleaned {
+                tokens: candidate,
+                score,
+            });
+        }
+        for j in 0..idx.len() {
+            let mut next = idx.clone();
+            next[j] += 1;
+            if next[j] < cands[j].len() && seen.insert(next.clone()) {
+                heap.push((kwdb_common::Score(score_of(&next)), Reverse(next)));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Corpus: travel diaries. "rävel" (rare) and "dairy" (valid word, wrong
+    /// context) are the slide-70 traps.
+    fn corrector() -> SpellCorrector {
+        SpellCorrector::from_vocab([
+            ("adventuresome", 5u64),
+            ("travel", 100),
+            ("diary", 40),
+            ("dairy", 60),
+            ("ravel", 1), // rare token the naive cleaner is biased toward
+            ("farm", 30),
+        ])
+    }
+
+    /// The database backs {adventuresome travel diary} and {dairy farm}.
+    fn oracle(tokens: &[String]) -> bool {
+        let docs: [&[&str]; 2] = [&["adventuresome", "travel", "diary"], &["dairy", "farm"]];
+        docs.iter()
+            .any(|d| tokens.iter().all(|t| d.contains(&t.as_str())))
+    }
+
+    #[test]
+    fn slide70_guarantees_nonempty_result() {
+        let c = corrector();
+        let tokens: Vec<String> = ["adventurecome", "ravel", "diiry"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cleaned = clean_with_guarantee(&c, &tokens, 2, oracle).unwrap();
+        assert_eq!(cleaned.tokens, vec!["adventuresome", "travel", "diary"]);
+        assert!(oracle(&cleaned.tokens));
+    }
+
+    #[test]
+    fn best_scoring_but_empty_combination_skipped() {
+        let c = corrector();
+        // "dairy" outscores "diary" in the prior (60 > 40) but
+        // {travel dairy} has no results; the guarantee picks {travel diary}.
+        let tokens: Vec<String> = ["travel", "dairy"].iter().map(|s| s.to_string()).collect();
+        let cleaned = clean_with_guarantee(&c, &tokens, 1, oracle).unwrap();
+        assert_eq!(cleaned.tokens, vec!["travel", "diary"]);
+    }
+
+    #[test]
+    fn returns_none_when_nothing_validates() {
+        let c = corrector();
+        let tokens: Vec<String> = ["farm", "travel"].iter().map(|s| s.to_string()).collect();
+        // no document contains both
+        assert!(clean_with_guarantee(&c, &tokens, 1, oracle).is_none());
+    }
+
+    #[test]
+    fn exact_valid_query_returned_as_is() {
+        let c = corrector();
+        let tokens: Vec<String> = ["dairy", "farm"].iter().map(|s| s.to_string()).collect();
+        let cleaned = clean_with_guarantee(&c, &tokens, 2, oracle).unwrap();
+        assert_eq!(cleaned.tokens, vec!["dairy", "farm"]);
+    }
+
+    #[test]
+    fn empty_query_is_none() {
+        let c = corrector();
+        assert!(clean_with_guarantee(&c, &[], 1, oracle).is_none());
+    }
+}

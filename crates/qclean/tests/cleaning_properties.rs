@@ -1,0 +1,134 @@
+//! Property tests for query cleaning: the segmentation DP must equal a
+//! brute-force search over all segmentations, corrections must stay within
+//! the edit budget, and the trie's prefix ranges must match naive filtering.
+
+use kwdb_common::strutil::damerau_levenshtein;
+use kwdb_qclean::autocomplete::Trie;
+use kwdb_qclean::segment::{clean_query, PhraseModel, ValuePhraseModel};
+use kwdb_qclean::spell::SpellCorrector;
+use proptest::prelude::*;
+
+const VOCAB: [&str; 6] = ["apple", "ipad", "ipod", "nano", "mini", "case"];
+
+fn corrector() -> SpellCorrector {
+    SpellCorrector::from_vocab(VOCAB.iter().map(|w| (w.to_string(), 10u64)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every output token is within the edit budget of its input token, or
+    /// is a completion extending it.
+    #[test]
+    fn corrections_stay_within_budget(
+        words in proptest::collection::vec(0usize..6, 1..4),
+        corrupt_at in any::<u8>(),
+    ) {
+        let corr = corrector();
+        let model = ValuePhraseModel::from_values(&["apple ipad nano", "ipod mini case"]);
+        let mut tokens: Vec<String> =
+            words.iter().map(|&i| VOCAB[i].to_string()).collect();
+        // corrupt one token by dropping its last char
+        let idx = corrupt_at as usize % tokens.len();
+        tokens[idx].pop();
+        if tokens[idx].is_empty() {
+            return Ok(());
+        }
+        if let Some(cleaned) = clean_query(&corr, &model, &tokens, 2) {
+            let out = cleaned.tokens();
+            prop_assert_eq!(out.len(), tokens.len());
+            for (inp, outp) in tokens.iter().zip(&out) {
+                let d = damerau_levenshtein(inp, outp);
+                let is_completion = outp.starts_with(inp.as_str());
+                prop_assert!(d <= 2 || is_completion,
+                    "{inp} → {outp} is {d} edits and not a completion");
+            }
+        }
+    }
+
+    /// The DP segmentation achieves the same score as brute force over all
+    /// 2^(n-1) segmentations with fixed (exact) tokens.
+    #[test]
+    fn segmentation_dp_is_optimal(
+        words in proptest::collection::vec(0usize..6, 1..5),
+    ) {
+        let corr = corrector();
+        let values = ["apple ipad nano", "ipod mini", "nano case"];
+        let model = ValuePhraseModel::from_values(&values);
+        let tokens: Vec<String> = words.iter().map(|&i| VOCAB[i].to_string()).collect();
+        let Some(cleaned) = clean_query(&corr, &model, &tokens, 0) else {
+            return Ok(());
+        };
+        let best_brute = brute_force_best(&corr, &model, &tokens);
+        prop_assert!(cleaned.score >= best_brute - 1e-9,
+            "DP {} < brute force {}", cleaned.score, best_brute);
+    }
+
+    /// Trie prefix ranges equal naive filtering.
+    #[test]
+    fn trie_ranges_match_filtering(
+        words in proptest::collection::vec("[a-c]{1,5}", 0..12),
+        prefix in "[a-c]{0,3}",
+    ) {
+        let trie = Trie::build(words.clone());
+        let completions: Vec<&String> = trie.complete(&prefix).iter().collect();
+        let mut expected: Vec<String> = words
+            .iter()
+            .filter(|w| w.starts_with(&prefix))
+            .cloned()
+            .collect();
+        expected.sort();
+        expected.dedup();
+        let got: Vec<String> = completions.iter().map(|s| s.to_string()).collect();
+        prop_assert_eq!(got, expected);
+    }
+}
+
+/// Enumerate all segmentations (exponential; test-sized only) with exact
+/// tokens, mirroring the DP's scoring model.
+fn brute_force_best(corr: &SpellCorrector, model: &ValuePhraseModel, tokens: &[String]) -> f64 {
+    let n = tokens.len();
+    let mut best = f64::NEG_INFINITY;
+    // bitmask over gaps: bit i set = segment boundary after token i
+    for mask in 0u32..(1 << (n - 1)) {
+        let mut segments: Vec<Vec<String>> = vec![Vec::new()];
+        for (i, t) in tokens.iter().enumerate() {
+            segments.last_mut().unwrap().push(t.clone());
+            if i + 1 < n && mask & (1 << i) != 0 {
+                segments.push(Vec::new());
+            }
+        }
+        if segments.iter().any(|s| s.len() > 3) {
+            continue; // DP caps segments at 3 tokens
+        }
+        let mut score = 1.0f64;
+        let mut feasible = true;
+        for seg in &segments {
+            let cand_score: f64 = seg
+                .iter()
+                .map(|t| corr.correct(t, 0).map(|c| c.score).unwrap_or(0.0))
+                .product();
+            if cand_score == 0.0 {
+                feasible = false;
+                break;
+            }
+            let ps = model.phrase_score(seg);
+            let total = if seg.len() == 1 {
+                cand_score * if ps > 0.0 { 1.0 + ps } else { 1.0 }
+            } else if ps > 0.0 {
+                cand_score * (1.0 + ps) * 4.0f64.powi(seg.len() as i32 - 1)
+            } else {
+                0.0
+            };
+            if total == 0.0 {
+                feasible = false;
+                break;
+            }
+            score *= total;
+        }
+        if feasible {
+            best = best.max(score);
+        }
+    }
+    best
+}

@@ -1,0 +1,20 @@
+//! IR ranking primitives shared by the kwdb search engines.
+//!
+//! The tutorial's "Result Ranking" section (slides 144–145) names four
+//! ranking-factor families for keyword search on databases; each has a module
+//! here:
+//!
+//! * **TF·IDF** term weighting with corpus statistics — [`tfidf`]
+//! * **Vector space model** query/result similarity — [`vsm`]
+//! * **Proximity** of keyword matches (tree size / root-to-match distance) —
+//!   [`proximity`]
+//! * **Authority** flow (PageRank adapted to data graphs, with bidirectional
+//!   edge flow and per-edge-type weights) — [`pagerank`]
+
+pub mod pagerank;
+pub mod proximity;
+pub mod tfidf;
+pub mod vsm;
+
+pub use tfidf::{CorpusStats, TfIdf};
+pub use vsm::SparseVector;

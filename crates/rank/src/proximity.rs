@@ -1,0 +1,111 @@
+//! Proximity-based ranking factors (tutorial slides 145, 158–160).
+//!
+//! Structured results are trees or subgraphs; the tutorial lists the standard
+//! proximity adaptations: total (weighted) tree size, sum of root-to-match
+//! path lengths, and XBridge's refinements — discounting path segments longer
+//! than the average document depth and rewarding tightly coupled results by
+//! discounting shared path prefixes.
+
+/// Score from total result size: smaller results score higher.
+/// `1 / (1 + size)` maps size 0 → 1.0 and decays smoothly.
+pub fn size_score(total_edge_weight: f64) -> f64 {
+    1.0 / (1.0 + total_edge_weight.max(0.0))
+}
+
+/// Score from root-to-match distances: the reciprocal of the summed path
+/// lengths (BANKS-style tree cost as a relevance score).
+pub fn root_distance_score(dists: &[usize]) -> f64 {
+    let total: usize = dists.iter().sum();
+    1.0 / (1.0 + total as f64)
+}
+
+/// XBridge path-length discount: lengths beyond `avg_depth` contribute only
+/// `sqrt`-damped extra cost, avoiding over-penalizing deep documents
+/// (slide 159).
+pub fn discounted_path_len(len: usize, avg_depth: f64) -> f64 {
+    let len = len as f64;
+    if len <= avg_depth {
+        len
+    } else {
+        avg_depth + (len - avg_depth).sqrt()
+    }
+}
+
+/// Tight-coupling proximity (slide 160): given per-keyword root-to-match
+/// paths as node-id sequences (root first), charge shared prefix segments
+/// only once. Returns the discounted total distance.
+pub fn shared_prefix_cost(paths: &[Vec<u64>], avg_depth: f64) -> f64 {
+    if paths.is_empty() {
+        return 0.0;
+    }
+    // Count each distinct edge (parent,child along a root path) once: union
+    // of edges over the paths. Edges are identified by consecutive id pairs.
+    let mut edges = std::collections::HashSet::new();
+    let mut per_path_extra = 0.0;
+    for p in paths {
+        let mut fresh = 0usize;
+        for w in p.windows(2) {
+            if edges.insert((w[0], w[1])) {
+                fresh += 1;
+            }
+        }
+        // Apply the long-path discount per path on its fresh portion.
+        per_path_extra += discounted_path_len(fresh, avg_depth);
+    }
+    per_path_extra
+}
+
+/// Combined proximity score used as a default by the XML engines: reciprocal
+/// of the shared-prefix discounted cost.
+pub fn proximity_score(paths: &[Vec<u64>], avg_depth: f64) -> f64 {
+    1.0 / (1.0 + shared_prefix_cost(paths, avg_depth))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smaller_results_score_higher() {
+        assert!(size_score(2.0) > size_score(5.0));
+        assert_eq!(size_score(0.0), 1.0);
+    }
+
+    #[test]
+    fn root_distance_reciprocal() {
+        assert!(root_distance_score(&[1, 1]) > root_distance_score(&[3, 4]));
+        assert_eq!(root_distance_score(&[]), 1.0);
+    }
+
+    #[test]
+    fn long_paths_are_discounted() {
+        // Below the average depth, no discount.
+        assert_eq!(discounted_path_len(3, 5.0), 3.0);
+        // Beyond it, sub-linear growth.
+        let d9 = discounted_path_len(9, 5.0);
+        assert!(d9 < 9.0 && d9 > 5.0);
+        assert_eq!(d9, 7.0); // 5 + sqrt(4)
+    }
+
+    #[test]
+    fn tightly_coupled_beats_loose() {
+        // Root 0. Tight: both keywords under child 1. Loose: separate children.
+        let tight = vec![vec![0, 1, 2], vec![0, 1, 3]];
+        let loose = vec![vec![0, 1, 2], vec![0, 4, 5]];
+        let avg = 10.0;
+        assert!(proximity_score(&tight, avg) > proximity_score(&loose, avg));
+    }
+
+    #[test]
+    fn shared_prefix_counted_once() {
+        let paths = vec![vec![0, 1, 2], vec![0, 1, 3]];
+        // Edges: (0,1),(1,2) fresh for path 1 → 2; (1,3) fresh for path 2 → 1.
+        assert_eq!(shared_prefix_cost(&paths, 100.0), 3.0);
+    }
+
+    #[test]
+    fn empty_paths() {
+        assert_eq!(shared_prefix_cost(&[], 3.0), 0.0);
+        assert_eq!(proximity_score(&[], 3.0), 1.0);
+    }
+}

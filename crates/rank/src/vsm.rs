@@ -1,0 +1,132 @@
+//! Sparse vectors and cosine similarity — the vector space model.
+
+use std::collections::HashMap;
+
+/// A sparse term-weight vector keyed by term string.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseVector {
+    weights: HashMap<String, f64>,
+}
+
+impl SparseVector {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a vector from `(term, weight)` pairs; repeated terms accumulate.
+    pub fn from_pairs<I, S>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, f64)>,
+        S: Into<String>,
+    {
+        let mut v = Self::new();
+        for (t, w) in pairs {
+            v.add(t.into(), w);
+        }
+        v
+    }
+
+    /// Add `w` to the weight of `term`.
+    pub fn add(&mut self, term: String, w: f64) {
+        *self.weights.entry(term).or_insert(0.0) += w;
+    }
+
+    pub fn get(&self, term: &str) -> f64 {
+        self.weights.get(term).copied().unwrap_or(0.0)
+    }
+
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.weights.values().map(|w| w * w).sum::<f64>().sqrt()
+    }
+
+    /// Dot product, iterating over the smaller vector.
+    pub fn dot(&self, other: &SparseVector) -> f64 {
+        let (small, big) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small.weights.iter().map(|(t, w)| w * big.get(t)).sum()
+    }
+
+    /// Cosine similarity in `[0,1]` for non-negative weights; 0 if either
+    /// vector is empty.
+    pub fn cosine(&self, other: &SparseVector) -> f64 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.dot(other) / denom
+        }
+    }
+
+    /// Iterate `(term, weight)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.weights.iter().map(|(t, w)| (t.as_str(), *w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn accumulates_repeated_terms() {
+        let v = SparseVector::from_pairs([("a", 1.0), ("a", 2.0), ("b", 1.0)]);
+        assert_eq!(v.get("a"), 3.0);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn cosine_identical_is_one() {
+        let v = SparseVector::from_pairs([("x", 2.0), ("y", 1.0)]);
+        assert!((v.cosine(&v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_zero() {
+        let a = SparseVector::from_pairs([("x", 1.0)]);
+        let b = SparseVector::from_pairs([("y", 1.0)]);
+        assert_eq!(a.cosine(&b), 0.0);
+    }
+
+    #[test]
+    fn cosine_empty_is_zero() {
+        let a = SparseVector::new();
+        let b = SparseVector::from_pairs([("y", 1.0)]);
+        assert_eq!(a.cosine(&b), 0.0);
+        assert_eq!(a.cosine(&a), 0.0);
+    }
+
+    #[test]
+    fn dot_is_symmetric_small_big() {
+        let a = SparseVector::from_pairs([("x", 2.0), ("y", 3.0), ("z", 1.0)]);
+        let b = SparseVector::from_pairs([("y", 4.0)]);
+        assert_eq!(a.dot(&b), 12.0);
+        assert_eq!(b.dot(&a), 12.0);
+    }
+
+    proptest! {
+        #[test]
+        fn cosine_bounded(
+            pairs_a in proptest::collection::vec(("[a-e]", 0.0f64..10.0), 0..6),
+            pairs_b in proptest::collection::vec(("[a-e]", 0.0f64..10.0), 0..6),
+        ) {
+            let a = SparseVector::from_pairs(pairs_a);
+            let b = SparseVector::from_pairs(pairs_b);
+            let c = a.cosine(&b);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&c));
+            prop_assert!((a.cosine(&b) - b.cosine(&a)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! The database: tables, schema graph, and the full-text index.
+
+use crate::index::{InvertedIndex, Posting};
+use crate::schema::{SchemaEdge, SchemaGraph, TableBuilder, TableId};
+use crate::table::{Row, RowId, Table, TupleId};
+use kwdb_common::text::tokenize;
+use kwdb_common::{KwdbError, Result, Value};
+use std::collections::HashMap;
+
+/// An in-memory relational database.
+///
+/// Construction order matters only for foreign keys: a referenced table must
+/// exist (with a primary key) before the referencing table is created, so the
+/// FK can be resolved into a [`SchemaGraph`] edge eagerly.
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: Vec<Table>,
+    by_name: HashMap<String, TableId>,
+    schema_graph: SchemaGraph,
+    text_index: InvertedIndex,
+    index_built: bool,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a table from a builder. Resolves foreign keys against already
+    /// existing tables and extends the schema graph.
+    pub fn create_table(&mut self, builder: TableBuilder) -> Result<TableId> {
+        let schema = builder.build()?;
+        if self.by_name.contains_key(&schema.name) {
+            return Err(KwdbError::Schema(format!(
+                "table {} already exists",
+                schema.name
+            )));
+        }
+        let id = TableId(self.tables.len() as u32);
+        for fk in &schema.foreign_keys {
+            let ref_id = self
+                .by_name
+                .get(&fk.ref_table)
+                .copied()
+                .ok_or_else(|| KwdbError::UnknownObject(fk.ref_table.clone()))?;
+            let pk_column = self.tables[ref_id.0 as usize]
+                .schema
+                .primary_key
+                .ok_or_else(|| {
+                    KwdbError::Schema(format!("FK target {} has no primary key", fk.ref_table))
+                })?;
+            self.schema_graph.add_edge(SchemaEdge {
+                from: id,
+                to: ref_id,
+                fk_column: fk.column,
+                pk_column,
+            });
+        }
+        self.by_name.insert(schema.name.clone(), id);
+        self.tables.push(Table::new(id, schema));
+        Ok(id)
+    }
+
+    /// Insert a row into a table by name.
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<TupleId> {
+        let id = self.table_id(table)?;
+        self.index_built = false;
+        let rid = self.tables[id.0 as usize].insert(row)?;
+        Ok(TupleId::new(id, rid))
+    }
+
+    pub fn table_id(&self, name: &str) -> Result<TableId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| KwdbError::UnknownObject(name.to_string()))
+    }
+
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.0 as usize]
+    }
+
+    pub fn table_by_name(&self, name: &str) -> Result<&Table> {
+        Ok(self.table(self.table_id(name)?))
+    }
+
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.iter()
+    }
+
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Total number of tuples across all tables.
+    pub fn tuple_count(&self) -> usize {
+        self.tables.iter().map(|t| t.len()).sum()
+    }
+
+    pub fn schema_graph(&self) -> &SchemaGraph {
+        &self.schema_graph
+    }
+
+    /// (Re)build the full-text inverted index over all text columns.
+    pub fn build_text_index(&mut self) {
+        let mut ix = InvertedIndex::new();
+        for t in &self.tables {
+            ix.set_tuple_count(t.id, t.len());
+            let text_cols: Vec<usize> = t.schema.text_columns().collect();
+            for (rid, row) in t.iter() {
+                for &c in &text_cols {
+                    if let Some(text) = row[c].as_text() {
+                        for tok in tokenize(text) {
+                            ix.add(
+                                &tok,
+                                Posting {
+                                    tuple: TupleId::new(t.id, rid),
+                                    column: c,
+                                    tf: 1,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        ix.finalize();
+        self.text_index = ix;
+        self.index_built = true;
+    }
+
+    /// The full-text index. Panics if [`build_text_index`](Self::build_text_index)
+    /// has not been called since the last mutation — searching a stale index
+    /// is a logic error, not a recoverable condition.
+    pub fn text_index(&self) -> &InvertedIndex {
+        assert!(
+            self.index_built,
+            "text index is stale: call build_text_index() first"
+        );
+        &self.text_index
+    }
+
+    /// Whether the index reflects the current data.
+    pub fn is_index_fresh(&self) -> bool {
+        self.index_built
+    }
+
+    /// All tokens of a tuple's indexed text columns, for scoring.
+    pub fn tuple_tokens(&self, tid: TupleId) -> Vec<String> {
+        let t = self.table(tid.table);
+        let mut toks = Vec::new();
+        for c in t.schema.text_columns() {
+            if let Some(text) = t.get(tid.row, c).as_text() {
+                toks.extend(tokenize(text));
+            }
+        }
+        toks
+    }
+
+    /// Follow a tuple's foreign keys to the referenced tuples.
+    pub fn fk_neighbors(&self, tid: TupleId) -> Vec<TupleId> {
+        let mut out = Vec::new();
+        let t = self.table(tid.table);
+        for fk in self
+            .schema_graph
+            .edges()
+            .iter()
+            .filter(|e| e.from == tid.table)
+        {
+            let key = t.get(tid.row, fk.fk_column);
+            if key.is_null() {
+                continue;
+            }
+            let target = self.table(fk.to);
+            if let Some(r) = target.lookup_pk(key) {
+                out.push(TupleId::new(fk.to, r));
+            }
+        }
+        out
+    }
+
+    /// Rows of `table` whose column `col` equals `value` (sequential scan;
+    /// FK joins go through [`crate::join`] with a hash table instead).
+    pub fn scan_eq(&self, table: TableId, col: usize, value: &Value) -> Vec<RowId> {
+        self.table(table)
+            .iter()
+            .filter(|(_, row)| &row[col] == value)
+            .map(|(rid, _)| rid)
+            .collect()
+    }
+
+    /// Render a tuple for display: `table(v1, v2, …)`.
+    pub fn format_tuple(&self, tid: TupleId) -> String {
+        let t = self.table(tid.table);
+        let vals: Vec<String> = t.row(tid.row).iter().map(|v| v.to_string()).collect();
+        format!("{}({})", t.schema.name, vals.join(", "))
+    }
+}
+
+/// Convenience: the classic DBLP-style schema used in the tutorial's examples
+/// (author, paper, conference, write, cite). Tests across the workspace share
+/// this fixture.
+pub fn dblp_schema(db: &mut Database) -> Result<()> {
+    use crate::schema::ColumnType;
+    db.create_table(
+        TableBuilder::new("conference")
+            .column("cid", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .column("year", ColumnType::Int)
+            .primary_key("cid"),
+    )?;
+    db.create_table(
+        TableBuilder::new("author")
+            .column("aid", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .primary_key("aid"),
+    )?;
+    db.create_table(
+        TableBuilder::new("paper")
+            .column("pid", ColumnType::Int)
+            .column("title", ColumnType::Text)
+            .column("cid", ColumnType::Int)
+            .primary_key("pid")
+            .foreign_key("cid", "conference"),
+    )?;
+    db.create_table(
+        TableBuilder::new("write")
+            .column("wid", ColumnType::Int)
+            .column("aid", ColumnType::Int)
+            .column("pid", ColumnType::Int)
+            .primary_key("wid")
+            .foreign_key("aid", "author")
+            .foreign_key("pid", "paper"),
+    )?;
+    db.create_table(
+        TableBuilder::new("cite")
+            .column("id", ColumnType::Int)
+            .column("citing", ColumnType::Int)
+            .column("cited", ColumnType::Int)
+            .primary_key("id")
+            .foreign_key("citing", "paper")
+            .foreign_key("cited", "paper"),
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    fn small_db() -> Database {
+        let mut db = Database::new();
+        dblp_schema(&mut db).unwrap();
+        db.insert("conference", vec![1.into(), "SIGMOD".into(), 2007.into()])
+            .unwrap();
+        db.insert("author", vec![1.into(), "Jennifer Widom".into()])
+            .unwrap();
+        db.insert("author", vec![2.into(), "John Smith".into()])
+            .unwrap();
+        db.insert(
+            "paper",
+            vec![10.into(), "XML keyword search".into(), 1.into()],
+        )
+        .unwrap();
+        db.insert("write", vec![100.into(), 1.into(), 10.into()])
+            .unwrap();
+        db.build_text_index();
+        db
+    }
+
+    #[test]
+    fn create_and_insert() {
+        let db = small_db();
+        assert_eq!(db.table_count(), 5);
+        assert_eq!(db.tuple_count(), 5);
+        assert_eq!(db.table_by_name("author").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = Database::new();
+        db.create_table(TableBuilder::new("t").column("a", ColumnType::Int))
+            .unwrap();
+        assert!(db
+            .create_table(TableBuilder::new("t").column("a", ColumnType::Int))
+            .is_err());
+    }
+
+    #[test]
+    fn fk_requires_existing_target_with_pk() {
+        let mut db = Database::new();
+        let r = db.create_table(
+            TableBuilder::new("w")
+                .column("aid", ColumnType::Int)
+                .foreign_key("aid", "missing"),
+        );
+        assert!(r.is_err());
+        db.create_table(TableBuilder::new("nopk").column("x", ColumnType::Int))
+            .unwrap();
+        let r = db.create_table(
+            TableBuilder::new("w")
+                .column("aid", ColumnType::Int)
+                .foreign_key("aid", "nopk"),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn schema_graph_built_from_fks() {
+        let db = small_db();
+        // paper→conference, write→author, write→paper, cite→paper ×2 = 5 edges
+        assert_eq!(db.schema_graph().edges().len(), 5);
+        let paper = db.table_id("paper").unwrap();
+        // paper touches: paper→conference, write→paper, cite→paper ×2
+        assert_eq!(db.schema_graph().degree(paper), 4);
+    }
+
+    #[test]
+    fn text_index_finds_keywords() {
+        let db = small_db();
+        let ix = db.text_index();
+        assert_eq!(ix.postings("widom").len(), 1);
+        assert_eq!(ix.postings("xml").len(), 1);
+        let author = db.table_id("author").unwrap();
+        assert_eq!(ix.rows_in("john", author), vec![RowId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale")]
+    fn stale_index_panics() {
+        let mut db = small_db();
+        db.insert("author", vec![3.into(), "New Author".into()])
+            .unwrap();
+        let _ = db.text_index();
+    }
+
+    #[test]
+    fn fk_neighbors_follow_references() {
+        let db = small_db();
+        let write = db.table_id("write").unwrap();
+        let n = db.fk_neighbors(TupleId::new(write, RowId(0)));
+        assert_eq!(n.len(), 2); // author 1 and paper 10
+        let author = db.table_id("author").unwrap();
+        assert!(db.fk_neighbors(TupleId::new(author, RowId(0))).is_empty());
+    }
+
+    #[test]
+    fn scan_eq_finds_rows() {
+        let db = small_db();
+        let paper = db.table_id("paper").unwrap();
+        assert_eq!(db.scan_eq(paper, 2, &1.into()), vec![RowId(0)]);
+        assert!(db.scan_eq(paper, 2, &99.into()).is_empty());
+    }
+
+    #[test]
+    fn tuple_tokens_concatenate_text_cols() {
+        let db = small_db();
+        let author = db.table_id("author").unwrap();
+        let toks = db.tuple_tokens(TupleId::new(author, RowId(0)));
+        assert_eq!(toks, vec!["jennifer", "widom"]);
+    }
+
+    #[test]
+    fn format_tuple_renders() {
+        let db = small_db();
+        let author = db.table_id("author").unwrap();
+        assert_eq!(
+            db.format_tuple(TupleId::new(author, RowId(0))),
+            "author(1, Jennifer Widom)"
+        );
+    }
+}

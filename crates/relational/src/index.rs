@@ -1,0 +1,176 @@
+//! Full-text inverted index over a database's text columns.
+
+use crate::schema::TableId;
+use crate::table::{RowId, TupleId};
+use std::collections::HashMap;
+
+/// One posting: a keyword occurrence in a tuple's column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Posting {
+    pub tuple: TupleId,
+    /// Column where the keyword occurred.
+    pub column: usize,
+    /// Occurrences of the keyword within that column value.
+    pub tf: u32,
+}
+
+/// Inverted index: keyword → postings, with a per-table view.
+///
+/// Postings are stored sorted by `(table, row, column)` so per-table slices
+/// ("query tuple sets" in DISCOVER terms) are contiguous and extractable
+/// without allocation-heavy filtering.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    postings: HashMap<String, Vec<Posting>>,
+    /// Documents (tuples) per table, for IDF computation by callers.
+    tuple_counts: HashMap<TableId, usize>,
+}
+
+impl InvertedIndex {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn add(&mut self, term: &str, posting: Posting) {
+        self.postings
+            .entry(term.to_string())
+            .or_default()
+            .push(posting);
+    }
+
+    pub(crate) fn set_tuple_count(&mut self, table: TableId, n: usize) {
+        self.tuple_counts.insert(table, n);
+    }
+
+    pub(crate) fn finalize(&mut self) {
+        for v in self.postings.values_mut() {
+            v.sort_by_key(|p| (p.tuple.table, p.tuple.row, p.column));
+            // Merge duplicate (tuple, column) entries into tf counts.
+            let mut merged: Vec<Posting> = Vec::with_capacity(v.len());
+            for p in v.drain(..) {
+                match merged.last_mut() {
+                    Some(last) if last.tuple == p.tuple && last.column == p.column => {
+                        last.tf += p.tf;
+                    }
+                    _ => merged.push(p),
+                }
+            }
+            *v = merged;
+        }
+    }
+
+    /// All postings for `term` (empty slice if absent).
+    pub fn postings(&self, term: &str) -> &[Posting] {
+        self.postings.get(term).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Postings for `term` within one table.
+    pub fn postings_in(&self, term: &str, table: TableId) -> &[Posting] {
+        let all = self.postings(term);
+        let lo = all.partition_point(|p| p.tuple.table < table);
+        let hi = all.partition_point(|p| p.tuple.table <= table);
+        &all[lo..hi]
+    }
+
+    /// Distinct rows of `table` containing `term` (sorted, deduplicated).
+    pub fn rows_in(&self, term: &str, table: TableId) -> Vec<RowId> {
+        let mut rows: Vec<RowId> = self
+            .postings_in(term, table)
+            .iter()
+            .map(|p| p.tuple.row)
+            .collect();
+        rows.dedup();
+        rows
+    }
+
+    /// Number of distinct tuples (across tables) containing `term`.
+    pub fn doc_freq(&self, term: &str) -> usize {
+        let mut n = 0;
+        let mut last: Option<TupleId> = None;
+        for p in self.postings(term) {
+            if last != Some(p.tuple) {
+                n += 1;
+                last = Some(p.tuple);
+            }
+        }
+        n
+    }
+
+    /// Number of tuples indexed in `table`.
+    pub fn tuple_count(&self, table: TableId) -> usize {
+        self.tuple_counts.get(&table).copied().unwrap_or(0)
+    }
+
+    /// All indexed terms.
+    pub fn terms(&self) -> impl Iterator<Item = &str> {
+        self.postings.keys().map(|s| s.as_str())
+    }
+
+    pub fn term_count(&self) -> usize {
+        self.postings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(table: u32, row: u32, col: usize) -> Posting {
+        Posting {
+            tuple: TupleId::new(TableId(table), RowId(row)),
+            column: col,
+            tf: 1,
+        }
+    }
+
+    fn index() -> InvertedIndex {
+        let mut ix = InvertedIndex::new();
+        ix.add("xml", t(0, 0, 1));
+        ix.add("xml", t(0, 0, 1)); // duplicate occurrence, merges to tf=2
+        ix.add("xml", t(1, 3, 0));
+        ix.add("xml", t(0, 2, 1));
+        ix.add("graph", t(1, 3, 0));
+        ix.finalize();
+        ix
+    }
+
+    #[test]
+    fn postings_sorted_and_merged() {
+        let ix = index();
+        let ps = ix.postings("xml");
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps[0].tf, 2);
+        assert!(ps
+            .windows(2)
+            .all(|w| (w[0].tuple.table, w[0].tuple.row) <= (w[1].tuple.table, w[1].tuple.row)));
+    }
+
+    #[test]
+    fn per_table_slice() {
+        let ix = index();
+        assert_eq!(ix.postings_in("xml", TableId(0)).len(), 2);
+        assert_eq!(ix.postings_in("xml", TableId(1)).len(), 1);
+        assert_eq!(ix.postings_in("xml", TableId(9)).len(), 0);
+    }
+
+    #[test]
+    fn rows_in_dedups() {
+        let ix = index();
+        assert_eq!(ix.rows_in("xml", TableId(0)), vec![RowId(0), RowId(2)]);
+    }
+
+    #[test]
+    fn doc_freq_counts_tuples() {
+        let ix = index();
+        assert_eq!(ix.doc_freq("xml"), 3);
+        assert_eq!(ix.doc_freq("graph"), 1);
+        assert_eq!(ix.doc_freq("nope"), 0);
+    }
+
+    #[test]
+    fn missing_term_is_empty() {
+        let ix = index();
+        assert!(ix.postings("nothing").is_empty());
+        assert!(ix.rows_in("nothing", TableId(0)).is_empty());
+    }
+}

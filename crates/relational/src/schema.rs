@@ -1,0 +1,265 @@
+//! Schema objects: tables, columns, foreign keys, and the schema graph.
+
+use kwdb_common::{KwdbError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+pub use kwdb_common::value::ValueType as ColumnType;
+
+/// Dense table identifier, in creation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TableId(pub u32);
+
+/// A column definition.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: ColumnType,
+    /// Text columns are full-text indexed by default; set to `false` for
+    /// codes/identifiers that should not match keywords.
+    pub full_text: bool,
+}
+
+/// A single-column foreign key referencing another table's primary key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForeignKey {
+    /// Index of the referencing column in this table.
+    pub column: usize,
+    /// Referenced table name (resolved to an id when the table is created).
+    pub ref_table: String,
+}
+
+/// A table's schema.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+    /// Index of the primary-key column, if declared.
+    pub primary_key: Option<usize>,
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableSchema {
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Indices of full-text-indexed text columns.
+    pub fn text_columns(&self) -> impl Iterator<Item = usize> + '_ {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.full_text && c.ty == ColumnType::Text)
+            .map(|(i, _)| i)
+    }
+}
+
+/// Fluent builder for [`TableSchema`], consumed by
+/// [`Database::create_table`](crate::Database::create_table).
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    schema: TableSchema,
+}
+
+impl TableBuilder {
+    pub fn new(name: &str) -> Self {
+        TableBuilder {
+            schema: TableSchema {
+                name: name.to_string(),
+                columns: Vec::new(),
+                primary_key: None,
+                foreign_keys: Vec::new(),
+            },
+        }
+    }
+
+    /// Append a column.
+    pub fn column(mut self, name: &str, ty: ColumnType) -> Self {
+        self.schema.columns.push(ColumnDef {
+            name: name.to_string(),
+            ty,
+            full_text: true,
+        });
+        self
+    }
+
+    /// Append a text column excluded from the full-text index.
+    pub fn column_no_index(mut self, name: &str, ty: ColumnType) -> Self {
+        self.schema.columns.push(ColumnDef {
+            name: name.to_string(),
+            ty,
+            full_text: false,
+        });
+        self
+    }
+
+    /// Declare `name` (already added) as the primary key.
+    pub fn primary_key(mut self, name: &str) -> Self {
+        self.schema.primary_key = self.schema.column_index(name);
+        self
+    }
+
+    /// Declare `column` (already added) as a foreign key to `ref_table`'s
+    /// primary key.
+    pub fn foreign_key(mut self, column: &str, ref_table: &str) -> Self {
+        if let Some(idx) = self.schema.column_index(column) {
+            self.schema.foreign_keys.push(ForeignKey {
+                column: idx,
+                ref_table: ref_table.to_string(),
+            });
+        }
+        self
+    }
+
+    /// Validate and finish. Errors on empty tables, dangling PK/FK columns.
+    pub fn build(self) -> Result<TableSchema> {
+        let s = self.schema;
+        if s.columns.is_empty() {
+            return Err(KwdbError::Schema(format!(
+                "table {} has no columns",
+                s.name
+            )));
+        }
+        let mut names = std::collections::HashSet::new();
+        for c in &s.columns {
+            if !names.insert(c.name.as_str()) {
+                return Err(KwdbError::Schema(format!(
+                    "duplicate column {} in table {}",
+                    c.name, s.name
+                )));
+            }
+        }
+        Ok(s)
+    }
+}
+
+/// An edge in the schema graph: a foreign key from one table to another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SchemaEdge {
+    /// Referencing table.
+    pub from: TableId,
+    /// Referenced table.
+    pub to: TableId,
+    /// FK column index in `from`.
+    pub fk_column: usize,
+    /// PK column index in `to`.
+    pub pk_column: usize,
+}
+
+/// The schema graph: tables as nodes, foreign keys as (directed) edges,
+/// traversed in both directions by candidate-network generation.
+#[derive(Debug, Clone, Default)]
+pub struct SchemaGraph {
+    edges: Vec<SchemaEdge>,
+    /// Adjacency: for each table, (edge index, direction) where direction
+    /// `true` means the edge is traversed from → to.
+    adj: HashMap<TableId, Vec<(usize, bool)>>,
+}
+
+impl SchemaGraph {
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn add_edge(&mut self, e: SchemaEdge) {
+        let idx = self.edges.len();
+        self.adj.entry(e.from).or_default().push((idx, true));
+        self.adj.entry(e.to).or_default().push((idx, false));
+        self.edges.push(e);
+    }
+
+    pub fn edges(&self) -> &[SchemaEdge] {
+        &self.edges
+    }
+
+    /// Edges incident to `t`, each as `(edge, neighbor)`.
+    pub fn neighbors(&self, t: TableId) -> impl Iterator<Item = (&SchemaEdge, TableId)> {
+        self.adj
+            .get(&t)
+            .into_iter()
+            .flatten()
+            .map(move |&(i, fwd)| {
+                let e = &self.edges[i];
+                (e, if fwd { e.to } else { e.from })
+            })
+    }
+
+    /// Degree of table `t` in the schema graph.
+    pub fn degree(&self, t: TableId) -> usize {
+        self.adj.get(&t).map_or(0, |v| v.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates_duplicates() {
+        let err = TableBuilder::new("t")
+            .column("a", ColumnType::Int)
+            .column("a", ColumnType::Text)
+            .build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn builder_rejects_empty() {
+        assert!(TableBuilder::new("t").build().is_err());
+    }
+
+    #[test]
+    fn column_lookup() {
+        let s = TableBuilder::new("t")
+            .column("a", ColumnType::Int)
+            .column("b", ColumnType::Text)
+            .primary_key("a")
+            .build()
+            .unwrap();
+        assert_eq!(s.column_index("b"), Some(1));
+        assert_eq!(s.column_index("z"), None);
+        assert_eq!(s.primary_key, Some(0));
+        assert_eq!(s.arity(), 2);
+    }
+
+    #[test]
+    fn text_columns_respect_no_index() {
+        let s = TableBuilder::new("t")
+            .column("a", ColumnType::Text)
+            .column_no_index("code", ColumnType::Text)
+            .column("n", ColumnType::Int)
+            .build()
+            .unwrap();
+        let cols: Vec<usize> = s.text_columns().collect();
+        assert_eq!(cols, vec![0]);
+    }
+
+    #[test]
+    fn schema_graph_adjacency() {
+        let mut g = SchemaGraph::new();
+        g.add_edge(SchemaEdge {
+            from: TableId(2),
+            to: TableId(0),
+            fk_column: 0,
+            pk_column: 0,
+        });
+        g.add_edge(SchemaEdge {
+            from: TableId(2),
+            to: TableId(1),
+            fk_column: 1,
+            pk_column: 0,
+        });
+        assert_eq!(g.degree(TableId(2)), 2);
+        assert_eq!(g.degree(TableId(0)), 1);
+        let n0: Vec<TableId> = g.neighbors(TableId(0)).map(|(_, t)| t).collect();
+        assert_eq!(n0, vec![TableId(2)]);
+        let n2: Vec<TableId> = g.neighbors(TableId(2)).map(|(_, t)| t).collect();
+        assert_eq!(n2, vec![TableId(0), TableId(1)]);
+    }
+}

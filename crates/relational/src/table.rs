@@ -1,0 +1,192 @@
+//! Tuple storage.
+
+use crate::schema::{TableId, TableSchema};
+use kwdb_common::{KwdbError, Result, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Dense row identifier within one table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RowId(pub u32);
+
+/// Globally unique tuple identifier: `(table, row)`. This is also the node
+/// identity when a database is viewed as a data graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TupleId {
+    pub table: TableId,
+    pub row: RowId,
+}
+
+impl TupleId {
+    pub fn new(table: TableId, row: RowId) -> Self {
+        TupleId { table, row }
+    }
+}
+
+/// A tuple: one value per column.
+pub type Row = Vec<Value>;
+
+/// A table: schema plus row store plus a primary-key index.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub id: TableId,
+    pub schema: TableSchema,
+    rows: Vec<Row>,
+    /// PK value → row, maintained when a primary key is declared.
+    pk_index: HashMap<Value, RowId>,
+}
+
+impl Table {
+    pub(crate) fn new(id: TableId, schema: TableSchema) -> Self {
+        Table {
+            id,
+            schema,
+            rows: Vec::new(),
+            pk_index: HashMap::new(),
+        }
+    }
+
+    /// Insert a typed row; checks arity, column types and PK uniqueness.
+    pub fn insert(&mut self, row: Row) -> Result<RowId> {
+        if row.len() != self.schema.arity() {
+            return Err(KwdbError::Schema(format!(
+                "table {}: expected {} values, got {}",
+                self.schema.name,
+                self.schema.arity(),
+                row.len()
+            )));
+        }
+        for (v, c) in row.iter().zip(&self.schema.columns) {
+            if let Some(vt) = v.value_type() {
+                let compatible = vt == c.ty
+                    || (vt == kwdb_common::value::ValueType::Int
+                        && c.ty == kwdb_common::value::ValueType::Float);
+                if !compatible {
+                    return Err(KwdbError::TypeMismatch {
+                        expected: match c.ty {
+                            kwdb_common::value::ValueType::Int => "int",
+                            kwdb_common::value::ValueType::Float => "float",
+                            kwdb_common::value::ValueType::Text => "text",
+                            kwdb_common::value::ValueType::Bool => "bool",
+                        },
+                        found: v.type_name(),
+                    });
+                }
+            }
+        }
+        let rid = RowId(self.rows.len() as u32);
+        if let Some(pk) = self.schema.primary_key {
+            let key = row[pk].clone();
+            if key.is_null() {
+                return Err(KwdbError::Schema(format!(
+                    "table {}: NULL primary key",
+                    self.schema.name
+                )));
+            }
+            match self.pk_index.entry(key) {
+                std::collections::hash_map::Entry::Occupied(_) => {
+                    return Err(KwdbError::Schema(format!(
+                        "table {}: duplicate primary key {}",
+                        self.schema.name, row[pk]
+                    )));
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(rid);
+                }
+            }
+        }
+        self.rows.push(row);
+        Ok(rid)
+    }
+
+    pub fn row(&self, id: RowId) -> &Row {
+        &self.rows[id.0 as usize]
+    }
+
+    pub fn get(&self, id: RowId, col: usize) -> &Value {
+        &self.rows[id.0 as usize][col]
+    }
+
+    /// Look up a row by primary-key value.
+    pub fn lookup_pk(&self, key: &Value) -> Option<RowId> {
+        self.pk_index.get(key).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterate `(RowId, &Row)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RowId(i as u32), r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, TableBuilder};
+
+    fn table() -> Table {
+        let schema = TableBuilder::new("author")
+            .column("aid", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .primary_key("aid")
+            .build()
+            .unwrap();
+        Table::new(TableId(0), schema)
+    }
+
+    #[test]
+    fn insert_and_read() {
+        let mut t = table();
+        let r = t.insert(vec![1.into(), "Widom".into()]).unwrap();
+        assert_eq!(t.get(r, 1).as_text(), Some("Widom"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut t = table();
+        assert!(t.insert(vec![1.into()]).is_err());
+    }
+
+    #[test]
+    fn type_checked() {
+        let mut t = table();
+        assert!(t.insert(vec!["oops".into(), "Widom".into()]).is_err());
+    }
+
+    #[test]
+    fn null_allowed_in_non_pk() {
+        let mut t = table();
+        assert!(t.insert(vec![1.into(), Value::Null]).is_ok());
+    }
+
+    #[test]
+    fn pk_uniqueness_and_lookup() {
+        let mut t = table();
+        t.insert(vec![7.into(), "a".into()]).unwrap();
+        assert!(t.insert(vec![7.into(), "b".into()]).is_err());
+        assert!(t.insert(vec![Value::Null, "c".into()]).is_err());
+        assert_eq!(t.lookup_pk(&7.into()), Some(RowId(0)));
+        assert_eq!(t.lookup_pk(&8.into()), None);
+    }
+
+    #[test]
+    fn int_widens_to_float_column() {
+        let schema = TableBuilder::new("m")
+            .column("price", ColumnType::Float)
+            .build()
+            .unwrap();
+        let mut t = Table::new(TableId(0), schema);
+        assert!(t.insert(vec![3.into()]).is_ok());
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the join operators: the hash join must agree with a
+//! nested-loop oracle on arbitrary data, including NULLs and duplicates.
+
+use kwdb_common::Value;
+use kwdb_relational::join::{hash_join, seed, semi_join};
+use kwdb_relational::{ColumnType, Database, ExecStats, RowId, TableBuilder};
+use proptest::prelude::*;
+
+fn build_tables(left: &[Option<i64>], right: &[Option<i64>]) -> Database {
+    let mut db = Database::new();
+    db.create_table(TableBuilder::new("l").column("k", ColumnType::Int))
+        .unwrap();
+    db.create_table(TableBuilder::new("r").column("k", ColumnType::Int))
+        .unwrap();
+    for v in left {
+        db.insert("l", vec![v.map(Value::from).unwrap_or(Value::Null)])
+            .unwrap();
+    }
+    for v in right {
+        db.insert("r", vec![v.map(Value::from).unwrap_or(Value::Null)])
+            .unwrap();
+    }
+    db
+}
+
+proptest! {
+    #[test]
+    fn hash_join_matches_nested_loop(
+        left in proptest::collection::vec(proptest::option::of(0i64..6), 0..12),
+        right in proptest::collection::vec(proptest::option::of(0i64..6), 0..12),
+    ) {
+        let db = build_tables(&left, &right);
+        let lt = db.table_by_name("l").unwrap();
+        let rt = db.table_by_name("r").unwrap();
+        let lrows: Vec<RowId> = (0..left.len() as u32).map(RowId).collect();
+        let rrows: Vec<RowId> = (0..right.len() as u32).map(RowId).collect();
+        let stats = ExecStats::new();
+        let out = hash_join(&seed(&lrows), 0, lt, 0, rt, &rrows, 0, &stats);
+        // nested loop oracle: NULLs never match
+        let mut expected = 0usize;
+        for a in &left {
+            for b in &right {
+                if let (Some(x), Some(y)) = (a, b) {
+                    if x == y { expected += 1; }
+                }
+            }
+        }
+        prop_assert_eq!(out.len(), expected);
+        // every output pair really matches
+        for t in &out {
+            prop_assert_eq!(lt.get(t[0], 0), rt.get(t[1], 0));
+        }
+    }
+
+    #[test]
+    fn semi_join_is_a_filter_of_left(
+        left in proptest::collection::vec(proptest::option::of(0i64..6), 0..12),
+        right in proptest::collection::vec(proptest::option::of(0i64..6), 0..12),
+    ) {
+        let db = build_tables(&left, &right);
+        let lt = db.table_by_name("l").unwrap();
+        let rt = db.table_by_name("r").unwrap();
+        let lrows: Vec<RowId> = (0..left.len() as u32).map(RowId).collect();
+        let rrows: Vec<RowId> = (0..right.len() as u32).map(RowId).collect();
+        let stats = ExecStats::new();
+        let out = semi_join(lt, &lrows, 0, rt, &rrows, 0, &stats);
+        // subset of left, in order, exactly the rows with a match
+        let right_vals: std::collections::HashSet<i64> =
+            right.iter().flatten().copied().collect();
+        let expected: Vec<RowId> = lrows
+            .iter()
+            .copied()
+            .filter(|&r| {
+                lt.get(r, 0).as_int().map(|v| right_vals.contains(&v)).unwrap_or(false)
+            })
+            .collect();
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn semi_join_idempotent(
+        left in proptest::collection::vec(proptest::option::of(0i64..4), 0..10),
+        right in proptest::collection::vec(proptest::option::of(0i64..4), 0..10),
+    ) {
+        let db = build_tables(&left, &right);
+        let lt = db.table_by_name("l").unwrap();
+        let rt = db.table_by_name("r").unwrap();
+        let lrows: Vec<RowId> = (0..left.len() as u32).map(RowId).collect();
+        let rrows: Vec<RowId> = (0..right.len() as u32).map(RowId).collect();
+        let stats = ExecStats::new();
+        let once = semi_join(lt, &lrows, 0, rt, &rrows, 0, &stats);
+        let twice = semi_join(lt, &once, 0, rt, &rrows, 0, &stats);
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,230 @@
+//! Keyword-based database selection (Yu, Li, Sollins & Tung, SIGMOD 07) —
+//! tutorial slide 168's distributed-search pointer.
+//!
+//! With many databases available, evaluating a keyword query everywhere is
+//! wasteful; each database is summarized offline by its **keyword
+//! relationships**: how often two keywords co-occur within a bounded number
+//! of FK joins. Online, a query is routed to the databases whose summaries
+//! promise connected results — not merely keyword presence (a database
+//! containing both "seltzer" and "berkeley" in unrelated tables is useless).
+
+use kwdb_relational::{Database, TupleId};
+use std::collections::{HashMap, HashSet};
+
+/// Offline summary: keyword → matching tuple count, and keyword-pair →
+/// count of tuple pairs within `d_max` FK hops.
+#[derive(Debug, Clone)]
+pub struct KeywordRelationshipSummary {
+    term_freq: HashMap<String, usize>,
+    pair_freq: HashMap<(String, String), usize>,
+    pub d_max: u32,
+}
+
+impl KeywordRelationshipSummary {
+    /// Build the summary for one database. Vocabulary can be capped to the
+    /// `max_terms` most frequent terms (summaries must stay small).
+    pub fn build(db: &Database, d_max: u32, max_terms: usize) -> Self {
+        let ix = db.text_index();
+        // choose the vocabulary
+        let mut terms: Vec<(String, usize)> = ix
+            .terms()
+            .map(|t| (t.to_string(), ix.doc_freq(t)))
+            .collect();
+        terms.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        terms.truncate(max_terms);
+        let term_freq: HashMap<String, usize> = terms.iter().cloned().collect();
+
+        // per-term reachable tuple sets within d_max hops
+        let edges = crate::rdbms_power::edge_relation(db);
+        let mut adj: HashMap<TupleId, Vec<TupleId>> = HashMap::new();
+        for &(u, v) in &edges {
+            adj.entry(u).or_default().push(v);
+        }
+        let reach_of = |term: &str| -> HashSet<TupleId> {
+            let mut frontier: HashSet<TupleId> =
+                ix.postings(term).iter().map(|p| p.tuple).collect();
+            let mut seen = frontier.clone();
+            for _ in 0..d_max {
+                let mut next = HashSet::new();
+                for u in &frontier {
+                    for v in adj.get(u).into_iter().flatten() {
+                        if seen.insert(*v) {
+                            next.insert(*v);
+                        }
+                    }
+                }
+                if next.is_empty() {
+                    break;
+                }
+                frontier = next;
+            }
+            seen
+        };
+        let reaches: HashMap<&str, HashSet<TupleId>> = term_freq
+            .keys()
+            .map(|t| (t.as_str(), reach_of(t)))
+            .collect();
+
+        // pair relationship strength: overlap of reachable sets means the
+        // two keywords can be connected within 2·d_max hops
+        let mut pair_freq: HashMap<(String, String), usize> = HashMap::new();
+        let names: Vec<&str> = term_freq.keys().map(|s| s.as_str()).collect();
+        for (i, &a) in names.iter().enumerate() {
+            for &b in names.iter().skip(i + 1) {
+                let overlap = reaches[a].intersection(&reaches[b]).count();
+                if overlap > 0 {
+                    let key = if a < b {
+                        (a.to_string(), b.to_string())
+                    } else {
+                        (b.to_string(), a.to_string())
+                    };
+                    pair_freq.insert(key, overlap);
+                }
+            }
+        }
+        KeywordRelationshipSummary {
+            term_freq,
+            pair_freq,
+            d_max,
+        }
+    }
+
+    /// Relationship strength of a keyword pair (0 when unrelated here).
+    pub fn pair_strength(&self, a: &str, b: &str) -> usize {
+        let key = if a < b {
+            (a.to_string(), b.to_string())
+        } else {
+            (b.to_string(), a.to_string())
+        };
+        self.pair_freq.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Score a query against this summary: every keyword must be present,
+    /// and every keyword pair contributes `ln(1 + strength)` — presence
+    /// without relationships scores 0, the paper's key point.
+    pub fn score<S: AsRef<str>>(&self, query: &[S]) -> f64 {
+        if query
+            .iter()
+            .any(|k| !self.term_freq.contains_key(k.as_ref()))
+        {
+            return 0.0;
+        }
+        if query.len() == 1 {
+            return (1.0 + self.term_freq[query[0].as_ref()] as f64).ln();
+        }
+        let mut total = 0.0;
+        for (i, a) in query.iter().enumerate() {
+            for b in query.iter().skip(i + 1) {
+                let s = self.pair_strength(a.as_ref(), b.as_ref());
+                if s == 0 {
+                    return 0.0; // some pair cannot be connected here
+                }
+                total += (1.0 + s as f64).ln();
+            }
+        }
+        total
+    }
+}
+
+/// Rank databases for a query by their summaries, best first; zero-scoring
+/// databases are dropped.
+pub fn select_databases<'a, S: AsRef<str>>(
+    summaries: &'a [(String, KeywordRelationshipSummary)],
+    query: &[S],
+    k: usize,
+) -> Vec<(&'a str, f64)> {
+    let mut scored: Vec<(&str, f64)> = summaries
+        .iter()
+        .map(|(name, s)| (name.as_str(), s.score(query)))
+        .filter(|(_, s)| *s > 0.0)
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(b.0)));
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwdb_relational::database::dblp_schema;
+
+    /// A database where widom writes xml papers (connected keywords).
+    fn connected_db() -> Database {
+        let mut db = Database::new();
+        dblp_schema(&mut db).unwrap();
+        db.insert("conference", vec![1.into(), "SIGMOD".into(), 2007.into()])
+            .unwrap();
+        db.insert("author", vec![1.into(), "Widom".into()]).unwrap();
+        db.insert("paper", vec![1.into(), "XML search".into(), 1.into()])
+            .unwrap();
+        db.insert("write", vec![1.into(), 1.into(), 1.into()])
+            .unwrap();
+        db.build_text_index();
+        db
+    }
+
+    /// Both keywords present but in unrelated places (no write rows).
+    fn disconnected_db() -> Database {
+        let mut db = Database::new();
+        dblp_schema(&mut db).unwrap();
+        db.insert("conference", vec![1.into(), "SIGMOD".into(), 2007.into()])
+            .unwrap();
+        db.insert("conference", vec![2.into(), "VLDB".into(), 2008.into()])
+            .unwrap();
+        db.insert("author", vec![1.into(), "Widom".into()]).unwrap();
+        db.insert("paper", vec![1.into(), "XML search".into(), 2.into()])
+            .unwrap();
+        db.build_text_index();
+        db
+    }
+
+    #[test]
+    fn connected_database_scores_positive() {
+        let db = connected_db();
+        let s = KeywordRelationshipSummary::build(&db, 2, 50);
+        assert!(s.pair_strength("widom", "xml") > 0);
+        assert!(s.score(&["widom", "xml"]) > 0.0);
+    }
+
+    #[test]
+    fn presence_without_relationship_scores_zero() {
+        let db = disconnected_db();
+        let s = KeywordRelationshipSummary::build(&db, 2, 50);
+        assert!(s.term_freq.contains_key("widom"));
+        assert!(s.term_freq.contains_key("xml"));
+        assert_eq!(s.pair_strength("widom", "xml"), 0);
+        assert_eq!(s.score(&["widom", "xml"]), 0.0);
+    }
+
+    #[test]
+    fn selection_ranks_the_useful_database_only() {
+        let summaries = vec![
+            (
+                "dblp-a".to_string(),
+                KeywordRelationshipSummary::build(&connected_db(), 2, 50),
+            ),
+            (
+                "dblp-b".to_string(),
+                KeywordRelationshipSummary::build(&disconnected_db(), 2, 50),
+            ),
+        ];
+        let ranked = select_databases(&summaries, &["widom", "xml"], 5);
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(ranked[0].0, "dblp-a");
+    }
+
+    #[test]
+    fn single_keyword_uses_presence() {
+        let db = disconnected_db();
+        let s = KeywordRelationshipSummary::build(&db, 2, 50);
+        assert!(s.score(&["widom"]) > 0.0);
+        assert_eq!(s.score(&["nonexistent"]), 0.0);
+    }
+
+    #[test]
+    fn vocabulary_cap_respected() {
+        let db = connected_db();
+        let s = KeywordRelationshipSummary::build(&db, 2, 3);
+        assert!(s.term_freq.len() <= 3);
+    }
+}

@@ -1,0 +1,422 @@
+//! Parallel CN computation (Qin et al., *Ten Thousand SQLs: Parallel Keyword
+//! Queries Computing*, VLDB 10) — tutorial slides 130–133.
+//!
+//! A keyword query becomes hundreds of CN jobs; the question is how to
+//! spread them over cores when jobs share sub-expressions:
+//!
+//! * [`partition_lpt`] — classic longest-processing-time greedy, oblivious
+//!   to sharing (slide 131);
+//! * [`partition_sharing_aware`] — assign each job to the core where its
+//!   *residual* cost (cost minus work already paid by co-located jobs'
+//!   shared subtrees) minimizes the resulting load (slide 132);
+//! * [`operator_level_makespan`] — schedule distinct subtree *operators* level by
+//!   level across cores (slide 133), the finest granularity;
+//! * [`execute_parallel`] — actually run an assignment on real threads
+//!   (crossbeam scoped), for wall-clock measurements.
+
+use crate::cn::CandidateNetwork;
+use crate::eval::evaluate_cn;
+use crate::tupleset::TupleSets;
+use kwdb_relational::{Database, ExecStats};
+use std::collections::{HashMap, HashSet};
+
+/// Estimated cost of evaluating a CN: total rows scanned across its nodes
+/// (free nodes scan the free set) plus one unit per join.
+pub fn estimate_cost(db: &Database, ts: &TupleSets, cn: &CandidateNetwork) -> f64 {
+    let mut cost = cn.edges.len() as f64;
+    for (i, n) in cn.nodes.iter().enumerate() {
+        let rows = crate::eval::default_rows(db, cn, ts, i);
+        let _ = n;
+        cost += rows.len() as f64;
+    }
+    cost
+}
+
+/// All distinct subtree codes of a CN (every node, rooted away from each
+/// neighbor) — the shareable operators.
+pub fn subtree_codes(cn: &CandidateNetwork) -> HashSet<String> {
+    let mut codes = HashSet::new();
+    for node in 0..cn.nodes.len() {
+        collect_codes(cn, node, usize::MAX, &mut codes);
+    }
+    codes
+}
+
+fn collect_codes(
+    cn: &CandidateNetwork,
+    node: usize,
+    parent: usize,
+    out: &mut HashSet<String>,
+) -> String {
+    let mut kids: Vec<String> = cn
+        .edges
+        .iter()
+        .filter_map(|e| {
+            let child = if e.a == node && e.b != parent {
+                e.b
+            } else if e.b == node && e.a != parent {
+                e.a
+            } else {
+                return None;
+            };
+            Some(format!(
+                "-{}{}-{}",
+                e.schema_edge,
+                if e.from_side_is(child) { ">" } else { "<" },
+                collect_codes(cn, child, node, out)
+            ))
+        })
+        .collect();
+    kids.sort();
+    let code = format!(
+        "{}:{}({})",
+        cn.nodes[node].table.0,
+        cn.nodes[node].mask,
+        kids.join(",")
+    );
+    out.insert(code.clone());
+    code
+}
+
+/// An assignment of jobs to cores plus its simulated makespan.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// `core_of[j]` = core executing job `j`.
+    pub core_of: Vec<usize>,
+    /// Simulated per-core loads.
+    pub loads: Vec<f64>,
+}
+
+impl Assignment {
+    pub fn makespan(&self) -> f64 {
+        self.loads.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Longest-processing-time greedy, sharing-oblivious.
+pub fn partition_lpt(costs: &[f64], cores: usize) -> Assignment {
+    let cores = cores.max(1);
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by(|&a, &b| costs[b].partial_cmp(&costs[a]).unwrap().then(a.cmp(&b)));
+    let mut loads = vec![0.0; cores];
+    let mut core_of = vec![0usize; costs.len()];
+    for j in order {
+        let c = (0..cores)
+            .min_by(|&a, &b| loads[a].partial_cmp(&loads[b]).unwrap())
+            .unwrap();
+        core_of[j] = c;
+        loads[c] += costs[j];
+    }
+    Assignment { core_of, loads }
+}
+
+/// Sharing-aware greedy: a job's cost on a core is reduced by the fraction
+/// of its subtree operators already present on that core (shared work is
+/// paid once per core). Jobs are placed largest-first on the core that
+/// minimizes the resulting maximum load.
+pub fn partition_sharing_aware(
+    cns: &[CandidateNetwork],
+    costs: &[f64],
+    cores: usize,
+) -> Assignment {
+    let cores = cores.max(1);
+    let codes: Vec<HashSet<String>> = cns.iter().map(subtree_codes).collect();
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by(|&a, &b| costs[b].partial_cmp(&costs[a]).unwrap().then(a.cmp(&b)));
+    let mut loads = vec![0.0; cores];
+    let mut core_codes: Vec<HashSet<String>> = vec![HashSet::new(); cores];
+    let mut core_of = vec![0usize; costs.len()];
+    for j in order {
+        // residual cost of job j on each core
+        let mut best: Option<(f64, usize, f64)> = None; // (resulting load, core, residual)
+        for c in 0..cores {
+            let total = codes[j].len().max(1) as f64;
+            let shared = codes[j].intersection(&core_codes[c]).count() as f64;
+            let residual = costs[j] * (1.0 - shared / total).max(0.05);
+            let resulting = loads[c] + residual;
+            if best.is_none_or(|(bl, _, _)| resulting < bl) {
+                best = Some((resulting, c, residual));
+            }
+        }
+        let (_, c, residual) = best.expect("at least one core");
+        core_of[j] = c;
+        loads[c] += residual;
+        core_codes[c].extend(codes[j].iter().cloned());
+    }
+    Assignment { core_of, loads }
+}
+
+/// Operator-level scheduling: distinct subtree operators are grouped by
+/// height (level) and each level is LPT-scheduled independently; the
+/// makespan is the sum of per-level maxima (levels are barriers, as deeper
+/// operators consume shallower ones). Returns the simulated makespan.
+pub fn operator_level_makespan(cns: &[CandidateNetwork], cores: usize) -> f64 {
+    let cores = cores.max(1);
+    // operator → (level, unit cost ~ subtree size)
+    let mut ops: HashMap<String, (usize, f64)> = HashMap::new();
+    for cn in cns {
+        let mut local = HashSet::new();
+        for node in 0..cn.nodes.len() {
+            collect_codes(cn, node, usize::MAX, &mut local);
+        }
+        for code in local {
+            let level = code.matches('(').count(); // nesting depth proxy
+            let cost = 1.0 + code.matches('-').count() as f64 / 2.0;
+            ops.entry(code).or_insert((level, cost));
+        }
+    }
+    let mut by_level: HashMap<usize, Vec<f64>> = HashMap::new();
+    for (_, (lvl, cost)) in ops {
+        by_level.entry(lvl).or_default().push(cost);
+    }
+    let mut total = 0.0;
+    for (_, costs) in by_level {
+        total += partition_lpt(&costs, cores).makespan();
+    }
+    total
+}
+
+/// Execute an assignment for real on `cores` scoped threads. Returns per-CN
+/// result counts (results themselves are discarded — this entry point exists
+/// for wall-clock benchmarking).
+pub fn execute_parallel(
+    db: &Database,
+    ts: &TupleSets,
+    cns: &[CandidateNetwork],
+    assignment: &Assignment,
+    cores: usize,
+    stats: &ExecStats,
+) -> Vec<usize> {
+    let cores = cores.max(1);
+    let mut per_core: Vec<Vec<usize>> = vec![Vec::new(); cores];
+    for (j, &c) in assignment.core_of.iter().enumerate() {
+        per_core[c % cores].push(j);
+    }
+    let counts: Vec<std::sync::atomic::AtomicUsize> = (0..cns.len())
+        .map(|_| std::sync::atomic::AtomicUsize::new(0))
+        .collect();
+    let counts_ref = &counts;
+    crossbeam::thread::scope(|s| {
+        for jobs in &per_core {
+            s.spawn(move |_| {
+                for &j in jobs {
+                    let n = evaluate_cn(db, &cns[j], ts, stats).len();
+                    counts_ref[j].store(n, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    counts.into_iter().map(|c| c.into_inner()).collect()
+}
+
+/// Data-level parallelism for extremely skewed workloads (slide 133's last
+/// bullet): when one CN dominates everything, CN-level partitioning cannot
+/// balance it. Split the CN's *largest keyword tuple set* into `cores`
+/// chunks and evaluate the restricted CN per chunk in parallel; chunk
+/// results are disjoint (each result uses exactly one tuple of that set), so
+/// concatenation equals serial evaluation.
+pub fn execute_data_parallel(
+    db: &Database,
+    ts: &TupleSets,
+    cn: &CandidateNetwork,
+    cores: usize,
+    stats: &ExecStats,
+) -> Vec<crate::eval::JoinedResult> {
+    use crate::eval::{default_rows, evaluate_cn_with};
+    let cores = cores.max(1);
+    // pick the largest keyword node to split on
+    let split = cn
+        .keyword_nodes()
+        .into_iter()
+        .max_by_key(|&ni| default_rows(db, cn, ts, ni).len());
+    let Some(split_node) = split else {
+        return crate::eval::evaluate_cn(db, cn, ts, stats);
+    };
+    let rows = default_rows(db, cn, ts, split_node);
+    if rows.len() < cores * 2 {
+        return crate::eval::evaluate_cn(db, cn, ts, stats);
+    }
+    let chunk = rows.len().div_ceil(cores);
+    let chunks: Vec<&[kwdb_relational::RowId]> = rows.chunks(chunk).collect();
+    let mut outputs: Vec<Vec<crate::eval::JoinedResult>> =
+        (0..chunks.len()).map(|_| Vec::new()).collect();
+    crossbeam::thread::scope(|s| {
+        for (slot, part) in outputs.iter_mut().zip(&chunks) {
+            let part: Vec<kwdb_relational::RowId> = part.to_vec();
+            s.spawn(move |_| {
+                *slot = evaluate_cn_with(
+                    db,
+                    cn,
+                    &|node| {
+                        if node == split_node {
+                            part.clone()
+                        } else {
+                            default_rows(db, cn, ts, node)
+                        }
+                    },
+                    stats,
+                );
+            });
+        }
+    })
+    .expect("worker panicked");
+    outputs.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cn::{CnGenConfig, CnGenerator, MaskOracle};
+    use kwdb_relational::database::dblp_schema;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        dblp_schema(&mut db).unwrap();
+        db.insert("conference", vec![1.into(), "SIGMOD".into(), 2007.into()])
+            .unwrap();
+        db.insert("author", vec![1.into(), "Jennifer Widom".into()])
+            .unwrap();
+        db.insert("author", vec![2.into(), "Serge Abiteboul".into()])
+            .unwrap();
+        for (pid, title) in [(10, "XML keyword search"), (11, "XML views")] {
+            db.insert("paper", vec![pid.into(), title.into(), 1.into()])
+                .unwrap();
+        }
+        for (wid, aid, pid) in [(100, 1, 10), (101, 2, 11)] {
+            db.insert("write", vec![wid.into(), aid.into(), pid.into()])
+                .unwrap();
+        }
+        db.build_text_index();
+        db
+    }
+
+    fn jobs(db: &Database) -> (TupleSets, Vec<CandidateNetwork>) {
+        let ts = TupleSets::build(db, &["widom", "xml"]);
+        let oracle = MaskOracle::from_tuplesets(&ts);
+        let mut g = CnGenerator::new(
+            db.schema_graph(),
+            &oracle,
+            CnGenConfig {
+                max_size: 5,
+                dedupe: true,
+                max_cns: 0,
+            },
+        );
+        let cns = g.generate();
+        (ts, cns)
+    }
+
+    #[test]
+    fn lpt_balances_loads() {
+        let costs = [10.0, 9.0, 8.0, 1.0, 1.0, 1.0];
+        let a = partition_lpt(&costs, 3);
+        assert_eq!(a.core_of.len(), 6);
+        assert!(a.makespan() <= 11.0, "LPT makespan {}", a.makespan());
+        let total: f64 = a.loads.iter().sum();
+        assert!((total - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharing_aware_beats_oblivious_when_jobs_overlap() {
+        let db = db();
+        let (ts, cns) = jobs(&db);
+        assert!(cns.len() >= 4);
+        let costs: Vec<f64> = cns.iter().map(|cn| estimate_cost(&db, &ts, cn)).collect();
+        let obl = partition_lpt(&costs, 2);
+        let aware = partition_sharing_aware(&cns, &costs, 2);
+        assert!(
+            aware.makespan() <= obl.makespan() + 1e-9,
+            "sharing-aware {} > LPT {}",
+            aware.makespan(),
+            obl.makespan()
+        );
+    }
+
+    #[test]
+    fn operator_level_bounded_by_total_work() {
+        let db = db();
+        let (_, cns) = jobs(&db);
+        let m1 = operator_level_makespan(&cns, 1);
+        let m4 = operator_level_makespan(&cns, 4);
+        assert!(m4 <= m1);
+        assert!(m4 > 0.0);
+    }
+
+    #[test]
+    fn parallel_execution_matches_serial_counts() {
+        let db = db();
+        let (ts, cns) = jobs(&db);
+        let costs: Vec<f64> = cns.iter().map(|cn| estimate_cost(&db, &ts, cn)).collect();
+        let assign = partition_lpt(&costs, 3);
+        let stats = ExecStats::new();
+        let counts = execute_parallel(&db, &ts, &cns, &assign, 3, &stats);
+        let serial_stats = ExecStats::new();
+        for (j, cn) in cns.iter().enumerate() {
+            let serial = evaluate_cn(&db, cn, &ts, &serial_stats).len();
+            assert_eq!(counts[j], serial, "CN {j} count mismatch");
+        }
+    }
+
+    #[test]
+    fn data_parallel_matches_serial_results() {
+        let mut db = Database::new();
+        dblp_schema(&mut db).unwrap();
+        db.insert("conference", vec![1.into(), "SIGMOD".into(), 2007.into()])
+            .unwrap();
+        // a skewed workload: many matching authors, one paper
+        for aid in 0..40 {
+            db.insert("author", vec![(aid as i64).into(), "prolific widom".into()])
+                .unwrap();
+        }
+        db.insert("paper", vec![1.into(), "xml".into(), 1.into()])
+            .unwrap();
+        for (wid, aid) in (0..40).enumerate() {
+            db.insert(
+                "write",
+                vec![(wid as i64).into(), (aid as i64).into(), 1.into()],
+            )
+            .unwrap();
+        }
+        db.build_text_index();
+        let ts = TupleSets::build(&db, &["widom", "xml"]);
+        let oracle = MaskOracle::from_tuplesets(&ts);
+        let mut g = CnGenerator::new(
+            db.schema_graph(),
+            &oracle,
+            CnGenConfig {
+                max_size: 3,
+                dedupe: true,
+                max_cns: 0,
+            },
+        );
+        let cns = g.generate();
+        let cn = cns.iter().find(|c| c.size() == 3).expect("A–W–P network");
+        let stats = ExecStats::new();
+        let mut serial = evaluate_cn(&db, cn, &ts, &stats);
+        let mut parallel = execute_data_parallel(&db, &ts, cn, 4, &stats);
+        serial.sort_by(|a, b| a.tuples.cmp(&b.tuples));
+        parallel.sort_by(|a, b| a.tuples.cmp(&b.tuples));
+        assert_eq!(serial.len(), 40);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn data_parallel_small_input_falls_back_to_serial() {
+        let db = db();
+        let (ts, cns) = jobs(&db);
+        let stats = ExecStats::new();
+        for cn in &cns {
+            let a = evaluate_cn(&db, cn, &ts, &stats);
+            let b = execute_data_parallel(&db, &ts, cn, 8, &stats);
+            assert_eq!(a.len(), b.len());
+        }
+    }
+
+    #[test]
+    fn single_core_makespan_is_total_cost() {
+        let costs = [3.0, 4.0, 5.0];
+        let a = partition_lpt(&costs, 1);
+        assert_eq!(a.makespan(), 12.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Keyword search "with the power of RDBMS" (Qin et al., SIGMOD 09) —
+//! tutorial slides 126–127.
+//!
+//! Instead of a memory-resident graph engine, this strategy expresses
+//! distinct-core keyword search entirely as relational operators over two
+//! derived relations:
+//!
+//! * `Node(tuple)` — every tuple of the database;
+//! * `Edge(u, v)` — undirected FK adjacency between tuples.
+//!
+//! `Pairsₖ(x, m, d)` — "node `x` is at distance `d ≤ Dmax` from keyword-
+//! match `m` of keyword `k`" — is computed by semi-naive iteration:
+//! `Pairs⁰ = matches × {0}`, `Pairsᵈ⁺¹ = Pairsᵈ ⋈ Edge` keeping minimal
+//! distances. The answer relation joins the `Pairsₖ` on the center `x` and
+//! groups by the match combination (the distinct core), keeping the minimal
+//! total distance. Every step is a hash join / group-by — exactly the ops an
+//! RDBMS would run — and is counted in [`ExecStats`].
+
+use kwdb_relational::{Database, ExecStats, TupleId};
+use std::collections::HashMap;
+
+/// A distinct-core answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreAnswer {
+    /// `core[i]` matches keyword `i`.
+    pub core: Vec<TupleId>,
+    /// A center witnessing the core with minimal total distance.
+    pub center: TupleId,
+    pub total_dist: u32,
+}
+
+/// The derived edge relation: undirected FK adjacency between tuples.
+pub fn edge_relation(db: &Database) -> Vec<(TupleId, TupleId)> {
+    let mut edges = Vec::new();
+    for t in db.tables() {
+        for (rid, _) in t.iter() {
+            let u = TupleId::new(t.id, rid);
+            for v in db.fk_neighbors(u) {
+                edges.push((u, v));
+                edges.push((v, u));
+            }
+        }
+    }
+    edges
+}
+
+/// `Pairs` for one keyword: node → (min dist, nearest match), computed by
+/// semi-naive join iteration up to `d_max` hops.
+fn pairs(
+    db: &Database,
+    edges: &[(TupleId, TupleId)],
+    keyword: &str,
+    d_max: u32,
+    stats: &ExecStats,
+) -> HashMap<TupleId, (u32, TupleId)> {
+    // adjacency as a hash "index" over the edge relation
+    let mut adj: HashMap<TupleId, Vec<TupleId>> = HashMap::new();
+    for &(u, v) in edges {
+        adj.entry(u).or_default().push(v);
+    }
+    let ix = db.text_index();
+    let mut best: HashMap<TupleId, (u32, TupleId)> = HashMap::new();
+    let mut delta: Vec<(TupleId, TupleId)> = Vec::new(); // (node, match)
+    let mut last: Option<TupleId> = None;
+    for p in ix.postings(keyword) {
+        if last != Some(p.tuple) {
+            best.insert(p.tuple, (0, p.tuple));
+            delta.push((p.tuple, p.tuple));
+            last = Some(p.tuple);
+        }
+    }
+    for d in 1..=d_max {
+        // level-synchronous expansion; among equidistant matches the
+        // smallest tuple id wins (mirroring the graph side's tie-break)
+        let mut discovered: HashMap<TupleId, TupleId> = HashMap::new();
+        for &(u, m) in &delta {
+            stats.add_probes(1);
+            for &v in adj.get(&u).into_iter().flatten() {
+                stats.add_scanned(1);
+                if !best.contains_key(&v) {
+                    match discovered.get_mut(&v) {
+                        Some(cur) if *cur <= m => {}
+                        _ => {
+                            discovered.insert(v, m);
+                        }
+                    }
+                }
+            }
+        }
+        stats.add_join();
+        if discovered.is_empty() {
+            break;
+        }
+        delta = discovered
+            .into_iter()
+            .map(|(v, m)| {
+                best.insert(v, (d, m));
+                (v, m)
+            })
+            .collect();
+    }
+    best
+}
+
+/// Distinct-core keyword search via relational operators.
+pub fn search<S: AsRef<str>>(
+    db: &Database,
+    keywords: &[S],
+    d_max: u32,
+    k: usize,
+) -> (Vec<CoreAnswer>, kwdb_relational::stats::StatsSnapshot) {
+    let stats = ExecStats::new();
+    let l = keywords.len();
+    if l == 0 || k == 0 {
+        return (Vec::new(), stats.snapshot());
+    }
+    let edges = edge_relation(db);
+    let mut pair_rels = Vec::with_capacity(l);
+    for kw in keywords {
+        let p = pairs(db, &edges, kw.as_ref(), d_max, &stats);
+        if p.is_empty() {
+            return (Vec::new(), stats.snapshot());
+        }
+        pair_rels.push(p);
+    }
+    // join Pairs relations on the center x, then GROUP BY core
+    let smallest = (0..l).min_by_key(|&i| pair_rels[i].len()).expect("l >= 1");
+    let mut grouped: HashMap<Vec<TupleId>, (TupleId, u32)> = HashMap::new();
+    'outer: for (&x, &(d0, m0)) in &pair_rels[smallest] {
+        let mut core = vec![m0; l];
+        let mut total = 0u32;
+        for i in 0..l {
+            stats.add_probes(1);
+            if i == smallest {
+                core[i] = m0;
+                total += d0;
+                continue;
+            }
+            match pair_rels[i].get(&x) {
+                Some(&(d, m)) => {
+                    core[i] = m;
+                    total += d;
+                }
+                None => continue 'outer,
+            }
+        }
+        stats.add_output(1);
+        match grouped.get_mut(&core) {
+            Some(slot) => {
+                if total < slot.1 || (total == slot.1 && x < slot.0) {
+                    *slot = (x, total);
+                }
+            }
+            None => {
+                grouped.insert(core, (x, total));
+            }
+        }
+    }
+    let mut out: Vec<CoreAnswer> = grouped
+        .into_iter()
+        .map(|(core, (center, total_dist))| CoreAnswer {
+            core,
+            center,
+            total_dist,
+        })
+        .collect();
+    out.sort_by(|a, b| a.total_dist.cmp(&b.total_dist).then(a.core.cmp(&b.core)));
+    out.truncate(k);
+    (out, stats.snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwdb_relational::database::dblp_schema;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        dblp_schema(&mut db).unwrap();
+        db.insert("conference", vec![1.into(), "SIGMOD".into(), 2007.into()])
+            .unwrap();
+        db.insert("author", vec![1.into(), "Jennifer Widom".into()])
+            .unwrap();
+        db.insert("author", vec![2.into(), "Serge Abiteboul".into()])
+            .unwrap();
+        db.insert(
+            "paper",
+            vec![10.into(), "XML keyword search".into(), 1.into()],
+        )
+        .unwrap();
+        db.insert("paper", vec![11.into(), "Web data".into(), 1.into()])
+            .unwrap();
+        db.insert("write", vec![100.into(), 1.into(), 10.into()])
+            .unwrap();
+        db.insert("write", vec![101.into(), 2.into(), 11.into()])
+            .unwrap();
+        db.build_text_index();
+        db
+    }
+
+    #[test]
+    fn edge_relation_is_symmetric() {
+        let db = db();
+        let edges = edge_relation(&db);
+        for &(u, v) in &edges {
+            assert!(edges.contains(&(v, u)));
+        }
+        // paper→conf ×2, write→author ×2, write→paper ×2 = 6 directed pairs ×2
+        assert_eq!(edges.len(), 12);
+    }
+
+    #[test]
+    fn finds_widom_xml_core() {
+        let db = db();
+        let (res, stats) = search(&db, &["widom", "xml"], 3, 10);
+        assert!(!res.is_empty());
+        let top = &res[0];
+        // core: author(1) and paper(10); connected via write at distance 1+1
+        assert_eq!(db.format_tuple(top.core[0]), "author(1, Jennifer Widom)");
+        assert!(db.format_tuple(top.core[1]).contains("XML"));
+        assert_eq!(top.total_dist, 2);
+        assert!(stats.joins_executed > 0);
+    }
+
+    #[test]
+    fn dmax_zero_requires_single_tuple_match() {
+        let db = db();
+        let (res, _) = search(&db, &["xml", "keyword"], 0, 10);
+        // paper 10 contains both
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].total_dist, 0);
+        let (none, _) = search(&db, &["xml", "widom"], 0, 10);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn distinct_cores_are_deduplicated() {
+        let db = db();
+        let (res, _) = search(&db, &["widom", "xml"], 4, 100);
+        let mut cores: Vec<Vec<TupleId>> = res.iter().map(|c| c.core.clone()).collect();
+        cores.sort();
+        let n = cores.len();
+        cores.dedup();
+        assert_eq!(cores.len(), n);
+    }
+
+    #[test]
+    fn missing_keyword_is_empty() {
+        let db = db();
+        let (res, _) = search(&db, &["widom", "zzz"], 3, 10);
+        assert!(res.is_empty());
+    }
+}

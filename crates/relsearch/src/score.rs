@@ -1,0 +1,257 @@
+//! Result scoring for relational keyword search.
+//!
+//! Two scoring regimes (tutorial slides 116–117):
+//!
+//! * the **monotonic** DISCOVER2 model — a result's score is the sum of its
+//!   tuples' tf·idf scores, normalized by CN size; monotone in per-tuple
+//!   scores, which the pipelined top-k executors rely on;
+//! * the **non-monotonic** SPARK model — the joined tuples form one *virtual
+//!   document* whose term frequencies aggregate before the double-log
+//!   damping and length normalization, so combining two strong tuples can
+//!   score *less* than their sum. SPARK's `watf` upper bound (monotone,
+//!   per-tuple) is what Skyline-Sweep and Block-Pipeline prune with.
+
+use crate::eval::JoinedResult;
+use kwdb_rank::CorpusStats;
+use kwdb_relational::{Database, TupleId};
+use std::collections::HashMap;
+
+/// SPARK's length-normalization slope (`s` in pivoted normalization).
+const SLOPE: f64 = 0.2;
+
+/// Shared scorer: corpus statistics over all database tuples.
+#[derive(Debug)]
+pub struct ResultScorer<'a> {
+    db: &'a Database,
+    stats: CorpusStats,
+    avg_len: f64,
+}
+
+impl<'a> ResultScorer<'a> {
+    /// Build corpus statistics over every tuple (one "document" per tuple).
+    pub fn new(db: &'a Database) -> Self {
+        let mut stats = CorpusStats::new();
+        let mut total_len = 0usize;
+        let mut n_docs = 0usize;
+        for t in db.tables() {
+            for (rid, _) in t.iter() {
+                let toks = db.tuple_tokens(TupleId::new(t.id, rid));
+                total_len += toks.len();
+                n_docs += 1;
+                stats.add_doc(&toks);
+            }
+        }
+        let avg_len = if n_docs == 0 {
+            1.0
+        } else {
+            (total_len as f64 / n_docs as f64).max(1.0)
+        };
+        ResultScorer { db, stats, avg_len }
+    }
+
+    pub fn corpus(&self) -> &CorpusStats {
+        &self.stats
+    }
+
+    /// Monotonic per-tuple score: Σ_k tf·idf of the query keywords.
+    pub fn tuple_score<S: AsRef<str>>(&self, tid: TupleId, keywords: &[S]) -> f64 {
+        let toks = self.db.tuple_tokens(tid);
+        let tf = term_freqs(&toks);
+        keywords
+            .iter()
+            .map(|k| {
+                let k = k.as_ref();
+                kwdb_rank::tfidf::TfIdf::tf_weight(tf.get(k).copied().unwrap_or(0))
+                    * self.stats.idf(k)
+            })
+            .sum()
+    }
+
+    /// DISCOVER2 result score: sum of tuple scores over size (smaller
+    /// networks matching equally well rank higher). Monotone in the
+    /// per-tuple scores for a fixed CN.
+    pub fn monotone_score<S: AsRef<str>>(&self, r: &JoinedResult, keywords: &[S]) -> f64 {
+        let sum: f64 = r
+            .tuples
+            .iter()
+            .map(|&t| self.tuple_score(t, keywords))
+            .sum();
+        sum / r.tuples.len() as f64
+    }
+
+    /// SPARK virtual-document score: aggregate term frequencies across the
+    /// joined tuples, then apply `(1 + ln(1 + ln tf)) · idf` per keyword with
+    /// pivoted length normalization and a size penalty.
+    pub fn spark_score<S: AsRef<str>>(&self, r: &JoinedResult, keywords: &[S]) -> f64 {
+        let mut tf: HashMap<String, usize> = HashMap::new();
+        let mut dl = 0usize;
+        for &t in &r.tuples {
+            let toks = self.db.tuple_tokens(t);
+            dl += toks.len();
+            for tok in toks {
+                *tf.entry(tok).or_insert(0) += 1;
+            }
+        }
+        let norm = (1.0 - SLOPE) + SLOPE * (dl as f64 / self.avg_len);
+        let a: f64 = keywords
+            .iter()
+            .map(|k| {
+                let k = k.as_ref();
+                double_log_tf(tf.get(k).copied().unwrap_or(0)) * self.stats.idf(k)
+            })
+            .sum();
+        // completeness: fraction of keywords present (1.0 for valid results)
+        let matched = keywords
+            .iter()
+            .filter(|k| tf.get(k.as_ref()).copied().unwrap_or(0) > 0)
+            .count();
+        let b = matched as f64 / keywords.len().max(1) as f64;
+        // size penalty
+        let c = 1.0 / r.tuples.len() as f64;
+        a / norm * b * c
+    }
+
+    /// SPARK's monotone per-tuple upper bound `watf`: for any result `T`,
+    /// `spark_score(T) ≤ Σ_{t ∈ T} watf(t)`. Holds because `double_log_tf`
+    /// is subadditive, `norm ≥ 1 − SLOPE`, and `b, c ≤ 1`.
+    pub fn watf<S: AsRef<str>>(&self, tid: TupleId, keywords: &[S]) -> f64 {
+        let toks = self.db.tuple_tokens(tid);
+        let tf = term_freqs(&toks);
+        let a: f64 = keywords
+            .iter()
+            .map(|k| {
+                let k = k.as_ref();
+                double_log_tf(tf.get(k).copied().unwrap_or(0)) * self.stats.idf(k)
+            })
+            .sum();
+        a / (1.0 - SLOPE)
+    }
+}
+
+fn term_freqs(tokens: &[String]) -> HashMap<&str, usize> {
+    let mut tf: HashMap<&str, usize> = HashMap::new();
+    for t in tokens {
+        *tf.entry(t.as_str()).or_insert(0) += 1;
+    }
+    tf
+}
+
+/// `1 + ln(1 + ln tf)` for `tf ≥ 1`, else 0 — SPARK's damped tf.
+fn double_log_tf(tf: usize) -> f64 {
+    if tf == 0 {
+        0.0
+    } else {
+        1.0 + (1.0 + (tf as f64).ln()).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwdb_relational::database::dblp_schema;
+    use kwdb_relational::RowId;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        dblp_schema(&mut db).unwrap();
+        db.insert("conference", vec![1.into(), "SIGMOD".into(), 2007.into()])
+            .unwrap();
+        db.insert("author", vec![1.into(), "Jennifer Widom".into()])
+            .unwrap();
+        db.insert("author", vec![2.into(), "XML Xml xml fan".into()])
+            .unwrap();
+        db.insert(
+            "paper",
+            vec![10.into(), "XML keyword search".into(), 1.into()],
+        )
+        .unwrap();
+        db.build_text_index();
+        db
+    }
+
+    fn tid(db: &Database, table: &str, row: u32) -> TupleId {
+        TupleId::new(db.table_id(table).unwrap(), RowId(row))
+    }
+
+    #[test]
+    fn tuple_score_matches_keywords() {
+        let db = db();
+        let s = ResultScorer::new(&db);
+        let widom = s.tuple_score(tid(&db, "author", 0), &["widom"]);
+        let miss = s.tuple_score(tid(&db, "author", 0), &["xml"]);
+        assert!(widom > 0.0);
+        assert_eq!(miss, 0.0);
+    }
+
+    #[test]
+    fn monotone_score_penalizes_size() {
+        let db = db();
+        let s = ResultScorer::new(&db);
+        let small = JoinedResult {
+            tuples: vec![tid(&db, "paper", 0)],
+        };
+        let big = JoinedResult {
+            tuples: vec![tid(&db, "paper", 0), tid(&db, "conference", 0)],
+        };
+        assert!(s.monotone_score(&small, &["xml"]) > s.monotone_score(&big, &["xml"]));
+    }
+
+    #[test]
+    fn spark_double_log_damps_repeats() {
+        let db = db();
+        let s = ResultScorer::new(&db);
+        let spammy = JoinedResult {
+            tuples: vec![tid(&db, "author", 1)],
+        }; // xml ×3
+        let normal = JoinedResult {
+            tuples: vec![tid(&db, "paper", 0)],
+        }; // xml ×1
+        let r_spam = s.spark_score(&spammy, &["xml"]);
+        let r_norm = s.spark_score(&normal, &["xml"]);
+        // three repetitions must give far less than 3× the single occurrence
+        assert!(r_spam < 2.0 * r_norm);
+        assert!(r_spam > 0.0);
+    }
+
+    #[test]
+    fn watf_upper_bounds_spark_score() {
+        let db = db();
+        let s = ResultScorer::new(&db);
+        let kws = ["xml", "widom", "keyword"];
+        let results = [
+            JoinedResult {
+                tuples: vec![tid(&db, "paper", 0)],
+            },
+            JoinedResult {
+                tuples: vec![tid(&db, "author", 0), tid(&db, "paper", 0)],
+            },
+            JoinedResult {
+                tuples: vec![
+                    tid(&db, "author", 0),
+                    tid(&db, "author", 1),
+                    tid(&db, "paper", 0),
+                ],
+            },
+        ];
+        for r in &results {
+            let bound: f64 = r.tuples.iter().map(|&t| s.watf(t, &kws)).sum();
+            let score = s.spark_score(r, &kws);
+            assert!(
+                score <= bound + 1e-9,
+                "watf bound violated: score {score} > bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn spark_completeness_penalizes_partial_match() {
+        let db = db();
+        let s = ResultScorer::new(&db);
+        let r = JoinedResult {
+            tuples: vec![tid(&db, "paper", 0)],
+        };
+        let full = s.spark_score(&r, &["xml"]);
+        let half = s.spark_score(&r, &["xml", "widom"]);
+        assert!(half < full);
+    }
+}

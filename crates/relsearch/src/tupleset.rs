@@ -1,0 +1,231 @@
+//! Query tuple sets: `R^K` = rows of table `R` whose text contains exactly
+//! the query-keyword subset `K` (and no other query keyword).
+//!
+//! The exact-subset partition is DISCOVER's: it makes candidate networks
+//! assign each keyword to exactly one node, so a CN's results are total
+//! (cover all keywords) and duplicate-free across CNs (a joining tree of
+//! tuples matches exactly one CN).
+
+use kwdb_relational::{Database, RowId, TableId};
+use std::collections::HashMap;
+
+/// One non-empty tuple set `R^K`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TupleSet {
+    pub table: TableId,
+    /// Bitmask over the query keywords; never 0 for stored sets (the free
+    /// set `R^{}` is implicit — it is the whole table).
+    pub mask: u32,
+    /// Matching rows, ascending.
+    pub rows: Vec<RowId>,
+}
+
+/// All non-empty tuple sets of a query, keyed by `(table, mask)`.
+#[derive(Debug, Clone, Default)]
+pub struct TupleSets {
+    sets: HashMap<(TableId, u32), TupleSet>,
+    /// Per table: rows matching *any* query keyword (sorted) — the
+    /// complement of the free set `R^∅`.
+    matched: HashMap<TableId, Vec<RowId>>,
+    n_keywords: usize,
+}
+
+impl TupleSets {
+    /// Partition every table's matching rows by exact keyword subset.
+    /// Requires a fresh full-text index on `db`.
+    pub fn build<S: AsRef<str>>(db: &Database, keywords: &[S]) -> Self {
+        assert!(keywords.len() <= 32, "at most 32 keywords");
+        let ix = db.text_index();
+        // (table, row) → mask
+        let mut masks: HashMap<(TableId, RowId), u32> = HashMap::new();
+        for (i, kw) in keywords.iter().enumerate() {
+            for p in ix.postings(kw.as_ref()) {
+                *masks.entry((p.tuple.table, p.tuple.row)).or_insert(0) |= 1 << i;
+            }
+        }
+        let mut sets: HashMap<(TableId, u32), TupleSet> = HashMap::new();
+        let mut matched: HashMap<TableId, Vec<RowId>> = HashMap::new();
+        let mut keys: Vec<((TableId, RowId), u32)> = masks.into_iter().collect();
+        keys.sort(); // deterministic row order
+        for ((table, row), mask) in keys {
+            sets.entry((table, mask))
+                .or_insert_with(|| TupleSet {
+                    table,
+                    mask,
+                    rows: Vec::new(),
+                })
+                .rows
+                .push(row);
+            matched.entry(table).or_default().push(row);
+        }
+        for rows in matched.values_mut() {
+            rows.sort();
+        }
+        TupleSets {
+            sets,
+            matched,
+            n_keywords: keywords.len(),
+        }
+    }
+
+    pub fn n_keywords(&self) -> usize {
+        self.n_keywords
+    }
+
+    /// The full-cover mask `2^l − 1`.
+    pub fn full_mask(&self) -> u32 {
+        if self.n_keywords == 0 {
+            0
+        } else {
+            (1u32 << self.n_keywords) - 1
+        }
+    }
+
+    /// Get a non-empty tuple set.
+    pub fn get(&self, table: TableId, mask: u32) -> Option<&TupleSet> {
+        self.sets.get(&(table, mask))
+    }
+
+    /// All non-empty `(table, mask)` keys, sorted.
+    pub fn keys(&self) -> Vec<(TableId, u32)> {
+        let mut k: Vec<_> = self.sets.keys().copied().collect();
+        k.sort();
+        k
+    }
+
+    /// Non-empty masks available for `table`, sorted.
+    pub fn masks_for(&self, table: TableId) -> Vec<u32> {
+        let mut m: Vec<u32> = self
+            .sets
+            .keys()
+            .filter(|(t, _)| *t == table)
+            .map(|(_, m)| *m)
+            .collect();
+        m.sort();
+        m
+    }
+
+    /// The free set `R^∅`: rows of `table` containing *no* query keyword.
+    /// Using the exact partition keeps joining trees duplicate-free across
+    /// CNs — every tree's node masks are its tuples' exact keyword sets.
+    pub fn free_rows(&self, db: &Database, table: TableId) -> Vec<RowId> {
+        let n = db.table(table).len() as u32;
+        let matched = self
+            .matched
+            .get(&table)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[]);
+        let mut mi = 0;
+        let mut out = Vec::with_capacity(n as usize - matched.len());
+        for r in 0..n {
+            let rid = RowId(r);
+            if mi < matched.len() && matched[mi] == rid {
+                mi += 1;
+            } else {
+                out.push(rid);
+            }
+        }
+        out
+    }
+
+    /// Every keyword must match somewhere for AND semantics to be satisfiable.
+    pub fn covers_all_keywords(&self) -> bool {
+        let mut seen = 0u32;
+        for (_, m) in self.sets.keys() {
+            seen |= m;
+        }
+        seen == self.full_mask()
+    }
+
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwdb_relational::database::dblp_schema;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        dblp_schema(&mut db).unwrap();
+        db.insert("conference", vec![1.into(), "SIGMOD".into(), 2007.into()])
+            .unwrap();
+        db.insert("author", vec![1.into(), "Jennifer Widom".into()])
+            .unwrap();
+        db.insert("author", vec![2.into(), "XML Hacker".into()])
+            .unwrap();
+        db.insert(
+            "paper",
+            vec![10.into(), "XML keyword search".into(), 1.into()],
+        )
+        .unwrap();
+        db.insert("paper", vec![11.into(), "Widom on XML".into(), 1.into()])
+            .unwrap();
+        db.insert("write", vec![100.into(), 1.into(), 10.into()])
+            .unwrap();
+        db.build_text_index();
+        db
+    }
+
+    #[test]
+    fn exact_subset_partition() {
+        let db = db();
+        let ts = TupleSets::build(&db, &["widom", "xml"]);
+        let author = db.table_id("author").unwrap();
+        let paper = db.table_id("paper").unwrap();
+        // author 1: {widom} → mask 0b01; author 2: {xml} → mask 0b10
+        assert_eq!(ts.get(author, 0b01).unwrap().rows, vec![RowId(0)]);
+        assert_eq!(ts.get(author, 0b10).unwrap().rows, vec![RowId(1)]);
+        // paper 10: {xml} only; paper 11: both
+        assert_eq!(ts.get(paper, 0b10).unwrap().rows, vec![RowId(0)]);
+        assert_eq!(ts.get(paper, 0b11).unwrap().rows, vec![RowId(1)]);
+        assert!(ts.get(paper, 0b01).is_none());
+        assert!(ts.covers_all_keywords());
+    }
+
+    #[test]
+    fn masks_for_table_sorted() {
+        let db = db();
+        let ts = TupleSets::build(&db, &["widom", "xml"]);
+        let paper = db.table_id("paper").unwrap();
+        assert_eq!(ts.masks_for(paper), vec![0b10, 0b11]);
+    }
+
+    #[test]
+    fn unmatched_keyword_detected() {
+        let db = db();
+        let ts = TupleSets::build(&db, &["widom", "nonexistent"]);
+        assert!(!ts.covers_all_keywords());
+    }
+
+    #[test]
+    fn free_rows_exclude_keyword_rows() {
+        let db = db();
+        let ts = TupleSets::build(&db, &["widom", "xml"]);
+        let paper = db.table_id("paper").unwrap();
+        // both papers match a keyword → free set empty
+        assert!(ts.free_rows(&db, paper).is_empty());
+        let author = db.table_id("author").unwrap();
+        assert!(ts.free_rows(&db, author).is_empty());
+        let write = db.table_id("write").unwrap();
+        // write has no text matches → whole table is free
+        assert_eq!(ts.free_rows(&db, write), vec![RowId(0)]);
+    }
+
+    #[test]
+    fn empty_query() {
+        let db = db();
+        let ts = TupleSets::build::<&str>(&db, &[]);
+        assert!(ts.is_empty());
+        assert_eq!(ts.full_mask(), 0);
+        assert!(ts.covers_all_keywords());
+    }
+
+    use kwdb_relational::RowId;
+}

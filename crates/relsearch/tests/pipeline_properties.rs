@@ -1,0 +1,161 @@
+//! Property tests over randomly generated databases: the four top-k
+//! executors and both SPARK sweeps must agree with their naive baselines,
+//! and generated CNs must always be structurally valid.
+
+use kwdb_relational::database::dblp_schema;
+use kwdb_relational::{Database, ExecStats};
+use kwdb_relsearch::cn::{CnGenConfig, CnGenerator, MaskOracle};
+use kwdb_relsearch::spark::{block_pipeline, naive_spark, skyline_sweep};
+use kwdb_relsearch::topk::{global_pipeline, naive, single_pipeline, sparse, TopKQuery};
+use kwdb_relsearch::{ResultScorer, TupleSets};
+use proptest::prelude::*;
+
+/// Random tiny DBLP instance: authors/papers carry words from a 4-word
+/// vocabulary so keyword collisions and multi-matches happen constantly.
+fn random_db(author_words: &[u8], paper_words: &[(u8, u8)], writes: &[(u8, u8)]) -> Database {
+    const VOCAB: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+    let mut db = Database::new();
+    dblp_schema(&mut db).unwrap();
+    db.insert("conference", vec![0.into(), "venue".into(), 2000.into()])
+        .unwrap();
+    for (i, &w) in author_words.iter().enumerate() {
+        db.insert(
+            "author",
+            vec![(i as i64).into(), VOCAB[w as usize % 4].into()],
+        )
+        .unwrap();
+    }
+    for (i, &(w1, w2)) in paper_words.iter().enumerate() {
+        db.insert(
+            "paper",
+            vec![
+                (i as i64).into(),
+                format!("{} {}", VOCAB[w1 as usize % 4], VOCAB[w2 as usize % 4]).into(),
+                0.into(),
+            ],
+        )
+        .unwrap();
+    }
+    for (i, &(a, p)) in writes.iter().enumerate() {
+        if author_words.is_empty() || paper_words.is_empty() {
+            break;
+        }
+        db.insert(
+            "write",
+            vec![
+                (i as i64).into(),
+                ((a as usize % author_words.len()) as i64).into(),
+                ((p as usize % paper_words.len()) as i64).into(),
+            ],
+        )
+        .unwrap();
+    }
+    db.build_text_index();
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_executors_agree(
+        authors in proptest::collection::vec(0u8..4, 1..6),
+        papers in proptest::collection::vec((0u8..4, 0u8..4), 1..8),
+        writes in proptest::collection::vec((0u8..8, 0u8..8), 0..10),
+        k in 1usize..6,
+    ) {
+        let db = random_db(&authors, &papers, &writes);
+        let keywords = vec!["alpha".to_string(), "beta".to_string()];
+        let ts = TupleSets::build(&db, &keywords);
+        let oracle = MaskOracle::from_tuplesets(&ts);
+        let mut generator = CnGenerator::new(
+            db.schema_graph(),
+            &oracle,
+            CnGenConfig { max_size: 4, dedupe: true, max_cns: 200 },
+        );
+        let cns = generator.generate();
+        // structural validity of every generated CN
+        for cn in &cns {
+            prop_assert!(cn.is_valid(ts.full_mask()), "invalid CN: {cn:?}");
+        }
+        let scorer = ResultScorer::new(&db);
+        let q = TopKQuery { db: &db, ts: &ts, cns: &cns, scorer: &scorer, keywords: &keywords };
+        let s = ExecStats::new();
+        let a: Vec<f64> = naive(&q, k, &s).iter().map(|r| r.score).collect();
+        let b: Vec<f64> = sparse(&q, k, &s).iter().map(|r| r.score).collect();
+        let c: Vec<f64> = single_pipeline(&q, k, &s).iter().map(|r| r.score).collect();
+        let d: Vec<f64> = global_pipeline(&q, k, &s).iter().map(|r| r.score).collect();
+        prop_assert_eq!(&a, &b, "sparse mismatch");
+        prop_assert_eq!(&a, &c, "single pipeline mismatch");
+        prop_assert_eq!(&a, &d, "global pipeline mismatch");
+    }
+
+    #[test]
+    fn spark_sweeps_agree_with_naive(
+        authors in proptest::collection::vec(0u8..4, 1..5),
+        papers in proptest::collection::vec((0u8..4, 0u8..4), 1..6),
+        writes in proptest::collection::vec((0u8..8, 0u8..8), 0..8),
+    ) {
+        let db = random_db(&authors, &papers, &writes);
+        let keywords = vec!["alpha".to_string(), "gamma".to_string()];
+        let ts = TupleSets::build(&db, &keywords);
+        let oracle = MaskOracle::from_tuplesets(&ts);
+        let mut generator = CnGenerator::new(
+            db.schema_graph(),
+            &oracle,
+            CnGenConfig { max_size: 4, dedupe: true, max_cns: 100 },
+        );
+        let cns = generator.generate();
+        let scorer = ResultScorer::new(&db);
+        let q = TopKQuery { db: &db, ts: &ts, cns: &cns, scorer: &scorer, keywords: &keywords };
+        let s = ExecStats::new();
+        let a: Vec<f64> = naive_spark(&q, 4, &s).iter().map(|r| r.score).collect();
+        let b: Vec<f64> = skyline_sweep(&q, 4, &s).iter().map(|r| r.score).collect();
+        let c: Vec<f64> = block_pipeline(&q, 4, 3, &s).iter().map(|r| r.score).collect();
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-9, "skyline mismatch: {a:?} vs {b:?}");
+        }
+        prop_assert_eq!(a.len(), c.len());
+        for (x, y) in a.iter().zip(&c) {
+            prop_assert!((x - y).abs() < 1e-9, "block mismatch: {a:?} vs {c:?}");
+        }
+    }
+
+    #[test]
+    fn results_are_duplicate_free_and_covering(
+        authors in proptest::collection::vec(0u8..4, 1..5),
+        papers in proptest::collection::vec((0u8..4, 0u8..4), 1..6),
+        writes in proptest::collection::vec((0u8..8, 0u8..8), 0..8),
+    ) {
+        let db = random_db(&authors, &papers, &writes);
+        let keywords = vec!["alpha".to_string(), "beta".to_string()];
+        let ts = TupleSets::build(&db, &keywords);
+        let oracle = MaskOracle::from_tuplesets(&ts);
+        let mut generator = CnGenerator::new(
+            db.schema_graph(),
+            &oracle,
+            CnGenConfig { max_size: 4, dedupe: true, max_cns: 200 },
+        );
+        let cns = generator.generate();
+        let scorer = ResultScorer::new(&db);
+        let q = TopKQuery { db: &db, ts: &ts, cns: &cns, scorer: &scorer, keywords: &keywords };
+        let s = ExecStats::new();
+        let all = naive(&q, 10_000, &s);
+        let mut seen = std::collections::HashSet::new();
+        for r in &all {
+            let mut sig = r.result.tuples.clone();
+            sig.sort();
+            prop_assert!(seen.insert(sig), "duplicate joining tree");
+            let toks: Vec<String> = r
+                .result
+                .tuples
+                .iter()
+                .flat_map(|&t| db.tuple_tokens(t))
+                .collect();
+            for kw in &keywords {
+                prop_assert!(toks.iter().any(|t| t == kw), "result missing {kw}");
+            }
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Dewey identifiers.
+//!
+//! A Dewey id encodes a node's root-to-node path as the sequence of child
+//! ordinals along the way (the root is the empty sequence). Document order is
+//! lexicographic order on the components; the lowest common ancestor of two
+//! nodes is their longest common prefix — both O(depth), which is what makes
+//! the SLCA/ELCA algorithms of Xu & Papakonstantinou run in
+//! `O(k · d · |S_min| · log |S_max|)`.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A Dewey identifier: the child-ordinal path from the root.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Dewey {
+    path: Vec<u32>,
+}
+
+impl Dewey {
+    /// The root's Dewey id (empty path).
+    pub fn root() -> Self {
+        Dewey { path: Vec::new() }
+    }
+
+    pub fn from_path(path: Vec<u32>) -> Self {
+        Dewey { path }
+    }
+
+    /// The id of this node's `ord`-th child.
+    pub fn child(&self, ord: u32) -> Self {
+        let mut path = Vec::with_capacity(self.path.len() + 1);
+        path.extend_from_slice(&self.path);
+        path.push(ord);
+        Dewey { path }
+    }
+
+    /// Parent id, or `None` for the root.
+    pub fn parent(&self) -> Option<Self> {
+        if self.path.is_empty() {
+            None
+        } else {
+            Some(Dewey {
+                path: self.path[..self.path.len() - 1].to_vec(),
+            })
+        }
+    }
+
+    /// Depth: root is 0.
+    pub fn depth(&self) -> usize {
+        self.path.len()
+    }
+
+    pub fn components(&self) -> &[u32] {
+        &self.path
+    }
+
+    /// Is `self` an ancestor of `other` (proper: not equal)?
+    pub fn is_ancestor_of(&self, other: &Dewey) -> bool {
+        self.path.len() < other.path.len() && other.path[..self.path.len()] == self.path[..]
+    }
+
+    /// Is `self` an ancestor of or equal to `other`?
+    pub fn is_ancestor_or_self(&self, other: &Dewey) -> bool {
+        self == other || self.is_ancestor_of(other)
+    }
+
+    /// Lowest common ancestor: the longest common prefix.
+    pub fn lca(&self, other: &Dewey) -> Dewey {
+        let n = self
+            .path
+            .iter()
+            .zip(&other.path)
+            .take_while(|(a, b)| a == b)
+            .count();
+        Dewey {
+            path: self.path[..n].to_vec(),
+        }
+    }
+}
+
+impl PartialOrd for Dewey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Dewey {
+    /// Document (pre-)order: lexicographic on components; an ancestor
+    /// precedes its descendants.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.path.cmp(&other.path)
+    }
+}
+
+impl fmt::Display for Dewey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            return f.write_str("ε");
+        }
+        let parts: Vec<String> = self.path.iter().map(|c| c.to_string()).collect();
+        f.write_str(&parts.join("."))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn d(p: &[u32]) -> Dewey {
+        Dewey::from_path(p.to_vec())
+    }
+
+    #[test]
+    fn child_and_parent_round_trip() {
+        let n = Dewey::root().child(2).child(0);
+        assert_eq!(n.components(), &[2, 0]);
+        assert_eq!(n.parent().unwrap().components(), &[2]);
+        assert_eq!(Dewey::root().parent(), None);
+        assert_eq!(n.depth(), 2);
+    }
+
+    #[test]
+    fn ancestor_tests() {
+        assert!(d(&[1]).is_ancestor_of(&d(&[1, 0])));
+        assert!(d(&[]).is_ancestor_of(&d(&[5])));
+        assert!(!d(&[1]).is_ancestor_of(&d(&[1])));
+        assert!(d(&[1]).is_ancestor_or_self(&d(&[1])));
+        assert!(!d(&[1, 0]).is_ancestor_of(&d(&[1])));
+        assert!(!d(&[1]).is_ancestor_of(&d(&[2, 0])));
+    }
+
+    #[test]
+    fn lca_is_common_prefix() {
+        assert_eq!(d(&[1, 2, 3]).lca(&d(&[1, 2, 5])), d(&[1, 2]));
+        assert_eq!(d(&[1]).lca(&d(&[2])), Dewey::root());
+        assert_eq!(d(&[1, 2]).lca(&d(&[1, 2])), d(&[1, 2]));
+        assert_eq!(d(&[1, 2]).lca(&d(&[1, 2, 9])), d(&[1, 2]));
+    }
+
+    #[test]
+    fn document_order() {
+        assert!(d(&[1]) < d(&[1, 0])); // ancestor first
+        assert!(d(&[1, 9]) < d(&[2]));
+        assert!(d(&[]) < d(&[0]));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Dewey::root().to_string(), "ε");
+        assert_eq!(d(&[1, 0, 4]).to_string(), "1.0.4");
+    }
+
+    proptest! {
+        #[test]
+        fn lca_commutes(a in proptest::collection::vec(0u32..4, 0..6),
+                        b in proptest::collection::vec(0u32..4, 0..6)) {
+            let (a, b) = (Dewey::from_path(a), Dewey::from_path(b));
+            prop_assert_eq!(a.lca(&b), b.lca(&a));
+        }
+
+        #[test]
+        fn lca_is_ancestor_or_self_of_both(a in proptest::collection::vec(0u32..4, 0..6),
+                                           b in proptest::collection::vec(0u32..4, 0..6)) {
+            let (a, b) = (Dewey::from_path(a), Dewey::from_path(b));
+            let l = a.lca(&b);
+            prop_assert!(l.is_ancestor_or_self(&a));
+            prop_assert!(l.is_ancestor_or_self(&b));
+        }
+
+        #[test]
+        fn ancestor_implies_doc_order(a in proptest::collection::vec(0u32..4, 0..6),
+                                      ext in proptest::collection::vec(0u32..4, 1..4)) {
+            let a = Dewey::from_path(a);
+            let mut p = a.components().to_vec();
+            p.extend(ext);
+            let desc = Dewey::from_path(p);
+            prop_assert!(a.is_ancestor_of(&desc));
+            prop_assert!(a < desc);
+        }
+    }
+}

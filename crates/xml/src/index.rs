@@ -1,0 +1,159 @@
+//! Keyword inverted lists over an XML tree.
+//!
+//! For each keyword the index stores the document-ordered list of nodes whose
+//! *direct* text contains it. Because [`NodeId`] order equals
+//! document order, the `lm`/`rm` probes the SLCA family needs are plain
+//! binary searches.
+
+use crate::tree::{NodeId, XmlTree};
+use kwdb_common::text::tokenize;
+use std::collections::HashMap;
+
+/// Inverted index: keyword → sorted node list.
+#[derive(Debug, Clone, Default)]
+pub struct XmlIndex {
+    lists: HashMap<String, Vec<NodeId>>,
+}
+
+impl XmlIndex {
+    /// Build the index by tokenizing every node's direct text. Element labels
+    /// are also indexed (lower-cased), so queries can match structure terms
+    /// like `paper` — the tutorial's Q = {keyword, Mark} relies on label
+    /// matches.
+    pub fn build(tree: &XmlTree) -> Self {
+        let mut lists: HashMap<String, Vec<NodeId>> = HashMap::new();
+        for n in tree.iter() {
+            let label = tree.label(n).trim_start_matches('@').to_lowercase();
+            if !label.is_empty() {
+                let list = lists.entry(label).or_default();
+                if list.last() != Some(&n) {
+                    list.push(n);
+                }
+            }
+            if let Some(text) = tree.text(n) {
+                for tok in tokenize(text) {
+                    let list = lists.entry(tok).or_default();
+                    if list.last() != Some(&n) {
+                        list.push(n);
+                    }
+                }
+            }
+        }
+        // Lists are sorted by construction (pre-order iteration).
+        XmlIndex { lists }
+    }
+
+    /// Document-ordered match list for `term` (empty if absent).
+    pub fn nodes(&self, term: &str) -> &[NodeId] {
+        self.lists.get(term).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of nodes directly containing `term`.
+    pub fn freq(&self, term: &str) -> usize {
+        self.nodes(term).len()
+    }
+
+    /// Match lists for all `terms`, shortest first (the SLCA drivers iterate
+    /// the smallest list). Returns `None` if any term has no matches —
+    /// AND semantics make the result empty in that case.
+    pub fn lists_for<'a, S: AsRef<str>>(&'a self, terms: &[S]) -> Option<Vec<&'a [NodeId]>> {
+        let mut lists: Vec<&[NodeId]> = Vec::with_capacity(terms.len());
+        for t in terms {
+            let l = self.nodes(t.as_ref());
+            if l.is_empty() {
+                return None;
+            }
+            lists.push(l);
+        }
+        lists.sort_by_key(|l| l.len());
+        Some(lists)
+    }
+
+    /// Smallest node in `list` that is `≥ v` in document order (XKSearch's
+    /// *rm* probe). `None` if all nodes precede `v`.
+    pub fn right_match(list: &[NodeId], v: NodeId) -> Option<NodeId> {
+        let i = list.partition_point(|&x| x < v);
+        list.get(i).copied()
+    }
+
+    /// Largest node in `list` that is `≤ v` (XKSearch's *lm* probe).
+    pub fn left_match(list: &[NodeId], v: NodeId) -> Option<NodeId> {
+        let i = list.partition_point(|&x| x <= v);
+        i.checked_sub(1).map(|j| list[j])
+    }
+
+    /// All indexed terms.
+    pub fn terms(&self) -> impl Iterator<Item = &str> {
+        self.lists.keys().map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::XmlTree;
+
+    fn tree() -> XmlTree {
+        let mut b = XmlTree::builder("conf");
+        b.leaf("name", "SIGMOD")
+            .open("paper")
+            .leaf("title", "keyword search")
+            .leaf("author", "Mark")
+            .close()
+            .open("paper")
+            .leaf("title", "RDF keyword")
+            .leaf("author", "Zhang")
+            .close();
+        b.build()
+    }
+
+    #[test]
+    fn text_terms_indexed_in_doc_order() {
+        let t = tree();
+        let ix = XmlIndex::build(&t);
+        let kw = ix.nodes("keyword");
+        assert_eq!(kw.len(), 2);
+        assert!(kw[0] < kw[1]);
+        assert_eq!(ix.freq("mark"), 1);
+        assert_eq!(ix.freq("nothing"), 0);
+    }
+
+    #[test]
+    fn labels_are_indexed() {
+        let t = tree();
+        let ix = XmlIndex::build(&t);
+        assert_eq!(ix.freq("paper"), 2);
+        assert_eq!(ix.freq("conf"), 1);
+    }
+
+    #[test]
+    fn lists_for_orders_by_length_and_detects_missing() {
+        let t = tree();
+        let ix = XmlIndex::build(&t);
+        let lists = ix.lists_for(&["keyword", "mark"]).unwrap();
+        assert!(lists[0].len() <= lists[1].len());
+        assert!(ix.lists_for(&["keyword", "zzz"]).is_none());
+    }
+
+    #[test]
+    fn left_right_match_probes() {
+        let list = [NodeId(2), NodeId(5), NodeId(9)];
+        assert_eq!(XmlIndex::right_match(&list, NodeId(0)), Some(NodeId(2)));
+        assert_eq!(XmlIndex::right_match(&list, NodeId(5)), Some(NodeId(5)));
+        assert_eq!(XmlIndex::right_match(&list, NodeId(6)), Some(NodeId(9)));
+        assert_eq!(XmlIndex::right_match(&list, NodeId(10)), None);
+        assert_eq!(XmlIndex::left_match(&list, NodeId(10)), Some(NodeId(9)));
+        assert_eq!(XmlIndex::left_match(&list, NodeId(5)), Some(NodeId(5)));
+        assert_eq!(XmlIndex::left_match(&list, NodeId(1)), None);
+    }
+
+    #[test]
+    fn attribute_labels_indexed_without_at() {
+        let mut b = XmlTree::builder("movie");
+        b.leaf("@year", "1980");
+        let t = b.build();
+        let ix = XmlIndex::build(&t);
+        assert_eq!(ix.freq("year"), 1);
+        assert_eq!(ix.freq("1980"), 1);
+    }
+}

@@ -1,0 +1,285 @@
+//! A small XML parser — elements, attributes, text, self-closing tags.
+//!
+//! This is deliberately not a full XML 1.0 implementation: no namespaces,
+//! DTDs, CDATA or processing instructions. It covers the documents the kwdb
+//! datasets generate and the tutorial's examples use. Attributes become child
+//! elements labeled `@name` so downstream algorithms treat structure
+//! uniformly.
+
+use crate::tree::{XmlBuilder, XmlTree};
+use kwdb_common::{KwdbError, Result};
+
+/// Parse an XML document string into an [`XmlTree`].
+pub fn parse_xml(input: &str) -> Result<XmlTree> {
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws_and_prolog();
+    let (name, attrs, self_closing) = p.read_open_tag()?;
+    let mut b = XmlBuilder::new(&name);
+    for (k, v) in attrs {
+        b.leaf(&format!("@{k}"), &v);
+    }
+    if !self_closing {
+        p.read_content(&mut b, &name)?;
+    }
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(KwdbError::Parse(
+            "trailing content after root element".into(),
+        ));
+    }
+    Ok(b.build())
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b) if b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_ws_and_prolog(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.input[self.pos..].starts_with(b"<?") {
+                match self.input[self.pos..].windows(2).position(|w| w == b"?>") {
+                    Some(off) => self.pos += off + 2,
+                    None => {
+                        self.pos = self.input.len();
+                        return;
+                    }
+                }
+            } else if self.input[self.pos..].starts_with(b"<!--") {
+                match self.input[self.pos..].windows(3).position(|w| w == b"-->") {
+                    Some(off) => self.pos += off + 3,
+                    None => {
+                        self.pos = self.input.len();
+                        return;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.' || b == b':')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(KwdbError::Parse(format!(
+                "expected name at byte {}",
+                self.pos
+            )));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    /// Read `<name attr="v" …>` (caller positioned at `<`). Returns
+    /// `(name, attrs, self_closing)`.
+    #[allow(clippy::type_complexity)]
+    fn read_open_tag(&mut self) -> Result<(String, Vec<(String, String)>, bool)> {
+        if self.peek() != Some(b'<') {
+            return Err(KwdbError::Parse(format!(
+                "expected '<' at byte {}",
+                self.pos
+            )));
+        }
+        self.pos += 1;
+        let name = self.read_name()?;
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok((name, attrs, false));
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'>') {
+                        self.pos += 1;
+                        return Ok((name, attrs, true));
+                    }
+                    return Err(KwdbError::Parse("lone '/' in tag".into()));
+                }
+                Some(_) => {
+                    let key = self.read_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(KwdbError::Parse(format!(
+                            "expected '=' after attribute {key}"
+                        )));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = self.peek();
+                    if quote != Some(b'"') && quote != Some(b'\'') {
+                        return Err(KwdbError::Parse("unquoted attribute value".into()));
+                    }
+                    let q = quote.unwrap();
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek().is_some_and(|b| b != q) {
+                        self.pos += 1;
+                    }
+                    if self.peek().is_none() {
+                        return Err(KwdbError::Parse("unterminated attribute value".into()));
+                    }
+                    let val = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    attrs.push((key, unescape(&val)));
+                }
+                None => return Err(KwdbError::Parse("unterminated tag".into())),
+            }
+        }
+    }
+
+    /// Read element content until the matching close tag of `name`.
+    fn read_content(&mut self, b: &mut XmlBuilder, name: &str) -> Result<()> {
+        loop {
+            // text run
+            let start = self.pos;
+            while self.peek().is_some_and(|c| c != b'<') {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let text = String::from_utf8_lossy(&self.input[start..self.pos]);
+                let text = unescape(text.trim());
+                if !text.is_empty() {
+                    b.text(&text);
+                }
+            }
+            match self.peek() {
+                None => {
+                    return Err(KwdbError::Parse(format!("unclosed element <{name}>")));
+                }
+                Some(b'<') => {
+                    if self.input[self.pos..].starts_with(b"<!--") {
+                        match self.input[self.pos..].windows(3).position(|w| w == b"-->") {
+                            Some(off) => {
+                                self.pos += off + 3;
+                                continue;
+                            }
+                            None => return Err(KwdbError::Parse("unterminated comment".into())),
+                        }
+                    }
+                    if self.input[self.pos..].starts_with(b"</") {
+                        self.pos += 2;
+                        let close = self.read_name()?;
+                        self.skip_ws();
+                        if self.peek() != Some(b'>') {
+                            return Err(KwdbError::Parse("malformed close tag".into()));
+                        }
+                        self.pos += 1;
+                        if close != name {
+                            return Err(KwdbError::Parse(format!(
+                                "mismatched close tag: <{name}> closed by </{close}>"
+                            )));
+                        }
+                        return Ok(());
+                    }
+                    // child element
+                    let (child, attrs, self_closing) = self.read_open_tag()?;
+                    b.open(&child);
+                    for (k, v) in attrs {
+                        b.leaf(&format!("@{k}"), &v);
+                    }
+                    if !self_closing {
+                        self.read_content(b, &child)?;
+                    }
+                    b.close();
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_elements() {
+        let t =
+            parse_xml("<conf><name>SIGMOD</name><paper><title>XML</title></paper></conf>").unwrap();
+        assert_eq!(t.label(t.root()), "conf");
+        assert_eq!(t.len(), 4);
+        let paper = t.children(t.root())[1];
+        assert_eq!(t.label(paper), "paper");
+        assert_eq!(t.subtree_text(paper), "XML");
+    }
+
+    #[test]
+    fn attributes_become_at_children() {
+        let t = parse_xml(r#"<movie year="1980"><name>Shining</name></movie>"#).unwrap();
+        let attr = t.children(t.root())[0];
+        assert_eq!(t.label(attr), "@year");
+        assert_eq!(t.text(attr), Some("1980"));
+    }
+
+    #[test]
+    fn self_closing_tags() {
+        let t = parse_xml(r#"<a><b/><c x="1"/></a>"#).unwrap();
+        assert_eq!(t.children(t.root()).len(), 2);
+        let c = t.children(t.root())[1];
+        assert_eq!(t.label(t.children(c)[0]), "@x");
+    }
+
+    #[test]
+    fn prolog_and_comments_skipped() {
+        let t =
+            parse_xml("<?xml version=\"1.0\"?><!-- hi --><r><x>1</x><!-- mid -->ok</r>").unwrap();
+        assert_eq!(t.label(t.root()), "r");
+        assert_eq!(t.text(t.root()), Some("ok"));
+    }
+
+    #[test]
+    fn entity_unescaping() {
+        let t = parse_xml("<r>a &amp; b &lt;c&gt;</r>").unwrap();
+        assert_eq!(t.text(t.root()), Some("a & b <c>"));
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        assert!(parse_xml("<a><b></a></b>").is_err());
+        assert!(parse_xml("<a>").is_err());
+        assert!(parse_xml("<a></a><b></b>").is_err());
+    }
+
+    #[test]
+    fn round_trip_with_builder_output() {
+        let mut b = XmlTree::builder("conf");
+        b.leaf("name", "ICDE")
+            .open("paper")
+            .leaf("title", "graphs")
+            .close();
+        let t1 = b.build();
+        let t2 = parse_xml(&t1.to_xml(t1.root())).unwrap();
+        assert_eq!(t1.len(), t2.len());
+        assert_eq!(t2.subtree_text(t2.root()), "ICDE graphs");
+    }
+}

@@ -1,0 +1,193 @@
+//! Label-path statistics: the data-statistics backbone of structure inference.
+//!
+//! XReal (Bao et al., ICDE 09) infers the best *search-for node type* by
+//! scoring each label path by how many of its instances' subtrees contain
+//! each query keyword; XBridge sketches structure + value distributions per
+//! path. [`PathStats`] collects exactly those counts in one pass.
+
+use crate::tree::{NodeId, XmlTree};
+use kwdb_common::text::tokenize;
+use std::collections::{HashMap, HashSet};
+
+/// Statistics for one root-to-node label path (a "node type").
+#[derive(Debug, Clone, Default)]
+pub struct PathStat {
+    /// Number of nodes with this label path.
+    pub count: usize,
+    /// Total text tokens in the subtrees of this path's nodes.
+    pub token_count: usize,
+    /// term → number of this path's nodes whose *subtree* contains the term.
+    pub term_nodes: HashMap<String, usize>,
+}
+
+/// Per-path statistics for a whole tree.
+#[derive(Debug, Clone, Default)]
+pub struct PathStats {
+    paths: HashMap<String, PathStat>,
+    avg_leaf_depth: f64,
+}
+
+impl PathStats {
+    /// Collect statistics in one pass: each term occurrence is credited to
+    /// every ancestor's path once per (ancestor, term).
+    pub fn build(tree: &XmlTree) -> Self {
+        let mut paths: HashMap<String, PathStat> = HashMap::new();
+        // node counts per path
+        let mut node_paths: Vec<String> = Vec::with_capacity(tree.len());
+        for n in tree.iter() {
+            let p = tree.label_path(n);
+            paths.entry(p.clone()).or_default().count += 1;
+            node_paths.push(p);
+        }
+        // term containment: walk up from each text node, dedup (node, term)
+        let mut seen: HashSet<(NodeId, String)> = HashSet::new();
+        for n in tree.iter() {
+            let Some(text) = tree.text(n) else { continue };
+            for tok in tokenize(text) {
+                // token totals: every occurrence is inside every ancestor's subtree
+                let mut anc = Some(n);
+                while let Some(x) = anc {
+                    paths
+                        .get_mut(&node_paths[x.0 as usize])
+                        .expect("path recorded in first pass")
+                        .token_count += 1;
+                    anc = tree.parent(x);
+                }
+                let mut cur = Some(n);
+                while let Some(x) = cur {
+                    if seen.insert((x, tok.clone())) {
+                        let p = &node_paths[x.0 as usize];
+                        *paths
+                            .get_mut(p)
+                            .expect("path recorded in first pass")
+                            .term_nodes
+                            .entry(tok.clone())
+                            .or_insert(0) += 1;
+                    } else {
+                        // ancestors above already credited for this term via
+                        // an earlier occurrence under the same node
+                        break;
+                    }
+                    cur = tree.parent(x);
+                }
+            }
+        }
+        PathStats {
+            paths,
+            avg_leaf_depth: tree.avg_leaf_depth(),
+        }
+    }
+
+    /// Number of nodes with label path `path`.
+    pub fn node_count(&self, path: &str) -> usize {
+        self.paths.get(path).map_or(0, |s| s.count)
+    }
+
+    /// Total subtree tokens across `path`'s nodes — the language-model
+    /// denominator for term-density scoring.
+    pub fn token_count(&self, path: &str) -> usize {
+        self.paths.get(path).map_or(0, |s| s.token_count)
+    }
+
+    /// Number of `path` nodes whose subtree contains `term`.
+    pub fn term_node_count(&self, path: &str, term: &str) -> usize {
+        self.paths
+            .get(path)
+            .and_then(|s| s.term_nodes.get(term))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All label paths.
+    pub fn paths(&self) -> impl Iterator<Item = (&str, &PathStat)> {
+        self.paths.iter().map(|(p, s)| (p.as_str(), s))
+    }
+
+    /// Average leaf depth of the underlying tree.
+    pub fn avg_leaf_depth(&self) -> f64 {
+        self.avg_leaf_depth
+    }
+
+    /// Depth of a path string (number of labels).
+    pub fn path_depth(path: &str) -> usize {
+        path.split('/').filter(|s| !s.is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::XmlTree;
+
+    fn tree() -> XmlTree {
+        let mut b = XmlTree::builder("bib");
+        b.open("conf")
+            .leaf("name", "SIGMOD")
+            .open("paper")
+            .leaf("title", "XML search")
+            .leaf("author", "Widom")
+            .close()
+            .open("paper")
+            .leaf("title", "graph search")
+            .close()
+            .close()
+            .open("journal")
+            .open("paper")
+            .leaf("title", "XML views")
+            .close()
+            .close();
+        b.build()
+    }
+
+    #[test]
+    fn node_counts_per_path() {
+        let s = PathStats::build(&tree());
+        assert_eq!(s.node_count("/bib/conf/paper"), 2);
+        assert_eq!(s.node_count("/bib/journal/paper"), 1);
+        assert_eq!(s.node_count("/bib/conf/paper/title"), 2);
+        assert_eq!(s.node_count("/nope"), 0);
+    }
+
+    #[test]
+    fn term_containment_counts_subtrees() {
+        let s = PathStats::build(&tree());
+        // "xml" appears under one conf paper and one journal paper
+        assert_eq!(s.term_node_count("/bib/conf/paper", "xml"), 1);
+        assert_eq!(s.term_node_count("/bib/journal/paper", "xml"), 1);
+        // "search" under both conf papers
+        assert_eq!(s.term_node_count("/bib/conf/paper", "search"), 2);
+        // propagated to the root
+        assert_eq!(s.term_node_count("/bib", "search"), 1);
+        assert_eq!(s.term_node_count("/bib/conf/paper", "widom"), 1);
+        assert_eq!(s.term_node_count("/bib/journal/paper", "widom"), 0);
+    }
+
+    #[test]
+    fn repeated_term_in_subtree_counts_once_per_node() {
+        let mut b = XmlTree::builder("r");
+        b.open("p").leaf("a", "dup").leaf("b", "dup").close();
+        let s = PathStats::build(&b.build());
+        assert_eq!(s.term_node_count("/r/p", "dup"), 1);
+        assert_eq!(s.term_node_count("/r/p/a", "dup"), 1);
+        assert_eq!(s.term_node_count("/r", "dup"), 1);
+    }
+
+    #[test]
+    fn token_counts_accumulate_to_ancestors() {
+        let s = PathStats::build(&tree());
+        // total tokens: sigmod(1) + xml search(2) + widom(1) + graph search(2)
+        //             + xml views(2) = 8
+        assert_eq!(s.token_count("/bib"), 8);
+        assert_eq!(s.token_count("/bib/conf"), 6);
+        assert_eq!(s.token_count("/bib/conf/paper"), 5);
+        assert_eq!(s.token_count("/bib/conf/paper/title"), 4);
+        assert_eq!(s.token_count("/bib/journal/paper"), 2);
+        assert_eq!(s.token_count("/nope"), 0);
+    }
+
+    #[test]
+    fn path_depth_helper() {
+        assert_eq!(PathStats::path_depth("/conf/paper"), 2);
+        assert_eq!(PathStats::path_depth("/"), 0);
+    }
+}

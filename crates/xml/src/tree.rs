@@ -1,0 +1,393 @@
+//! Arena XML tree with pre-order node ids and Dewey identifiers.
+
+use crate::dewey::Dewey;
+use kwdb_common::intern::{Interner, Sym};
+
+/// Node identifier. Because the arena is filled in document (pre-)order,
+/// `NodeId` order *is* document order — the inverted lists exploit this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    pub label: Sym,
+    pub parent: Option<NodeId>,
+    pub children: Vec<NodeId>,
+    pub text: Option<String>,
+    pub dewey: Dewey,
+    pub depth: u32,
+}
+
+/// An XML document as an arena of element nodes.
+///
+/// Text content lives on the element that directly contains it (mixed
+/// content is concatenated). Attributes are modeled as child elements whose
+/// label starts with `@`, which lets every algorithm treat them uniformly.
+#[derive(Debug, Clone)]
+pub struct XmlTree {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) labels: Interner,
+}
+
+impl XmlTree {
+    /// Start building a tree whose root element has `label`.
+    pub fn builder(label: &str) -> XmlBuilder {
+        XmlBuilder::new(label)
+    }
+
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn label(&self, n: NodeId) -> &str {
+        self.labels.resolve(self.nodes[n.0 as usize].label)
+    }
+
+    pub fn label_sym(&self, n: NodeId) -> Sym {
+        self.nodes[n.0 as usize].label
+    }
+
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.nodes[n.0 as usize].parent
+    }
+
+    pub fn children(&self, n: NodeId) -> &[NodeId] {
+        &self.nodes[n.0 as usize].children
+    }
+
+    pub fn text(&self, n: NodeId) -> Option<&str> {
+        self.nodes[n.0 as usize].text.as_deref()
+    }
+
+    pub fn dewey(&self, n: NodeId) -> &Dewey {
+        &self.nodes[n.0 as usize].dewey
+    }
+
+    pub fn depth(&self, n: NodeId) -> u32 {
+        self.nodes[n.0 as usize].depth
+    }
+
+    /// Resolve a Dewey id back to the node carrying it, or `None` if no such
+    /// node exists. O(depth).
+    pub fn node_at(&self, d: &Dewey) -> Option<NodeId> {
+        let mut cur = self.root();
+        for &ord in d.components() {
+            cur = *self.children(cur).get(ord as usize)?;
+        }
+        Some(cur)
+    }
+
+    /// Lowest common ancestor of two nodes.
+    pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        let d = self.dewey(a).lca(self.dewey(b));
+        self.node_at(&d).expect("LCA Dewey always resolves")
+    }
+
+    /// Is `a` an ancestor of `b` (proper)?
+    pub fn is_ancestor(&self, a: NodeId, b: NodeId) -> bool {
+        self.dewey(a).is_ancestor_of(self.dewey(b))
+    }
+
+    /// Pre-order iterator over all node ids.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Nodes in the subtree rooted at `n` (including `n`), document order.
+    pub fn subtree(&self, n: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![n];
+        while let Some(x) = stack.pop() {
+            out.push(x);
+            // push children reversed so pop yields document order
+            for &c in self.children(x).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Number of nodes in the subtree rooted at `n`.
+    pub fn subtree_size(&self, n: NodeId) -> usize {
+        self.subtree(n).len()
+    }
+
+    /// Root-to-node label path, e.g. `/conf/paper/title`.
+    pub fn label_path(&self, n: NodeId) -> String {
+        let mut parts = Vec::new();
+        let mut cur = Some(n);
+        while let Some(x) = cur {
+            parts.push(self.label(x));
+            cur = self.parent(x);
+        }
+        parts.reverse();
+        format!("/{}", parts.join("/"))
+    }
+
+    /// All text in the subtree of `n`, concatenated in document order.
+    pub fn subtree_text(&self, n: NodeId) -> String {
+        let mut out = String::new();
+        for x in self.subtree(n) {
+            if let Some(t) = self.text(x) {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Subtree sizes for every node in one O(n) pass. Because node ids are
+    /// pre-order, the subtree of `n` is exactly the id range
+    /// `[n, n + sizes[n])` — the interval trick the SLCA/ELCA algorithms use.
+    pub fn subtree_sizes(&self) -> Vec<u32> {
+        let mut sizes = vec![1u32; self.nodes.len()];
+        // children have larger ids than parents; accumulate in reverse
+        for i in (0..self.nodes.len()).rev() {
+            if let Some(p) = self.nodes[i].parent {
+                sizes[p.0 as usize] += sizes[i];
+            }
+        }
+        sizes
+    }
+
+    /// Average leaf depth, used by proximity discounting.
+    pub fn avg_leaf_depth(&self) -> f64 {
+        let leaves: Vec<u32> = self
+            .iter()
+            .filter(|&n| self.children(n).is_empty())
+            .map(|n| self.depth(n))
+            .collect();
+        if leaves.is_empty() {
+            0.0
+        } else {
+            leaves.iter().map(|&d| d as f64).sum::<f64>() / leaves.len() as f64
+        }
+    }
+
+    /// Serialize back to XML text (for snippets and debugging).
+    pub fn to_xml(&self, n: NodeId) -> String {
+        let mut s = String::new();
+        self.write_xml(n, &mut s);
+        s
+    }
+
+    fn write_xml(&self, n: NodeId, out: &mut String) {
+        let label = self.label(n);
+        out.push('<');
+        out.push_str(label);
+        out.push('>');
+        if let Some(t) = self.text(n) {
+            out.push_str(t);
+        }
+        for &c in self.children(n) {
+            self.write_xml(c, out);
+        }
+        out.push_str("</");
+        out.push_str(label);
+        out.push('>');
+    }
+}
+
+/// Cursor-style builder producing an [`XmlTree`] in document order.
+#[derive(Debug)]
+pub struct XmlBuilder {
+    nodes: Vec<Node>,
+    labels: Interner,
+    /// Stack of open elements.
+    open: Vec<NodeId>,
+}
+
+impl XmlBuilder {
+    pub fn new(root_label: &str) -> Self {
+        let mut labels = Interner::new();
+        let sym = labels.intern(root_label);
+        let root = Node {
+            label: sym,
+            parent: None,
+            children: Vec::new(),
+            text: None,
+            dewey: Dewey::root(),
+            depth: 0,
+        };
+        XmlBuilder {
+            nodes: vec![root],
+            labels,
+            open: vec![NodeId(0)],
+        }
+    }
+
+    fn current(&self) -> NodeId {
+        *self.open.last().expect("builder has no open element")
+    }
+
+    /// Open a child element and descend into it.
+    pub fn open(&mut self, label: &str) -> &mut Self {
+        let parent = self.current();
+        let sym = self.labels.intern(label);
+        let ord = self.nodes[parent.0 as usize].children.len() as u32;
+        let dewey = self.nodes[parent.0 as usize].dewey.child(ord);
+        let depth = self.nodes[parent.0 as usize].depth + 1;
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            label: sym,
+            parent: Some(parent),
+            children: Vec::new(),
+            text: None,
+            dewey,
+            depth,
+        });
+        self.nodes[parent.0 as usize].children.push(id);
+        self.open.push(id);
+        self
+    }
+
+    /// Append text content to the current element.
+    pub fn text(&mut self, t: &str) -> &mut Self {
+        let cur = self.current();
+        let slot = &mut self.nodes[cur.0 as usize].text;
+        match slot {
+            Some(existing) => {
+                existing.push(' ');
+                existing.push_str(t);
+            }
+            None => *slot = Some(t.to_string()),
+        }
+        self
+    }
+
+    /// Close the current element, ascending to its parent.
+    pub fn close(&mut self) -> &mut Self {
+        assert!(self.open.len() > 1, "cannot close the root element");
+        self.open.pop();
+        self
+    }
+
+    /// Shorthand: open an element, set text, close it.
+    pub fn leaf(&mut self, label: &str, text: &str) -> &mut Self {
+        self.open(label).text(text).close()
+    }
+
+    /// Finish. Panics if elements other than the root remain open — a
+    /// construction bug, not a runtime condition.
+    pub fn build(mut self) -> XmlTree {
+        assert_eq!(self.open.len(), 1, "unclosed elements at build()");
+        self.open.clear();
+        XmlTree {
+            nodes: self.nodes,
+            labels: self.labels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> XmlTree {
+        let mut b = XmlTree::builder("conf");
+        b.leaf("name", "SIGMOD")
+            .leaf("year", "2007")
+            .open("paper")
+            .leaf("title", "keyword search")
+            .leaf("author", "Mark")
+            .close();
+        b.build()
+    }
+
+    #[test]
+    fn structure_is_document_order() {
+        let t = sample();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.label(t.root()), "conf");
+        let kids = t.children(t.root());
+        assert_eq!(kids.len(), 3);
+        assert_eq!(t.label(kids[2]), "paper");
+        // NodeId order == document order
+        let ids: Vec<u32> = t.iter().map(|n| n.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn dewey_assignment() {
+        let t = sample();
+        let paper = t.children(t.root())[2];
+        assert_eq!(t.dewey(paper).components(), &[2]);
+        let title = t.children(paper)[0];
+        assert_eq!(t.dewey(title).components(), &[2, 0]);
+        assert_eq!(t.node_at(t.dewey(title)), Some(title));
+        assert_eq!(t.depth(title), 2);
+    }
+
+    #[test]
+    fn lca_and_ancestor() {
+        let t = sample();
+        let paper = t.children(t.root())[2];
+        let title = t.children(paper)[0];
+        let author = t.children(paper)[1];
+        assert_eq!(t.lca(title, author), paper);
+        assert_eq!(t.lca(title, t.children(t.root())[0]), t.root());
+        assert!(t.is_ancestor(t.root(), title));
+        assert!(!t.is_ancestor(title, t.root()));
+    }
+
+    #[test]
+    fn subtree_and_text() {
+        let t = sample();
+        let paper = t.children(t.root())[2];
+        assert_eq!(t.subtree_size(paper), 3);
+        assert_eq!(t.subtree_text(paper), "keyword search Mark");
+        assert_eq!(t.subtree(paper).len(), 3);
+    }
+
+    #[test]
+    fn label_path() {
+        let t = sample();
+        let paper = t.children(t.root())[2];
+        let title = t.children(paper)[0];
+        assert_eq!(t.label_path(title), "/conf/paper/title");
+        assert_eq!(t.label_path(t.root()), "/conf");
+    }
+
+    #[test]
+    fn to_xml_round_text() {
+        let t = sample();
+        let paper = t.children(t.root())[2];
+        assert_eq!(
+            t.to_xml(paper),
+            "<paper><title>keyword search</title><author>Mark</author></paper>"
+        );
+    }
+
+    #[test]
+    fn avg_leaf_depth() {
+        let t = sample();
+        // leaves: name(1), year(1), title(2), author(2) → 1.5
+        assert!((t.avg_leaf_depth() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn unbalanced_build_panics() {
+        let mut b = XmlTree::builder("r");
+        b.open("x");
+        b.build();
+    }
+
+    #[test]
+    fn mixed_text_concatenates() {
+        let mut b = XmlTree::builder("r");
+        b.text("hello").text("world");
+        let t = b.build();
+        assert_eq!(t.text(t.root()), Some("hello world"));
+    }
+}

@@ -1,0 +1,186 @@
+//! NTC: design-independent ranking via normalized total correlation
+//! (Termehchy & Winslett, CIKM 09) — tutorial slides 41–43.
+//!
+//! How strongly are the entity types along an answer's structure *actually*
+//! related in the data? Unweighted schema edges treat `author–paper` and
+//! `editor–paper` the same; NTC instead measures the statistical cohesion of
+//! the co-occurrence distribution:
+//!
+//! ```text
+//! I(X₁,…,Xₙ)  = Σᵢ H(Xᵢ) − H(X₁,…,Xₙ)          (total correlation)
+//! I*(X₁,…,Xₙ) = f(n) · I / H(X₁,…,Xₙ),  f(n) = n²/(n−1)²
+//! ```
+//!
+//! Answers are ranked by the `I*` of their structure — query-independent,
+//! computable offline from instance statistics.
+
+use std::collections::HashMap;
+
+/// A joint co-occurrence distribution over `n` entity-type dimensions.
+/// Each row is one relationship instance combination with its count.
+#[derive(Debug, Clone, Default)]
+pub struct JointDistribution {
+    rows: Vec<(Vec<u32>, f64)>,
+    dims: usize,
+}
+
+impl JointDistribution {
+    /// Build from raw instance tuples (each a vector of value ids, one per
+    /// dimension). Counts accumulate per distinct combination.
+    pub fn from_instances(instances: &[Vec<u32>]) -> Self {
+        assert!(!instances.is_empty(), "need at least one instance");
+        let dims = instances[0].len();
+        let mut counts: HashMap<Vec<u32>, f64> = HashMap::new();
+        for inst in instances {
+            assert_eq!(inst.len(), dims, "ragged instance");
+            *counts.entry(inst.clone()).or_insert(0.0) += 1.0;
+        }
+        let mut rows: Vec<(Vec<u32>, f64)> = counts.into_iter().collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        JointDistribution { rows, dims }
+    }
+
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn total(&self) -> f64 {
+        self.rows.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Shannon entropy (bits) of the marginal on dimension `d`.
+    pub fn marginal_entropy(&self, d: usize) -> f64 {
+        let total = self.total();
+        let mut m: HashMap<u32, f64> = HashMap::new();
+        for (vals, c) in &self.rows {
+            *m.entry(vals[d]).or_insert(0.0) += c;
+        }
+        entropy(m.values().map(|c| c / total))
+    }
+
+    /// Shannon entropy (bits) of the full joint distribution.
+    pub fn joint_entropy(&self) -> f64 {
+        let total = self.total();
+        entropy(self.rows.iter().map(|(_, c)| c / total))
+    }
+
+    /// Total correlation `I = Σ H(Xᵢ) − H(joint)`.
+    pub fn total_correlation(&self) -> f64 {
+        let sum: f64 = (0..self.dims).map(|d| self.marginal_entropy(d)).sum();
+        sum - self.joint_entropy()
+    }
+
+    /// Normalized total correlation `I* = f(n)·I / H(joint)`.
+    /// Zero when the joint entropy is zero (a single deterministic row).
+    pub fn ntc(&self) -> f64 {
+        let h = self.joint_entropy();
+        if h == 0.0 {
+            return 0.0;
+        }
+        let n = self.dims as f64;
+        let f = if n <= 1.0 {
+            1.0
+        } else {
+            (n * n) / ((n - 1.0) * (n - 1.0))
+        };
+        f * self.total_correlation() / h
+    }
+}
+
+fn entropy(probs: impl Iterator<Item = f64>) -> f64 {
+    probs.filter(|&p| p > 0.0).map(|p| -p * p.log2()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The slide-42 author–paper table: six authorship facts, five distinct
+    /// authors (one writing twice), four papers (two written twice).
+    fn author_paper() -> JointDistribution {
+        JointDistribution::from_instances(&[
+            vec![1, 1],
+            vec![2, 2],
+            vec![3, 2],
+            vec![4, 3],
+            vec![5, 3],
+            vec![5, 4],
+        ])
+    }
+
+    /// The slide-43 editor–paper table: two editors, each editing a distinct
+    /// paper half the time.
+    fn editor_paper() -> JointDistribution {
+        JointDistribution::from_instances(&[vec![1, 1], vec![2, 2]])
+    }
+
+    #[test]
+    fn slide42_exact_entropies() {
+        let d = author_paper();
+        assert!(
+            (d.marginal_entropy(0) - 2.2516).abs() < 1e-3,
+            "H(A) = {}",
+            d.marginal_entropy(0)
+        );
+        assert!(
+            (d.marginal_entropy(1) - 1.9183).abs() < 1e-3,
+            "H(P) = {}",
+            d.marginal_entropy(1)
+        );
+        assert!((d.joint_entropy() - 2.5850).abs() < 1e-3);
+        assert!(
+            (d.total_correlation() - 1.585).abs() < 1e-2,
+            "I = {}",
+            d.total_correlation()
+        );
+    }
+
+    #[test]
+    fn slide43_editor_paper_is_perfectly_correlated() {
+        let d = editor_paper();
+        assert!((d.marginal_entropy(0) - 1.0).abs() < 1e-12);
+        assert!((d.marginal_entropy(1) - 1.0).abs() < 1e-12);
+        assert!((d.joint_entropy() - 1.0).abs() < 1e-12);
+        assert!((d.total_correlation() - 1.0).abs() < 1e-12);
+        // I* = 4 · 1/1 = 4
+        assert!((d.ntc() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn editor_structure_outranks_author_structure() {
+        // Knowing the editor pins down the paper exactly; knowing an author
+        // only mostly — NTC must rank editor–paper as the tighter structure.
+        let a = author_paper();
+        let e = editor_paper();
+        assert!(e.ntc() > a.ntc(), "editor {} ≤ author {}", e.ntc(), a.ntc());
+    }
+
+    #[test]
+    fn independent_variables_have_zero_correlation() {
+        // full cross product: knowing one tells nothing about the other
+        let mut inst = Vec::new();
+        for a in 0..3 {
+            for p in 0..3 {
+                inst.push(vec![a, p]);
+            }
+        }
+        let d = JointDistribution::from_instances(&inst);
+        assert!(d.total_correlation().abs() < 1e-12);
+        assert!(d.ntc().abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_single_row_is_zero_ntc() {
+        let d = JointDistribution::from_instances(&[vec![1, 1], vec![1, 1]]);
+        assert_eq!(d.ntc(), 0.0);
+    }
+
+    #[test]
+    fn three_way_distribution() {
+        let d = JointDistribution::from_instances(&[vec![1, 1, 1], vec![2, 2, 2], vec![3, 3, 3]]);
+        // perfectly correlated triple: I = 3·H − H = 2·log2(3); f(3) = 9/4
+        let h = (3.0f64).log2();
+        assert!((d.total_correlation() - 2.0 * h).abs() < 1e-9);
+        assert!((d.ntc() - 2.25 * 2.0 * h / h).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,421 @@
+//! Smallest Lowest Common Ancestors (Xu & Papakonstantinou, SIGMOD 05;
+//! Sun et al., WWW 07) — tutorial slides 33, 138–139.
+//!
+//! The SLCA set of `Q = {k₁,…,k_l}` is the set of nodes whose subtree
+//! contains a match of every keyword and none of whose descendants does —
+//! the "min redundancy" answer semantics. Three algorithms:
+//!
+//! * [`slca_indexed_lookup_eager`] — drive from the *smallest* match list;
+//!   for each anchor, binary-probe the other lists (`lm`/`rm`), giving
+//!   `O(k·d·|S_min|·log|S_max|)` — the complexity claim E04 measures;
+//! * [`slca_scan_eager`] — same candidates with linear pointer advances,
+//!   better when `|S_min| ≈ |S_max|` (the crossover E04 sweeps);
+//! * [`multiway_slca`] — anchor skipping (WWW 07): after an SLCA is found,
+//!   anchors inside its subtree are skipped wholesale.
+//!
+//! [`slca_brute_force`] is the test oracle.
+
+use kwdb_common::Result;
+use kwdb_xml::{NodeId, XmlIndex, XmlTree};
+
+/// Shared probe counters, reported by E04.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlcaStats {
+    /// Anchors consumed from the driving list.
+    pub anchors: usize,
+    /// Binary-search probes (ILE) or pointer advances (scan).
+    pub probes: usize,
+}
+
+/// Indexed-Lookup-Eager SLCA.
+pub fn slca_indexed_lookup_eager<S: AsRef<str>>(
+    tree: &XmlTree,
+    index: &XmlIndex,
+    keywords: &[S],
+) -> Result<(Vec<NodeId>, SlcaStats)> {
+    let mut stats = SlcaStats::default();
+    let Some(lists) = index.lists_for(keywords) else {
+        return Ok((Vec::new(), stats));
+    };
+    let (driver, others) = lists.split_first().expect("at least one keyword");
+    let mut candidates: Vec<NodeId> = Vec::new();
+    for &v in *driver {
+        stats.anchors += 1;
+        candidates.push(anchor_candidate(tree, v, others, &mut stats));
+    }
+    Ok((antichain(tree, candidates), stats))
+}
+
+/// Scan-Eager SLCA: identical candidates via monotone pointer advances.
+pub fn slca_scan_eager<S: AsRef<str>>(
+    tree: &XmlTree,
+    index: &XmlIndex,
+    keywords: &[S],
+) -> Result<(Vec<NodeId>, SlcaStats)> {
+    let mut stats = SlcaStats::default();
+    let Some(lists) = index.lists_for(keywords) else {
+        return Ok((Vec::new(), stats));
+    };
+    let (driver, others) = lists.split_first().expect("at least one keyword");
+    // one cursor per other list, advanced monotonically with the anchors
+    let mut cursors = vec![0usize; others.len()];
+    let mut candidates: Vec<NodeId> = Vec::new();
+    for &v in *driver {
+        stats.anchors += 1;
+        let mut best_prefix = usize::MAX;
+        let vd = tree.dewey(v);
+        for (j, list) in others.iter().enumerate() {
+            // advance cursor past nodes < v
+            while cursors[j] < list.len() && list[cursors[j]] < v {
+                cursors[j] += 1;
+                stats.probes += 1;
+            }
+            let right = list.get(cursors[j]).copied();
+            let left = cursors[j].checked_sub(1).map(|i| list[i]);
+            let lcp = [left, right]
+                .iter()
+                .flatten()
+                .map(|&u| vd.lca(tree.dewey(u)).depth())
+                .max()
+                .unwrap_or(0);
+            best_prefix = best_prefix.min(lcp);
+        }
+        if best_prefix == usize::MAX {
+            best_prefix = vd.depth();
+        }
+        let anc = ancestor_at_depth(tree, v, best_prefix);
+        candidates.push(anc);
+    }
+    Ok((antichain(tree, candidates), stats))
+}
+
+/// Multiway-SLCA (Sun et al.'s BMS): each round anchors on the *maximum*
+/// of the lists' current heads, computes that anchor's candidate, then
+/// advances every list past the anchor (`skip_after`). Every round consumes
+/// at least one node from each list, and whole prefixes dominated by another
+/// list's head are skipped without individual anchor computations.
+pub fn multiway_slca<S: AsRef<str>>(
+    tree: &XmlTree,
+    index: &XmlIndex,
+    keywords: &[S],
+) -> Result<(Vec<NodeId>, SlcaStats)> {
+    let mut stats = SlcaStats::default();
+    let Some(lists) = index.lists_for(keywords) else {
+        return Ok((Vec::new(), stats));
+    };
+    let mut cursors = vec![0usize; lists.len()];
+    let mut candidates: Vec<NodeId> = Vec::new();
+    loop {
+        // current heads; stop when any list is exhausted
+        let mut anchor: Option<(NodeId, usize)> = None;
+        let mut exhausted = false;
+        for (j, list) in lists.iter().enumerate() {
+            match list.get(cursors[j]) {
+                Some(&h) => {
+                    if anchor.is_none_or(|(a, _)| h > a) {
+                        anchor = Some((h, j));
+                    }
+                }
+                None => {
+                    exhausted = true;
+                    break;
+                }
+            }
+        }
+        if exhausted {
+            break;
+        }
+        let (a, aj) = anchor.expect("nonempty lists");
+        stats.anchors += 1;
+        let others: Vec<&[NodeId]> = lists
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != aj)
+            .map(|(_, l)| *l)
+            .collect();
+        candidates.push(anchor_candidate(tree, a, &others, &mut stats));
+        // skip_after: advance every list past the anchor
+        for (j, list) in lists.iter().enumerate() {
+            cursors[j] = cursors[j].max(list.partition_point(|&u| u <= a));
+        }
+    }
+    Ok((antichain(tree, candidates), stats))
+}
+
+/// Brute-force oracle: O(n · k · matches).
+pub fn slca_brute_force<S: AsRef<str>>(
+    tree: &XmlTree,
+    index: &XmlIndex,
+    keywords: &[S],
+) -> Vec<NodeId> {
+    let covering = covering_nodes(tree, index, keywords);
+    covering
+        .iter()
+        .filter(|&&v| !covering.iter().any(|&u| u != v && tree.is_ancestor(v, u)))
+        .copied()
+        .collect()
+}
+
+/// Nodes whose subtree contains a match of every keyword (the full LCA set).
+pub fn covering_nodes<S: AsRef<str>>(
+    tree: &XmlTree,
+    index: &XmlIndex,
+    keywords: &[S],
+) -> Vec<NodeId> {
+    let sizes = tree.subtree_sizes();
+    tree.iter()
+        .filter(|&v| {
+            let end = NodeId(v.0 + sizes[v.0 as usize]);
+            keywords.iter().all(|k| {
+                let list = index.nodes(k.as_ref());
+                let lo = list.partition_point(|&x| x < v);
+                lo < list.len() && list[lo] < end
+            })
+        })
+        .collect()
+}
+
+/// ILE anchor step: the deepest ancestor of `v` whose subtree covers every
+/// other keyword via `v`'s nearest matches.
+fn anchor_candidate(
+    tree: &XmlTree,
+    v: NodeId,
+    others: &[&[NodeId]],
+    stats: &mut SlcaStats,
+) -> NodeId {
+    let vd = tree.dewey(v);
+    let mut best_prefix = vd.depth();
+    for list in others {
+        stats.probes += 2;
+        let left = XmlIndex::left_match(list, v);
+        let right = XmlIndex::right_match(list, v);
+        let lcp = [left, right]
+            .iter()
+            .flatten()
+            .map(|&u| vd.lca(tree.dewey(u)).depth())
+            .max()
+            .unwrap_or(0);
+        best_prefix = best_prefix.min(lcp);
+    }
+    ancestor_at_depth(tree, v, best_prefix)
+}
+
+/// The ancestor of `v` at Dewey depth `depth`.
+fn ancestor_at_depth(tree: &XmlTree, v: NodeId, depth: usize) -> NodeId {
+    let d = tree.dewey(v);
+    let prefix = kwdb_xml::Dewey::from_path(d.components()[..depth.min(d.depth())].to_vec());
+    tree.node_at(&prefix).expect("ancestor prefix resolves")
+}
+
+/// Reduce candidates (any order) to the SLCA antichain: sort in document
+/// order, dedupe, and drop any node that is an ancestor of its successor.
+fn antichain(tree: &XmlTree, mut candidates: Vec<NodeId>) -> Vec<NodeId> {
+    candidates.sort();
+    candidates.dedup();
+    let mut out: Vec<NodeId> = Vec::with_capacity(candidates.len());
+    for c in candidates {
+        // pop ancestors of c (they are not smallest)
+        while let Some(&last) = out.last() {
+            if tree.is_ancestor(last, c) {
+                out.pop();
+            } else {
+                break;
+            }
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwdb_xml::XmlBuilder;
+    use proptest::prelude::*;
+
+    /// The slide-33 instance: two papers; SLCA must exclude the conf root.
+    fn slide33() -> XmlTree {
+        let mut b = XmlBuilder::new("conf");
+        b.leaf("name", "SIGMOD")
+            .leaf("year", "2007")
+            .open("paper")
+            .leaf("title", "keyword")
+            .leaf("author", "Mark")
+            .leaf("author", "Chen")
+            .close()
+            .open("paper")
+            .leaf("title", "RDF")
+            .leaf("author", "Mark")
+            .leaf("author", "Zhang")
+            .close();
+        b.build()
+    }
+
+    fn all_algorithms(
+        tree: &XmlTree,
+        keywords: &[&str],
+    ) -> (Vec<NodeId>, Vec<NodeId>, Vec<NodeId>, Vec<NodeId>) {
+        let ix = XmlIndex::build(tree);
+        let (a, _) = slca_indexed_lookup_eager(tree, &ix, keywords).unwrap();
+        let (b, _) = slca_scan_eager(tree, &ix, keywords).unwrap();
+        let (c, _) = multiway_slca(tree, &ix, keywords).unwrap();
+        let d = slca_brute_force(tree, &ix, keywords);
+        (a, b, c, d)
+    }
+
+    #[test]
+    fn slide33_keyword_mark() {
+        let t = slide33();
+        let (ile, scan, multi, brute) = all_algorithms(&t, &["keyword", "mark"]);
+        // only the first paper contains both
+        assert_eq!(brute.len(), 1);
+        assert_eq!(t.label(brute[0]), "paper");
+        assert_eq!(ile, brute);
+        assert_eq!(scan, brute);
+        assert_eq!(multi, brute);
+    }
+
+    #[test]
+    fn ancestor_descendant_pruned() {
+        let t = slide33();
+        // "mark" alone: both papers match via authors; SLCAs are the two
+        // author leaves (not the papers)
+        let (ile, _, _, brute) = all_algorithms(&t, &["mark"]);
+        assert_eq!(ile, brute);
+        assert_eq!(ile.len(), 2);
+        assert!(ile.iter().all(|&n| t.label(n) == "author"));
+    }
+
+    #[test]
+    fn root_is_slca_for_cross_subtree_queries() {
+        let t = slide33();
+        let (ile, scan, multi, brute) = all_algorithms(&t, &["rdf", "keyword"]);
+        assert_eq!(brute.len(), 1);
+        assert_eq!(t.label(brute[0]), "conf");
+        assert_eq!(ile, brute);
+        assert_eq!(scan, brute);
+        assert_eq!(multi, brute);
+    }
+
+    #[test]
+    fn missing_keyword_is_empty() {
+        let t = slide33();
+        let (ile, scan, multi, brute) = all_algorithms(&t, &["mark", "zzz"]);
+        assert!(ile.is_empty() && scan.is_empty() && multi.is_empty() && brute.is_empty());
+    }
+
+    #[test]
+    fn label_matches_participate() {
+        let t = slide33();
+        // query on structure term "paper" + value "rdf"
+        let (ile, _, _, brute) = all_algorithms(&t, &["paper", "rdf"]);
+        assert_eq!(ile, brute);
+        assert_eq!(ile.len(), 1);
+        assert_eq!(t.label(ile[0]), "paper");
+    }
+
+    #[test]
+    fn multiway_uses_fewer_anchors() {
+        // x-matches cluster before the y-matches: BMS's max-head anchoring
+        // skips the dominated prefixes wholesale, ILE anchors on every
+        // driver node.
+        let mut b = XmlBuilder::new("root");
+        for _ in 0..5 {
+            b.leaf("p", "x");
+        }
+        for _ in 0..5 {
+            b.leaf("p", "y");
+        }
+        b.leaf("p", "x");
+        b.leaf("p", "y");
+        let t = b.build();
+        let ix = XmlIndex::build(&t);
+        let (res_ile, st_ile) = slca_indexed_lookup_eager(&t, &ix, &["x", "y"]).unwrap();
+        let (res_multi, st_multi) = multiway_slca(&t, &ix, &["x", "y"]).unwrap();
+        assert_eq!(res_ile, res_multi);
+        assert!(
+            st_multi.anchors < st_ile.anchors,
+            "multiway {} vs ile {}",
+            st_multi.anchors,
+            st_ile.anchors
+        );
+    }
+
+    /// Random tree generator for property tests.
+    fn random_tree(structure: &[(usize, u8)]) -> XmlTree {
+        // structure: (parent-pop levels, keyword code 0..4)
+        let mut b = XmlBuilder::new("r");
+        let mut depth = 0usize;
+        for &(pops, kw) in structure {
+            for _ in 0..pops.min(depth) {
+                b.close();
+                depth -= 1;
+            }
+            b.open("n");
+            depth += 1;
+            match kw {
+                1 => {
+                    b.text("ka");
+                }
+                2 => {
+                    b.text("kb");
+                }
+                3 => {
+                    b.text("ka kb");
+                }
+                _ => {}
+            }
+        }
+        for _ in 0..depth {
+            b.close();
+        }
+        b.build()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn algorithms_agree_with_brute_force(
+            structure in proptest::collection::vec((0usize..3, 0u8..4), 1..40)
+        ) {
+            let t = random_tree(&structure);
+            let ix = XmlIndex::build(&t);
+            let kws = ["ka", "kb"];
+            let brute = slca_brute_force(&t, &ix, &kws);
+            let (ile, _) = slca_indexed_lookup_eager(&t, &ix, &kws).unwrap();
+            let (scan, _) = slca_scan_eager(&t, &ix, &kws).unwrap();
+            let (multi, _) = multiway_slca(&t, &ix, &kws).unwrap();
+            prop_assert_eq!(&ile, &brute, "ILE mismatch");
+            prop_assert_eq!(&scan, &brute, "scan mismatch");
+            prop_assert_eq!(&multi, &brute, "multiway mismatch");
+        }
+
+        #[test]
+        fn slca_is_antichain(
+            structure in proptest::collection::vec((0usize..3, 0u8..4), 1..40)
+        ) {
+            let t = random_tree(&structure);
+            let ix = XmlIndex::build(&t);
+            let (res, _) = slca_indexed_lookup_eager(&t, &ix, &["ka", "kb"]).unwrap();
+            for (i, &a) in res.iter().enumerate() {
+                for &b in &res[i + 1..] {
+                    prop_assert!(!t.is_ancestor(a, b) && !t.is_ancestor(b, a));
+                }
+            }
+        }
+
+        #[test]
+        fn slca_subset_of_covering(
+            structure in proptest::collection::vec((0usize..3, 0u8..4), 1..40)
+        ) {
+            let t = random_tree(&structure);
+            let ix = XmlIndex::build(&t);
+            let kws = ["ka", "kb"];
+            let covering = covering_nodes(&t, &ix, &kws);
+            let (res, _) = slca_indexed_lookup_eager(&t, &ix, &kws).unwrap();
+            for n in res {
+                prop_assert!(covering.contains(&n));
+            }
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Probabilistic keyword → XPath query inference
+//! (Petkova, Croft & Diao, ECIR 09) — tutorial slides 47–48.
+//!
+//! Each keyword gets candidate *bindings* `path[~kw]`, scored by the
+//! language-model probability of the keyword under that path's content.
+//! Combinations of bindings are reduced to valid XPath queries by the
+//! paper's operators, updating probabilities along the way:
+//!
+//! * **aggregation** — two bindings on the same path fuse:
+//!   `//a[~x] + //a[~y] → //a[~x y]`, `Pr = Pr(A)·Pr(B)`;
+//! * **nesting** — different paths combine under their deepest common
+//!   ancestor path `p`: `p[.//s₁ ~ x][.//s₂ ~ y]`, weighted by the
+//!   structural probability that the ancestor type actually contains both;
+//!
+//! the top-k valid queries come out of a best-first enumeration over
+//! binding combinations (the paper's A* search).
+
+use kwdb_xml::PathStats;
+
+/// A candidate binding of one keyword to a label path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathBinding {
+    pub path: String,
+    pub keyword: String,
+    /// `Pr[~kw | path]`: fraction of the path's nodes containing the keyword.
+    pub prob: f64,
+}
+
+/// An inferred XPath query with its probability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferredQuery {
+    pub xpath: String,
+    pub prob: f64,
+}
+
+/// Candidate bindings of `keyword`: every path whose subtrees contain it,
+/// scored by the language-model term density `Pr[kw | doc(path)]` — the
+/// keyword's weight among all tokens under the path. Density punishes
+/// over-general bindings: the document root contains every keyword but
+/// dilutes each one, so specific paths win (the paper's `pLM`).
+pub fn bindings(stats: &PathStats, keyword: &str) -> Vec<PathBinding> {
+    let mut out: Vec<PathBinding> = stats
+        .paths()
+        .filter_map(|(path, s)| {
+            let f = s.term_nodes.get(keyword).copied().unwrap_or(0);
+            (f > 0).then(|| PathBinding {
+                path: path.to_string(),
+                keyword: keyword.to_string(),
+                prob: f as f64 / s.token_count.max(1) as f64,
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.prob
+            .partial_cmp(&a.prob)
+            .unwrap()
+            .then(a.path.len().cmp(&b.path.len()))
+            .then(a.path.cmp(&b.path))
+    });
+    out
+}
+
+/// Deepest common prefix path of two label paths (`/a/b/c`, `/a/b/d` → `/a/b`).
+fn common_ancestor_path(a: &str, b: &str) -> String {
+    let pa: Vec<&str> = a.split('/').filter(|s| !s.is_empty()).collect();
+    let pb: Vec<&str> = b.split('/').filter(|s| !s.is_empty()).collect();
+    let n = pa.iter().zip(pb.iter()).take_while(|(x, y)| x == y).count();
+    if n == 0 {
+        String::from("/")
+    } else {
+        format!("/{}", pa[..n].join("/"))
+    }
+}
+
+/// Relative step from ancestor path `anc` to descendant path `desc`
+/// (`/a/b`, `/a/b/c/d` → `c/d`; empty when equal).
+fn relative_steps(anc: &str, desc: &str) -> String {
+    desc.strip_prefix(anc)
+        .unwrap_or(desc)
+        .trim_start_matches('/')
+        .to_string()
+}
+
+/// Combine two bindings into one XPath query via aggregation or nesting.
+pub fn combine(stats: &PathStats, a: &PathBinding, b: &PathBinding) -> InferredQuery {
+    if a.path == b.path {
+        // aggregation
+        return InferredQuery {
+            xpath: format!("{}[~\"{} {}\"]", a.path, a.keyword, b.keyword),
+            prob: a.prob * b.prob,
+        };
+    }
+    // nesting under the deepest common ancestor
+    let anc = common_ancestor_path(&a.path, &b.path);
+    let (ra, rb) = (relative_steps(&anc, &a.path), relative_steps(&anc, &b.path));
+    // structural probability: does the ancestor type exist and dominate both
+    // branches? estimated from instance counts.
+    let anc_count = stats.node_count(&anc).max(1) as f64;
+    let struct_prob =
+        (stats.node_count(&a.path).min(stats.node_count(&b.path)) as f64 / anc_count).min(1.0);
+    let pa = if ra.is_empty() {
+        format!("[~\"{}\"]", a.keyword)
+    } else {
+        format!("[.//{} ~ \"{}\"]", ra, a.keyword)
+    };
+    let pb = if rb.is_empty() {
+        format!("[~\"{}\"]", b.keyword)
+    } else {
+        format!("[.//{} ~ \"{}\"]", rb, b.keyword)
+    };
+    InferredQuery {
+        xpath: format!("{anc}{pa}{pb}"),
+        prob: a.prob * b.prob * struct_prob,
+    }
+}
+
+/// Infer the top-k XPath queries for a two-keyword query (the tutorial's
+/// running shape); single keywords degenerate to their best bindings.
+pub fn infer<S: AsRef<str>>(stats: &PathStats, keywords: &[S], k: usize) -> Vec<InferredQuery> {
+    match keywords.len() {
+        0 => Vec::new(),
+        1 => bindings(stats, keywords[0].as_ref())
+            .into_iter()
+            .take(k)
+            .map(|b| InferredQuery {
+                xpath: format!("{}[~\"{}\"]", b.path, b.keyword),
+                prob: b.prob,
+            })
+            .collect(),
+        _ => {
+            // pairwise combination of the first two keywords' bindings,
+            // best-first by probability product (beam of 8 each)
+            let ba = bindings(stats, keywords[0].as_ref());
+            let bb = bindings(stats, keywords[1].as_ref());
+            let mut out: Vec<InferredQuery> = Vec::new();
+            for a in ba.iter().take(8) {
+                for b in bb.iter().take(8) {
+                    out.push(combine(stats, a, b));
+                }
+            }
+            out.sort_by(|x, y| {
+                y.prob
+                    .partial_cmp(&x.prob)
+                    .unwrap()
+                    .then(x.xpath.len().cmp(&y.xpath.len()))
+                    .then(x.xpath.cmp(&y.xpath))
+            });
+            out.dedup_by(|a, b| a.xpath == b.xpath);
+            out.truncate(k);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwdb_xml::{PathStats, XmlBuilder};
+
+    fn bib() -> PathStats {
+        let mut b = XmlBuilder::new("bib");
+        b.open("conf");
+        for (title, author) in [
+            ("xml search", "widom"),
+            ("xml views", "widom"),
+            ("graphs", "ullman"),
+        ] {
+            b.open("paper")
+                .leaf("title", title)
+                .leaf("author", author)
+                .close();
+        }
+        b.close();
+        PathStats::build(&b.build())
+    }
+
+    #[test]
+    fn bindings_scored_by_term_density() {
+        let s = bib();
+        let bs = bindings(&s, "xml");
+        assert!(!bs.is_empty());
+        // title tokens: "xml search","xml views","graphs" → 5 tokens,
+        // 2 title nodes contain "xml" → density 2/5; conf dilutes it
+        let title = bs
+            .iter()
+            .find(|b| b.path == "/bib/conf/paper/title")
+            .unwrap();
+        assert!((title.prob - 2.0 / 5.0).abs() < 1e-12, "{}", title.prob);
+        let conf = bs.iter().find(|b| b.path == "/bib/conf").unwrap();
+        assert!(conf.prob < title.prob, "general bindings must be diluted");
+        // best-first ordering puts the densest path first
+        assert_eq!(bs[0].path, "/bib/conf/paper/title");
+        assert!(bindings(&s, "zzz").is_empty());
+    }
+
+    #[test]
+    fn aggregation_on_same_path() {
+        let s = bib();
+        let a = PathBinding {
+            path: "/bib/conf/paper".into(),
+            keyword: "xml".into(),
+            prob: 0.6,
+        };
+        let b = PathBinding {
+            path: "/bib/conf/paper".into(),
+            keyword: "search".into(),
+            prob: 0.5,
+        };
+        let q = combine(&s, &a, &b);
+        assert_eq!(q.xpath, "/bib/conf/paper[~\"xml search\"]");
+        assert!((q.prob - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nesting_under_common_ancestor() {
+        let s = bib();
+        let a = PathBinding {
+            path: "/bib/conf/paper/title".into(),
+            keyword: "xml".into(),
+            prob: 2.0 / 3.0,
+        };
+        let b = PathBinding {
+            path: "/bib/conf/paper/author".into(),
+            keyword: "widom".into(),
+            prob: 2.0 / 3.0,
+        };
+        let q = combine(&s, &a, &b);
+        assert!(q.xpath.starts_with("/bib/conf/paper["), "{}", q.xpath);
+        assert!(q.xpath.contains("title ~ \"xml\""));
+        assert!(q.xpath.contains("author ~ \"widom\""));
+        assert!(q.prob > 0.0);
+    }
+
+    #[test]
+    fn infer_widom_xml_targets_the_paper() {
+        let s = bib();
+        let top = infer(&s, &["widom", "xml"], 3);
+        assert!(!top.is_empty());
+        // the best interpretation anchors at a paper-or-deeper path and
+        // mentions both keywords
+        assert!(top[0].xpath.contains("widom") && top[0].xpath.contains("xml"));
+        assert!(top.windows(2).all(|w| w[0].prob >= w[1].prob));
+    }
+
+    #[test]
+    fn single_keyword_degenerates_to_bindings() {
+        let s = bib();
+        let top = infer(&s, &["widom"], 2);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].xpath.ends_with("[~\"widom\"]"));
+    }
+
+    #[test]
+    fn path_helpers() {
+        assert_eq!(common_ancestor_path("/a/b/c", "/a/b/d"), "/a/b");
+        assert_eq!(common_ancestor_path("/a", "/x"), "/");
+        assert_eq!(relative_steps("/a/b", "/a/b/c/d"), "c/d");
+        assert_eq!(relative_steps("/a/b", "/a/b"), "");
+    }
+}

@@ -1,0 +1,78 @@
+//! The keyword-ambiguity pipeline of tutorial slide 12 on one shopping
+//! session: a misspelled, unfinished, non-quantitative query is cleaned,
+//! completed, translated and executed.
+//!
+//! ```sh
+//! cargo run --example dirty_queries
+//! ```
+
+use kwdb::datasets::products::{generate_laptops, product_query_log};
+use kwdb::qclean::autocomplete::{tastier_search, ForwardIndex, Trie};
+use kwdb::qclean::keywordpp::KeywordPlusPlus;
+use kwdb::qclean::segment::{clean_query, ValuePhraseModel};
+use kwdb::qclean::spell::SpellCorrector;
+
+fn main() {
+    let (db, table) = generate_laptops(40, 7);
+    let ix = db.text_index();
+
+    // spelling model from the database vocabulary
+    let corrector =
+        SpellCorrector::from_vocab(ix.terms().map(|t| (t.to_string(), ix.doc_freq(t) as u64)));
+    let values: Vec<String> = db
+        .table(table)
+        .iter()
+        .map(|(_, row)| row[0].to_string())
+        .collect();
+    let phrase_model = ValuePhraseModel::from_values(&values);
+
+    // 1. spelling correction + segmentation
+    let dirty: Vec<String> = ["lenvo", "carbn", "laptp"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    println!("dirty query: {dirty:?}");
+    if let Some(cleaned) = clean_query(&corrector, &phrase_model, &dirty, 2) {
+        println!("cleaned:     {}", cleaned.display());
+    }
+
+    // 2. auto-completion with per-keyword prefix semantics
+    let trie = Trie::build(ix.terms().map(|t| t.to_string()));
+    let mut fwd = ForwardIndex::new();
+    for (rid, _) in db.table(table).iter() {
+        let tid = kwdb::relational::TupleId::new(table, rid);
+        for tok in db.tuple_tokens(tid) {
+            if let Some(id) = trie.token_id(&tok) {
+                fwd.add(rid.0 as u64, id);
+            }
+        }
+    }
+    let (examined, survivors) = tastier_search(&trie, &fwd, &["len", "lap"]);
+    println!(
+        "\ntype-ahead {{len, lap}}: {} candidates examined, {} products match",
+        examined,
+        survivors.len()
+    );
+
+    // 3. Keyword++: learn what "ibm" and "small" mean, then execute
+    let mut kpp = KeywordPlusPlus::new(&db, table, vec![1], vec![2, 3]);
+    kpp.learn(&product_query_log(11, 30));
+    let query = ["small", "ibm", "laptop"];
+    let literal = kpp.keyword_results(&query);
+    let translated = kpp.translate(&query);
+    let rows = kpp.execute(&translated);
+    println!("\nquery {query:?}:");
+    println!("  literal LIKE matching: {} rows", literal.len());
+    println!(
+        "  Keyword++ translation: {} predicates + {:?} residual → {} rows",
+        translated.predicates.len(),
+        translated.residual,
+        rows.len()
+    );
+    for r in rows.iter().take(3) {
+        println!(
+            "    {}",
+            db.format_tuple(kwdb::relational::TupleId::new(table, *r))
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Quickstart: keyword search over a relational database in a dozen lines.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use kwdb::datasets::{generate_dblp, DblpConfig};
+use kwdb::engine::RelationalEngine;
+
+fn main() -> kwdb::Result<()> {
+    // A DBLP-like database: conferences, authors, papers, authorship, citations.
+    let db = generate_dblp(&DblpConfig {
+        n_conferences: 8,
+        n_authors: 150,
+        n_papers: 400,
+        ..Default::default()
+    });
+    println!(
+        "database: {} tables, {} tuples, {} FK edges",
+        db.table_count(),
+        db.tuple_count(),
+        db.schema_graph().edges().len()
+    );
+
+    let engine = RelationalEngine::new(&db);
+    for query in ["widom xml", "keyword search", "widom stonebraker"] {
+        println!("\nquery: {query:?}");
+        let hits = engine.search(query, 3)?;
+        if hits.is_empty() {
+            println!("  (no results)");
+        }
+        for (i, hit) in hits.iter().enumerate() {
+            println!("  {}. [{:.3}] {}", i + 1, hit.score, hit.rendered);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,115 @@
+//! Exploring a result set: comparison tables, data clouds, faceted
+//! navigation and aggregate answers — the tutorial's "result analysis"
+//! track on the slide-16 events scenario.
+//!
+//! ```sh
+//! cargo run --example result_exploration
+//! ```
+
+use kwdb::common::text::tokenize;
+use kwdb::explore::clouds::{co_occurring_terms, top_terms_popularity};
+use kwdb::explore::diff::{differentiate, Feature};
+use kwdb::explore::facets::{build_greedy, FacetTable, LogModel, LogQuery};
+use kwdb::explore::tableagg::{aggregate_search, AggTable};
+
+fn main() {
+    // the slide-16 events table
+    let events: Vec<(&str, &str, &str, &str)> = vec![
+        ("dec", "tx", "houston", "US Open Pool Best of 19 ranking"),
+        ("dec", "tx", "dallas", "Cowboy dream run motorcycle beer"),
+        (
+            "dec",
+            "tx",
+            "austin",
+            "SPAM museum party classical american food",
+        ),
+        (
+            "oct",
+            "mi",
+            "detroit",
+            "Motorcycle rallies tournament round robin",
+        ),
+        ("oct", "mi", "flint", "Michigan pool exhibition non-ranking"),
+        (
+            "sep",
+            "mi",
+            "lansing",
+            "American food history best food from usa",
+        ),
+    ];
+
+    // 1. aggregate keyword query: where can I get all three together?
+    let agg = AggTable {
+        attributes: vec!["month".into(), "state".into()],
+        values: events
+            .iter()
+            .map(|(m, s, _, _)| vec![m.to_string(), s.to_string()])
+            .collect(),
+        text: events.iter().map(|(_, _, _, d)| tokenize(d)).collect(),
+    };
+    let phrases = vec![
+        tokenize("motorcycle"),
+        tokenize("pool"),
+        tokenize("american food"),
+    ];
+    println!("aggregate answers for {{motorcycle, pool, american food}}:");
+    for c in aggregate_search(&agg, &phrases) {
+        println!("  {:<10} rows {:?}", c.display(), c.rows);
+    }
+
+    // 2. faceted navigation over the same rows
+    let table = FacetTable::new(
+        vec!["month".into(), "state".into(), "city".into()],
+        events
+            .iter()
+            .map(|(m, s, c, _)| vec![m.to_string(), s.to_string(), c.to_string()])
+            .collect(),
+    );
+    let log: Vec<LogQuery> = vec![
+        vec![("state".into(), "tx".into())],
+        vec![("state".into(), "mi".into())],
+        vec![("month".into(), "dec".into())],
+        vec![("state".into(), "tx".into())],
+    ];
+    let model = LogModel::new(&log);
+    let tree = build_greedy(&table, &model, (0..events.len()).collect(), 2);
+    println!(
+        "\nfaceted navigation: expected cost {:.2} (flat list would cost {:.2})",
+        tree.expected_cost(&model),
+        events.len() as f64
+    );
+
+    // 3. data clouds: what other terms do the motorcycle events mention?
+    let docs: Vec<Vec<String>> = events.iter().map(|(_, _, _, d)| tokenize(d)).collect();
+    println!("\ntop co-occurring terms with 'motorcycle':");
+    for (t, f) in co_occurring_terms(&docs, &["motorcycle"], 4) {
+        println!("  {t} ({f})");
+    }
+    println!("\ntop terms across all events:");
+    for (t, f) in top_terms_popularity(&docs, &[] as &[&str], 4) {
+        println!("  {t} ({f})");
+    }
+
+    // 4. compare the two aggregate answers with a differentiation table
+    let results: Vec<Vec<Feature>> = vec![
+        vec![
+            Feature::new("month", "december"),
+            Feature::new("state", "texas"),
+            Feature::new("events", "pool, motorcycle, food"),
+        ],
+        vec![
+            Feature::new("month", "sep-oct"),
+            Feature::new("state", "michigan"),
+            Feature::new("events", "pool, motorcycle, food"),
+        ],
+    ];
+    let cmp = differentiate(&results, 2);
+    println!("\ncomparison table (DoD = {}):", cmp.dod);
+    for (i, sel) in cmp.selections.iter().enumerate() {
+        let cells: Vec<String> = sel
+            .iter()
+            .map(|f| format!("{}={}", f.ftype, f.value))
+            .collect();
+        println!("  answer {}: {}", i + 1, cells.join(", "));
+    }
+}

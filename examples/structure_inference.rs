@@ -1,0 +1,87 @@
+//! Structural ambiguity, resolved four ways (tutorial slides 10–11, 37,
+//! 44–48, 54–58): the same keyword query interpreted through query forms,
+//! SUITS/IQP keyword binding, XReal type inference, and probabilistic XPath
+//! generation.
+//!
+//! ```sh
+//! cargo run --example structure_inference
+//! ```
+
+use kwdb::datasets::{generate_bib_xml, BibConfig};
+use kwdb::forms::generate::{FormGenConfig, FormGenerator};
+use kwdb::forms::iqp::Interpreter;
+use kwdb::forms::FormIndex;
+use kwdb::relational::database::dblp_schema;
+use kwdb::relational::Database;
+use kwdb::xml::PathStats;
+use kwdb::xmlsearch::{xpath_infer, xreal};
+
+fn main() {
+    let mut db = Database::new();
+    dblp_schema(&mut db).unwrap();
+    db.insert("conference", vec![1.into(), "SIGMOD".into(), 2007.into()])
+        .unwrap();
+    db.insert("author", vec![1.into(), "John Smith".into()])
+        .unwrap();
+    db.insert("author", vec![2.into(), "Jane Widom".into()])
+        .unwrap();
+    db.insert(
+        "paper",
+        vec![1.into(), "XML keyword search".into(), 1.into()],
+    )
+    .unwrap();
+    db.insert(
+        "paper",
+        vec![2.into(), "XML views maintenance".into(), 1.into()],
+    )
+    .unwrap();
+    db.insert("write", vec![1.into(), 1.into(), 1.into()])
+        .unwrap();
+    db.insert("write", vec![2.into(), 2.into(), 2.into()])
+        .unwrap();
+    db.build_text_index();
+
+    let query = ["john", "xml"];
+    println!("ambiguous query: {query:?}\n");
+
+    // 1. query forms (Chu et al.): rank pre-generated forms
+    let forms = FormGenerator::new(&db, FormGenConfig::default()).generate();
+    let index = FormIndex::build(&db, forms.clone());
+    println!("— query forms —");
+    for r in index.select(&db, &query, 2) {
+        println!(
+            "  [{:.2}] {}",
+            r.score,
+            index.forms()[r.form_index].display(&db)
+        );
+    }
+
+    // 2. SUITS/IQP: probabilistic keyword binding
+    let interp = Interpreter::new(&db, forms, &[]);
+    println!("\n— IQP keyword bindings —");
+    for i in interp.interpret(&query, 3) {
+        println!(
+            "  [{:.4}] {}  (SUITS heuristic {:.2})",
+            i.score,
+            i.display(&db, interp.templates()),
+            interp.suits_score(&i)
+        );
+    }
+
+    // 3. XReal: which node type is being searched for in XML?
+    let tree = generate_bib_xml(&BibConfig::default());
+    let stats = PathStats::build(&tree);
+    println!("\n— XReal search-for types (query {{widom, data}}) —");
+    for t in xreal::infer_return_types(&stats, &["widom", "data"])
+        .iter()
+        .take(3)
+    {
+        println!("  [{:.3}] {}", t.score, t.path);
+    }
+
+    // 4. probabilistic XPath inference
+    println!("\n— inferred XPath queries (query {{widom, data}}) —");
+    for q in xpath_infer::infer(&stats, &["widom", "data"], 3) {
+        println!("  [{:.3}] {}", q.prob, q.xpath);
+    }
+}

@@ -1,0 +1,72 @@
+//! XML keyword search end to end: SLCA/ELCA answers, XReal return-type
+//! inference, XSeek return nodes, snippets, and clustering — the tutorial's
+//! XML track on one generated bibliography.
+//!
+//! ```sh
+//! cargo run --example xml_explorer
+//! ```
+
+use kwdb::datasets::{generate_bib_xml, BibConfig};
+use kwdb::explore::cluster::cluster_by_context;
+use kwdb::xml::{PathStats, XmlIndex};
+use kwdb::xmlsearch::{elca::elca, slca_indexed_lookup_eager, snippet, xreal, xseek};
+
+fn main() -> kwdb::Result<()> {
+    let tree = generate_bib_xml(&BibConfig {
+        n_conferences: 4,
+        n_journals: 2,
+        papers_per_venue: 12,
+        ..Default::default()
+    });
+    let index = XmlIndex::build(&tree);
+    let stats = PathStats::build(&tree);
+    let query = ["data", "query"];
+    println!("document: {} nodes; query: {query:?}", tree.len());
+
+    // 1. structure inference: what node type is the user looking for?
+    let types = xreal::infer_return_types(&stats, &query);
+    println!("\nXReal search-for types:");
+    for t in types.iter().take(3) {
+        println!("  {:<28} {:.3}", t.path, t.score);
+    }
+
+    // 2. SLCA and ELCA answers
+    let (slcas, st) = slca_indexed_lookup_eager(&tree, &index, &query)?;
+    let (elcas, _) = elca(&tree, &index, &query)?;
+    println!(
+        "\n{} SLCA results ({} anchors, {} probes); {} ELCA results",
+        slcas.len(),
+        st.anchors,
+        st.probes,
+        elcas.len()
+    );
+
+    // 3. XSeek: what should be *returned* for each result?
+    let specs = xseek::infer_return(&tree, &index, &stats, &query)?;
+    if let Some(spec) = specs.first() {
+        println!("XSeek return inference for the first result: {spec:?}");
+    }
+
+    // 4. snippets for the top results
+    println!("\nsnippets:");
+    for &root in slcas.iter().take(3) {
+        let snip = snippet::generate(&tree, root, &query, 8);
+        println!("  {}", snip.render(&tree));
+    }
+
+    // 5. cluster results by context (conference vs journal papers)
+    let scored: Vec<_> = slcas
+        .iter()
+        .map(|&n| (n, 1.0 / (1.0 + tree.subtree_size(n) as f64)))
+        .collect();
+    println!("\nclusters by root context:");
+    for c in cluster_by_context(&tree, &scored) {
+        println!(
+            "  {:<28} {} results (score {:.3})",
+            c.description,
+            c.members.len(),
+            c.score
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,288 @@
+//! Unified one-call engines over the three data models.
+//!
+//! These wrap the full pipelines so an application can go from a query
+//! string to ranked, rendered results in one call, while everything stays
+//! overridable by dropping down to the underlying crates.
+
+use kwdb_common::text::parse_query;
+use kwdb_common::Result;
+use kwdb_graph::DataGraph;
+use kwdb_graphsearch::{blinks::Blinks, AnswerTree, BanksI, Dpbf};
+use kwdb_relational::{Database, ExecStats};
+use kwdb_relsearch::cn::{CnGenConfig, CnGenerator, MaskOracle};
+use kwdb_relsearch::spark::skyline_sweep;
+use kwdb_relsearch::topk::{global_pipeline, TopKQuery};
+use kwdb_relsearch::{ResultScorer, TupleSets};
+use kwdb_xml::{XmlIndex, XmlTree};
+
+/// A rendered relational hit.
+#[derive(Debug, Clone)]
+pub struct RelationalHit {
+    pub score: f64,
+    /// The joining tree of tuples, rendered `table(v, …) ⋈ table(v, …)`.
+    pub rendered: String,
+    pub tuples: Vec<kwdb_relational::TupleId>,
+}
+
+/// Which scoring model the relational engine ranks with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scoring {
+    /// DISCOVER2's monotone tf·idf-per-tuple model (Global Pipeline).
+    #[default]
+    Monotone,
+    /// SPARK's non-monotonic virtual-document model (Skyline-Sweep).
+    Spark,
+}
+
+/// Configuration for the relational pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct RelationalConfig {
+    /// Maximum candidate-network size.
+    pub max_cn_size: usize,
+    /// Safety cap on generated CNs (0 = unlimited).
+    pub max_cns: usize,
+    pub scoring: Scoring,
+}
+
+impl Default for RelationalConfig {
+    fn default() -> Self {
+        RelationalConfig {
+            max_cn_size: 5,
+            max_cns: 2000,
+            scoring: Scoring::Monotone,
+        }
+    }
+}
+
+/// DISCOVER-style keyword search over a relational database: tuple sets →
+/// candidate networks → bound-driven top-k evaluation.
+pub struct RelationalEngine<'db> {
+    db: &'db Database,
+    scorer: ResultScorer<'db>,
+    cfg: RelationalConfig,
+}
+
+impl<'db> RelationalEngine<'db> {
+    pub fn new(db: &'db Database) -> Self {
+        Self::with_config(db, RelationalConfig::default())
+    }
+
+    pub fn with_config(db: &'db Database, cfg: RelationalConfig) -> Self {
+        RelationalEngine {
+            db,
+            scorer: ResultScorer::new(db),
+            cfg,
+        }
+    }
+
+    /// Top-k joining trees of tuples for a free-text query string.
+    pub fn search(&self, query: &str, k: usize) -> Result<Vec<RelationalHit>> {
+        let keywords = parse_query(query);
+        if keywords.is_empty() {
+            return Ok(Vec::new());
+        }
+        let ts = TupleSets::build(self.db, &keywords);
+        if !ts.covers_all_keywords() {
+            return Ok(Vec::new());
+        }
+        let oracle = MaskOracle::from_tuplesets(&ts);
+        let mut generator = CnGenerator::new(
+            self.db.schema_graph(),
+            &oracle,
+            CnGenConfig {
+                max_size: self.cfg.max_cn_size,
+                dedupe: true,
+                max_cns: self.cfg.max_cns,
+            },
+        );
+        let cns = generator.generate();
+        let q = TopKQuery {
+            db: self.db,
+            ts: &ts,
+            cns: &cns,
+            scorer: &self.scorer,
+            keywords: &keywords,
+        };
+        let stats = ExecStats::new();
+        let ranked = match self.cfg.scoring {
+            Scoring::Monotone => global_pipeline(&q, k, &stats),
+            Scoring::Spark => skyline_sweep(&q, k, &stats),
+        };
+        Ok(ranked
+            .into_iter()
+            .map(|r| RelationalHit {
+                score: r.score,
+                rendered: r
+                    .result
+                    .tuples
+                    .iter()
+                    .map(|&t| self.db.format_tuple(t))
+                    .collect::<Vec<_>>()
+                    .join(" ⋈ "),
+                tuples: r.result.tuples,
+            })
+            .collect())
+    }
+}
+
+/// Graph answer semantics selectable on [`graph_search`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphSemantics {
+    /// Exact group Steiner trees (DPBF).
+    SteinerExact,
+    /// BANKS backward search (distinct-root, approximate Steiner).
+    Banks,
+    /// BLINKS: distinct-root via the node→keyword index and TA.
+    DistinctRoot,
+}
+
+/// Keyword search on a data graph under the chosen semantics.
+pub fn graph_search(
+    g: &DataGraph,
+    query: &str,
+    k: usize,
+    semantics: GraphSemantics,
+) -> Vec<AnswerTree> {
+    let keywords = parse_query(query);
+    if keywords.is_empty() {
+        return Vec::new();
+    }
+    match semantics {
+        GraphSemantics::SteinerExact => Dpbf::new(g).search(&keywords, k),
+        GraphSemantics::Banks => BanksI::new(g).search(&keywords, k),
+        GraphSemantics::DistinctRoot => {
+            let mut bl = Blinks::new(g);
+            let ix = bl.build_index(&keywords);
+            bl.search(&ix, &keywords, k)
+        }
+    }
+}
+
+/// A ranked XML hit: a result subtree root.
+#[derive(Debug, Clone)]
+pub struct XmlHit {
+    pub root: kwdb_xml::NodeId,
+    pub score: f64,
+    pub label_path: String,
+}
+
+/// SLCA keyword search over an XML tree, ranked by XBridge-style keyword
+/// proximity: the root-to-match paths of all keywords, with shared prefix
+/// segments charged once and over-long paths discounted
+/// ([`kwdb_rank::proximity`], tutorial slides 158–160).
+pub fn xml_search(tree: &XmlTree, index: &XmlIndex, query: &str, k: usize) -> Result<Vec<XmlHit>> {
+    let keywords = parse_query(query);
+    if keywords.is_empty() {
+        return Ok(Vec::new());
+    }
+    let (roots, _) = kwdb_xmlsearch::slca_indexed_lookup_eager(tree, index, &keywords)?;
+    let sizes = tree.subtree_sizes();
+    let avg_depth = tree.avg_leaf_depth();
+    let mut hits: Vec<XmlHit> = roots
+        .into_iter()
+        .map(|r| {
+            // root→match path (node ids) for each keyword's first match
+            // inside the result subtree
+            let end = kwdb_xml::NodeId(r.0 + sizes[r.0 as usize]);
+            let paths: Vec<Vec<u64>> = keywords
+                .iter()
+                .filter_map(|kw| {
+                    let list = index.nodes(kw);
+                    let lo = list.partition_point(|&x| x < r);
+                    let m = *list.get(lo).filter(|&&m| m < end)?;
+                    let mut path = vec![m.0 as u64];
+                    let mut cur = m;
+                    while cur != r {
+                        cur = tree.parent(cur).expect("r is an ancestor");
+                        path.push(cur.0 as u64);
+                    }
+                    path.reverse();
+                    Some(path)
+                })
+                .collect();
+            XmlHit {
+                score: kwdb_rank::proximity::proximity_score(&paths, avg_depth),
+                label_path: tree.label_path(r),
+                root: r,
+            }
+        })
+        .collect();
+    hits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap()
+            .then(a.root.cmp(&b.root))
+    });
+    hits.truncate(k);
+    Ok(hits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kwdb_datasets::{generate_dblp, DblpConfig};
+
+    #[test]
+    fn relational_engine_end_to_end() {
+        let db = generate_dblp(&DblpConfig {
+            n_papers: 60,
+            n_authors: 30,
+            ..Default::default()
+        });
+        let engine = RelationalEngine::new(&db);
+        let hits = engine.search("data query", 5).unwrap();
+        assert!(!hits.is_empty());
+        assert!(hits.windows(2).all(|w| w[0].score >= w[1].score));
+        assert!(hits[0].rendered.contains('('));
+    }
+
+    #[test]
+    fn relational_engine_empty_and_unmatched() {
+        let db = generate_dblp(&DblpConfig::default());
+        let engine = RelationalEngine::new(&db);
+        assert!(engine.search("", 5).unwrap().is_empty());
+        assert!(engine.search("zzzzqqq data", 5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn graph_search_all_semantics() {
+        let g = kwdb_datasets::graphs::generate_graph(&Default::default());
+        let exact = graph_search(&g, "kw0 kw1", 3, GraphSemantics::SteinerExact);
+        let banks = graph_search(&g, "kw0 kw1", 3, GraphSemantics::Banks);
+        let droot = graph_search(&g, "kw0 kw1", 3, GraphSemantics::DistinctRoot);
+        assert!(!exact.is_empty());
+        assert!(!banks.is_empty());
+        assert!(!droot.is_empty());
+        assert!(banks[0].cost >= exact[0].cost - 1e-9, "DPBF is optimal");
+        assert!(droot[0].cost >= exact[0].cost - 1e-9);
+    }
+
+    #[test]
+    fn spark_scoring_mode_works() {
+        let db = generate_dblp(&DblpConfig {
+            n_papers: 60,
+            n_authors: 30,
+            ..Default::default()
+        });
+        let engine = RelationalEngine::with_config(
+            &db,
+            RelationalConfig {
+                scoring: Scoring::Spark,
+                ..Default::default()
+            },
+        );
+        let hits = engine.search("data query", 5).unwrap();
+        assert!(!hits.is_empty());
+        assert!(hits.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn xml_search_ranks_small_results_first() {
+        let tree = kwdb_datasets::generate_bib_xml(&Default::default());
+        let ix = XmlIndex::build(&tree);
+        let hits = xml_search(&tree, &ix, "data query", 10).unwrap();
+        if hits.len() >= 2 {
+            assert!(hits[0].score >= hits[1].score);
+        }
+    }
+}

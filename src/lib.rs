@@ -1,0 +1,44 @@
+//! # kwdb — keyword-based search and exploration on databases
+//!
+//! A comprehensive Rust implementation of the technique families surveyed
+//! in the ICDE 2011 tutorial *Keyword-based Search and Exploration on
+//! Databases* (Chen, Wang & Liu): relational keyword search via candidate
+//! networks (DISCOVER/SPARK), graph search (BANKS, DPBF, BLINKS, EASE),
+//! XML search (SLCA/ELCA, XSeek, XReal), keyword-ambiguity handling
+//! (cleaning, completion, rewriting), query forms, result exploration
+//! (differentiation, clustering, facets), and an evaluation kit.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use kwdb::engine::RelationalEngine;
+//! use kwdb::datasets::{generate_dblp, DblpConfig};
+//!
+//! let db = generate_dblp(&DblpConfig { n_papers: 100, ..Default::default() });
+//! let engine = RelationalEngine::new(&db);
+//! let hits = engine.search("widom data", 5).unwrap();
+//! for hit in &hits {
+//!     println!("{:.3}  {}", hit.score, hit.rendered);
+//! }
+//! ```
+//!
+//! Each sub-crate is re-exported under a short module name; the
+//! [`engine`] module offers one-call entry points per data model.
+
+pub use kwdb_common as common;
+pub use kwdb_datasets as datasets;
+pub use kwdb_eval as eval;
+pub use kwdb_explore as explore;
+pub use kwdb_forms as forms;
+pub use kwdb_graph as graph;
+pub use kwdb_graphsearch as graphsearch;
+pub use kwdb_qclean as qclean;
+pub use kwdb_rank as rank;
+pub use kwdb_relational as relational;
+pub use kwdb_relsearch as relsearch;
+pub use kwdb_xml as xml;
+pub use kwdb_xmlsearch as xmlsearch;
+
+pub mod engine;
+
+pub use common::{KwdbError, Result};

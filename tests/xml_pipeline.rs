@@ -1,0 +1,113 @@
+//! Integration: the XML stack on generated documents — LCA-family
+//! containments, inference, snippets and the axioms, together.
+
+use kwdb::datasets::xmlgen::{
+    generate_bib_xml, generate_movies, generate_slca_workload, BibConfig,
+};
+use kwdb::eval::axioms::{
+    check_data_consistency, check_data_monotonicity, check_query_consistency,
+    check_query_monotonicity, SlcaEngine,
+};
+use kwdb::xml::{PathStats, XmlIndex};
+use kwdb::xmlsearch::elca::{elca, elca_brute_force};
+use kwdb::xmlsearch::slca::{
+    multiway_slca, slca_brute_force, slca_indexed_lookup_eager, slca_scan_eager,
+};
+use kwdb::xmlsearch::{snippet, xreal};
+
+#[test]
+fn lca_family_containments_on_generated_bib() {
+    let tree = generate_bib_xml(&BibConfig::default());
+    let ix = XmlIndex::build(&tree);
+    for query in [
+        vec!["data", "query"],
+        vec!["xml", "widom"],
+        vec!["paper", "data"],
+    ] {
+        let brute_s = slca_brute_force(&tree, &ix, &query);
+        let (ile, _) = slca_indexed_lookup_eager(&tree, &ix, &query).unwrap();
+        let (scan, _) = slca_scan_eager(&tree, &ix, &query).unwrap();
+        let (multi, _) = multiway_slca(&tree, &ix, &query).unwrap();
+        assert_eq!(ile, brute_s, "{query:?}");
+        assert_eq!(scan, brute_s, "{query:?}");
+        assert_eq!(multi, brute_s, "{query:?}");
+        let (e, _) = elca(&tree, &ix, &query).unwrap();
+        assert_eq!(e, elca_brute_force(&tree, &ix, &query), "{query:?}");
+        // SLCA ⊆ ELCA
+        for n in &ile {
+            assert!(e.contains(n), "SLCA {n:?} missing from ELCA for {query:?}");
+        }
+    }
+}
+
+#[test]
+fn slca_work_scales_with_smallest_list() {
+    // |S_max| fixed, |S_min| swept: ILE's anchor count tracks |S_min|.
+    let mut anchor_counts = Vec::new();
+    for n_rare in [5usize, 50, 200] {
+        let tree = generate_slca_workload(20, 2000, n_rare, 7);
+        let ix = XmlIndex::build(&tree);
+        let (_, stats) = slca_indexed_lookup_eager(&tree, &ix, &["common", "rare"]).unwrap();
+        assert_eq!(stats.anchors, n_rare, "driver must be the smallest list");
+        anchor_counts.push(stats.anchors);
+    }
+    assert!(anchor_counts.windows(2).all(|w| w[0] < w[1]));
+}
+
+#[test]
+fn xreal_prefers_the_populated_branch() {
+    let tree = generate_bib_xml(&BibConfig {
+        n_conferences: 6,
+        n_journals: 1,
+        papers_per_venue: 15,
+        ..Default::default()
+    });
+    let stats = PathStats::build(&tree);
+    let ranked = xreal::infer_return_types(&stats, &["data", "query"]);
+    assert!(!ranked.is_empty());
+    let conf_pos = ranked.iter().position(|t| t.path == "/bib/conf/paper");
+    let journal_pos = ranked.iter().position(|t| t.path == "/bib/journal/paper");
+    if let (Some(c), Some(j)) = (conf_pos, journal_pos) {
+        assert!(c < j, "six conferences of papers must outrank one journal");
+    }
+}
+
+#[test]
+fn snippets_fit_budget_and_witness_keywords() {
+    let tree = generate_movies(10, 3);
+    let ix = XmlIndex::build(&tree);
+    let query = ["shining"];
+    let (results, _) = slca_indexed_lookup_eager(&tree, &ix, &query).unwrap();
+    assert!(!results.is_empty());
+    for &r in &results {
+        // snip at the movie level for context
+        let root = if tree.label(r) == "movie" {
+            r
+        } else {
+            tree.parent(r).unwrap_or(r)
+        };
+        let snip = snippet::generate(&tree, root, &query, 6);
+        assert!(snip.nodes.len() <= 6);
+        assert!(snip.render(&tree).to_lowercase().contains("shining"));
+    }
+}
+
+#[test]
+fn axioms_hold_for_the_slca_engine_on_generated_data() {
+    let tree = generate_bib_xml(&BibConfig {
+        n_conferences: 2,
+        n_journals: 1,
+        papers_per_venue: 5,
+        ..Default::default()
+    });
+    let engine = SlcaEngine;
+    let q: Vec<String> = vec!["data".into()];
+    assert!(check_query_monotonicity(&engine, &tree, &q, "query").is_satisfied());
+    assert!(check_query_consistency(&engine, &tree, &q, "query").is_satisfied());
+    // pick some paper node to extend
+    let paper = tree.iter().find(|&n| tree.label(n) == "paper").unwrap();
+    assert!(
+        check_data_monotonicity(&engine, &tree, &q, paper, "note", "fresh data").is_satisfied()
+    );
+    assert!(check_data_consistency(&engine, &tree, &q, paper, "note", "fresh data").is_satisfied());
+}
