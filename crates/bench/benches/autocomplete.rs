@@ -1,6 +1,6 @@
 //! E10 bench: trie prefix ranges and TASTIER pruning vs vocabulary size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kwdb_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kwdb_datasets::products::generate_laptops;
 use kwdb_qclean::autocomplete::{tastier_search, ForwardIndex, Trie};
 use kwdb_qclean::spell::SpellCorrector;

@@ -1,7 +1,7 @@
 //! E02 bench: candidate-network generation cost vs keyword count and Tmax,
 //! with the canonical-dedup ablation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kwdb_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kwdb_relational::database::dblp_schema;
 use kwdb_relational::Database;
 use kwdb_relsearch::cn::{CnGenConfig, CnGenerator, MaskOracle};

@@ -1,6 +1,6 @@
 //! E15 bench: greedy navigation-tree construction vs result-set size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kwdb_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kwdb_explore::facets::{build_fixed, build_greedy, FacetTable, LogModel, LogQuery};
 
 fn table(n: usize) -> FacetTable {

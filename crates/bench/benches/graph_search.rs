@@ -1,6 +1,6 @@
 //! E05/E20 bench: graph engines on random graphs of growing size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kwdb_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kwdb_datasets::graphs::{generate_graph, GraphConfig};
 use kwdb_graphsearch::{blinks::Blinks, BanksI, BanksII, Dpbf};
 
@@ -26,7 +26,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| BanksII::new(&g).search(&kws, 1).len())
         });
         group.bench_with_input(BenchmarkId::new("blinks_query", n), &n, |b, _| {
-            let mut bl = Blinks::new(&g);
+            let bl = Blinks::new(&g);
             let ix = bl.build_index(&kws);
             b.iter(|| bl.search(&ix, &kws, 1).len())
         });

@@ -1,7 +1,7 @@
 //! E19 bench: hub-index build/query vs plain Dijkstra, and the
 //! hub-selection ablation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kwdb_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kwdb_datasets::graphs::{generate_graph, GraphConfig};
 use kwdb_graph::hub::{HubIndex, HubSelection};
 use kwdb_graph::shortest::distance;

@@ -1,7 +1,7 @@
 //! E22 bench: real multi-threaded CN execution under the different
 //! partitioning strategies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kwdb_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kwdb_datasets::{generate_dblp, DblpConfig};
 use kwdb_relational::ExecStats;
 use kwdb_relsearch::cn::{CnGenConfig, CnGenerator, MaskOracle};

@@ -1,7 +1,7 @@
 //! E07 bench: SPARK's non-monotonic top-k algorithms, including the
 //! block-size ablation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kwdb_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kwdb_datasets::{generate_dblp, DblpConfig};
 use kwdb_relational::ExecStats;
 use kwdb_relsearch::cn::{CnGenConfig, CnGenerator, MaskOracle};

@@ -1,6 +1,6 @@
 //! E06 bench: Naive vs Sparse vs Global Pipeline at different k.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kwdb_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kwdb_datasets::{generate_dblp, DblpConfig};
 use kwdb_relational::ExecStats;
 use kwdb_relsearch::cn::{CnGenConfig, CnGenerator, MaskOracle};

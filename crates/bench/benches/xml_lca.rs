@@ -1,6 +1,6 @@
 //! E04 bench: SLCA algorithms vs |S_min| at fixed |S_max|, plus ELCA.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kwdb_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kwdb_datasets::xmlgen::generate_slca_workload;
 use kwdb_xml::XmlIndex;
 use kwdb_xmlsearch::elca::elca;

@@ -145,7 +145,7 @@ pub fn e20_blinks() -> Report {
         ..Default::default()
     });
     let kws = ["kw0", "kw1"];
-    let mut bl = Blinks::new(&g);
+    let bl = Blinks::new(&g);
     let ix = bl.build_index(&kws);
     let mut rows = vec![format!(
         "{:>3} {:>14} {:>14} {:>12}",
@@ -157,7 +157,9 @@ pub fn e20_blinks() -> Report {
         let _ = banks.search(&kws, k);
         rows.push(format!(
             "{k:>3} {:>14} {:>14} {:>12}",
-            bl.sorted_accesses, bl.random_accesses, banks.nodes_expanded
+            bl.sorted_accesses(),
+            bl.random_accesses(),
+            banks.nodes_expanded
         ));
         assert!(!res.is_empty());
     }
@@ -182,7 +184,7 @@ pub fn e34_semantics_zoo() -> Report {
     let kws = ["kw0", "kw1"];
     let mut dpbf = Dpbf::new(&g);
     let steiner = dpbf.search(&kws, 5);
-    let mut bl = Blinks::new(&g);
+    let bl = Blinks::new(&g);
     let ix = bl.build_index(&kws);
     let droot = bl.search(&ix, &kws, 5);
     let cores = community::search(&g, &kws, 4.0, 50);

@@ -4,6 +4,7 @@
 //! records the outputs next to the paper's claims.
 
 pub mod experiments;
+pub mod harness;
 
 /// One experiment's regenerated "table".
 #[derive(Debug, Clone)]

@@ -1,0 +1,239 @@
+//! Execution budgets and per-query statistics — the observability and
+//! robustness substrate every engine threads through its pipeline.
+//!
+//! A [`Budget`] caps how long a single query may run (wall-clock deadline)
+//! and how many candidates it may consider (candidate networks for the
+//! relational engines, expanded answer roots for the graph engines, result
+//! subtrees for XML). Engines check it at phase boundaries and inside their
+//! top-k loops; an exhausted budget makes them return the best results found
+//! so far, flagged as truncated, instead of running unbounded — the
+//! industrial-strength behaviour of Baid et al. (ICDE 10) generalized to all
+//! three data models.
+//!
+//! [`QueryStats`] is the matching observability record: per-phase wall-clock
+//! timings, the operator counters the tutorial compares engines on, candidate
+//! and pruned counts, and plan-cache hit/miss counters. Every search through
+//! the unified API returns one instead of dropping it on the floor.
+
+use std::time::{Duration, Instant};
+
+/// A per-query execution budget.
+///
+/// The default budget is unlimited; builders add constraints:
+///
+/// ```
+/// use kwdb_common::budget::Budget;
+/// use std::time::Duration;
+/// let b = Budget::unlimited()
+///     .with_timeout(Duration::from_millis(50))
+///     .with_max_candidates(10_000);
+/// assert!(!b.exhausted());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Budget {
+    /// Absolute wall-clock deadline; `None` = no time limit.
+    deadline: Option<Instant>,
+    /// Cap on candidates considered (CNs evaluated, roots expanded…);
+    /// `None` = no cap.
+    max_candidates: Option<u64>,
+}
+
+impl Budget {
+    /// A budget with no constraints — every check passes.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Constrain by a deadline `timeout` from now.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Constrain by an absolute deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Constrain the number of candidates considered.
+    pub fn with_max_candidates(mut self, n: u64) -> Self {
+        self.max_candidates = Some(n);
+        self
+    }
+
+    /// True if the deadline has passed (cheap: one `Instant::now()`).
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// True if `candidates` exceeds the candidate cap.
+    pub fn candidates_exceeded(&self, candidates: u64) -> bool {
+        self.max_candidates.is_some_and(|m| candidates >= m)
+    }
+
+    /// True if any constraint is violated given `candidates` consumed.
+    pub fn exhausted_at(&self, candidates: u64) -> bool {
+        self.candidates_exceeded(candidates) || self.deadline_exceeded()
+    }
+
+    /// True if the deadline alone is violated (candidate-free check for
+    /// phase boundaries).
+    pub fn exhausted(&self) -> bool {
+        self.deadline_exceeded()
+    }
+
+    /// Whether this budget constrains anything at all.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_candidates.is_none()
+    }
+
+    /// The candidate cap, if any.
+    pub fn max_candidates(&self) -> Option<u64> {
+        self.max_candidates
+    }
+
+    /// Remaining wall-clock time, if a deadline is set.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+/// Wall-clock timings of the pipeline phases every engine shares.
+///
+/// Phases a given engine does not have (XML has no CN generation) stay at
+/// zero. `candidates` covers "build the per-keyword material" — tuple sets
+/// for relational, the node→keyword index for BLINKS, inverted-list lookups
+/// for XML.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Query-string parsing / keyword extraction.
+    pub parse: Duration,
+    /// Tuple-set build / keyword-index build / inverted-list lookup.
+    pub build: Duration,
+    /// Candidate-network generation / answer enumeration setup.
+    pub plan: Duration,
+    /// Top-k evaluation (the main loop).
+    pub evaluate: Duration,
+}
+
+impl PhaseTimings {
+    /// Sum over all phases.
+    pub fn total(&self) -> Duration {
+        self.parse + self.build + self.plan + self.evaluate
+    }
+}
+
+/// Operator-level counters, mirroring `ExecStats` from the relational
+/// storage layer so the unified response type needs no dependency on it.
+/// Graph engines report sorted/random index accesses; XML engines report
+/// scanned inverted-list entries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OperatorCounts {
+    pub tuples_scanned: u64,
+    pub join_probes: u64,
+    pub joins_executed: u64,
+    pub rows_output: u64,
+    /// Sorted index accesses (BLINKS TA, inverted-list cursors).
+    pub sorted_accesses: u64,
+    /// Random index accesses (BLINKS TA probes).
+    pub random_accesses: u64,
+}
+
+/// Everything a single query execution reports back.
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// Per-phase wall-clock timings.
+    pub phases: PhaseTimings,
+    /// Operator counters accumulated during evaluation.
+    pub operators: OperatorCounts,
+    /// Candidates generated (CNs, graph roots discovered, XML roots).
+    pub candidates_generated: u64,
+    /// Candidates pruned/skipped by bounds or the budget.
+    pub candidates_pruned: u64,
+    /// Plan-cache hits for this query (1 when the CN set came from cache).
+    pub cache_hits: u64,
+    /// Plan-cache misses for this query.
+    pub cache_misses: u64,
+}
+
+impl QueryStats {
+    pub fn new() -> Self {
+        QueryStats::default()
+    }
+}
+
+/// A tiny stopwatch for phase timing: `lap()` returns the time since the
+/// previous lap (or construction) and restarts.
+#[derive(Debug)]
+pub struct Stopwatch {
+    last: Instant,
+}
+
+impl Stopwatch {
+    pub fn start() -> Self {
+        Stopwatch {
+            last: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since the last lap; resets the lap marker.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let d = now - self.last;
+        self.last = now;
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let b = Budget::unlimited();
+        assert!(!b.exhausted());
+        assert!(!b.exhausted_at(u64::MAX - 1));
+        assert!(b.is_unlimited());
+        assert_eq!(b.remaining(), None);
+    }
+
+    #[test]
+    fn zero_timeout_exhausts_immediately() {
+        let b = Budget::unlimited().with_timeout(Duration::ZERO);
+        assert!(b.exhausted());
+        assert!(b.exhausted_at(0));
+        assert_eq!(b.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn candidate_cap_checks_count() {
+        let b = Budget::unlimited().with_max_candidates(10);
+        assert!(!b.exhausted_at(9));
+        assert!(b.exhausted_at(10));
+        assert!(b.exhausted_at(11));
+        assert!(!b.exhausted(), "no deadline set");
+    }
+
+    #[test]
+    fn generous_deadline_not_exceeded() {
+        let b = Budget::unlimited().with_timeout(Duration::from_secs(3600));
+        assert!(!b.exhausted());
+        assert!(b.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn stopwatch_laps_accumulate() {
+        let mut sw = Stopwatch::start();
+        let a = sw.lap();
+        let b = sw.lap();
+        let t = PhaseTimings {
+            parse: a,
+            evaluate: b,
+            ..Default::default()
+        };
+        assert_eq!(t.total(), a + b);
+    }
+}

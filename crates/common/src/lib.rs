@@ -7,14 +7,18 @@
 //! [top-k heaps](topk::TopK), string-edit distances for query cleaning, and a
 //! string [interner](intern::Interner) used by the graph and XML substrates.
 
+pub mod budget;
 pub mod error;
 pub mod intern;
+pub mod rng;
 pub mod strutil;
 pub mod text;
 pub mod topk;
 pub mod value;
 
+pub use budget::{Budget, OperatorCounts, PhaseTimings, QueryStats, Stopwatch};
 pub use error::{KwdbError, Result};
+pub use rng::Rng;
 pub use value::Value;
 
 /// An ordered `f64` wrapper for use in heaps and sorted maps.

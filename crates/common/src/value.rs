@@ -1,11 +1,10 @@
 //! Typed cell values shared by the relational, XML and graph substrates.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// The type of a [`Value`]; doubles as a column type in relational schemas.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ValueType {
     Int,
     Float,
@@ -30,7 +29,7 @@ impl fmt::Display for ValueType {
 /// `Float` is stored as raw bits for `Eq`/`Hash`; NaN never enters a database
 /// through the public constructors, so bitwise equality matches semantic
 /// equality in practice.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     Null,
     Int(i64),

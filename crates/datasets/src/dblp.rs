@@ -1,10 +1,9 @@
 //! DBLP-like relational database generator.
 
 use crate::words;
+use kwdb_common::Rng;
 use kwdb_relational::database::dblp_schema;
 use kwdb_relational::Database;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Generator configuration.
 #[derive(Debug, Clone, Copy)]
@@ -35,7 +34,7 @@ impl Default for DblpConfig {
 /// Generate a database with the classic DBLP schema
 /// (conference, author, paper, write, cite), text index built.
 pub fn generate_dblp(cfg: &DblpConfig) -> Database {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut db = Database::new();
     dblp_schema(&mut db).expect("static schema is valid");
 
@@ -56,7 +55,7 @@ pub fn generate_dblp(cfg: &DblpConfig) -> Database {
         .expect("valid row");
     }
     for pid in 0..cfg.n_papers {
-        let title_len = rng.gen_range(3..=7);
+        let title_len = rng.gen_range(3..=7usize);
         let cid = words::zipf(&mut rng, cfg.n_conferences) as i64;
         db.insert(
             "paper",
@@ -101,16 +100,16 @@ pub fn generate_dblp(cfg: &DblpConfig) -> Database {
 }
 
 /// Poisson-ish small-count sampler around `mean`.
-fn sample_count(rng: &mut StdRng, mean: f64) -> usize {
+fn sample_count(rng: &mut Rng, mean: f64) -> usize {
     let base = mean.floor() as usize;
     let frac = mean - base as f64;
-    base + usize::from(rng.gen::<f64>() < frac)
+    base + usize::from(rng.gen_f64() < frac)
 }
 
 /// A keyword-query generator over a database: picks terms actually present
 /// in the index, mixing common and rare ones.
 pub fn sample_queries(db: &Database, n: usize, len: usize, seed: u64) -> Vec<Vec<String>> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let ix = db.text_index();
     let mut terms: Vec<(String, usize)> = ix
         .terms()

@@ -1,9 +1,8 @@
 //! Random weighted data graphs with planted keywords, for the graph-search
 //! experiments (E05, E19, E20, E34).
 
+use kwdb_common::Rng;
 use kwdb_graph::{DataGraph, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration for a random graph.
 #[derive(Debug, Clone, Copy)]
@@ -33,7 +32,7 @@ impl Default for GraphConfig {
 /// Generate a connected random graph (a spanning backbone plus random
 /// extra edges) with keywords planted on random nodes.
 pub fn generate_graph(cfg: &GraphConfig) -> DataGraph {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let n = cfg.n_nodes.max(1);
     // decide keyword placement first
     let mut content = vec![String::new(); n];

@@ -1,9 +1,8 @@
 //! Product entity tables with query/click logs — the Keyword++ and
 //! query-cleaning substrate.
 
+use kwdb_common::Rng;
 use kwdb_relational::{ColumnType, Database, TableBuilder, TableId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 const BRANDS: &[(&str, &str)] = &[
     ("Lenovo", "ibm thinkpad business laptop"),
@@ -19,7 +18,7 @@ const MODELS: &[&str] = &["alpha", "bravo", "carbon", "delta", "edge", "flex"];
 /// Returns the database and the table id. Descriptions deliberately embed
 /// brand aliases ("ibm" for Lenovo) so Keyword++ has something to learn.
 pub fn generate_laptops(n: usize, seed: u64) -> (Database, TableId) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut db = Database::new();
     let t = db
         .create_table(
@@ -34,7 +33,7 @@ pub fn generate_laptops(n: usize, seed: u64) -> (Database, TableId) {
     for i in 0..n {
         let (brand, flavor) = BRANDS[i % BRANDS.len()];
         let model = MODELS[rng.gen_range(0..MODELS.len())];
-        let screen = [11.6, 12.5, 13.3, 14.0, 15.6, 17.3][rng.gen_range(0..6)];
+        let screen = [11.6, 12.5, 13.3, 14.0, 15.6, 17.3][rng.gen_range(0..6usize)];
         let price = 400 + 100 * rng.gen_range(0..20) as i64;
         let size_word = if screen < 13.0 {
             "small light portable"
@@ -62,7 +61,7 @@ pub fn generate_laptops(n: usize, seed: u64) -> (Database, TableId) {
 /// A product query log with the DQP structure Keyword++ needs: background
 /// queries plus foreground variants adding one modifier.
 pub fn product_query_log(seed: u64, n: usize) -> Vec<Vec<String>> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let modifiers = ["ibm", "small", "big", "gaming", "premium"];
     let mut log: Vec<Vec<String>> = vec![vec!["laptop".to_string()]];
     for _ in 0..n {
@@ -76,7 +75,7 @@ pub fn product_query_log(seed: u64, n: usize) -> Vec<Vec<String>> {
 /// Misspell a word deterministically: swap two adjacent characters or drop
 /// one, based on the seed.
 pub fn corrupt(word: &str, seed: u64) -> String {
-    let mut rng = StdRng::seed_from_u64(seed ^ word.len() as u64);
+    let mut rng = Rng::seed_from_u64(seed ^ word.len() as u64);
     let chars: Vec<char> = word.chars().collect();
     if chars.len() < 3 {
         return word.to_string();

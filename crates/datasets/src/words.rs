@@ -1,7 +1,6 @@
 //! Vocabulary and Zipf sampling for the generators.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use kwdb_common::Rng;
 
 /// Database-flavoured title vocabulary (ranked roughly by how common the
 /// term is in real venue titles, so Zipf sampling looks natural).
@@ -106,11 +105,11 @@ pub const VENUES: &[&str] = &[
 ];
 
 /// Sample an index in `0..n` under a Zipf(s≈1) distribution.
-pub fn zipf(rng: &mut StdRng, n: usize) -> usize {
+pub fn zipf(rng: &mut Rng, n: usize) -> usize {
     debug_assert!(n > 0);
     // inverse-CDF over harmonic weights, computed incrementally
     let h: f64 = (1..=n).map(|i| 1.0 / i as f64).sum();
-    let target = rng.gen::<f64>() * h;
+    let target = rng.gen_f64() * h;
     let mut acc = 0.0;
     for i in 1..=n {
         acc += 1.0 / i as f64;
@@ -122,7 +121,7 @@ pub fn zipf(rng: &mut StdRng, n: usize) -> usize {
 }
 
 /// A title of `len` Zipf-sampled distinct-ish words.
-pub fn title(rng: &mut StdRng, len: usize) -> String {
+pub fn title(rng: &mut Rng, len: usize) -> String {
     let mut words = Vec::with_capacity(len);
     for _ in 0..len {
         words.push(TITLE_WORDS[zipf(rng, TITLE_WORDS.len())]);
@@ -131,7 +130,7 @@ pub fn title(rng: &mut StdRng, len: usize) -> String {
 }
 
 /// A person name `first last`.
-pub fn person(rng: &mut StdRng) -> String {
+pub fn person(rng: &mut Rng) -> String {
     format!(
         "{} {}",
         FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())],
@@ -142,11 +141,10 @@ pub fn person(rng: &mut StdRng) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn zipf_is_skewed_toward_low_ranks() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let mut counts = [0usize; 10];
         for _ in 0..10_000 {
             counts[zipf(&mut rng, 10)] += 1;
@@ -157,15 +155,15 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let mut a = StdRng::seed_from_u64(42);
-        let mut b = StdRng::seed_from_u64(42);
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
         assert_eq!(title(&mut a, 4), title(&mut b, 4));
         assert_eq!(person(&mut a), person(&mut b));
     }
 
     #[test]
     fn titles_have_requested_length() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let t = title(&mut rng, 5);
         assert_eq!(t.split(' ').count(), 5);
     }

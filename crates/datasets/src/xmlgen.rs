@@ -2,9 +2,8 @@
 //! movie trees (for XSeek/snippets).
 
 use crate::words;
+use kwdb_common::Rng;
 use kwdb_xml::{XmlBuilder, XmlTree};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Bibliography generator configuration.
 #[derive(Debug, Clone, Copy)]
@@ -31,7 +30,7 @@ impl Default for BibConfig {
 /// `<bib><conf>…<paper><title/><author/>…` — the shape XReal's slide-37
 /// example assumes.
 pub fn generate_bib_xml(cfg: &BibConfig) -> XmlTree {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut b = XmlBuilder::new("bib");
     for (kind, count) in [("conf", cfg.n_conferences), ("journal", cfg.n_journals)] {
         for v in 0..count {
@@ -40,7 +39,7 @@ pub fn generate_bib_xml(cfg: &BibConfig) -> XmlTree {
             b.leaf("year", &(1998 + (v % 14)).to_string());
             for _ in 0..cfg.papers_per_venue {
                 b.open("paper");
-                let len = rng.gen_range(3..=6);
+                let len = rng.gen_range(3..=6usize);
                 b.leaf("title", &words::title(&mut rng, len));
                 for _ in 0..cfg.authors_per_paper {
                     b.leaf("author", &words::person(&mut rng));
@@ -62,7 +61,7 @@ pub fn generate_slca_workload(
     n_rare: usize,
     seed: u64,
 ) -> XmlTree {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = XmlBuilder::new("root");
     // distribute nodes round-robin over sections
     let mut slots: Vec<(bool, bool)> = Vec::new(); // (has_common, has_rare)
@@ -95,7 +94,7 @@ pub fn generate_slca_workload(
 
 /// IMDB-style movie tree (slide 27's running example).
 pub fn generate_movies(n_movies: usize, seed: u64) -> XmlTree {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let titles = [
         "shining",
         "simpsons",

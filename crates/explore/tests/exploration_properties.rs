@@ -1,24 +1,38 @@
-//! Property tests for the exploration algorithms.
+//! Property tests for the exploration algorithms, driven by a seeded PRNG.
 
+use kwdb_common::Rng;
 use kwdb_explore::diff::{brute_force, differentiate, Feature};
 use kwdb_explore::expand::f_measure;
 use kwdb_explore::facets::{build_greedy, FacetTable, LogModel, NavNode};
 use kwdb_explore::tableagg::{aggregate_search, AggTable};
-use proptest::prelude::*;
 use std::collections::HashSet;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn rand_pairs(rng: &mut Rng, lo: usize, hi: usize) -> Vec<(u8, u8)> {
+    let len = rng.gen_range(lo..hi);
+    (0..len)
+        .map(|_| (rng.gen_range(0u8..3), rng.gen_range(0u8..4)))
+        .collect()
+}
 
-    /// Greedy differentiation never loses to brute force on tiny inputs
-    /// (weak local optimality happens to reach the optimum there), and the
-    /// budget is always respected.
-    #[test]
-    fn differentiation_budget_and_quality(
-        r1 in proptest::collection::vec((0u8..3, 0u8..4), 1..4),
-        r2 in proptest::collection::vec((0u8..3, 0u8..4), 1..4),
-        budget in 1usize..3,
-    ) {
+fn rand_set(rng: &mut Rng, lo: usize, hi: usize) -> HashSet<usize> {
+    let len = rng.gen_range(lo..hi);
+    let mut s = HashSet::new();
+    while s.len() < len {
+        s.insert(rng.gen_index(10));
+    }
+    s
+}
+
+/// Greedy differentiation never loses to brute force on tiny inputs
+/// (weak local optimality happens to reach the optimum there), and the
+/// budget is always respected.
+#[test]
+fn differentiation_budget_and_quality() {
+    let mut rng = Rng::seed_from_u64(81);
+    for _ in 0..32 {
+        let r1 = rand_pairs(&mut rng, 1, 4);
+        let r2 = rand_pairs(&mut rng, 1, 4);
+        let budget = rng.gen_range(1usize..3);
         let to_features = |v: &[(u8, u8)]| -> Vec<Feature> {
             let mut fs: Vec<Feature> = v
                 .iter()
@@ -29,40 +43,50 @@ proptest! {
         };
         let results = vec![to_features(&r1), to_features(&r2)];
         let greedy = differentiate(&results, budget);
-        prop_assert!(greedy.selections.iter().all(|s| s.len() <= budget));
+        assert!(greedy.selections.iter().all(|s| s.len() <= budget));
         let opt = brute_force(&results, budget);
-        prop_assert!(greedy.dod <= opt.dod);
+        assert!(greedy.dod <= opt.dod);
         // every selected feature belongs to its result
         for (sel, r) in greedy.selections.iter().zip(&results) {
             for f in sel {
-                prop_assert!(r.contains(f));
+                assert!(r.contains(f));
             }
         }
     }
+}
 
-    /// F-measure is symmetric-bounded and perfect only on exact retrieval.
-    #[test]
-    fn f_measure_properties(
-        retrieved in proptest::collection::hash_set(0usize..10, 0..8),
-        cluster in proptest::collection::hash_set(0usize..10, 1..8),
-    ) {
+/// F-measure is symmetric-bounded and perfect only on exact retrieval.
+#[test]
+fn f_measure_properties() {
+    let mut rng = Rng::seed_from_u64(82);
+    for _ in 0..32 {
+        let retrieved = rand_set(&mut rng, 0, 8);
+        let cluster = rand_set(&mut rng, 1, 8);
         let f = f_measure(&retrieved, &cluster);
-        prop_assert!((0.0..=1.0).contains(&f));
+        assert!((0.0..=1.0).contains(&f));
         if f == 1.0 {
-            prop_assert_eq!(&retrieved, &cluster);
+            assert_eq!(&retrieved, &cluster);
         }
         if retrieved == cluster {
-            prop_assert_eq!(f, 1.0);
+            assert_eq!(f, 1.0);
         }
     }
+}
 
-    /// Every aggregate cluster really covers every phrase, and specific
-    /// clusters never coexist with identical star-duplicates.
-    #[test]
-    fn aggregate_clusters_cover(
-        months in proptest::collection::vec(0u8..3, 2..8),
-        texts in proptest::collection::vec(0u8..4, 2..8),
-    ) {
+/// Every aggregate cluster really covers every phrase, and specific
+/// clusters never coexist with identical star-duplicates.
+#[test]
+fn aggregate_clusters_cover() {
+    let mut rng = Rng::seed_from_u64(83);
+    for _ in 0..32 {
+        let months: Vec<u8> = {
+            let len = rng.gen_range(2usize..8);
+            (0..len).map(|_| rng.gen_range(0u8..3)).collect()
+        };
+        let texts: Vec<u8> = {
+            let len = rng.gen_range(2usize..8);
+            (0..len).map(|_| rng.gen_range(0u8..4)).collect()
+        };
         let n = months.len().min(texts.len());
         let vocab = ["pool", "motorcycle", "food", "pool motorcycle"];
         let table = AggTable {
@@ -76,24 +100,35 @@ proptest! {
         let clusters = aggregate_search(&table, &phrases);
         for c in &clusters {
             for p in &phrases {
-                let covered = c.rows.iter().any(|&r| {
-                    table.text[r].windows(p.len()).any(|w| w == p.as_slice())
-                });
-                prop_assert!(covered, "cluster {c:?} misses phrase {p:?}");
+                let covered = c
+                    .rows
+                    .iter()
+                    .any(|&r| table.text[r].windows(p.len()).any(|w| w == p.as_slice()));
+                assert!(covered, "cluster {c:?} misses phrase {p:?}");
             }
         }
         // no two clusters with identical rows
         let sigs: Vec<&Vec<usize>> = clusters.iter().map(|c| &c.rows).collect();
         let uniq: HashSet<_> = sigs.iter().collect();
-        prop_assert_eq!(uniq.len(), sigs.len());
+        assert_eq!(uniq.len(), sigs.len());
     }
+}
 
-    /// The greedy navigation tree never costs more than the flat list.
-    #[test]
-    fn greedy_tree_never_worse_than_flat(
-        rows in proptest::collection::vec((0u8..3, 0u8..3), 1..20),
-        log_attr in proptest::collection::vec(0u8..2, 0..6),
-    ) {
+/// The greedy navigation tree never costs more than the flat list.
+#[test]
+fn greedy_tree_never_worse_than_flat() {
+    let mut rng = Rng::seed_from_u64(84);
+    for _ in 0..32 {
+        let rows: Vec<(u8, u8)> = {
+            let len = rng.gen_range(1usize..20);
+            (0..len)
+                .map(|_| (rng.gen_range(0u8..3), rng.gen_range(0u8..3)))
+                .collect()
+        };
+        let log_attr: Vec<u8> = {
+            let len = rng.gen_index(6);
+            (0..len).map(|_| rng.gen_range(0u8..2)).collect()
+        };
         let table = FacetTable::new(
             vec!["a".into(), "b".into()],
             rows.iter()
@@ -108,6 +143,6 @@ proptest! {
         let all: Vec<usize> = (0..rows.len()).collect();
         let flat = NavNode::Leaf { rows: all.clone() };
         let greedy = build_greedy(&table, &model, all, 2);
-        prop_assert!(greedy.expected_cost(&model) <= flat.expected_cost(&model) + 1e-9);
+        assert!(greedy.expected_cost(&model) <= flat.expected_cost(&model) + 1e-9);
     }
 }

@@ -111,6 +111,12 @@ impl DataGraph {
     }
 
     /// Sorted nodes whose content contains `term`.
+    /// All distinct terms appearing in any node's content, in arbitrary
+    /// order — the graph's keyword vocabulary.
+    pub fn vocabulary(&self) -> impl Iterator<Item = &str> {
+        self.kw_index.keys().map(|s| s.as_str())
+    }
+
     pub fn keyword_nodes(&self, term: &str) -> &[NodeId] {
         self.kw_index.get(term).map(|v| v.as_slice()).unwrap_or(&[])
     }

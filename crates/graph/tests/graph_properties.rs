@@ -2,11 +2,11 @@
 //! Dijkstra, block partitions must cover every node exactly once, and the
 //! keyword-distance index must match direct shortest-path computation.
 
+use kwdb_common::Rng;
 use kwdb_graph::blocks::BlockPartition;
 use kwdb_graph::hub::{HubIndex, HubSelection};
 use kwdb_graph::shortest::distance;
 use kwdb_graph::{DataGraph, NodeId, NodeKeywordIndex};
-use proptest::prelude::*;
 
 fn build_graph(n: usize, edges: &[(u8, u8, u8)], keyword_nodes: &[u8]) -> DataGraph {
     let mut g = DataGraph::new();
@@ -24,69 +24,91 @@ fn build_graph(n: usize, edges: &[(u8, u8, u8)], keyword_nodes: &[u8]) -> DataGr
     g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+fn rand_edges(rng: &mut Rng, lo: usize, hi: usize) -> Vec<(u8, u8, u8)> {
+    let len = rng.gen_range(lo..hi);
+    (0..len)
+        .map(|_| {
+            (
+                rng.gen_range(0u8..=255),
+                rng.gen_range(0u8..=255),
+                rng.gen_range(0u8..=255),
+            )
+        })
+        .collect()
+}
 
-    #[test]
-    fn hub_index_always_exact(
-        n in 2usize..12,
-        edges in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..24),
-        n_hubs in 0usize..4,
-    ) {
+#[test]
+fn hub_index_always_exact() {
+    let mut rng = Rng::seed_from_u64(71);
+    for _ in 0..40 {
+        let n = rng.gen_range(2usize..12);
+        let edges = rand_edges(&mut rng, 1, 24);
+        let n_hubs = rng.gen_index(4);
         let g = build_graph(n, &edges, &[]);
         let ix = HubIndex::build(&g, n_hubs, HubSelection::HighestDegree);
         for i in 0..n {
             for j in 0..n {
                 let (a, b) = (NodeId(i as u32), NodeId(j as u32));
-                prop_assert_eq!(ix.distance(a, b), distance(&g, a, b),
-                    "hub index wrong for {:?}→{:?}", a, b);
+                assert_eq!(
+                    ix.distance(a, b),
+                    distance(&g, a, b),
+                    "hub index wrong for {a:?}→{b:?}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn block_partition_covers_exactly_once(
-        n in 1usize..30,
-        edges in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..40),
-        blocks in 1usize..6,
-    ) {
+#[test]
+fn block_partition_covers_exactly_once() {
+    let mut rng = Rng::seed_from_u64(72);
+    for _ in 0..40 {
+        let n = rng.gen_range(1usize..30);
+        let edges = rand_edges(&mut rng, 0, 40);
+        let blocks = rng.gen_range(1usize..6);
         let g = build_graph(n, &edges, &[]);
         let p = BlockPartition::build(&g, blocks);
-        prop_assert_eq!(p.block_of.len(), n);
+        assert_eq!(p.block_of.len(), n);
         let total: usize = p.blocks.iter().map(|b| b.len()).sum();
-        prop_assert_eq!(total, n);
+        assert_eq!(total, n);
         // consistency between the two views
         for (bi, members) in p.blocks.iter().enumerate() {
             for m in members {
-                prop_assert_eq!(p.block_of[m], bi);
+                assert_eq!(p.block_of[m], bi);
             }
         }
         // portals really have cross-block edges
         for &u in &p.portals {
-            prop_assert!(g.neighbors(u).iter().any(|&(v, _)| p.block_of[&u] != p.block_of[&v]));
+            assert!(g
+                .neighbors(u)
+                .iter()
+                .any(|&(v, _)| p.block_of[&u] != p.block_of[&v]));
         }
     }
+}
 
-    #[test]
-    fn keyword_index_matches_direct_search(
-        n in 2usize..10,
-        edges in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..20),
-        kw_nodes in proptest::collection::vec(any::<u8>(), 1..4),
-    ) {
+#[test]
+fn keyword_index_matches_direct_search() {
+    let mut rng = Rng::seed_from_u64(73);
+    for _ in 0..40 {
+        let n = rng.gen_range(2usize..10);
+        let edges = rand_edges(&mut rng, 1, 20);
+        let n_kw = rng.gen_range(1usize..4);
+        let kw_nodes: Vec<u8> = (0..n_kw).map(|_| rng.gen_range(0u8..=255)).collect();
         let g = build_graph(n, &edges, &kw_nodes);
         let ix = NodeKeywordIndex::build(&g, &["kw"], None);
         let sources = g.keyword_nodes("kw");
-        prop_assert!(!sources.is_empty());
+        assert!(!sources.is_empty());
         for node in g.iter() {
             let direct = sources
                 .iter()
                 .filter_map(|&s| distance(&g, node, s))
                 .fold(None::<f64>, |acc, d| Some(acc.map_or(d, |a| a.min(d))));
-            prop_assert_eq!(ix.dist(node, "kw"), direct, "node {:?}", node);
+            assert_eq!(ix.dist(node, "kw"), direct, "node {node:?}");
         }
         // sorted list is ascending and complete
         let list = ix.sorted_list("kw");
-        prop_assert!(list.windows(2).all(|w| w[0].1 <= w[1].1));
-        prop_assert_eq!(list.len(), ix.entry_count());
+        assert!(list.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(list.len(), ix.entry_count());
     }
 }

@@ -139,7 +139,7 @@ pub fn union_weight(g: &DataGraph, trees: &[AnswerTree]) -> f64 {
 mod tests {
     use super::*;
     use crate::dpbf::{brute_force_gst_cost, Dpbf};
-    use proptest::prelude::*;
+    use kwdb_common::Rng;
 
     fn slide30() -> DataGraph {
         let mut g = DataGraph::new();
@@ -181,61 +181,89 @@ mod tests {
         assert_eq!(approximation_factor(3), 3.0);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(40))]
-        /// Heuristic cost is within l × optimal, and ≥ optimal.
-        #[test]
-        fn within_guarantee(
-            n in 3usize..9,
-            edges in proptest::collection::vec((0usize..9, 0usize..9, 1u32..6), 3..20),
-            seeds in proptest::collection::vec(0usize..9, 2..4),
-        ) {
+    #[test]
+    fn within_guarantee() {
+        // Heuristic cost is within l x optimal, and >= optimal.
+        let mut rng = Rng::seed_from_u64(31);
+        for _ in 0..40 {
+            let n = rng.gen_range(3usize..9);
+            let n_edges = rng.gen_range(3usize..20);
+            let n_seeds = rng.gen_range(2usize..4);
+            let seeds: Vec<usize> = (0..n_seeds).map(|_| rng.gen_index(9)).collect();
             let mut g = DataGraph::new();
             let mut kw_of = vec![String::new(); n];
             for (i, s) in seeds.iter().enumerate() {
                 let node = s % n;
-                if !kw_of[node].is_empty() { kw_of[node].push(' '); }
+                if !kw_of[node].is_empty() {
+                    kw_of[node].push(' ');
+                }
                 kw_of[node].push_str(&format!("kw{i}"));
             }
             let ids: Vec<NodeId> = (0..n).map(|i| g.add_node("n", &kw_of[i])).collect();
-            for (u, v, w) in edges {
-                if u % n != v % n { g.add_edge(ids[u % n], ids[v % n], w as f64); }
+            for _ in 0..n_edges {
+                let (u, v) = (rng.gen_index(9), rng.gen_index(9));
+                let w = rng.gen_range(1u32..6);
+                if u % n != v % n {
+                    g.add_edge(ids[u % n], ids[v % n], w as f64);
+                }
             }
             let keywords: Vec<String> = (0..seeds.len()).map(|i| format!("kw{i}")).collect();
             let heur = spt_heuristic(&g, &keywords);
             let opt = brute_force_gst_cost(&g, &keywords);
             match (heur, opt) {
                 (Some(t), Some(o)) => {
-                    prop_assert!(t.validate(&g, &keywords).is_ok());
-                    prop_assert!(t.cost + 1e-9 >= o, "heuristic beat optimum?");
-                    prop_assert!(t.cost <= keywords.len() as f64 * o + 1e-9,
-                        "guarantee violated: {} > {} * {}", t.cost, keywords.len(), o);
+                    assert!(t.validate(&g, &keywords).is_ok());
+                    assert!(t.cost + 1e-9 >= o, "heuristic beat optimum?");
+                    assert!(
+                        t.cost <= keywords.len() as f64 * o + 1e-9,
+                        "guarantee violated: {} > {} * {}",
+                        t.cost,
+                        keywords.len(),
+                        o
+                    );
                 }
                 (None, None) => {}
-                (h, o) => prop_assert!(false, "feasibility mismatch {h:?} {o:?}"),
+                (h, o) => panic!("feasibility mismatch {h:?} {o:?}"),
             }
         }
+    }
 
-        /// Sanity against DPBF on random graphs.
-        #[test]
-        fn never_beats_dpbf(
-            edges in proptest::collection::vec((0usize..7, 0usize..7, 1u32..5), 3..15),
-        ) {
+    /// Sanity against DPBF on random graphs.
+    #[test]
+    fn never_beats_dpbf() {
+        let mut rng = Rng::seed_from_u64(32);
+        for _ in 0..40 {
+            let n_edges = rng.gen_range(3usize..15);
             let mut g = DataGraph::new();
             let ids: Vec<NodeId> = (0..7)
-                .map(|i| g.add_node("n", if i == 0 { "aa" } else if i == 6 { "bb" } else { "" }))
+                .map(|i| {
+                    g.add_node(
+                        "n",
+                        if i == 0 {
+                            "aa"
+                        } else if i == 6 {
+                            "bb"
+                        } else {
+                            ""
+                        },
+                    )
+                })
                 .collect();
-            for (u, v, w) in edges {
-                if u != v { g.add_edge(ids[u], ids[v], w as f64); }
+            for _ in 0..n_edges {
+                let (u, v) = (rng.gen_index(7), rng.gen_index(7));
+                let w = rng.gen_range(1u32..5);
+                if u != v {
+                    g.add_edge(ids[u], ids[v], w as f64);
+                }
             }
             let kws = ["aa", "bb"];
             let heur = spt_heuristic(&g, &kws);
             let mut dp = Dpbf::new(&g);
             let opt = dp.search(&kws, 1);
             match (heur, opt.first()) {
-                (Some(t), Some(o)) => prop_assert!(t.cost + 1e-9 >= o.cost),
+                (Some(t), Some(o)) => assert!(t.cost + 1e-9 >= o.cost),
                 (None, None) => {}
-                (h, o) => prop_assert!(false, "feasibility mismatch {h:?} {o:?}"),
+                (h, o) => panic!("feasibility mismatch {h:?} {o:?}"),
             }
         }
     }

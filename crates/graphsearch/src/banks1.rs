@@ -19,7 +19,7 @@
 //! gap against DPBF.
 
 use crate::answer::{norm_edge, AnswerTree};
-use kwdb_common::{topk::TopK, Score};
+use kwdb_common::{topk::TopK, Budget, Score};
 use kwdb_graph::{DataGraph, NodeId};
 use std::collections::{BinaryHeap, HashMap};
 
@@ -111,15 +111,28 @@ impl<'g> BanksI<'g> {
 
     /// Top-k answers by distinct-root cost, best first.
     pub fn search<S: AsRef<str>>(&mut self, keywords: &[S], k: usize) -> Vec<AnswerTree> {
+        self.search_budgeted(keywords, k, &Budget::unlimited()).0
+    }
+
+    /// [`Self::search`] under an execution [`Budget`]: every node settled
+    /// counts as one candidate; an exhausted budget returns the (cost-sorted)
+    /// answers found so far with `true` (truncated).
+    pub fn search_budgeted<S: AsRef<str>>(
+        &mut self,
+        keywords: &[S],
+        k: usize,
+        budget: &Budget,
+    ) -> (Vec<AnswerTree>, bool) {
         let l = keywords.len();
+        let mut truncated = false;
         if l == 0 || k == 0 {
-            return Vec::new();
+            return (Vec::new(), truncated);
         }
         let mut groups: Vec<GroupExpansion> = Vec::with_capacity(l);
         for kw in keywords {
             let sources = self.g.keyword_nodes(kw.as_ref());
             if sources.is_empty() {
-                return Vec::new();
+                return (Vec::new(), truncated);
             }
             groups.push(GroupExpansion::new(sources));
         }
@@ -127,8 +140,14 @@ impl<'g> BanksI<'g> {
         let mut settled_by: HashMap<NodeId, u32> = HashMap::new();
         let full: u32 = (1 << l) - 1;
         let mut topk: TopK<NodeId> = TopK::new(k);
+        let mut settled: u64 = 0;
 
         loop {
+            if budget.exhausted_at(settled) {
+                truncated = true;
+                break;
+            }
+            settled += 1;
             // Equi-distance: settle from the expansion with smallest frontier.
             let next = groups
                 .iter()
@@ -160,10 +179,12 @@ impl<'g> BanksI<'g> {
             }
         }
 
-        topk.into_sorted_vec()
+        let trees = topk
+            .into_sorted_vec()
             .into_iter()
             .map(|(neg_cost, root)| self.build_tree(root, -neg_cost, &groups, l))
-            .collect()
+            .collect();
+        (trees, truncated)
     }
 
     fn build_tree(

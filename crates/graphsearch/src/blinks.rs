@@ -15,28 +15,42 @@
 
 use crate::answer::{norm_edge, AnswerTree};
 use kwdb_common::topk::TopK;
+use kwdb_common::Budget;
 use kwdb_graph::shortest::dijkstra;
 use kwdb_graph::{DataGraph, NodeId, NodeKeywordIndex};
+use std::cell::Cell;
 use std::collections::HashSet;
 
-/// The BLINKS engine. Holds a prebuilt index so repeated queries over the
-/// same keyword vocabulary amortize construction.
+/// The BLINKS engine. The index is caller-owned ([`Self::build_index`] /
+/// [`Self::build_full_index`]) so repeated queries over the same graph
+/// amortize construction; `search` takes `&self`, so one engine can serve
+/// many queries (access counters are interior-mutable).
 #[derive(Debug)]
 pub struct Blinks<'g> {
     g: &'g DataGraph,
     /// Sorted accesses performed in the last search.
-    pub sorted_accesses: usize,
+    sorted_accesses: Cell<usize>,
     /// Random accesses performed in the last search.
-    pub random_accesses: usize,
+    random_accesses: Cell<usize>,
 }
 
 impl<'g> Blinks<'g> {
     pub fn new(g: &'g DataGraph) -> Self {
         Blinks {
             g,
-            sorted_accesses: 0,
-            random_accesses: 0,
+            sorted_accesses: Cell::new(0),
+            random_accesses: Cell::new(0),
         }
+    }
+
+    /// Sorted accesses performed in the last search.
+    pub fn sorted_accesses(&self) -> usize {
+        self.sorted_accesses.get()
+    }
+
+    /// Random accesses performed in the last search.
+    pub fn random_accesses(&self) -> usize {
+        self.random_accesses.get()
     }
 
     /// Build the node→keyword index for `keywords` (callers may cache it).
@@ -44,25 +58,48 @@ impl<'g> Blinks<'g> {
         NodeKeywordIndex::build(self.g, keywords, None)
     }
 
+    /// Build the index over the graph's *entire* vocabulary, so one index
+    /// serves every query against this graph (what the unified engine
+    /// caches).
+    pub fn build_full_index(&self) -> NodeKeywordIndex {
+        let vocab: Vec<&str> = self.g.vocabulary().collect();
+        NodeKeywordIndex::build(self.g, &vocab, None)
+    }
+
     /// Top-k distinct-root answers, best first.
     pub fn search<S: AsRef<str>>(
-        &mut self,
+        &self,
         index: &NodeKeywordIndex,
         keywords: &[S],
         k: usize,
     ) -> Vec<AnswerTree> {
-        self.sorted_accesses = 0;
-        self.random_accesses = 0;
+        self.search_budgeted(index, keywords, k, &Budget::unlimited())
+            .0
+    }
+
+    /// [`Self::search`] under an execution [`Budget`]: every sorted access
+    /// counts as one candidate; an exhausted budget returns the (cost-sorted)
+    /// answers found so far with `true` (truncated).
+    pub fn search_budgeted<S: AsRef<str>>(
+        &self,
+        index: &NodeKeywordIndex,
+        keywords: &[S],
+        k: usize,
+        budget: &Budget,
+    ) -> (Vec<AnswerTree>, bool) {
+        self.sorted_accesses.set(0);
+        self.random_accesses.set(0);
         let l = keywords.len();
+        let mut truncated = false;
         if l == 0 || k == 0 {
-            return Vec::new();
+            return (Vec::new(), truncated);
         }
         let lists: Vec<&[(NodeId, f64)]> = keywords
             .iter()
             .map(|kw| index.sorted_list(kw.as_ref()))
             .collect();
         if lists.iter().any(|lst| lst.is_empty()) {
-            return Vec::new();
+            return (Vec::new(), truncated);
         }
         let mut cursors = vec![0usize; l];
         let mut seen: HashSet<NodeId> = HashSet::new();
@@ -71,18 +108,22 @@ impl<'g> Blinks<'g> {
         'ta: loop {
             let mut any = false;
             for (i, list) in lists.iter().enumerate() {
+                if budget.exhausted_at(self.sorted_accesses.get() as u64) {
+                    truncated = true;
+                    break 'ta;
+                }
                 let Some(&(node, _)) = list.get(cursors[i]) else {
                     continue;
                 };
                 cursors[i] += 1;
-                self.sorted_accesses += 1;
+                self.sorted_accesses.set(self.sorted_accesses.get() + 1);
                 any = true;
                 if seen.insert(node) {
                     // random access: complete the root's score
                     let mut total = 0.0;
                     let mut complete = true;
                     for kw in keywords {
-                        self.random_accesses += 1;
+                        self.random_accesses.set(self.random_accesses.get() + 1);
                         match index.dist(node, kw.as_ref()) {
                             Some(d) => total += d,
                             None => {
@@ -116,10 +157,12 @@ impl<'g> Blinks<'g> {
             }
         }
 
-        topk.into_sorted_vec()
+        let trees = topk
+            .into_sorted_vec()
             .into_iter()
             .map(|(neg, root)| self.build_tree(index, keywords, root, -neg))
-            .collect()
+            .collect();
+        (trees, truncated)
     }
 
     /// Materialize a root's answer tree: shortest paths to each keyword's
@@ -183,7 +226,7 @@ mod tests {
     fn top1_matches_best_distinct_root() {
         let g = slide30();
         let kws = ["k1", "k2", "k3"];
-        let mut bl = Blinks::new(&g);
+        let bl = Blinks::new(&g);
         let ix = bl.build_index(&kws);
         let res = bl.search(&ix, &kws, 1);
         assert_eq!(res.len(), 1);
@@ -196,7 +239,7 @@ mod tests {
     fn topk_agrees_with_exhaustive_scan() {
         let g = slide30();
         let kws = ["k1", "k2"];
-        let mut bl = Blinks::new(&g);
+        let bl = Blinks::new(&g);
         let ix = bl.build_index(&kws);
         let res = bl.search(&ix, &kws, 3);
         // exhaustive: score every node by sum of index distances
@@ -229,14 +272,14 @@ mod tests {
             prev = n;
         }
         let kws = ["x", "y"];
-        let mut bl = Blinks::new(&g);
+        let bl = Blinks::new(&g);
         let ix = bl.build_index(&kws);
         let res = bl.search(&ix, &kws, 1);
         assert_eq!(res[0].cost, 0.0);
         assert!(
-            bl.sorted_accesses < 20,
+            bl.sorted_accesses() < 20,
             "TA should stop early, did {} accesses",
-            bl.sorted_accesses
+            bl.sorted_accesses()
         );
     }
 
@@ -244,7 +287,7 @@ mod tests {
     fn missing_keyword_is_empty() {
         let g = slide30();
         let kws = ["k1", "none"];
-        let mut bl = Blinks::new(&g);
+        let bl = Blinks::new(&g);
         let ix = bl.build_index(&kws);
         assert!(bl.search(&ix, &kws, 2).is_empty());
     }

@@ -3,10 +3,10 @@
 //! the edit budget, and the trie's prefix ranges must match naive filtering.
 
 use kwdb_common::strutil::damerau_levenshtein;
+use kwdb_common::Rng;
 use kwdb_qclean::autocomplete::Trie;
 use kwdb_qclean::segment::{clean_query, PhraseModel, ValuePhraseModel};
 use kwdb_qclean::spell::SpellCorrector;
-use proptest::prelude::*;
 
 const VOCAB: [&str; 6] = ["apple", "ipad", "ipod", "nano", "mini", "case"];
 
@@ -14,62 +14,81 @@ fn corrector() -> SpellCorrector {
     SpellCorrector::from_vocab(VOCAB.iter().map(|w| (w.to_string(), 10u64)))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every output token is within the edit budget of its input token, or
-    /// is a completion extending it.
-    #[test]
-    fn corrections_stay_within_budget(
-        words in proptest::collection::vec(0usize..6, 1..4),
-        corrupt_at in any::<u8>(),
-    ) {
+/// Every output token is within the edit budget of its input token, or
+/// is a completion extending it.
+#[test]
+fn corrections_stay_within_budget() {
+    let mut rng = Rng::seed_from_u64(81);
+    for _ in 0..48 {
+        let n = rng.gen_range(1usize..4);
+        let words: Vec<usize> = (0..n).map(|_| rng.gen_index(6)).collect();
+        let corrupt_at = rng.gen_range(0u8..=255);
         let corr = corrector();
         let model = ValuePhraseModel::from_values(&["apple ipad nano", "ipod mini case"]);
-        let mut tokens: Vec<String> =
-            words.iter().map(|&i| VOCAB[i].to_string()).collect();
+        let mut tokens: Vec<String> = words.iter().map(|&i| VOCAB[i].to_string()).collect();
         // corrupt one token by dropping its last char
         let idx = corrupt_at as usize % tokens.len();
         tokens[idx].pop();
         if tokens[idx].is_empty() {
-            return Ok(());
+            continue;
         }
         if let Some(cleaned) = clean_query(&corr, &model, &tokens, 2) {
             let out = cleaned.tokens();
-            prop_assert_eq!(out.len(), tokens.len());
+            assert_eq!(out.len(), tokens.len());
             for (inp, outp) in tokens.iter().zip(&out) {
                 let d = damerau_levenshtein(inp, outp);
                 let is_completion = outp.starts_with(inp.as_str());
-                prop_assert!(d <= 2 || is_completion,
-                    "{inp} → {outp} is {d} edits and not a completion");
+                assert!(
+                    d <= 2 || is_completion,
+                    "{inp} → {outp} is {d} edits and not a completion"
+                );
             }
         }
     }
+}
 
-    /// The DP segmentation achieves the same score as brute force over all
-    /// 2^(n-1) segmentations with fixed (exact) tokens.
-    #[test]
-    fn segmentation_dp_is_optimal(
-        words in proptest::collection::vec(0usize..6, 1..5),
-    ) {
+/// The DP segmentation achieves the same score as brute force over all
+/// 2^(n-1) segmentations with fixed (exact) tokens.
+#[test]
+fn segmentation_dp_is_optimal() {
+    let mut rng = Rng::seed_from_u64(82);
+    for _ in 0..48 {
+        let n = rng.gen_range(1usize..5);
+        let words: Vec<usize> = (0..n).map(|_| rng.gen_index(6)).collect();
         let corr = corrector();
         let values = ["apple ipad nano", "ipod mini", "nano case"];
         let model = ValuePhraseModel::from_values(&values);
         let tokens: Vec<String> = words.iter().map(|&i| VOCAB[i].to_string()).collect();
         let Some(cleaned) = clean_query(&corr, &model, &tokens, 0) else {
-            return Ok(());
+            continue;
         };
         let best_brute = brute_force_best(&corr, &model, &tokens);
-        prop_assert!(cleaned.score >= best_brute - 1e-9,
-            "DP {} < brute force {}", cleaned.score, best_brute);
+        assert!(
+            cleaned.score >= best_brute - 1e-9,
+            "DP {} < brute force {}",
+            cleaned.score,
+            best_brute
+        );
     }
+}
 
-    /// Trie prefix ranges equal naive filtering.
-    #[test]
-    fn trie_ranges_match_filtering(
-        words in proptest::collection::vec("[a-c]{1,5}", 0..12),
-        prefix in "[a-c]{0,3}",
-    ) {
+/// Trie prefix ranges equal naive filtering.
+#[test]
+fn trie_ranges_match_filtering() {
+    let mut rng = Rng::seed_from_u64(83);
+    let alphabet = ['a', 'b', 'c'];
+    for _ in 0..48 {
+        let n_words = rng.gen_index(12);
+        let words: Vec<String> = (0..n_words)
+            .map(|_| {
+                let len = rng.gen_range(1usize..=5);
+                (0..len).map(|_| *rng.choose(&alphabet)).collect()
+            })
+            .collect();
+        let prefix: String = {
+            let len = rng.gen_index(4);
+            (0..len).map(|_| *rng.choose(&alphabet)).collect()
+        };
         let trie = Trie::build(words.clone());
         let completions: Vec<&String> = trie.complete(&prefix).iter().collect();
         let mut expected: Vec<String> = words
@@ -80,7 +99,7 @@ proptest! {
         expected.sort();
         expected.dedup();
         let got: Vec<String> = completions.iter().map(|s| s.to_string()).collect();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "prefix {prefix:?} over {words:?}");
     }
 }
 

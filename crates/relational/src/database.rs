@@ -101,6 +101,26 @@ impl Database {
         &self.schema_graph
     }
 
+    /// A stable fingerprint of the schema: table names, column names and
+    /// order, primary keys, and schema-graph edges. Two databases with equal
+    /// fingerprints generate identical candidate networks for the same
+    /// tuple-set masks, which is what keys the plan cache.
+    pub fn schema_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for t in &self.tables {
+            t.schema.name.hash(&mut h);
+            t.schema.primary_key.hash(&mut h);
+            for c in &t.schema.columns {
+                c.name.hash(&mut h);
+            }
+        }
+        for e in self.schema_graph.edges() {
+            (e.from.0, e.to.0, e.fk_column, e.pk_column).hash(&mut h);
+        }
+        h.finish()
+    }
+
     /// (Re)build the full-text inverted index over all text columns.
     pub fn build_text_index(&mut self) {
         let mut ix = InvertedIndex::new();

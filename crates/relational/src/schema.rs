@@ -1,17 +1,16 @@
 //! Schema objects: tables, columns, foreign keys, and the schema graph.
 
 use kwdb_common::{KwdbError, Result};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 pub use kwdb_common::value::ValueType as ColumnType;
 
 /// Dense table identifier, in creation order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TableId(pub u32);
 
 /// A column definition.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ColumnDef {
     pub name: String,
     pub ty: ColumnType,
@@ -21,7 +20,7 @@ pub struct ColumnDef {
 }
 
 /// A single-column foreign key referencing another table's primary key.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ForeignKey {
     /// Index of the referencing column in this table.
     pub column: usize,
@@ -30,7 +29,7 @@ pub struct ForeignKey {
 }
 
 /// A table's schema.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TableSchema {
     pub name: String,
     pub columns: Vec<ColumnDef>,

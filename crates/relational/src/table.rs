@@ -2,16 +2,15 @@
 
 use crate::schema::{TableId, TableSchema};
 use kwdb_common::{KwdbError, Result, Value};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Dense row identifier within one table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RowId(pub u32);
 
 /// Globally unique tuple identifier: `(table, row)`. This is also the node
 /// identity when a database is viewed as a data graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TupleId {
     pub table: TableId,
     pub row: RowId,

@@ -4,7 +4,6 @@
 use kwdb_common::Value;
 use kwdb_relational::join::{hash_join, seed, semi_join};
 use kwdb_relational::{ColumnType, Database, ExecStats, RowId, TableBuilder};
-use proptest::prelude::*;
 
 fn build_tables(left: &[Option<i64>], right: &[Option<i64>]) -> Database {
     let mut db = Database::new();
@@ -23,12 +22,27 @@ fn build_tables(left: &[Option<i64>], right: &[Option<i64>]) -> Database {
     db
 }
 
-proptest! {
-    #[test]
-    fn hash_join_matches_nested_loop(
-        left in proptest::collection::vec(proptest::option::of(0i64..6), 0..12),
-        right in proptest::collection::vec(proptest::option::of(0i64..6), 0..12),
-    ) {
+use kwdb_common::Rng;
+
+fn rand_column(rng: &mut Rng, max_len: usize, vals: i64) -> Vec<Option<i64>> {
+    let n = rng.gen_index(max_len);
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool(0.2) {
+                None
+            } else {
+                Some(rng.gen_range(0..vals))
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn hash_join_matches_nested_loop() {
+    let mut rng = Rng::seed_from_u64(101);
+    for _ in 0..100 {
+        let left = rand_column(&mut rng, 12, 6);
+        let right = rand_column(&mut rng, 12, 6);
         let db = build_tables(&left, &right);
         let lt = db.table_by_name("l").unwrap();
         let rt = db.table_by_name("r").unwrap();
@@ -41,22 +55,26 @@ proptest! {
         for a in &left {
             for b in &right {
                 if let (Some(x), Some(y)) = (a, b) {
-                    if x == y { expected += 1; }
+                    if x == y {
+                        expected += 1;
+                    }
                 }
             }
         }
-        prop_assert_eq!(out.len(), expected);
+        assert_eq!(out.len(), expected);
         // every output pair really matches
         for t in &out {
-            prop_assert_eq!(lt.get(t[0], 0), rt.get(t[1], 0));
+            assert_eq!(lt.get(t[0], 0), rt.get(t[1], 0));
         }
     }
+}
 
-    #[test]
-    fn semi_join_is_a_filter_of_left(
-        left in proptest::collection::vec(proptest::option::of(0i64..6), 0..12),
-        right in proptest::collection::vec(proptest::option::of(0i64..6), 0..12),
-    ) {
+#[test]
+fn semi_join_is_a_filter_of_left() {
+    let mut rng = Rng::seed_from_u64(102);
+    for _ in 0..100 {
+        let left = rand_column(&mut rng, 12, 6);
+        let right = rand_column(&mut rng, 12, 6);
         let db = build_tables(&left, &right);
         let lt = db.table_by_name("l").unwrap();
         let rt = db.table_by_name("r").unwrap();
@@ -65,23 +83,27 @@ proptest! {
         let stats = ExecStats::new();
         let out = semi_join(lt, &lrows, 0, rt, &rrows, 0, &stats);
         // subset of left, in order, exactly the rows with a match
-        let right_vals: std::collections::HashSet<i64> =
-            right.iter().flatten().copied().collect();
+        let right_vals: std::collections::HashSet<i64> = right.iter().flatten().copied().collect();
         let expected: Vec<RowId> = lrows
             .iter()
             .copied()
             .filter(|&r| {
-                lt.get(r, 0).as_int().map(|v| right_vals.contains(&v)).unwrap_or(false)
+                lt.get(r, 0)
+                    .as_int()
+                    .map(|v| right_vals.contains(&v))
+                    .unwrap_or(false)
             })
             .collect();
-        prop_assert_eq!(out, expected);
+        assert_eq!(out, expected);
     }
+}
 
-    #[test]
-    fn semi_join_idempotent(
-        left in proptest::collection::vec(proptest::option::of(0i64..4), 0..10),
-        right in proptest::collection::vec(proptest::option::of(0i64..4), 0..10),
-    ) {
+#[test]
+fn semi_join_idempotent() {
+    let mut rng = Rng::seed_from_u64(103);
+    for _ in 0..100 {
+        let left = rand_column(&mut rng, 10, 4);
+        let right = rand_column(&mut rng, 10, 4);
         let db = build_tables(&left, &right);
         let lt = db.table_by_name("l").unwrap();
         let rt = db.table_by_name("r").unwrap();
@@ -90,6 +112,6 @@ proptest! {
         let stats = ExecStats::new();
         let once = semi_join(lt, &lrows, 0, rt, &rrows, 0, &stats);
         let twice = semi_join(lt, &once, 0, rt, &rrows, 0, &stats);
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice);
     }
 }

@@ -12,7 +12,7 @@
 //! * [`operator_level_makespan`] — schedule distinct subtree *operators* level by
 //!   level across cores (slide 133), the finest granularity;
 //! * [`execute_parallel`] — actually run an assignment on real threads
-//!   (crossbeam scoped), for wall-clock measurements.
+//!   (std scoped threads), for wall-clock measurements.
 
 use crate::cn::CandidateNetwork;
 use crate::eval::evaluate_cn;
@@ -196,17 +196,16 @@ pub fn execute_parallel(
         .map(|_| std::sync::atomic::AtomicUsize::new(0))
         .collect();
     let counts_ref = &counts;
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for jobs in &per_core {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for &j in jobs {
                     let n = evaluate_cn(db, &cns[j], ts, stats).len();
                     counts_ref[j].store(n, std::sync::atomic::Ordering::Relaxed);
                 }
             });
         }
-    })
-    .expect("worker panicked");
+    });
     counts.into_iter().map(|c| c.into_inner()).collect()
 }
 
@@ -241,10 +240,10 @@ pub fn execute_data_parallel(
     let chunks: Vec<&[kwdb_relational::RowId]> = rows.chunks(chunk).collect();
     let mut outputs: Vec<Vec<crate::eval::JoinedResult>> =
         (0..chunks.len()).map(|_| Vec::new()).collect();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (slot, part) in outputs.iter_mut().zip(&chunks) {
             let part: Vec<kwdb_relational::RowId> = part.to_vec();
-            s.spawn(move |_| {
+            s.spawn(move || {
                 *slot = evaluate_cn_with(
                     db,
                     cn,
@@ -259,8 +258,7 @@ pub fn execute_data_parallel(
                 );
             });
         }
-    })
-    .expect("worker panicked");
+    });
     outputs.into_iter().flatten().collect()
 }
 

@@ -18,7 +18,7 @@
 
 use crate::eval::{default_rows, evaluate_cn, evaluate_cn_with};
 use crate::topk::{RankedResult, TopKQuery};
-use kwdb_common::{topk::TopK, Score};
+use kwdb_common::{topk::TopK, Budget, Score};
 use kwdb_relational::{ExecStats, RowId, TupleId};
 use std::collections::{BinaryHeap, HashSet};
 
@@ -92,7 +92,19 @@ pub fn skyline_sweep<S: AsRef<str>>(
     k: usize,
     stats: &ExecStats,
 ) -> Vec<RankedResult> {
-    sweep(q, k, stats, 1)
+    sweep(q, k, stats, 1, &Budget::unlimited()).0
+}
+
+/// [`skyline_sweep`] under an execution [`Budget`]: every combination popped
+/// from the sweep heap counts as one candidate; an exhausted budget returns
+/// the (score-sorted) best-so-far with `true` (truncated).
+pub fn skyline_sweep_budgeted<S: AsRef<str>>(
+    q: &TopKQuery<'_, S>,
+    k: usize,
+    stats: &ExecStats,
+    budget: &Budget,
+) -> (Vec<RankedResult>, bool) {
+    sweep(q, k, stats, 1, budget)
 }
 
 /// Block pipeline: the same sweep with blocks of `block_size` tuples.
@@ -102,7 +114,19 @@ pub fn block_pipeline<S: AsRef<str>>(
     block_size: usize,
     stats: &ExecStats,
 ) -> Vec<RankedResult> {
-    sweep(q, k, stats, block_size.max(1))
+    sweep(q, k, stats, block_size.max(1), &Budget::unlimited()).0
+}
+
+/// [`block_pipeline`] under an execution [`Budget`] (one candidate per block
+/// combination popped).
+pub fn block_pipeline_budgeted<S: AsRef<str>>(
+    q: &TopKQuery<'_, S>,
+    k: usize,
+    block_size: usize,
+    stats: &ExecStats,
+    budget: &Budget,
+) -> (Vec<RankedResult>, bool) {
+    sweep(q, k, stats, block_size.max(1), budget)
 }
 
 fn sweep<S: AsRef<str>>(
@@ -110,7 +134,8 @@ fn sweep<S: AsRef<str>>(
     k: usize,
     stats: &ExecStats,
     block: usize,
-) -> Vec<RankedResult> {
+    budget: &Budget,
+) -> (Vec<RankedResult>, bool) {
     let lattices: Vec<Lattice> = (0..q.cns.len())
         .filter_map(|ci| Lattice::build(q, ci))
         .collect();
@@ -124,7 +149,14 @@ fn sweep<S: AsRef<str>>(
         }
     }
     let mut topk = TopK::new(k);
+    let mut popped: u64 = 0;
+    let mut truncated = false;
     while let Some((Score(bound), li, combo)) = heap.pop() {
+        if budget.exhausted_at(popped) {
+            truncated = true;
+            break;
+        }
+        popped += 1;
         if let Some(th) = topk.threshold() {
             if bound <= th {
                 break; // no remaining combination can beat the k-th best
@@ -166,7 +198,7 @@ fn sweep<S: AsRef<str>>(
             }
         }
     }
-    finish(topk)
+    (finish(topk), truncated)
 }
 
 /// First tuple index of each block — where the block's max watf lives.

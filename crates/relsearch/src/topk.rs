@@ -23,6 +23,7 @@ use crate::eval::{default_rows, evaluate_cn, evaluate_cn_with, JoinedResult};
 use crate::score::ResultScorer;
 use crate::tupleset::TupleSets;
 use kwdb_common::topk::TopK;
+use kwdb_common::Budget;
 use kwdb_relational::{Database, ExecStats, RowId};
 
 /// A scored result with its originating CN.
@@ -254,6 +255,19 @@ pub fn global_pipeline<S: AsRef<str>>(
     k: usize,
     stats: &ExecStats,
 ) -> Vec<RankedResult> {
+    global_pipeline_budgeted(q, k, stats, &Budget::unlimited()).0
+}
+
+/// [`global_pipeline`] under an execution [`Budget`]: every slice advanced
+/// counts as one candidate; when the budget is exhausted the best results
+/// found so far are returned with `true` (truncated). The result list is
+/// always score-sorted, truncated or not.
+pub fn global_pipeline_budgeted<S: AsRef<str>>(
+    q: &TopKQuery<'_, S>,
+    k: usize,
+    stats: &ExecStats,
+    budget: &Budget,
+) -> (Vec<RankedResult>, bool) {
     let mut states: Vec<CnState> = q
         .cns
         .iter()
@@ -296,7 +310,14 @@ pub fn global_pipeline<S: AsRef<str>>(
         .collect();
 
     let mut topk = TopK::new(k);
+    let mut slices: u64 = 0;
+    let mut truncated = false;
     loop {
+        if budget.exhausted_at(slices) {
+            truncated = true;
+            break;
+        }
+        slices += 1;
         // Pick the state with the globally highest bound.
         let pick = states
             .iter()
@@ -338,7 +359,7 @@ pub fn global_pipeline<S: AsRef<str>>(
         }
         states[si].p[adv] += 1;
     }
-    finish(topk)
+    (finish(topk), truncated)
 }
 
 fn finish(topk: TopK<(usize, JoinedResult)>) -> Vec<RankedResult> {

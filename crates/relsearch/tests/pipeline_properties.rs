@@ -8,7 +8,6 @@ use kwdb_relsearch::cn::{CnGenConfig, CnGenerator, MaskOracle};
 use kwdb_relsearch::spark::{block_pipeline, naive_spark, skyline_sweep};
 use kwdb_relsearch::topk::{global_pipeline, naive, single_pipeline, sparse, TopKQuery};
 use kwdb_relsearch::{ResultScorer, TupleSets};
-use proptest::prelude::*;
 
 /// Random tiny DBLP instance: authors/papers carry words from a 4-word
 /// vocabulary so keyword collisions and multi-matches happen constantly.
@@ -54,16 +53,35 @@ fn random_db(author_words: &[u8], paper_words: &[(u8, u8)], writes: &[(u8, u8)])
     db
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+use kwdb_common::Rng;
 
-    #[test]
-    fn all_executors_agree(
-        authors in proptest::collection::vec(0u8..4, 1..6),
-        papers in proptest::collection::vec((0u8..4, 0u8..4), 1..8),
-        writes in proptest::collection::vec((0u8..8, 0u8..8), 0..10),
-        k in 1usize..6,
-    ) {
+fn rand_authors(rng: &mut Rng, lo: usize, hi: usize) -> Vec<u8> {
+    let n = rng.gen_range(lo..hi);
+    (0..n).map(|_| rng.gen_range(0u8..4)).collect()
+}
+
+fn rand_papers(rng: &mut Rng, lo: usize, hi: usize) -> Vec<(u8, u8)> {
+    let n = rng.gen_range(lo..hi);
+    (0..n)
+        .map(|_| (rng.gen_range(0u8..4), rng.gen_range(0u8..4)))
+        .collect()
+}
+
+fn rand_writes(rng: &mut Rng, hi: usize) -> Vec<(u8, u8)> {
+    let n = rng.gen_index(hi);
+    (0..n)
+        .map(|_| (rng.gen_range(0u8..8), rng.gen_range(0u8..8)))
+        .collect()
+}
+
+#[test]
+fn all_executors_agree() {
+    let mut rng = Rng::seed_from_u64(91);
+    for _ in 0..24 {
+        let authors = rand_authors(&mut rng, 1, 6);
+        let papers = rand_papers(&mut rng, 1, 8);
+        let writes = rand_writes(&mut rng, 10);
+        let k = rng.gen_range(1usize..6);
         let db = random_db(&authors, &papers, &writes);
         let keywords = vec!["alpha".to_string(), "beta".to_string()];
         let ts = TupleSets::build(&db, &keywords);
@@ -71,31 +89,43 @@ proptest! {
         let mut generator = CnGenerator::new(
             db.schema_graph(),
             &oracle,
-            CnGenConfig { max_size: 4, dedupe: true, max_cns: 200 },
+            CnGenConfig {
+                max_size: 4,
+                dedupe: true,
+                max_cns: 200,
+            },
         );
         let cns = generator.generate();
         // structural validity of every generated CN
         for cn in &cns {
-            prop_assert!(cn.is_valid(ts.full_mask()), "invalid CN: {cn:?}");
+            assert!(cn.is_valid(ts.full_mask()), "invalid CN: {cn:?}");
         }
         let scorer = ResultScorer::new(&db);
-        let q = TopKQuery { db: &db, ts: &ts, cns: &cns, scorer: &scorer, keywords: &keywords };
+        let q = TopKQuery {
+            db: &db,
+            ts: &ts,
+            cns: &cns,
+            scorer: &scorer,
+            keywords: &keywords,
+        };
         let s = ExecStats::new();
         let a: Vec<f64> = naive(&q, k, &s).iter().map(|r| r.score).collect();
         let b: Vec<f64> = sparse(&q, k, &s).iter().map(|r| r.score).collect();
         let c: Vec<f64> = single_pipeline(&q, k, &s).iter().map(|r| r.score).collect();
         let d: Vec<f64> = global_pipeline(&q, k, &s).iter().map(|r| r.score).collect();
-        prop_assert_eq!(&a, &b, "sparse mismatch");
-        prop_assert_eq!(&a, &c, "single pipeline mismatch");
-        prop_assert_eq!(&a, &d, "global pipeline mismatch");
+        assert_eq!(&a, &b, "sparse mismatch");
+        assert_eq!(&a, &c, "single pipeline mismatch");
+        assert_eq!(&a, &d, "global pipeline mismatch");
     }
+}
 
-    #[test]
-    fn spark_sweeps_agree_with_naive(
-        authors in proptest::collection::vec(0u8..4, 1..5),
-        papers in proptest::collection::vec((0u8..4, 0u8..4), 1..6),
-        writes in proptest::collection::vec((0u8..8, 0u8..8), 0..8),
-    ) {
+#[test]
+fn spark_sweeps_agree_with_naive() {
+    let mut rng = Rng::seed_from_u64(92);
+    for _ in 0..24 {
+        let authors = rand_authors(&mut rng, 1, 5);
+        let papers = rand_papers(&mut rng, 1, 6);
+        let writes = rand_writes(&mut rng, 8);
         let db = random_db(&authors, &papers, &writes);
         let keywords = vec!["alpha".to_string(), "gamma".to_string()];
         let ts = TupleSets::build(&db, &keywords);
@@ -103,31 +133,46 @@ proptest! {
         let mut generator = CnGenerator::new(
             db.schema_graph(),
             &oracle,
-            CnGenConfig { max_size: 4, dedupe: true, max_cns: 100 },
+            CnGenConfig {
+                max_size: 4,
+                dedupe: true,
+                max_cns: 100,
+            },
         );
         let cns = generator.generate();
         let scorer = ResultScorer::new(&db);
-        let q = TopKQuery { db: &db, ts: &ts, cns: &cns, scorer: &scorer, keywords: &keywords };
+        let q = TopKQuery {
+            db: &db,
+            ts: &ts,
+            cns: &cns,
+            scorer: &scorer,
+            keywords: &keywords,
+        };
         let s = ExecStats::new();
         let a: Vec<f64> = naive_spark(&q, 4, &s).iter().map(|r| r.score).collect();
         let b: Vec<f64> = skyline_sweep(&q, 4, &s).iter().map(|r| r.score).collect();
-        let c: Vec<f64> = block_pipeline(&q, 4, 3, &s).iter().map(|r| r.score).collect();
-        prop_assert_eq!(a.len(), b.len());
+        let c: Vec<f64> = block_pipeline(&q, 4, 3, &s)
+            .iter()
+            .map(|r| r.score)
+            .collect();
+        assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
-            prop_assert!((x - y).abs() < 1e-9, "skyline mismatch: {a:?} vs {b:?}");
+            assert!((x - y).abs() < 1e-9, "skyline mismatch: {a:?} vs {b:?}");
         }
-        prop_assert_eq!(a.len(), c.len());
+        assert_eq!(a.len(), c.len());
         for (x, y) in a.iter().zip(&c) {
-            prop_assert!((x - y).abs() < 1e-9, "block mismatch: {a:?} vs {c:?}");
+            assert!((x - y).abs() < 1e-9, "block mismatch: {a:?} vs {c:?}");
         }
     }
+}
 
-    #[test]
-    fn results_are_duplicate_free_and_covering(
-        authors in proptest::collection::vec(0u8..4, 1..5),
-        papers in proptest::collection::vec((0u8..4, 0u8..4), 1..6),
-        writes in proptest::collection::vec((0u8..8, 0u8..8), 0..8),
-    ) {
+#[test]
+fn results_are_duplicate_free_and_covering() {
+    let mut rng = Rng::seed_from_u64(93);
+    for _ in 0..24 {
+        let authors = rand_authors(&mut rng, 1, 5);
+        let papers = rand_papers(&mut rng, 1, 6);
+        let writes = rand_writes(&mut rng, 8);
         let db = random_db(&authors, &papers, &writes);
         let keywords = vec!["alpha".to_string(), "beta".to_string()];
         let ts = TupleSets::build(&db, &keywords);
@@ -135,18 +180,28 @@ proptest! {
         let mut generator = CnGenerator::new(
             db.schema_graph(),
             &oracle,
-            CnGenConfig { max_size: 4, dedupe: true, max_cns: 200 },
+            CnGenConfig {
+                max_size: 4,
+                dedupe: true,
+                max_cns: 200,
+            },
         );
         let cns = generator.generate();
         let scorer = ResultScorer::new(&db);
-        let q = TopKQuery { db: &db, ts: &ts, cns: &cns, scorer: &scorer, keywords: &keywords };
+        let q = TopKQuery {
+            db: &db,
+            ts: &ts,
+            cns: &cns,
+            scorer: &scorer,
+            keywords: &keywords,
+        };
         let s = ExecStats::new();
         let all = naive(&q, 10_000, &s);
         let mut seen = std::collections::HashSet::new();
         for r in &all {
             let mut sig = r.result.tuples.clone();
             sig.sort();
-            prop_assert!(seen.insert(sig), "duplicate joining tree");
+            assert!(seen.insert(sig), "duplicate joining tree");
             let toks: Vec<String> = r
                 .result
                 .tuples
@@ -154,7 +209,7 @@ proptest! {
                 .flat_map(|&t| db.tuple_tokens(t))
                 .collect();
             for kw in &keywords {
-                prop_assert!(toks.iter().any(|t| t == kw), "result missing {kw}");
+                assert!(toks.iter().any(|t| t == kw), "result missing {kw}");
             }
         }
     }

@@ -105,10 +105,15 @@ impl fmt::Display for Dewey {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use kwdb_common::Rng;
 
     fn d(p: &[u32]) -> Dewey {
         Dewey::from_path(p.to_vec())
+    }
+
+    fn rand_path(rng: &mut Rng, max_len: usize) -> Vec<u32> {
+        let len = rng.gen_index(max_len);
+        (0..len).map(|_| rng.gen_range(0u32..4)).collect()
     }
 
     #[test]
@@ -151,32 +156,39 @@ mod tests {
         assert_eq!(d(&[1, 0, 4]).to_string(), "1.0.4");
     }
 
-    proptest! {
-        #[test]
-        fn lca_commutes(a in proptest::collection::vec(0u32..4, 0..6),
-                        b in proptest::collection::vec(0u32..4, 0..6)) {
-            let (a, b) = (Dewey::from_path(a), Dewey::from_path(b));
-            prop_assert_eq!(a.lca(&b), b.lca(&a));
+    #[test]
+    fn lca_commutes() {
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..300 {
+            let a = Dewey::from_path(rand_path(&mut rng, 6));
+            let b = Dewey::from_path(rand_path(&mut rng, 6));
+            assert_eq!(a.lca(&b), b.lca(&a), "{a} vs {b}");
         }
+    }
 
-        #[test]
-        fn lca_is_ancestor_or_self_of_both(a in proptest::collection::vec(0u32..4, 0..6),
-                                           b in proptest::collection::vec(0u32..4, 0..6)) {
-            let (a, b) = (Dewey::from_path(a), Dewey::from_path(b));
+    #[test]
+    fn lca_is_ancestor_or_self_of_both() {
+        let mut rng = Rng::seed_from_u64(2);
+        for _ in 0..300 {
+            let a = Dewey::from_path(rand_path(&mut rng, 6));
+            let b = Dewey::from_path(rand_path(&mut rng, 6));
             let l = a.lca(&b);
-            prop_assert!(l.is_ancestor_or_self(&a));
-            prop_assert!(l.is_ancestor_or_self(&b));
+            assert!(l.is_ancestor_or_self(&a), "{l} vs {a}");
+            assert!(l.is_ancestor_or_self(&b), "{l} vs {b}");
         }
+    }
 
-        #[test]
-        fn ancestor_implies_doc_order(a in proptest::collection::vec(0u32..4, 0..6),
-                                      ext in proptest::collection::vec(0u32..4, 1..4)) {
-            let a = Dewey::from_path(a);
+    #[test]
+    fn ancestor_implies_doc_order() {
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..300 {
+            let a = Dewey::from_path(rand_path(&mut rng, 6));
+            let ext_len = rng.gen_range(1usize..4);
             let mut p = a.components().to_vec();
-            p.extend(ext);
+            p.extend((0..ext_len).map(|_| rng.gen_range(0u32..4)));
             let desc = Dewey::from_path(p);
-            prop_assert!(a.is_ancestor_of(&desc));
-            prop_assert!(a < desc);
+            assert!(a.is_ancestor_of(&desc), "{a} vs {desc}");
+            assert!(a < desc, "{a} vs {desc}");
         }
     }
 }

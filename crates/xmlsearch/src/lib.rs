@@ -35,4 +35,4 @@ pub mod xreal;
 pub mod xseek;
 
 pub use elca::elca;
-pub use slca::{multiway_slca, slca_indexed_lookup_eager, slca_scan_eager};
+pub use slca::{multiway_slca, slca_indexed_budgeted, slca_indexed_lookup_eager, slca_scan_eager};

@@ -15,7 +15,7 @@
 //!
 //! [`slca_brute_force`] is the test oracle.
 
-use kwdb_common::Result;
+use kwdb_common::{Budget, Result};
 use kwdb_xml::{NodeId, XmlIndex, XmlTree};
 
 /// Shared probe counters, reported by E04.
@@ -33,17 +33,37 @@ pub fn slca_indexed_lookup_eager<S: AsRef<str>>(
     index: &XmlIndex,
     keywords: &[S],
 ) -> Result<(Vec<NodeId>, SlcaStats)> {
+    let (roots, stats, _) = slca_indexed_budgeted(tree, index, keywords, &Budget::unlimited())?;
+    Ok((roots, stats))
+}
+
+/// [`slca_indexed_lookup_eager`] under an execution [`Budget`]: every anchor
+/// consumed from the driving list counts as one candidate. An exhausted
+/// budget returns the antichain of the candidates computed so far with
+/// `true` (truncated) — a sound partial answer, since each candidate depends
+/// only on its own anchor.
+pub fn slca_indexed_budgeted<S: AsRef<str>>(
+    tree: &XmlTree,
+    index: &XmlIndex,
+    keywords: &[S],
+    budget: &Budget,
+) -> Result<(Vec<NodeId>, SlcaStats, bool)> {
     let mut stats = SlcaStats::default();
+    let mut truncated = false;
     let Some(lists) = index.lists_for(keywords) else {
-        return Ok((Vec::new(), stats));
+        return Ok((Vec::new(), stats, truncated));
     };
     let (driver, others) = lists.split_first().expect("at least one keyword");
     let mut candidates: Vec<NodeId> = Vec::new();
     for &v in *driver {
+        if budget.exhausted_at(stats.anchors as u64) {
+            truncated = true;
+            break;
+        }
         stats.anchors += 1;
         candidates.push(anchor_candidate(tree, v, others, &mut stats));
     }
-    Ok((antichain(tree, candidates), stats))
+    Ok((antichain(tree, candidates), stats, truncated))
 }
 
 /// Scan-Eager SLCA: identical candidates via monotone pointer advances.
@@ -230,8 +250,8 @@ fn antichain(tree: &XmlTree, mut candidates: Vec<NodeId>) -> Vec<NodeId> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kwdb_common::Rng;
     use kwdb_xml::XmlBuilder;
-    use proptest::prelude::*;
 
     /// The slide-33 instance: two papers; SLCA must exclude the conf root.
     fn slide33() -> XmlTree {
@@ -372,49 +392,56 @@ mod tests {
         b.build()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-        #[test]
-        fn algorithms_agree_with_brute_force(
-            structure in proptest::collection::vec((0usize..3, 0u8..4), 1..40)
-        ) {
-            let t = random_tree(&structure);
+    fn rand_structure(rng: &mut Rng) -> Vec<(usize, u8)> {
+        let len = rng.gen_range(1usize..40);
+        (0..len)
+            .map(|_| (rng.gen_index(3), rng.gen_range(0u8..4)))
+            .collect()
+    }
+
+    #[test]
+    fn algorithms_agree_with_brute_force() {
+        let mut rng = Rng::seed_from_u64(51);
+        for _ in 0..64 {
+            let t = random_tree(&rand_structure(&mut rng));
             let ix = XmlIndex::build(&t);
             let kws = ["ka", "kb"];
             let brute = slca_brute_force(&t, &ix, &kws);
             let (ile, _) = slca_indexed_lookup_eager(&t, &ix, &kws).unwrap();
             let (scan, _) = slca_scan_eager(&t, &ix, &kws).unwrap();
             let (multi, _) = multiway_slca(&t, &ix, &kws).unwrap();
-            prop_assert_eq!(&ile, &brute, "ILE mismatch");
-            prop_assert_eq!(&scan, &brute, "scan mismatch");
-            prop_assert_eq!(&multi, &brute, "multiway mismatch");
+            assert_eq!(&ile, &brute, "ILE mismatch");
+            assert_eq!(&scan, &brute, "scan mismatch");
+            assert_eq!(&multi, &brute, "multiway mismatch");
         }
+    }
 
-        #[test]
-        fn slca_is_antichain(
-            structure in proptest::collection::vec((0usize..3, 0u8..4), 1..40)
-        ) {
-            let t = random_tree(&structure);
+    #[test]
+    fn slca_is_antichain() {
+        let mut rng = Rng::seed_from_u64(52);
+        for _ in 0..64 {
+            let t = random_tree(&rand_structure(&mut rng));
             let ix = XmlIndex::build(&t);
             let (res, _) = slca_indexed_lookup_eager(&t, &ix, &["ka", "kb"]).unwrap();
             for (i, &a) in res.iter().enumerate() {
                 for &b in &res[i + 1..] {
-                    prop_assert!(!t.is_ancestor(a, b) && !t.is_ancestor(b, a));
+                    assert!(!t.is_ancestor(a, b) && !t.is_ancestor(b, a));
                 }
             }
         }
+    }
 
-        #[test]
-        fn slca_subset_of_covering(
-            structure in proptest::collection::vec((0usize..3, 0u8..4), 1..40)
-        ) {
-            let t = random_tree(&structure);
+    #[test]
+    fn slca_subset_of_covering() {
+        let mut rng = Rng::seed_from_u64(53);
+        for _ in 0..64 {
+            let t = random_tree(&rand_structure(&mut rng));
             let ix = XmlIndex::build(&t);
             let kws = ["ka", "kb"];
             let covering = covering_nodes(&t, &ix, &kws);
             let (res, _) = slca_indexed_lookup_eager(&t, &ix, &kws).unwrap();
             for n in res {
-                prop_assert!(covering.contains(&n));
+                assert!(covering.contains(&n));
             }
         }
     }

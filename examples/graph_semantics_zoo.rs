@@ -22,7 +22,7 @@ fn main() {
         g.node_count(),
         g.edge_count()
     );
-    let kws = ["widom", "query"];
+    let kws = ["abiteboul", "query"];
     println!("query: {kws:?}\n");
 
     let mut dpbf = Dpbf::new(&g);
@@ -55,12 +55,13 @@ fn main() {
         println!("  {}", t.display(&g));
     }
 
-    let mut bl = Blinks::new(&g);
+    let bl = Blinks::new(&g);
     let ix = bl.build_index(&kws);
     let blinks = bl.search(&ix, &kws, 3);
     println!(
         "\nBLINKS (distinct root + TA), {} sorted / {} random accesses:",
-        bl.sorted_accesses, bl.random_accesses
+        bl.sorted_accesses(),
+        bl.random_accesses()
     );
     for t in &blinks {
         println!("  {}", t.display(&g));

@@ -4,8 +4,10 @@
 //! cargo run --example quickstart
 //! ```
 
+use kwdb::common::Budget;
 use kwdb::datasets::{generate_dblp, DblpConfig};
-use kwdb::engine::RelationalEngine;
+use kwdb::engine::{RelationalEngine, SearchRequest};
+use std::time::Duration;
 
 fn main() -> kwdb::Result<()> {
     // A DBLP-like database: conferences, authors, papers, authorship, citations.
@@ -25,13 +27,27 @@ fn main() -> kwdb::Result<()> {
     let engine = RelationalEngine::new(&db);
     for query in ["widom xml", "keyword search", "widom stonebraker"] {
         println!("\nquery: {query:?}");
-        let hits = engine.search(query, 3)?;
-        if hits.is_empty() {
-            println!("  (no results)");
+        let req = SearchRequest::new(query)
+            .k(3)
+            .budget(Budget::unlimited().with_timeout(Duration::from_secs(2)));
+        let resp = engine.execute(&req)?;
+        if resp.hits.is_empty() {
+            println!(
+                "  (no results{})",
+                if resp.truncated { ", truncated" } else { "" }
+            );
         }
-        for (i, hit) in hits.iter().enumerate() {
+        for (i, hit) in resp.hits.iter().enumerate() {
             println!("  {}. [{:.3}] {}", i + 1, hit.score, hit.rendered);
         }
+        println!(
+            "  stats: {} CNs ({} cache hit), {} tuples scanned, {:?} total{}",
+            resp.stats.candidates_generated,
+            resp.stats.cache_hits,
+            resp.stats.operators.tuples_scanned,
+            resp.stats.phases.total(),
+            if resp.truncated { ", TRUNCATED" } else { "" }
+        );
     }
     Ok(())
 }

@@ -1,19 +1,132 @@
 //! Unified one-call engines over the three data models.
 //!
-//! These wrap the full pipelines so an application can go from a query
-//! string to ranked, rendered results in one call, while everything stays
-//! overridable by dropping down to the underlying crates.
+//! Every engine answers the same shape of request: a [`SearchRequest`]
+//! (query string, `k`, an execution [`Budget`], and per-model knobs) goes
+//! in, a [`SearchResponse`] comes out — ranked hits, the [`QueryStats`]
+//! observability record (per-phase timings, operator counters, cache
+//! counters), and a `truncated` flag that is `true` when the budget ran out
+//! and the hits are best-so-far rather than exact.
+//!
+//! * [`RelationalEngine::execute`] — DISCOVER/SPARK candidate-network
+//!   search, with a per-engine CN plan cache keyed by schema fingerprint,
+//!   keyword term set, and generator configuration.
+//! * [`GraphEngine::execute`] — DPBF / BANKS / BLINKS on a data graph; the
+//!   BLINKS node→keyword index is built once per engine and reused.
+//! * [`XmlEngine::execute`] — SLCA with XBridge-style proximity ranking.
+//!
+//! The pre-existing free functions ([`graph_search`], [`xml_search`]) and
+//! [`RelationalEngine::search`] remain as deprecated shims over the new
+//! entry points. Everything stays overridable by dropping down to the
+//! underlying crates.
 
 use kwdb_common::text::parse_query;
-use kwdb_common::Result;
+use kwdb_common::{Budget, QueryStats, Result, Stopwatch};
 use kwdb_graph::DataGraph;
 use kwdb_graphsearch::{blinks::Blinks, AnswerTree, BanksI, Dpbf};
 use kwdb_relational::{Database, ExecStats};
-use kwdb_relsearch::cn::{CnGenConfig, CnGenerator, MaskOracle};
-use kwdb_relsearch::spark::skyline_sweep;
-use kwdb_relsearch::topk::{global_pipeline, TopKQuery};
+use kwdb_relsearch::cn::{CandidateNetwork, CnGenConfig, CnGenerator, MaskOracle};
+use kwdb_relsearch::spark::skyline_sweep_budgeted;
+use kwdb_relsearch::topk::{global_pipeline_budgeted, TopKQuery};
 use kwdb_relsearch::{ResultScorer, TupleSets};
 use kwdb_xml::{XmlIndex, XmlTree};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A uniform search request accepted by all three engines.
+///
+/// Built fluently; every field has a sensible default:
+///
+/// ```
+/// use kwdb::engine::SearchRequest;
+/// use kwdb::common::Budget;
+/// use std::time::Duration;
+///
+/// let req = SearchRequest::new("widom xml")
+///     .k(5)
+///     .budget(Budget::unlimited().with_timeout(Duration::from_millis(50)));
+/// assert_eq!(req.query(), "widom xml");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SearchRequest {
+    query: String,
+    k: usize,
+    budget: Budget,
+    scoring: Option<Scoring>,
+    semantics: Option<GraphSemantics>,
+}
+
+impl SearchRequest {
+    /// A request for `query` with `k = 10`, an unlimited budget, and the
+    /// engine's default scoring/semantics.
+    pub fn new(query: impl Into<String>) -> Self {
+        SearchRequest {
+            query: query.into(),
+            k: 10,
+            budget: Budget::unlimited(),
+            scoring: None,
+            semantics: None,
+        }
+    }
+
+    /// Number of hits to return.
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Execution budget (deadline and/or candidate cap).
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Override the relational scoring model (default: the engine's
+    /// configured [`Scoring`]).
+    pub fn scoring(mut self, scoring: Scoring) -> Self {
+        self.scoring = Some(scoring);
+        self
+    }
+
+    /// Override the graph answer semantics (default:
+    /// [`GraphSemantics::Banks`]).
+    pub fn semantics(mut self, semantics: GraphSemantics) -> Self {
+        self.semantics = Some(semantics);
+        self
+    }
+
+    pub fn query(&self) -> &str {
+        &self.query
+    }
+
+    pub fn k_value(&self) -> usize {
+        self.k
+    }
+
+    pub fn budget_value(&self) -> &Budget {
+        &self.budget
+    }
+}
+
+/// The uniform response: ranked hits plus the execution record.
+#[derive(Debug, Clone)]
+pub struct SearchResponse<H> {
+    /// Ranked hits, best first. Sorted even when truncated.
+    pub hits: Vec<H>,
+    /// Per-phase timings, operator counters, candidate and cache counters.
+    pub stats: QueryStats,
+    /// `true` when the budget was exhausted and `hits` is best-so-far.
+    pub truncated: bool,
+}
+
+impl<H> SearchResponse<H> {
+    fn empty(stats: QueryStats, truncated: bool) -> Self {
+        SearchResponse {
+            hits: Vec::new(),
+            stats,
+            truncated,
+        }
+    }
+}
 
 /// A rendered relational hit.
 #[derive(Debug, Clone)]
@@ -54,12 +167,19 @@ impl Default for RelationalConfig {
     }
 }
 
+/// Key of one CN plan-cache entry: schema fingerprint, the sorted keyword
+/// term set, and the generator configuration. The engine borrows the
+/// database immutably for its whole lifetime, so tuple-set masks for a
+/// given term set cannot change underneath a cached plan.
+type CnCacheKey = (u64, Vec<String>, usize, usize);
+
 /// DISCOVER-style keyword search over a relational database: tuple sets →
 /// candidate networks → bound-driven top-k evaluation.
 pub struct RelationalEngine<'db> {
     db: &'db Database,
     scorer: ResultScorer<'db>,
     cfg: RelationalConfig,
+    cn_cache: Mutex<HashMap<CnCacheKey, Arc<Vec<CandidateNetwork>>>>,
 }
 
 impl<'db> RelationalEngine<'db> {
@@ -72,30 +192,41 @@ impl<'db> RelationalEngine<'db> {
             db,
             scorer: ResultScorer::new(db),
             cfg,
+            cn_cache: Mutex::new(HashMap::new()),
         }
     }
 
     /// Top-k joining trees of tuples for a free-text query string.
+    #[deprecated(since = "0.2.0", note = "use `execute` with a `SearchRequest`")]
     pub fn search(&self, query: &str, k: usize) -> Result<Vec<RelationalHit>> {
-        let keywords = parse_query(query);
+        Ok(self.execute(&SearchRequest::new(query).k(k))?.hits)
+    }
+
+    /// Execute a [`SearchRequest`]: budgeted, instrumented top-k search.
+    pub fn execute(&self, req: &SearchRequest) -> Result<SearchResponse<RelationalHit>> {
+        let mut stats = QueryStats::new();
+        let mut sw = Stopwatch::start();
+        let budget = &req.budget;
+        let keywords = parse_query(&req.query);
+        stats.phases.parse = sw.lap();
         if keywords.is_empty() {
-            return Ok(Vec::new());
+            return Ok(SearchResponse::empty(stats, false));
+        }
+        if budget.exhausted() {
+            return Ok(SearchResponse::empty(stats, true));
         }
         let ts = TupleSets::build(self.db, &keywords);
+        stats.phases.build = sw.lap();
         if !ts.covers_all_keywords() {
-            return Ok(Vec::new());
+            return Ok(SearchResponse::empty(stats, false));
         }
-        let oracle = MaskOracle::from_tuplesets(&ts);
-        let mut generator = CnGenerator::new(
-            self.db.schema_graph(),
-            &oracle,
-            CnGenConfig {
-                max_size: self.cfg.max_cn_size,
-                dedupe: true,
-                max_cns: self.cfg.max_cns,
-            },
-        );
-        let cns = generator.generate();
+        if budget.exhausted() {
+            return Ok(SearchResponse::empty(stats, true));
+        }
+        let cns = self.plan(&keywords, &ts, &mut stats);
+        stats.phases.plan = sw.lap();
+        stats.candidates_generated = cns.len() as u64;
+
         let q = TopKQuery {
             db: self.db,
             ts: &ts,
@@ -103,12 +234,27 @@ impl<'db> RelationalEngine<'db> {
             scorer: &self.scorer,
             keywords: &keywords,
         };
-        let stats = ExecStats::new();
-        let ranked = match self.cfg.scoring {
-            Scoring::Monotone => global_pipeline(&q, k, &stats),
-            Scoring::Spark => skyline_sweep(&q, k, &stats),
+        let exec = ExecStats::new();
+        let scoring = req.scoring.unwrap_or(self.cfg.scoring);
+        let (ranked, truncated) = match scoring {
+            Scoring::Monotone => global_pipeline_budgeted(&q, req.k, &exec, budget),
+            Scoring::Spark => skyline_sweep_budgeted(&q, req.k, &exec, budget),
         };
-        Ok(ranked
+        stats.phases.evaluate = sw.lap();
+        let snap = exec.snapshot();
+        stats.operators.tuples_scanned = snap.tuples_scanned;
+        stats.operators.join_probes = snap.join_probes;
+        stats.operators.joins_executed = snap.joins_executed;
+        stats.operators.rows_output = snap.rows_output;
+        stats.candidates_pruned = stats.candidates_generated.saturating_sub(
+            ranked
+                .iter()
+                .map(|r| r.cn_index)
+                .collect::<std::collections::HashSet<_>>()
+                .len() as u64,
+        );
+
+        let hits = ranked
             .into_iter()
             .map(|r| RelationalHit {
                 score: r.score,
@@ -121,11 +267,54 @@ impl<'db> RelationalEngine<'db> {
                     .join(" ⋈ "),
                 tuples: r.result.tuples,
             })
-            .collect())
+            .collect();
+        Ok(SearchResponse {
+            hits,
+            stats,
+            truncated,
+        })
+    }
+
+    /// Generate (or fetch from the plan cache) the candidate networks for
+    /// this keyword term set.
+    fn plan(
+        &self,
+        keywords: &[String],
+        ts: &TupleSets,
+        stats: &mut QueryStats,
+    ) -> Arc<Vec<CandidateNetwork>> {
+        let mut terms: Vec<String> = keywords.to_vec();
+        terms.sort();
+        terms.dedup();
+        let key: CnCacheKey = (
+            self.db.schema_fingerprint(),
+            terms,
+            self.cfg.max_cn_size,
+            self.cfg.max_cns,
+        );
+        let mut cache = self.cn_cache.lock().expect("cn cache poisoned");
+        if let Some(cns) = cache.get(&key) {
+            stats.cache_hits = 1;
+            return Arc::clone(cns);
+        }
+        stats.cache_misses = 1;
+        let oracle = MaskOracle::from_tuplesets(ts);
+        let mut generator = CnGenerator::new(
+            self.db.schema_graph(),
+            &oracle,
+            CnGenConfig {
+                max_size: self.cfg.max_cn_size,
+                dedupe: true,
+                max_cns: self.cfg.max_cns,
+            },
+        );
+        let cns = Arc::new(generator.generate());
+        cache.insert(key, Arc::clone(&cns));
+        cns
     }
 }
 
-/// Graph answer semantics selectable on [`graph_search`].
+/// Graph answer semantics selectable on a [`SearchRequest`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GraphSemantics {
     /// Exact group Steiner trees (DPBF).
@@ -136,26 +325,92 @@ pub enum GraphSemantics {
     DistinctRoot,
 }
 
+/// Keyword search on a data graph under the chosen semantics, with the
+/// BLINKS node→keyword index built once per engine and reused across
+/// queries.
+pub struct GraphEngine<'g> {
+    g: &'g DataGraph,
+    blinks: Blinks<'g>,
+    /// Full-vocabulary BLINKS index, built on first DistinctRoot query.
+    index: OnceLock<kwdb_graph::NodeKeywordIndex>,
+}
+
+impl<'g> GraphEngine<'g> {
+    pub fn new(g: &'g DataGraph) -> Self {
+        GraphEngine {
+            g,
+            blinks: Blinks::new(g),
+            index: OnceLock::new(),
+        }
+    }
+
+    /// Execute a [`SearchRequest`] under `req.semantics` (default BANKS).
+    pub fn execute(&self, req: &SearchRequest) -> Result<SearchResponse<AnswerTree>> {
+        let mut stats = QueryStats::new();
+        let mut sw = Stopwatch::start();
+        let budget = &req.budget;
+        let keywords = parse_query(&req.query);
+        stats.phases.parse = sw.lap();
+        if keywords.is_empty() {
+            return Ok(SearchResponse::empty(stats, false));
+        }
+        if budget.exhausted() {
+            return Ok(SearchResponse::empty(stats, true));
+        }
+        let semantics = req.semantics.unwrap_or(GraphSemantics::Banks);
+        let (hits, truncated) = match semantics {
+            GraphSemantics::SteinerExact => {
+                let mut dpbf = Dpbf::new(self.g);
+                let r = dpbf.search_budgeted(&keywords, req.k, budget);
+                stats.operators.tuples_scanned = dpbf.states_popped as u64;
+                r
+            }
+            GraphSemantics::Banks => {
+                let mut banks = BanksI::new(self.g);
+                let r = banks.search_budgeted(&keywords, req.k, budget);
+                stats.operators.tuples_scanned = banks.nodes_expanded as u64;
+                r
+            }
+            GraphSemantics::DistinctRoot => {
+                let prebuilt = self.index.get().is_some();
+                let ix = self.index.get_or_init(|| self.blinks.build_full_index());
+                if prebuilt {
+                    stats.cache_hits = 1;
+                } else {
+                    stats.cache_misses = 1;
+                }
+                stats.phases.build = sw.lap();
+                let r = self.blinks.search_budgeted(ix, &keywords, req.k, budget);
+                stats.operators.sorted_accesses = self.blinks.sorted_accesses() as u64;
+                stats.operators.random_accesses = self.blinks.random_accesses() as u64;
+                r
+            }
+        };
+        stats.phases.evaluate = sw.lap();
+        stats.candidates_generated = hits.len() as u64;
+        Ok(SearchResponse {
+            hits,
+            stats,
+            truncated,
+        })
+    }
+}
+
 /// Keyword search on a data graph under the chosen semantics.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `GraphEngine::execute` with a `SearchRequest`"
+)]
 pub fn graph_search(
     g: &DataGraph,
     query: &str,
     k: usize,
     semantics: GraphSemantics,
 ) -> Vec<AnswerTree> {
-    let keywords = parse_query(query);
-    if keywords.is_empty() {
-        return Vec::new();
-    }
-    match semantics {
-        GraphSemantics::SteinerExact => Dpbf::new(g).search(&keywords, k),
-        GraphSemantics::Banks => BanksI::new(g).search(&keywords, k),
-        GraphSemantics::DistinctRoot => {
-            let mut bl = Blinks::new(g);
-            let ix = bl.build_index(&keywords);
-            bl.search(&ix, &keywords, k)
-        }
-    }
+    GraphEngine::new(g)
+        .execute(&SearchRequest::new(query).k(k).semantics(semantics))
+        .map(|r| r.hits)
+        .unwrap_or_default()
 }
 
 /// A ranked XML hit: a result subtree root.
@@ -167,60 +422,105 @@ pub struct XmlHit {
 }
 
 /// SLCA keyword search over an XML tree, ranked by XBridge-style keyword
-/// proximity: the root-to-match paths of all keywords, with shared prefix
-/// segments charged once and over-long paths discounted
-/// ([`kwdb_rank::proximity`], tutorial slides 158–160).
-pub fn xml_search(tree: &XmlTree, index: &XmlIndex, query: &str, k: usize) -> Result<Vec<XmlHit>> {
-    let keywords = parse_query(query);
-    if keywords.is_empty() {
-        return Ok(Vec::new());
+/// proximity ([`kwdb_rank::proximity`], tutorial slides 158–160).
+pub struct XmlEngine<'a> {
+    tree: &'a XmlTree,
+    index: &'a XmlIndex,
+}
+
+impl<'a> XmlEngine<'a> {
+    pub fn new(tree: &'a XmlTree, index: &'a XmlIndex) -> Self {
+        XmlEngine { tree, index }
     }
-    let (roots, _) = kwdb_xmlsearch::slca_indexed_lookup_eager(tree, index, &keywords)?;
-    let sizes = tree.subtree_sizes();
-    let avg_depth = tree.avg_leaf_depth();
-    let mut hits: Vec<XmlHit> = roots
-        .into_iter()
-        .map(|r| {
+
+    /// Execute a [`SearchRequest`]: budgeted SLCA + proximity ranking.
+    pub fn execute(&self, req: &SearchRequest) -> Result<SearchResponse<XmlHit>> {
+        let mut stats = QueryStats::new();
+        let mut sw = Stopwatch::start();
+        let budget = &req.budget;
+        let keywords = parse_query(&req.query);
+        stats.phases.parse = sw.lap();
+        if keywords.is_empty() {
+            return Ok(SearchResponse::empty(stats, false));
+        }
+        if budget.exhausted() {
+            return Ok(SearchResponse::empty(stats, true));
+        }
+        let (roots, slca_stats, mut truncated) =
+            kwdb_xmlsearch::slca_indexed_budgeted(self.tree, self.index, &keywords, budget)?;
+        stats.phases.build = sw.lap();
+        stats.operators.sorted_accesses = slca_stats.anchors as u64;
+        stats.operators.random_accesses = slca_stats.probes as u64;
+        stats.candidates_generated = roots.len() as u64;
+
+        let sizes = self.tree.subtree_sizes();
+        let avg_depth = self.tree.avg_leaf_depth();
+        let mut hits: Vec<XmlHit> = Vec::with_capacity(roots.len());
+        for r in roots {
+            if budget.exhausted_at(hits.len() as u64) && !hits.is_empty() {
+                truncated = true;
+                break;
+            }
             // root→match path (node ids) for each keyword's first match
             // inside the result subtree
             let end = kwdb_xml::NodeId(r.0 + sizes[r.0 as usize]);
             let paths: Vec<Vec<u64>> = keywords
                 .iter()
                 .filter_map(|kw| {
-                    let list = index.nodes(kw);
+                    let list = self.index.nodes(kw);
                     let lo = list.partition_point(|&x| x < r);
                     let m = *list.get(lo).filter(|&&m| m < end)?;
                     let mut path = vec![m.0 as u64];
                     let mut cur = m;
                     while cur != r {
-                        cur = tree.parent(cur).expect("r is an ancestor");
+                        cur = self.tree.parent(cur).expect("r is an ancestor");
                         path.push(cur.0 as u64);
                     }
                     path.reverse();
                     Some(path)
                 })
                 .collect();
-            XmlHit {
+            hits.push(XmlHit {
                 score: kwdb_rank::proximity::proximity_score(&paths, avg_depth),
-                label_path: tree.label_path(r),
+                label_path: self.tree.label_path(r),
                 root: r,
-            }
+            });
+        }
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap()
+                .then(a.root.cmp(&b.root))
+        });
+        stats.candidates_pruned = stats
+            .candidates_generated
+            .saturating_sub(hits.len().min(req.k) as u64);
+        hits.truncate(req.k);
+        stats.phases.evaluate = sw.lap();
+        Ok(SearchResponse {
+            hits,
+            stats,
+            truncated,
         })
-        .collect();
-    hits.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap()
-            .then(a.root.cmp(&b.root))
-    });
-    hits.truncate(k);
-    Ok(hits)
+    }
+}
+
+/// SLCA keyword search over an XML tree with proximity ranking.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `XmlEngine::execute` with a `SearchRequest`"
+)]
+pub fn xml_search(tree: &XmlTree, index: &XmlIndex, query: &str, k: usize) -> Result<Vec<XmlHit>> {
+    Ok(XmlEngine::new(tree, index)
+        .execute(&SearchRequest::new(query).k(k))?
+        .hits)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use kwdb_datasets::{generate_dblp, DblpConfig};
+    use std::time::Duration;
 
     #[test]
     fn relational_engine_end_to_end() {
@@ -230,31 +530,86 @@ mod tests {
             ..Default::default()
         });
         let engine = RelationalEngine::new(&db);
-        let hits = engine.search("data query", 5).unwrap();
-        assert!(!hits.is_empty());
-        assert!(hits.windows(2).all(|w| w[0].score >= w[1].score));
-        assert!(hits[0].rendered.contains('('));
+        let resp = engine
+            .execute(&SearchRequest::new("data query").k(5))
+            .unwrap();
+        assert!(!resp.hits.is_empty());
+        assert!(!resp.truncated);
+        assert!(resp.hits.windows(2).all(|w| w[0].score >= w[1].score));
+        assert!(resp.hits[0].rendered.contains('('));
+        assert!(resp.stats.candidates_generated > 0);
+        assert_eq!(resp.stats.cache_misses, 1);
+        assert!(resp.stats.operators.tuples_scanned > 0);
     }
 
     #[test]
     fn relational_engine_empty_and_unmatched() {
         let db = generate_dblp(&DblpConfig::default());
         let engine = RelationalEngine::new(&db);
-        assert!(engine.search("", 5).unwrap().is_empty());
-        assert!(engine.search("zzzzqqq data", 5).unwrap().is_empty());
+        let empty = engine.execute(&SearchRequest::new("").k(5)).unwrap();
+        assert!(empty.hits.is_empty() && !empty.truncated);
+        let unmatched = engine
+            .execute(&SearchRequest::new("zzzzqqq data").k(5))
+            .unwrap();
+        assert!(unmatched.hits.is_empty() && !unmatched.truncated);
+    }
+
+    #[test]
+    fn deprecated_search_still_works() {
+        let db = generate_dblp(&DblpConfig {
+            n_papers: 60,
+            n_authors: 30,
+            ..Default::default()
+        });
+        let engine = RelationalEngine::new(&db);
+        #[allow(deprecated)]
+        let hits = engine.search("data query", 5).unwrap();
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn cn_plan_cache_hits_on_repeat() {
+        let db = generate_dblp(&DblpConfig {
+            n_papers: 60,
+            n_authors: 30,
+            ..Default::default()
+        });
+        let engine = RelationalEngine::new(&db);
+        let req = SearchRequest::new("data query").k(3);
+        let first = engine.execute(&req).unwrap();
+        assert_eq!((first.stats.cache_hits, first.stats.cache_misses), (0, 1));
+        let second = engine.execute(&req).unwrap();
+        assert_eq!((second.stats.cache_hits, second.stats.cache_misses), (1, 0));
+        // keyword order must not defeat the cache
+        let third = engine
+            .execute(&SearchRequest::new("query data").k(3))
+            .unwrap();
+        assert_eq!(third.stats.cache_hits, 1);
     }
 
     #[test]
     fn graph_search_all_semantics() {
         let g = kwdb_datasets::graphs::generate_graph(&Default::default());
-        let exact = graph_search(&g, "kw0 kw1", 3, GraphSemantics::SteinerExact);
-        let banks = graph_search(&g, "kw0 kw1", 3, GraphSemantics::Banks);
-        let droot = graph_search(&g, "kw0 kw1", 3, GraphSemantics::DistinctRoot);
-        assert!(!exact.is_empty());
-        assert!(!banks.is_empty());
-        assert!(!droot.is_empty());
-        assert!(banks[0].cost >= exact[0].cost - 1e-9, "DPBF is optimal");
-        assert!(droot[0].cost >= exact[0].cost - 1e-9);
+        let engine = GraphEngine::new(&g);
+        let run = |sem| {
+            engine
+                .execute(&SearchRequest::new("kw0 kw1").k(3).semantics(sem))
+                .unwrap()
+        };
+        let exact = run(GraphSemantics::SteinerExact);
+        let banks = run(GraphSemantics::Banks);
+        let droot = run(GraphSemantics::DistinctRoot);
+        assert!(!exact.hits.is_empty());
+        assert!(!banks.hits.is_empty());
+        assert!(!droot.hits.is_empty());
+        assert!(
+            banks.hits[0].cost >= exact.hits[0].cost - 1e-9,
+            "DPBF is optimal"
+        );
+        assert!(droot.hits[0].cost >= exact.hits[0].cost - 1e-9);
+        // second DistinctRoot query reuses the cached index
+        let again = run(GraphSemantics::DistinctRoot);
+        assert_eq!(again.stats.cache_hits, 1);
     }
 
     #[test]
@@ -271,18 +626,38 @@ mod tests {
                 ..Default::default()
             },
         );
-        let hits = engine.search("data query", 5).unwrap();
-        assert!(!hits.is_empty());
-        assert!(hits.windows(2).all(|w| w[0].score >= w[1].score));
+        let resp = engine
+            .execute(&SearchRequest::new("data query").k(5))
+            .unwrap();
+        assert!(!resp.hits.is_empty());
+        assert!(resp.hits.windows(2).all(|w| w[0].score >= w[1].score));
     }
 
     #[test]
     fn xml_search_ranks_small_results_first() {
         let tree = kwdb_datasets::generate_bib_xml(&Default::default());
         let ix = XmlIndex::build(&tree);
-        let hits = xml_search(&tree, &ix, "data query", 10).unwrap();
-        if hits.len() >= 2 {
-            assert!(hits[0].score >= hits[1].score);
+        let resp = XmlEngine::new(&tree, &ix)
+            .execute(&SearchRequest::new("data query").k(10))
+            .unwrap();
+        if resp.hits.len() >= 2 {
+            assert!(resp.hits[0].score >= resp.hits[1].score);
         }
+    }
+
+    #[test]
+    fn zero_deadline_truncates_without_panicking() {
+        let db = generate_dblp(&DblpConfig {
+            n_papers: 60,
+            n_authors: 30,
+            ..Default::default()
+        });
+        let engine = RelationalEngine::new(&db);
+        let req = SearchRequest::new("data query")
+            .k(5)
+            .budget(Budget::unlimited().with_timeout(Duration::ZERO));
+        let resp = engine.execute(&req).unwrap();
+        assert!(resp.truncated);
+        assert!(resp.hits.windows(2).all(|w| w[0].score >= w[1].score));
     }
 }

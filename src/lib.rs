@@ -11,15 +11,21 @@
 //! ## Quickstart
 //!
 //! ```
-//! use kwdb::engine::RelationalEngine;
+//! use kwdb::engine::{RelationalEngine, SearchRequest};
 //! use kwdb::datasets::{generate_dblp, DblpConfig};
 //!
 //! let db = generate_dblp(&DblpConfig { n_papers: 100, ..Default::default() });
 //! let engine = RelationalEngine::new(&db);
-//! let hits = engine.search("widom data", 5).unwrap();
-//! for hit in &hits {
+//! let resp = engine.execute(&SearchRequest::new("widom data").k(5)).unwrap();
+//! for hit in &resp.hits {
 //!     println!("{:.3}  {}", hit.score, hit.rendered);
 //! }
+//! println!(
+//!     "{} candidate networks in {:?}{}",
+//!     resp.stats.candidates_generated,
+//!     resp.stats.phases.total(),
+//!     if resp.truncated { " (truncated)" } else { "" },
+//! );
 //! ```
 //!
 //! Each sub-crate is re-exported under a short module name; the

@@ -1,0 +1,162 @@
+//! Integration tests for the unified budgeted/instrumented search API:
+//! budget exhaustion must return partial, sorted, truncated results on all
+//! three engines; repeated queries must hit the CN plan cache; empty and
+//! unmatched queries must come back empty through the new API.
+
+use kwdb::common::Budget;
+use kwdb::datasets::{self, generate_dblp, DblpConfig};
+use kwdb::engine::{GraphEngine, GraphSemantics, RelationalEngine, SearchRequest, XmlEngine};
+use kwdb::xml::XmlIndex;
+use std::time::Duration;
+
+fn dblp() -> kwdb::relational::Database {
+    generate_dblp(&DblpConfig {
+        n_papers: 80,
+        n_authors: 40,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn relational_budget_exhaustion_truncates_sorted() {
+    let db = dblp();
+    let engine = RelationalEngine::new(&db);
+    let req = SearchRequest::new("data query")
+        .k(5)
+        .budget(Budget::unlimited().with_timeout(Duration::ZERO));
+    let resp = engine.execute(&req).unwrap();
+    assert!(resp.truncated, "zero deadline must truncate");
+    assert!(
+        resp.hits.windows(2).all(|w| w[0].score >= w[1].score),
+        "truncated hits must still be sorted"
+    );
+
+    // candidate cap: a handful of slices yields partial-but-sorted results
+    let req = SearchRequest::new("data query")
+        .k(5)
+        .budget(Budget::unlimited().with_max_candidates(3));
+    let resp = engine.execute(&req).unwrap();
+    assert!(resp.truncated);
+    assert!(resp.hits.windows(2).all(|w| w[0].score >= w[1].score));
+
+    // an unconstrained run of the same query is a superset-or-equal
+    let full = engine
+        .execute(&SearchRequest::new("data query").k(5))
+        .unwrap();
+    assert!(!full.truncated);
+    assert!(full.hits.len() >= resp.hits.len());
+}
+
+#[test]
+fn graph_budget_exhaustion_truncates_all_semantics() {
+    let g = datasets::graphs::generate_graph(&Default::default());
+    let engine = GraphEngine::new(&g);
+    for sem in [
+        GraphSemantics::SteinerExact,
+        GraphSemantics::Banks,
+        GraphSemantics::DistinctRoot,
+    ] {
+        let req = SearchRequest::new("kw0 kw1")
+            .k(3)
+            .semantics(sem)
+            .budget(Budget::unlimited().with_timeout(Duration::ZERO));
+        let resp = engine.execute(&req).unwrap();
+        assert!(resp.truncated, "{sem:?}: zero deadline must truncate");
+        assert!(
+            resp.hits.windows(2).all(|w| w[0].cost <= w[1].cost),
+            "{sem:?}: truncated hits must stay cost-sorted"
+        );
+        // must not panic, and an unlimited run still works afterwards
+        let full = engine
+            .execute(&SearchRequest::new("kw0 kw1").k(3).semantics(sem))
+            .unwrap();
+        assert!(!full.truncated);
+        assert!(!full.hits.is_empty());
+    }
+}
+
+#[test]
+fn xml_budget_exhaustion_truncates_sorted() {
+    let tree = datasets::generate_bib_xml(&Default::default());
+    let ix = XmlIndex::build(&tree);
+    let engine = XmlEngine::new(&tree, &ix);
+    let req = SearchRequest::new("data query")
+        .k(10)
+        .budget(Budget::unlimited().with_timeout(Duration::ZERO));
+    let resp = engine.execute(&req).unwrap();
+    assert!(resp.truncated, "zero deadline must truncate");
+    assert!(resp.hits.windows(2).all(|w| w[0].score >= w[1].score));
+
+    let full = engine
+        .execute(&SearchRequest::new("data query").k(10))
+        .unwrap();
+    assert!(!full.truncated);
+}
+
+#[test]
+fn repeated_query_hits_cn_cache_and_is_faster_to_plan() {
+    let db = dblp();
+    let engine = RelationalEngine::new(&db);
+    let req = SearchRequest::new("data query").k(5);
+    let first = engine.execute(&req).unwrap();
+    let second = engine.execute(&req).unwrap();
+    assert_eq!(first.stats.cache_misses, 1);
+    assert_eq!(first.stats.cache_hits, 0);
+    assert_eq!(second.stats.cache_hits, 1);
+    assert_eq!(second.stats.cache_misses, 0);
+    assert_eq!(
+        first.stats.candidates_generated,
+        second.stats.candidates_generated
+    );
+    // identical results either way
+    let s1: Vec<f64> = first.hits.iter().map(|h| h.score).collect();
+    let s2: Vec<f64> = second.hits.iter().map(|h| h.score).collect();
+    assert_eq!(s1, s2);
+    // the cached plan phase must not be slower than generation by more
+    // than a trivial margin (it does no CN generation work at all)
+    assert!(
+        second.stats.phases.plan <= first.stats.phases.plan + Duration::from_millis(1),
+        "cached plan {:?} vs generated {:?}",
+        second.stats.phases.plan,
+        first.stats.phases.plan
+    );
+}
+
+#[test]
+fn empty_and_unmatched_queries_are_empty_through_new_api() {
+    let db = dblp();
+    let engine = RelationalEngine::new(&db);
+    for q in ["", "   ", "zzzzqqqxw"] {
+        let resp = engine.execute(&SearchRequest::new(q).k(5)).unwrap();
+        assert!(resp.hits.is_empty(), "query {q:?}");
+        assert!(!resp.truncated, "query {q:?}");
+    }
+
+    let g = datasets::graphs::generate_graph(&Default::default());
+    let gengine = GraphEngine::new(&g);
+    for q in ["", "zzzzqqqxw kw0"] {
+        let resp = gengine.execute(&SearchRequest::new(q).k(3)).unwrap();
+        assert!(resp.hits.is_empty(), "query {q:?}");
+    }
+
+    let tree = datasets::generate_bib_xml(&Default::default());
+    let ix = XmlIndex::build(&tree);
+    let xengine = XmlEngine::new(&tree, &ix);
+    for q in ["", "zzzzqqqxw data"] {
+        let resp = xengine.execute(&SearchRequest::new(q).k(5)).unwrap();
+        assert!(resp.hits.is_empty(), "query {q:?}");
+    }
+}
+
+#[test]
+fn stats_phases_are_populated() {
+    let db = dblp();
+    let engine = RelationalEngine::new(&db);
+    let resp = engine
+        .execute(&SearchRequest::new("data query").k(5))
+        .unwrap();
+    let p = resp.stats.phases;
+    assert!(p.total() >= p.evaluate);
+    assert!(p.total() == p.parse + p.build + p.plan + p.evaluate);
+    assert!(resp.stats.candidates_generated > 0);
+}
