@@ -29,7 +29,7 @@ fn slide30() -> DataGraph {
 pub fn e03_gst_slide_example() -> Report {
     let g = slide30();
     let kws = ["k1", "k2", "k3"];
-    let mut dpbf = Dpbf::new(&g);
+    let dpbf = Dpbf::new(&g);
     let results = dpbf.search(&kws, 3);
     let mut rows = Vec::new();
     for (i, t) in results.iter().enumerate() {
@@ -62,10 +62,11 @@ pub fn e05_graph_engines() -> Report {
             ..Default::default()
         });
         let kws = ["kw0", "kw1", "kw2"];
-        let mut dpbf = Dpbf::new(&g);
-        let exact = dpbf.search(&kws, 1);
-        let mut b1 = BanksI::new(&g);
-        let r1 = b1.search(&kws, 1);
+        let dpbf = Dpbf::new(&g);
+        let unlimited = kwdb_common::Budget::unlimited();
+        let (exact, _, dpbf_work) = dpbf.search_budgeted(&kws, 1, &unlimited);
+        let b1 = BanksI::new(&g);
+        let (r1, _, b1_work) = b1.search_budgeted(&kws, 1, &unlimited);
         let mut b2 = BanksII::new(&g);
         let r2 = b2.search(&kws, 1);
         rows.push(format!(
@@ -73,8 +74,8 @@ pub fn e05_graph_engines() -> Report {
             exact.first().map(|t| t.cost).unwrap_or(f64::NAN),
             r1.first().map(|t| t.cost).unwrap_or(f64::NAN),
             r2.first().map(|t| t.cost).unwrap_or(f64::NAN),
-            dpbf.states_popped,
-            b1.nodes_expanded,
+            dpbf_work.states_popped,
+            b1_work.nodes_expanded,
             b2.nodes_expanded
         ));
     }
@@ -152,14 +153,13 @@ pub fn e20_blinks() -> Report {
         "k", "sorted-access", "random-access", "banks-work"
     )];
     for k in [1usize, 5, 20] {
-        let res = bl.search(&ix, &kws, k);
-        let mut banks = BanksI::new(&g);
-        let _ = banks.search(&kws, k);
+        let unlimited = kwdb_common::Budget::unlimited();
+        let (res, _, bl_work) = bl.search_budgeted(&ix, &kws, k, &unlimited);
+        let banks = BanksI::new(&g);
+        let (_, _, banks_work) = banks.search_budgeted(&kws, k, &unlimited);
         rows.push(format!(
             "{k:>3} {:>14} {:>14} {:>12}",
-            bl.sorted_accesses(),
-            bl.random_accesses(),
-            banks.nodes_expanded
+            bl_work.sorted_accesses, bl_work.random_accesses, banks_work.nodes_expanded
         ));
         assert!(!res.is_empty());
     }
@@ -182,7 +182,7 @@ pub fn e34_semantics_zoo() -> Report {
         ..Default::default()
     });
     let kws = ["kw0", "kw1"];
-    let mut dpbf = Dpbf::new(&g);
+    let dpbf = Dpbf::new(&g);
     let steiner = dpbf.search(&kws, 5);
     let bl = Blinks::new(&g);
     let ix = bl.build_index(&kws);

@@ -190,18 +190,25 @@ pub fn e06_topk_strategies() -> Report {
         "{:>3} {:>16} {:>12} {:>12} {:>10}",
         "k", "strategy", "scanned", "probes", "joins"
     )];
+    type Strategy<'s> = &'s dyn Fn(usize, &ExecStats);
+    let strategies: [(&str, Strategy); 4] = [
+        ("naive", &|k, s| {
+            naive(&q, k, s);
+        }),
+        ("sparse", &|k, s| {
+            sparse(&q, k, s);
+        }),
+        ("single-pipeline", &|k, s| {
+            single_pipeline(&q, k, s);
+        }),
+        ("global-pipeline", &|k, s| {
+            global_pipeline(&q, k, s);
+        }),
+    ];
     for k in [1usize, 10, 50] {
-        for (name, f) in [
-            (
-                "naive",
-                naive as fn(&TopKQuery<'_, String>, usize, &ExecStats) -> _,
-            ),
-            ("sparse", sparse),
-            ("single-pipeline", single_pipeline),
-            ("global-pipeline", global_pipeline),
-        ] {
+        for (name, f) in strategies {
             let stats = ExecStats::new();
-            let _ = f(&q, k, &stats);
+            f(k, &stats);
             let s = stats.snapshot();
             rows.push(format!(
                 "{k:>3} {name:>16} {:>12} {:>12} {:>10}",

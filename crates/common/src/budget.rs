@@ -162,6 +162,27 @@ impl QueryStats {
     pub fn new() -> Self {
         QueryStats::default()
     }
+
+    /// Accumulate another query's record into this one: phase timings,
+    /// operator counters, candidate counts, and cache counters all add up.
+    /// The dispatcher uses this to report fleet-wide totals for a batch of
+    /// concurrently executed requests.
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.phases.parse += other.phases.parse;
+        self.phases.build += other.phases.build;
+        self.phases.plan += other.phases.plan;
+        self.phases.evaluate += other.phases.evaluate;
+        self.operators.tuples_scanned += other.operators.tuples_scanned;
+        self.operators.join_probes += other.operators.join_probes;
+        self.operators.joins_executed += other.operators.joins_executed;
+        self.operators.rows_output += other.operators.rows_output;
+        self.operators.sorted_accesses += other.operators.sorted_accesses;
+        self.operators.random_accesses += other.operators.random_accesses;
+        self.candidates_generated += other.candidates_generated;
+        self.candidates_pruned += other.candidates_pruned;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
 }
 
 /// A tiny stopwatch for phase timing: `lap()` returns the time since the
@@ -222,6 +243,48 @@ mod tests {
         let b = Budget::unlimited().with_timeout(Duration::from_secs(3600));
         assert!(!b.exhausted());
         assert!(b.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn merge_accumulates_every_counter() {
+        let mut a = QueryStats {
+            phases: PhaseTimings {
+                parse: Duration::from_millis(1),
+                build: Duration::from_millis(2),
+                plan: Duration::from_millis(3),
+                evaluate: Duration::from_millis(4),
+            },
+            operators: OperatorCounts {
+                tuples_scanned: 1,
+                join_probes: 2,
+                joins_executed: 3,
+                rows_output: 4,
+                sorted_accesses: 5,
+                random_accesses: 6,
+            },
+            candidates_generated: 7,
+            candidates_pruned: 8,
+            cache_hits: 9,
+            cache_misses: 10,
+        };
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.phases.total(), Duration::from_millis(20));
+        assert_eq!(a.operators.tuples_scanned, 2);
+        assert_eq!(a.operators.random_accesses, 12);
+        assert_eq!(a.candidates_generated, 14);
+        assert_eq!(a.candidates_pruned, 16);
+        assert_eq!(a.cache_hits, 18);
+        assert_eq!(a.cache_misses, 20);
+    }
+
+    #[test]
+    fn merge_of_default_is_identity() {
+        let mut a = QueryStats::new();
+        a.cache_hits = 3;
+        a.merge(&QueryStats::default());
+        assert_eq!(a.cache_hits, 3);
+        assert_eq!(a.phases.total(), Duration::ZERO);
     }
 
     #[test]

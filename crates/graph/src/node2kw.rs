@@ -40,7 +40,7 @@ impl NodeKeywordIndex {
                 entry.insert(n, (dd, origin[&n]));
                 sorted.push((n, dd));
             }
-            sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+            sorted.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
             ix.dist.insert(k.to_string(), entry);
             ix.sorted.insert(k.to_string(), sorted);
         }

@@ -258,7 +258,7 @@ mod tests {
             }
             let kws = ["aa", "bb"];
             let heur = spt_heuristic(&g, &kws);
-            let mut dp = Dpbf::new(&g);
+            let dp = Dpbf::new(&g);
             let opt = dp.search(&kws, 1);
             match (heur, opt.first()) {
                 (Some(t), Some(o)) => assert!(t.cost + 1e-9 >= o.cost),

@@ -19,6 +19,7 @@
 //! gap against DPBF.
 
 use crate::answer::{norm_edge, AnswerTree};
+use crate::TraversalStats;
 use kwdb_common::{topk::TopK, Budget, Score};
 use kwdb_graph::{DataGraph, NodeId};
 use std::collections::{BinaryHeap, HashMap};
@@ -93,46 +94,45 @@ impl GroupExpansion {
     }
 }
 
-/// The BANKS I engine.
+/// The BANKS I engine. Stateless — `search` takes `&self` and the per-query
+/// work counter (nodes settled) comes back in a [`TraversalStats`], so one
+/// engine can serve concurrent queries.
 #[derive(Debug)]
 pub struct BanksI<'g> {
     g: &'g DataGraph,
-    /// Total nodes settled across all expansions — the work metric.
-    pub nodes_expanded: usize,
 }
 
 impl<'g> BanksI<'g> {
     pub fn new(g: &'g DataGraph) -> Self {
-        BanksI {
-            g,
-            nodes_expanded: 0,
-        }
+        BanksI { g }
     }
 
     /// Top-k answers by distinct-root cost, best first.
-    pub fn search<S: AsRef<str>>(&mut self, keywords: &[S], k: usize) -> Vec<AnswerTree> {
+    pub fn search<S: AsRef<str>>(&self, keywords: &[S], k: usize) -> Vec<AnswerTree> {
         self.search_budgeted(keywords, k, &Budget::unlimited()).0
     }
 
     /// [`Self::search`] under an execution [`Budget`]: every node settled
     /// counts as one candidate; an exhausted budget returns the (cost-sorted)
-    /// answers found so far with `true` (truncated).
+    /// answers found so far with `true` (truncated). The third element
+    /// reports this query's expansion work in `nodes_expanded`.
     pub fn search_budgeted<S: AsRef<str>>(
-        &mut self,
+        &self,
         keywords: &[S],
         k: usize,
         budget: &Budget,
-    ) -> (Vec<AnswerTree>, bool) {
+    ) -> (Vec<AnswerTree>, bool, TraversalStats) {
+        let mut stats = TraversalStats::default();
         let l = keywords.len();
         let mut truncated = false;
         if l == 0 || k == 0 {
-            return (Vec::new(), truncated);
+            return (Vec::new(), truncated, stats);
         }
         let mut groups: Vec<GroupExpansion> = Vec::with_capacity(l);
         for kw in keywords {
             let sources = self.g.keyword_nodes(kw.as_ref());
             if sources.is_empty() {
-                return (Vec::new(), truncated);
+                return (Vec::new(), truncated, stats);
             }
             groups.push(GroupExpansion::new(sources));
         }
@@ -158,7 +158,7 @@ impl<'g> BanksI<'g> {
             let Some((node, _)) = groups[gi].settle(self.g) else {
                 break;
             };
-            self.nodes_expanded += 1;
+            stats.nodes_expanded += 1;
             let mask = settled_by.entry(node).or_insert(0);
             *mask |= 1 << gi;
             if *mask == full {
@@ -184,7 +184,7 @@ impl<'g> BanksI<'g> {
             .into_iter()
             .map(|(neg_cost, root)| self.build_tree(root, -neg_cost, &groups, l))
             .collect();
-        (trees, truncated)
+        (trees, truncated, stats)
     }
 
     fn build_tree(
@@ -295,7 +295,7 @@ mod tests {
     #[test]
     fn finds_valid_answers() {
         let g = slide30();
-        let mut banks = BanksI::new(&g);
+        let banks = BanksI::new(&g);
         let res = banks.search(&["k1", "k2", "k3"], 3);
         assert!(!res.is_empty());
         for t in &res {
@@ -306,7 +306,7 @@ mod tests {
     #[test]
     fn best_answer_is_near_optimal_on_slide_graph() {
         let g = slide30();
-        let mut banks = BanksI::new(&g);
+        let banks = BanksI::new(&g);
         let res = banks.search(&["k1", "k2", "k3"], 1);
         // optimal Steiner cost is 10; BANKS (union of shortest paths from the
         // best root) finds exactly it here
@@ -316,7 +316,7 @@ mod tests {
     #[test]
     fn distinct_roots() {
         let g = slide30();
-        let mut banks = BanksI::new(&g);
+        let banks = BanksI::new(&g);
         let res = banks.search(&["k1", "k2"], 5);
         let mut roots: Vec<NodeId> = res.iter().map(|t| t.root).collect();
         roots.sort();
@@ -327,14 +327,14 @@ mod tests {
     #[test]
     fn missing_keyword_is_empty() {
         let g = slide30();
-        let mut banks = BanksI::new(&g);
+        let banks = BanksI::new(&g);
         assert!(banks.search(&["k1", "nope"], 3).is_empty());
     }
 
     #[test]
     fn single_keyword_returns_match_roots() {
         let g = slide30();
-        let mut banks = BanksI::new(&g);
+        let banks = BanksI::new(&g);
         let res = banks.search(&["k1"], 2);
         assert_eq!(res.len(), 2);
         assert!(res.iter().all(|t| t.cost == 0.0 && t.size() == 1));
@@ -343,8 +343,8 @@ mod tests {
     #[test]
     fn expansion_work_is_counted() {
         let g = slide30();
-        let mut banks = BanksI::new(&g);
-        banks.search(&["k1", "k2", "k3"], 1);
-        assert!(banks.nodes_expanded > 0);
+        let banks = BanksI::new(&g);
+        let (_, _, stats) = banks.search_budgeted(&["k1", "k2", "k3"], 1, &Budget::unlimited());
+        assert!(stats.nodes_expanded > 0);
     }
 }

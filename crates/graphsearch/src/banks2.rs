@@ -31,7 +31,8 @@ const DECAY: f64 = 0.5;
 #[derive(Debug)]
 pub struct BanksII<'g> {
     g: &'g DataGraph,
-    /// Nodes settled — comparable to [`crate::banks1::BanksI::nodes_expanded`].
+    /// Nodes settled — comparable to BANKS I's
+    /// [`TraversalStats::nodes_expanded`](crate::TraversalStats).
     pub nodes_expanded: usize,
     /// Stop after this many settles without the sound bound firing.
     pub work_budget: usize,
@@ -100,7 +101,7 @@ impl<'g> BanksII<'g> {
                         .peek()
                         .map(|std::cmp::Reverse((Score(na), _))| (i, *na))
                 })
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()); // most-negative = highest activation
+                .min_by(|a, b| a.1.total_cmp(&b.1)); // most-negative = highest activation
             let Some((gi, _)) = next else { break };
 
             // Settle the head of group gi (skipping stale entries).
@@ -234,7 +235,7 @@ mod tests {
     #[test]
     fn answer_cost_close_to_banks1() {
         let g = slide30();
-        let mut b1 = BanksI::new(&g);
+        let b1 = BanksI::new(&g);
         let mut b2 = BanksII::new(&g);
         let r1 = b1.search(&["k1", "k2", "k3"], 1);
         let r2 = b2.search(&["k1", "k2", "k3"], 1);

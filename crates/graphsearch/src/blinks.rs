@@ -14,43 +14,26 @@
 //! TA logic.
 
 use crate::answer::{norm_edge, AnswerTree};
+use crate::TraversalStats;
 use kwdb_common::topk::TopK;
 use kwdb_common::Budget;
 use kwdb_graph::shortest::dijkstra;
 use kwdb_graph::{DataGraph, NodeId, NodeKeywordIndex};
-use std::cell::Cell;
 use std::collections::HashSet;
 
 /// The BLINKS engine. The index is caller-owned ([`Self::build_index`] /
 /// [`Self::build_full_index`]) so repeated queries over the same graph
-/// amortize construction; `search` takes `&self`, so one engine can serve
-/// many queries (access counters are interior-mutable).
+/// amortize construction; the engine itself is stateless — `search` takes
+/// `&self` and per-query access counters come back in a [`TraversalStats`],
+/// so one engine can serve many queries, concurrently.
 #[derive(Debug)]
 pub struct Blinks<'g> {
     g: &'g DataGraph,
-    /// Sorted accesses performed in the last search.
-    sorted_accesses: Cell<usize>,
-    /// Random accesses performed in the last search.
-    random_accesses: Cell<usize>,
 }
 
 impl<'g> Blinks<'g> {
     pub fn new(g: &'g DataGraph) -> Self {
-        Blinks {
-            g,
-            sorted_accesses: Cell::new(0),
-            random_accesses: Cell::new(0),
-        }
-    }
-
-    /// Sorted accesses performed in the last search.
-    pub fn sorted_accesses(&self) -> usize {
-        self.sorted_accesses.get()
-    }
-
-    /// Random accesses performed in the last search.
-    pub fn random_accesses(&self) -> usize {
-        self.random_accesses.get()
+        Blinks { g }
     }
 
     /// Build the node→keyword index for `keywords` (callers may cache it).
@@ -79,27 +62,27 @@ impl<'g> Blinks<'g> {
 
     /// [`Self::search`] under an execution [`Budget`]: every sorted access
     /// counts as one candidate; an exhausted budget returns the (cost-sorted)
-    /// answers found so far with `true` (truncated).
+    /// answers found so far with `true` (truncated). The third element counts
+    /// this query's sorted/random index accesses.
     pub fn search_budgeted<S: AsRef<str>>(
         &self,
         index: &NodeKeywordIndex,
         keywords: &[S],
         k: usize,
         budget: &Budget,
-    ) -> (Vec<AnswerTree>, bool) {
-        self.sorted_accesses.set(0);
-        self.random_accesses.set(0);
+    ) -> (Vec<AnswerTree>, bool, TraversalStats) {
+        let mut stats = TraversalStats::default();
         let l = keywords.len();
         let mut truncated = false;
         if l == 0 || k == 0 {
-            return (Vec::new(), truncated);
+            return (Vec::new(), truncated, stats);
         }
         let lists: Vec<&[(NodeId, f64)]> = keywords
             .iter()
             .map(|kw| index.sorted_list(kw.as_ref()))
             .collect();
         if lists.iter().any(|lst| lst.is_empty()) {
-            return (Vec::new(), truncated);
+            return (Vec::new(), truncated, stats);
         }
         let mut cursors = vec![0usize; l];
         let mut seen: HashSet<NodeId> = HashSet::new();
@@ -108,7 +91,7 @@ impl<'g> Blinks<'g> {
         'ta: loop {
             let mut any = false;
             for (i, list) in lists.iter().enumerate() {
-                if budget.exhausted_at(self.sorted_accesses.get() as u64) {
+                if budget.exhausted_at(stats.sorted_accesses as u64) {
                     truncated = true;
                     break 'ta;
                 }
@@ -116,14 +99,14 @@ impl<'g> Blinks<'g> {
                     continue;
                 };
                 cursors[i] += 1;
-                self.sorted_accesses.set(self.sorted_accesses.get() + 1);
+                stats.sorted_accesses += 1;
                 any = true;
                 if seen.insert(node) {
                     // random access: complete the root's score
                     let mut total = 0.0;
                     let mut complete = true;
                     for kw in keywords {
-                        self.random_accesses.set(self.random_accesses.get() + 1);
+                        stats.random_accesses += 1;
                         match index.dist(node, kw.as_ref()) {
                             Some(d) => total += d,
                             None => {
@@ -162,7 +145,7 @@ impl<'g> Blinks<'g> {
             .into_iter()
             .map(|(neg, root)| self.build_tree(index, keywords, root, -neg))
             .collect();
-        (trees, truncated)
+        (trees, truncated, stats)
     }
 
     /// Materialize a root's answer tree: shortest paths to each keyword's
@@ -274,12 +257,12 @@ mod tests {
         let kws = ["x", "y"];
         let bl = Blinks::new(&g);
         let ix = bl.build_index(&kws);
-        let res = bl.search(&ix, &kws, 1);
+        let (res, _, stats) = bl.search_budgeted(&ix, &kws, 1, &Budget::unlimited());
         assert_eq!(res[0].cost, 0.0);
         assert!(
-            bl.sorted_accesses() < 20,
+            stats.sorted_accesses < 20,
             "TA should stop early, did {} accesses",
-            bl.sorted_accesses()
+            stats.sorted_accesses
         );
     }
 

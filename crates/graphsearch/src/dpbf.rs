@@ -16,6 +16,7 @@
 //! keyword count is capped at 16.
 
 use crate::answer::{norm_edge, AnswerTree};
+use crate::TraversalStats;
 use kwdb_common::{Budget, Score};
 use kwdb_graph::{DataGraph, NodeId};
 use std::collections::{BinaryHeap, HashMap};
@@ -31,42 +32,41 @@ enum Parent {
     Merge { m1: u32, m2: u32 },
 }
 
-/// The DPBF search engine.
+/// The DPBF search engine. Stateless — `search` takes `&self` and the
+/// per-query work counter (states popped) comes back in a
+/// [`TraversalStats`], so one engine can serve concurrent queries.
 #[derive(Debug)]
 pub struct Dpbf<'g> {
     g: &'g DataGraph,
-    /// States popped from the queue — the work metric reported by benches.
-    pub states_popped: usize,
 }
 
 impl<'g> Dpbf<'g> {
     pub fn new(g: &'g DataGraph) -> Self {
-        Dpbf {
-            g,
-            states_popped: 0,
-        }
+        Dpbf { g }
     }
 
     /// Top-k minimum-cost connecting trees (distinct roots), best first.
     /// Keywords with no matches make the result empty (AND semantics).
-    pub fn search<S: AsRef<str>>(&mut self, keywords: &[S], k: usize) -> Vec<AnswerTree> {
+    pub fn search<S: AsRef<str>>(&self, keywords: &[S], k: usize) -> Vec<AnswerTree> {
         self.search_budgeted(keywords, k, &Budget::unlimited()).0
     }
 
     /// [`Self::search`] under an execution [`Budget`]: every DP state popped
     /// counts as one candidate; an exhausted budget returns the (cost-sorted)
-    /// full-coverage trees found so far with `true` (truncated).
+    /// full-coverage trees found so far with `true` (truncated). The third
+    /// element reports this query's work in `states_popped`.
     pub fn search_budgeted<S: AsRef<str>>(
-        &mut self,
+        &self,
         keywords: &[S],
         k: usize,
         budget: &Budget,
-    ) -> (Vec<AnswerTree>, bool) {
+    ) -> (Vec<AnswerTree>, bool, TraversalStats) {
+        let mut stats = TraversalStats::default();
         let l = keywords.len();
         assert!(l <= 16, "DPBF supports at most 16 keywords");
         let mut truncated = false;
         if l == 0 || k == 0 {
-            return (Vec::new(), truncated);
+            return (Vec::new(), truncated, stats);
         }
         let full: u32 = (1 << l) - 1;
         // cost[(v, mask)] and parent pointers
@@ -79,7 +79,7 @@ impl<'g> Dpbf<'g> {
         for (i, kw) in keywords.iter().enumerate() {
             let group = self.g.keyword_nodes(kw.as_ref());
             if group.is_empty() {
-                return (Vec::new(), truncated);
+                return (Vec::new(), truncated, stats);
             }
             for &v in group {
                 let key = (v, 1 << i);
@@ -106,7 +106,7 @@ impl<'g> Dpbf<'g> {
                 break;
             }
             popped += 1;
-            self.states_popped += 1;
+            stats.states_popped += 1;
             if mask == full {
                 if roots_seen.insert(v) {
                     let tree = self.reconstruct(v, mask, &parent, keywords.len(), c);
@@ -142,7 +142,7 @@ impl<'g> Dpbf<'g> {
                 }
             }
         }
-        (results, truncated)
+        (results, truncated, stats)
     }
 
     /// Rebuild the tree edges and keyword matches from parent pointers.
@@ -280,7 +280,7 @@ mod tests {
     #[test]
     fn slide30_top1_is_a_b_c_d() {
         let (g, ids) = slide30();
-        let mut dpbf = Dpbf::new(&g);
+        let dpbf = Dpbf::new(&g);
         let res = dpbf.search(&["k1", "k2", "k3"], 1);
         assert_eq!(res.len(), 1);
         let t = &res[0];
@@ -298,7 +298,7 @@ mod tests {
     #[test]
     fn top_k_returns_increasing_costs() {
         let (g, _) = slide30();
-        let mut dpbf = Dpbf::new(&g);
+        let dpbf = Dpbf::new(&g);
         let res = dpbf.search(&["k1", "k2", "k3"], 3);
         assert!(res.len() >= 2);
         for w in res.windows(2) {
@@ -315,7 +315,7 @@ mod tests {
         let a = g.add_node("n", "x y");
         let b = g.add_node("n", "x");
         g.add_edge(a, b, 1.0);
-        let mut dpbf = Dpbf::new(&g);
+        let dpbf = Dpbf::new(&g);
         let res = dpbf.search(&["x", "y"], 1);
         assert_eq!(res[0].cost, 0.0);
         assert_eq!(res[0].root, a);
@@ -325,7 +325,7 @@ mod tests {
     #[test]
     fn missing_keyword_returns_empty() {
         let (g, _) = slide30();
-        let mut dpbf = Dpbf::new(&g);
+        let dpbf = Dpbf::new(&g);
         assert!(dpbf.search(&["k1", "zzz"], 3).is_empty());
         assert!(dpbf.search::<&str>(&[], 3).is_empty());
     }
@@ -333,7 +333,7 @@ mod tests {
     #[test]
     fn matches_brute_force_on_slide_graph() {
         let (g, _) = slide30();
-        let mut dpbf = Dpbf::new(&g);
+        let dpbf = Dpbf::new(&g);
         let res = dpbf.search(&["k1", "k2", "k3"], 1);
         let bf = brute_force_gst_cost(&g, &["k1", "k2", "k3"]).unwrap();
         assert_eq!(res[0].cost, bf);
@@ -367,7 +367,7 @@ mod tests {
                 }
             }
             let keywords: Vec<String> = (0..seeds.len()).map(|i| format!("kw{i}")).collect();
-            let mut dpbf = Dpbf::new(&g);
+            let dpbf = Dpbf::new(&g);
             let res = dpbf.search(&keywords, 1);
             let bf = brute_force_gst_cost(&g, &keywords);
             match (res.first(), bf) {

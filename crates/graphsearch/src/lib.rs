@@ -36,3 +36,24 @@ pub use banks1::BanksI;
 pub use banks2::BanksII;
 pub use blinks::Blinks;
 pub use dpbf::Dpbf;
+
+/// Per-query work counters returned by the budgeted graph engines.
+///
+/// Each engine fills only the counters that describe its own work and
+/// leaves the rest at zero, so one type serves the whole zoo and callers
+/// (the unified engine, benches) can translate into [`kwdb_common::QueryStats`]
+/// without per-engine plumbing. Returning the counters alongside the
+/// results — instead of stashing them in the engine as BANKS/DPBF/BLINKS
+/// historically did — keeps every engine `&self`-callable and `Sync`, so a
+/// single instance can serve concurrent queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraversalStats {
+    /// Nodes settled by backward expansion (BANKS I).
+    pub nodes_expanded: usize,
+    /// DP states popped from the priority queue (DPBF).
+    pub states_popped: usize,
+    /// Sorted index accesses (BLINKS TA).
+    pub sorted_accesses: usize,
+    /// Random index accesses (BLINKS TA).
+    pub random_accesses: usize,
+}

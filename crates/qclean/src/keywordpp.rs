@@ -183,9 +183,7 @@ impl<'a> KeywordPlusPlus<'a> {
         if n_pairs == 0.0 {
             return None;
         }
-        let (value, score) = contrib
-            .into_iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())?;
+        let (value, score) = contrib.into_iter().max_by(|a, b| a.1.total_cmp(&b.1))?;
         (score > 0.0).then_some(Mapping::Eq {
             column: col,
             value,

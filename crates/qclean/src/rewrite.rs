@@ -55,7 +55,7 @@ pub fn similar_values(
         .filter(|(v, _)| v.as_str() != value)
         .map(|(v, vec)| (v.clone(), target.cosine(vec)))
         .collect();
-    sims.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    sims.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     sims.truncate(k);
     sims
 }
@@ -91,7 +91,7 @@ pub fn synonyms_from_clicks<'a>(
             (j >= min_overlap).then_some((q.as_str(), j))
         })
         .collect();
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(b.0)));
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
     out
 }
 

@@ -138,7 +138,7 @@ pub fn select_databases<'a, S: AsRef<str>>(
         .map(|(name, s)| (name.as_str(), s.score(query)))
         .filter(|(_, s)| *s > 0.0)
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(b.0)));
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
     scored.truncate(k);
     scored
 }

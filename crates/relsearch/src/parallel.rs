@@ -97,12 +97,12 @@ impl Assignment {
 pub fn partition_lpt(costs: &[f64], cores: usize) -> Assignment {
     let cores = cores.max(1);
     let mut order: Vec<usize> = (0..costs.len()).collect();
-    order.sort_by(|&a, &b| costs[b].partial_cmp(&costs[a]).unwrap().then(a.cmp(&b)));
-    let mut loads = vec![0.0; cores];
+    order.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]).then(a.cmp(&b)));
+    let mut loads = vec![0.0f64; cores];
     let mut core_of = vec![0usize; costs.len()];
     for j in order {
         let c = (0..cores)
-            .min_by(|&a, &b| loads[a].partial_cmp(&loads[b]).unwrap())
+            .min_by(|&a, &b| loads[a].total_cmp(&loads[b]))
             .unwrap();
         core_of[j] = c;
         loads[c] += costs[j];
@@ -122,7 +122,7 @@ pub fn partition_sharing_aware(
     let cores = cores.max(1);
     let codes: Vec<HashSet<String>> = cns.iter().map(subtree_codes).collect();
     let mut order: Vec<usize> = (0..costs.len()).collect();
-    order.sort_by(|&a, &b| costs[b].partial_cmp(&costs[a]).unwrap().then(a.cmp(&b)));
+    order.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]).then(a.cmp(&b)));
     let mut loads = vec![0.0; cores];
     let mut core_codes: Vec<HashSet<String>> = vec![HashSet::new(); cores];
     let mut core_of = vec![0usize; costs.len()];

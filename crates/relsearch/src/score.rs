@@ -15,21 +15,28 @@ use crate::eval::JoinedResult;
 use kwdb_rank::CorpusStats;
 use kwdb_relational::{Database, TupleId};
 use std::collections::HashMap;
+use std::ops::Deref;
 
 /// SPARK's length-normalization slope (`s` in pivoted normalization).
 const SLOPE: f64 = 0.2;
 
 /// Shared scorer: corpus statistics over all database tuples.
+///
+/// Generic over how the database is held: `ResultScorer::new(&db)` borrows
+/// (the zero-copy path used by the per-crate pipelines, benches, and tests),
+/// while `ResultScorer::new(Arc::clone(&db))` owns a handle — that is what
+/// lets the unified `RelationalEngine` be `'static` and `Send + Sync` for
+/// shared concurrent use.
 #[derive(Debug)]
-pub struct ResultScorer<'a> {
-    db: &'a Database,
+pub struct ResultScorer<D: Deref<Target = Database> = std::sync::Arc<Database>> {
+    db: D,
     stats: CorpusStats,
     avg_len: f64,
 }
 
-impl<'a> ResultScorer<'a> {
+impl<D: Deref<Target = Database>> ResultScorer<D> {
     /// Build corpus statistics over every tuple (one "document" per tuple).
-    pub fn new(db: &'a Database) -> Self {
+    pub fn new(db: D) -> Self {
         let mut stats = CorpusStats::new();
         let mut total_len = 0usize;
         let mut n_docs = 0usize;

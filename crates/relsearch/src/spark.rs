@@ -19,12 +19,13 @@
 use crate::eval::{default_rows, evaluate_cn, evaluate_cn_with};
 use crate::topk::{RankedResult, TopKQuery};
 use kwdb_common::{topk::TopK, Budget, Score};
-use kwdb_relational::{ExecStats, RowId, TupleId};
+use kwdb_relational::{Database, ExecStats, RowId, TupleId};
 use std::collections::{BinaryHeap, HashSet};
+use std::ops::Deref;
 
 /// Evaluate every CN fully and rank by the SPARK score.
-pub fn naive_spark<S: AsRef<str>>(
-    q: &TopKQuery<'_, S>,
+pub fn naive_spark<S: AsRef<str>, D: Deref<Target = Database>>(
+    q: &TopKQuery<'_, S, D>,
     k: usize,
     stats: &ExecStats,
 ) -> Vec<RankedResult> {
@@ -50,7 +51,10 @@ struct Lattice {
 }
 
 impl Lattice {
-    fn build<S: AsRef<str>>(q: &TopKQuery<'_, S>, cn_idx: usize) -> Option<Self> {
+    fn build<S: AsRef<str>, D: Deref<Target = Database>>(
+        q: &TopKQuery<'_, S, D>,
+        cn_idx: usize,
+    ) -> Option<Self> {
         let cn = &q.cns[cn_idx];
         let nonfree = cn.keyword_nodes();
         let mut sorted = Vec::with_capacity(nonfree.len());
@@ -62,7 +66,7 @@ impl Lattice {
                 .iter()
                 .map(|&r| (r, q.scorer.watf(TupleId::new(node.table, r), q.keywords)))
                 .collect();
-            rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            rows.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
             sorted.push(rows);
         }
         Some(Lattice {
@@ -87,8 +91,8 @@ impl Lattice {
 type Entry = (Score, usize, Vec<usize>);
 
 /// Skyline-sweep over tuple combinations of all CNs.
-pub fn skyline_sweep<S: AsRef<str>>(
-    q: &TopKQuery<'_, S>,
+pub fn skyline_sweep<S: AsRef<str>, D: Deref<Target = Database>>(
+    q: &TopKQuery<'_, S, D>,
     k: usize,
     stats: &ExecStats,
 ) -> Vec<RankedResult> {
@@ -98,8 +102,8 @@ pub fn skyline_sweep<S: AsRef<str>>(
 /// [`skyline_sweep`] under an execution [`Budget`]: every combination popped
 /// from the sweep heap counts as one candidate; an exhausted budget returns
 /// the (score-sorted) best-so-far with `true` (truncated).
-pub fn skyline_sweep_budgeted<S: AsRef<str>>(
-    q: &TopKQuery<'_, S>,
+pub fn skyline_sweep_budgeted<S: AsRef<str>, D: Deref<Target = Database>>(
+    q: &TopKQuery<'_, S, D>,
     k: usize,
     stats: &ExecStats,
     budget: &Budget,
@@ -108,8 +112,8 @@ pub fn skyline_sweep_budgeted<S: AsRef<str>>(
 }
 
 /// Block pipeline: the same sweep with blocks of `block_size` tuples.
-pub fn block_pipeline<S: AsRef<str>>(
-    q: &TopKQuery<'_, S>,
+pub fn block_pipeline<S: AsRef<str>, D: Deref<Target = Database>>(
+    q: &TopKQuery<'_, S, D>,
     k: usize,
     block_size: usize,
     stats: &ExecStats,
@@ -119,8 +123,8 @@ pub fn block_pipeline<S: AsRef<str>>(
 
 /// [`block_pipeline`] under an execution [`Budget`] (one candidate per block
 /// combination popped).
-pub fn block_pipeline_budgeted<S: AsRef<str>>(
-    q: &TopKQuery<'_, S>,
+pub fn block_pipeline_budgeted<S: AsRef<str>, D: Deref<Target = Database>>(
+    q: &TopKQuery<'_, S, D>,
     k: usize,
     block_size: usize,
     stats: &ExecStats,
@@ -129,8 +133,8 @@ pub fn block_pipeline_budgeted<S: AsRef<str>>(
     sweep(q, k, stats, block_size.max(1), budget)
 }
 
-fn sweep<S: AsRef<str>>(
-    q: &TopKQuery<'_, S>,
+fn sweep<S: AsRef<str>, D: Deref<Target = Database>>(
+    q: &TopKQuery<'_, S, D>,
     k: usize,
     stats: &ExecStats,
     block: usize,

@@ -14,6 +14,7 @@ use crate::eval::evaluate_cn;
 use crate::topk::{RankedResult, TopKQuery};
 use kwdb_common::topk::TopK;
 use kwdb_relational::{Database, ExecStats};
+use std::ops::Deref;
 
 /// A residual form: an unexplored CN rendered as an incomplete query.
 #[derive(Debug, Clone)]
@@ -39,8 +40,8 @@ pub struct PartialSearch {
 
 /// Run top-k evaluation CN-by-CN (bound order) until `work_budget` join
 /// probes + scans are spent; summarize the rest as forms.
-pub fn partial_search<S: AsRef<str>>(
-    q: &TopKQuery<'_, S>,
+pub fn partial_search<S: AsRef<str>, D: Deref<Target = Database>>(
+    q: &TopKQuery<'_, S, D>,
     k: usize,
     work_budget: u64,
     db: &Database,
@@ -52,7 +53,7 @@ pub fn partial_search<S: AsRef<str>>(
         .enumerate()
         .map(|(i, cn)| (cn_bound_public(q, cn), i))
         .collect();
-    order.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    order.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
 
     let stats = ExecStats::new();
     let mut topk = TopK::new(k);
@@ -97,7 +98,10 @@ pub fn partial_search<S: AsRef<str>>(
 }
 
 /// Re-export of the executor-internal bound for form ranking.
-fn cn_bound_public<S: AsRef<str>>(q: &TopKQuery<'_, S>, cn: &CandidateNetwork) -> f64 {
+fn cn_bound_public<S: AsRef<str>, D: Deref<Target = Database>>(
+    q: &TopKQuery<'_, S, D>,
+    cn: &CandidateNetwork,
+) -> f64 {
     let mut sum = 0.0;
     for &ni in &cn.keyword_nodes() {
         let node = cn.nodes[ni];

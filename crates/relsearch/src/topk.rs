@@ -25,6 +25,7 @@ use crate::tupleset::TupleSets;
 use kwdb_common::topk::TopK;
 use kwdb_common::Budget;
 use kwdb_relational::{Database, ExecStats, RowId};
+use std::ops::Deref;
 
 /// A scored result with its originating CN.
 #[derive(Debug, Clone)]
@@ -34,18 +35,21 @@ pub struct RankedResult {
     pub score: f64,
 }
 
-/// Everything an executor needs.
-pub struct TopKQuery<'a, S: AsRef<str>> {
+/// Everything an executor needs. Generic over how the scorer holds the
+/// database (`D`, see [`ResultScorer`]) so the same executors serve both the
+/// borrow-based pipelines and the `Arc`-owned unified engine; the default
+/// keeps plain `TopKQuery<'_, S>` annotations meaning the borrowed form.
+pub struct TopKQuery<'a, S: AsRef<str>, D: Deref<Target = Database> = &'a Database> {
     pub db: &'a Database,
     pub ts: &'a TupleSets,
     pub cns: &'a [CandidateNetwork],
-    pub scorer: &'a ResultScorer<'a>,
+    pub scorer: &'a ResultScorer<D>,
     pub keywords: &'a [S],
 }
 
 /// Evaluate everything, keep the best k.
-pub fn naive<S: AsRef<str>>(
-    q: &TopKQuery<'_, S>,
+pub fn naive<S: AsRef<str>, D: Deref<Target = Database>>(
+    q: &TopKQuery<'_, S, D>,
     k: usize,
     stats: &ExecStats,
 ) -> Vec<RankedResult> {
@@ -61,7 +65,10 @@ pub fn naive<S: AsRef<str>>(
 
 /// Upper bound on any result of `cn`: each keyword node contributes its best
 /// tuple's score; free nodes contribute 0 (their tuples match no keyword).
-fn cn_bound<S: AsRef<str>>(q: &TopKQuery<'_, S>, cn: &CandidateNetwork) -> f64 {
+fn cn_bound<S: AsRef<str>, D: Deref<Target = Database>>(
+    q: &TopKQuery<'_, S, D>,
+    cn: &CandidateNetwork,
+) -> f64 {
     let mut sum = 0.0;
     for &ni in &cn.keyword_nodes() {
         let node = cn.nodes[ni];
@@ -84,8 +91,8 @@ fn cn_bound<S: AsRef<str>>(q: &TopKQuery<'_, S>, cn: &CandidateNetwork) -> f64 {
 }
 
 /// Evaluate CNs in bound order; stop when the next bound cannot improve.
-pub fn sparse<S: AsRef<str>>(
-    q: &TopKQuery<'_, S>,
+pub fn sparse<S: AsRef<str>, D: Deref<Target = Database>>(
+    q: &TopKQuery<'_, S, D>,
     k: usize,
     stats: &ExecStats,
 ) -> Vec<RankedResult> {
@@ -95,7 +102,7 @@ pub fn sparse<S: AsRef<str>>(
         .enumerate()
         .map(|(i, cn)| (cn_bound(q, cn), i))
         .collect();
-    order.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    order.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     let mut topk = TopK::new(k);
     for (bound, ci) in order {
         if let Some(th) = topk.threshold() {
@@ -152,8 +159,8 @@ impl CnState {
 /// slice, like the global pipeline restricted to one CN), stopping inside a
 /// CN as soon as its remaining bound cannot beat the k-th best, and stopping
 /// overall when the next CN's bound cannot either.
-pub fn single_pipeline<S: AsRef<str>>(
-    q: &TopKQuery<'_, S>,
+pub fn single_pipeline<S: AsRef<str>, D: Deref<Target = Database>>(
+    q: &TopKQuery<'_, S, D>,
     k: usize,
     stats: &ExecStats,
 ) -> Vec<RankedResult> {
@@ -163,7 +170,7 @@ pub fn single_pipeline<S: AsRef<str>>(
         .enumerate()
         .map(|(i, cn)| (cn_bound(q, cn), i))
         .collect();
-    order.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    order.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     let mut topk = TopK::new(k);
     for (bound, ci) in order {
         if let Some(th) = topk.threshold() {
@@ -177,8 +184,8 @@ pub fn single_pipeline<S: AsRef<str>>(
 }
 
 /// Drive one CN's slice pipeline until exhausted or dominated.
-fn pipeline_one_cn<S: AsRef<str>>(
-    q: &TopKQuery<'_, S>,
+fn pipeline_one_cn<S: AsRef<str>, D: Deref<Target = Database>>(
+    q: &TopKQuery<'_, S, D>,
     ci: usize,
     topk: &mut TopK<(usize, JoinedResult)>,
     stats: &ExecStats,
@@ -206,7 +213,7 @@ fn pipeline_one_cn<S: AsRef<str>>(
                             .collect()
                     })
                     .unwrap_or_default();
-            rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            rows.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
             rows
         })
         .collect();
@@ -250,8 +257,8 @@ fn pipeline_one_cn<S: AsRef<str>>(
 }
 
 /// The global pipeline: advance the best-bounded CN slice by slice.
-pub fn global_pipeline<S: AsRef<str>>(
-    q: &TopKQuery<'_, S>,
+pub fn global_pipeline<S: AsRef<str>, D: Deref<Target = Database>>(
+    q: &TopKQuery<'_, S, D>,
     k: usize,
     stats: &ExecStats,
 ) -> Vec<RankedResult> {
@@ -262,8 +269,8 @@ pub fn global_pipeline<S: AsRef<str>>(
 /// counts as one candidate; when the budget is exhausted the best results
 /// found so far are returned with `true` (truncated). The result list is
 /// always score-sorted, truncated or not.
-pub fn global_pipeline_budgeted<S: AsRef<str>>(
-    q: &TopKQuery<'_, S>,
+pub fn global_pipeline_budgeted<S: AsRef<str>, D: Deref<Target = Database>>(
+    q: &TopKQuery<'_, S, D>,
     k: usize,
     stats: &ExecStats,
     budget: &Budget,
@@ -295,7 +302,7 @@ pub fn global_pipeline_budgeted<S: AsRef<str>>(
                                     .collect()
                             })
                             .unwrap_or_default();
-                    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+                    rows.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
                     rows
                 })
                 .collect();
@@ -323,7 +330,7 @@ pub fn global_pipeline_budgeted<S: AsRef<str>>(
             .iter()
             .enumerate()
             .filter_map(|(si, s)| s.bound().map(|(b, node)| (b, si, node)))
-            .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            .max_by(|a, b| a.0.total_cmp(&b.0));
         let Some((bound, si, adv)) = pick else { break };
         if let Some(th) = topk.threshold() {
             if bound <= th {

@@ -25,21 +25,21 @@ fn main() {
     let kws = ["abiteboul", "query"];
     println!("query: {kws:?}\n");
 
-    let mut dpbf = Dpbf::new(&g);
-    let exact = dpbf.search(&kws, 3);
+    let dpbf = Dpbf::new(&g);
+    let (exact, _, dpbf_work) = dpbf.search_budgeted(&kws, 3, &kwdb::common::Budget::unlimited());
     println!(
         "DPBF (exact group Steiner trees), {} states popped:",
-        dpbf.states_popped
+        dpbf_work.states_popped
     );
     for t in &exact {
         println!("  {}", t.display(&g));
     }
 
-    let mut b1 = BanksI::new(&g);
-    let banks1 = b1.search(&kws, 3);
+    let b1 = BanksI::new(&g);
+    let (banks1, _, b1_work) = b1.search_budgeted(&kws, 3, &kwdb::common::Budget::unlimited());
     println!(
         "\nBANKS I (backward search), {} nodes expanded:",
-        b1.nodes_expanded
+        b1_work.nodes_expanded
     );
     for t in &banks1 {
         println!("  {}", t.display(&g));
@@ -57,11 +57,10 @@ fn main() {
 
     let bl = Blinks::new(&g);
     let ix = bl.build_index(&kws);
-    let blinks = bl.search(&ix, &kws, 3);
+    let (blinks, _, bl_work) = bl.search_budgeted(&ix, &kws, 3, &kwdb::common::Budget::unlimited());
     println!(
         "\nBLINKS (distinct root + TA), {} sorted / {} random accesses:",
-        bl.sorted_accesses(),
-        bl.random_accesses()
+        bl_work.sorted_accesses, bl_work.random_accesses
     );
     for t in &blinks {
         println!("  {}", t.display(&g));

@@ -24,7 +24,9 @@ fn main() -> kwdb::Result<()> {
         db.schema_graph().edges().len()
     );
 
-    let engine = RelationalEngine::new(&db);
+    // The engine takes ownership (an Arc<Database> internally), so it is
+    // Send + Sync — store it in a registry, share it across threads.
+    let engine = RelationalEngine::new(db);
     for query in ["widom xml", "keyword search", "widom stonebraker"] {
         println!("\nquery: {query:?}");
         let req = SearchRequest::new(query)

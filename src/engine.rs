@@ -14,10 +14,28 @@
 //!   BLINKS node→keyword index is built once per engine and reused.
 //! * [`XmlEngine::execute`] — SLCA with XBridge-style proximity ranking.
 //!
+//! # Threading model
+//!
+//! Engines **own** their data behind an [`Arc`] (`Arc<Database>`,
+//! `Arc<DataGraph>`, `Arc<(XmlTree, XmlIndex)>`), so every engine is
+//! `'static`, `Send + Sync`, and can be stored in a long-lived registry and
+//! queried from many threads at once — `execute` takes `&self` and all
+//! per-query state (counters, heaps, cursors) lives on the query's own
+//! stack. The only shared mutable state is read-mostly and lock-guarded:
+//! the relational CN plan cache (an `RwLock` map) and the lazily built
+//! BLINKS index (a `OnceLock`).
+//!
+//! The [`Engine`] trait erases the per-model hit types into the [`Hit`]
+//! enum so heterogeneous engines can live behind `Arc<dyn Engine>` in one
+//! [`crate::dispatch::Catalog`] and be fanned out over threads by
+//! [`crate::dispatch::Dispatcher`].
+//!
 //! The pre-existing free functions ([`graph_search`], [`xml_search`]) and
 //! [`RelationalEngine::search`] remain as deprecated shims over the new
-//! entry points. Everything stays overridable by dropping down to the
-//! underlying crates.
+//! entry points; they and the per-paradigm crates (`kwdb_graphsearch`,
+//! `kwdb_relsearch`, `kwdb_xmlsearch`) stay borrow-based — the zero-copy
+//! escape hatch when you hold the data on the stack and don't need to
+//! share the engine.
 
 use kwdb_common::text::parse_query;
 use kwdb_common::{Budget, QueryStats, Result, Stopwatch};
@@ -30,7 +48,7 @@ use kwdb_relsearch::topk::{global_pipeline_budgeted, TopKQuery};
 use kwdb_relsearch::{ResultScorer, TupleSets};
 use kwdb_xml::{XmlIndex, XmlTree};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// A uniform search request accepted by all three engines.
 ///
@@ -126,7 +144,77 @@ impl<H> SearchResponse<H> {
             truncated,
         }
     }
+
+    /// Map every hit through `f`, keeping stats and the truncation flag.
+    /// This is how the typed per-engine responses become the erased
+    /// [`SearchResponse<Hit>`] of the [`Engine`] trait.
+    pub fn map<T>(self, f: impl FnMut(H) -> T) -> SearchResponse<T> {
+        SearchResponse {
+            hits: self.hits.into_iter().map(f).collect(),
+            stats: self.stats,
+            truncated: self.truncated,
+        }
+    }
 }
+
+/// A hit from *some* engine: the erased result type of [`Engine::execute`].
+///
+/// Each variant preserves the engine's full typed payload, so nothing is
+/// lost by going through the trait — match to get it back.
+#[derive(Debug, Clone)]
+pub enum Hit {
+    /// A joining tree of tuples from the relational engine.
+    Relational(RelationalHit),
+    /// An answer tree from the graph engine.
+    Graph(AnswerTree),
+    /// A ranked result subtree from the XML engine.
+    Xml(XmlHit),
+}
+
+impl Hit {
+    /// A uniform "higher is better" ranking value: the hit's score for
+    /// relational/XML hits, the *negated* tree cost for graph hits (graph
+    /// engines minimize cost).
+    pub fn score(&self) -> f64 {
+        match self {
+            Hit::Relational(h) => h.score,
+            Hit::Graph(t) => -t.cost,
+            Hit::Xml(h) => h.score,
+        }
+    }
+
+    /// Which data model produced this hit: `"relational"`, `"graph"`, or
+    /// `"xml"`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Hit::Relational(_) => "relational",
+            Hit::Graph(_) => "graph",
+            Hit::Xml(_) => "xml",
+        }
+    }
+}
+
+/// A dynamically dispatchable search engine.
+///
+/// All three unified engines implement it, so heterogeneous engines can be
+/// stored as `Arc<dyn Engine>` in a [`crate::dispatch::Catalog`] and
+/// queried concurrently — the `Send + Sync` supertrait bound makes the
+/// shareability requirement part of the contract, enforced at compile time.
+pub trait Engine: Send + Sync {
+    /// Execute a budgeted, instrumented search; hits come back erased as
+    /// [`Hit`]s.
+    fn execute(&self, req: &SearchRequest) -> Result<SearchResponse<Hit>>;
+}
+
+// Compile-time proof that every engine (and a trait object of them) can be
+// shared across threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+    assert_send_sync::<RelationalEngine>();
+    assert_send_sync::<GraphEngine>();
+    assert_send_sync::<XmlEngine>();
+    assert_send_sync::<Arc<dyn Engine>>();
+};
 
 /// A rendered relational hit.
 #[derive(Debug, Clone)]
@@ -168,32 +256,44 @@ impl Default for RelationalConfig {
 }
 
 /// Key of one CN plan-cache entry: schema fingerprint, the sorted keyword
-/// term set, and the generator configuration. The engine borrows the
-/// database immutably for its whole lifetime, so tuple-set masks for a
-/// given term set cannot change underneath a cached plan.
+/// term set, and the generator configuration. The engine holds the database
+/// behind an `Arc` (shared, immutable access only), so tuple-set masks for
+/// a given term set cannot change underneath a cached plan.
 type CnCacheKey = (u64, Vec<String>, usize, usize);
 
 /// DISCOVER-style keyword search over a relational database: tuple sets →
 /// candidate networks → bound-driven top-k evaluation.
-pub struct RelationalEngine<'db> {
-    db: &'db Database,
-    scorer: ResultScorer<'db>,
+///
+/// Owns its database behind an `Arc`, so the engine is `Send + Sync` and
+/// one instance can serve concurrent queries; the CN plan cache is a
+/// read-mostly `RwLock` map, so repeat queries don't serialize.
+pub struct RelationalEngine {
+    db: Arc<Database>,
+    scorer: ResultScorer,
     cfg: RelationalConfig,
-    cn_cache: Mutex<HashMap<CnCacheKey, Arc<Vec<CandidateNetwork>>>>,
+    cn_cache: RwLock<HashMap<CnCacheKey, Arc<Vec<CandidateNetwork>>>>,
 }
 
-impl<'db> RelationalEngine<'db> {
-    pub fn new(db: &'db Database) -> Self {
+impl RelationalEngine {
+    /// Build an engine owning `db` (pass a `Database` to move it in, or an
+    /// `Arc<Database>` to share it with other owners).
+    pub fn new(db: impl Into<Arc<Database>>) -> Self {
         Self::with_config(db, RelationalConfig::default())
     }
 
-    pub fn with_config(db: &'db Database, cfg: RelationalConfig) -> Self {
+    pub fn with_config(db: impl Into<Arc<Database>>, cfg: RelationalConfig) -> Self {
+        let db = db.into();
         RelationalEngine {
+            scorer: ResultScorer::new(Arc::clone(&db)),
             db,
-            scorer: ResultScorer::new(db),
             cfg,
-            cn_cache: Mutex::new(HashMap::new()),
+            cn_cache: RwLock::new(HashMap::new()),
         }
+    }
+
+    /// The shared database this engine queries.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
     }
 
     /// Top-k joining trees of tuples for a free-text query string.
@@ -215,7 +315,7 @@ impl<'db> RelationalEngine<'db> {
         if budget.exhausted() {
             return Ok(SearchResponse::empty(stats, true));
         }
-        let ts = TupleSets::build(self.db, &keywords);
+        let ts = TupleSets::build(&self.db, &keywords);
         stats.phases.build = sw.lap();
         if !ts.covers_all_keywords() {
             return Ok(SearchResponse::empty(stats, false));
@@ -228,7 +328,7 @@ impl<'db> RelationalEngine<'db> {
         stats.candidates_generated = cns.len() as u64;
 
         let q = TopKQuery {
-            db: self.db,
+            db: &self.db,
             ts: &ts,
             cns: &cns,
             scorer: &self.scorer,
@@ -277,6 +377,12 @@ impl<'db> RelationalEngine<'db> {
 
     /// Generate (or fetch from the plan cache) the candidate networks for
     /// this keyword term set.
+    ///
+    /// Read-mostly locking: the hot path takes the read lock only, so
+    /// concurrent repeat queries never serialize. A miss upgrades to the
+    /// write lock and re-checks before generating, so for N threads racing
+    /// on a cold key exactly one generates (and reports the miss) while the
+    /// rest block briefly and then hit.
     fn plan(
         &self,
         keywords: &[String],
@@ -292,8 +398,13 @@ impl<'db> RelationalEngine<'db> {
             self.cfg.max_cn_size,
             self.cfg.max_cns,
         );
-        let mut cache = self.cn_cache.lock().expect("cn cache poisoned");
+        if let Some(cns) = self.cn_cache.read().expect("cn cache poisoned").get(&key) {
+            stats.cache_hits = 1;
+            return Arc::clone(cns);
+        }
+        let mut cache = self.cn_cache.write().expect("cn cache poisoned");
         if let Some(cns) = cache.get(&key) {
+            // Lost the generation race to another thread: its plan is ours.
             stats.cache_hits = 1;
             return Arc::clone(cns);
         }
@@ -314,6 +425,12 @@ impl<'db> RelationalEngine<'db> {
     }
 }
 
+impl Engine for RelationalEngine {
+    fn execute(&self, req: &SearchRequest) -> Result<SearchResponse<Hit>> {
+        Ok(RelationalEngine::execute(self, req)?.map(Hit::Relational))
+    }
+}
+
 /// Graph answer semantics selectable on a [`SearchRequest`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GraphSemantics {
@@ -328,75 +445,104 @@ pub enum GraphSemantics {
 /// Keyword search on a data graph under the chosen semantics, with the
 /// BLINKS node→keyword index built once per engine and reused across
 /// queries.
-pub struct GraphEngine<'g> {
-    g: &'g DataGraph,
-    blinks: Blinks<'g>,
+///
+/// Owns its graph behind an `Arc`; the underlying BANKS/DPBF/BLINKS
+/// engines are stateless (`&self`, per-query counters returned with the
+/// results), so one `GraphEngine` serves concurrent queries.
+pub struct GraphEngine {
+    g: Arc<DataGraph>,
     /// Full-vocabulary BLINKS index, built on first DistinctRoot query.
     index: OnceLock<kwdb_graph::NodeKeywordIndex>,
 }
 
-impl<'g> GraphEngine<'g> {
-    pub fn new(g: &'g DataGraph) -> Self {
+impl GraphEngine {
+    /// Build an engine owning `g` (pass a `DataGraph` to move it in, or an
+    /// `Arc<DataGraph>` to share it with other owners).
+    pub fn new(g: impl Into<Arc<DataGraph>>) -> Self {
         GraphEngine {
-            g,
-            blinks: Blinks::new(g),
+            g: g.into(),
             index: OnceLock::new(),
         }
     }
 
+    /// The shared data graph this engine queries.
+    pub fn graph(&self) -> &Arc<DataGraph> {
+        &self.g
+    }
+
     /// Execute a [`SearchRequest`] under `req.semantics` (default BANKS).
     pub fn execute(&self, req: &SearchRequest) -> Result<SearchResponse<AnswerTree>> {
-        let mut stats = QueryStats::new();
-        let mut sw = Stopwatch::start();
-        let budget = &req.budget;
-        let keywords = parse_query(&req.query);
-        stats.phases.parse = sw.lap();
-        if keywords.is_empty() {
-            return Ok(SearchResponse::empty(stats, false));
-        }
-        if budget.exhausted() {
-            return Ok(SearchResponse::empty(stats, true));
-        }
-        let semantics = req.semantics.unwrap_or(GraphSemantics::Banks);
-        let (hits, truncated) = match semantics {
-            GraphSemantics::SteinerExact => {
-                let mut dpbf = Dpbf::new(self.g);
-                let r = dpbf.search_budgeted(&keywords, req.k, budget);
-                stats.operators.tuples_scanned = dpbf.states_popped as u64;
-                r
-            }
-            GraphSemantics::Banks => {
-                let mut banks = BanksI::new(self.g);
-                let r = banks.search_budgeted(&keywords, req.k, budget);
-                stats.operators.tuples_scanned = banks.nodes_expanded as u64;
-                r
-            }
-            GraphSemantics::DistinctRoot => {
-                let prebuilt = self.index.get().is_some();
-                let ix = self.index.get_or_init(|| self.blinks.build_full_index());
-                if prebuilt {
-                    stats.cache_hits = 1;
-                } else {
-                    stats.cache_misses = 1;
-                }
-                stats.phases.build = sw.lap();
-                let r = self.blinks.search_budgeted(ix, &keywords, req.k, budget);
-                stats.operators.sorted_accesses = self.blinks.sorted_accesses() as u64;
-                stats.operators.random_accesses = self.blinks.random_accesses() as u64;
-                r
-            }
-        };
-        stats.phases.evaluate = sw.lap();
-        stats.candidates_generated = hits.len() as u64;
-        Ok(SearchResponse {
-            hits,
-            stats,
-            truncated,
-        })
+        execute_graph(&self.g, &self.index, req)
     }
 }
 
+impl Engine for GraphEngine {
+    fn execute(&self, req: &SearchRequest) -> Result<SearchResponse<Hit>> {
+        Ok(GraphEngine::execute(self, req)?.map(Hit::Graph))
+    }
+}
+
+/// The graph execution pipeline on borrowed data; shared by
+/// [`GraphEngine::execute`] and the deprecated [`graph_search`].
+fn execute_graph(
+    g: &DataGraph,
+    index: &OnceLock<kwdb_graph::NodeKeywordIndex>,
+    req: &SearchRequest,
+) -> Result<SearchResponse<AnswerTree>> {
+    let mut stats = QueryStats::new();
+    let mut sw = Stopwatch::start();
+    let budget = &req.budget;
+    let keywords = parse_query(&req.query);
+    stats.phases.parse = sw.lap();
+    if keywords.is_empty() {
+        return Ok(SearchResponse::empty(stats, false));
+    }
+    if budget.exhausted() {
+        return Ok(SearchResponse::empty(stats, true));
+    }
+    let semantics = req.semantics.unwrap_or(GraphSemantics::Banks);
+    let (hits, truncated) = match semantics {
+        GraphSemantics::SteinerExact => {
+            let dpbf = Dpbf::new(g);
+            let (r, truncated, work) = dpbf.search_budgeted(&keywords, req.k, budget);
+            stats.operators.tuples_scanned = work.states_popped as u64;
+            (r, truncated)
+        }
+        GraphSemantics::Banks => {
+            let banks = BanksI::new(g);
+            let (r, truncated, work) = banks.search_budgeted(&keywords, req.k, budget);
+            stats.operators.tuples_scanned = work.nodes_expanded as u64;
+            (r, truncated)
+        }
+        GraphSemantics::DistinctRoot => {
+            let blinks = Blinks::new(g);
+            let prebuilt = index.get().is_some();
+            let ix = index.get_or_init(|| blinks.build_full_index());
+            if prebuilt {
+                stats.cache_hits = 1;
+            } else {
+                stats.cache_misses = 1;
+            }
+            stats.phases.build = sw.lap();
+            let (r, truncated, work) = blinks.search_budgeted(ix, &keywords, req.k, budget);
+            stats.operators.sorted_accesses = work.sorted_accesses as u64;
+            stats.operators.random_accesses = work.random_accesses as u64;
+            (r, truncated)
+        }
+    };
+    stats.phases.evaluate = sw.lap();
+    stats.candidates_generated = hits.len() as u64;
+    Ok(SearchResponse {
+        hits,
+        stats,
+        truncated,
+    })
+}
+
 /// Keyword search on a data graph under the chosen semantics.
+///
+/// Zero-copy: borrows the graph and builds the BLINKS index per call when
+/// `DistinctRoot` is requested — construct a [`GraphEngine`] to amortize it.
 #[deprecated(
     since = "0.2.0",
     note = "use `GraphEngine::execute` with a `SearchRequest`"
@@ -406,11 +552,14 @@ pub fn graph_search(
     query: &str,
     k: usize,
     semantics: GraphSemantics,
-) -> Vec<AnswerTree> {
-    GraphEngine::new(g)
-        .execute(&SearchRequest::new(query).k(k).semantics(semantics))
-        .map(|r| r.hits)
-        .unwrap_or_default()
+) -> Result<Vec<AnswerTree>> {
+    let index = OnceLock::new();
+    Ok(execute_graph(
+        g,
+        &index,
+        &SearchRequest::new(query).k(k).semantics(semantics),
+    )?
+    .hits)
 }
 
 /// A ranked XML hit: a result subtree root.
@@ -423,97 +572,132 @@ pub struct XmlHit {
 
 /// SLCA keyword search over an XML tree, ranked by XBridge-style keyword
 /// proximity ([`kwdb_rank::proximity`], tutorial slides 158–160).
-pub struct XmlEngine<'a> {
-    tree: &'a XmlTree,
-    index: &'a XmlIndex,
+///
+/// Owns the tree and its index together behind one `Arc`, so the engine is
+/// `Send + Sync` and the index can never outlive or diverge from its tree.
+pub struct XmlEngine {
+    data: Arc<(XmlTree, XmlIndex)>,
 }
 
-impl<'a> XmlEngine<'a> {
-    pub fn new(tree: &'a XmlTree, index: &'a XmlIndex) -> Self {
-        XmlEngine { tree, index }
+impl XmlEngine {
+    /// Build an engine owning `tree` and its prebuilt `index`.
+    pub fn new(tree: XmlTree, index: XmlIndex) -> Self {
+        XmlEngine {
+            data: Arc::new((tree, index)),
+        }
+    }
+
+    /// Build an engine from `tree` alone, constructing the index here.
+    pub fn from_tree(tree: XmlTree) -> Self {
+        let index = XmlIndex::build(&tree);
+        Self::new(tree, index)
+    }
+
+    /// Share an existing tree+index pair with other owners.
+    pub fn from_arc(data: Arc<(XmlTree, XmlIndex)>) -> Self {
+        XmlEngine { data }
+    }
+
+    /// The shared tree+index pair this engine queries.
+    pub fn data(&self) -> &Arc<(XmlTree, XmlIndex)> {
+        &self.data
     }
 
     /// Execute a [`SearchRequest`]: budgeted SLCA + proximity ranking.
     pub fn execute(&self, req: &SearchRequest) -> Result<SearchResponse<XmlHit>> {
-        let mut stats = QueryStats::new();
-        let mut sw = Stopwatch::start();
-        let budget = &req.budget;
-        let keywords = parse_query(&req.query);
-        stats.phases.parse = sw.lap();
-        if keywords.is_empty() {
-            return Ok(SearchResponse::empty(stats, false));
-        }
-        if budget.exhausted() {
-            return Ok(SearchResponse::empty(stats, true));
-        }
-        let (roots, slca_stats, mut truncated) =
-            kwdb_xmlsearch::slca_indexed_budgeted(self.tree, self.index, &keywords, budget)?;
-        stats.phases.build = sw.lap();
-        stats.operators.sorted_accesses = slca_stats.anchors as u64;
-        stats.operators.random_accesses = slca_stats.probes as u64;
-        stats.candidates_generated = roots.len() as u64;
-
-        let sizes = self.tree.subtree_sizes();
-        let avg_depth = self.tree.avg_leaf_depth();
-        let mut hits: Vec<XmlHit> = Vec::with_capacity(roots.len());
-        for r in roots {
-            if budget.exhausted_at(hits.len() as u64) && !hits.is_empty() {
-                truncated = true;
-                break;
-            }
-            // root→match path (node ids) for each keyword's first match
-            // inside the result subtree
-            let end = kwdb_xml::NodeId(r.0 + sizes[r.0 as usize]);
-            let paths: Vec<Vec<u64>> = keywords
-                .iter()
-                .filter_map(|kw| {
-                    let list = self.index.nodes(kw);
-                    let lo = list.partition_point(|&x| x < r);
-                    let m = *list.get(lo).filter(|&&m| m < end)?;
-                    let mut path = vec![m.0 as u64];
-                    let mut cur = m;
-                    while cur != r {
-                        cur = self.tree.parent(cur).expect("r is an ancestor");
-                        path.push(cur.0 as u64);
-                    }
-                    path.reverse();
-                    Some(path)
-                })
-                .collect();
-            hits.push(XmlHit {
-                score: kwdb_rank::proximity::proximity_score(&paths, avg_depth),
-                label_path: self.tree.label_path(r),
-                root: r,
-            });
-        }
-        hits.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap()
-                .then(a.root.cmp(&b.root))
-        });
-        stats.candidates_pruned = stats
-            .candidates_generated
-            .saturating_sub(hits.len().min(req.k) as u64);
-        hits.truncate(req.k);
-        stats.phases.evaluate = sw.lap();
-        Ok(SearchResponse {
-            hits,
-            stats,
-            truncated,
-        })
+        execute_xml(&self.data.0, &self.data.1, req)
     }
 }
 
+impl Engine for XmlEngine {
+    fn execute(&self, req: &SearchRequest) -> Result<SearchResponse<Hit>> {
+        Ok(XmlEngine::execute(self, req)?.map(Hit::Xml))
+    }
+}
+
+/// The XML execution pipeline on borrowed data; shared by
+/// [`XmlEngine::execute`] and the deprecated [`xml_search`].
+fn execute_xml(
+    tree: &XmlTree,
+    index: &XmlIndex,
+    req: &SearchRequest,
+) -> Result<SearchResponse<XmlHit>> {
+    let mut stats = QueryStats::new();
+    let mut sw = Stopwatch::start();
+    let budget = &req.budget;
+    let keywords = parse_query(&req.query);
+    stats.phases.parse = sw.lap();
+    if keywords.is_empty() {
+        return Ok(SearchResponse::empty(stats, false));
+    }
+    if budget.exhausted() {
+        return Ok(SearchResponse::empty(stats, true));
+    }
+    let (roots, slca_stats, mut truncated) =
+        kwdb_xmlsearch::slca_indexed_budgeted(tree, index, &keywords, budget)?;
+    stats.phases.build = sw.lap();
+    stats.operators.sorted_accesses = slca_stats.anchors as u64;
+    stats.operators.random_accesses = slca_stats.probes as u64;
+    stats.candidates_generated = roots.len() as u64;
+
+    let sizes = tree.subtree_sizes();
+    let avg_depth = tree.avg_leaf_depth();
+    let mut hits: Vec<XmlHit> = Vec::with_capacity(roots.len());
+    for r in roots {
+        if budget.exhausted_at(hits.len() as u64) && !hits.is_empty() {
+            truncated = true;
+            break;
+        }
+        // root→match path (node ids) for each keyword's first match
+        // inside the result subtree
+        let end = kwdb_xml::NodeId(r.0 + sizes[r.0 as usize]);
+        let paths: Vec<Vec<u64>> = keywords
+            .iter()
+            .filter_map(|kw| {
+                let list = index.nodes(kw);
+                let lo = list.partition_point(|&x| x < r);
+                let m = *list.get(lo).filter(|&&m| m < end)?;
+                let mut path = vec![m.0 as u64];
+                let mut cur = m;
+                while cur != r {
+                    cur = tree.parent(cur).expect("r is an ancestor");
+                    path.push(cur.0 as u64);
+                }
+                path.reverse();
+                Some(path)
+            })
+            .collect();
+        hits.push(XmlHit {
+            score: kwdb_rank::proximity::proximity_score(&paths, avg_depth),
+            label_path: tree.label_path(r),
+            root: r,
+        });
+    }
+    // total_cmp: a NaN proximity score must sort deterministically (last),
+    // not panic the engine.
+    hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.root.cmp(&b.root)));
+    stats.candidates_pruned = stats
+        .candidates_generated
+        .saturating_sub(hits.len().min(req.k) as u64);
+    hits.truncate(req.k);
+    stats.phases.evaluate = sw.lap();
+    Ok(SearchResponse {
+        hits,
+        stats,
+        truncated,
+    })
+}
+
 /// SLCA keyword search over an XML tree with proximity ranking.
+///
+/// Zero-copy: borrows the tree and index — the escape hatch when you don't
+/// need a shareable engine.
 #[deprecated(
     since = "0.2.0",
     note = "use `XmlEngine::execute` with a `SearchRequest`"
 )]
 pub fn xml_search(tree: &XmlTree, index: &XmlIndex, query: &str, k: usize) -> Result<Vec<XmlHit>> {
-    Ok(XmlEngine::new(tree, index)
-        .execute(&SearchRequest::new(query).k(k))?
-        .hits)
+    Ok(execute_xml(tree, index, &SearchRequest::new(query).k(k))?.hits)
 }
 
 #[cfg(test)]
@@ -529,7 +713,7 @@ mod tests {
             n_authors: 30,
             ..Default::default()
         });
-        let engine = RelationalEngine::new(&db);
+        let engine = RelationalEngine::new(db);
         let resp = engine
             .execute(&SearchRequest::new("data query").k(5))
             .unwrap();
@@ -545,7 +729,7 @@ mod tests {
     #[test]
     fn relational_engine_empty_and_unmatched() {
         let db = generate_dblp(&DblpConfig::default());
-        let engine = RelationalEngine::new(&db);
+        let engine = RelationalEngine::new(db);
         let empty = engine.execute(&SearchRequest::new("").k(5)).unwrap();
         assert!(empty.hits.is_empty() && !empty.truncated);
         let unmatched = engine
@@ -561,10 +745,26 @@ mod tests {
             n_authors: 30,
             ..Default::default()
         });
-        let engine = RelationalEngine::new(&db);
+        let engine = RelationalEngine::new(db);
         #[allow(deprecated)]
         let hits = engine.search("data query", 5).unwrap();
         assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn engine_shares_database_arc() {
+        let db = Arc::new(generate_dblp(&DblpConfig {
+            n_papers: 40,
+            n_authors: 20,
+            ..Default::default()
+        }));
+        let engine = RelationalEngine::new(Arc::clone(&db));
+        // the caller keeps full access to the shared database
+        assert_eq!(engine.database().table_count(), db.table_count());
+        let resp = engine
+            .execute(&SearchRequest::new("data query").k(3))
+            .unwrap();
+        assert!(!resp.hits.is_empty());
     }
 
     #[test]
@@ -574,7 +774,7 @@ mod tests {
             n_authors: 30,
             ..Default::default()
         });
-        let engine = RelationalEngine::new(&db);
+        let engine = RelationalEngine::new(db);
         let req = SearchRequest::new("data query").k(3);
         let first = engine.execute(&req).unwrap();
         assert_eq!((first.stats.cache_hits, first.stats.cache_misses), (0, 1));
@@ -590,7 +790,7 @@ mod tests {
     #[test]
     fn graph_search_all_semantics() {
         let g = kwdb_datasets::graphs::generate_graph(&Default::default());
-        let engine = GraphEngine::new(&g);
+        let engine = GraphEngine::new(g);
         let run = |sem| {
             engine
                 .execute(&SearchRequest::new("kw0 kw1").k(3).semantics(sem))
@@ -613,6 +813,14 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_graph_search_propagates_result() {
+        let g = kwdb_datasets::graphs::generate_graph(&Default::default());
+        #[allow(deprecated)]
+        let hits = graph_search(&g, "kw0 kw1", 3, GraphSemantics::Banks).unwrap();
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
     fn spark_scoring_mode_works() {
         let db = generate_dblp(&DblpConfig {
             n_papers: 60,
@@ -620,7 +828,7 @@ mod tests {
             ..Default::default()
         });
         let engine = RelationalEngine::with_config(
-            &db,
+            db,
             RelationalConfig {
                 scoring: Scoring::Spark,
                 ..Default::default()
@@ -636,8 +844,7 @@ mod tests {
     #[test]
     fn xml_search_ranks_small_results_first() {
         let tree = kwdb_datasets::generate_bib_xml(&Default::default());
-        let ix = XmlIndex::build(&tree);
-        let resp = XmlEngine::new(&tree, &ix)
+        let resp = XmlEngine::from_tree(tree)
             .execute(&SearchRequest::new("data query").k(10))
             .unwrap();
         if resp.hits.len() >= 2 {
@@ -652,12 +859,37 @@ mod tests {
             n_authors: 30,
             ..Default::default()
         });
-        let engine = RelationalEngine::new(&db);
+        let engine = RelationalEngine::new(db);
         let req = SearchRequest::new("data query")
             .k(5)
             .budget(Budget::unlimited().with_timeout(Duration::ZERO));
         let resp = engine.execute(&req).unwrap();
         assert!(resp.truncated);
         assert!(resp.hits.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn trait_objects_dispatch_all_engines() {
+        let db = generate_dblp(&DblpConfig {
+            n_papers: 60,
+            n_authors: 30,
+            ..Default::default()
+        });
+        let g = kwdb_datasets::graphs::generate_graph(&Default::default());
+        let tree = kwdb_datasets::generate_bib_xml(&Default::default());
+        let engines: Vec<(&str, Arc<dyn Engine>)> = vec![
+            ("relational", Arc::new(RelationalEngine::new(db))),
+            ("graph", Arc::new(GraphEngine::new(g))),
+            ("xml", Arc::new(XmlEngine::from_tree(tree))),
+        ];
+        for (kind, engine) in engines {
+            let resp = engine
+                .execute(&SearchRequest::new("data query").k(3))
+                .unwrap();
+            for hit in &resp.hits {
+                assert_eq!(hit.kind(), kind);
+                assert!(hit.score().is_finite());
+            }
+        }
     }
 }

@@ -15,7 +15,7 @@
 //! use kwdb::datasets::{generate_dblp, DblpConfig};
 //!
 //! let db = generate_dblp(&DblpConfig { n_papers: 100, ..Default::default() });
-//! let engine = RelationalEngine::new(&db);
+//! let engine = RelationalEngine::new(db); // engine owns the data: Send + Sync
 //! let resp = engine.execute(&SearchRequest::new("widom data").k(5)).unwrap();
 //! for hit in &resp.hits {
 //!     println!("{:.3}  {}", hit.score, hit.rendered);
@@ -29,7 +29,9 @@
 //! ```
 //!
 //! Each sub-crate is re-exported under a short module name; the
-//! [`engine`] module offers one-call entry points per data model.
+//! [`engine`] module offers one-call entry points per data model, and the
+//! [`dispatch`] module runs heterogeneous engines concurrently behind a
+//! name → `Arc<dyn Engine>` catalog.
 
 pub use kwdb_common as common;
 pub use kwdb_datasets as datasets;
@@ -45,6 +47,7 @@ pub use kwdb_relsearch as relsearch;
 pub use kwdb_xml as xml;
 pub use kwdb_xmlsearch as xmlsearch;
 
+pub mod dispatch;
 pub mod engine;
 
 pub use common::{KwdbError, Result};

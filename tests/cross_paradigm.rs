@@ -55,7 +55,7 @@ fn cn_results_appear_as_graph_answers() {
 
     // graph search over the tuple graph
     let (g, by_tuple) = from_database(&db, EdgeWeighting::Uniform);
-    let mut dpbf = Dpbf::new(&g);
+    let dpbf = Dpbf::new(&g);
     let graph_hits = dpbf.search(&query, 10);
 
     // The CN pipeline is size-bounded (Tmax = 4) and uses exact-partition
@@ -115,9 +115,9 @@ fn banks_cost_never_beats_dpbf() {
         vec!["widom", "data"],
         vec!["sigmod", "search"],
     ] {
-        let mut dpbf = Dpbf::new(&g);
+        let dpbf = Dpbf::new(&g);
         let exact = dpbf.search(&query, 1);
-        let mut banks = BanksI::new(&g);
+        let banks = BanksI::new(&g);
         let approx = banks.search(&query, 1);
         match (exact.first(), approx.first()) {
             (Some(e), Some(a)) => {

@@ -19,8 +19,7 @@ fn dblp() -> kwdb::relational::Database {
 
 #[test]
 fn relational_budget_exhaustion_truncates_sorted() {
-    let db = dblp();
-    let engine = RelationalEngine::new(&db);
+    let engine = RelationalEngine::new(dblp());
     let req = SearchRequest::new("data query")
         .k(5)
         .budget(Budget::unlimited().with_timeout(Duration::ZERO));
@@ -49,8 +48,7 @@ fn relational_budget_exhaustion_truncates_sorted() {
 
 #[test]
 fn graph_budget_exhaustion_truncates_all_semantics() {
-    let g = datasets::graphs::generate_graph(&Default::default());
-    let engine = GraphEngine::new(&g);
+    let engine = GraphEngine::new(datasets::graphs::generate_graph(&Default::default()));
     for sem in [
         GraphSemantics::SteinerExact,
         GraphSemantics::Banks,
@@ -79,7 +77,7 @@ fn graph_budget_exhaustion_truncates_all_semantics() {
 fn xml_budget_exhaustion_truncates_sorted() {
     let tree = datasets::generate_bib_xml(&Default::default());
     let ix = XmlIndex::build(&tree);
-    let engine = XmlEngine::new(&tree, &ix);
+    let engine = XmlEngine::new(tree, ix);
     let req = SearchRequest::new("data query")
         .k(10)
         .budget(Budget::unlimited().with_timeout(Duration::ZERO));
@@ -95,8 +93,7 @@ fn xml_budget_exhaustion_truncates_sorted() {
 
 #[test]
 fn repeated_query_hits_cn_cache_and_is_faster_to_plan() {
-    let db = dblp();
-    let engine = RelationalEngine::new(&db);
+    let engine = RelationalEngine::new(dblp());
     let req = SearchRequest::new("data query").k(5);
     let first = engine.execute(&req).unwrap();
     let second = engine.execute(&req).unwrap();
@@ -124,16 +121,14 @@ fn repeated_query_hits_cn_cache_and_is_faster_to_plan() {
 
 #[test]
 fn empty_and_unmatched_queries_are_empty_through_new_api() {
-    let db = dblp();
-    let engine = RelationalEngine::new(&db);
+    let engine = RelationalEngine::new(dblp());
     for q in ["", "   ", "zzzzqqqxw"] {
         let resp = engine.execute(&SearchRequest::new(q).k(5)).unwrap();
         assert!(resp.hits.is_empty(), "query {q:?}");
         assert!(!resp.truncated, "query {q:?}");
     }
 
-    let g = datasets::graphs::generate_graph(&Default::default());
-    let gengine = GraphEngine::new(&g);
+    let gengine = GraphEngine::new(datasets::graphs::generate_graph(&Default::default()));
     for q in ["", "zzzzqqqxw kw0"] {
         let resp = gengine.execute(&SearchRequest::new(q).k(3)).unwrap();
         assert!(resp.hits.is_empty(), "query {q:?}");
@@ -141,7 +136,7 @@ fn empty_and_unmatched_queries_are_empty_through_new_api() {
 
     let tree = datasets::generate_bib_xml(&Default::default());
     let ix = XmlIndex::build(&tree);
-    let xengine = XmlEngine::new(&tree, &ix);
+    let xengine = XmlEngine::new(tree, ix);
     for q in ["", "zzzzqqqxw data"] {
         let resp = xengine.execute(&SearchRequest::new(q).k(5)).unwrap();
         assert!(resp.hits.is_empty(), "query {q:?}");
@@ -150,8 +145,7 @@ fn empty_and_unmatched_queries_are_empty_through_new_api() {
 
 #[test]
 fn stats_phases_are_populated() {
-    let db = dblp();
-    let engine = RelationalEngine::new(&db);
+    let engine = RelationalEngine::new(dblp());
     let resp = engine
         .execute(&SearchRequest::new("data query").k(5))
         .unwrap();
