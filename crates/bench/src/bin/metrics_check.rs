@@ -1,0 +1,81 @@
+//! Validate a `kwdb-metrics-v1` JSON snapshot written by
+//! `reproduce --metrics-out`.
+//!
+//! ```sh
+//! cargo run -p kwdb-bench --bin metrics_check -- BENCH_metrics.json
+//! ```
+//!
+//! Exits non-zero (naming what's missing) unless the file parses as an
+//! exact registry snapshot and contains every required metric family —
+//! this is what the CI observability job runs against the uploaded
+//! artifact, so a refactor that silently stops recording a family fails
+//! the build instead of going dark in dashboards.
+
+use kwdb_obs::families;
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: metrics_check <snapshot.json>");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let snapshot = match kwdb_obs::export::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{path} is not a valid kwdb-metrics-v1 snapshot: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let present = snapshot.family_names();
+    let required = [
+        families::QUERIES,
+        families::QUERY_LATENCY,
+        families::PHASE_LATENCY,
+        families::OPERATORS,
+        families::CANDIDATES,
+        families::PLAN_CACHE,
+        families::TRUNCATED,
+        families::PLAN_CACHE_SIZE,
+        families::PLAN_CACHE_GENERATIONS,
+        families::DISPATCH_QUEUE_WAIT,
+        families::DISPATCH_INFLIGHT,
+        families::DISPATCH_REQUESTS,
+        families::DISPATCH_WORKER_REQUESTS,
+        "kwdb_experiment_latency_ns",
+    ];
+    let missing: Vec<&str> = required
+        .iter()
+        .copied()
+        .filter(|f| !present.contains(f))
+        .collect();
+    if !missing.is_empty() {
+        eprintln!("{path}: missing metric families: {missing:?}");
+        eprintln!("present: {present:?}");
+        std::process::exit(1);
+    }
+    if snapshot.counter_total(families::QUERIES) == 0 {
+        eprintln!("{path}: {} recorded no queries", families::QUERIES);
+        std::process::exit(1);
+    }
+
+    // The exporter and parser must agree exactly: re-serialize and re-parse.
+    let rt = kwdb_obs::export::from_json(&kwdb_obs::export::to_json(&snapshot))
+        .expect("round-trip parse");
+    if rt != snapshot {
+        eprintln!("{path}: JSON round-trip changed the snapshot");
+        std::process::exit(1);
+    }
+
+    println!(
+        "{path}: ok — {} families, {} queries recorded",
+        present.len(),
+        snapshot.counter_total(families::QUERIES)
+    );
+}

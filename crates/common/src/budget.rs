@@ -98,6 +98,57 @@ impl Budget {
         self.deadline
             .map(|d| d.saturating_duration_since(Instant::now()))
     }
+
+    /// Why the budget is exhausted at `candidates` consumed, if it is.
+    ///
+    /// The candidate cap is checked first: it is deterministic (a function
+    /// of the work done, not the wall clock), so when both constraints are
+    /// violated the reported reason is stable across runs and identical
+    /// between serial and concurrent execution.
+    pub fn truncation_at(&self, candidates: u64) -> Option<TruncationReason> {
+        if self.candidates_exceeded(candidates) {
+            Some(TruncationReason::CandidateCapReached)
+        } else if self.deadline_exceeded() {
+            Some(TruncationReason::DeadlineExceeded)
+        } else {
+            None
+        }
+    }
+
+    /// Deadline-only variant of [`Budget::truncation_at`] for phase
+    /// boundaries, where no candidate count applies.
+    pub fn truncation(&self) -> Option<TruncationReason> {
+        self.deadline_exceeded()
+            .then_some(TruncationReason::DeadlineExceeded)
+    }
+}
+
+/// Why a query was cut short: the typed replacement for the old bare
+/// `truncated: bool`, so callers (and the metrics registry) can tell an
+/// overloaded deployment (deadlines firing) from an over-tight candidate
+/// cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TruncationReason {
+    /// The wall-clock deadline passed mid-query.
+    DeadlineExceeded,
+    /// The candidate cap was consumed before evaluation finished.
+    CandidateCapReached,
+}
+
+impl TruncationReason {
+    /// Stable metric-label value: `"deadline"` or `"candidate_cap"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TruncationReason::DeadlineExceeded => "deadline",
+            TruncationReason::CandidateCapReached => "candidate_cap",
+        }
+    }
+}
+
+impl std::fmt::Display for TruncationReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// Wall-clock timings of the pipeline phases every engine shares.
@@ -167,21 +218,49 @@ impl QueryStats {
     /// operator counters, candidate counts, and cache counters all add up.
     /// The dispatcher uses this to report fleet-wide totals for a batch of
     /// concurrently executed requests.
+    ///
+    /// The implementation destructures `other` exhaustively (no `..` rest
+    /// pattern), so adding a field to [`QueryStats`], [`PhaseTimings`], or
+    /// [`OperatorCounts`] without deciding how it merges is a compile
+    /// error — a counter can never again be silently dropped from
+    /// dispatcher totals.
     pub fn merge(&mut self, other: &QueryStats) {
-        self.phases.parse += other.phases.parse;
-        self.phases.build += other.phases.build;
-        self.phases.plan += other.phases.plan;
-        self.phases.evaluate += other.phases.evaluate;
-        self.operators.tuples_scanned += other.operators.tuples_scanned;
-        self.operators.join_probes += other.operators.join_probes;
-        self.operators.joins_executed += other.operators.joins_executed;
-        self.operators.rows_output += other.operators.rows_output;
-        self.operators.sorted_accesses += other.operators.sorted_accesses;
-        self.operators.random_accesses += other.operators.random_accesses;
-        self.candidates_generated += other.candidates_generated;
-        self.candidates_pruned += other.candidates_pruned;
-        self.cache_hits += other.cache_hits;
-        self.cache_misses += other.cache_misses;
+        let QueryStats {
+            phases:
+                PhaseTimings {
+                    parse,
+                    build,
+                    plan,
+                    evaluate,
+                },
+            operators:
+                OperatorCounts {
+                    tuples_scanned,
+                    join_probes,
+                    joins_executed,
+                    rows_output,
+                    sorted_accesses,
+                    random_accesses,
+                },
+            candidates_generated,
+            candidates_pruned,
+            cache_hits,
+            cache_misses,
+        } = other;
+        self.phases.parse += *parse;
+        self.phases.build += *build;
+        self.phases.plan += *plan;
+        self.phases.evaluate += *evaluate;
+        self.operators.tuples_scanned += tuples_scanned;
+        self.operators.join_probes += join_probes;
+        self.operators.joins_executed += joins_executed;
+        self.operators.rows_output += rows_output;
+        self.operators.sorted_accesses += sorted_accesses;
+        self.operators.random_accesses += random_accesses;
+        self.candidates_generated += candidates_generated;
+        self.candidates_pruned += candidates_pruned;
+        self.cache_hits += cache_hits;
+        self.cache_misses += cache_misses;
     }
 }
 
@@ -285,6 +364,86 @@ mod tests {
         a.merge(&QueryStats::default());
         assert_eq!(a.cache_hits, 3);
         assert_eq!(a.phases.total(), Duration::ZERO);
+    }
+
+    /// Compile guard: constructs every stats struct with a full field list
+    /// (no `..Default::default()`), so adding a field breaks this test's
+    /// compilation until both the literal here and [`QueryStats::merge`]
+    /// (itself an exhaustive destructure) account for it.
+    #[test]
+    fn merge_compile_guard_covers_every_field() {
+        let unit = QueryStats {
+            phases: PhaseTimings {
+                parse: Duration::from_nanos(1),
+                build: Duration::from_nanos(1),
+                plan: Duration::from_nanos(1),
+                evaluate: Duration::from_nanos(1),
+            },
+            operators: OperatorCounts {
+                tuples_scanned: 1,
+                join_probes: 1,
+                joins_executed: 1,
+                rows_output: 1,
+                sorted_accesses: 1,
+                random_accesses: 1,
+            },
+            candidates_generated: 1,
+            candidates_pruned: 1,
+            cache_hits: 1,
+            cache_misses: 1,
+        };
+        let mut acc = QueryStats::new();
+        acc.merge(&unit);
+        // every field of the all-ones record must land in the total
+        assert_eq!(acc.phases.total(), Duration::from_nanos(4));
+        let OperatorCounts {
+            tuples_scanned,
+            join_probes,
+            joins_executed,
+            rows_output,
+            sorted_accesses,
+            random_accesses,
+        } = acc.operators;
+        assert_eq!(
+            [
+                tuples_scanned,
+                join_probes,
+                joins_executed,
+                rows_output,
+                sorted_accesses,
+                random_accesses,
+                acc.candidates_generated,
+                acc.candidates_pruned,
+                acc.cache_hits,
+                acc.cache_misses,
+            ],
+            [1; 10],
+            "merge dropped a counter"
+        );
+    }
+
+    #[test]
+    fn truncation_reason_prefers_deterministic_cap() {
+        let b = Budget::unlimited()
+            .with_max_candidates(5)
+            .with_timeout(Duration::ZERO);
+        // both constraints violated ⇒ the deterministic one wins
+        assert_eq!(
+            b.truncation_at(5),
+            Some(TruncationReason::CandidateCapReached)
+        );
+        // only the deadline violated
+        assert_eq!(b.truncation_at(0), Some(TruncationReason::DeadlineExceeded));
+        assert_eq!(b.truncation(), Some(TruncationReason::DeadlineExceeded));
+
+        let unlimited = Budget::unlimited();
+        assert_eq!(unlimited.truncation_at(u64::MAX - 1), None);
+        assert_eq!(unlimited.truncation(), None);
+        assert_eq!(TruncationReason::DeadlineExceeded.as_str(), "deadline");
+        assert_eq!(
+            TruncationReason::CandidateCapReached.to_string(),
+            "candidate_cap"
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@ pub mod text;
 pub mod topk;
 pub mod value;
 
-pub use budget::{Budget, OperatorCounts, PhaseTimings, QueryStats, Stopwatch};
+pub use budget::{Budget, OperatorCounts, PhaseTimings, QueryStats, Stopwatch, TruncationReason};
 pub use error::{KwdbError, Result};
 pub use rng::Rng;
 pub use value::Value;

@@ -20,7 +20,7 @@
 
 use crate::answer::{norm_edge, AnswerTree};
 use crate::TraversalStats;
-use kwdb_common::{topk::TopK, Budget, Score};
+use kwdb_common::{topk::TopK, Budget, Score, TruncationReason};
 use kwdb_graph::{DataGraph, NodeId};
 use std::collections::{BinaryHeap, HashMap};
 
@@ -114,25 +114,26 @@ impl<'g> BanksI<'g> {
 
     /// [`Self::search`] under an execution [`Budget`]: every node settled
     /// counts as one candidate; an exhausted budget returns the (cost-sorted)
-    /// answers found so far with `true` (truncated). The third element
-    /// reports this query's expansion work in `nodes_expanded`.
+    /// answers found so far plus the [`TruncationReason`] that stopped the
+    /// expansion. The third element reports this query's expansion work in
+    /// `nodes_expanded`.
     pub fn search_budgeted<S: AsRef<str>>(
         &self,
         keywords: &[S],
         k: usize,
         budget: &Budget,
-    ) -> (Vec<AnswerTree>, bool, TraversalStats) {
+    ) -> (Vec<AnswerTree>, Option<TruncationReason>, TraversalStats) {
         let mut stats = TraversalStats::default();
         let l = keywords.len();
-        let mut truncated = false;
+        let mut truncation = None;
         if l == 0 || k == 0 {
-            return (Vec::new(), truncated, stats);
+            return (Vec::new(), truncation, stats);
         }
         let mut groups: Vec<GroupExpansion> = Vec::with_capacity(l);
         for kw in keywords {
             let sources = self.g.keyword_nodes(kw.as_ref());
             if sources.is_empty() {
-                return (Vec::new(), truncated, stats);
+                return (Vec::new(), truncation, stats);
             }
             groups.push(GroupExpansion::new(sources));
         }
@@ -143,8 +144,8 @@ impl<'g> BanksI<'g> {
         let mut settled: u64 = 0;
 
         loop {
-            if budget.exhausted_at(settled) {
-                truncated = true;
+            if let Some(reason) = budget.truncation_at(settled) {
+                truncation = Some(reason);
                 break;
             }
             settled += 1;
@@ -184,7 +185,7 @@ impl<'g> BanksI<'g> {
             .into_iter()
             .map(|(neg_cost, root)| self.build_tree(root, -neg_cost, &groups, l))
             .collect();
-        (trees, truncated, stats)
+        (trees, truncation, stats)
     }
 
     fn build_tree(

@@ -16,7 +16,7 @@
 use crate::answer::{norm_edge, AnswerTree};
 use crate::TraversalStats;
 use kwdb_common::topk::TopK;
-use kwdb_common::Budget;
+use kwdb_common::{Budget, TruncationReason};
 use kwdb_graph::shortest::dijkstra;
 use kwdb_graph::{DataGraph, NodeId, NodeKeywordIndex};
 use std::collections::HashSet;
@@ -62,27 +62,28 @@ impl<'g> Blinks<'g> {
 
     /// [`Self::search`] under an execution [`Budget`]: every sorted access
     /// counts as one candidate; an exhausted budget returns the (cost-sorted)
-    /// answers found so far with `true` (truncated). The third element counts
-    /// this query's sorted/random index accesses.
+    /// answers found so far plus the [`TruncationReason`] that ended the
+    /// round-robin. The third element counts this query's sorted/random
+    /// index accesses.
     pub fn search_budgeted<S: AsRef<str>>(
         &self,
         index: &NodeKeywordIndex,
         keywords: &[S],
         k: usize,
         budget: &Budget,
-    ) -> (Vec<AnswerTree>, bool, TraversalStats) {
+    ) -> (Vec<AnswerTree>, Option<TruncationReason>, TraversalStats) {
         let mut stats = TraversalStats::default();
         let l = keywords.len();
-        let mut truncated = false;
+        let mut truncation = None;
         if l == 0 || k == 0 {
-            return (Vec::new(), truncated, stats);
+            return (Vec::new(), truncation, stats);
         }
         let lists: Vec<&[(NodeId, f64)]> = keywords
             .iter()
             .map(|kw| index.sorted_list(kw.as_ref()))
             .collect();
         if lists.iter().any(|lst| lst.is_empty()) {
-            return (Vec::new(), truncated, stats);
+            return (Vec::new(), truncation, stats);
         }
         let mut cursors = vec![0usize; l];
         let mut seen: HashSet<NodeId> = HashSet::new();
@@ -91,8 +92,8 @@ impl<'g> Blinks<'g> {
         'ta: loop {
             let mut any = false;
             for (i, list) in lists.iter().enumerate() {
-                if budget.exhausted_at(stats.sorted_accesses as u64) {
-                    truncated = true;
+                if let Some(reason) = budget.truncation_at(stats.sorted_accesses as u64) {
+                    truncation = Some(reason);
                     break 'ta;
                 }
                 let Some(&(node, _)) = list.get(cursors[i]) else {
@@ -145,7 +146,7 @@ impl<'g> Blinks<'g> {
             .into_iter()
             .map(|(neg, root)| self.build_tree(index, keywords, root, -neg))
             .collect();
-        (trees, truncated, stats)
+        (trees, truncation, stats)
     }
 
     /// Materialize a root's answer tree: shortest paths to each keyword's

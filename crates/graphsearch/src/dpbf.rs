@@ -17,7 +17,7 @@
 
 use crate::answer::{norm_edge, AnswerTree};
 use crate::TraversalStats;
-use kwdb_common::{Budget, Score};
+use kwdb_common::{Budget, Score, TruncationReason};
 use kwdb_graph::{DataGraph, NodeId};
 use std::collections::{BinaryHeap, HashMap};
 
@@ -53,20 +53,21 @@ impl<'g> Dpbf<'g> {
 
     /// [`Self::search`] under an execution [`Budget`]: every DP state popped
     /// counts as one candidate; an exhausted budget returns the (cost-sorted)
-    /// full-coverage trees found so far with `true` (truncated). The third
-    /// element reports this query's work in `states_popped`.
+    /// full-coverage trees found so far plus the [`TruncationReason`] that
+    /// stopped the expansion. The third element reports this query's work in
+    /// `states_popped`.
     pub fn search_budgeted<S: AsRef<str>>(
         &self,
         keywords: &[S],
         k: usize,
         budget: &Budget,
-    ) -> (Vec<AnswerTree>, bool, TraversalStats) {
+    ) -> (Vec<AnswerTree>, Option<TruncationReason>, TraversalStats) {
         let mut stats = TraversalStats::default();
         let l = keywords.len();
         assert!(l <= 16, "DPBF supports at most 16 keywords");
-        let mut truncated = false;
+        let mut truncation = None;
         if l == 0 || k == 0 {
-            return (Vec::new(), truncated, stats);
+            return (Vec::new(), truncation, stats);
         }
         let full: u32 = (1 << l) - 1;
         // cost[(v, mask)] and parent pointers
@@ -79,7 +80,7 @@ impl<'g> Dpbf<'g> {
         for (i, kw) in keywords.iter().enumerate() {
             let group = self.g.keyword_nodes(kw.as_ref());
             if group.is_empty() {
-                return (Vec::new(), truncated, stats);
+                return (Vec::new(), truncation, stats);
             }
             for &v in group {
                 let key = (v, 1 << i);
@@ -101,8 +102,8 @@ impl<'g> Dpbf<'g> {
             if cost.get(&(v, mask)).is_some_and(|&best| c > best) {
                 continue; // stale
             }
-            if budget.exhausted_at(popped) {
-                truncated = true;
+            if let Some(reason) = budget.truncation_at(popped) {
+                truncation = Some(reason);
                 break;
             }
             popped += 1;
@@ -142,7 +143,7 @@ impl<'g> Dpbf<'g> {
                 }
             }
         }
-        (results, truncated, stats)
+        (results, truncation, stats)
     }
 
     /// Rebuild the tree edges and keyword matches from parent pointers.

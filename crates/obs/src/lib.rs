@@ -1,0 +1,44 @@
+//! # kwdb-obs — query observability for kwdb
+//!
+//! The tutorial's core comparisons (BANKS vs DPBF vs BLINKS node accesses,
+//! DISCOVER/SPARK candidate-network costs) are quantitative claims, and a
+//! production deployment needs the same numbers continuously — per-query
+//! `QueryStats` alone evaporate the moment the response is dropped. This
+//! crate is the retention layer, hermetic like the rest of the workspace
+//! (no external dependencies):
+//!
+//! * [`MetricsRegistry`] — a thread-safe table of named, labeled
+//!   [`Counter`]s, [`Gauge`]s, and log-linear [`Histogram`]s with
+//!   p50/p90/p99 extraction. Engines record under `engine × algorithm ×
+//!   phase` labels; recording is atomics-only, so concurrent dispatcher
+//!   workers never serialize on it.
+//! * [`QueryTrace`] — a structured span tree of one query (phases →
+//!   operator events with timestamps, counter deltas, budget verdicts,
+//!   cache outcomes), built through a [`TraceBuilder`] gated by the
+//!   [`TraceLevel`] knob on a request, rendered as an `EXPLAIN
+//!   ANALYZE`-style text tree or JSON.
+//! * Exporters — [`export::to_prometheus`] (text exposition format) and
+//!   [`export::to_json`]/[`export::from_json`] (an exact round-trip the
+//!   bench harness uses to emit `BENCH_*.json` perf baselines).
+//!
+//! ```
+//! use kwdb_obs::{MetricsRegistry, record_query};
+//! use kwdb_common::QueryStats;
+//!
+//! let reg = MetricsRegistry::new();
+//! record_query(&reg, "relational", "global_pipeline", &QueryStats::new(), None);
+//! let prom = kwdb_obs::export::to_prometheus(&reg.snapshot());
+//! assert!(prom.contains("kwdb_queries_total"));
+//! ```
+
+pub mod export;
+pub mod hist;
+pub mod json;
+pub mod record;
+pub mod registry;
+pub mod trace;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use record::{families, record_query};
+pub use registry::{Counter, Gauge, Labels, MetricId, MetricsRegistry, Snapshot};
+pub use trace::{PhaseSpan, QueryTrace, TraceBuilder, TraceEvent, TraceLevel};

@@ -1,0 +1,189 @@
+//! The bridge from per-query [`QueryStats`] records to registry metrics.
+//!
+//! Every engine already returns a `QueryStats` per query; [`record_query`]
+//! folds one into a [`MetricsRegistry`] under `engine × algorithm` labels so
+//! fleet-wide totals, rates, and latency distributions accumulate across
+//! queries and threads. The metric family names are stable — CI checks them
+//! in the exported `BENCH_*.json` — and enumerated in [`families`].
+
+use crate::registry::MetricsRegistry;
+use kwdb_common::budget::TruncationReason;
+use kwdb_common::QueryStats;
+
+/// Stable metric family names: the per-query families recorded by
+/// [`record_query`], the relational plan-cache families, and the dispatcher
+/// families. The bench JSON validator checks these exact strings.
+pub mod families {
+    /// Counter: queries executed, by engine × algorithm.
+    pub const QUERIES: &str = "kwdb_queries_total";
+    /// Histogram: end-to-end query latency in nanoseconds.
+    pub const QUERY_LATENCY: &str = "kwdb_query_latency_ns";
+    /// Histogram: per-phase latency in nanoseconds (label `phase`).
+    pub const PHASE_LATENCY: &str = "kwdb_phase_latency_ns";
+    /// Counter: operator work (label `op`).
+    pub const OPERATORS: &str = "kwdb_operators_total";
+    /// Counter: candidates generated/pruned (label `kind`).
+    pub const CANDIDATES: &str = "kwdb_candidates_total";
+    /// Counter: plan-cache lookups (label `outcome` = hit|miss).
+    pub const PLAN_CACHE: &str = "kwdb_plan_cache_total";
+    /// Counter: truncated queries (label `reason` = deadline|candidate_cap).
+    pub const TRUNCATED: &str = "kwdb_queries_truncated_total";
+    /// Gauge: current CN plan-cache entry count (relational engine).
+    pub const PLAN_CACHE_SIZE: &str = "kwdb_plan_cache_size";
+    /// Counter: CN plans generated (cache-miss work), relational engine.
+    pub const PLAN_CACHE_GENERATIONS: &str = "kwdb_plan_cache_generations_total";
+    /// Counter: CN plan-cache evictions, relational engine.
+    pub const PLAN_CACHE_EVICTIONS: &str = "kwdb_plan_cache_evictions_total";
+    /// Histogram: time a dispatched request waited before a worker claimed
+    /// it (label `mode` = serial|concurrent).
+    pub const DISPATCH_QUEUE_WAIT: &str = "kwdb_dispatch_queue_wait_ns";
+    /// Gauge: requests currently executing inside a dispatcher.
+    pub const DISPATCH_INFLIGHT: &str = "kwdb_dispatch_inflight";
+    /// Counter: dispatched requests (label `outcome` = ok|error).
+    pub const DISPATCH_REQUESTS: &str = "kwdb_dispatch_requests_total";
+    /// Counter: dispatched requests per worker (label `worker`).
+    pub const DISPATCH_WORKER_REQUESTS: &str = "kwdb_dispatch_worker_requests_total";
+}
+
+/// Fold one query's stats into the registry under `engine × algorithm`.
+pub fn record_query(
+    reg: &MetricsRegistry,
+    engine: &str,
+    algorithm: &str,
+    stats: &QueryStats,
+    truncation: Option<TruncationReason>,
+) {
+    let ea = [("engine", engine), ("algorithm", algorithm)];
+    reg.counter(families::QUERIES, &ea).inc();
+    reg.histogram(families::QUERY_LATENCY, &ea)
+        .record_duration(stats.phases.total());
+    for (phase, d) in [
+        ("parse", stats.phases.parse),
+        ("build", stats.phases.build),
+        ("plan", stats.phases.plan),
+        ("evaluate", stats.phases.evaluate),
+    ] {
+        reg.histogram(
+            families::PHASE_LATENCY,
+            &[
+                ("engine", engine),
+                ("algorithm", algorithm),
+                ("phase", phase),
+            ],
+        )
+        .record_duration(d);
+    }
+    for (op, n) in [
+        ("tuples_scanned", stats.operators.tuples_scanned),
+        ("join_probes", stats.operators.join_probes),
+        ("joins_executed", stats.operators.joins_executed),
+        ("rows_output", stats.operators.rows_output),
+        ("sorted_accesses", stats.operators.sorted_accesses),
+        ("random_accesses", stats.operators.random_accesses),
+    ] {
+        reg.counter(
+            families::OPERATORS,
+            &[("engine", engine), ("algorithm", algorithm), ("op", op)],
+        )
+        .add(n);
+    }
+    for (kind, n) in [
+        ("generated", stats.candidates_generated),
+        ("pruned", stats.candidates_pruned),
+    ] {
+        reg.counter(
+            families::CANDIDATES,
+            &[("engine", engine), ("algorithm", algorithm), ("kind", kind)],
+        )
+        .add(n);
+    }
+    for (outcome, n) in [("hit", stats.cache_hits), ("miss", stats.cache_misses)] {
+        reg.counter(
+            families::PLAN_CACHE,
+            &[("engine", engine), ("outcome", outcome)],
+        )
+        .add(n);
+    }
+    if let Some(reason) = truncation {
+        reg.counter(
+            families::TRUNCATED,
+            &[
+                ("engine", engine),
+                ("algorithm", algorithm),
+                ("reason", reason.as_str()),
+            ],
+        )
+        .inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn stats() -> QueryStats {
+        let mut s = QueryStats::new();
+        s.phases.parse = Duration::from_micros(10);
+        s.phases.evaluate = Duration::from_micros(400);
+        s.operators.tuples_scanned = 100;
+        s.operators.join_probes = 40;
+        s.candidates_generated = 12;
+        s.candidates_pruned = 5;
+        s.cache_hits = 1;
+        s
+    }
+
+    #[test]
+    fn record_query_populates_every_family() {
+        let reg = MetricsRegistry::new();
+        record_query(&reg, "relational", "global_pipeline", &stats(), None);
+        record_query(
+            &reg,
+            "relational",
+            "global_pipeline",
+            &stats(),
+            Some(TruncationReason::DeadlineExceeded),
+        );
+        let ea = [("engine", "relational"), ("algorithm", "global_pipeline")];
+        assert_eq!(reg.counter_value(families::QUERIES, &ea), 2);
+        assert_eq!(
+            reg.counter_value(
+                families::OPERATORS,
+                &[
+                    ("engine", "relational"),
+                    ("algorithm", "global_pipeline"),
+                    ("op", "tuples_scanned")
+                ]
+            ),
+            200
+        );
+        assert_eq!(
+            reg.counter_value(
+                families::TRUNCATED,
+                &[
+                    ("engine", "relational"),
+                    ("algorithm", "global_pipeline"),
+                    ("reason", "deadline")
+                ]
+            ),
+            1
+        );
+        assert_eq!(
+            reg.counter_value(
+                families::PLAN_CACHE,
+                &[("engine", "relational"), ("outcome", "hit")]
+            ),
+            2
+        );
+        let snap = reg.snapshot();
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|(id, _)| id.name == families::QUERY_LATENCY)
+            .expect("latency histogram exists");
+        assert_eq!(hist.1.count, 2);
+        assert!(snap.family_names().contains(&families::PHASE_LATENCY));
+        assert!(snap.family_names().contains(&families::CANDIDATES));
+    }
+}

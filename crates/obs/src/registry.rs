@@ -1,0 +1,336 @@
+//! The thread-safe metrics registry: named, labeled counters, gauges, and
+//! histograms.
+//!
+//! A [`MetricsRegistry`] is a process-wide (or deployment-unit-wide) table
+//! of metric instruments keyed by family name plus a sorted label set —
+//! `kwdb_queries_total{engine="relational", algorithm="global_pipeline"}`.
+//! Lookup uses the same double-checked read-mostly locking as the CN plan
+//! cache: the hot path takes a read lock and clones an `Arc` handle;
+//! creation upgrades to the write lock exactly once per instrument.
+//! Recording through a handle is lock-free (atomics only), so engines can
+//! keep handles across queries or re-resolve them per query — either way
+//! concurrent workers never serialize on the registry.
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (queue depths, cache sizes,
+/// in-flight request counts).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A sorted, deduplicated label set. Construction sorts by key, so
+/// `[("b","2"),("a","1")]` and `[("a","1"),("b","2")]` address the same
+/// instrument.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Labels(Vec<(String, String)>);
+
+impl Labels {
+    pub fn new(pairs: &[(&str, &str)]) -> Self {
+        let mut v: Vec<(String, String)> = pairs
+            .iter()
+            .map(|&(k, val)| (k.to_string(), val.to_string()))
+            .collect();
+        v.sort();
+        v.dedup_by(|a, b| a.0 == b.0);
+        Labels(v)
+    }
+
+    pub fn empty() -> Self {
+        Labels::default()
+    }
+
+    pub fn pairs(&self) -> &[(String, String)] {
+        &self.0
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<Vec<(String, String)>> for Labels {
+    fn from(mut v: Vec<(String, String)>) -> Self {
+        v.sort();
+        v.dedup_by(|a, b| a.0 == b.0);
+        Labels(v)
+    }
+}
+
+/// Fully qualified instrument identity: family name + label set.
+pub type MetricKey = (String, Labels);
+
+#[derive(Default)]
+struct Families {
+    counters: BTreeMap<MetricKey, Arc<Counter>>,
+    gauges: BTreeMap<MetricKey, Arc<Gauge>>,
+    histograms: BTreeMap<MetricKey, Arc<Histogram>>,
+}
+
+/// The thread-safe registry of all metric instruments.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: RwLock<Families>,
+}
+
+/// Double-checked get-or-create over one of the three family maps.
+macro_rules! get_or_create {
+    ($self:ident, $field:ident, $name:ident, $labels:ident, $new:expr) => {{
+        let key: MetricKey = ($name.to_string(), Labels::new($labels));
+        if let Some(m) = $self
+            .inner
+            .read()
+            .expect("metrics registry poisoned")
+            .$field
+            .get(&key)
+        {
+            return Arc::clone(m);
+        }
+        let mut inner = $self.inner.write().expect("metrics registry poisoned");
+        Arc::clone(inner.$field.entry(key).or_insert_with(|| Arc::new($new)))
+    }};
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter `name{labels}`, created on first use.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        get_or_create!(self, counters, name, labels, Counter::default())
+    }
+
+    /// The gauge `name{labels}`, created on first use.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        get_or_create!(self, gauges, name, labels, Gauge::default())
+    }
+
+    /// The histogram `name{labels}`, created on first use.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        get_or_create!(self, histograms, name, labels, Histogram::new())
+    }
+
+    /// Read a counter's current value without creating it (0 if absent).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        let key: MetricKey = (name.to_string(), Labels::new(labels));
+        self.inner
+            .read()
+            .expect("metrics registry poisoned")
+            .counters
+            .get(&key)
+            .map(|c| c.get())
+            .unwrap_or(0)
+    }
+
+    /// Sum of a counter family's values across every label set.
+    pub fn counter_family_total(&self, name: &str) -> u64 {
+        self.inner
+            .read()
+            .expect("metrics registry poisoned")
+            .counters
+            .iter()
+            .filter(|((n, _), _)| n == name)
+            .map(|(_, c)| c.get())
+            .sum()
+    }
+
+    /// A point-in-time copy of every instrument, in deterministic
+    /// (name, labels) order — the input of both exporters.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.read().expect("metrics registry poisoned");
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|((n, l), c)| (MetricId::new(n, l), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|((n, l), g)| (MetricId::new(n, l), g.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|((n, l), h)| (MetricId::new(n, l), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Identity of one instrument inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricId {
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    fn new(name: &str, labels: &Labels) -> Self {
+        MetricId {
+            name: name.to_string(),
+            labels: labels.pairs().to_vec(),
+        }
+    }
+}
+
+/// A point-in-time copy of a registry: the unit of export, comparison, and
+/// JSON round-tripping.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    pub counters: Vec<(MetricId, u64)>,
+    pub gauges: Vec<(MetricId, i64)>,
+    pub histograms: Vec<(MetricId, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Family names present in this snapshot (sorted, deduplicated).
+    pub fn family_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self
+            .counters
+            .iter()
+            .map(|(id, _)| id.name.as_str())
+            .chain(self.gauges.iter().map(|(id, _)| id.name.as_str()))
+            .chain(self.histograms.iter().map(|(id, _)| id.name.as_str()))
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// Sum of one counter family across label sets.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(id, _)| id.name == name)
+            .map(|&(_, v)| v)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("requests_total", &[("engine", "relational")]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // same name+labels resolves to the same instrument
+        reg.counter("requests_total", &[("engine", "relational")])
+            .inc();
+        assert_eq!(
+            reg.counter_value("requests_total", &[("engine", "relational")]),
+            6
+        );
+
+        let g = reg.gauge("inflight", &[]);
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-3);
+        assert_eq!(g.get(), -3);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let reg = MetricsRegistry::new();
+        reg.counter("m", &[("a", "1"), ("b", "2")]).inc();
+        reg.counter("m", &[("b", "2"), ("a", "1")]).inc();
+        assert_eq!(reg.counter_value("m", &[("a", "1"), ("b", "2")]), 2);
+        assert_eq!(reg.snapshot().counters.len(), 1);
+    }
+
+    #[test]
+    fn family_total_sums_across_label_sets() {
+        let reg = MetricsRegistry::new();
+        reg.counter("ops", &[("engine", "graph")]).add(3);
+        reg.counter("ops", &[("engine", "xml")]).add(4);
+        reg.counter("other", &[]).add(100);
+        assert_eq!(reg.counter_family_total("ops"), 7);
+        assert_eq!(reg.snapshot().counter_total("ops"), 7);
+    }
+
+    #[test]
+    fn snapshot_is_deterministically_ordered() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z", &[]).inc();
+        reg.counter("a", &[("x", "2")]).inc();
+        reg.counter("a", &[("x", "1")]).inc();
+        let snap = reg.snapshot();
+        let names: Vec<String> = snap
+            .counters
+            .iter()
+            .map(|(id, _)| format!("{}{:?}", id.name, id.labels))
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        assert_eq!(snap.family_names(), vec!["a", "z"]);
+    }
+
+    #[test]
+    fn concurrent_instrument_creation_is_exactly_once() {
+        let reg = std::sync::Arc::new(MetricsRegistry::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let reg = std::sync::Arc::clone(&reg);
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        reg.counter("hot", &[("i", &(i % 10).to_string())]).inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter_family_total("hot"), 800);
+        assert_eq!(reg.snapshot().counters.len(), 10);
+    }
+}

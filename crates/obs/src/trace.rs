@@ -1,0 +1,348 @@
+//! Structured query traces: an `EXPLAIN ANALYZE`-style record of one query's
+//! execution.
+//!
+//! A [`QueryTrace`] is a span tree — the query root, one span per pipeline
+//! phase (parse → build → plan → evaluate), and inside each span the
+//! operator events that matter for diagnosis: plan-cache outcomes, budget
+//! verdicts, counter deltas. Engines build it through a [`TraceBuilder`]
+//! attached to the request's [`TraceLevel`] knob:
+//!
+//! * [`TraceLevel::Off`] (the default) — the builder is a no-op holding no
+//!   allocation; every call is a branch on a `None` and event closures are
+//!   never invoked, so tracing costs nothing unless asked for.
+//! * [`TraceLevel::Phases`] — phase spans with wall-clock timings.
+//! * [`TraceLevel::Full`] — phases plus operator events and counter deltas.
+//!
+//! Render with [`QueryTrace::render_text`] for humans or
+//! [`QueryTrace::to_json`] for tooling.
+
+use crate::json::Json;
+use std::time::{Duration, Instant};
+
+/// How much tracing a request wants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum TraceLevel {
+    /// No trace (zero overhead).
+    #[default]
+    Off,
+    /// Phase spans with timings.
+    Phases,
+    /// Phase spans plus operator events.
+    Full,
+}
+
+/// One event inside a phase span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Offset from query start.
+    pub at: Duration,
+    pub message: String,
+    /// Structured key=value payload.
+    pub fields: Vec<(String, String)>,
+}
+
+/// One pipeline phase of the traced query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSpan {
+    pub name: String,
+    /// Offset from query start.
+    pub start: Duration,
+    pub duration: Duration,
+    pub events: Vec<TraceEvent>,
+}
+
+/// The completed trace of one query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryTrace {
+    /// `engine: "query"` — the root label.
+    pub label: String,
+    pub total: Duration,
+    pub phases: Vec<PhaseSpan>,
+}
+
+impl QueryTrace {
+    /// Render as an `EXPLAIN ANALYZE`-style tree:
+    ///
+    /// ```text
+    /// Query relational "data query"  (total 1.532 ms)
+    /// ├─ parse     12.1 µs
+    /// ├─ plan     310.0 µs
+    /// │    • plan cache [outcome=miss, cns=42]
+    /// └─ evaluate   1.2 ms
+    ///      • budget verdict [truncated=no]
+    /// ```
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "Query {}  (total {})\n",
+            self.label,
+            fmt_duration(self.total)
+        );
+        for (i, phase) in self.phases.iter().enumerate() {
+            let last = i + 1 == self.phases.len();
+            let branch = if last { "└─" } else { "├─" };
+            let cont = if last { "  " } else { "│ " };
+            out.push_str(&format!(
+                "{branch} {:<10} {:>10}\n",
+                phase.name,
+                fmt_duration(phase.duration)
+            ));
+            for ev in &phase.events {
+                let fields = if ev.fields.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        " [{}]",
+                        ev.fields
+                            .iter()
+                            .map(|(k, v)| format!("{k}={v}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                };
+                out.push_str(&format!("{cont}   • {}{fields}\n", ev.message));
+            }
+        }
+        out
+    }
+
+    /// The trace as a JSON document (stable schema: label, total_ns,
+    /// phases[{name, start_ns, duration_ns, events[{at_ns, message,
+    /// fields{}}]}]).
+    pub fn to_json(&self) -> String {
+        let phases = self
+            .phases
+            .iter()
+            .map(|p| {
+                let events = p
+                    .events
+                    .iter()
+                    .map(|e| {
+                        Json::Obj(vec![
+                            ("at_ns".into(), Json::Num(e.at.as_nanos() as f64)),
+                            ("message".into(), Json::Str(e.message.clone())),
+                            (
+                                "fields".into(),
+                                Json::Obj(
+                                    e.fields
+                                        .iter()
+                                        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect();
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(p.name.clone())),
+                    ("start_ns".into(), Json::Num(p.start.as_nanos() as f64)),
+                    (
+                        "duration_ns".into(),
+                        Json::Num(p.duration.as_nanos() as f64),
+                    ),
+                    ("events".into(), Json::Arr(events)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("label".into(), Json::Str(self.label.clone())),
+            ("total_ns".into(), Json::Num(self.total.as_nanos() as f64)),
+            ("phases".into(), Json::Arr(phases)),
+        ])
+        .to_string_compact()
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+struct BuilderInner {
+    level: TraceLevel,
+    label: String,
+    start: Instant,
+    phases: Vec<PhaseSpan>,
+    /// Name and start offset of the currently open phase.
+    open: Option<(String, Duration)>,
+    open_events: Vec<TraceEvent>,
+}
+
+/// Incrementally builds a [`QueryTrace`] along an engine's linear pipeline.
+///
+/// Constructed with [`TraceLevel::Off`] it holds nothing and does nothing —
+/// the `Option` is `None`, every method is one branch.
+pub struct TraceBuilder(Option<BuilderInner>);
+
+impl TraceBuilder {
+    pub fn new(level: TraceLevel, label: impl Into<String>) -> Self {
+        match level {
+            TraceLevel::Off => TraceBuilder(None),
+            _ => TraceBuilder(Some(BuilderInner {
+                level,
+                label: label.into(),
+                start: Instant::now(),
+                phases: Vec::new(),
+                open: None,
+                open_events: Vec::new(),
+            })),
+        }
+    }
+
+    /// A disabled builder (same as `new(TraceLevel::Off, ..)`).
+    pub fn off() -> Self {
+        TraceBuilder(None)
+    }
+
+    /// Whether anything is being recorded at all.
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Close the open phase (if any) and open a new one named `name`.
+    pub fn phase(&mut self, name: &str) {
+        let Some(inner) = &mut self.0 else { return };
+        let now = inner.start.elapsed();
+        Self::close_open(inner, now);
+        inner.open = Some((name.to_string(), now));
+    }
+
+    /// Record an event in the open phase. `fields` is only invoked at
+    /// [`TraceLevel::Full`], so building the payload costs nothing below it.
+    pub fn event<F>(&mut self, message: &str, fields: F)
+    where
+        F: FnOnce() -> Vec<(String, String)>,
+    {
+        let Some(inner) = &mut self.0 else { return };
+        if inner.level < TraceLevel::Full {
+            return;
+        }
+        inner.open_events.push(TraceEvent {
+            at: inner.start.elapsed(),
+            message: message.to_string(),
+            fields: fields(),
+        });
+    }
+
+    /// Close the open phase and produce the trace (`None` when disabled).
+    pub fn finish(mut self) -> Option<QueryTrace> {
+        let mut inner = self.0.take()?;
+        let now = inner.start.elapsed();
+        Self::close_open(&mut inner, now);
+        Some(QueryTrace {
+            label: inner.label,
+            total: now,
+            phases: inner.phases,
+        })
+    }
+
+    fn close_open(inner: &mut BuilderInner, now: Duration) {
+        if let Some((name, started)) = inner.open.take() {
+            inner.phases.push(PhaseSpan {
+                name,
+                start: started,
+                duration: now.saturating_sub(started),
+                events: std::mem::take(&mut inner.open_events),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_builder_produces_nothing() {
+        let mut tb = TraceBuilder::new(TraceLevel::Off, "x");
+        assert!(!tb.enabled());
+        tb.phase("parse");
+        let mut called = false;
+        tb.event("should not run", || {
+            called = true;
+            vec![]
+        });
+        assert!(!called, "event closure must not run when disabled");
+        assert!(tb.finish().is_none());
+    }
+
+    #[test]
+    fn phases_level_skips_events() {
+        let mut tb = TraceBuilder::new(TraceLevel::Phases, "g: q");
+        tb.phase("parse");
+        let mut called = false;
+        tb.event("skipped", || {
+            called = true;
+            vec![]
+        });
+        tb.phase("evaluate");
+        let trace = tb.finish().unwrap();
+        assert!(!called);
+        assert_eq!(trace.phases.len(), 2);
+        assert!(trace.phases.iter().all(|p| p.events.is_empty()));
+        assert_eq!(trace.phases[0].name, "parse");
+        assert_eq!(trace.phases[1].name, "evaluate");
+    }
+
+    #[test]
+    fn full_trace_renders_text_and_json() {
+        let mut tb = TraceBuilder::new(TraceLevel::Full, "relational: \"data query\"");
+        tb.phase("parse");
+        tb.phase("plan");
+        tb.event("plan cache", || {
+            vec![
+                ("outcome".into(), "miss".into()),
+                ("cns".into(), "42".into()),
+            ]
+        });
+        tb.phase("evaluate");
+        tb.event("budget verdict", || vec![("truncated".into(), "no".into())]);
+        let trace = tb.finish().unwrap();
+
+        let text = trace.render_text();
+        assert!(text.starts_with("Query relational"));
+        assert!(text.contains("├─ parse"));
+        assert!(text.contains("└─ evaluate"));
+        assert!(text.contains("plan cache [outcome=miss, cns=42]"));
+
+        let json = crate::json::Json::parse(&trace.to_json()).unwrap();
+        assert_eq!(
+            json.get("label").unwrap().as_str(),
+            Some("relational: \"data query\"")
+        );
+        let phases = json.get("phases").unwrap().as_arr().unwrap();
+        assert_eq!(phases.len(), 3);
+        assert_eq!(phases[1].get("name").unwrap().as_str(), Some("plan"));
+        let events = phases[1].get("events").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0]
+                .get("fields")
+                .unwrap()
+                .get("cns")
+                .unwrap()
+                .as_str(),
+            Some("42")
+        );
+    }
+
+    #[test]
+    fn spans_nest_inside_total() {
+        let mut tb = TraceBuilder::new(TraceLevel::Phases, "x");
+        tb.phase("a");
+        std::thread::sleep(Duration::from_millis(2));
+        tb.phase("b");
+        let t = tb.finish().unwrap();
+        assert!(t.phases[0].duration >= Duration::from_millis(1));
+        let end0 = t.phases[0].start + t.phases[0].duration;
+        assert!(end0 <= t.total + Duration::from_micros(1));
+        assert!(t.phases[1].start >= t.phases[0].start);
+    }
+}

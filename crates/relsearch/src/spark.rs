@@ -18,7 +18,7 @@
 
 use crate::eval::{default_rows, evaluate_cn, evaluate_cn_with};
 use crate::topk::{RankedResult, TopKQuery};
-use kwdb_common::{topk::TopK, Budget, Score};
+use kwdb_common::{topk::TopK, Budget, Score, TruncationReason};
 use kwdb_relational::{Database, ExecStats, RowId, TupleId};
 use std::collections::{BinaryHeap, HashSet};
 use std::ops::Deref;
@@ -101,13 +101,13 @@ pub fn skyline_sweep<S: AsRef<str>, D: Deref<Target = Database>>(
 
 /// [`skyline_sweep`] under an execution [`Budget`]: every combination popped
 /// from the sweep heap counts as one candidate; an exhausted budget returns
-/// the (score-sorted) best-so-far with `true` (truncated).
+/// the (score-sorted) best-so-far plus the [`TruncationReason`].
 pub fn skyline_sweep_budgeted<S: AsRef<str>, D: Deref<Target = Database>>(
     q: &TopKQuery<'_, S, D>,
     k: usize,
     stats: &ExecStats,
     budget: &Budget,
-) -> (Vec<RankedResult>, bool) {
+) -> (Vec<RankedResult>, Option<TruncationReason>) {
     sweep(q, k, stats, 1, budget)
 }
 
@@ -129,7 +129,7 @@ pub fn block_pipeline_budgeted<S: AsRef<str>, D: Deref<Target = Database>>(
     block_size: usize,
     stats: &ExecStats,
     budget: &Budget,
-) -> (Vec<RankedResult>, bool) {
+) -> (Vec<RankedResult>, Option<TruncationReason>) {
     sweep(q, k, stats, block_size.max(1), budget)
 }
 
@@ -139,7 +139,7 @@ fn sweep<S: AsRef<str>, D: Deref<Target = Database>>(
     stats: &ExecStats,
     block: usize,
     budget: &Budget,
-) -> (Vec<RankedResult>, bool) {
+) -> (Vec<RankedResult>, Option<TruncationReason>) {
     let lattices: Vec<Lattice> = (0..q.cns.len())
         .filter_map(|ci| Lattice::build(q, ci))
         .collect();
@@ -154,10 +154,10 @@ fn sweep<S: AsRef<str>, D: Deref<Target = Database>>(
     }
     let mut topk = TopK::new(k);
     let mut popped: u64 = 0;
-    let mut truncated = false;
+    let mut truncation = None;
     while let Some((Score(bound), li, combo)) = heap.pop() {
-        if budget.exhausted_at(popped) {
-            truncated = true;
+        if let Some(reason) = budget.truncation_at(popped) {
+            truncation = Some(reason);
             break;
         }
         popped += 1;
@@ -202,7 +202,7 @@ fn sweep<S: AsRef<str>, D: Deref<Target = Database>>(
             }
         }
     }
-    (finish(topk), truncated)
+    (finish(topk), truncation)
 }
 
 /// First tuple index of each block — where the block's max watf lives.

@@ -23,7 +23,7 @@ use crate::eval::{default_rows, evaluate_cn, evaluate_cn_with, JoinedResult};
 use crate::score::ResultScorer;
 use crate::tupleset::TupleSets;
 use kwdb_common::topk::TopK;
-use kwdb_common::Budget;
+use kwdb_common::{Budget, TruncationReason};
 use kwdb_relational::{Database, ExecStats, RowId};
 use std::ops::Deref;
 
@@ -267,14 +267,15 @@ pub fn global_pipeline<S: AsRef<str>, D: Deref<Target = Database>>(
 
 /// [`global_pipeline`] under an execution [`Budget`]: every slice advanced
 /// counts as one candidate; when the budget is exhausted the best results
-/// found so far are returned with `true` (truncated). The result list is
-/// always score-sorted, truncated or not.
+/// found so far are returned along with the [`TruncationReason`] that cut
+/// the search short. The result list is always score-sorted, truncated or
+/// not.
 pub fn global_pipeline_budgeted<S: AsRef<str>, D: Deref<Target = Database>>(
     q: &TopKQuery<'_, S, D>,
     k: usize,
     stats: &ExecStats,
     budget: &Budget,
-) -> (Vec<RankedResult>, bool) {
+) -> (Vec<RankedResult>, Option<TruncationReason>) {
     let mut states: Vec<CnState> = q
         .cns
         .iter()
@@ -318,10 +319,10 @@ pub fn global_pipeline_budgeted<S: AsRef<str>, D: Deref<Target = Database>>(
 
     let mut topk = TopK::new(k);
     let mut slices: u64 = 0;
-    let mut truncated = false;
+    let mut truncation = None;
     loop {
-        if budget.exhausted_at(slices) {
-            truncated = true;
+        if let Some(reason) = budget.truncation_at(slices) {
+            truncation = Some(reason);
             break;
         }
         slices += 1;
@@ -366,7 +367,7 @@ pub fn global_pipeline_budgeted<S: AsRef<str>, D: Deref<Target = Database>>(
         }
         states[si].p[adv] += 1;
     }
-    (finish(topk), truncated)
+    (finish(topk), truncation)
 }
 
 fn finish(topk: TopK<(usize, JoinedResult)>) -> Vec<RankedResult> {

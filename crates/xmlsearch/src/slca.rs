@@ -15,7 +15,7 @@
 //!
 //! [`slca_brute_force`] is the test oracle.
 
-use kwdb_common::{Budget, Result};
+use kwdb_common::{Budget, Result, TruncationReason};
 use kwdb_xml::{NodeId, XmlIndex, XmlTree};
 
 /// Shared probe counters, reported by E04.
@@ -39,31 +39,31 @@ pub fn slca_indexed_lookup_eager<S: AsRef<str>>(
 
 /// [`slca_indexed_lookup_eager`] under an execution [`Budget`]: every anchor
 /// consumed from the driving list counts as one candidate. An exhausted
-/// budget returns the antichain of the candidates computed so far with
-/// `true` (truncated) — a sound partial answer, since each candidate depends
-/// only on its own anchor.
+/// budget returns the antichain of the candidates computed so far plus the
+/// [`TruncationReason`] — a sound partial answer, since each candidate
+/// depends only on its own anchor.
 pub fn slca_indexed_budgeted<S: AsRef<str>>(
     tree: &XmlTree,
     index: &XmlIndex,
     keywords: &[S],
     budget: &Budget,
-) -> Result<(Vec<NodeId>, SlcaStats, bool)> {
+) -> Result<(Vec<NodeId>, SlcaStats, Option<TruncationReason>)> {
     let mut stats = SlcaStats::default();
-    let mut truncated = false;
+    let mut truncation = None;
     let Some(lists) = index.lists_for(keywords) else {
-        return Ok((Vec::new(), stats, truncated));
+        return Ok((Vec::new(), stats, truncation));
     };
     let (driver, others) = lists.split_first().expect("at least one keyword");
     let mut candidates: Vec<NodeId> = Vec::new();
     for &v in *driver {
-        if budget.exhausted_at(stats.anchors as u64) {
-            truncated = true;
+        if let Some(reason) = budget.truncation_at(stats.anchors as u64) {
+            truncation = Some(reason);
             break;
         }
         stats.anchors += 1;
         candidates.push(anchor_candidate(tree, v, others, &mut stats));
     }
-    Ok((antichain(tree, candidates), stats, truncated))
+    Ok((antichain(tree, candidates), stats, truncation))
 }
 
 /// Scan-Eager SLCA: identical candidates via monotone pointer advances.

@@ -36,7 +36,7 @@ fn main() -> kwdb::Result<()> {
         if resp.hits.is_empty() {
             println!(
                 "  (no results{})",
-                if resp.truncated { ", truncated" } else { "" }
+                if resp.truncated() { ", truncated" } else { "" }
             );
         }
         for (i, hit) in resp.hits.iter().enumerate() {
@@ -48,7 +48,7 @@ fn main() -> kwdb::Result<()> {
             resp.stats.cache_hits,
             resp.stats.operators.tuples_scanned,
             resp.stats.phases.total(),
-            if resp.truncated { ", TRUNCATED" } else { "" }
+            if resp.truncated() { ", TRUNCATED" } else { "" }
         );
     }
     Ok(())

@@ -37,9 +37,11 @@
 
 use crate::engine::{Engine, Hit, SearchRequest, SearchResponse};
 use kwdb_common::{KwdbError, QueryStats, Result};
+use kwdb_obs::{families, MetricsRegistry};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// A name → engine registry.
 ///
@@ -128,9 +130,17 @@ impl DispatchOutcome {
 }
 
 /// Fans batches of requests out over scoped worker threads.
+///
+/// With a [`MetricsRegistry`] attached ([`Dispatcher::with_registry`]),
+/// every dispatched request is also recorded fleet-wide: queue wait
+/// (`kwdb_dispatch_queue_wait_ns`), in-flight gauge
+/// (`kwdb_dispatch_inflight`), outcome counts
+/// (`kwdb_dispatch_requests_total`), and per-worker request counts
+/// (`kwdb_dispatch_worker_requests_total`).
 pub struct Dispatcher {
     catalog: Catalog,
     workers: usize,
+    registry: Option<Arc<MetricsRegistry>>,
 }
 
 impl Dispatcher {
@@ -149,7 +159,16 @@ impl Dispatcher {
         Dispatcher {
             catalog,
             workers: workers.max(1),
+            registry: None,
         }
+    }
+
+    /// Record dispatch-level metrics into `registry`. This is independent
+    /// of the engines' own registries: attach the same `Arc` to both to get
+    /// one unified snapshot.
+    pub fn with_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.registry = Some(registry);
+        self
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -159,9 +178,15 @@ impl Dispatcher {
     /// Execute the whole batch on the calling thread. The reference
     /// behavior `execute_concurrent` is tested against.
     pub fn execute_serial(&self, batch: &[(String, SearchRequest)]) -> DispatchOutcome {
+        let started = Instant::now();
         let responses: Vec<_> = batch
             .iter()
-            .map(|(name, req)| self.catalog.execute(name, req))
+            .map(|(name, req)| {
+                let wait = started.elapsed();
+                let resp = self.catalog.execute(name, req);
+                self.record_request("serial", 0, wait, resp.is_ok());
+                resp
+            })
             .collect();
         Self::outcome(responses)
     }
@@ -182,17 +207,32 @@ impl Dispatcher {
         if workers == 1 {
             return self.execute_serial(batch);
         }
+        let started = Instant::now();
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<Result<SearchResponse<Hit>>>>> =
             batch.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
+            let next = &next;
+            let slots = &slots;
+            for worker in 0..workers {
+                scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some((name, req)) = batch.get(i) else {
                         break;
                     };
+                    let wait = started.elapsed();
+                    let inflight = self
+                        .registry
+                        .as_ref()
+                        .map(|reg| reg.gauge(families::DISPATCH_INFLIGHT, &[]));
+                    if let Some(g) = &inflight {
+                        g.inc();
+                    }
                     let resp = self.catalog.execute(name, req);
+                    if let Some(g) = &inflight {
+                        g.dec();
+                    }
+                    self.record_request("concurrent", worker, wait, resp.is_ok());
                     *slots[i].lock().expect("result slot poisoned") = Some(resp);
                 });
             }
@@ -206,6 +246,21 @@ impl Dispatcher {
             })
             .collect();
         Self::outcome(responses)
+    }
+
+    /// Fold one dispatched request into the registry, if one is attached.
+    fn record_request(&self, mode: &str, worker: usize, wait: Duration, ok: bool) {
+        let Some(reg) = &self.registry else { return };
+        reg.histogram(families::DISPATCH_QUEUE_WAIT, &[("mode", mode)])
+            .record_duration(wait);
+        reg.counter(
+            families::DISPATCH_REQUESTS,
+            &[("outcome", if ok { "ok" } else { "error" })],
+        )
+        .inc();
+        let w = worker.to_string();
+        reg.counter(families::DISPATCH_WORKER_REQUESTS, &[("worker", &w)])
+            .inc();
     }
 
     fn outcome(responses: Vec<Result<SearchResponse<Hit>>>) -> DispatchOutcome {

@@ -1,11 +1,17 @@
 //! Unified one-call engines over the three data models.
 //!
 //! Every engine answers the same shape of request: a [`SearchRequest`]
-//! (query string, `k`, an execution [`Budget`], and per-model knobs) goes
-//! in, a [`SearchResponse`] comes out — ranked hits, the [`QueryStats`]
-//! observability record (per-phase timings, operator counters, cache
-//! counters), and a `truncated` flag that is `true` when the budget ran out
-//! and the hits are best-so-far rather than exact.
+//! (query string, `k`, an execution [`Budget`], a [`TraceLevel`], and
+//! per-model knobs) goes in, a [`SearchResponse`] comes out — ranked hits,
+//! the [`QueryStats`] observability record (per-phase timings, operator
+//! counters, cache counters), a typed [`TruncationReason`] when the budget
+//! cut the query short (so callers can tell a deadline from a candidate
+//! cap), and a structured [`QueryTrace`] when the request asked for one.
+//!
+//! Engines optionally carry a shared [`MetricsRegistry`]
+//! (`with_registry`): every query then also folds its stats into the
+//! fleet-wide counters and latency histograms under
+//! `engine × algorithm` labels — see [`kwdb_obs`].
 //!
 //! * [`RelationalEngine::execute`] — DISCOVER/SPARK candidate-network
 //!   search, with a per-engine CN plan cache keyed by schema fingerprint,
@@ -38,9 +44,10 @@
 //! share the engine.
 
 use kwdb_common::text::parse_query;
-use kwdb_common::{Budget, QueryStats, Result, Stopwatch};
+use kwdb_common::{Budget, QueryStats, Result, Stopwatch, TruncationReason};
 use kwdb_graph::DataGraph;
 use kwdb_graphsearch::{blinks::Blinks, AnswerTree, BanksI, Dpbf};
+use kwdb_obs::{families, record_query, MetricsRegistry, QueryTrace, TraceBuilder, TraceLevel};
 use kwdb_relational::{Database, ExecStats};
 use kwdb_relsearch::cn::{CandidateNetwork, CnGenConfig, CnGenerator, MaskOracle};
 use kwdb_relsearch::spark::skyline_sweep_budgeted;
@@ -71,11 +78,12 @@ pub struct SearchRequest {
     budget: Budget,
     scoring: Option<Scoring>,
     semantics: Option<GraphSemantics>,
+    trace: TraceLevel,
 }
 
 impl SearchRequest {
-    /// A request for `query` with `k = 10`, an unlimited budget, and the
-    /// engine's default scoring/semantics.
+    /// A request for `query` with `k = 10`, an unlimited budget, tracing
+    /// off, and the engine's default scoring/semantics.
     pub fn new(query: impl Into<String>) -> Self {
         SearchRequest {
             query: query.into(),
@@ -83,6 +91,7 @@ impl SearchRequest {
             budget: Budget::unlimited(),
             scoring: None,
             semantics: None,
+            trace: TraceLevel::Off,
         }
     }
 
@@ -112,6 +121,13 @@ impl SearchRequest {
         self
     }
 
+    /// Ask for a structured [`QueryTrace`] on the response. The default
+    /// [`TraceLevel::Off`] records nothing and costs nothing.
+    pub fn trace(mut self, level: TraceLevel) -> Self {
+        self.trace = level;
+        self
+    }
+
     pub fn query(&self) -> &str {
         &self.query
     }
@@ -123,6 +139,10 @@ impl SearchRequest {
     pub fn budget_value(&self) -> &Budget {
         &self.budget
     }
+
+    pub fn trace_level(&self) -> TraceLevel {
+        self.trace
+    }
 }
 
 /// The uniform response: ranked hits plus the execution record.
@@ -132,28 +152,54 @@ pub struct SearchResponse<H> {
     pub hits: Vec<H>,
     /// Per-phase timings, operator counters, candidate and cache counters.
     pub stats: QueryStats,
-    /// `true` when the budget was exhausted and `hits` is best-so-far.
-    pub truncated: bool,
+    /// Why the budget cut the query short — `None` when it ran to
+    /// completion, otherwise `hits` is best-so-far.
+    pub truncation: Option<TruncationReason>,
+    /// The structured trace, when the request asked for one
+    /// ([`SearchRequest::trace`]).
+    pub trace: Option<QueryTrace>,
 }
 
 impl<H> SearchResponse<H> {
-    fn empty(stats: QueryStats, truncated: bool) -> Self {
-        SearchResponse {
-            hits: Vec::new(),
-            stats,
-            truncated,
-        }
+    /// `true` when the budget was exhausted and `hits` is best-so-far.
+    pub fn truncated(&self) -> bool {
+        self.truncation.is_some()
     }
 
-    /// Map every hit through `f`, keeping stats and the truncation flag.
+    /// Map every hit through `f`, keeping stats, truncation, and trace.
     /// This is how the typed per-engine responses become the erased
     /// [`SearchResponse<Hit>`] of the [`Engine`] trait.
     pub fn map<T>(self, f: impl FnMut(H) -> T) -> SearchResponse<T> {
         SearchResponse {
             hits: self.hits.into_iter().map(f).collect(),
             stats: self.stats,
-            truncated: self.truncated,
+            truncation: self.truncation,
+            trace: self.trace,
         }
+    }
+}
+
+/// Seal a response: fold the stats into the registry (when the engine
+/// carries one) and close the trace. Every execute path — early return or
+/// full pipeline — goes through here, so registry totals always equal the
+/// sum of the per-query `QueryStats` handed back to callers.
+fn finish_response<H>(
+    registry: Option<&MetricsRegistry>,
+    engine: &'static str,
+    algorithm: &'static str,
+    hits: Vec<H>,
+    stats: QueryStats,
+    truncation: Option<TruncationReason>,
+    trace: TraceBuilder,
+) -> SearchResponse<H> {
+    if let Some(reg) = registry {
+        record_query(reg, engine, algorithm, &stats, truncation);
+    }
+    SearchResponse {
+        hits,
+        stats,
+        truncation,
+        trace: trace.finish(),
     }
 }
 
@@ -243,6 +289,9 @@ pub struct RelationalConfig {
     /// Safety cap on generated CNs (0 = unlimited).
     pub max_cns: usize,
     pub scoring: Scoring,
+    /// Cap on cached CN plans; inserting past it evicts an arbitrary entry
+    /// (0 = unbounded cache).
+    pub max_cache_entries: usize,
 }
 
 impl Default for RelationalConfig {
@@ -251,6 +300,7 @@ impl Default for RelationalConfig {
             max_cn_size: 5,
             max_cns: 2000,
             scoring: Scoring::Monotone,
+            max_cache_entries: 256,
         }
     }
 }
@@ -272,6 +322,7 @@ pub struct RelationalEngine {
     scorer: ResultScorer,
     cfg: RelationalConfig,
     cn_cache: RwLock<HashMap<CnCacheKey, Arc<Vec<CandidateNetwork>>>>,
+    registry: Option<Arc<MetricsRegistry>>,
 }
 
 impl RelationalEngine {
@@ -288,7 +339,14 @@ impl RelationalEngine {
             db,
             cfg,
             cn_cache: RwLock::new(HashMap::new()),
+            registry: None,
         }
+    }
+
+    /// Record every query (and plan-cache activity) into `registry`.
+    pub fn with_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.registry = Some(registry);
+        self
     }
 
     /// The shared database this engine queries.
@@ -307,26 +365,59 @@ impl RelationalEngine {
         let mut stats = QueryStats::new();
         let mut sw = Stopwatch::start();
         let budget = &req.budget;
+        let scoring = req.scoring.unwrap_or(self.cfg.scoring);
+        let algorithm = match scoring {
+            Scoring::Monotone => "global_pipeline",
+            Scoring::Spark => "spark",
+        };
+        let mut tb =
+            TraceBuilder::new(req.trace, format!("relational/{algorithm} {:?}", req.query));
+        let reg = self.registry.as_deref();
+        let done = |hits, stats, truncation, tb| {
+            Ok(finish_response(
+                reg,
+                "relational",
+                algorithm,
+                hits,
+                stats,
+                truncation,
+                tb,
+            ))
+        };
+
+        tb.phase("parse");
         let keywords = parse_query(&req.query);
         stats.phases.parse = sw.lap();
+        tb.event("keywords", || {
+            vec![("count".into(), keywords.len().to_string())]
+        });
         if keywords.is_empty() {
-            return Ok(SearchResponse::empty(stats, false));
+            return done(Vec::new(), stats, None, tb);
         }
-        if budget.exhausted() {
-            return Ok(SearchResponse::empty(stats, true));
+        if let Some(reason) = budget.truncation() {
+            tb.event("budget verdict", || {
+                vec![("truncated".into(), reason.to_string())]
+            });
+            return done(Vec::new(), stats, Some(reason), tb);
         }
+        tb.phase("build");
         let ts = TupleSets::build(&self.db, &keywords);
         stats.phases.build = sw.lap();
         if !ts.covers_all_keywords() {
-            return Ok(SearchResponse::empty(stats, false));
+            tb.event("tuple sets", || {
+                vec![("covers_all_keywords".into(), "false".into())]
+            });
+            return done(Vec::new(), stats, None, tb);
         }
-        if budget.exhausted() {
-            return Ok(SearchResponse::empty(stats, true));
+        if let Some(reason) = budget.truncation() {
+            return done(Vec::new(), stats, Some(reason), tb);
         }
-        let cns = self.plan(&keywords, &ts, &mut stats);
+        tb.phase("plan");
+        let cns = self.plan(&keywords, &ts, &mut stats, &mut tb);
         stats.phases.plan = sw.lap();
         stats.candidates_generated = cns.len() as u64;
 
+        tb.phase("evaluate");
         let q = TopKQuery {
             db: &self.db,
             ts: &ts,
@@ -335,8 +426,7 @@ impl RelationalEngine {
             keywords: &keywords,
         };
         let exec = ExecStats::new();
-        let scoring = req.scoring.unwrap_or(self.cfg.scoring);
-        let (ranked, truncated) = match scoring {
+        let (ranked, truncation) = match scoring {
             Scoring::Monotone => global_pipeline_budgeted(&q, req.k, &exec, budget),
             Scoring::Spark => skyline_sweep_budgeted(&q, req.k, &exec, budget),
         };
@@ -353,6 +443,19 @@ impl RelationalEngine {
                 .collect::<std::collections::HashSet<_>>()
                 .len() as u64,
         );
+        tb.event("operators", || {
+            vec![
+                ("tuples_scanned".into(), snap.tuples_scanned.to_string()),
+                ("join_probes".into(), snap.join_probes.to_string()),
+                ("rows_output".into(), snap.rows_output.to_string()),
+            ]
+        });
+        tb.event("budget verdict", || {
+            vec![(
+                "truncated".into(),
+                truncation.map_or("no".into(), |r| r.to_string()),
+            )]
+        });
 
         let hits = ranked
             .into_iter()
@@ -368,11 +471,7 @@ impl RelationalEngine {
                 tuples: r.result.tuples,
             })
             .collect();
-        Ok(SearchResponse {
-            hits,
-            stats,
-            truncated,
-        })
+        done(hits, stats, truncation, tb)
     }
 
     /// Generate (or fetch from the plan cache) the candidate networks for
@@ -382,12 +481,15 @@ impl RelationalEngine {
     /// concurrent repeat queries never serialize. A miss upgrades to the
     /// write lock and re-checks before generating, so for N threads racing
     /// on a cold key exactly one generates (and reports the miss) while the
-    /// rest block briefly and then hit.
+    /// rest block briefly and then hit. The cache is bounded by
+    /// `cfg.max_cache_entries`; inserts past it evict an arbitrary entry,
+    /// with size/generation/eviction reported to the registry.
     fn plan(
         &self,
         keywords: &[String],
         ts: &TupleSets,
         stats: &mut QueryStats,
+        tb: &mut TraceBuilder,
     ) -> Arc<Vec<CandidateNetwork>> {
         let mut terms: Vec<String> = keywords.to_vec();
         terms.sort();
@@ -400,12 +502,24 @@ impl RelationalEngine {
         );
         if let Some(cns) = self.cn_cache.read().expect("cn cache poisoned").get(&key) {
             stats.cache_hits = 1;
+            tb.event("plan cache", || {
+                vec![
+                    ("outcome".into(), "hit".into()),
+                    ("cns".into(), cns.len().to_string()),
+                ]
+            });
             return Arc::clone(cns);
         }
         let mut cache = self.cn_cache.write().expect("cn cache poisoned");
         if let Some(cns) = cache.get(&key) {
             // Lost the generation race to another thread: its plan is ours.
             stats.cache_hits = 1;
+            tb.event("plan cache", || {
+                vec![
+                    ("outcome".into(), "hit".into()),
+                    ("cns".into(), cns.len().to_string()),
+                ]
+            });
             return Arc::clone(cns);
         }
         stats.cache_misses = 1;
@@ -420,7 +534,29 @@ impl RelationalEngine {
             },
         );
         let cns = Arc::new(generator.generate());
+        let mut evicted = false;
+        if self.cfg.max_cache_entries > 0 && cache.len() >= self.cfg.max_cache_entries {
+            let victim = cache.keys().next().cloned().expect("cache is non-empty");
+            cache.remove(&victim);
+            evicted = true;
+        }
         cache.insert(key, Arc::clone(&cns));
+        if let Some(reg) = &self.registry {
+            let labels = [("engine", "relational")];
+            reg.counter(families::PLAN_CACHE_GENERATIONS, &labels).inc();
+            if evicted {
+                reg.counter(families::PLAN_CACHE_EVICTIONS, &labels).inc();
+            }
+            reg.gauge(families::PLAN_CACHE_SIZE, &labels)
+                .set(cache.len() as i64);
+        }
+        tb.event("plan cache", || {
+            vec![
+                ("outcome".into(), "miss".into()),
+                ("cns".into(), cns.len().to_string()),
+                ("evicted".into(), evicted.to_string()),
+            ]
+        });
         cns
     }
 }
@@ -453,6 +589,7 @@ pub struct GraphEngine {
     g: Arc<DataGraph>,
     /// Full-vocabulary BLINKS index, built on first DistinctRoot query.
     index: OnceLock<kwdb_graph::NodeKeywordIndex>,
+    registry: Option<Arc<MetricsRegistry>>,
 }
 
 impl GraphEngine {
@@ -462,7 +599,14 @@ impl GraphEngine {
         GraphEngine {
             g: g.into(),
             index: OnceLock::new(),
+            registry: None,
         }
+    }
+
+    /// Record every query into `registry`.
+    pub fn with_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.registry = Some(registry);
+        self
     }
 
     /// The shared data graph this engine queries.
@@ -472,7 +616,7 @@ impl GraphEngine {
 
     /// Execute a [`SearchRequest`] under `req.semantics` (default BANKS).
     pub fn execute(&self, req: &SearchRequest) -> Result<SearchResponse<AnswerTree>> {
-        execute_graph(&self.g, &self.index, req)
+        execute_graph(&self.g, &self.index, req, self.registry.as_deref())
     }
 }
 
@@ -488,33 +632,59 @@ fn execute_graph(
     g: &DataGraph,
     index: &OnceLock<kwdb_graph::NodeKeywordIndex>,
     req: &SearchRequest,
+    registry: Option<&MetricsRegistry>,
 ) -> Result<SearchResponse<AnswerTree>> {
     let mut stats = QueryStats::new();
     let mut sw = Stopwatch::start();
     let budget = &req.budget;
+    let semantics = req.semantics.unwrap_or(GraphSemantics::Banks);
+    let algorithm = match semantics {
+        GraphSemantics::SteinerExact => "dpbf",
+        GraphSemantics::Banks => "banks",
+        GraphSemantics::DistinctRoot => "blinks",
+    };
+    let mut tb = TraceBuilder::new(req.trace, format!("graph/{algorithm} {:?}", req.query));
+    let done = |hits, stats, truncation, tb| {
+        Ok(finish_response(
+            registry, "graph", algorithm, hits, stats, truncation, tb,
+        ))
+    };
+
+    tb.phase("parse");
     let keywords = parse_query(&req.query);
     stats.phases.parse = sw.lap();
     if keywords.is_empty() {
-        return Ok(SearchResponse::empty(stats, false));
+        return done(Vec::new(), stats, None, tb);
     }
-    if budget.exhausted() {
-        return Ok(SearchResponse::empty(stats, true));
+    if let Some(reason) = budget.truncation() {
+        tb.event("budget verdict", || {
+            vec![("truncated".into(), reason.to_string())]
+        });
+        return done(Vec::new(), stats, Some(reason), tb);
     }
-    let semantics = req.semantics.unwrap_or(GraphSemantics::Banks);
-    let (hits, truncated) = match semantics {
+    let (hits, truncation) = match semantics {
         GraphSemantics::SteinerExact => {
+            tb.phase("evaluate");
             let dpbf = Dpbf::new(g);
-            let (r, truncated, work) = dpbf.search_budgeted(&keywords, req.k, budget);
+            let (r, truncation, work) = dpbf.search_budgeted(&keywords, req.k, budget);
             stats.operators.tuples_scanned = work.states_popped as u64;
-            (r, truncated)
+            tb.event("expansion", || {
+                vec![("states_popped".into(), work.states_popped.to_string())]
+            });
+            (r, truncation)
         }
         GraphSemantics::Banks => {
+            tb.phase("evaluate");
             let banks = BanksI::new(g);
-            let (r, truncated, work) = banks.search_budgeted(&keywords, req.k, budget);
+            let (r, truncation, work) = banks.search_budgeted(&keywords, req.k, budget);
             stats.operators.tuples_scanned = work.nodes_expanded as u64;
-            (r, truncated)
+            tb.event("expansion", || {
+                vec![("nodes_expanded".into(), work.nodes_expanded.to_string())]
+            });
+            (r, truncation)
         }
         GraphSemantics::DistinctRoot => {
+            tb.phase("build");
             let blinks = Blinks::new(g);
             let prebuilt = index.get().is_some();
             let ix = index.get_or_init(|| blinks.build_full_index());
@@ -523,20 +693,35 @@ fn execute_graph(
             } else {
                 stats.cache_misses = 1;
             }
+            tb.event("node-keyword index", || {
+                vec![(
+                    "outcome".into(),
+                    if prebuilt { "hit" } else { "miss" }.into(),
+                )]
+            });
             stats.phases.build = sw.lap();
-            let (r, truncated, work) = blinks.search_budgeted(ix, &keywords, req.k, budget);
+            tb.phase("evaluate");
+            let (r, truncation, work) = blinks.search_budgeted(ix, &keywords, req.k, budget);
             stats.operators.sorted_accesses = work.sorted_accesses as u64;
             stats.operators.random_accesses = work.random_accesses as u64;
-            (r, truncated)
+            tb.event("threshold algorithm", || {
+                vec![
+                    ("sorted_accesses".into(), work.sorted_accesses.to_string()),
+                    ("random_accesses".into(), work.random_accesses.to_string()),
+                ]
+            });
+            (r, truncation)
         }
     };
     stats.phases.evaluate = sw.lap();
     stats.candidates_generated = hits.len() as u64;
-    Ok(SearchResponse {
-        hits,
-        stats,
-        truncated,
-    })
+    tb.event("budget verdict", || {
+        vec![(
+            "truncated".into(),
+            truncation.map_or("no".into(), |r| r.to_string()),
+        )]
+    });
+    done(hits, stats, truncation, tb)
 }
 
 /// Keyword search on a data graph under the chosen semantics.
@@ -558,6 +743,7 @@ pub fn graph_search(
         g,
         &index,
         &SearchRequest::new(query).k(k).semantics(semantics),
+        None,
     )?
     .hits)
 }
@@ -577,14 +763,13 @@ pub struct XmlHit {
 /// `Send + Sync` and the index can never outlive or diverge from its tree.
 pub struct XmlEngine {
     data: Arc<(XmlTree, XmlIndex)>,
+    registry: Option<Arc<MetricsRegistry>>,
 }
 
 impl XmlEngine {
     /// Build an engine owning `tree` and its prebuilt `index`.
     pub fn new(tree: XmlTree, index: XmlIndex) -> Self {
-        XmlEngine {
-            data: Arc::new((tree, index)),
-        }
+        Self::from_arc(Arc::new((tree, index)))
     }
 
     /// Build an engine from `tree` alone, constructing the index here.
@@ -595,7 +780,16 @@ impl XmlEngine {
 
     /// Share an existing tree+index pair with other owners.
     pub fn from_arc(data: Arc<(XmlTree, XmlIndex)>) -> Self {
-        XmlEngine { data }
+        XmlEngine {
+            data,
+            registry: None,
+        }
+    }
+
+    /// Record every query into `registry`.
+    pub fn with_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.registry = Some(registry);
+        self
     }
 
     /// The shared tree+index pair this engine queries.
@@ -605,7 +799,7 @@ impl XmlEngine {
 
     /// Execute a [`SearchRequest`]: budgeted SLCA + proximity ranking.
     pub fn execute(&self, req: &SearchRequest) -> Result<SearchResponse<XmlHit>> {
-        execute_xml(&self.data.0, &self.data.1, req)
+        execute_xml(&self.data.0, &self.data.1, req, self.registry.as_deref())
     }
 }
 
@@ -621,32 +815,55 @@ fn execute_xml(
     tree: &XmlTree,
     index: &XmlIndex,
     req: &SearchRequest,
+    registry: Option<&MetricsRegistry>,
 ) -> Result<SearchResponse<XmlHit>> {
     let mut stats = QueryStats::new();
     let mut sw = Stopwatch::start();
     let budget = &req.budget;
+    let mut tb = TraceBuilder::new(req.trace, format!("xml/slca {:?}", req.query));
+    let done = |hits, stats, truncation, tb| {
+        Ok(finish_response(
+            registry, "xml", "slca", hits, stats, truncation, tb,
+        ))
+    };
+
+    tb.phase("parse");
     let keywords = parse_query(&req.query);
     stats.phases.parse = sw.lap();
     if keywords.is_empty() {
-        return Ok(SearchResponse::empty(stats, false));
+        return done(Vec::new(), stats, None, tb);
     }
-    if budget.exhausted() {
-        return Ok(SearchResponse::empty(stats, true));
+    if let Some(reason) = budget.truncation() {
+        tb.event("budget verdict", || {
+            vec![("truncated".into(), reason.to_string())]
+        });
+        return done(Vec::new(), stats, Some(reason), tb);
     }
-    let (roots, slca_stats, mut truncated) =
+    tb.phase("build");
+    let (roots, slca_stats, mut truncation) =
         kwdb_xmlsearch::slca_indexed_budgeted(tree, index, &keywords, budget)?;
     stats.phases.build = sw.lap();
     stats.operators.sorted_accesses = slca_stats.anchors as u64;
     stats.operators.random_accesses = slca_stats.probes as u64;
     stats.candidates_generated = roots.len() as u64;
+    tb.event("slca", || {
+        vec![
+            ("roots".into(), roots.len().to_string()),
+            ("anchors".into(), slca_stats.anchors.to_string()),
+            ("probes".into(), slca_stats.probes.to_string()),
+        ]
+    });
 
+    tb.phase("evaluate");
     let sizes = tree.subtree_sizes();
     let avg_depth = tree.avg_leaf_depth();
     let mut hits: Vec<XmlHit> = Vec::with_capacity(roots.len());
     for r in roots {
-        if budget.exhausted_at(hits.len() as u64) && !hits.is_empty() {
-            truncated = true;
-            break;
+        if !hits.is_empty() {
+            if let Some(reason) = budget.truncation_at(hits.len() as u64) {
+                truncation = Some(reason);
+                break;
+            }
         }
         // root→match path (node ids) for each keyword's first match
         // inside the result subtree
@@ -681,11 +898,13 @@ fn execute_xml(
         .saturating_sub(hits.len().min(req.k) as u64);
     hits.truncate(req.k);
     stats.phases.evaluate = sw.lap();
-    Ok(SearchResponse {
-        hits,
-        stats,
-        truncated,
-    })
+    tb.event("budget verdict", || {
+        vec![(
+            "truncated".into(),
+            truncation.map_or("no".into(), |r| r.to_string()),
+        )]
+    });
+    done(hits, stats, truncation, tb)
 }
 
 /// SLCA keyword search over an XML tree with proximity ranking.
@@ -697,7 +916,7 @@ fn execute_xml(
     note = "use `XmlEngine::execute` with a `SearchRequest`"
 )]
 pub fn xml_search(tree: &XmlTree, index: &XmlIndex, query: &str, k: usize) -> Result<Vec<XmlHit>> {
-    Ok(execute_xml(tree, index, &SearchRequest::new(query).k(k))?.hits)
+    Ok(execute_xml(tree, index, &SearchRequest::new(query).k(k), None)?.hits)
 }
 
 #[cfg(test)]
@@ -718,7 +937,7 @@ mod tests {
             .execute(&SearchRequest::new("data query").k(5))
             .unwrap();
         assert!(!resp.hits.is_empty());
-        assert!(!resp.truncated);
+        assert!(!resp.truncated());
         assert!(resp.hits.windows(2).all(|w| w[0].score >= w[1].score));
         assert!(resp.hits[0].rendered.contains('('));
         assert!(resp.stats.candidates_generated > 0);
@@ -731,11 +950,11 @@ mod tests {
         let db = generate_dblp(&DblpConfig::default());
         let engine = RelationalEngine::new(db);
         let empty = engine.execute(&SearchRequest::new("").k(5)).unwrap();
-        assert!(empty.hits.is_empty() && !empty.truncated);
+        assert!(empty.hits.is_empty() && !empty.truncated());
         let unmatched = engine
             .execute(&SearchRequest::new("zzzzqqq data").k(5))
             .unwrap();
-        assert!(unmatched.hits.is_empty() && !unmatched.truncated);
+        assert!(unmatched.hits.is_empty() && !unmatched.truncated());
     }
 
     #[test]
@@ -864,7 +1083,7 @@ mod tests {
             .k(5)
             .budget(Budget::unlimited().with_timeout(Duration::ZERO));
         let resp = engine.execute(&req).unwrap();
-        assert!(resp.truncated);
+        assert!(resp.truncated());
         assert!(resp.hits.windows(2).all(|w| w[0].score >= w[1].score));
     }
 

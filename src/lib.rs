@@ -24,14 +24,17 @@
 //!     "{} candidate networks in {:?}{}",
 //!     resp.stats.candidates_generated,
 //!     resp.stats.phases.total(),
-//!     if resp.truncated { " (truncated)" } else { "" },
+//!     if resp.truncated() { " (truncated)" } else { "" },
 //! );
 //! ```
 //!
 //! Each sub-crate is re-exported under a short module name; the
 //! [`engine`] module offers one-call entry points per data model, and the
 //! [`dispatch`] module runs heterogeneous engines concurrently behind a
-//! name → `Arc<dyn Engine>` catalog.
+//! name → `Arc<dyn Engine>` catalog. The [`obs`] module is the
+//! observability layer: a shared metrics registry with latency histograms,
+//! structured `EXPLAIN ANALYZE`-style query traces, and Prometheus/JSON
+//! exporters.
 
 pub use kwdb_common as common;
 pub use kwdb_datasets as datasets;
@@ -40,6 +43,7 @@ pub use kwdb_explore as explore;
 pub use kwdb_forms as forms;
 pub use kwdb_graph as graph;
 pub use kwdb_graphsearch as graphsearch;
+pub use kwdb_obs as obs;
 pub use kwdb_qclean as qclean;
 pub use kwdb_rank as rank;
 pub use kwdb_relational as relational;

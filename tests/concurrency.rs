@@ -273,7 +273,7 @@ fn concurrent_dispatch_is_identical_to_serial() {
                     format!("{:?}", c.hits),
                     "request {i}: hits diverge between serial and concurrent"
                 );
-                assert_eq!(s.truncated, c.truncated, "request {i}");
+                assert_eq!(s.truncation, c.truncation, "request {i}");
             }
             (Err(se), Err(ce)) => assert_eq!(se.to_string(), ce.to_string(), "request {i}"),
             _ => panic!("request {i}: serial and concurrent disagree on success"),
@@ -337,7 +337,7 @@ fn one_shared_engine_serves_eight_threads_times_fifty_queries() {
     for (s, c) in serial.responses.iter().zip(concurrent.responses.iter()) {
         let (s, c) = (s.as_ref().unwrap(), c.as_ref().unwrap());
         assert_eq!(format!("{:?}", s.hits), format!("{:?}", c.hits));
-        assert_eq!(s.truncated, c.truncated);
+        assert_eq!(s.truncation, c.truncation);
     }
     // 4 distinct term sets ("data query" and "query data" share a plan):
     // even with 8 threads racing on a cold cache, each plan must be

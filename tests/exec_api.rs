@@ -24,7 +24,7 @@ fn relational_budget_exhaustion_truncates_sorted() {
         .k(5)
         .budget(Budget::unlimited().with_timeout(Duration::ZERO));
     let resp = engine.execute(&req).unwrap();
-    assert!(resp.truncated, "zero deadline must truncate");
+    assert!(resp.truncated(), "zero deadline must truncate");
     assert!(
         resp.hits.windows(2).all(|w| w[0].score >= w[1].score),
         "truncated hits must still be sorted"
@@ -35,14 +35,14 @@ fn relational_budget_exhaustion_truncates_sorted() {
         .k(5)
         .budget(Budget::unlimited().with_max_candidates(3));
     let resp = engine.execute(&req).unwrap();
-    assert!(resp.truncated);
+    assert!(resp.truncated());
     assert!(resp.hits.windows(2).all(|w| w[0].score >= w[1].score));
 
     // an unconstrained run of the same query is a superset-or-equal
     let full = engine
         .execute(&SearchRequest::new("data query").k(5))
         .unwrap();
-    assert!(!full.truncated);
+    assert!(!full.truncated());
     assert!(full.hits.len() >= resp.hits.len());
 }
 
@@ -59,7 +59,7 @@ fn graph_budget_exhaustion_truncates_all_semantics() {
             .semantics(sem)
             .budget(Budget::unlimited().with_timeout(Duration::ZERO));
         let resp = engine.execute(&req).unwrap();
-        assert!(resp.truncated, "{sem:?}: zero deadline must truncate");
+        assert!(resp.truncated(), "{sem:?}: zero deadline must truncate");
         assert!(
             resp.hits.windows(2).all(|w| w[0].cost <= w[1].cost),
             "{sem:?}: truncated hits must stay cost-sorted"
@@ -68,7 +68,7 @@ fn graph_budget_exhaustion_truncates_all_semantics() {
         let full = engine
             .execute(&SearchRequest::new("kw0 kw1").k(3).semantics(sem))
             .unwrap();
-        assert!(!full.truncated);
+        assert!(!full.truncated());
         assert!(!full.hits.is_empty());
     }
 }
@@ -82,13 +82,13 @@ fn xml_budget_exhaustion_truncates_sorted() {
         .k(10)
         .budget(Budget::unlimited().with_timeout(Duration::ZERO));
     let resp = engine.execute(&req).unwrap();
-    assert!(resp.truncated, "zero deadline must truncate");
+    assert!(resp.truncated(), "zero deadline must truncate");
     assert!(resp.hits.windows(2).all(|w| w[0].score >= w[1].score));
 
     let full = engine
         .execute(&SearchRequest::new("data query").k(10))
         .unwrap();
-    assert!(!full.truncated);
+    assert!(!full.truncated());
 }
 
 #[test]
@@ -125,7 +125,7 @@ fn empty_and_unmatched_queries_are_empty_through_new_api() {
     for q in ["", "   ", "zzzzqqqxw"] {
         let resp = engine.execute(&SearchRequest::new(q).k(5)).unwrap();
         assert!(resp.hits.is_empty(), "query {q:?}");
-        assert!(!resp.truncated, "query {q:?}");
+        assert!(!resp.truncated(), "query {q:?}");
     }
 
     let gengine = GraphEngine::new(datasets::graphs::generate_graph(&Default::default()));
