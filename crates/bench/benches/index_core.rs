@@ -1,0 +1,114 @@
+//! Index-core bench: the shared intersection kernels across adversarial
+//! list-size ratios, the lm/rm binary probes, and posting-store builds.
+//!
+//! The ratio sweep shows where galloping overtakes linear merge — the
+//! crossover the `GALLOP_RATIO` dispatch constant encodes.
+
+use kwdb_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kwdb_common::index::{kernels, Posting, PostingStore};
+use kwdb_common::Rng;
+
+/// A minimal document-id posting for the store-build bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Doc(u32);
+
+impl Posting for Doc {
+    type SortKey = u32;
+    fn sort_key(&self) -> u32 {
+        self.0
+    }
+    fn coalesce(&mut self, other: &Self) -> bool {
+        self == other
+    }
+    fn occurrences(&self) -> u64 {
+        1
+    }
+    fn same_doc(&self, other: &Self) -> bool {
+        self == other
+    }
+}
+
+/// Sorted list of `len` values with average gap `gap` (strictly increasing).
+fn sorted_list(rng: &mut Rng, len: usize, gap: u32) -> Vec<u32> {
+    let mut v = Vec::with_capacity(len);
+    let mut x = 0u32;
+    for _ in 0..len {
+        x += 1 + rng.gen_range(0u32..gap.max(1));
+        v.push(x);
+    }
+    v
+}
+
+fn bench_intersect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_intersect");
+    let mut rng = Rng::seed_from_u64(7);
+    let small = sorted_list(&mut rng, 1_000, 512);
+    for ratio in [1usize, 8, 64, 512] {
+        // matched value ranges, so the lists genuinely interleave
+        let large = sorted_list(&mut rng, 1_000 * ratio, (512 / ratio).max(1) as u32);
+        group.bench_with_input(BenchmarkId::new("linear", ratio), &ratio, |b, _| {
+            b.iter(|| kernels::intersect_linear(&small, &large).len())
+        });
+        group.bench_with_input(BenchmarkId::new("gallop", ratio), &ratio, |b, _| {
+            b.iter(|| kernels::intersect_gallop(&small, &large).len())
+        });
+        group.bench_with_input(BenchmarkId::new("auto", ratio), &ratio, |b, _| {
+            b.iter(|| kernels::intersect(&small, &large).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_probes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_probes");
+    let mut rng = Rng::seed_from_u64(8);
+    let list = sorted_list(&mut rng, 100_000, 8);
+    let max = *list.last().unwrap();
+    let targets: Vec<u32> = (0..1024).map(|_| rng.gen_range(0..max)).collect();
+    group.bench_function("rm_1024", |b| {
+        b.iter(|| {
+            targets
+                .iter()
+                .filter(|&&t| kernels::right_match(&list, t).is_some())
+                .count()
+        })
+    });
+    group.bench_function("lm_1024", |b| {
+        b.iter(|| {
+            targets
+                .iter()
+                .filter(|&&t| kernels::left_match(&list, t).is_some())
+                .count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_store_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_store_build");
+    group.sample_size(10);
+    let mut rng = Rng::seed_from_u64(9);
+    // 50k occurrences over a 1k-term vocabulary, postings out of order so
+    // finalize really sorts.
+    let occurrences: Vec<(String, Doc)> = (0..50_000)
+        .map(|_| {
+            let term = format!("t{}", rng.gen_index(1_000));
+            let doc = rng.gen_range(0u32..1 << 20);
+            (term, Doc(doc))
+        })
+        .collect();
+    group.bench_function("50k_postings_1k_terms", |b| {
+        b.iter(|| {
+            let mut store: PostingStore<Doc> = PostingStore::new();
+            for (term, doc) in &occurrences {
+                store.add(term, *doc);
+            }
+            store.finalize();
+            store.posting_count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_intersect, bench_probes, bench_store_build);
+criterion_main!(benches);

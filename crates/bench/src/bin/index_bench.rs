@@ -1,0 +1,109 @@
+//! Index build + intersection micro-benchmark, exported as a
+//! `kwdb-metrics-v1` snapshot.
+//!
+//! ```sh
+//! cargo run --release -p kwdb-bench --bin index_bench -- BENCH_index.json
+//! ```
+//!
+//! Builds all four substrate indexes over the synthetic datasets, records
+//! their build-time/terms/postings/bytes figures under the same metric
+//! families the engines publish at query time, times the shared
+//! intersection kernels over adversarial list-size ratios, and writes the
+//! registry snapshot to the given path (the CI `index-bench` artifact).
+
+use kwdb_common::index::kernels;
+use kwdb_common::Rng;
+use kwdb_datasets::{generate_bib_xml, generate_dblp, DblpConfig};
+use kwdb_graphsearch::blinks::Blinks;
+use kwdb_obs::{record_index_stats, MetricsRegistry};
+use kwdb_xml::XmlIndex;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Histogram: one shared-kernel intersection, labels `kernel` × `ratio`.
+const INTERSECT_NS: &str = "kwdb_index_intersect_ns";
+
+fn sorted_list(rng: &mut Rng, len: usize, gap: u32) -> Vec<u32> {
+    let mut v = Vec::with_capacity(len);
+    let mut x = 0u32;
+    for _ in 0..len {
+        x += 1 + rng.gen_range(0u32..gap.max(1));
+        v.push(x);
+    }
+    v
+}
+
+fn bench_intersections(reg: &MetricsRegistry) {
+    let mut rng = Rng::seed_from_u64(42);
+    let small = sorted_list(&mut rng, 1_000, 512);
+    for ratio in [1usize, 8, 64, 512] {
+        let large = sorted_list(&mut rng, 1_000 * ratio, (512 / ratio).max(1) as u32);
+        let ratio_label = ratio.to_string();
+        for (kernel, f) in [
+            (
+                "linear",
+                kernels::intersect_linear as fn(&[u32], &[u32]) -> Vec<u32>,
+            ),
+            ("gallop", kernels::intersect_gallop),
+            ("auto", kernels::intersect),
+        ] {
+            let hist = reg.histogram(
+                INTERSECT_NS,
+                &[("kernel", kernel), ("ratio", ratio_label.as_str())],
+            );
+            let mut hits = 0usize;
+            for _ in 0..50 {
+                let start = Instant::now();
+                hits = f(&small, &large).len();
+                hist.record_duration(start.elapsed());
+            }
+            println!("intersect {kernel:<7} ratio 1:{ratio:<4} -> {hits} common elements");
+        }
+    }
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_index.json".into());
+    let reg = Arc::new(MetricsRegistry::new());
+
+    // Relational text index (built inside dataset generation).
+    let db = generate_dblp(&DblpConfig {
+        n_papers: 500,
+        n_authors: 200,
+        ..Default::default()
+    });
+    assert!(db.is_index_fresh(), "generator must build the text index");
+    record_index_stats(&reg, "relational_text", &db.text_index().index_stats());
+
+    // XML keyword index.
+    let tree = generate_bib_xml(&Default::default());
+    let ix = XmlIndex::build(&tree);
+    record_index_stats(&reg, "xml_keyword", &ix.index_stats());
+
+    // Graph keyword index (incremental, no build wall-clock of its own) and
+    // the BLINKS node→keyword distance index.
+    let g = kwdb_datasets::graphs::generate_graph(&Default::default());
+    record_index_stats(&reg, "graph_keyword", &g.keyword_index_stats());
+    let n2k = Blinks::new(&g).build_full_index();
+    record_index_stats(&reg, "graph_node2kw", &n2k.index_stats());
+
+    for (name, stats) in [
+        ("relational_text", db.text_index().index_stats()),
+        ("xml_keyword", ix.index_stats()),
+        ("graph_keyword", g.keyword_index_stats()),
+        ("graph_node2kw", n2k.index_stats()),
+    ] {
+        println!(
+            "{name:<16} terms {:>6}  postings {:>8}  bytes {:>10}  build {:?}",
+            stats.terms, stats.postings, stats.posting_bytes, stats.build
+        );
+    }
+
+    bench_intersections(&reg);
+
+    let json = kwdb_obs::export::to_json(&reg.snapshot());
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("index bench snapshot written to {out}");
+}

@@ -48,6 +48,10 @@ fn main() {
         families::DISPATCH_INFLIGHT,
         families::DISPATCH_REQUESTS,
         families::DISPATCH_WORKER_REQUESTS,
+        families::INDEX_BUILD,
+        families::INDEX_TERMS,
+        families::INDEX_POSTINGS,
+        families::INDEX_POSTING_BYTES,
         "kwdb_experiment_latency_ns",
     ];
     let missing: Vec<&str> = required

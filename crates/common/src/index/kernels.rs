@@ -1,0 +1,261 @@
+//! Sorted-list kernels shared by every substrate index: intersection
+//! (linear merge vs galloping, chosen by size ratio) and the `lm`/`rm`
+//! binary probes of the SLCA/XKSearch family.
+//!
+//! All kernels operate on sorted slices of any `Ord + Copy` element, so the
+//! same code serves relational `RowId`s, XML `NodeId`s, and graph `NodeId`s.
+//! Intersections use *set* semantics: the output is strictly increasing even
+//! when the inputs contain duplicates.
+
+/// Size ratio at which intersection switches from linear merge to galloping:
+/// when the larger list is at least this many times the smaller, skipping
+/// through the large list with exponential search beats scanning it.
+pub const GALLOP_RATIO: usize = 8;
+
+/// Smallest element of sorted `list` that is `≥ v` — XKSearch's *rm* probe.
+/// `None` if every element precedes `v`.
+pub fn right_match<T: Ord + Copy>(list: &[T], v: T) -> Option<T> {
+    let i = list.partition_point(|x| *x < v);
+    list.get(i).copied()
+}
+
+/// Largest element of sorted `list` that is `≤ v` — XKSearch's *lm* probe.
+/// `None` if every element follows `v`.
+pub fn left_match<T: Ord + Copy>(list: &[T], v: T) -> Option<T> {
+    let i = list.partition_point(|x| *x <= v);
+    i.checked_sub(1).map(|j| list[j])
+}
+
+/// Is `v` contained in sorted `list`? (Binary search membership probe.)
+pub fn contains<T: Ord>(list: &[T], v: &T) -> bool {
+    list.binary_search(v).is_ok()
+}
+
+/// Index of the first element `≥ target` in `list[from..]`, found by
+/// exponential (galloping) search from `from`. Returns `list.len()` when no
+/// such element exists. `O(log d)` in the distance `d` to the answer, which
+/// is what makes skewed-size intersections cheap.
+pub fn gallop_lower_bound<T: Ord>(list: &[T], target: &T, from: usize) -> usize {
+    if from >= list.len() || list[from] >= *target {
+        return from.min(list.len());
+    }
+    // invariant: list[lo] < target; hi is the first probe with list[hi] >= target
+    let mut step = 1usize;
+    let mut lo = from;
+    let hi = loop {
+        let probe = from + step;
+        if probe >= list.len() {
+            break list.len();
+        }
+        if list[probe] < *target {
+            lo = probe;
+            step <<= 1;
+        } else {
+            break probe;
+        }
+    };
+    lo + 1 + list[lo + 1..hi].partition_point(|x| x < target)
+}
+
+/// Intersection by linear merge: `O(|a| + |b|)`. Best when the lists are of
+/// comparable length.
+pub fn intersect_linear<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<T> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                if out.last() != Some(&a[i]) {
+                    out.push(a[i]);
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Intersection by galloping: for each element of `small`, exponential-search
+/// forward in `large`. `O(|small| · log(|large| / |small|))` — the win when
+/// one list dwarfs the other (a rare query term against a stop-word-like
+/// list).
+pub fn intersect_gallop<T: Ord + Copy>(small: &[T], large: &[T]) -> Vec<T> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    for &v in small {
+        if out.last() == Some(&v) {
+            continue; // duplicate in `small`
+        }
+        pos = gallop_lower_bound(large, &v, pos);
+        if pos == large.len() {
+            break;
+        }
+        if large[pos] == v {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Intersect two sorted lists, choosing the kernel by size ratio: galloping
+/// when the larger list is ≥ [`GALLOP_RATIO`]× the smaller, linear merge
+/// otherwise.
+pub fn intersect<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<T> {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return Vec::new();
+    }
+    if large.len() / small.len() >= GALLOP_RATIO {
+        intersect_gallop(small, large)
+    } else {
+        intersect_linear(small, large)
+    }
+}
+
+/// Intersect any number of sorted lists, smallest first so the running
+/// intersection shrinks as fast as possible. Empty input ⇒ empty output.
+pub fn intersect_many<T: Ord + Copy>(lists: &[&[T]]) -> Vec<T> {
+    if lists.is_empty() {
+        return Vec::new();
+    }
+    let mut order: Vec<&[T]> = lists.to_vec();
+    order.sort_by_key(|l| l.len());
+    let mut acc: Vec<T> = order[0].to_vec();
+    acc.dedup();
+    for l in &order[1..] {
+        if acc.is_empty() {
+            break;
+        }
+        acc = intersect(&acc, l);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+    use std::collections::BTreeSet;
+
+    /// Reference intersection: sorted set semantics.
+    fn naive(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let sa: BTreeSet<u32> = a.iter().copied().collect();
+        let sb: BTreeSet<u32> = b.iter().copied().collect();
+        sa.intersection(&sb).copied().collect()
+    }
+
+    /// Sorted random list; `universe` small ⇒ duplicate-heavy.
+    fn random_list(rng: &mut Rng, len: usize, universe: u32) -> Vec<u32> {
+        let mut v: Vec<u32> = (0..len)
+            .map(|_| rng.gen_range(0..universe.max(1)))
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn probes_match_naive_scan() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..200 {
+            let len = rng.gen_index(20);
+            let list = random_list(&mut rng, len, 30);
+            let v = rng.gen_range(0..35u32);
+            let rm = list.iter().copied().find(|&x| x >= v);
+            let lm = list.iter().copied().rev().find(|&x| x <= v);
+            assert_eq!(right_match(&list, v), rm, "rm {list:?} {v}");
+            assert_eq!(left_match(&list, v), lm, "lm {list:?} {v}");
+            assert_eq!(contains(&list, &v), list.binary_search(&v).is_ok());
+        }
+    }
+
+    #[test]
+    fn gallop_lower_bound_matches_partition_point() {
+        let mut rng = Rng::seed_from_u64(8);
+        for _ in 0..200 {
+            let len = rng.gen_index(50);
+            let list = random_list(&mut rng, len, 40);
+            let target = rng.gen_range(0..45u32);
+            let from = rng.gen_index(list.len() + 1);
+            let expect = from + list[from..].partition_point(|x| *x < target);
+            assert_eq!(
+                gallop_lower_bound(&list, &target, from),
+                expect,
+                "list {list:?} target {target} from {from}"
+            );
+        }
+    }
+
+    #[test]
+    fn intersection_kernels_agree_with_naive_over_adversarial_ratios() {
+        let mut rng = Rng::seed_from_u64(9);
+        // adversarial size pairs: empty, singleton, tiny-vs-huge, balanced
+        let sizes: [(usize, usize); 8] = [
+            (0, 0),
+            (0, 40),
+            (1, 1),
+            (1, 500),
+            (3, 1000),
+            (64, 64),
+            (100, 101),
+            (7, 7000),
+        ];
+        for &(la, lb) in &sizes {
+            for universe in [5u32, 1000, 100_000] {
+                for _ in 0..8 {
+                    let a = random_list(&mut rng, la, universe);
+                    let b = random_list(&mut rng, lb, universe);
+                    let expect = naive(&a, &b);
+                    assert_eq!(intersect(&a, &b), expect, "dispatch {la}x{lb} u{universe}");
+                    assert_eq!(intersect_linear(&a, &b), expect, "linear");
+                    let (s, l) = if a.len() <= b.len() {
+                        (&a, &b)
+                    } else {
+                        (&b, &a)
+                    };
+                    assert_eq!(intersect_gallop(s, l), expect, "gallop");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intersect_many_matches_iterated_naive() {
+        let mut rng = Rng::seed_from_u64(10);
+        for _ in 0..50 {
+            let n_lists = 1 + rng.gen_index(4);
+            let lists: Vec<Vec<u32>> = (0..n_lists)
+                .map(|_| {
+                    let len = rng.gen_index(200);
+                    random_list(&mut rng, len, 60)
+                })
+                .collect();
+            let refs: Vec<&[u32]> = lists.iter().map(|l| l.as_slice()).collect();
+            let mut expect: Vec<u32> = {
+                let s: BTreeSet<u32> = lists[0].iter().copied().collect();
+                s.into_iter().collect()
+            };
+            for l in &lists[1..] {
+                expect = naive(&expect, l);
+            }
+            assert_eq!(intersect_many(&refs), expect);
+        }
+        assert!(intersect_many::<u32>(&[]).is_empty());
+    }
+
+    #[test]
+    fn duplicate_heavy_output_is_strictly_increasing() {
+        let a = [1u32, 1, 1, 2, 2, 3, 9, 9];
+        let b = [1u32, 2, 2, 9, 9, 9];
+        for out in [
+            intersect(&a, &b),
+            intersect_linear(&a, &b),
+            intersect_gallop(&a, &b),
+        ] {
+            assert_eq!(out, vec![1, 2, 9]);
+            assert!(out.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

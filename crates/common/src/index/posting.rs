@@ -1,0 +1,407 @@
+//! Generic sorted posting storage with dense `Vec`-indexed-by-`Sym` lookup.
+
+use super::dict::TermDict;
+use super::kernels;
+use crate::intern::Sym;
+use std::time::Duration;
+
+/// One entry of a posting list. Implemented by each substrate's posting
+/// type (relational tuple occurrence, XML node, graph node).
+pub trait Posting: Copy {
+    /// Total order of the list: document order, `(table, row, column)`
+    /// order, node-id order, …
+    type SortKey: Ord;
+
+    fn sort_key(&self) -> Self::SortKey;
+
+    /// Fold `other` — an occurrence at the *same* logical position — into
+    /// `self` (e.g. accumulate term frequency). Must return `false` without
+    /// mutating `self` when `other` is a distinct posting.
+    fn coalesce(&mut self, other: &Self) -> bool;
+
+    /// Term-occurrence count carried by this posting (its tf contribution).
+    fn occurrences(&self) -> u64 {
+        1
+    }
+
+    /// Whether two sort-adjacent postings belong to the same document, for
+    /// document-frequency counting.
+    fn same_doc(&self, other: &Self) -> bool;
+}
+
+/// Per-term statistics, computed once at [`PostingStore::finalize`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TermStats {
+    /// Documents containing the term.
+    pub df: u64,
+    /// Total occurrences of the term across all documents.
+    pub total_tf: u64,
+}
+
+/// Whole-index size figures, for observability gauges and bench reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Distinct terms in the dictionary.
+    pub terms: usize,
+    /// Stored postings across all lists.
+    pub postings: usize,
+    /// Bytes of posting payload (`postings × size_of::<P>()`).
+    pub posting_bytes: usize,
+    /// Build wall-clock, when the owner measured one (batch builds do;
+    /// incrementally grown indexes don't).
+    pub build: Option<Duration>,
+}
+
+/// One term's sorted posting list.
+///
+/// The `lm`/`rm` binary probes and intersections the search algorithms need
+/// are methods here, delegating to the shared [`kernels`] so every substrate
+/// probes lists the same way.
+#[derive(Debug, Clone)]
+pub struct PostingList<P> {
+    entries: Vec<P>,
+}
+
+impl<P> Default for PostingList<P> {
+    fn default() -> Self {
+        PostingList {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<P: Posting> PostingList<P> {
+    /// Append `p`, folding it into the last entry when it is a duplicate
+    /// occurrence at the same position. Build paths that emit postings in
+    /// sort order (pre-order XML traversal, ascending graph node ids,
+    /// table/row/column scans) therefore keep the list sorted and mostly
+    /// coalesced as they go.
+    fn push_coalesce(&mut self, p: P) {
+        if let Some(last) = self.entries.last_mut() {
+            if last.coalesce(&p) {
+                return;
+            }
+        }
+        self.entries.push(p);
+    }
+
+    /// Sort by [`Posting::sort_key`], coalesce duplicates, and compute the
+    /// term's stats. Skips the sort when the list is already ordered (the
+    /// common case for in-order builds).
+    fn finalize(&mut self) -> TermStats {
+        let sorted = self
+            .entries
+            .windows(2)
+            .all(|w| w[0].sort_key() <= w[1].sort_key());
+        if !sorted {
+            self.entries.sort_by_key(|p| p.sort_key());
+        }
+        let mut merged: Vec<P> = Vec::with_capacity(self.entries.len());
+        for p in self.entries.drain(..) {
+            if let Some(last) = merged.last_mut() {
+                if last.coalesce(&p) {
+                    continue;
+                }
+            }
+            merged.push(p);
+        }
+        merged.shrink_to_fit();
+        self.entries = merged;
+        self.stats()
+    }
+
+    /// Compute stats by scanning the (sorted) list.
+    fn stats(&self) -> TermStats {
+        let mut stats = TermStats::default();
+        let mut prev: Option<&P> = None;
+        for p in &self.entries {
+            stats.total_tf += p.occurrences();
+            if !prev.is_some_and(|q| q.same_doc(p)) {
+                stats.df += 1;
+            }
+            prev = Some(p);
+        }
+        stats
+    }
+
+    pub fn as_slice(&self) -> &[P] {
+        &self.entries
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl<P: Posting + Ord> PostingList<P> {
+    /// Smallest posting `≥ v` — the *rm* probe.
+    pub fn right_match(&self, v: P) -> Option<P> {
+        kernels::right_match(&self.entries, v)
+    }
+
+    /// Largest posting `≤ v` — the *lm* probe.
+    pub fn left_match(&self, v: P) -> Option<P> {
+        kernels::left_match(&self.entries, v)
+    }
+
+    /// Binary-search membership probe.
+    pub fn contains(&self, v: &P) -> bool {
+        kernels::contains(&self.entries, v)
+    }
+
+    /// Intersect with another sorted list (kernel chosen by size ratio).
+    pub fn intersect(&self, other: &Self) -> Vec<P> {
+        kernels::intersect(&self.entries, &other.entries)
+    }
+}
+
+/// Term dictionary + dense posting lists: the index core all three
+/// substrates store postings in.
+///
+/// Build: [`add`](Self::add) postings (terms are interned, each distinct
+/// term allocated exactly once), then [`finalize`](Self::finalize) to sort,
+/// coalesce, and compute per-term [`TermStats`]. Indexes grown
+/// incrementally *in sort order* (e.g. a graph appending ascending node
+/// ids) remain queryable without finalizing; their stats are computed on
+/// demand.
+///
+/// Query: [`sym`](Self::sym) once per query term, then
+/// [`postings`](Self::postings) / [`list`](Self::list) on the dense id.
+#[derive(Debug, Clone)]
+pub struct PostingStore<P> {
+    dict: TermDict,
+    lists: Vec<PostingList<P>>,
+    stats: Vec<TermStats>,
+    finalized: bool,
+}
+
+impl<P> Default for PostingStore<P> {
+    fn default() -> Self {
+        PostingStore {
+            dict: TermDict::new(),
+            lists: Vec::new(),
+            stats: Vec::new(),
+            finalized: false,
+        }
+    }
+}
+
+impl<P: Posting> PostingStore<P> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `term` without adding a posting.
+    pub fn intern(&mut self, term: &str) -> Sym {
+        let sym = self.dict.intern(term);
+        if sym.0 as usize >= self.lists.len() {
+            self.lists.push(PostingList::default());
+        }
+        sym
+    }
+
+    /// Add one posting occurrence for `term`.
+    pub fn add(&mut self, term: &str, posting: P) -> Sym {
+        let sym = self.intern(term);
+        self.add_sym(sym, posting);
+        sym
+    }
+
+    /// Add one posting occurrence for an already-interned term.
+    pub fn add_sym(&mut self, sym: Sym, posting: P) {
+        self.finalized = false;
+        self.lists[sym.0 as usize].push_coalesce(posting);
+    }
+
+    /// Sort every list, coalesce duplicate occurrences, and compute
+    /// per-term stats. Idempotent.
+    pub fn finalize(&mut self) {
+        self.stats = self.lists.iter_mut().map(|l| l.finalize()).collect();
+        self.finalized = true;
+    }
+
+    /// Resolve a query term to its dense id — one dictionary lookup; do it
+    /// once per query term.
+    pub fn sym(&self, term: &str) -> Option<Sym> {
+        self.dict.lookup(term)
+    }
+
+    /// The postings of an interned term.
+    pub fn postings(&self, sym: Sym) -> &[P] {
+        self.lists[sym.0 as usize].as_slice()
+    }
+
+    /// The postings of a term by string (lookup + fetch); empty if absent.
+    pub fn postings_str(&self, term: &str) -> &[P] {
+        self.sym(term).map(|s| self.postings(s)).unwrap_or(&[])
+    }
+
+    /// A term's posting list with its probe methods.
+    pub fn list(&self, sym: Sym) -> &PostingList<P> {
+        &self.lists[sym.0 as usize]
+    }
+
+    /// Per-term stats: cached when finalized, computed by scanning
+    /// otherwise (valid only if the list was built in sort order).
+    pub fn term_stats(&self, sym: Sym) -> TermStats {
+        if self.finalized {
+            self.stats[sym.0 as usize]
+        } else {
+            self.lists[sym.0 as usize].stats()
+        }
+    }
+
+    pub fn dict(&self) -> &TermDict {
+        &self.dict
+    }
+
+    /// Distinct terms indexed.
+    pub fn term_count(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// Total stored postings.
+    pub fn posting_count(&self) -> usize {
+        self.lists.iter().map(|l| l.len()).sum()
+    }
+
+    /// All indexed terms, in id order.
+    pub fn terms(&self) -> impl Iterator<Item = &str> {
+        self.dict.terms()
+    }
+
+    /// Whole-index size figures (build time unset; owners that measured
+    /// the build fill it in).
+    pub fn index_stats(&self) -> IndexStats {
+        let postings = self.posting_count();
+        IndexStats {
+            terms: self.term_count(),
+            postings,
+            posting_bytes: postings * std::mem::size_of::<P>(),
+            build: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test posting: (doc, slot, tf) — coalesces on equal (doc, slot).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct Occ {
+        doc: u32,
+        slot: u32,
+        tf: u32,
+    }
+
+    impl Posting for Occ {
+        type SortKey = (u32, u32);
+        fn sort_key(&self) -> (u32, u32) {
+            (self.doc, self.slot)
+        }
+        fn coalesce(&mut self, other: &Self) -> bool {
+            if self.doc == other.doc && self.slot == other.slot {
+                self.tf += other.tf;
+                true
+            } else {
+                false
+            }
+        }
+        fn occurrences(&self) -> u64 {
+            self.tf as u64
+        }
+        fn same_doc(&self, other: &Self) -> bool {
+            self.doc == other.doc
+        }
+    }
+
+    fn occ(doc: u32, slot: u32) -> Occ {
+        Occ { doc, slot, tf: 1 }
+    }
+
+    #[test]
+    fn build_finalize_query() {
+        let mut st: PostingStore<Occ> = PostingStore::new();
+        st.add("xml", occ(2, 0));
+        st.add("xml", occ(2, 0)); // duplicate → coalesced, tf 2
+        st.add("xml", occ(0, 1)); // out of order → fixed by finalize
+        st.add("db", occ(1, 0));
+        st.finalize();
+        let x = st.sym("xml").unwrap();
+        assert_eq!(
+            st.postings(x),
+            &[
+                occ(0, 1),
+                Occ {
+                    doc: 2,
+                    slot: 0,
+                    tf: 2
+                }
+            ]
+        );
+        assert_eq!(st.term_stats(x), TermStats { df: 2, total_tf: 3 });
+        assert_eq!(st.term_count(), 2);
+        assert_eq!(st.posting_count(), 3);
+        assert!(st.sym("nope").is_none());
+        assert!(st.postings_str("nope").is_empty());
+    }
+
+    #[test]
+    fn unfinalized_in_order_store_is_queryable() {
+        let mut st: PostingStore<Occ> = PostingStore::new();
+        st.add("a", occ(0, 0));
+        st.add("a", occ(1, 0));
+        st.add("a", occ(1, 0));
+        let a = st.sym("a").unwrap();
+        assert_eq!(st.postings(a).len(), 2, "adjacent duplicate coalesced");
+        assert_eq!(st.term_stats(a), TermStats { df: 2, total_tf: 3 });
+    }
+
+    #[test]
+    fn finalize_is_idempotent_and_stats_cached() {
+        let mut st: PostingStore<Occ> = PostingStore::new();
+        st.add("t", occ(5, 0));
+        st.add("t", occ(3, 0));
+        st.finalize();
+        let before: Vec<_> = st.postings(st.sym("t").unwrap()).to_vec();
+        st.finalize();
+        assert_eq!(st.postings(st.sym("t").unwrap()), before.as_slice());
+        let stats = st.index_stats();
+        assert_eq!(stats.terms, 1);
+        assert_eq!(stats.postings, 2);
+        assert_eq!(stats.posting_bytes, 2 * std::mem::size_of::<Occ>());
+    }
+
+    #[test]
+    fn list_probes_work_on_ord_postings() {
+        // NodeId-like posting: plain u32 wrapper
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+        struct N(u32);
+        impl Posting for N {
+            type SortKey = u32;
+            fn sort_key(&self) -> u32 {
+                self.0
+            }
+            fn coalesce(&mut self, other: &Self) -> bool {
+                self == other
+            }
+            fn same_doc(&self, other: &Self) -> bool {
+                self == other
+            }
+        }
+        let mut st: PostingStore<N> = PostingStore::new();
+        for n in [2, 5, 9] {
+            st.add("k", N(n));
+        }
+        st.finalize();
+        let l = st.list(st.sym("k").unwrap());
+        assert_eq!(l.right_match(N(6)), Some(N(9)));
+        assert_eq!(l.left_match(N(6)), Some(N(5)));
+        assert!(l.contains(&N(5)) && !l.contains(&N(6)));
+    }
+}

@@ -4,11 +4,14 @@
 //! crates: it holds the vocabulary types everything else speaks —
 //! [`Value`] for typed cell contents, the
 //! [tokenizer](text::tokenize) every full-text index uses, bounded
-//! [top-k heaps](topk::TopK), string-edit distances for query cleaning, and a
-//! string [interner](intern::Interner) used by the graph and XML substrates.
+//! [top-k heaps](topk::TopK), string-edit distances for query cleaning, a
+//! string [interner](intern::Interner), and the shared
+//! [term-dictionary + posting-list index core](index) every substrate's
+//! inverted index is built on.
 
 pub mod budget;
 pub mod error;
+pub mod index;
 pub mod intern;
 pub mod rng;
 pub mod strutil;

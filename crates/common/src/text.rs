@@ -55,6 +55,18 @@ pub fn normalize(word: &str) -> String {
     word.trim_matches(|c| c == '\'' || c == '+').to_lowercase()
 }
 
+/// Normalize one *index term*: strip the XML attribute marker prefix (`@`)
+/// and apply [`normalize`].
+///
+/// Every term that enters a dictionary — tokenized text, XML element and
+/// attribute labels, graph node content — and every query-side keyword goes
+/// through this single function, so an indexed term and a query term can
+/// never disagree on normal form. (Tokenized text never contains `@`, so for
+/// plain tokens this is exactly [`normalize`].)
+pub fn normalize_term(term: &str) -> String {
+    normalize(term.trim_start_matches('@'))
+}
+
 /// Parse a keyword query string into its normalized keyword list,
 /// de-duplicating while preserving first-occurrence order (the AND semantics
 /// used throughout the tutorial treat repeated keywords as one).
@@ -114,5 +126,15 @@ mod tests {
     fn empty_input() {
         assert!(tokenize("").is_empty());
         assert!(tokenize("  ,, ").is_empty());
+    }
+
+    #[test]
+    fn normalize_term_strips_attribute_marker_and_agrees_with_tokens() {
+        assert_eq!(normalize_term("@Year"), "year");
+        assert_eq!(normalize_term("Title"), "title");
+        // for anything the tokenizer can emit, normalize_term is a no-op
+        for tok in tokenize("Keyword at&t o'reilly '90s") {
+            assert_eq!(normalize_term(&tok), tok);
+        }
     }
 }

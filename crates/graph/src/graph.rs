@@ -1,5 +1,6 @@
 //! Weighted data graphs with keyword content.
 
+use kwdb_common::index::{IndexStats, PostingStore};
 use kwdb_common::intern::{Interner, Sym};
 use kwdb_common::text::tokenize;
 use kwdb_relational::{Database, TupleId};
@@ -8,6 +9,23 @@ use std::collections::HashMap;
 /// Graph node identifier (dense, insertion order).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
+
+/// A graph node *is* its posting: node-id ordered, deduplicated on insert.
+impl kwdb_common::index::Posting for NodeId {
+    type SortKey = NodeId;
+
+    fn sort_key(&self) -> NodeId {
+        *self
+    }
+
+    fn coalesce(&mut self, other: &Self) -> bool {
+        self == other
+    }
+
+    fn same_doc(&self, other: &Self) -> bool {
+        self == other
+    }
+}
 
 #[derive(Debug, Clone)]
 struct NodeData {
@@ -28,8 +46,9 @@ pub struct DataGraph {
     nodes: Vec<NodeData>,
     adj: Vec<Vec<(NodeId, f64)>>,
     kinds: Interner,
-    /// keyword → sorted node list.
-    kw_index: HashMap<String, Vec<NodeId>>,
+    /// keyword → sorted node list. Nodes are appended in ascending id order,
+    /// so the store's lists stay sorted without ever finalizing.
+    kw_index: PostingStore<NodeId>,
     edge_count: usize,
 }
 
@@ -48,10 +67,7 @@ impl DataGraph {
         let kind = self.kinds.intern(kind);
         let terms = tokenize(content);
         for t in &terms {
-            let list = self.kw_index.entry(t.clone()).or_default();
-            if list.last() != Some(&id) {
-                list.push(id);
-            }
+            self.kw_index.add(t, id);
         }
         self.nodes.push(NodeData { kind, terms, tuple });
         self.adj.push(Vec::new());
@@ -110,20 +126,37 @@ impl DataGraph {
         self.nodes[n.0 as usize].tuple
     }
 
-    /// Sorted nodes whose content contains `term`.
-    /// All distinct terms appearing in any node's content, in arbitrary
+    /// All distinct terms appearing in any node's content, in dictionary id
     /// order — the graph's keyword vocabulary.
     pub fn vocabulary(&self) -> impl Iterator<Item = &str> {
-        self.kw_index.keys().map(|s| s.as_str())
+        self.kw_index.terms()
     }
 
+    /// Resolve a query term to its dense id — one dictionary lookup. Do this
+    /// once per query term, then fetch node lists by `Sym`.
+    pub fn keyword_sym(&self, term: &str) -> Option<Sym> {
+        self.kw_index.sym(term)
+    }
+
+    /// Sorted nodes whose content contains `term`.
     pub fn keyword_nodes(&self, term: &str) -> &[NodeId] {
-        self.kw_index.get(term).map(|v| v.as_slice()).unwrap_or(&[])
+        self.kw_index.postings_str(term)
+    }
+
+    /// Sorted nodes for an already-resolved term.
+    pub fn keyword_nodes_sym(&self, sym: Sym) -> &[NodeId] {
+        self.kw_index.postings(sym)
     }
 
     /// Does node `n` contain `term`?
     pub fn node_has_term(&self, n: NodeId, term: &str) -> bool {
         self.keyword_nodes(term).binary_search(&n).is_ok()
+    }
+
+    /// Keyword-index size figures (terms, postings, bytes). Build time is
+    /// unset: the graph index grows incrementally with the nodes.
+    pub fn keyword_index_stats(&self) -> IndexStats {
+        self.kw_index.index_stats()
     }
 
     /// Iterate all node ids.

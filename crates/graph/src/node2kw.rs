@@ -8,27 +8,37 @@
 //! * random access `dist(r, k)` — the probe Fagin's TA needs;
 //! * a distance-sorted cursor per keyword — TA's sorted access.
 //!
+//! Keywords are interned into a [`TermDict`], so the TA loop resolves each
+//! query keyword to a [`Sym`] once and then performs its (per candidate ×
+//! keyword) random accesses on dense ids — no string hashing in the loop.
+//!
 //! Building uses one multi-source Dijkstra per keyword (sources = the
 //! keyword's match nodes), optionally distance-capped (the `D` threshold of
 //! the D-reachability indexes, Markowetz et al. ICDE 09).
 
 use crate::graph::{DataGraph, NodeId};
 use crate::shortest::multi_source;
+use kwdb_common::index::{IndexStats, TermDict};
+use kwdb_common::intern::Sym;
 use std::collections::HashMap;
+use std::time::Duration;
 
 /// Distance lists for a set of keywords.
 #[derive(Debug, Clone, Default)]
 pub struct NodeKeywordIndex {
-    /// keyword → (node → (distance, nearest match node))
-    dist: HashMap<String, HashMap<NodeId, (f64, NodeId)>>,
-    /// keyword → nodes sorted by ascending distance (ties by node id).
-    sorted: HashMap<String, Vec<(NodeId, f64)>>,
+    dict: TermDict,
+    /// Per keyword (dense by `Sym`): node → (distance, nearest match node).
+    dist: Vec<HashMap<NodeId, (f64, NodeId)>>,
+    /// Per keyword: nodes sorted by ascending distance (ties by node id).
+    sorted: Vec<Vec<(NodeId, f64)>>,
+    build_time: Option<Duration>,
 }
 
 impl NodeKeywordIndex {
     /// Build for the given `keywords` over `g`. `max_dist` caps the index
     /// range (distances beyond it are treated as unreachable).
     pub fn build<S: AsRef<str>>(g: &DataGraph, keywords: &[S], max_dist: Option<f64>) -> Self {
+        let start = std::time::Instant::now();
         let mut ix = NodeKeywordIndex::default();
         for k in keywords {
             let k = k.as_ref();
@@ -41,37 +51,78 @@ impl NodeKeywordIndex {
                 sorted.push((n, dd));
             }
             sorted.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-            ix.dist.insert(k.to_string(), entry);
-            ix.sorted.insert(k.to_string(), sorted);
+            let sym = ix.dict.intern(k);
+            let slot = sym.0 as usize;
+            if slot < ix.dist.len() {
+                // duplicate keyword in the input: recompute is identical
+                ix.dist[slot] = entry;
+                ix.sorted[slot] = sorted;
+            } else {
+                ix.dist.push(entry);
+                ix.sorted.push(sorted);
+            }
         }
+        ix.build_time = Some(start.elapsed());
         ix
+    }
+
+    /// Resolve a keyword to its dense id — one dictionary lookup. Do this
+    /// once per query keyword, then probe by `Sym`.
+    pub fn sym(&self, keyword: &str) -> Option<Sym> {
+        self.dict.lookup(keyword)
     }
 
     /// Distance from `node` to the nearest match of `keyword`.
     pub fn dist(&self, node: NodeId, keyword: &str) -> Option<f64> {
-        self.dist.get(keyword)?.get(&node).map(|&(d, _)| d)
+        self.dist_sym(node, self.sym(keyword)?)
+    }
+
+    /// [`dist`](Self::dist) for an already-resolved keyword.
+    pub fn dist_sym(&self, node: NodeId, sym: Sym) -> Option<f64> {
+        self.dist[sym.0 as usize].get(&node).map(|&(d, _)| d)
     }
 
     /// The nearest match node of `keyword` from `node`.
     pub fn nearest_match(&self, node: NodeId, keyword: &str) -> Option<NodeId> {
-        self.dist.get(keyword)?.get(&node).map(|&(_, m)| m)
+        self.nearest_match_sym(node, self.sym(keyword)?)
+    }
+
+    /// [`nearest_match`](Self::nearest_match) for an already-resolved keyword.
+    pub fn nearest_match_sym(&self, node: NodeId, sym: Sym) -> Option<NodeId> {
+        self.dist[sym.0 as usize].get(&node).map(|&(_, m)| m)
     }
 
     /// Distance-sorted list `(node, dist)` for `keyword` — TA sorted access.
     pub fn sorted_list(&self, keyword: &str) -> &[(NodeId, f64)] {
-        self.sorted
-            .get(keyword)
-            .map(|v| v.as_slice())
+        self.sym(keyword)
+            .map(|s| self.sorted_list_sym(s))
             .unwrap_or(&[])
+    }
+
+    /// [`sorted_list`](Self::sorted_list) for an already-resolved keyword.
+    pub fn sorted_list_sym(&self, sym: Sym) -> &[(NodeId, f64)] {
+        &self.sorted[sym.0 as usize]
     }
 
     /// Total stored entries, for index-size reporting.
     pub fn entry_count(&self) -> usize {
-        self.dist.values().map(|m| m.len()).sum()
+        self.dist.iter().map(|m| m.len()).sum()
     }
 
     pub fn keywords(&self) -> impl Iterator<Item = &str> {
-        self.dist.keys().map(|s| s.as_str())
+        self.dict.terms()
+    }
+
+    /// Whole-index size figures: terms = indexed keywords, postings =
+    /// distance entries, with the build wall-clock.
+    pub fn index_stats(&self) -> IndexStats {
+        let postings = self.entry_count();
+        IndexStats {
+            terms: self.dict.len(),
+            postings,
+            posting_bytes: postings * std::mem::size_of::<(NodeId, (f64, NodeId))>(),
+            build: self.build_time,
+        }
     }
 }
 
@@ -128,6 +179,7 @@ mod tests {
         let ix = NodeKeywordIndex::build(&g, &["x"], None);
         assert_eq!(ix.dist(ids[0], "zzz"), None);
         assert!(ix.sorted_list("zzz").is_empty());
+        assert!(ix.sym("zzz").is_none());
     }
 
     #[test]
@@ -141,5 +193,28 @@ mod tests {
         let ix = NodeKeywordIndex::build(&g, &["k"], None);
         assert_eq!(ix.dist(b, "k"), Some(1.0));
         assert_eq!(ix.nearest_match(b, "k"), Some(c));
+    }
+
+    #[test]
+    fn sym_probes_match_string_probes() {
+        let (g, ids) = line();
+        let ix = NodeKeywordIndex::build(&g, &["x", "y"], None);
+        let x = ix.sym("x").unwrap();
+        for &n in &ids {
+            assert_eq!(ix.dist_sym(n, x), ix.dist(n, "x"));
+            assert_eq!(ix.nearest_match_sym(n, x), ix.nearest_match(n, "x"));
+        }
+        assert_eq!(ix.sorted_list_sym(x), ix.sorted_list("x"));
+    }
+
+    #[test]
+    fn duplicate_keywords_dont_desync() {
+        let (g, ids) = line();
+        let ix = NodeKeywordIndex::build(&g, &["x", "x", "y"], None);
+        assert_eq!(ix.dist(ids[3], "x"), Some(3.0));
+        assert_eq!(ix.dist(ids[1], "y"), Some(1.0));
+        let stats = ix.index_stats();
+        assert_eq!(stats.terms, 2);
+        assert!(stats.build.is_some());
     }
 }

@@ -78,10 +78,17 @@ impl<'g> Blinks<'g> {
         if l == 0 || k == 0 {
             return (Vec::new(), truncation, stats);
         }
-        let lists: Vec<&[(NodeId, f64)]> = keywords
+        // One dictionary lookup per keyword; the TA loop below probes dense
+        // ids only. A keyword absent from the index has no matches, so AND
+        // semantics make the answer empty.
+        let Some(syms) = keywords
             .iter()
-            .map(|kw| index.sorted_list(kw.as_ref()))
-            .collect();
+            .map(|kw| index.sym(kw.as_ref()))
+            .collect::<Option<Vec<_>>>()
+        else {
+            return (Vec::new(), truncation, stats);
+        };
+        let lists: Vec<&[(NodeId, f64)]> = syms.iter().map(|&s| index.sorted_list_sym(s)).collect();
         if lists.iter().any(|lst| lst.is_empty()) {
             return (Vec::new(), truncation, stats);
         }
@@ -106,9 +113,9 @@ impl<'g> Blinks<'g> {
                     // random access: complete the root's score
                     let mut total = 0.0;
                     let mut complete = true;
-                    for kw in keywords {
+                    for &sym in &syms {
                         stats.random_accesses += 1;
-                        match index.dist(node, kw.as_ref()) {
+                        match index.dist_sym(node, sym) {
                             Some(d) => total += d,
                             None => {
                                 complete = false;
@@ -144,26 +151,24 @@ impl<'g> Blinks<'g> {
         let trees = topk
             .into_sorted_vec()
             .into_iter()
-            .map(|(neg, root)| self.build_tree(index, keywords, root, -neg))
+            .map(|(neg, root)| self.build_tree(index, &syms, root, -neg))
             .collect();
         (trees, truncation, stats)
     }
 
     /// Materialize a root's answer tree: shortest paths to each keyword's
     /// nearest match.
-    fn build_tree<S: AsRef<str>>(
+    fn build_tree(
         &self,
         index: &NodeKeywordIndex,
-        keywords: &[S],
+        syms: &[kwdb_common::intern::Sym],
         root: NodeId,
         _rank_cost: f64,
     ) -> AnswerTree {
         let mut edges = Vec::new();
-        let mut matches = Vec::with_capacity(keywords.len());
-        for kw in keywords {
-            let m = index
-                .nearest_match(root, kw.as_ref())
-                .expect("complete root");
+        let mut matches = Vec::with_capacity(syms.len());
+        for &sym in syms {
+            let m = index.nearest_match_sym(root, sym).expect("complete root");
             matches.push(m);
             if m != root {
                 let sp = dijkstra(self.g, root, Some(m), None, &|_| false);

@@ -8,6 +8,7 @@
 //! once (maximality by node-set dedup). Scored by keyword proximity: the
 //! closer the matches sit to each other, the higher the score.
 
+use kwdb_common::index::kernels;
 use kwdb_graph::shortest::within_hops;
 use kwdb_graph::{DataGraph, NodeId};
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -36,26 +37,30 @@ pub fn search<S: AsRef<str>>(
     if l == 0 || k == 0 {
         return Vec::new();
     }
-    let groups: Vec<HashSet<NodeId>> = keywords
+    // Resolve each keyword to its sorted node list once (one dictionary
+    // lookup per keyword); a missing keyword means no answers.
+    let Some(groups) = keywords
         .iter()
-        .map(|kw| g.keyword_nodes(kw.as_ref()).iter().copied().collect())
-        .collect();
-    if groups.iter().any(|s| s.is_empty()) {
+        .map(|kw| {
+            let grp = g.keyword_nodes(kw.as_ref());
+            (!grp.is_empty()).then_some(grp)
+        })
+        .collect::<Option<Vec<_>>>()
+    else {
         return Vec::new();
-    }
+    };
     let mut out: Vec<SteinerSubgraph> = Vec::new();
     let mut seen_nodesets: HashSet<Vec<NodeId>> = HashSet::new();
 
     for center in g.iter() {
         let hood = within_hops(g, center, radius);
-        // per-keyword matches within the neighborhood
+        let mut hood_sorted: Vec<NodeId> = hood.keys().copied().collect();
+        hood_sorted.sort();
+        // per-keyword matches within the neighborhood: both sides are sorted
+        // node lists, so the shared intersection kernel applies directly
         let matches: Vec<Vec<NodeId>> = groups
             .iter()
-            .map(|grp| {
-                let mut m: Vec<NodeId> = hood.keys().filter(|n| grp.contains(n)).copied().collect();
-                m.sort();
-                m
-            })
+            .map(|grp| kernels::intersect(grp, &hood_sorted))
             .collect();
         if matches.iter().any(|m| m.is_empty()) {
             continue;

@@ -8,6 +8,7 @@
 
 use crate::registry::MetricsRegistry;
 use kwdb_common::budget::TruncationReason;
+use kwdb_common::index::IndexStats;
 use kwdb_common::QueryStats;
 
 /// Stable metric family names: the per-query families recorded by
@@ -43,6 +44,14 @@ pub mod families {
     pub const DISPATCH_REQUESTS: &str = "kwdb_dispatch_requests_total";
     /// Counter: dispatched requests per worker (label `worker`).
     pub const DISPATCH_WORKER_REQUESTS: &str = "kwdb_dispatch_worker_requests_total";
+    /// Histogram: index build wall-clock in nanoseconds (label `index`).
+    pub const INDEX_BUILD: &str = "kwdb_index_build_ns";
+    /// Gauge: distinct terms in an index (label `index`).
+    pub const INDEX_TERMS: &str = "kwdb_index_terms";
+    /// Gauge: stored postings in an index (label `index`).
+    pub const INDEX_POSTINGS: &str = "kwdb_index_postings";
+    /// Gauge: approximate posting payload bytes of an index (label `index`).
+    pub const INDEX_POSTING_BYTES: &str = "kwdb_index_posting_bytes";
 }
 
 /// Fold one query's stats into the registry under `engine × algorithm`.
@@ -117,6 +126,24 @@ pub fn record_query(
     }
 }
 
+/// Record one substrate index's size figures (and, when known, its build
+/// wall-clock) under the `index` label. Engines call this once per index
+/// build, so the gauges reflect the currently-live index while the build
+/// histogram accumulates across rebuilds.
+pub fn record_index_stats(reg: &MetricsRegistry, index: &str, stats: &IndexStats) {
+    let labels = [("index", index)];
+    reg.gauge(families::INDEX_TERMS, &labels)
+        .set(stats.terms as i64);
+    reg.gauge(families::INDEX_POSTINGS, &labels)
+        .set(stats.postings as i64);
+    reg.gauge(families::INDEX_POSTING_BYTES, &labels)
+        .set(stats.posting_bytes as i64);
+    if let Some(build) = stats.build {
+        reg.histogram(families::INDEX_BUILD, &labels)
+            .record_duration(build);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,5 +212,47 @@ mod tests {
         assert_eq!(hist.1.count, 2);
         assert!(snap.family_names().contains(&families::PHASE_LATENCY));
         assert!(snap.family_names().contains(&families::CANDIDATES));
+    }
+
+    #[test]
+    fn record_index_stats_sets_gauges_and_build_histogram() {
+        let reg = MetricsRegistry::new();
+        let stats = IndexStats {
+            terms: 12,
+            postings: 340,
+            posting_bytes: 340 * 16,
+            build: Some(Duration::from_micros(250)),
+        };
+        record_index_stats(&reg, "relational_text", &stats);
+        // a rebuild overwrites the gauges but accumulates in the histogram
+        record_index_stats(&reg, "relational_text", &stats);
+        let labels = [("index", "relational_text")];
+        assert_eq!(reg.gauge(families::INDEX_TERMS, &labels).get(), 12);
+        assert_eq!(reg.gauge(families::INDEX_POSTINGS, &labels).get(), 340);
+        assert_eq!(
+            reg.gauge(families::INDEX_POSTING_BYTES, &labels).get(),
+            340 * 16
+        );
+        let snap = reg.snapshot();
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|(id, _)| id.name == families::INDEX_BUILD)
+            .expect("build histogram exists");
+        assert_eq!(hist.1.count, 2);
+
+        // an index with no recorded build time still reports sizes
+        let unbuilt = IndexStats {
+            terms: 1,
+            postings: 1,
+            posting_bytes: 8,
+            build: None,
+        };
+        record_index_stats(&reg, "graph_keyword", &unbuilt);
+        assert_eq!(
+            reg.gauge(families::INDEX_TERMS, &[("index", "graph_keyword")])
+                .get(),
+            1
+        );
     }
 }

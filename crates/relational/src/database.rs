@@ -121,8 +121,10 @@ impl Database {
         h.finish()
     }
 
-    /// (Re)build the full-text inverted index over all text columns.
+    /// (Re)build the full-text inverted index over all text columns,
+    /// recording the build wall-clock in the index's stats.
     pub fn build_text_index(&mut self) {
+        let start = std::time::Instant::now();
         let mut ix = InvertedIndex::new();
         for t in &self.tables {
             ix.set_tuple_count(t.id, t.len());
@@ -145,6 +147,7 @@ impl Database {
             }
         }
         ix.finalize();
+        ix.set_build_time(start.elapsed());
         self.text_index = ix;
         self.index_built = true;
     }

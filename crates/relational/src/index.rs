@@ -1,8 +1,19 @@
 //! Full-text inverted index over a database's text columns.
+//!
+//! Storage lives in the shared [`kwdb_common::index`] core: terms are
+//! interned into a dense-`Sym` dictionary (each distinct term allocated
+//! exactly once, however many occurrences the build sees) and postings sit
+//! in per-term sorted lists. Query paths resolve each keyword to a [`Sym`]
+//! once via [`InvertedIndex::sym`] and then fetch slices by dense id; the
+//! string-keyed methods remain as conveniences that do exactly one
+//! dictionary lookup.
 
 use crate::schema::TableId;
 use crate::table::{RowId, TupleId};
+use kwdb_common::index::{IndexStats, PostingStore, TermStats};
+use kwdb_common::intern::Sym;
 use std::collections::HashMap;
+use std::time::Duration;
 
 /// One posting: a keyword occurrence in a tuple's column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -14,6 +25,31 @@ pub struct Posting {
     pub tf: u32,
 }
 
+impl kwdb_common::index::Posting for Posting {
+    type SortKey = (TableId, RowId, usize);
+
+    fn sort_key(&self) -> Self::SortKey {
+        (self.tuple.table, self.tuple.row, self.column)
+    }
+
+    fn coalesce(&mut self, other: &Self) -> bool {
+        if self.tuple == other.tuple && self.column == other.column {
+            self.tf += other.tf;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn occurrences(&self) -> u64 {
+        self.tf as u64
+    }
+
+    fn same_doc(&self, other: &Self) -> bool {
+        self.tuple == other.tuple
+    }
+}
+
 /// Inverted index: keyword → postings, with a per-table view.
 ///
 /// Postings are stored sorted by `(table, row, column)` so per-table slices
@@ -21,9 +57,10 @@ pub struct Posting {
 /// without allocation-heavy filtering.
 #[derive(Debug, Clone, Default)]
 pub struct InvertedIndex {
-    postings: HashMap<String, Vec<Posting>>,
+    store: PostingStore<Posting>,
     /// Documents (tuples) per table, for IDF computation by callers.
     tuple_counts: HashMap<TableId, usize>,
+    build_time: Option<Duration>,
 }
 
 impl InvertedIndex {
@@ -32,41 +69,48 @@ impl InvertedIndex {
     }
 
     pub(crate) fn add(&mut self, term: &str, posting: Posting) {
-        self.postings
-            .entry(term.to_string())
-            .or_default()
-            .push(posting);
+        self.store.add(term, posting);
     }
 
     pub(crate) fn set_tuple_count(&mut self, table: TableId, n: usize) {
         self.tuple_counts.insert(table, n);
     }
 
+    pub(crate) fn set_build_time(&mut self, d: Duration) {
+        self.build_time = Some(d);
+    }
+
     pub(crate) fn finalize(&mut self) {
-        for v in self.postings.values_mut() {
-            v.sort_by_key(|p| (p.tuple.table, p.tuple.row, p.column));
-            // Merge duplicate (tuple, column) entries into tf counts.
-            let mut merged: Vec<Posting> = Vec::with_capacity(v.len());
-            for p in v.drain(..) {
-                match merged.last_mut() {
-                    Some(last) if last.tuple == p.tuple && last.column == p.column => {
-                        last.tf += p.tf;
-                    }
-                    _ => merged.push(p),
-                }
-            }
-            *v = merged;
-        }
+        self.store.finalize();
+    }
+
+    /// Resolve a query term to its dense id — one dictionary lookup. Do this
+    /// once per query term, then drive the query off the `Sym`.
+    pub fn sym(&self, term: &str) -> Option<Sym> {
+        self.store.sym(term)
     }
 
     /// All postings for `term` (empty slice if absent).
     pub fn postings(&self, term: &str) -> &[Posting] {
-        self.postings.get(term).map(|v| v.as_slice()).unwrap_or(&[])
+        self.store.postings_str(term)
+    }
+
+    /// All postings for an already-resolved term.
+    pub fn postings_sym(&self, sym: Sym) -> &[Posting] {
+        self.store.postings(sym)
     }
 
     /// Postings for `term` within one table.
     pub fn postings_in(&self, term: &str, table: TableId) -> &[Posting] {
-        let all = self.postings(term);
+        Self::table_slice(self.postings(term), table)
+    }
+
+    /// Postings for an already-resolved term within one table.
+    pub fn postings_in_sym(&self, sym: Sym, table: TableId) -> &[Posting] {
+        Self::table_slice(self.postings_sym(sym), table)
+    }
+
+    fn table_slice(all: &[Posting], table: TableId) -> &[Posting] {
         let lo = all.partition_point(|p| p.tuple.table < table);
         let hi = all.partition_point(|p| p.tuple.table <= table);
         &all[lo..hi]
@@ -84,16 +128,19 @@ impl InvertedIndex {
     }
 
     /// Number of distinct tuples (across tables) containing `term`.
+    /// `O(1)` on a finalized index — served from the term's cached stats.
     pub fn doc_freq(&self, term: &str) -> usize {
-        let mut n = 0;
-        let mut last: Option<TupleId> = None;
-        for p in self.postings(term) {
-            if last != Some(p.tuple) {
-                n += 1;
-                last = Some(p.tuple);
-            }
-        }
-        n
+        self.sym(term).map_or(0, |s| self.doc_freq_sym(s))
+    }
+
+    /// Document frequency for an already-resolved term.
+    pub fn doc_freq_sym(&self, sym: Sym) -> usize {
+        self.store.term_stats(sym).df as usize
+    }
+
+    /// Per-term stats (document frequency, total term frequency).
+    pub fn term_stats(&self, sym: Sym) -> TermStats {
+        self.store.term_stats(sym)
     }
 
     /// Number of tuples indexed in `table`.
@@ -101,13 +148,22 @@ impl InvertedIndex {
         self.tuple_counts.get(&table).copied().unwrap_or(0)
     }
 
-    /// All indexed terms.
+    /// All indexed terms, in dictionary id order.
     pub fn terms(&self) -> impl Iterator<Item = &str> {
-        self.postings.keys().map(|s| s.as_str())
+        self.store.terms()
     }
 
     pub fn term_count(&self) -> usize {
-        self.postings.len()
+        self.store.term_count()
+    }
+
+    /// Whole-index size figures, with the build wall-clock when the owner
+    /// measured one.
+    pub fn index_stats(&self) -> IndexStats {
+        IndexStats {
+            build: self.build_time,
+            ..self.store.index_stats()
+        }
     }
 }
 
@@ -172,5 +228,37 @@ mod tests {
         let ix = index();
         assert!(ix.postings("nothing").is_empty());
         assert!(ix.rows_in("nothing", TableId(0)).is_empty());
+    }
+
+    #[test]
+    fn sym_api_matches_string_api() {
+        let ix = index();
+        let xml = ix.sym("xml").expect("indexed term resolves");
+        assert_eq!(ix.postings_sym(xml), ix.postings("xml"));
+        assert_eq!(
+            ix.postings_in_sym(xml, TableId(0)),
+            ix.postings_in("xml", TableId(0))
+        );
+        assert_eq!(ix.doc_freq_sym(xml), ix.doc_freq("xml"));
+        assert!(ix.sym("nothing").is_none());
+    }
+
+    #[test]
+    fn index_stats_report_sizes() {
+        let ix = index();
+        let stats = ix.index_stats();
+        assert_eq!(stats.terms, 2);
+        assert_eq!(stats.postings, 4);
+        assert_eq!(stats.posting_bytes, 4 * std::mem::size_of::<Posting>());
+        assert!(stats.build.is_none(), "unit-built index is untimed");
+    }
+
+    #[test]
+    fn term_stats_track_tf_and_df() {
+        let ix = index();
+        let xml = ix.sym("xml").unwrap();
+        let stats = ix.term_stats(xml);
+        assert_eq!(stats.df, 3);
+        assert_eq!(stats.total_tf, 4); // tf=2 posting plus two tf=1 postings
     }
 }

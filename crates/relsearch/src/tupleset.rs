@@ -36,10 +36,14 @@ impl TupleSets {
     pub fn build<S: AsRef<str>>(db: &Database, keywords: &[S]) -> Self {
         assert!(keywords.len() <= 32, "at most 32 keywords");
         let ix = db.text_index();
+        // One dictionary lookup per keyword up front; absent keywords have
+        // no postings and simply contribute no mask bits.
+        let syms: Vec<_> = keywords.iter().map(|kw| ix.sym(kw.as_ref())).collect();
         // (table, row) → mask
         let mut masks: HashMap<(TableId, RowId), u32> = HashMap::new();
-        for (i, kw) in keywords.iter().enumerate() {
-            for p in ix.postings(kw.as_ref()) {
+        for (i, sym) in syms.into_iter().enumerate() {
+            let Some(sym) = sym else { continue };
+            for p in ix.postings_sym(sym) {
                 *masks.entry((p.tuple.table, p.tuple.row)).or_insert(0) |= 1 << i;
             }
         }

@@ -3,49 +3,85 @@
 //! For each keyword the index stores the document-ordered list of nodes whose
 //! *direct* text contains it. Because [`NodeId`] order equals
 //! document order, the `lm`/`rm` probes the SLCA family needs are plain
-//! binary searches.
+//! binary searches — served by the shared [`kwdb_common::index`] kernels.
+//!
+//! Storage lives in a [`PostingStore`] keyed by the term dictionary: every
+//! label and token is normalized through [`normalize_term`] and interned
+//! once, and query paths resolve each keyword to a [`Sym`] a single time
+//! via [`XmlIndex::sym`].
 
 use crate::tree::{NodeId, XmlTree};
-use kwdb_common::text::tokenize;
-use std::collections::HashMap;
+use kwdb_common::index::{kernels, IndexStats, PostingStore};
+use kwdb_common::intern::Sym;
+use kwdb_common::text::{normalize_term, tokenize};
+use std::time::Duration;
+
+/// A node *is* its posting: document-ordered, deduplicated on insert.
+impl kwdb_common::index::Posting for NodeId {
+    type SortKey = NodeId;
+
+    fn sort_key(&self) -> NodeId {
+        *self
+    }
+
+    fn coalesce(&mut self, other: &Self) -> bool {
+        self == other
+    }
+
+    fn same_doc(&self, other: &Self) -> bool {
+        self == other
+    }
+}
 
 /// Inverted index: keyword → sorted node list.
 #[derive(Debug, Clone, Default)]
 pub struct XmlIndex {
-    lists: HashMap<String, Vec<NodeId>>,
+    store: PostingStore<NodeId>,
+    build_time: Option<Duration>,
 }
 
 impl XmlIndex {
     /// Build the index by tokenizing every node's direct text. Element labels
-    /// are also indexed (lower-cased), so queries can match structure terms
-    /// like `paper` — the tutorial's Q = {keyword, Mark} relies on label
-    /// matches.
+    /// are also indexed (attribute marker stripped, lower-cased), so queries
+    /// can match structure terms like `paper` — the tutorial's
+    /// Q = {keyword, Mark} relies on label matches.
     pub fn build(tree: &XmlTree) -> Self {
-        let mut lists: HashMap<String, Vec<NodeId>> = HashMap::new();
+        let start = std::time::Instant::now();
+        let mut store: PostingStore<NodeId> = PostingStore::new();
         for n in tree.iter() {
-            let label = tree.label(n).trim_start_matches('@').to_lowercase();
+            let label = normalize_term(tree.label(n));
             if !label.is_empty() {
-                let list = lists.entry(label).or_default();
-                if list.last() != Some(&n) {
-                    list.push(n);
-                }
+                store.add(&label, n);
             }
             if let Some(text) = tree.text(n) {
                 for tok in tokenize(text) {
-                    let list = lists.entry(tok).or_default();
-                    if list.last() != Some(&n) {
-                        list.push(n);
-                    }
+                    store.add(&tok, n);
                 }
             }
         }
-        // Lists are sorted by construction (pre-order iteration).
-        XmlIndex { lists }
+        // Pre-order iteration emits nodes in document order, so every list is
+        // already sorted and deduplicated; finalize just caches term stats.
+        store.finalize();
+        XmlIndex {
+            store,
+            build_time: Some(start.elapsed()),
+        }
+    }
+
+    /// Resolve a query term to its dense id — one dictionary lookup. Do this
+    /// once per query term, then fetch lists by `Sym`.
+    pub fn sym(&self, term: &str) -> Option<Sym> {
+        self.store.sym(term)
     }
 
     /// Document-ordered match list for `term` (empty if absent).
     pub fn nodes(&self, term: &str) -> &[NodeId] {
-        self.lists.get(term).map(|v| v.as_slice()).unwrap_or(&[])
+        self.store.postings_str(term)
+    }
+
+    /// Document-ordered match list for an already-resolved term.
+    pub fn nodes_sym(&self, sym: Sym) -> &[NodeId] {
+        self.store.postings(sym)
     }
 
     /// Number of nodes directly containing `term`.
@@ -72,19 +108,25 @@ impl XmlIndex {
     /// Smallest node in `list` that is `≥ v` in document order (XKSearch's
     /// *rm* probe). `None` if all nodes precede `v`.
     pub fn right_match(list: &[NodeId], v: NodeId) -> Option<NodeId> {
-        let i = list.partition_point(|&x| x < v);
-        list.get(i).copied()
+        kernels::right_match(list, v)
     }
 
     /// Largest node in `list` that is `≤ v` (XKSearch's *lm* probe).
     pub fn left_match(list: &[NodeId], v: NodeId) -> Option<NodeId> {
-        let i = list.partition_point(|&x| x <= v);
-        i.checked_sub(1).map(|j| list[j])
+        kernels::left_match(list, v)
     }
 
-    /// All indexed terms.
+    /// All indexed terms, in dictionary id order.
     pub fn terms(&self) -> impl Iterator<Item = &str> {
-        self.lists.keys().map(|s| s.as_str())
+        self.store.terms()
+    }
+
+    /// Whole-index size figures, including the build wall-clock.
+    pub fn index_stats(&self) -> IndexStats {
+        IndexStats {
+            build: self.build_time,
+            ..self.store.index_stats()
+        }
     }
 }
 
@@ -155,5 +197,28 @@ mod tests {
         let ix = XmlIndex::build(&t);
         assert_eq!(ix.freq("year"), 1);
         assert_eq!(ix.freq("1980"), 1);
+    }
+
+    #[test]
+    fn sym_api_matches_string_api() {
+        let t = tree();
+        let ix = XmlIndex::build(&t);
+        let s = ix.sym("keyword").expect("indexed term resolves");
+        assert_eq!(ix.nodes_sym(s), ix.nodes("keyword"));
+        assert!(ix.sym("zzz").is_none());
+    }
+
+    #[test]
+    fn index_stats_report_sizes_and_build_time() {
+        let t = tree();
+        let ix = XmlIndex::build(&t);
+        let stats = ix.index_stats();
+        assert!(stats.terms > 0);
+        assert!(stats.postings >= stats.terms);
+        assert_eq!(
+            stats.posting_bytes,
+            stats.postings * std::mem::size_of::<NodeId>()
+        );
+        assert!(stats.build.is_some(), "batch build is timed");
     }
 }

@@ -49,11 +49,12 @@ pub fn elca<S: AsRef<str>>(
     stats.candidates = candidates.len();
 
     // Verification: v is an ELCA iff every keyword has a match in span(v)
-    // that is not inside any covering child-subtree of v.
+    // that is not inside any covering child-subtree of v. Lists are resolved
+    // once here; verification below never touches the dictionary again.
     let all_lists: Vec<&[NodeId]> = keywords.iter().map(|k| index.nodes(k.as_ref())).collect();
     let mut out = Vec::new();
     for &v in &candidates {
-        if verify_elca(tree, &sizes, &all_lists, v, index, keywords, &mut stats) {
+        if verify_elca(tree, &sizes, &all_lists, v, &mut stats) {
             out.push(v);
         }
     }
@@ -68,12 +69,13 @@ pub fn elca_brute_force<S: AsRef<str>>(
 ) -> Vec<NodeId> {
     let covering: std::collections::HashSet<NodeId> =
         covering_nodes(tree, index, keywords).into_iter().collect();
+    let lists: Vec<&[NodeId]> = keywords.iter().map(|k| index.nodes(k.as_ref())).collect();
     let mut out = Vec::new();
     for v in tree.iter() {
         // matches of each keyword in subtree(v), excluding matches under any
         // proper descendant of v that covers all keywords
-        let ok = keywords.iter().all(|k| {
-            index.nodes(k.as_ref()).iter().any(|&m| {
+        let ok = lists.iter().all(|list| {
+            list.iter().any(|&m| {
                 if !(tree.is_ancestor(v, m) || v == m) {
                     return false;
                 }
@@ -116,14 +118,11 @@ fn per_anchor_slca(tree: &XmlTree, v: NodeId, others: &[&[NodeId]]) -> NodeId {
 
 /// Does `v` have, for every keyword, a witness match not swallowed by a
 /// covering child subtree?
-#[allow(clippy::too_many_arguments)]
-fn verify_elca<S: AsRef<str>>(
+fn verify_elca(
     tree: &XmlTree,
     sizes: &[u32],
     all_lists: &[&[NodeId]],
     v: NodeId,
-    index: &XmlIndex,
-    keywords: &[S],
     stats: &mut ElcaStats,
 ) -> bool {
     let span_end = NodeId(v.0 + sizes[v.0 as usize]);
@@ -137,7 +136,7 @@ fn verify_elca<S: AsRef<str>>(
             }
             // the child of v on the path to m
             let child = child_toward(tree, v, m);
-            !covers_all(tree, sizes, index, keywords, child, stats)
+            !covers_all(sizes, all_lists, child, stats)
         })
     })
 }
@@ -151,18 +150,10 @@ fn child_toward(tree: &XmlTree, v: NodeId, m: NodeId) -> NodeId {
 }
 
 /// Does `c`'s subtree contain a match of every keyword?
-fn covers_all<S: AsRef<str>>(
-    _tree: &XmlTree,
-    sizes: &[u32],
-    index: &XmlIndex,
-    keywords: &[S],
-    c: NodeId,
-    stats: &mut ElcaStats,
-) -> bool {
+fn covers_all(sizes: &[u32], all_lists: &[&[NodeId]], c: NodeId, stats: &mut ElcaStats) -> bool {
     let end = NodeId(c.0 + sizes[c.0 as usize]);
-    keywords.iter().all(|k| {
+    all_lists.iter().all(|list| {
         stats.probes += 1;
-        let list = index.nodes(k.as_ref());
         let lo = list.partition_point(|&x| x < c);
         lo < list.len() && list[lo] < end
     })

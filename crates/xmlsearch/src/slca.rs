@@ -183,11 +183,12 @@ pub fn covering_nodes<S: AsRef<str>>(
     keywords: &[S],
 ) -> Vec<NodeId> {
     let sizes = tree.subtree_sizes();
+    // One index lookup per keyword, not one per (node, keyword) pair.
+    let lists: Vec<&[NodeId]> = keywords.iter().map(|k| index.nodes(k.as_ref())).collect();
     tree.iter()
         .filter(|&v| {
             let end = NodeId(v.0 + sizes[v.0 as usize]);
-            keywords.iter().all(|k| {
-                let list = index.nodes(k.as_ref());
+            lists.iter().all(|list| {
                 let lo = list.partition_point(|&x| x < v);
                 lo < list.len() && list[lo] < end
             })

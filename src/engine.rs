@@ -36,18 +36,18 @@
 //! [`crate::dispatch::Catalog`] and be fanned out over threads by
 //! [`crate::dispatch::Dispatcher`].
 //!
-//! The pre-existing free functions ([`graph_search`], [`xml_search`]) and
-//! [`RelationalEngine::search`] remain as deprecated shims over the new
-//! entry points; they and the per-paradigm crates (`kwdb_graphsearch`,
-//! `kwdb_relsearch`, `kwdb_xmlsearch`) stay borrow-based — the zero-copy
-//! escape hatch when you hold the data on the stack and don't need to
-//! share the engine.
+//! The per-paradigm crates (`kwdb_graphsearch`, `kwdb_relsearch`,
+//! `kwdb_xmlsearch`) stay borrow-based — the zero-copy escape hatch when
+//! you hold the data on the stack and don't need to share the engine.
 
 use kwdb_common::text::parse_query;
 use kwdb_common::{Budget, QueryStats, Result, Stopwatch, TruncationReason};
 use kwdb_graph::DataGraph;
 use kwdb_graphsearch::{blinks::Blinks, AnswerTree, BanksI, Dpbf};
-use kwdb_obs::{families, record_query, MetricsRegistry, QueryTrace, TraceBuilder, TraceLevel};
+use kwdb_obs::{
+    families, record_index_stats, record_query, MetricsRegistry, QueryTrace, TraceBuilder,
+    TraceLevel,
+};
 use kwdb_relational::{Database, ExecStats};
 use kwdb_relsearch::cn::{CandidateNetwork, CnGenConfig, CnGenerator, MaskOracle};
 use kwdb_relsearch::spark::skyline_sweep_budgeted;
@@ -343,8 +343,16 @@ impl RelationalEngine {
         }
     }
 
-    /// Record every query (and plan-cache activity) into `registry`.
+    /// Record every query (and plan-cache activity) into `registry`, and
+    /// publish the text index's build/size figures up front.
     pub fn with_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        if self.db.is_index_fresh() {
+            record_index_stats(
+                &registry,
+                "relational_text",
+                &self.db.text_index().index_stats(),
+            );
+        }
         self.registry = Some(registry);
         self
     }
@@ -352,12 +360,6 @@ impl RelationalEngine {
     /// The shared database this engine queries.
     pub fn database(&self) -> &Arc<Database> {
         &self.db
-    }
-
-    /// Top-k joining trees of tuples for a free-text query string.
-    #[deprecated(since = "0.2.0", note = "use `execute` with a `SearchRequest`")]
-    pub fn search(&self, query: &str, k: usize) -> Result<Vec<RelationalHit>> {
-        Ok(self.execute(&SearchRequest::new(query).k(k))?.hits)
     }
 
     /// Execute a [`SearchRequest`]: budgeted, instrumented top-k search.
@@ -603,8 +605,10 @@ impl GraphEngine {
         }
     }
 
-    /// Record every query into `registry`.
+    /// Record every query into `registry`, and publish the graph keyword
+    /// index's size figures up front.
     pub fn with_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        record_index_stats(&registry, "graph_keyword", &self.g.keyword_index_stats());
         self.registry = Some(registry);
         self
     }
@@ -626,8 +630,7 @@ impl Engine for GraphEngine {
     }
 }
 
-/// The graph execution pipeline on borrowed data; shared by
-/// [`GraphEngine::execute`] and the deprecated [`graph_search`].
+/// The graph execution pipeline on borrowed data.
 fn execute_graph(
     g: &DataGraph,
     index: &OnceLock<kwdb_graph::NodeKeywordIndex>,
@@ -692,6 +695,9 @@ fn execute_graph(
                 stats.cache_hits = 1;
             } else {
                 stats.cache_misses = 1;
+                if let Some(reg) = registry {
+                    record_index_stats(reg, "graph_node2kw", &ix.index_stats());
+                }
             }
             tb.event("node-keyword index", || {
                 vec![(
@@ -722,30 +728,6 @@ fn execute_graph(
         )]
     });
     done(hits, stats, truncation, tb)
-}
-
-/// Keyword search on a data graph under the chosen semantics.
-///
-/// Zero-copy: borrows the graph and builds the BLINKS index per call when
-/// `DistinctRoot` is requested — construct a [`GraphEngine`] to amortize it.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `GraphEngine::execute` with a `SearchRequest`"
-)]
-pub fn graph_search(
-    g: &DataGraph,
-    query: &str,
-    k: usize,
-    semantics: GraphSemantics,
-) -> Result<Vec<AnswerTree>> {
-    let index = OnceLock::new();
-    Ok(execute_graph(
-        g,
-        &index,
-        &SearchRequest::new(query).k(k).semantics(semantics),
-        None,
-    )?
-    .hits)
 }
 
 /// A ranked XML hit: a result subtree root.
@@ -786,8 +768,10 @@ impl XmlEngine {
         }
     }
 
-    /// Record every query into `registry`.
+    /// Record every query into `registry`, and publish the XML keyword
+    /// index's build/size figures up front.
     pub fn with_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        record_index_stats(&registry, "xml_keyword", &self.data.1.index_stats());
         self.registry = Some(registry);
         self
     }
@@ -809,8 +793,7 @@ impl Engine for XmlEngine {
     }
 }
 
-/// The XML execution pipeline on borrowed data; shared by
-/// [`XmlEngine::execute`] and the deprecated [`xml_search`].
+/// The XML execution pipeline on borrowed data.
 fn execute_xml(
     tree: &XmlTree,
     index: &XmlIndex,
@@ -857,6 +840,8 @@ fn execute_xml(
     tb.phase("evaluate");
     let sizes = tree.subtree_sizes();
     let avg_depth = tree.avg_leaf_depth();
+    // one dictionary lookup per keyword; scoring below probes these slices
+    let kw_lists: Vec<&[kwdb_xml::NodeId]> = keywords.iter().map(|kw| index.nodes(kw)).collect();
     let mut hits: Vec<XmlHit> = Vec::with_capacity(roots.len());
     for r in roots {
         if !hits.is_empty() {
@@ -868,10 +853,9 @@ fn execute_xml(
         // root→match path (node ids) for each keyword's first match
         // inside the result subtree
         let end = kwdb_xml::NodeId(r.0 + sizes[r.0 as usize]);
-        let paths: Vec<Vec<u64>> = keywords
+        let paths: Vec<Vec<u64>> = kw_lists
             .iter()
-            .filter_map(|kw| {
-                let list = index.nodes(kw);
+            .filter_map(|&list| {
                 let lo = list.partition_point(|&x| x < r);
                 let m = *list.get(lo).filter(|&&m| m < end)?;
                 let mut path = vec![m.0 as u64];
@@ -905,18 +889,6 @@ fn execute_xml(
         )]
     });
     done(hits, stats, truncation, tb)
-}
-
-/// SLCA keyword search over an XML tree with proximity ranking.
-///
-/// Zero-copy: borrows the tree and index — the escape hatch when you don't
-/// need a shareable engine.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `XmlEngine::execute` with a `SearchRequest`"
-)]
-pub fn xml_search(tree: &XmlTree, index: &XmlIndex, query: &str, k: usize) -> Result<Vec<XmlHit>> {
-    Ok(execute_xml(tree, index, &SearchRequest::new(query).k(k), None)?.hits)
 }
 
 #[cfg(test)]
@@ -955,19 +927,6 @@ mod tests {
             .execute(&SearchRequest::new("zzzzqqq data").k(5))
             .unwrap();
         assert!(unmatched.hits.is_empty() && !unmatched.truncated());
-    }
-
-    #[test]
-    fn deprecated_search_still_works() {
-        let db = generate_dblp(&DblpConfig {
-            n_papers: 60,
-            n_authors: 30,
-            ..Default::default()
-        });
-        let engine = RelationalEngine::new(db);
-        #[allow(deprecated)]
-        let hits = engine.search("data query", 5).unwrap();
-        assert!(!hits.is_empty());
     }
 
     #[test]
@@ -1029,14 +988,6 @@ mod tests {
         // second DistinctRoot query reuses the cached index
         let again = run(GraphSemantics::DistinctRoot);
         assert_eq!(again.stats.cache_hits, 1);
-    }
-
-    #[test]
-    fn deprecated_graph_search_propagates_result() {
-        let g = kwdb_datasets::graphs::generate_graph(&Default::default());
-        #[allow(deprecated)]
-        let hits = graph_search(&g, "kw0 kw1", 3, GraphSemantics::Banks).unwrap();
-        assert!(!hits.is_empty());
     }
 
     #[test]
