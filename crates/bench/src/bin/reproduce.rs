@@ -13,7 +13,9 @@
 //! `metrics_check` (and CI) validates.
 
 use kwdb::dispatch::{Catalog, Dispatcher};
-use kwdb::engine::{GraphEngine, GraphSemantics, RelationalEngine, SearchRequest, XmlEngine};
+use kwdb::engine::{
+    GraphEngine, GraphSemantics, RelationalConfig, RelationalEngine, SearchRequest, XmlEngine,
+};
 use kwdb_datasets::{generate_dblp, DblpConfig};
 use kwdb_obs::MetricsRegistry;
 use std::sync::Arc;
@@ -94,6 +96,24 @@ fn dispatcher_smoke(registry: &Arc<MetricsRegistry>) {
         }))
         .with_registry(Arc::clone(registry)),
     );
+    // A second relational engine pinned to 4 intra-query workers, so the
+    // snapshot carries the `parallel_cn` algorithm label (and its CN
+    // accounting) even when this host resolves the default to one worker.
+    catalog.register(
+        "dblp_par",
+        RelationalEngine::with_config(
+            generate_dblp(&DblpConfig {
+                n_papers: 60,
+                n_authors: 30,
+                ..Default::default()
+            }),
+            RelationalConfig {
+                intra_query_workers: 4,
+                ..Default::default()
+            },
+        )
+        .with_registry(Arc::clone(registry)),
+    );
     catalog.register(
         "social",
         GraphEngine::new(kwdb_datasets::graphs::generate_graph(&Default::default()))
@@ -125,6 +145,8 @@ fn dispatcher_smoke(registry: &Arc<MetricsRegistry>) {
                 .k(3)
                 .budget(kwdb::common::Budget::unlimited().with_max_candidates(1)),
         ),
+        ("dblp_par".into(), SearchRequest::new("data query").k(3)),
+        ("dblp_par".into(), SearchRequest::new("xml data").k(5)),
     ];
     let out = Dispatcher::with_workers(catalog, 4)
         .with_registry(Arc::clone(registry))

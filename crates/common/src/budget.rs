@@ -190,6 +190,9 @@ pub struct OperatorCounts {
     pub sorted_accesses: u64,
     /// Random index accesses (BLINKS TA probes).
     pub random_accesses: u64,
+    /// Rows matched by hash-join probes (the build-table hit volume, as
+    /// opposed to `join_probes` which counts probe *attempts*).
+    pub join_probe_rows: u64,
 }
 
 /// Everything a single query execution reports back.
@@ -203,6 +206,12 @@ pub struct QueryStats {
     pub candidates_generated: u64,
     /// Candidates pruned/skipped by bounds or the budget.
     pub candidates_pruned: u64,
+    /// Candidate networks actually joined during top-k evaluation
+    /// (relational engines only; zero elsewhere).
+    pub cns_evaluated: u64,
+    /// Candidate networks skipped — bound-pruned or cut by the budget —
+    /// so `cns_evaluated + cns_pruned` equals the CNs generated.
+    pub cns_pruned: u64,
     /// Plan-cache hits for this query (1 when the CN set came from cache).
     pub cache_hits: u64,
     /// Plan-cache misses for this query.
@@ -241,9 +250,12 @@ impl QueryStats {
                     rows_output,
                     sorted_accesses,
                     random_accesses,
+                    join_probe_rows,
                 },
             candidates_generated,
             candidates_pruned,
+            cns_evaluated,
+            cns_pruned,
             cache_hits,
             cache_misses,
         } = other;
@@ -257,8 +269,11 @@ impl QueryStats {
         self.operators.rows_output += rows_output;
         self.operators.sorted_accesses += sorted_accesses;
         self.operators.random_accesses += random_accesses;
+        self.operators.join_probe_rows += join_probe_rows;
         self.candidates_generated += candidates_generated;
         self.candidates_pruned += candidates_pruned;
+        self.cns_evaluated += cns_evaluated;
+        self.cns_pruned += cns_pruned;
         self.cache_hits += cache_hits;
         self.cache_misses += cache_misses;
     }
@@ -340,9 +355,12 @@ mod tests {
                 rows_output: 4,
                 sorted_accesses: 5,
                 random_accesses: 6,
+                join_probe_rows: 7,
             },
             candidates_generated: 7,
             candidates_pruned: 8,
+            cns_evaluated: 11,
+            cns_pruned: 12,
             cache_hits: 9,
             cache_misses: 10,
         };
@@ -351,8 +369,11 @@ mod tests {
         assert_eq!(a.phases.total(), Duration::from_millis(20));
         assert_eq!(a.operators.tuples_scanned, 2);
         assert_eq!(a.operators.random_accesses, 12);
+        assert_eq!(a.operators.join_probe_rows, 14);
         assert_eq!(a.candidates_generated, 14);
         assert_eq!(a.candidates_pruned, 16);
+        assert_eq!(a.cns_evaluated, 22);
+        assert_eq!(a.cns_pruned, 24);
         assert_eq!(a.cache_hits, 18);
         assert_eq!(a.cache_misses, 20);
     }
@@ -386,9 +407,12 @@ mod tests {
                 rows_output: 1,
                 sorted_accesses: 1,
                 random_accesses: 1,
+                join_probe_rows: 1,
             },
             candidates_generated: 1,
             candidates_pruned: 1,
+            cns_evaluated: 1,
+            cns_pruned: 1,
             cache_hits: 1,
             cache_misses: 1,
         };
@@ -403,6 +427,7 @@ mod tests {
             rows_output,
             sorted_accesses,
             random_accesses,
+            join_probe_rows,
         } = acc.operators;
         assert_eq!(
             [
@@ -412,12 +437,15 @@ mod tests {
                 rows_output,
                 sorted_accesses,
                 random_accesses,
+                join_probe_rows,
                 acc.candidates_generated,
                 acc.candidates_pruned,
+                acc.cns_evaluated,
+                acc.cns_pruned,
                 acc.cache_hits,
                 acc.cache_misses,
             ],
-            [1; 10],
+            [1; 13],
             "merge dropped a counter"
         );
     }

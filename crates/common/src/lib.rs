@@ -14,6 +14,8 @@ pub mod error;
 pub mod index;
 pub mod intern;
 pub mod rng;
+pub mod scratch;
+pub mod shared_topk;
 pub mod strutil;
 pub mod text;
 pub mod topk;
@@ -22,6 +24,8 @@ pub mod value;
 pub use budget::{Budget, OperatorCounts, PhaseTimings, QueryStats, Stopwatch, TruncationReason};
 pub use error::{KwdbError, Result};
 pub use rng::Rng;
+pub use scratch::{Scratch, ScratchPool};
+pub use shared_topk::SharedTopK;
 pub use value::Value;
 
 /// An ordered `f64` wrapper for use in heaps and sorted maps.

@@ -1,0 +1,237 @@
+//! A concurrent bounded top-k collector for intra-query parallelism.
+//!
+//! [`SharedTopK`] is the parallel counterpart of [`crate::topk::TopK`]: many
+//! worker threads push scored items while every thread reads the current
+//! global k-th-best bound **lock-free** to prune work early. The design is
+//! lock-striped: each worker owns a stripe (a small mutex-guarded heap that
+//! keeps the stripe's best `k` items), so pushes from different workers
+//! never contend; the only cross-thread traffic is an atomic `f64`
+//! threshold raised monotonically whenever any stripe fills.
+//!
+//! # Determinism
+//!
+//! The serial `TopK` breaks score ties by insertion order, which is
+//! meaningless across racing threads. `SharedTopK` instead requires
+//! `T: Ord` and uses the *content-based* total order
+//! `(score desc, item asc)` throughout — stripe eviction, threshold
+//! pruning (strictly-less-than, so boundary ties are never dropped), and
+//! the final merge. The merged top-k is therefore a pure function of the
+//! multiset of offered items, identical across worker counts and thread
+//! interleavings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One stripe entry: the content-ordered key. Kept as a sorted `Vec` of at
+/// most `k` items — `k` is small (tens), so a binary-searched insert beats
+/// heap bookkeeping and keeps eviction order obvious.
+struct Stripe<T> {
+    /// Best first under `(score desc, item asc)`; `len() <= k`.
+    items: Vec<(f64, T)>,
+}
+
+/// Compare two scored items under the shared total order:
+/// higher score first, then smaller item.
+fn key_cmp<T: Ord>(a: &(f64, T), b: &(f64, T)) -> std::cmp::Ordering {
+    b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1))
+}
+
+/// A lock-striped concurrent top-k with a lock-free global threshold.
+pub struct SharedTopK<T> {
+    k: usize,
+    stripes: Vec<Mutex<Stripe<T>>>,
+    /// Bits of the current global lower bound (`f64::NEG_INFINITY` until
+    /// some stripe holds `k` items). Monotonically non-decreasing.
+    threshold_bits: AtomicU64,
+}
+
+impl<T: Ord> SharedTopK<T> {
+    /// A collector for the global best `k` items, striped `stripes` ways
+    /// (typically one stripe per worker). `k == 0` accepts nothing.
+    pub fn new(k: usize, stripes: usize) -> Self {
+        let stripes = stripes.max(1);
+        SharedTopK {
+            k,
+            stripes: (0..stripes)
+                .map(|_| {
+                    Mutex::new(Stripe {
+                        items: Vec::with_capacity(k.saturating_add(1)),
+                    })
+                })
+                .collect(),
+            threshold_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// The current global pruning bound: a score every one of `k` retained
+    /// items meets or beats. `None` until some stripe is full. Lock-free.
+    ///
+    /// Safe to prune on **strictly below** only: an item scoring exactly the
+    /// threshold may still belong to the final top-k under the item
+    /// tie-break.
+    pub fn threshold(&self) -> Option<f64> {
+        let t = f64::from_bits(self.threshold_bits.load(Ordering::Acquire));
+        (t > f64::NEG_INFINITY).then_some(t)
+    }
+
+    /// Whether `score` could still enter the top-k (i.e. is not strictly
+    /// below the current threshold). Lock-free; workers use this to skip
+    /// whole candidates before doing any join work.
+    pub fn would_accept(&self, score: f64) -> bool {
+        match self.threshold() {
+            Some(t) => score >= t,
+            None => true,
+        }
+    }
+
+    /// Raise the global threshold to `t` if it is an improvement.
+    fn raise_threshold(&self, t: f64) {
+        let mut cur = self.threshold_bits.load(Ordering::Relaxed);
+        while t > f64::from_bits(cur) {
+            match self.threshold_bits.compare_exchange_weak(
+                cur,
+                t.to_bits(),
+                Ordering::Release,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Offer an item to stripe `stripe` (any index; taken modulo the stripe
+    /// count). Returns `true` if the item was retained (it may still be
+    /// evicted later by better items). Locks only the one stripe.
+    pub fn push(&self, stripe: usize, score: f64, item: T) -> bool {
+        if self.k == 0 {
+            return false;
+        }
+        // Lock-free early reject: k items with strictly higher scores exist
+        // somewhere, so this item cannot be in the global top-k.
+        if !self.would_accept(score) {
+            return false;
+        }
+        let mut s = self.stripes[stripe % self.stripes.len()]
+            .lock()
+            .expect("stripe poisoned");
+        let cand = (score, item);
+        let pos = match s.items.binary_search_by(|e| key_cmp(e, &cand)) {
+            Ok(p) | Err(p) => p,
+        };
+        if pos >= self.k {
+            return false; // worse than the stripe's k-th best
+        }
+        s.items.insert(pos, cand);
+        if s.items.len() > self.k {
+            s.items.pop();
+        }
+        if s.items.len() == self.k {
+            // This stripe holds k items scoring >= its last entry; publish
+            // that as a (conservative) global bound.
+            self.raise_threshold(s.items[self.k - 1].0);
+        }
+        true
+    }
+
+    /// Merge all stripes into the exact global top-k, best first under
+    /// `(score desc, item asc)`. Deterministic for a given offered multiset.
+    pub fn into_sorted_vec(self) -> Vec<(f64, T)> {
+        let mut all: Vec<(f64, T)> = self
+            .stripes
+            .into_iter()
+            .flat_map(|s| s.into_inner().expect("stripe poisoned").items)
+            .collect();
+        all.sort_by(key_cmp);
+        all.truncate(self.k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn keeps_global_best_k_across_stripes() {
+        let tk = SharedTopK::new(3, 4);
+        for (i, s) in [1.0, 9.0, 3.0, 7.0, 5.0, 8.0].iter().enumerate() {
+            tk.push(i, *s, i as u32);
+        }
+        let out = tk.into_sorted_vec();
+        assert_eq!(out, vec![(9.0, 1), (8.0, 5), (7.0, 3)]);
+    }
+
+    #[test]
+    fn ties_break_by_item_order_not_arrival() {
+        let tk = SharedTopK::new(2, 2);
+        // same score, arriving "late" on different stripes: smaller item wins
+        tk.push(0, 5.0, 9u32);
+        tk.push(1, 5.0, 2u32);
+        tk.push(0, 5.0, 7u32);
+        assert_eq!(tk.into_sorted_vec(), vec![(5.0, 2), (5.0, 7)]);
+    }
+
+    #[test]
+    fn threshold_appears_when_a_stripe_fills_and_is_conservative() {
+        let tk = SharedTopK::new(2, 2);
+        assert_eq!(tk.threshold(), None);
+        assert!(tk.would_accept(f64::MIN));
+        tk.push(0, 4.0, 1u32);
+        assert_eq!(tk.threshold(), None, "stripe not full yet");
+        tk.push(0, 6.0, 2);
+        assert_eq!(tk.threshold(), Some(4.0));
+        // equal-to-threshold items must still be accepted (strict pruning)
+        assert!(tk.would_accept(4.0));
+        assert!(!tk.would_accept(3.9));
+        tk.push(1, 5.0, 3);
+        tk.push(1, 7.0, 4);
+        assert_eq!(
+            tk.threshold(),
+            Some(5.0),
+            "threshold is the max stripe bound"
+        );
+    }
+
+    #[test]
+    fn boundary_ties_survive_pruning() {
+        // Global top-2 of {(5.0, 1), (5.0, 2), (5.0, 3)} under the item
+        // tie-break is items 1 and 2, whichever stripes they landed on.
+        let tk = SharedTopK::new(2, 2);
+        tk.push(0, 5.0, 3u32);
+        tk.push(0, 5.0, 1);
+        tk.push(1, 5.0, 2);
+        assert_eq!(tk.into_sorted_vec(), vec![(5.0, 1), (5.0, 2)]);
+    }
+
+    #[test]
+    fn zero_k_accepts_nothing() {
+        let tk = SharedTopK::new(0, 2);
+        assert!(!tk.push(0, 10.0, 1u32));
+        assert!(tk.into_sorted_vec().is_empty());
+    }
+
+    #[test]
+    fn concurrent_pushes_match_serial_sort() {
+        let tk = Arc::new(SharedTopK::new(16, 8));
+        let items: Vec<(f64, u64)> = (0..4000u64)
+            .map(|i| (((i * 2654435761) % 997) as f64 / 10.0, i))
+            .collect();
+        std::thread::scope(|scope| {
+            for (w, chunk) in items.chunks(500).enumerate() {
+                let tk = Arc::clone(&tk);
+                scope.spawn(move || {
+                    for &(s, v) in chunk {
+                        tk.push(w, s, v);
+                    }
+                });
+            }
+        });
+        let got = Arc::into_inner(tk).unwrap().into_sorted_vec();
+        let mut want = items.clone();
+        want.sort_by(key_cmp);
+        want.truncate(16);
+        assert_eq!(got, want);
+    }
+}

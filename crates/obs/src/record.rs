@@ -52,6 +52,15 @@ pub mod families {
     pub const INDEX_POSTINGS: &str = "kwdb_index_postings";
     /// Gauge: approximate posting payload bytes of an index (label `index`).
     pub const INDEX_POSTING_BYTES: &str = "kwdb_index_posting_bytes";
+    /// Counter: candidate networks actually joined during top-k evaluation.
+    pub const CN_EVALUATED: &str = "kwdb_cn_evaluated_total";
+    /// Counter: candidate networks skipped (bound-pruned or budget-cut);
+    /// together with [`CN_EVALUATED`] this accounts for every CN generated.
+    pub const CN_PRUNED: &str = "kwdb_cn_pruned_total";
+    /// Counter: rows matched by hash-join probes (probe hit volume).
+    pub const JOIN_PROBE_ROWS: &str = "kwdb_join_probe_rows_total";
+    /// Gauge: intra-query worker threads the relational engine runs with.
+    pub const INTRA_WORKERS: &str = "kwdb_intra_query_workers";
 }
 
 /// Fold one query's stats into the registry under `engine × algorithm`.
@@ -106,6 +115,11 @@ pub fn record_query(
         )
         .add(n);
     }
+    reg.counter(families::CN_EVALUATED, &ea)
+        .add(stats.cns_evaluated);
+    reg.counter(families::CN_PRUNED, &ea).add(stats.cns_pruned);
+    reg.counter(families::JOIN_PROBE_ROWS, &ea)
+        .add(stats.operators.join_probe_rows);
     for (outcome, n) in [("hit", stats.cache_hits), ("miss", stats.cache_misses)] {
         reg.counter(
             families::PLAN_CACHE,
@@ -157,6 +171,9 @@ mod tests {
         s.operators.join_probes = 40;
         s.candidates_generated = 12;
         s.candidates_pruned = 5;
+        s.cns_evaluated = 9;
+        s.cns_pruned = 3;
+        s.operators.join_probe_rows = 25;
         s.cache_hits = 1;
         s
     }
@@ -203,6 +220,9 @@ mod tests {
             ),
             2
         );
+        assert_eq!(reg.counter_value(families::CN_EVALUATED, &ea), 18);
+        assert_eq!(reg.counter_value(families::CN_PRUNED, &ea), 6);
+        assert_eq!(reg.counter_value(families::JOIN_PROBE_ROWS, &ea), 50);
         let snap = reg.snapshot();
         let hist = snap
             .histograms
@@ -212,6 +232,9 @@ mod tests {
         assert_eq!(hist.1.count, 2);
         assert!(snap.family_names().contains(&families::PHASE_LATENCY));
         assert!(snap.family_names().contains(&families::CANDIDATES));
+        assert!(snap.family_names().contains(&families::CN_EVALUATED));
+        assert!(snap.family_names().contains(&families::CN_PRUNED));
+        assert!(snap.family_names().contains(&families::JOIN_PROBE_ROWS));
     }
 
     #[test]

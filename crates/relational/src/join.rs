@@ -53,6 +53,7 @@ pub fn hash_join(
             continue;
         }
         if let Some(matches) = ht.get(key) {
+            stats.add_probe_rows(matches.len() as u64);
             for &r in matches {
                 let mut tup = lt.clone();
                 tup.push(r);

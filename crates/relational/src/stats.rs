@@ -11,6 +11,7 @@ pub struct ExecStats {
     join_probes: AtomicU64,
     joins_executed: AtomicU64,
     rows_output: AtomicU64,
+    probe_rows: AtomicU64,
 }
 
 impl ExecStats {
@@ -30,6 +31,10 @@ impl ExecStats {
     pub fn add_output(&self, n: u64) {
         self.rows_output.fetch_add(n, Ordering::Relaxed);
     }
+    /// Rows matched by hash-join probes (probe *hits*, not attempts).
+    pub fn add_probe_rows(&self, n: u64) {
+        self.probe_rows.fetch_add(n, Ordering::Relaxed);
+    }
 
     pub fn tuples_scanned(&self) -> u64 {
         self.tuples_scanned.load(Ordering::Relaxed)
@@ -43,6 +48,9 @@ impl ExecStats {
     pub fn rows_output(&self) -> u64 {
         self.rows_output.load(Ordering::Relaxed)
     }
+    pub fn probe_rows(&self) -> u64 {
+        self.probe_rows.load(Ordering::Relaxed)
+    }
 
     /// Reset all counters to zero.
     pub fn reset(&self) {
@@ -50,6 +58,7 @@ impl ExecStats {
         self.join_probes.store(0, Ordering::Relaxed);
         self.joins_executed.store(0, Ordering::Relaxed);
         self.rows_output.store(0, Ordering::Relaxed);
+        self.probe_rows.store(0, Ordering::Relaxed);
     }
 
     /// Snapshot as a plain struct for reporting.
@@ -59,6 +68,7 @@ impl ExecStats {
             join_probes: self.join_probes(),
             joins_executed: self.joins_executed(),
             rows_output: self.rows_output(),
+            probe_rows: self.probe_rows(),
         }
     }
 }
@@ -70,6 +80,7 @@ pub struct StatsSnapshot {
     pub join_probes: u64,
     pub joins_executed: u64,
     pub rows_output: u64,
+    pub probe_rows: u64,
 }
 
 #[cfg(test)]
@@ -84,11 +95,13 @@ mod tests {
         s.add_probes(2);
         s.add_join();
         s.add_output(7);
+        s.add_probe_rows(4);
         let snap = s.snapshot();
         assert_eq!(snap.tuples_scanned, 8);
         assert_eq!(snap.join_probes, 2);
         assert_eq!(snap.joins_executed, 1);
         assert_eq!(snap.rows_output, 7);
+        assert_eq!(snap.probe_rows, 4);
     }
 
     #[test]

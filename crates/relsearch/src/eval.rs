@@ -7,7 +7,10 @@ use kwdb_relational::{Database, ExecStats, RowId, TupleId};
 
 /// One result of a CN: a joining tree of tuples, aligned with the CN's
 /// node order (`tuples[i]` instantiates `cn.nodes[i]`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// `Ord` gives results a content-based total order, which the parallel
+/// executor uses to break score ties deterministically across threads.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct JoinedResult {
     pub tuples: Vec<TupleId>,
 }
@@ -38,6 +41,22 @@ pub fn default_rows(
         ts.get(n.table, n.mask)
             .map(|s| s.rows.clone())
             .unwrap_or_default()
+    }
+}
+
+/// Row count of [`default_rows`] without materializing anything — the
+/// cost model and scheduler only need sizes.
+pub fn default_row_count(
+    db: &Database,
+    cn: &CandidateNetwork,
+    ts: &TupleSets,
+    node: usize,
+) -> usize {
+    let n = cn.nodes[node];
+    if n.mask == 0 {
+        ts.free_row_count(db, n.table)
+    } else {
+        ts.get(n.table, n.mask).map_or(0, |s| s.rows.len())
     }
 }
 

@@ -32,6 +32,7 @@ pub mod dbselect;
 pub mod eval;
 pub mod mesh;
 pub mod parallel;
+pub mod pexec;
 pub mod rdbms_power;
 pub mod score;
 pub mod spark;

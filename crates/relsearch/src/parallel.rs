@@ -21,13 +21,12 @@ use kwdb_relational::{Database, ExecStats};
 use std::collections::{HashMap, HashSet};
 
 /// Estimated cost of evaluating a CN: total rows scanned across its nodes
-/// (free nodes scan the free set) plus one unit per join.
+/// (free nodes scan the free set) plus one unit per join. Pure counting —
+/// no row vectors are materialized.
 pub fn estimate_cost(db: &Database, ts: &TupleSets, cn: &CandidateNetwork) -> f64 {
     let mut cost = cn.edges.len() as f64;
-    for (i, n) in cn.nodes.iter().enumerate() {
-        let rows = crate::eval::default_rows(db, cn, ts, i);
-        let _ = n;
-        cost += rows.len() as f64;
+    for i in 0..cn.nodes.len() {
+        cost += crate::eval::default_row_count(db, cn, ts, i) as f64;
     }
     cost
 }
@@ -222,13 +221,13 @@ pub fn execute_data_parallel(
     cores: usize,
     stats: &ExecStats,
 ) -> Vec<crate::eval::JoinedResult> {
-    use crate::eval::{default_rows, evaluate_cn_with};
+    use crate::eval::{default_row_count, default_rows, evaluate_cn_with};
     let cores = cores.max(1);
-    // pick the largest keyword node to split on
+    // pick the largest keyword node to split on (counting only, no clones)
     let split = cn
         .keyword_nodes()
         .into_iter()
-        .max_by_key(|&ni| default_rows(db, cn, ts, ni).len());
+        .max_by_key(|&ni| default_row_count(db, cn, ts, ni));
     let Some(split_node) = split else {
         return crate::eval::evaluate_cn(db, cn, ts, stats);
     };

@@ -35,6 +35,21 @@ pub struct RankedResult {
     pub score: f64,
 }
 
+/// What a CN executor did, beyond the ranked results: how the run ended and
+/// how the CN population split between networks actually joined and networks
+/// skipped (bound-pruned or cut by the budget). For every executor,
+/// `cns_evaluated + cns_pruned` equals the number of CNs it was given —
+/// the invariant the metrics validator checks fleet-wide.
+#[derive(Debug, Clone)]
+pub struct CnExecOutcome {
+    pub results: Vec<RankedResult>,
+    pub truncation: Option<TruncationReason>,
+    /// CNs that contributed at least one join slice / full evaluation.
+    pub cns_evaluated: u64,
+    /// CNs never touched: dominated by the top-k bound or budget-cut.
+    pub cns_pruned: u64,
+}
+
 /// Everything an executor needs. Generic over how the scorer holds the
 /// database (`D`, see [`ResultScorer`]) so the same executors serve both the
 /// borrow-based pipelines and the `Arc`-owned unified engine; the default
@@ -53,6 +68,15 @@ pub fn naive<S: AsRef<str>, D: Deref<Target = Database>>(
     k: usize,
     stats: &ExecStats,
 ) -> Vec<RankedResult> {
+    naive_counted(q, k, stats).results
+}
+
+/// [`naive`] with CN accounting: every CN is evaluated, none pruned.
+pub fn naive_counted<S: AsRef<str>, D: Deref<Target = Database>>(
+    q: &TopKQuery<'_, S, D>,
+    k: usize,
+    stats: &ExecStats,
+) -> CnExecOutcome {
     let mut topk = TopK::new(k);
     for (ci, cn) in q.cns.iter().enumerate() {
         for r in evaluate_cn(q.db, cn, q.ts, stats) {
@@ -60,7 +84,12 @@ pub fn naive<S: AsRef<str>, D: Deref<Target = Database>>(
             topk.push(score, (ci, r));
         }
     }
-    finish(topk)
+    CnExecOutcome {
+        results: finish(topk),
+        truncation: None,
+        cns_evaluated: q.cns.len() as u64,
+        cns_pruned: 0,
+    }
 }
 
 /// Upper bound on any result of `cn`: each keyword node contributes its best
@@ -96,6 +125,15 @@ pub fn sparse<S: AsRef<str>, D: Deref<Target = Database>>(
     k: usize,
     stats: &ExecStats,
 ) -> Vec<RankedResult> {
+    sparse_counted(q, k, stats).results
+}
+
+/// [`sparse`] with CN accounting: CNs behind the stopping bound are pruned.
+pub fn sparse_counted<S: AsRef<str>, D: Deref<Target = Database>>(
+    q: &TopKQuery<'_, S, D>,
+    k: usize,
+    stats: &ExecStats,
+) -> CnExecOutcome {
     let mut order: Vec<(f64, usize)> = q
         .cns
         .iter()
@@ -104,18 +142,25 @@ pub fn sparse<S: AsRef<str>, D: Deref<Target = Database>>(
         .collect();
     order.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     let mut topk = TopK::new(k);
+    let mut evaluated: u64 = 0;
     for (bound, ci) in order {
         if let Some(th) = topk.threshold() {
             if bound <= th {
                 break; // no remaining CN can beat the k-th best
             }
         }
+        evaluated += 1;
         for r in evaluate_cn(q.db, &q.cns[ci], q.ts, stats) {
             let score = q.scorer.monotone_score(&r, q.keywords);
             topk.push(score, (ci, r));
         }
     }
-    finish(topk)
+    CnExecOutcome {
+        results: finish(topk),
+        truncation: None,
+        cns_evaluated: evaluated,
+        cns_pruned: q.cns.len() as u64 - evaluated,
+    }
 }
 
 /// Per-CN pipeline state for the global pipeline.
@@ -164,6 +209,15 @@ pub fn single_pipeline<S: AsRef<str>, D: Deref<Target = Database>>(
     k: usize,
     stats: &ExecStats,
 ) -> Vec<RankedResult> {
+    single_pipeline_counted(q, k, stats).results
+}
+
+/// [`single_pipeline`] with CN accounting.
+pub fn single_pipeline_counted<S: AsRef<str>, D: Deref<Target = Database>>(
+    q: &TopKQuery<'_, S, D>,
+    k: usize,
+    stats: &ExecStats,
+) -> CnExecOutcome {
     let mut order: Vec<(f64, usize)> = q
         .cns
         .iter()
@@ -172,15 +226,22 @@ pub fn single_pipeline<S: AsRef<str>, D: Deref<Target = Database>>(
         .collect();
     order.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     let mut topk = TopK::new(k);
+    let mut evaluated: u64 = 0;
     for (bound, ci) in order {
         if let Some(th) = topk.threshold() {
             if bound <= th {
                 break;
             }
         }
+        evaluated += 1;
         pipeline_one_cn(q, ci, &mut topk, stats);
     }
-    finish(topk)
+    CnExecOutcome {
+        results: finish(topk),
+        truncation: None,
+        cns_evaluated: evaluated,
+        cns_pruned: q.cns.len() as u64 - evaluated,
+    }
 }
 
 /// Drive one CN's slice pipeline until exhausted or dominated.
@@ -276,6 +337,19 @@ pub fn global_pipeline_budgeted<S: AsRef<str>, D: Deref<Target = Database>>(
     stats: &ExecStats,
     budget: &Budget,
 ) -> (Vec<RankedResult>, Option<TruncationReason>) {
+    let o = global_pipeline_counted(q, k, stats, budget);
+    (o.results, o.truncation)
+}
+
+/// [`global_pipeline_budgeted`] with CN accounting: a CN counts as evaluated
+/// once it advances its first slice; CNs that never advance (dominated by
+/// the global bound from the start, or cut by the budget) count as pruned.
+pub fn global_pipeline_counted<S: AsRef<str>, D: Deref<Target = Database>>(
+    q: &TopKQuery<'_, S, D>,
+    k: usize,
+    stats: &ExecStats,
+    budget: &Budget,
+) -> CnExecOutcome {
     let mut states: Vec<CnState> = q
         .cns
         .iter()
@@ -320,6 +394,7 @@ pub fn global_pipeline_budgeted<S: AsRef<str>, D: Deref<Target = Database>>(
     let mut topk = TopK::new(k);
     let mut slices: u64 = 0;
     let mut truncation = None;
+    let mut touched = vec![false; states.len()];
     loop {
         if let Some(reason) = budget.truncation_at(slices) {
             truncation = Some(reason);
@@ -365,9 +440,16 @@ pub fn global_pipeline_budgeted<S: AsRef<str>, D: Deref<Target = Database>>(
                 topk.push(score, (st.cn_idx, r));
             }
         }
+        touched[si] = true;
         states[si].p[adv] += 1;
     }
-    (finish(topk), truncation)
+    let evaluated = touched.iter().filter(|&&t| t).count() as u64;
+    CnExecOutcome {
+        results: finish(topk),
+        truncation,
+        cns_evaluated: evaluated,
+        cns_pruned: q.cns.len() as u64 - evaluated,
+    }
 }
 
 fn finish(topk: TopK<(usize, JoinedResult)>) -> Vec<RankedResult> {

@@ -132,6 +132,13 @@ impl TupleSets {
         out
     }
 
+    /// Size of the free set `R^∅` without materializing it — for cost
+    /// estimation and scheduling, which only need counts.
+    pub fn free_row_count(&self, db: &Database, table: TableId) -> usize {
+        let matched = self.matched.get(&table).map_or(0, |v| v.len());
+        db.table(table).len() - matched
+    }
+
     /// Every keyword must match somewhere for AND semantics to be satisfiable.
     pub fn covers_all_keywords(&self) -> bool {
         let mut seen = 0u32;

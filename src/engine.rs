@@ -41,7 +41,7 @@
 //! you hold the data on the stack and don't need to share the engine.
 
 use kwdb_common::text::parse_query;
-use kwdb_common::{Budget, QueryStats, Result, Stopwatch, TruncationReason};
+use kwdb_common::{Budget, QueryStats, Result, ScratchPool, Stopwatch, TruncationReason};
 use kwdb_graph::DataGraph;
 use kwdb_graphsearch::{blinks::Blinks, AnswerTree, BanksI, Dpbf};
 use kwdb_obs::{
@@ -50,8 +50,9 @@ use kwdb_obs::{
 };
 use kwdb_relational::{Database, ExecStats};
 use kwdb_relsearch::cn::{CandidateNetwork, CnGenConfig, CnGenerator, MaskOracle};
+use kwdb_relsearch::pexec::{parallel_topk_budgeted, EvalScratch};
 use kwdb_relsearch::spark::skyline_sweep_budgeted;
-use kwdb_relsearch::topk::{global_pipeline_budgeted, TopKQuery};
+use kwdb_relsearch::topk::{global_pipeline_counted, CnExecOutcome, TopKQuery};
 use kwdb_relsearch::{ResultScorer, TupleSets};
 use kwdb_xml::{XmlIndex, XmlTree};
 use std::collections::HashMap;
@@ -292,6 +293,11 @@ pub struct RelationalConfig {
     /// Cap on cached CN plans; inserting past it evicts an arbitrary entry
     /// (0 = unbounded cache).
     pub max_cache_entries: usize,
+    /// Worker threads evaluating one query's candidate networks.
+    /// `0` = available parallelism (capped at 8); `1` = the serial global
+    /// pipeline. Either way the returned top-k is identical — the score
+    /// model is monotone and the parallel merge is content-ordered.
+    pub intra_query_workers: usize,
 }
 
 impl Default for RelationalConfig {
@@ -301,6 +307,7 @@ impl Default for RelationalConfig {
             max_cns: 2000,
             scoring: Scoring::Monotone,
             max_cache_entries: 256,
+            intra_query_workers: 0,
         }
     }
 }
@@ -323,6 +330,9 @@ pub struct RelationalEngine {
     cfg: RelationalConfig,
     cn_cache: RwLock<HashMap<CnCacheKey, Arc<Vec<CandidateNetwork>>>>,
     registry: Option<Arc<MetricsRegistry>>,
+    /// Worker evaluation scratch (hash-table and buffer reuse), shared
+    /// across queries — workers check out one `EvalScratch` each.
+    scratch: ScratchPool<EvalScratch>,
 }
 
 impl RelationalEngine {
@@ -340,6 +350,21 @@ impl RelationalEngine {
             cfg,
             cn_cache: RwLock::new(HashMap::new()),
             registry: None,
+            scratch: ScratchPool::new(),
+        }
+    }
+
+    /// The worker count [`RelationalConfig::intra_query_workers`] resolves
+    /// to: itself when non-zero, else available parallelism capped at 8
+    /// (matching the dispatcher's sizing).
+    pub fn resolved_workers(&self) -> usize {
+        if self.cfg.intra_query_workers > 0 {
+            self.cfg.intra_query_workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
         }
     }
 
@@ -353,6 +378,9 @@ impl RelationalEngine {
                 &self.db.text_index().index_stats(),
             );
         }
+        registry
+            .gauge(families::INTRA_WORKERS, &[("engine", "relational")])
+            .set(self.resolved_workers() as i64);
         self.registry = Some(registry);
         self
     }
@@ -368,7 +396,9 @@ impl RelationalEngine {
         let mut sw = Stopwatch::start();
         let budget = &req.budget;
         let scoring = req.scoring.unwrap_or(self.cfg.scoring);
+        let workers = self.resolved_workers();
         let algorithm = match scoring {
+            Scoring::Monotone if workers > 1 => "parallel_cn",
             Scoring::Monotone => "global_pipeline",
             Scoring::Spark => "spark",
         };
@@ -428,9 +458,26 @@ impl RelationalEngine {
             keywords: &keywords,
         };
         let exec = ExecStats::new();
-        let (ranked, truncation) = match scoring {
-            Scoring::Monotone => global_pipeline_budgeted(&q, req.k, &exec, budget),
-            Scoring::Spark => skyline_sweep_budgeted(&q, req.k, &exec, budget),
+        let CnExecOutcome {
+            results: ranked,
+            truncation,
+            cns_evaluated,
+            cns_pruned,
+        } = match scoring {
+            Scoring::Monotone if workers > 1 => {
+                parallel_topk_budgeted(&q, req.k, &exec, budget, workers, &self.scratch)
+            }
+            Scoring::Monotone => global_pipeline_counted(&q, req.k, &exec, budget),
+            Scoring::Spark => {
+                // Skyline-Sweep has no CN-level accounting; it reports 0/0.
+                let (results, truncation) = skyline_sweep_budgeted(&q, req.k, &exec, budget);
+                CnExecOutcome {
+                    results,
+                    truncation,
+                    cns_evaluated: 0,
+                    cns_pruned: 0,
+                }
+            }
         };
         stats.phases.evaluate = sw.lap();
         let snap = exec.snapshot();
@@ -438,6 +485,9 @@ impl RelationalEngine {
         stats.operators.join_probes = snap.join_probes;
         stats.operators.joins_executed = snap.joins_executed;
         stats.operators.rows_output = snap.rows_output;
+        stats.operators.join_probe_rows = snap.probe_rows;
+        stats.cns_evaluated = cns_evaluated;
+        stats.cns_pruned = cns_pruned;
         stats.candidates_pruned = stats.candidates_generated.saturating_sub(
             ranked
                 .iter()

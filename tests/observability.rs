@@ -26,11 +26,25 @@ fn dblp() -> kwdb::relational::Database {
 }
 
 /// All three data models, every engine wired to the same registry.
+///
+/// The relational engine is pinned to one intra-query worker: this suite
+/// compares hits and operator totals between serial and concurrent runs
+/// under *truncating* budgets, where which CNs a parallel run reached
+/// before the cut is timing-dependent. One worker keeps every request
+/// bit-for-bit reproducible (the parallel path's untruncated results are
+/// identical anyway — see tests/parallel_exec.rs).
 fn catalog(registry: &Arc<MetricsRegistry>) -> Catalog {
     let mut c = Catalog::new();
     c.register(
         "dblp",
-        RelationalEngine::new(dblp()).with_registry(Arc::clone(registry)),
+        RelationalEngine::with_config(
+            dblp(),
+            RelationalConfig {
+                intra_query_workers: 1,
+                ..Default::default()
+            },
+        )
+        .with_registry(Arc::clone(registry)),
     );
     c.register(
         "social",
@@ -370,7 +384,15 @@ fn relational_and_graph_traces_render_phases_and_events() {
 #[test]
 fn candidate_cap_truncation_reports_reason_and_counts_in_registry() {
     let reg = Arc::new(MetricsRegistry::new());
-    let engine = RelationalEngine::new(dblp()).with_registry(Arc::clone(&reg));
+    // one worker → the "global_pipeline" algorithm label, machine-independent
+    let engine = RelationalEngine::with_config(
+        dblp(),
+        RelationalConfig {
+            intra_query_workers: 1,
+            ..Default::default()
+        },
+    )
+    .with_registry(Arc::clone(&reg));
     let resp = engine
         .execute(
             &SearchRequest::new("data query")
