@@ -17,6 +17,12 @@ impl Posting for Doc {
     fn sort_key(&self) -> u32 {
         self.0
     }
+    fn key64(&self) -> u64 {
+        self.0 as u64
+    }
+    fn from_parts(key: u64, _extras: &[u64]) -> Self {
+        Doc(key as u32)
+    }
     fn coalesce(&mut self, other: &Self) -> bool {
         self == other
     }

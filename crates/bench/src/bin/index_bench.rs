@@ -3,25 +3,73 @@
 //!
 //! ```sh
 //! cargo run --release -p kwdb-bench --bin index_bench -- BENCH_index.json
+//! cargo run --release -p kwdb-bench --bin index_bench -- \
+//!     BENCH_index.json --compare BENCH_baseline_index.json
 //! ```
 //!
-//! Builds all four substrate indexes over the synthetic datasets, records
-//! their build-time/terms/postings/bytes figures under the same metric
-//! families the engines publish at query time, times the shared
-//! intersection kernels over adversarial list-size ratios, and writes the
-//! registry snapshot to the given path (the CI `index-bench` artifact).
+//! Builds the substrate indexes over the synthetic datasets in **both**
+//! posting layouts (plain sorted arrays and delta-encoded bit-packed
+//! blocks), records build-time/terms/postings/bytes figures under the same
+//! metric families the engines publish at query time (the block variant
+//! under `<index>_blocks`), times the shared intersection kernels — slice
+//! and cursor, both layouts — over adversarial list-size ratios, and writes
+//! the registry snapshot to the given path (the CI `index-bench` artifact).
+//!
+//! Always enforced: the block-compressed relational text index must be at
+//! most half the plain layout's posting bytes. With `--compare BASELINE`,
+//! gauges and kernel timings are additionally checked against a previous
+//! snapshot; timing regressions beyond the noise threshold fail the run.
 
-use kwdb_common::index::kernels;
+use kwdb_common::index::{kernels, Layout, Posting, PostingStore};
 use kwdb_common::Rng;
 use kwdb_datasets::{generate_bib_xml, generate_dblp, DblpConfig};
 use kwdb_graphsearch::blinks::Blinks;
+use kwdb_obs::registry::Snapshot;
 use kwdb_obs::{record_index_stats, MetricsRegistry};
 use kwdb_xml::XmlIndex;
+use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Histogram: one shared-kernel intersection, labels `kernel` × `ratio`.
 const INTERSECT_NS: &str = "kwdb_index_intersect_ns";
+/// Gauge family the index size figures live in (see `kwdb_obs::families`).
+const POSTING_BYTES: &str = "kwdb_index_posting_bytes";
+/// Compressed : plain posting-bytes ceiling for the relational text index.
+const MAX_COMPRESSED_RATIO: f64 = 0.5;
+/// A kernel timing may grow this much over the baseline before the compare
+/// mode calls it a regression (micro-benchmarks on shared CI runners are
+/// noisy; sizes are deterministic and compared much tighter).
+const TIMING_NOISE: f64 = 1.5;
+/// Dataset generators are seeded, so size gauges should be stable; allow a
+/// little drift for intentional generator/config tweaks.
+const SIZE_DRIFT: f64 = 0.10;
+
+/// A minimal document-id posting for the cursor-kernel benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Doc(u32);
+
+impl Posting for Doc {
+    type SortKey = u32;
+    fn sort_key(&self) -> u32 {
+        self.0
+    }
+    fn key64(&self) -> u64 {
+        self.0 as u64
+    }
+    fn from_parts(key: u64, _extras: &[u64]) -> Self {
+        Doc(key as u32)
+    }
+    fn coalesce(&mut self, other: &Self) -> bool {
+        self == other
+    }
+    fn occurrences(&self) -> u64 {
+        1
+    }
+    fn same_doc(&self, other: &Self) -> bool {
+        self == other
+    }
+}
 
 fn sorted_list(rng: &mut Rng, len: usize, gap: u32) -> Vec<u32> {
     let mut v = Vec::with_capacity(len);
@@ -31,6 +79,18 @@ fn sorted_list(rng: &mut Rng, len: usize, gap: u32) -> Vec<u32> {
         v.push(x);
     }
     v
+}
+
+fn store_with(lists: &[&[u32]], layout: Layout) -> PostingStore<Doc> {
+    let mut st = PostingStore::new();
+    for (i, list) in lists.iter().enumerate() {
+        let term = format!("t{i}");
+        for &v in *list {
+            st.add(&term, Doc(v));
+        }
+    }
+    st.finalize_layout(layout);
+    st
 }
 
 fn bench_intersections(reg: &MetricsRegistry) {
@@ -57,53 +117,174 @@ fn bench_intersections(reg: &MetricsRegistry) {
                 hits = f(&small, &large).len();
                 hist.record_duration(start.elapsed());
             }
-            println!("intersect {kernel:<7} ratio 1:{ratio:<4} -> {hits} common elements");
+            println!("intersect {kernel:<13} ratio 1:{ratio:<4} -> {hits} common elements");
+        }
+        // Cursor kernel on both layouts: same lists behind a posting store,
+        // intersected with mutual galloping `seek`. The block cursor decodes
+        // lazily and skips whole blocks, so it must stay within noise of the
+        // plain cursor.
+        for layout in [Layout::Plain, Layout::Blocks] {
+            let st = store_with(&[&small, &large], layout);
+            let (sa, sb) = (st.sym("t0").unwrap(), st.sym("t1").unwrap());
+            let kernel = match layout {
+                Layout::Plain => "cursor_plain",
+                Layout::Blocks => "cursor_blocks",
+            };
+            let hist = reg.histogram(
+                INTERSECT_NS,
+                &[("kernel", kernel), ("ratio", ratio_label.as_str())],
+            );
+            let mut out: Vec<Doc> = Vec::new();
+            let mut hits = 0usize;
+            for _ in 0..50 {
+                let start = Instant::now();
+                out.clear();
+                let mut a = st.postings(sa).cursor();
+                let mut b = st.postings(sb).cursor();
+                kernels::intersect_cursors(&mut a, &mut b, &mut out);
+                hits = out.len();
+                hist.record_duration(start.elapsed());
+            }
+            println!("intersect {kernel:<13} ratio 1:{ratio:<4} -> {hits} common elements");
         }
     }
 }
 
-fn main() {
-    let out = std::env::args()
-        .nth(1)
+/// Compare `current` against a `baseline` snapshot: size gauges within
+/// [`SIZE_DRIFT`], intersection timing means within [`TIMING_NOISE`].
+/// Returns the number of violations (also printed).
+fn compare_snapshots(current: &Snapshot, baseline: &Snapshot) -> usize {
+    let mut violations = 0usize;
+    for (id, base) in &baseline.gauges {
+        if id.name != POSTING_BYTES {
+            continue;
+        }
+        let Some((_, cur)) = current.gauges.iter().find(|(cid, _)| cid == id) else {
+            println!("MISSING gauge {:?} {:?}", id.name, id.labels);
+            violations += 1;
+            continue;
+        };
+        let (b, c) = (*base as f64, *cur as f64);
+        if b > 0.0 && (c - b).abs() / b > SIZE_DRIFT {
+            println!(
+                "SIZE DRIFT {:?} {:?}: baseline {} -> current {}",
+                id.name, id.labels, base, cur
+            );
+            violations += 1;
+        }
+    }
+    for (id, base) in &baseline.histograms {
+        if id.name != INTERSECT_NS || base.count == 0 {
+            continue;
+        }
+        let Some((_, cur)) = current.histograms.iter().find(|(cid, _)| cid == id) else {
+            println!("MISSING histogram {:?} {:?}", id.name, id.labels);
+            violations += 1;
+            continue;
+        };
+        if cur.count == 0 {
+            continue;
+        }
+        let base_mean = base.sum as f64 / base.count as f64;
+        let cur_mean = cur.sum as f64 / cur.count as f64;
+        if cur_mean > base_mean * TIMING_NOISE {
+            println!(
+                "TIMING REGRESSION {:?}: baseline mean {:.0}ns -> current {:.0}ns (> {:.1}x)",
+                id.labels, base_mean, cur_mean, TIMING_NOISE
+            );
+            violations += 1;
+        } else {
+            println!(
+                "timing ok {:?}: {:.0}ns vs baseline {:.0}ns",
+                id.labels, cur_mean, base_mean
+            );
+        }
+    }
+    violations
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = args
+        .first()
+        .cloned()
         .unwrap_or_else(|| "BENCH_index.json".into());
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--compare")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let reg = Arc::new(MetricsRegistry::new());
 
-    // Relational text index (built inside dataset generation).
-    let db = generate_dblp(&DblpConfig {
+    // Relational text index (built inside dataset generation), both layouts.
+    let mut db = generate_dblp(&DblpConfig {
         n_papers: 500,
         n_authors: 200,
         ..Default::default()
     });
     assert!(db.is_index_fresh(), "generator must build the text index");
-    record_index_stats(&reg, "relational_text", &db.text_index().index_stats());
+    let rel_plain = db.text_index().index_stats();
+    record_index_stats(&reg, "relational_text", &rel_plain);
+    db.set_posting_layout(Layout::Blocks);
+    let rel_blocks = db.text_index().index_stats();
+    record_index_stats(&reg, "relational_text_blocks", &rel_blocks);
 
-    // XML keyword index.
+    // XML keyword index, both layouts.
     let tree = generate_bib_xml(&Default::default());
-    let ix = XmlIndex::build(&tree);
+    let mut ix = XmlIndex::build(&tree);
     record_index_stats(&reg, "xml_keyword", &ix.index_stats());
+    ix.set_layout(Layout::Blocks);
+    record_index_stats(&reg, "xml_keyword_blocks", &ix.index_stats());
 
-    // Graph keyword index (incremental, no build wall-clock of its own) and
-    // the BLINKS node→keyword distance index.
-    let g = kwdb_datasets::graphs::generate_graph(&Default::default());
+    // Graph keyword index (incremental, no build wall-clock of its own),
+    // both layouts, and the BLINKS node→keyword distance index.
+    let mut g = kwdb_datasets::graphs::generate_graph(&Default::default());
     record_index_stats(&reg, "graph_keyword", &g.keyword_index_stats());
+    g.set_keyword_index_layout(Layout::Blocks);
+    record_index_stats(&reg, "graph_keyword_blocks", &g.keyword_index_stats());
     let n2k = Blinks::new(&g).build_full_index();
     record_index_stats(&reg, "graph_node2kw", &n2k.index_stats());
 
     for (name, stats) in [
-        ("relational_text", db.text_index().index_stats()),
-        ("xml_keyword", ix.index_stats()),
-        ("graph_keyword", g.keyword_index_stats()),
-        ("graph_node2kw", n2k.index_stats()),
+        ("relational_text", &rel_plain),
+        ("relational_text_blocks", &rel_blocks),
+        ("xml_keyword_blocks", &ix.index_stats()),
+        ("graph_keyword_blocks", &g.keyword_index_stats()),
+        ("graph_node2kw", &n2k.index_stats()),
     ] {
         println!(
-            "{name:<16} terms {:>6}  postings {:>8}  bytes {:>10}  build {:?}",
-            stats.terms, stats.postings, stats.posting_bytes, stats.build
+            "{name:<22} terms {:>6}  postings {:>8}  bytes {:>10}  blocks {:>6}  build {:?}",
+            stats.terms, stats.postings, stats.posting_bytes, stats.blocks, stats.build
         );
     }
+    let ratio = rel_blocks.posting_bytes as f64 / rel_plain.posting_bytes.max(1) as f64;
+    println!(
+        "relational_text compression: {} -> {} bytes ({:.2}x of plain)",
+        rel_plain.posting_bytes, rel_blocks.posting_bytes, ratio
+    );
+    assert!(
+        ratio <= MAX_COMPRESSED_RATIO,
+        "block layout must be <= {MAX_COMPRESSED_RATIO}x of plain posting bytes, got {ratio:.2}x"
+    );
 
     bench_intersections(&reg);
 
-    let json = kwdb_obs::export::to_json(&reg.snapshot());
+    let snapshot = reg.snapshot();
+    let json = kwdb_obs::export::to_json(&snapshot);
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     println!("index bench snapshot written to {out}");
+
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline = kwdb_obs::export::from_json(&text)
+            .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e:?}"));
+        let violations = compare_snapshots(&snapshot, &baseline);
+        if violations > 0 {
+            println!("{violations} regression(s) against {path}");
+            return ExitCode::FAILURE;
+        }
+        println!("no regressions against {path}");
+    }
+    ExitCode::SUCCESS
 }

@@ -193,6 +193,9 @@ pub struct OperatorCounts {
     /// Rows matched by hash-join probes (the build-table hit volume, as
     /// opposed to `join_probes` which counts probe *attempts*).
     pub join_probe_rows: u64,
+    /// Posting-list blocks jumped over undecoded (cursor skip pointers and
+    /// block-max pruning; always zero on the plain layout).
+    pub blocks_skipped: u64,
 }
 
 /// Everything a single query execution reports back.
@@ -251,6 +254,7 @@ impl QueryStats {
                     sorted_accesses,
                     random_accesses,
                     join_probe_rows,
+                    blocks_skipped,
                 },
             candidates_generated,
             candidates_pruned,
@@ -270,6 +274,7 @@ impl QueryStats {
         self.operators.sorted_accesses += sorted_accesses;
         self.operators.random_accesses += random_accesses;
         self.operators.join_probe_rows += join_probe_rows;
+        self.operators.blocks_skipped += blocks_skipped;
         self.candidates_generated += candidates_generated;
         self.candidates_pruned += candidates_pruned;
         self.cns_evaluated += cns_evaluated;
@@ -356,6 +361,7 @@ mod tests {
                 sorted_accesses: 5,
                 random_accesses: 6,
                 join_probe_rows: 7,
+                blocks_skipped: 13,
             },
             candidates_generated: 7,
             candidates_pruned: 8,
@@ -370,6 +376,7 @@ mod tests {
         assert_eq!(a.operators.tuples_scanned, 2);
         assert_eq!(a.operators.random_accesses, 12);
         assert_eq!(a.operators.join_probe_rows, 14);
+        assert_eq!(a.operators.blocks_skipped, 26);
         assert_eq!(a.candidates_generated, 14);
         assert_eq!(a.candidates_pruned, 16);
         assert_eq!(a.cns_evaluated, 22);
@@ -408,6 +415,7 @@ mod tests {
                 sorted_accesses: 1,
                 random_accesses: 1,
                 join_probe_rows: 1,
+                blocks_skipped: 1,
             },
             candidates_generated: 1,
             candidates_pruned: 1,
@@ -428,6 +436,7 @@ mod tests {
             sorted_accesses,
             random_accesses,
             join_probe_rows,
+            blocks_skipped,
         } = acc.operators;
         assert_eq!(
             [
@@ -438,6 +447,7 @@ mod tests {
                 sorted_accesses,
                 random_accesses,
                 join_probe_rows,
+                blocks_skipped,
                 acc.candidates_generated,
                 acc.candidates_pruned,
                 acc.cns_evaluated,
@@ -445,7 +455,7 @@ mod tests {
                 acc.cache_hits,
                 acc.cache_misses,
             ],
-            [1; 13],
+            [1; 14],
             "merge dropped a counter"
         );
     }

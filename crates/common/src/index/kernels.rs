@@ -1,16 +1,27 @@
 //! Sorted-list kernels shared by every substrate index: intersection
-//! (linear merge vs galloping, chosen by size ratio) and the `lm`/`rm`
-//! binary probes of the SLCA/XKSearch family.
+//! (linear merge vs galloping, chosen by size ratio), the `lm`/`rm` binary
+//! probes of the SLCA/XKSearch family, and the cursor kernels — galloping
+//! cursor intersection, k-way union, and block-max (WAND-style) pruned
+//! intersection — that operate on [`PostingCursor`]s from either physical
+//! layout.
 //!
-//! All kernels operate on sorted slices of any `Ord + Copy` element, so the
-//! same code serves relational `RowId`s, XML `NodeId`s, and graph `NodeId`s.
-//! Intersections use *set* semantics: the output is strictly increasing even
-//! when the inputs contain duplicates.
+//! Slice kernels operate on sorted slices of any `Ord + Copy` element, so
+//! the same code serves relational `RowId`s, XML `NodeId`s, and graph
+//! `NodeId`s. Intersections use *set* semantics: the output is strictly
+//! increasing even when the inputs contain duplicates.
+
+use super::posting::{Posting, PostingCursor};
 
 /// Size ratio at which intersection switches from linear merge to galloping:
 /// when the larger list is at least this many times the smaller, skipping
 /// through the large list with exponential search beats scanning it.
 pub const GALLOP_RATIO: usize = 8;
+
+/// Relative safety margin applied to floating-point block-max bounds before
+/// comparing against a top-k threshold: a block is skipped only when
+/// `bound * (1 + WAND_BOUND_EPSILON) < threshold`, so accumulated rounding
+/// in the bound can never make pruning unsound.
+pub const WAND_BOUND_EPSILON: f64 = 1e-9;
 
 /// Smallest element of sorted `list` that is `≥ v` — XKSearch's *rm* probe.
 /// `None` if every element precedes `v`.
@@ -36,10 +47,18 @@ pub fn contains<T: Ord>(list: &[T], v: &T) -> bool {
 /// such element exists. `O(log d)` in the distance `d` to the answer, which
 /// is what makes skewed-size intersections cheap.
 pub fn gallop_lower_bound<T: Ord>(list: &[T], target: &T, from: usize) -> usize {
-    if from >= list.len() || list[from] >= *target {
+    gallop_by(list, from, |x| *x >= *target)
+}
+
+/// Index of the first element at or after `from` satisfying `pred`, found
+/// by exponential search. `pred` must be monotone over the slice (false
+/// then true); returns `list.len()` when nothing satisfies it. This is the
+/// predicate-shaped gallop that cursor `seek` uses to jump by `key64`.
+pub fn gallop_by<T>(list: &[T], from: usize, pred: impl Fn(&T) -> bool) -> usize {
+    if from >= list.len() || pred(&list[from]) {
         return from.min(list.len());
     }
-    // invariant: list[lo] < target; hi is the first probe with list[hi] >= target
+    // invariant: !pred(list[lo]); hi is the first probe with pred(list[hi])
     let mut step = 1usize;
     let mut lo = from;
     let hi = loop {
@@ -47,20 +66,20 @@ pub fn gallop_lower_bound<T: Ord>(list: &[T], target: &T, from: usize) -> usize 
         if probe >= list.len() {
             break list.len();
         }
-        if list[probe] < *target {
+        if !pred(&list[probe]) {
             lo = probe;
             step <<= 1;
         } else {
             break probe;
         }
     };
-    lo + 1 + list[lo + 1..hi].partition_point(|x| x < target)
+    lo + 1 + list[lo + 1..hi].partition_point(|x| !pred(x))
 }
 
-/// Intersection by linear merge: `O(|a| + |b|)`. Best when the lists are of
-/// comparable length.
-pub fn intersect_linear<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<T> {
-    let mut out = Vec::new();
+/// Intersection by linear merge into a caller buffer (cleared first):
+/// `O(|a| + |b|)`. Best when the lists are of comparable length.
+pub fn intersect_linear_into<T: Ord + Copy>(a: &[T], b: &[T], out: &mut Vec<T>) {
+    out.clear();
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -75,15 +94,14 @@ pub fn intersect_linear<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<T> {
             }
         }
     }
-    out
 }
 
-/// Intersection by galloping: for each element of `small`, exponential-search
-/// forward in `large`. `O(|small| · log(|large| / |small|))` — the win when
-/// one list dwarfs the other (a rare query term against a stop-word-like
-/// list).
-pub fn intersect_gallop<T: Ord + Copy>(small: &[T], large: &[T]) -> Vec<T> {
-    let mut out = Vec::new();
+/// Intersection by galloping into a caller buffer (cleared first): for each
+/// element of `small`, exponential-search forward in `large`.
+/// `O(|small| · log(|large| / |small|))` — the win when one list dwarfs the
+/// other (a rare query term against a stop-word-like list).
+pub fn intersect_gallop_into<T: Ord + Copy>(small: &[T], large: &[T], out: &mut Vec<T>) {
+    out.clear();
     let mut pos = 0usize;
     for &v in small {
         if out.last() == Some(&v) {
@@ -97,22 +115,46 @@ pub fn intersect_gallop<T: Ord + Copy>(small: &[T], large: &[T]) -> Vec<T> {
             out.push(v);
         }
     }
+}
+
+/// Intersect two sorted lists into a caller buffer (cleared first),
+/// choosing the kernel by size ratio: galloping when the larger list is ≥
+/// [`GALLOP_RATIO`]× the smaller, linear merge otherwise.
+pub fn intersect_into<T: Ord + Copy>(a: &[T], b: &[T], out: &mut Vec<T>) {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        out.clear();
+        return;
+    }
+    if large.len() / small.len() >= GALLOP_RATIO {
+        intersect_gallop_into(small, large, out)
+    } else {
+        intersect_linear_into(small, large, out)
+    }
+}
+
+/// Intersection by linear merge, allocating. Hot paths should use
+/// [`intersect_linear_into`].
+pub fn intersect_linear<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<T> {
+    let mut out = Vec::new();
+    intersect_linear_into(a, b, &mut out);
     out
 }
 
-/// Intersect two sorted lists, choosing the kernel by size ratio: galloping
-/// when the larger list is ≥ [`GALLOP_RATIO`]× the smaller, linear merge
-/// otherwise.
+/// Intersection by galloping, allocating. Hot paths should use
+/// [`intersect_gallop_into`].
+pub fn intersect_gallop<T: Ord + Copy>(small: &[T], large: &[T]) -> Vec<T> {
+    let mut out = Vec::new();
+    intersect_gallop_into(small, large, &mut out);
+    out
+}
+
+/// Intersect two sorted lists, choosing the kernel by size ratio. Hot
+/// paths with a scratch buffer should use [`intersect_into`].
 pub fn intersect<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<T> {
-    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    if small.is_empty() {
-        return Vec::new();
-    }
-    if large.len() / small.len() >= GALLOP_RATIO {
-        intersect_gallop(small, large)
-    } else {
-        intersect_linear(small, large)
-    }
+    let mut out = Vec::new();
+    intersect_into(a, b, &mut out);
+    out
 }
 
 /// Intersect any number of sorted lists, smallest first so the running
@@ -125,18 +167,210 @@ pub fn intersect_many<T: Ord + Copy>(lists: &[&[T]]) -> Vec<T> {
     order.sort_by_key(|l| l.len());
     let mut acc: Vec<T> = order[0].to_vec();
     acc.dedup();
+    let mut scratch = Vec::new();
     for l in &order[1..] {
         if acc.is_empty() {
             break;
         }
-        acc = intersect(&acc, l);
+        intersect_into(&acc, l, &mut scratch);
+        std::mem::swap(&mut acc, &mut scratch);
     }
     acc
+}
+
+/// Intersect two posting cursors (any layout mix) with mutual galloping
+/// `seek`, appending equal postings to `out` with set semantics. Requires
+/// the postings' `Ord` to agree with `key64` order (monotone), which every
+/// `Ord` posting in the tree satisfies.
+pub fn intersect_cursors<P: Posting + Ord>(
+    a: &mut PostingCursor<'_, P>,
+    b: &mut PostingCursor<'_, P>,
+    out: &mut Vec<P>,
+) {
+    while let (Some(x), Some(y)) = (a.peek(), b.peek()) {
+        match x.cmp(&y) {
+            std::cmp::Ordering::Equal => {
+                if out.last() != Some(&x) {
+                    out.push(x);
+                }
+                a.advance();
+                b.advance();
+            }
+            std::cmp::Ordering::Less => {
+                // jump a forward to y's key, then step over same-key
+                // postings that still order below y
+                a.seek(y.key64());
+                while a.peek().is_some_and(|p| p < y) {
+                    a.advance();
+                }
+            }
+            std::cmp::Ordering::Greater => {
+                b.seek(x.key64());
+                while b.peek().is_some_and(|p| p < x) {
+                    b.advance();
+                }
+            }
+        }
+    }
+}
+
+/// k-way sorted union over cursors (≤ 32 of them), driving a callback with
+/// each distinct `key64` in ascending order plus the bitmask of cursors
+/// holding that key. Cursors with several postings at the same key (e.g. a
+/// tuple matching in two columns) are drained past the key, so every key is
+/// visited exactly once. This is the kernel the relational tupleset build
+/// rides on: no hashing, no post-sort.
+pub fn for_each_union_key<P: Posting>(
+    cursors: &mut [PostingCursor<'_, P>],
+    mut visit: impl FnMut(u64, u32),
+) {
+    assert!(cursors.len() <= 32, "union bitmask is u32-wide");
+    loop {
+        let mut key = u64::MAX;
+        let mut live = false;
+        for c in cursors.iter() {
+            if let Some(p) = c.peek() {
+                key = key.min(p.key64());
+                live = true;
+            }
+        }
+        if !live {
+            return;
+        }
+        let mut mask = 0u32;
+        for (i, c) in cursors.iter_mut().enumerate() {
+            let mut hit = false;
+            while c.peek().is_some_and(|p| p.key64() == key) {
+                hit = true;
+                c.advance();
+            }
+            if hit {
+                mask |= 1 << i;
+            }
+        }
+        visit(key, mask);
+    }
+}
+
+/// Counters reported by [`wand_intersect`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WandStats {
+    /// Keys emitted (present in every cursor and not pruned).
+    pub emitted: u64,
+    /// Prune events: times the block-bound check skipped past a block
+    /// frontier instead of scoring.
+    pub pruned: u64,
+    /// Blocks jumped over without decoding, summed across cursors
+    /// (includes jumps from ordinary galloping alignment).
+    pub blocks_skipped: u64,
+}
+
+/// Block-max (WAND-style) pruned AND-intersection over posting cursors.
+///
+/// Emits every key `< end_key` present in **all** cursors, in ascending
+/// order, except keys provably useless for a top-k: when the score bound
+/// computed by `block_bound` from the cursors' current per-block max
+/// impacts falls strictly below `threshold()` (with a
+/// [`WAND_BOUND_EPSILON`] safety margin), the kernel jumps every cursor
+/// past the nearest block frontier instead of scoring. For each emitted
+/// key, `emit` receives the per-cursor impact sums (a cursor holding
+/// several postings at the key — multi-column matches — contributes their
+/// impact total).
+///
+/// Soundness: `block_bound` must be an upper bound on the score of any key
+/// inside the current blocks, and a rising `threshold` must only ever
+/// reflect scores of already-emitted candidates (the `SharedTopK`
+/// contract). Then every skipped key scores strictly below the final
+/// threshold and cannot displace a top-k entry even under tie-aware
+/// ordering. On plain-layout cursors `block_max()` is `u64::MAX`, making
+/// the bound effectively infinite for any finite threshold — so the plain
+/// path emits the full intersection and the two layouts return identical
+/// top-k sets.
+pub fn wand_intersect<P: Posting>(
+    cursors: &mut [PostingCursor<'_, P>],
+    end_key: u64,
+    mut block_bound: impl FnMut(&[u64]) -> f64,
+    mut threshold: impl FnMut() -> Option<f64>,
+    mut emit: impl FnMut(u64, &[u64]),
+) -> WandStats {
+    let mut stats = WandStats::default();
+    if cursors.is_empty() {
+        return stats;
+    }
+    let skipped_before: u64 = cursors.iter().map(|c| c.blocks_skipped()).sum();
+    let n = cursors.len();
+    let mut maxes = vec![0u64; n];
+    let mut impacts = vec![0u64; n];
+    'outer: loop {
+        // Pivot: the largest current key. AND semantics — every cursor
+        // must reach it, so any exhausted cursor ends the scan.
+        let mut pivot = 0u64;
+        for c in cursors.iter() {
+            match c.peek() {
+                None => break 'outer,
+                Some(p) => pivot = pivot.max(p.key64()),
+            }
+        }
+        if pivot >= end_key {
+            break;
+        }
+        // Align every cursor to the pivot.
+        let mut aligned = true;
+        for c in cursors.iter_mut() {
+            match c.seek(pivot) {
+                None => break 'outer,
+                Some(p) => aligned &= p.key64() == pivot,
+            }
+        }
+        if !aligned {
+            continue; // some cursor overshot: new, larger pivot next round
+        }
+        // Candidate key in hand: block-max check before scoring.
+        for (m, c) in maxes.iter_mut().zip(cursors.iter()) {
+            *m = c.block_max();
+        }
+        if let Some(t) = threshold() {
+            if block_bound(&maxes) * (1.0 + WAND_BOUND_EPSILON) < t {
+                // Nothing in the intersection of the current blocks can
+                // reach the threshold (the pivot itself included): jump
+                // past the nearest block frontier.
+                let frontier = cursors
+                    .iter()
+                    .filter_map(|c| c.block_last_key())
+                    .min()
+                    .unwrap_or(u64::MAX);
+                let jump = frontier.saturating_add(1).max(pivot + 1);
+                stats.pruned += 1;
+                for c in cursors.iter_mut() {
+                    if c.seek(jump).is_none() {
+                        break 'outer;
+                    }
+                }
+                continue;
+            }
+        }
+        // Emit: drain each cursor's same-key run, summing impacts.
+        for (acc, c) in impacts.iter_mut().zip(cursors.iter_mut()) {
+            *acc = 0;
+            while let Some(p) = c.peek() {
+                if p.key64() != pivot {
+                    break;
+                }
+                *acc += p.impact();
+                c.advance();
+            }
+        }
+        stats.emitted += 1;
+        emit(pivot, &impacts);
+    }
+    stats.blocks_skipped = cursors.iter().map(|c| c.blocks_skipped()).sum::<u64>() - skipped_before;
+    stats
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::index::posting::{Layout, PostingStore};
     use crate::rng::Rng;
     use std::collections::BTreeSet;
 
@@ -222,6 +456,15 @@ mod tests {
     }
 
     #[test]
+    fn intersect_into_reuses_buffer_without_stale_entries() {
+        let mut out = vec![99u32; 8]; // stale junk that must be cleared
+        intersect_into(&[1u32, 3, 5], &[3u32, 4, 5], &mut out);
+        assert_eq!(out, vec![3, 5]);
+        intersect_into(&[7u32], &[8u32], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
     fn intersect_many_matches_iterated_naive() {
         let mut rng = Rng::seed_from_u64(10);
         for _ in 0..50 {
@@ -256,6 +499,274 @@ mod tests {
         ] {
             assert_eq!(out, vec![1, 2, 9]);
             assert!(out.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    // ------- cursor kernels -------
+
+    /// NodeId-like test posting.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    struct N(u32);
+    impl Posting for N {
+        type SortKey = u32;
+        fn sort_key(&self) -> u32 {
+            self.0
+        }
+        fn key64(&self) -> u64 {
+            self.0 as u64
+        }
+        fn from_parts(key: u64, _extras: &[u64]) -> Self {
+            N(key as u32)
+        }
+        fn coalesce(&mut self, other: &Self) -> bool {
+            self == other
+        }
+        fn same_doc(&self, other: &Self) -> bool {
+            self == other
+        }
+    }
+
+    fn store_with(lists: &[&[u32]], layout: Layout) -> PostingStore<N> {
+        let mut st = PostingStore::new();
+        for (i, l) in lists.iter().enumerate() {
+            let sym = st.intern(&format!("t{i}"));
+            for &v in *l {
+                st.add_sym(sym, N(v));
+            }
+        }
+        st.finalize_layout(layout);
+        st
+    }
+
+    #[test]
+    fn cursor_intersection_matches_slice_kernels_across_layouts() {
+        let mut rng = Rng::seed_from_u64(11);
+        for _ in 0..40 {
+            let la = rng.gen_index(800);
+            let lb = rng.gen_index(800);
+            let a = random_list(&mut rng, la, 500);
+            let b = random_list(&mut rng, lb, 500);
+            let expect: Vec<N> = naive(&a, &b).into_iter().map(N).collect();
+            for la in [Layout::Plain, Layout::Blocks] {
+                for lb in [Layout::Plain, Layout::Blocks] {
+                    let sa = store_with(&[&a], la);
+                    let sb = store_with(&[&b], lb);
+                    let mut out = Vec::new();
+                    let mut ca = sa.list(sa.sym("t0").unwrap()).cursor();
+                    let mut cb = sb.list(sb.sym("t0").unwrap()).cursor();
+                    intersect_cursors(&mut ca, &mut cb, &mut out);
+                    assert_eq!(out, expect, "layouts {la:?}×{lb:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn union_kernel_visits_every_key_with_correct_mask() {
+        let mut rng = Rng::seed_from_u64(12);
+        for layout in [Layout::Plain, Layout::Blocks] {
+            for _ in 0..25 {
+                let lists: Vec<Vec<u32>> = (0..1 + rng.gen_index(5))
+                    .map(|_| {
+                        let len = rng.gen_index(600);
+                        random_list(&mut rng, len, 300)
+                    })
+                    .collect();
+                let refs: Vec<&[u32]> = lists.iter().map(|l| l.as_slice()).collect();
+                let st = store_with(&refs, layout);
+                let mut cursors: Vec<_> = (0..lists.len())
+                    .map(|i| st.list(st.sym(&format!("t{i}")).unwrap()).cursor())
+                    .collect();
+                let mut got: Vec<(u64, u32)> = Vec::new();
+                for_each_union_key(&mut cursors, |k, m| got.push((k, m)));
+
+                let mut want: std::collections::BTreeMap<u64, u32> = Default::default();
+                for (i, l) in lists.iter().enumerate() {
+                    for &v in l {
+                        *want.entry(v as u64).or_default() |= 1 << i;
+                    }
+                }
+                let want: Vec<(u64, u32)> = want.into_iter().collect();
+                assert_eq!(got, want, "{layout:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn wand_without_threshold_emits_full_intersection_on_both_layouts() {
+        let mut rng = Rng::seed_from_u64(13);
+        for layout in [Layout::Plain, Layout::Blocks] {
+            for _ in 0..25 {
+                let lists: Vec<Vec<u32>> = (0..2 + rng.gen_index(3))
+                    .map(|_| {
+                        let len = 200 + rng.gen_index(600);
+                        random_list(&mut rng, len, 400)
+                    })
+                    .collect();
+                let refs: Vec<&[u32]> = lists.iter().map(|l| l.as_slice()).collect();
+                let st = store_with(&refs, layout);
+                let mut cursors: Vec<_> = (0..lists.len())
+                    .map(|i| st.list(st.sym(&format!("t{i}")).unwrap()).cursor())
+                    .collect();
+                let mut got: Vec<u64> = Vec::new();
+                let ws = wand_intersect(
+                    &mut cursors,
+                    u64::MAX,
+                    |_| f64::INFINITY,
+                    || None,
+                    |k, impacts| {
+                        assert!(impacts.iter().all(|&i| i >= 1));
+                        got.push(k);
+                    },
+                );
+                let mut want: Vec<u64> = lists[0]
+                    .iter()
+                    .filter(|v| lists[1..].iter().all(|l| l.binary_search(v).is_ok()))
+                    .map(|&v| v as u64)
+                    .collect();
+                want.dedup();
+                assert_eq!(got, want, "{layout:?}");
+                assert_eq!(ws.emitted as usize, want.len());
+                assert_eq!(ws.pruned, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn wand_respects_end_key_range() {
+        let a: Vec<u32> = (0..1000).collect();
+        let b: Vec<u32> = (0..1000).step_by(3).collect();
+        let st = store_with(&[&a, &b], Layout::Blocks);
+        let mut cursors: Vec<_> = (0..2)
+            .map(|i| st.list(st.sym(&format!("t{i}")).unwrap()).cursor())
+            .collect();
+        cursors.iter_mut().for_each(|c| {
+            c.seek(300);
+        });
+        let mut got = Vec::new();
+        wand_intersect(
+            &mut cursors,
+            600,
+            |_| f64::INFINITY,
+            || None,
+            |k, _| got.push(k),
+        );
+        let want: Vec<u64> = (300..600).filter(|k| k % 3 == 0).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn wand_pruning_skips_blocks_but_never_loses_a_topk_candidate() {
+        // Impact-bearing posting so block maxima vary.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+        struct D {
+            id: u32,
+            w: u32,
+        }
+        impl Posting for D {
+            type SortKey = u32;
+            const EXTRA_FIELDS: usize = 1;
+            fn sort_key(&self) -> u32 {
+                self.id
+            }
+            fn key64(&self) -> u64 {
+                self.id as u64
+            }
+            fn extra(&self, _i: usize) -> u64 {
+                self.w as u64
+            }
+            fn from_parts(key: u64, extras: &[u64]) -> Self {
+                D {
+                    id: key as u32,
+                    w: extras[0] as u32,
+                }
+            }
+            fn coalesce(&mut self, other: &Self) -> bool {
+                if self.id == other.id {
+                    self.w += other.w;
+                    true
+                } else {
+                    false
+                }
+            }
+            fn occurrences(&self) -> u64 {
+                self.w as u64
+            }
+            fn same_doc(&self, other: &Self) -> bool {
+                self.id == other.id
+            }
+        }
+
+        let mut rng = Rng::seed_from_u64(14);
+        for trial in 0..20 {
+            // Two aligned lists over a shared id universe, spiky weights so
+            // most blocks have low maxima and get skipped.
+            let ids: Vec<u32> = {
+                let mut v = random_list(&mut rng, 4000, 6000);
+                v.dedup();
+                v
+            };
+            let weight = |rng: &mut Rng| {
+                if rng.gen_index(50) == 0 {
+                    1000 + rng.gen_range(0..1000u32)
+                } else {
+                    1 + rng.gen_range(0..5u32)
+                }
+            };
+            let mut st: PostingStore<D> = PostingStore::new();
+            let s0 = st.intern("a");
+            let s1 = st.intern("b");
+            let mut score_of = std::collections::BTreeMap::new();
+            for &id in &ids {
+                let (w0, w1) = (weight(&mut rng), weight(&mut rng));
+                st.add_sym(s0, D { id, w: w0 });
+                st.add_sym(s1, D { id, w: w1 });
+                score_of.insert(id as u64, (w0 + w1) as f64);
+            }
+            st.finalize_layout(Layout::Blocks);
+
+            // Rising threshold fed by a running top-k of emitted scores —
+            // the SharedTopK contract in miniature.
+            let k = 10;
+            let mut top: Vec<f64> = Vec::new();
+            let threshold = std::cell::RefCell::new(None::<f64>);
+            let mut cursors = vec![st.list(s0).cursor(), st.list(s1).cursor()];
+            let mut emitted: Vec<u64> = Vec::new();
+            let ws = wand_intersect(
+                &mut cursors,
+                u64::MAX,
+                |maxes| maxes.iter().map(|&m| m as f64).sum(),
+                || *threshold.borrow(),
+                |key, impacts| {
+                    let s: f64 = impacts.iter().map(|&i| i as f64).sum();
+                    assert_eq!(s, score_of[&key], "emitted impact sums are exact");
+                    emitted.push(key);
+                    top.push(s);
+                    top.sort_by(|a, b| b.partial_cmp(a).unwrap());
+                    top.truncate(k);
+                    if top.len() == k {
+                        *threshold.borrow_mut() = Some(top[k - 1]);
+                    }
+                },
+            );
+
+            // Soundness: every true top-k score is among the emitted keys.
+            let mut all: Vec<(f64, u64)> = score_of.iter().map(|(&id, &s)| (s, id)).collect();
+            all.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            let kth = all[k - 1].0;
+            for &(s, id) in all.iter().take_while(|&&(s, _)| s >= kth) {
+                assert!(
+                    emitted.contains(&id),
+                    "trial {trial}: dropped candidate id {id} score {s} (kth {kth})"
+                );
+            }
+            if trial == 0 {
+                assert!(ws.pruned > 0, "spiky weights should trigger pruning");
+                assert!(
+                    (ws.emitted as usize) < score_of.len(),
+                    "pruning should spare the kernel from scoring every key"
+                );
+            }
         }
     }
 }

@@ -23,9 +23,14 @@
 //!
 //! [`Sym`]: crate::intern::Sym
 
+pub mod blocks;
 pub mod dict;
 pub mod kernels;
 pub mod posting;
 
+pub use blocks::{BlockList, BlockMeta, BLOCK_SPAN};
 pub use dict::TermDict;
-pub use posting::{IndexStats, Posting, PostingList, PostingStore, TermStats};
+pub use posting::{
+    IndexStats, Layout, Posting, PostingCursor, PostingIter, PostingList, PostingStore, Postings,
+    TermStats,
+};

@@ -1,5 +1,25 @@
-//! Generic sorted posting storage with dense `Vec`-indexed-by-`Sym` lookup.
+//! Generic sorted posting storage with dense `Vec`-indexed-by-`Sym` lookup,
+//! behind a cursor-based access API with a pluggable physical layout.
+//!
+//! Callers read posting lists through three sealed surfaces instead of raw
+//! slices, so the in-memory layout can change without touching a single
+//! search algorithm:
+//!
+//! * [`Postings`] — a cheap `Copy` view handed out by lookups
+//!   ([`PostingStore::postings`]), supporting `len`/`iter`/probes;
+//! * [`PostingList::iter`] — by-value iteration in sort order;
+//! * [`PostingList::cursor`] — a [`PostingCursor`] with
+//!   `peek`/`advance`/`seek(key)`/`block_max`, the shape the merge kernels
+//!   and WAND-style pruning consume.
+//!
+//! Two layouts live behind that API ([`Layout`]): `Plain` sorted `Vec`s,
+//! and delta-encoded bit-packed [`blocks`](super::blocks) with per-block
+//! skip metadata. On the plain layout `block_max()` reports an infinite
+//! bound and `seek` gallops over the slice, so pruning code runs unchanged
+//! (it just never skips) — which is exactly what the cross-layout parity
+//! tests rely on.
 
+use super::blocks::{BlockCursor, BlockIter, BlockList};
 use super::dict::TermDict;
 use super::kernels;
 use crate::intern::Sym;
@@ -12,7 +32,26 @@ pub trait Posting: Copy {
     /// order, node-id order, …
     type SortKey: Ord;
 
+    /// Number of payload fields beyond the key that the block codec must
+    /// round-trip (see [`extra`](Self::extra) / [`from_parts`](Self::from_parts)).
+    const EXTRA_FIELDS: usize = 0;
+
     fn sort_key(&self) -> Self::SortKey;
+
+    /// A 64-bit monotone image of [`sort_key`](Self::sort_key) order:
+    /// `a.sort_key() ≤ b.sort_key() ⟹ a.key64() ≤ b.key64()`. Distinct
+    /// postings may share a key (e.g. one tuple's occurrences in two
+    /// columns); cursors and the block codec order and `seek` by this key.
+    fn key64(&self) -> u64;
+
+    /// The `i`-th payload field (`i < EXTRA_FIELDS`), as stored bits.
+    fn extra(&self, _i: usize) -> u64 {
+        0
+    }
+
+    /// Rebuild a posting from its key and payload fields — the inverse of
+    /// `key64` + `extra`, used when decoding the block layout.
+    fn from_parts(key: u64, extras: &[u64]) -> Self;
 
     /// Fold `other` — an occurrence at the *same* logical position — into
     /// `self` (e.g. accumulate term frequency). Must return `false` without
@@ -24,9 +63,29 @@ pub trait Posting: Copy {
         1
     }
 
+    /// Score-relevant weight of this posting, bounded per block by the
+    /// codec's `max_impact` for block-max pruning. Defaults to
+    /// [`occurrences`](Self::occurrences).
+    fn impact(&self) -> u64 {
+        self.occurrences()
+    }
+
     /// Whether two sort-adjacent postings belong to the same document, for
     /// document-frequency counting.
     fn same_doc(&self, other: &Self) -> bool;
+}
+
+/// Physical layout of the posting lists in a [`PostingStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Sorted `Vec<P>` — fastest build, `size_of::<P>()` bytes per posting.
+    #[default]
+    Plain,
+    /// Delta-encoded bit-packed blocks with per-block skip + max-impact
+    /// metadata ([`super::blocks`]). Lists whose encoded form would be
+    /// *larger* than plain (short lists, already-tiny postings) stay plain
+    /// per-list; the store-level layout records the requested policy.
+    Blocks,
 }
 
 /// Per-term statistics, computed once at [`PostingStore::finalize`].
@@ -39,33 +98,71 @@ pub struct TermStats {
 }
 
 /// Whole-index size figures, for observability gauges and bench reports.
+///
+/// Marked `#[non_exhaustive]`: construct via [`IndexStats::new`] and the
+/// `with_*` builders so future fields are not breaking changes.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IndexStats {
     /// Distinct terms in the dictionary.
     pub terms: usize,
     /// Stored postings across all lists.
     pub postings: usize,
-    /// Bytes of posting payload (`postings × size_of::<P>()`).
+    /// Bytes of posting payload: `postings × size_of::<P>()` for plain
+    /// lists, encoded words + skip metadata for block lists.
     pub posting_bytes: usize,
+    /// Encoded blocks across all lists (0 ⇒ fully plain).
+    pub blocks: usize,
     /// Build wall-clock, when the owner measured one (batch builds do;
     /// incrementally grown indexes don't).
     pub build: Option<Duration>,
 }
 
-/// One term's sorted posting list.
+impl IndexStats {
+    pub fn new(terms: usize, postings: usize, posting_bytes: usize) -> Self {
+        IndexStats {
+            terms,
+            postings,
+            posting_bytes,
+            blocks: 0,
+            build: None,
+        }
+    }
+
+    /// Set the build duration (replaces cross-crate struct-update syntax,
+    /// which `#[non_exhaustive]` forbids).
+    pub fn with_build(mut self, build: Option<Duration>) -> Self {
+        self.build = build;
+        self
+    }
+
+    pub fn with_blocks(mut self, blocks: usize) -> Self {
+        self.blocks = blocks;
+        self
+    }
+}
+
+/// One term's sorted posting list: plain `Vec` or compressed blocks.
 ///
 /// The `lm`/`rm` binary probes and intersections the search algorithms need
-/// are methods here, delegating to the shared [`kernels`] so every substrate
-/// probes lists the same way.
+/// are methods here, dispatched per layout (plain probes delegate to the
+/// shared [`kernels`], block probes to the skip directory), so every
+/// substrate probes lists the same way on either layout.
 #[derive(Debug, Clone)]
 pub struct PostingList<P> {
-    entries: Vec<P>,
+    repr: Repr<P>,
+}
+
+#[derive(Debug, Clone)]
+enum Repr<P> {
+    Plain(Vec<P>),
+    Blocks(BlockList<P>),
 }
 
 impl<P> Default for PostingList<P> {
     fn default() -> Self {
         PostingList {
-            entries: Vec::new(),
+            repr: Repr::Plain(Vec::new()),
         }
     }
 }
@@ -75,29 +172,43 @@ impl<P: Posting> PostingList<P> {
     /// occurrence at the same position. Build paths that emit postings in
     /// sort order (pre-order XML traversal, ascending graph node ids,
     /// table/row/column scans) therefore keep the list sorted and mostly
-    /// coalesced as they go.
+    /// coalesced as they go. Appending to a block-encoded list decodes it
+    /// back to plain first (incremental growth is a plain-layout activity).
     fn push_coalesce(&mut self, p: P) {
-        if let Some(last) = self.entries.last_mut() {
+        let entries = self.make_plain();
+        if let Some(last) = entries.last_mut() {
             if last.coalesce(&p) {
                 return;
             }
         }
-        self.entries.push(p);
+        entries.push(p);
+    }
+
+    /// Decode to plain if needed and return the backing vec.
+    fn make_plain(&mut self) -> &mut Vec<P> {
+        if let Repr::Blocks(bl) = &self.repr {
+            self.repr = Repr::Plain(bl.to_vec());
+        }
+        match &mut self.repr {
+            Repr::Plain(v) => v,
+            Repr::Blocks(_) => unreachable!(),
+        }
     }
 
     /// Sort by [`Posting::sort_key`], coalesce duplicates, and compute the
     /// term's stats. Skips the sort when the list is already ordered (the
-    /// common case for in-order builds).
+    /// common case for in-order builds). Leaves the list plain; the store
+    /// re-applies its layout afterwards.
     fn finalize(&mut self) -> TermStats {
-        let sorted = self
-            .entries
+        let entries = self.make_plain();
+        let sorted = entries
             .windows(2)
             .all(|w| w[0].sort_key() <= w[1].sort_key());
         if !sorted {
-            self.entries.sort_by_key(|p| p.sort_key());
+            entries.sort_by_key(|p| p.sort_key());
         }
-        let mut merged: Vec<P> = Vec::with_capacity(self.entries.len());
-        for p in self.entries.drain(..) {
+        let mut merged: Vec<P> = Vec::with_capacity(entries.len());
+        for p in entries.drain(..) {
             if let Some(last) = merged.last_mut() {
                 if last.coalesce(&p) {
                     continue;
@@ -106,17 +217,17 @@ impl<P: Posting> PostingList<P> {
             merged.push(p);
         }
         merged.shrink_to_fit();
-        self.entries = merged;
+        *entries = merged;
         self.stats()
     }
 
     /// Compute stats by scanning the (sorted) list.
     fn stats(&self) -> TermStats {
         let mut stats = TermStats::default();
-        let mut prev: Option<&P> = None;
-        for p in &self.entries {
+        let mut prev: Option<P> = None;
+        for p in self.iter() {
             stats.total_tf += p.occurrences();
-            if !prev.is_some_and(|q| q.same_doc(p)) {
+            if !prev.is_some_and(|q| q.same_doc(&p)) {
                 stats.df += 1;
             }
             prev = Some(p);
@@ -124,38 +235,489 @@ impl<P: Posting> PostingList<P> {
         stats
     }
 
+    /// Re-encode this (sorted) list to `layout`. Going to `Blocks` keeps
+    /// the list plain when the encoded form would not be smaller, so tiny
+    /// lists never pay metadata overhead.
+    fn apply_layout(&mut self, layout: Layout) {
+        match layout {
+            Layout::Plain => {
+                self.make_plain();
+            }
+            Layout::Blocks => {
+                if let Repr::Plain(v) = &self.repr {
+                    if v.is_empty() {
+                        return;
+                    }
+                    let bl = BlockList::encode(v);
+                    if bl.heap_bytes() < v.len() * std::mem::size_of::<P>() {
+                        self.repr = Repr::Blocks(bl);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The layout this particular list is stored in.
+    pub fn layout(&self) -> Layout {
+        match &self.repr {
+            Repr::Plain(_) => Layout::Plain,
+            Repr::Blocks(_) => Layout::Blocks,
+        }
+    }
+
+    /// Raw slice escape hatch, for plain-layout lists only.
+    ///
+    /// # Panics
+    /// On a block-encoded list. Use [`iter`](Self::iter) /
+    /// [`cursor`](Self::cursor) / [`to_vec`](Self::to_vec) instead.
+    #[doc(hidden)]
+    #[deprecated(note = "layout-locked escape hatch: use iter()/cursor()/to_vec() instead")]
     pub fn as_slice(&self) -> &[P] {
-        &self.entries
+        match &self.repr {
+            Repr::Plain(v) => v,
+            Repr::Blocks(_) => panic!("as_slice() on a block-encoded posting list"),
+        }
+    }
+
+    /// By-value iteration in sort order, on either layout.
+    pub fn iter(&self) -> PostingIter<'_, P> {
+        PostingIter {
+            inner: match &self.repr {
+                Repr::Plain(v) => IterRepr::Plain(v.iter()),
+                Repr::Blocks(bl) => IterRepr::Blocks(BlockIter::new(bl)),
+            },
+        }
+    }
+
+    /// A cursor positioned at the first posting.
+    pub fn cursor(&self) -> PostingCursor<'_, P> {
+        PostingCursor {
+            inner: match &self.repr {
+                Repr::Plain(v) => CursorRepr::Plain { list: v, pos: 0 },
+                Repr::Blocks(bl) => CursorRepr::Blocks(bl.cursor()),
+            },
+        }
+    }
+
+    /// Decode/copy the list into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<P> {
+        match &self.repr {
+            Repr::Plain(v) => v.clone(),
+            Repr::Blocks(bl) => bl.to_vec(),
+        }
+    }
+
+    /// Heap bytes held by the posting payload in its current layout.
+    pub fn heap_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Plain(v) => v.len() * std::mem::size_of::<P>(),
+            Repr::Blocks(bl) => bl.heap_bytes(),
+        }
+    }
+
+    /// Encoded blocks (0 when plain).
+    pub fn num_blocks(&self) -> usize {
+        match &self.repr {
+            Repr::Plain(_) => 0,
+            Repr::Blocks(bl) => bl.num_blocks(),
+        }
     }
 
     pub fn len(&self) -> usize {
-        self.entries.len()
+        match &self.repr {
+            Repr::Plain(v) => v.len(),
+            Repr::Blocks(bl) => bl.len(),
+        }
     }
 
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
+    }
+
+    /// The first posting, if any.
+    pub fn first(&self) -> Option<P> {
+        self.iter().next()
     }
 }
 
 impl<P: Posting + Ord> PostingList<P> {
     /// Smallest posting `≥ v` — the *rm* probe.
     pub fn right_match(&self, v: P) -> Option<P> {
-        kernels::right_match(&self.entries, v)
+        match &self.repr {
+            Repr::Plain(entries) => kernels::right_match(entries, v),
+            Repr::Blocks(bl) => bl.right_match(v),
+        }
     }
 
     /// Largest posting `≤ v` — the *lm* probe.
     pub fn left_match(&self, v: P) -> Option<P> {
-        kernels::left_match(&self.entries, v)
+        match &self.repr {
+            Repr::Plain(entries) => kernels::left_match(entries, v),
+            Repr::Blocks(bl) => bl.left_match(v),
+        }
     }
 
     /// Binary-search membership probe.
     pub fn contains(&self, v: &P) -> bool {
-        kernels::contains(&self.entries, v)
+        match &self.repr {
+            Repr::Plain(entries) => kernels::contains(entries, v),
+            Repr::Blocks(bl) => bl.contains(v),
+        }
     }
 
-    /// Intersect with another sorted list (kernel chosen by size ratio).
+    /// Intersect with another sorted list into a caller-provided buffer
+    /// (cleared first), choosing the kernel by size ratio and layout:
+    /// plain×plain dispatches to the slice kernels, any block operand goes
+    /// through a galloping cursor merge. Set semantics: strictly
+    /// increasing output.
+    pub fn intersect_into(&self, other: &Self, out: &mut Vec<P>) {
+        match (&self.repr, &other.repr) {
+            (Repr::Plain(a), Repr::Plain(b)) => kernels::intersect_into(a, b, out),
+            _ => {
+                out.clear();
+                let mut a = self.cursor();
+                let mut b = other.cursor();
+                kernels::intersect_cursors(&mut a, &mut b, out);
+            }
+        }
+    }
+
+    /// Intersect with another sorted list into a fresh `Vec`. Hot paths
+    /// with a scratch buffer should call [`intersect_into`](Self::intersect_into).
     pub fn intersect(&self, other: &Self) -> Vec<P> {
-        kernels::intersect(&self.entries, &other.entries)
+        let mut out = Vec::new();
+        self.intersect_into(other, &mut out);
+        out
+    }
+}
+
+/// By-value iterator over a [`PostingList`] on either layout.
+#[derive(Debug, Clone)]
+pub struct PostingIter<'a, P: Posting> {
+    inner: IterRepr<'a, P>,
+}
+
+#[derive(Debug, Clone)]
+enum IterRepr<'a, P: Posting> {
+    Plain(std::slice::Iter<'a, P>),
+    Blocks(BlockIter<'a, P>),
+}
+
+impl<P: Posting> Iterator for PostingIter<'_, P> {
+    type Item = P;
+
+    #[inline]
+    fn next(&mut self) -> Option<P> {
+        match &mut self.inner {
+            IterRepr::Plain(it) => it.next().copied(),
+            IterRepr::Blocks(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.inner {
+            IterRepr::Plain(it) => it.size_hint(),
+            IterRepr::Blocks(it) => it.size_hint(),
+        }
+    }
+}
+
+impl<P: Posting> ExactSizeIterator for PostingIter<'_, P> {}
+
+/// The read view lookups hand out: a cheap `Copy` handle on a term's
+/// posting list (or on no list at all, for absent terms), with the
+/// slice-like conveniences callers actually need — `len`, `iter`,
+/// `cursor`, probes — but no layout commitment.
+#[derive(Debug, Clone, Copy)]
+pub struct Postings<'a, P> {
+    list: Option<&'a PostingList<P>>,
+}
+
+impl<'a, P: Posting> Postings<'a, P> {
+    /// The empty view (absent term).
+    pub fn empty() -> Self {
+        Postings { list: None }
+    }
+
+    pub fn len(&self) -> usize {
+        self.list.map_or(0, |l| l.len())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn iter(&self) -> PostingIter<'a, P> {
+        match self.list {
+            Some(l) => l.iter(),
+            None => PostingIter {
+                inner: IterRepr::Plain([].iter()),
+            },
+        }
+    }
+
+    pub fn cursor(&self) -> PostingCursor<'a, P> {
+        match self.list {
+            Some(l) => l.cursor(),
+            None => PostingCursor {
+                inner: CursorRepr::Plain { list: &[], pos: 0 },
+            },
+        }
+    }
+
+    pub fn first(&self) -> Option<P> {
+        self.iter().next()
+    }
+
+    pub fn to_vec(&self) -> Vec<P> {
+        self.list.map_or_else(Vec::new, |l| l.to_vec())
+    }
+
+    /// The underlying list, when the term exists.
+    pub fn as_list(&self) -> Option<&'a PostingList<P>> {
+        self.list
+    }
+}
+
+impl<'a, P: Posting + Ord> Postings<'a, P> {
+    /// Smallest posting `≥ v` — the *rm* probe.
+    pub fn right_match(&self, v: P) -> Option<P> {
+        self.list.and_then(|l| l.right_match(v))
+    }
+
+    /// Largest posting `≤ v` — the *lm* probe.
+    pub fn left_match(&self, v: P) -> Option<P> {
+        self.list.and_then(|l| l.left_match(v))
+    }
+
+    pub fn contains(&self, v: &P) -> bool {
+        self.list.is_some_and(|l| l.contains(v))
+    }
+
+    /// Number of postings in the half-open range `[lo, hi)`.
+    pub fn count_between(&self, lo: P, hi: P) -> usize {
+        let Some(l) = self.list else { return 0 };
+        let mut c = l.cursor();
+        c.seek(lo.key64());
+        let mut n = 0usize;
+        while let Some(p) = c.next() {
+            if p >= hi {
+                break;
+            }
+            if p >= lo {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Postings in the half-open range `[lo, hi)`, decoded in order.
+    pub fn collect_between(&self, lo: P, hi: P) -> Vec<P> {
+        let Some(l) = self.list else {
+            return Vec::new();
+        };
+        let mut c = l.cursor();
+        c.seek(lo.key64());
+        let mut out = Vec::new();
+        while let Some(p) = c.next() {
+            if p >= hi {
+                break;
+            }
+            if p >= lo {
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// Intersect with a sorted slice into a caller-provided buffer
+    /// (cleared first): galloping cursor-vs-slice merge, set semantics.
+    pub fn intersect_sorted_into(&self, other: &[P], out: &mut Vec<P>) {
+        out.clear();
+        let Some(l) = self.list else { return };
+        let mut c = l.cursor();
+        let mut j = 0usize;
+        while let Some(x) = c.peek() {
+            j = kernels::gallop_by(other, j, |y| *y >= x);
+            let Some(&y) = other.get(j) else { break };
+            if y == x {
+                if out.last() != Some(&x) {
+                    out.push(x);
+                }
+                c.advance();
+            } else {
+                // y > x: jump the cursor forward to y's key neighborhood.
+                c.seek(y.key64());
+                while c.peek().is_some_and(|p| p < y) {
+                    c.advance();
+                }
+            }
+        }
+    }
+}
+
+impl<'a, P: Posting> From<&'a PostingList<P>> for Postings<'a, P> {
+    fn from(list: &'a PostingList<P>) -> Self {
+        Postings { list: Some(list) }
+    }
+}
+
+impl<'a, P: Posting> IntoIterator for Postings<'a, P> {
+    type Item = P;
+    type IntoIter = PostingIter<'a, P>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<'a, P: Posting> IntoIterator for &Postings<'a, P> {
+    type Item = P;
+    type IntoIter = PostingIter<'a, P>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<P: Posting + PartialEq> PartialEq for Postings<'_, P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl<P: Posting + PartialEq> PartialEq<[P]> for Postings<'_, P> {
+    fn eq(&self, other: &[P]) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter().copied())
+    }
+}
+
+impl<P: Posting + PartialEq> PartialEq<&[P]> for Postings<'_, P> {
+    fn eq(&self, other: &&[P]) -> bool {
+        self == *other
+    }
+}
+
+impl<P: Posting + PartialEq, const N: usize> PartialEq<[P; N]> for Postings<'_, P> {
+    fn eq(&self, other: &[P; N]) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl<P: Posting + PartialEq, const N: usize> PartialEq<&[P; N]> for Postings<'_, P> {
+    fn eq(&self, other: &&[P; N]) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl<P: Posting + PartialEq> PartialEq<Vec<P>> for Postings<'_, P> {
+    fn eq(&self, other: &Vec<P>) -> bool {
+        self == other.as_slice()
+    }
+}
+
+/// Layout-agnostic cursor over one posting list: `peek`/`advance` for
+/// linear scans, `seek(key)` with galloping for intersections, and the
+/// block-max surface (`block_max`/`block_last_key`) for WAND pruning.
+///
+/// On the plain layout `block_max()` is `u64::MAX` and `block_last_key()`
+/// is the list's final key — an "infinite block" that pruning loops treat
+/// as unskippable unless the whole remainder is provably useless, which
+/// keeps plain-layout results bit-identical to unpruned evaluation.
+#[derive(Debug, Clone)]
+pub struct PostingCursor<'a, P: Posting> {
+    inner: CursorRepr<'a, P>,
+}
+
+#[derive(Debug, Clone)]
+enum CursorRepr<'a, P: Posting> {
+    Plain { list: &'a [P], pos: usize },
+    Blocks(BlockCursor<'a, P>),
+}
+
+impl<P: Posting> PostingCursor<'_, P> {
+    /// The posting under the cursor (`None` once exhausted).
+    #[inline]
+    pub fn peek(&self) -> Option<P> {
+        match &self.inner {
+            CursorRepr::Plain { list, pos } => list.get(*pos).copied(),
+            CursorRepr::Blocks(c) => c.peek(),
+        }
+    }
+
+    /// Step to the next posting.
+    #[inline]
+    pub fn advance(&mut self) {
+        match &mut self.inner {
+            CursorRepr::Plain { list, pos } => {
+                if *pos < list.len() {
+                    *pos += 1;
+                }
+            }
+            CursorRepr::Blocks(c) => c.advance(),
+        }
+    }
+
+    /// Return the current posting and step past it. A cursor is not an
+    /// `Iterator` on purpose: `seek` invalidates the "every element exactly
+    /// once" contract iteration adapters assume.
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<P> {
+        let p = self.peek();
+        self.advance();
+        p
+    }
+
+    /// Position the cursor at the first posting with `key64() ≥ key` and
+    /// return it. Gallops: `O(log d)` in the distance on plain lists, a
+    /// skip-directory jump plus one in-block scan on the block layout.
+    /// Never moves backwards.
+    pub fn seek(&mut self, key: u64) -> Option<P> {
+        match &mut self.inner {
+            CursorRepr::Plain { list, pos } => {
+                *pos = kernels::gallop_by(list, *pos, |p| p.key64() >= key);
+                list.get(*pos).copied()
+            }
+            CursorRepr::Blocks(c) => c.seek(key),
+        }
+    }
+
+    /// Upper bound on [`Posting::impact`] over the current block
+    /// (`u64::MAX` on the plain layout: one infinite block).
+    #[inline]
+    pub fn block_max(&self) -> u64 {
+        match &self.inner {
+            CursorRepr::Plain { .. } => u64::MAX,
+            CursorRepr::Blocks(c) => c.block_max(),
+        }
+    }
+
+    /// Last key of the current block — `seek(block_last_key() + 1)` is the
+    /// skip step of block-max pruning. `None` once exhausted.
+    #[inline]
+    pub fn block_last_key(&self) -> Option<u64> {
+        match &self.inner {
+            CursorRepr::Plain { list, pos } => {
+                (*pos < list.len()).then(|| list[list.len() - 1].key64())
+            }
+            CursorRepr::Blocks(c) => c.peek().map(|_| c.block_last_key()),
+        }
+    }
+
+    /// Blocks jumped over without decoding (always 0 on plain).
+    #[inline]
+    pub fn blocks_skipped(&self) -> u64 {
+        match &self.inner {
+            CursorRepr::Plain { .. } => 0,
+            CursorRepr::Blocks(c) => c.blocks_skipped(),
+        }
+    }
+
+    /// Whether the cursor has run off the end of the list.
+    #[inline]
+    pub fn is_exhausted(&self) -> bool {
+        self.peek().is_none()
     }
 }
 
@@ -164,10 +726,10 @@ impl<P: Posting + Ord> PostingList<P> {
 ///
 /// Build: [`add`](Self::add) postings (terms are interned, each distinct
 /// term allocated exactly once), then [`finalize`](Self::finalize) to sort,
-/// coalesce, and compute per-term [`TermStats`]. Indexes grown
-/// incrementally *in sort order* (e.g. a graph appending ascending node
-/// ids) remain queryable without finalizing; their stats are computed on
-/// demand.
+/// coalesce, compute per-term [`TermStats`], and apply the configured
+/// [`Layout`]. Indexes grown incrementally *in sort order* (e.g. a graph
+/// appending ascending node ids) remain queryable without finalizing;
+/// their stats are computed on demand.
 ///
 /// Query: [`sym`](Self::sym) once per query term, then
 /// [`postings`](Self::postings) / [`list`](Self::list) on the dense id.
@@ -176,6 +738,7 @@ pub struct PostingStore<P> {
     dict: TermDict,
     lists: Vec<PostingList<P>>,
     stats: Vec<TermStats>,
+    layout: Layout,
     finalized: bool,
 }
 
@@ -185,6 +748,7 @@ impl<P> Default for PostingStore<P> {
             dict: TermDict::new(),
             lists: Vec::new(),
             stats: Vec::new(),
+            layout: Layout::Plain,
             finalized: false,
         }
     }
@@ -211,17 +775,49 @@ impl<P: Posting> PostingStore<P> {
         sym
     }
 
-    /// Add one posting occurrence for an already-interned term.
+    /// Add one posting occurrence for an already-interned term. If the
+    /// list was block-encoded it reverts to plain (incremental growth is a
+    /// plain-layout activity; re-apply the layout via
+    /// [`set_layout`](Self::set_layout) / [`finalize`](Self::finalize)).
     pub fn add_sym(&mut self, sym: Sym, posting: P) {
         self.finalized = false;
         self.lists[sym.0 as usize].push_coalesce(posting);
     }
 
-    /// Sort every list, coalesce duplicate occurrences, and compute
-    /// per-term stats. Idempotent.
+    /// Sort every list, coalesce duplicate occurrences, compute per-term
+    /// stats, and apply the configured [`Layout`]. Idempotent.
     pub fn finalize(&mut self) {
         self.stats = self.lists.iter_mut().map(|l| l.finalize()).collect();
+        if self.layout == Layout::Blocks {
+            for l in &mut self.lists {
+                l.apply_layout(Layout::Blocks);
+            }
+        }
         self.finalized = true;
+    }
+
+    /// Finalize into an explicit layout (shorthand for
+    /// [`set_layout`](Self::set_layout) + [`finalize`](Self::finalize)).
+    pub fn finalize_layout(&mut self, layout: Layout) {
+        self.layout = layout;
+        self.finalize();
+    }
+
+    /// The configured physical layout.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Switch the physical layout. Re-encodes immediately when the store
+    /// is finalized; otherwise the layout is applied at the next
+    /// [`finalize`](Self::finalize). Contents are unchanged either way.
+    pub fn set_layout(&mut self, layout: Layout) {
+        self.layout = layout;
+        if self.finalized {
+            for l in &mut self.lists {
+                l.apply_layout(layout);
+            }
+        }
     }
 
     /// Resolve a query term to its dense id — one dictionary lookup; do it
@@ -230,14 +826,17 @@ impl<P: Posting> PostingStore<P> {
         self.dict.lookup(term)
     }
 
-    /// The postings of an interned term.
-    pub fn postings(&self, sym: Sym) -> &[P] {
-        self.lists[sym.0 as usize].as_slice()
+    /// The postings of an interned term, as a layout-agnostic view.
+    pub fn postings(&self, sym: Sym) -> Postings<'_, P> {
+        Postings::from(&self.lists[sym.0 as usize])
     }
 
-    /// The postings of a term by string (lookup + fetch); empty if absent.
-    pub fn postings_str(&self, term: &str) -> &[P] {
-        self.sym(term).map(|s| self.postings(s)).unwrap_or(&[])
+    /// The postings of a term by string (lookup + fetch); the empty view
+    /// if absent.
+    pub fn postings_str(&self, term: &str) -> Postings<'_, P> {
+        self.sym(term)
+            .map(|s| self.postings(s))
+            .unwrap_or_else(Postings::empty)
     }
 
     /// A term's posting list with its probe methods.
@@ -275,15 +874,14 @@ impl<P: Posting> PostingStore<P> {
     }
 
     /// Whole-index size figures (build time unset; owners that measured
-    /// the build fill it in).
+    /// the build fill it in via [`IndexStats::with_build`]).
     pub fn index_stats(&self) -> IndexStats {
-        let postings = self.posting_count();
-        IndexStats {
-            terms: self.term_count(),
-            postings,
-            posting_bytes: postings * std::mem::size_of::<P>(),
-            build: None,
-        }
+        IndexStats::new(
+            self.term_count(),
+            self.posting_count(),
+            self.lists.iter().map(|l| l.heap_bytes()).sum(),
+        )
+        .with_blocks(self.lists.iter().map(|l| l.num_blocks()).sum())
     }
 }
 
@@ -301,8 +899,25 @@ mod tests {
 
     impl Posting for Occ {
         type SortKey = (u32, u32);
+        const EXTRA_FIELDS: usize = 2;
         fn sort_key(&self) -> (u32, u32) {
             (self.doc, self.slot)
+        }
+        fn key64(&self) -> u64 {
+            ((self.doc as u64) << 32) | self.slot as u64
+        }
+        fn extra(&self, i: usize) -> u64 {
+            match i {
+                0 => self.slot as u64,
+                _ => self.tf as u64,
+            }
+        }
+        fn from_parts(key: u64, extras: &[u64]) -> Self {
+            Occ {
+                doc: (key >> 32) as u32,
+                slot: extras[0] as u32,
+                tf: extras[1] as u32,
+            }
         }
         fn coalesce(&mut self, other: &Self) -> bool {
             if self.doc == other.doc && self.slot == other.slot {
@@ -370,11 +985,12 @@ mod tests {
         st.finalize();
         let before: Vec<_> = st.postings(st.sym("t").unwrap()).to_vec();
         st.finalize();
-        assert_eq!(st.postings(st.sym("t").unwrap()), before.as_slice());
+        assert_eq!(st.postings(st.sym("t").unwrap()), before);
         let stats = st.index_stats();
         assert_eq!(stats.terms, 1);
         assert_eq!(stats.postings, 2);
         assert_eq!(stats.posting_bytes, 2 * std::mem::size_of::<Occ>());
+        assert_eq!(stats.blocks, 0, "plain layout stores no blocks");
     }
 
     #[test]
@@ -386,6 +1002,12 @@ mod tests {
             type SortKey = u32;
             fn sort_key(&self) -> u32 {
                 self.0
+            }
+            fn key64(&self) -> u64 {
+                self.0 as u64
+            }
+            fn from_parts(key: u64, _extras: &[u64]) -> Self {
+                N(key as u32)
             }
             fn coalesce(&mut self, other: &Self) -> bool {
                 self == other
@@ -403,5 +1025,84 @@ mod tests {
         assert_eq!(l.right_match(N(6)), Some(N(9)));
         assert_eq!(l.left_match(N(6)), Some(N(5)));
         assert!(l.contains(&N(5)) && !l.contains(&N(6)));
+    }
+
+    #[test]
+    fn layout_switch_preserves_contents_and_stats() {
+        let mut st: PostingStore<Occ> = PostingStore::new();
+        for doc in 0..2000u32 {
+            st.add("t", occ(doc, 0));
+            if doc % 3 == 0 {
+                st.add("t", occ(doc, 1));
+            }
+        }
+        st.finalize();
+        let sym = st.sym("t").unwrap();
+        let plain: Vec<Occ> = st.postings(sym).to_vec();
+        let plain_stats = st.term_stats(sym);
+        let plain_bytes = st.index_stats().posting_bytes;
+
+        st.set_layout(Layout::Blocks);
+        assert_eq!(st.layout(), Layout::Blocks);
+        assert_eq!(st.postings(sym).to_vec(), plain, "contents survive encode");
+        assert_eq!(st.term_stats(sym), plain_stats);
+        let stats = st.index_stats();
+        assert!(stats.blocks > 0, "long list actually block-encoded");
+        assert!(
+            stats.posting_bytes < plain_bytes,
+            "blocks {} !< plain {plain_bytes}",
+            stats.posting_bytes
+        );
+
+        st.set_layout(Layout::Plain);
+        assert_eq!(st.postings(sym).to_vec(), plain, "contents survive decode");
+        assert_eq!(st.index_stats().posting_bytes, plain_bytes);
+        assert_eq!(st.index_stats().blocks, 0);
+    }
+
+    #[test]
+    fn short_lists_stay_plain_under_blocks_layout() {
+        let mut st: PostingStore<Occ> = PostingStore::new();
+        st.add("rare", occ(7, 0));
+        st.finalize_layout(Layout::Blocks);
+        let sym = st.sym("rare").unwrap();
+        // a one-entry block would cost more than 16 plain bytes
+        assert_eq!(st.list(sym).layout(), Layout::Plain);
+        assert_eq!(st.postings(sym).to_vec(), vec![occ(7, 0)]);
+    }
+
+    #[test]
+    fn add_after_blocks_reverts_list_to_plain_and_refinalize_reencodes() {
+        let mut st: PostingStore<Occ> = PostingStore::new();
+        for doc in 0..1000u32 {
+            st.add("t", occ(doc, 0));
+        }
+        st.finalize_layout(Layout::Blocks);
+        let sym = st.sym("t").unwrap();
+        assert_eq!(st.list(sym).layout(), Layout::Blocks);
+        st.add_sym(sym, occ(1000, 0));
+        assert_eq!(st.list(sym).layout(), Layout::Plain, "growth decodes");
+        assert_eq!(st.postings(sym).len(), 1001);
+        st.finalize();
+        assert_eq!(st.list(sym).layout(), Layout::Blocks, "layout re-applied");
+        assert_eq!(st.postings(sym).len(), 1001);
+    }
+
+    #[test]
+    fn cursor_on_plain_layout_reports_infinite_block() {
+        let mut st: PostingStore<Occ> = PostingStore::new();
+        for doc in [3u32, 9, 12] {
+            st.add("t", occ(doc, 0));
+        }
+        st.finalize();
+        let mut c = st.list(st.sym("t").unwrap()).cursor();
+        assert_eq!(c.block_max(), u64::MAX);
+        assert_eq!(c.block_last_key(), Some(occ(12, 0).key64()));
+        assert_eq!(c.seek(occ(9, 0).key64()), Some(occ(9, 0)));
+        assert_eq!(c.blocks_skipped(), 0);
+        c.advance();
+        c.advance();
+        assert!(c.is_exhausted());
+        assert_eq!(c.block_last_key(), None);
     }
 }

@@ -87,7 +87,7 @@ pub fn check_query_consistency(
     let mut extended = query.to_vec();
     extended.push(extra.to_string());
     let ix = XmlIndex::build(tree);
-    let matches: HashSet<NodeId> = ix.nodes(extra).iter().copied().collect();
+    let matches: HashSet<NodeId> = ix.nodes(extra).iter().collect();
     for r in engine.search(tree, &extended) {
         let ok = tree.subtree(r).into_iter().any(|n| matches.contains(&n));
         if !ok {

@@ -1,6 +1,6 @@
 //! Weighted data graphs with keyword content.
 
-use kwdb_common::index::{IndexStats, PostingStore};
+use kwdb_common::index::{IndexStats, Layout, PostingList, PostingStore, Postings};
 use kwdb_common::intern::{Interner, Sym};
 use kwdb_common::text::tokenize;
 use kwdb_relational::{Database, TupleId};
@@ -16,6 +16,14 @@ impl kwdb_common::index::Posting for NodeId {
 
     fn sort_key(&self) -> NodeId {
         *self
+    }
+
+    fn key64(&self) -> u64 {
+        self.0 as u64
+    }
+
+    fn from_parts(key: u64, _extras: &[u64]) -> Self {
+        NodeId(key as u32)
     }
 
     fn coalesce(&mut self, other: &Self) -> bool {
@@ -139,18 +147,36 @@ impl DataGraph {
     }
 
     /// Sorted nodes whose content contains `term`.
-    pub fn keyword_nodes(&self, term: &str) -> &[NodeId] {
+    pub fn keyword_nodes(&self, term: &str) -> Postings<'_, NodeId> {
         self.kw_index.postings_str(term)
     }
 
     /// Sorted nodes for an already-resolved term.
-    pub fn keyword_nodes_sym(&self, sym: Sym) -> &[NodeId] {
+    pub fn keyword_nodes_sym(&self, sym: Sym) -> Postings<'_, NodeId> {
         self.kw_index.postings(sym)
+    }
+
+    /// An already-resolved term's posting list, for cursor access.
+    pub fn keyword_list(&self, sym: Sym) -> &PostingList<NodeId> {
+        self.kw_index.list(sym)
     }
 
     /// Does node `n` contain `term`?
     pub fn node_has_term(&self, n: NodeId, term: &str) -> bool {
-        self.keyword_nodes(term).binary_search(&n).is_ok()
+        self.keyword_nodes(term).contains(&n)
+    }
+
+    /// The keyword index's physical layout.
+    pub fn keyword_index_layout(&self) -> Layout {
+        self.kw_index.layout()
+    }
+
+    /// Re-encode the keyword index into `layout`. The graph index grows
+    /// incrementally (nodes append in ascending id order without a
+    /// finalize), so compression is opt-in once the graph is fully built;
+    /// later `add_node` calls decode the touched lists back to plain.
+    pub fn set_keyword_index_layout(&mut self, layout: Layout) {
+        self.kw_index.finalize_layout(layout);
     }
 
     /// Keyword-index size figures (terms, postings, bytes). Build time is
@@ -341,7 +367,7 @@ mod tests {
         // author Widom node carries its tuple id and keyword
         let widom = g.keyword_nodes("widom");
         assert_eq!(widom.len(), 1);
-        assert!(g.tuple(widom[0]).is_some());
+        assert!(g.tuple(widom.first().unwrap()).is_some());
     }
 
     #[test]
@@ -349,8 +375,8 @@ mod tests {
         let db = sample_db();
         let (g, _) = from_database(&db, EdgeWeighting::LogDegree);
         // the paper node is referenced twice (both writes) → heavier edges
-        let paper = g.keyword_nodes("xml")[0];
-        let conf = g.keyword_nodes("sigmod")[0];
+        let paper = g.keyword_nodes("xml").first().unwrap();
+        let conf = g.keyword_nodes("sigmod").first().unwrap();
         let w_into_paper = g
             .neighbors(paper)
             .iter()

@@ -117,12 +117,12 @@ impl NodeKeywordIndex {
     /// distance entries, with the build wall-clock.
     pub fn index_stats(&self) -> IndexStats {
         let postings = self.entry_count();
-        IndexStats {
-            terms: self.dict.len(),
+        IndexStats::new(
+            self.dict.len(),
             postings,
-            posting_bytes: postings * std::mem::size_of::<(NodeId, (f64, NodeId))>(),
-            build: self.build_time,
-        }
+            postings * std::mem::size_of::<(NodeId, (f64, NodeId))>(),
+        )
+        .with_build(self.build_time)
     }
 }
 

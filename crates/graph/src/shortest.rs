@@ -93,13 +93,13 @@ pub fn distance(g: &DataGraph, a: NodeId, b: NodeId) -> Option<f64> {
 /// exactly.
 pub fn multi_source(
     g: &DataGraph,
-    sources: &[NodeId],
+    sources: impl IntoIterator<Item = NodeId>,
     max_dist: Option<f64>,
 ) -> (HashMap<NodeId, f64>, HashMap<NodeId, NodeId>) {
     // Dijkstra over the lexicographic key (dist, origin).
     let mut best: HashMap<NodeId, (f64, NodeId)> = HashMap::new();
     let mut heap: BinaryHeap<std::cmp::Reverse<(Score, NodeId, NodeId)>> = BinaryHeap::new();
-    for &s in sources {
+    for s in sources {
         let cand = (0.0, s);
         if best.get(&s).is_none_or(|&cur| cand < cur) {
             best.insert(s, cand);
@@ -221,7 +221,7 @@ mod tests {
     #[test]
     fn multi_source_tracks_origin() {
         let (g, ids) = path_graph();
-        let (dist, origin) = multi_source(&g, &[ids[0], ids[3]], None);
+        let (dist, origin) = multi_source(&g, [ids[0], ids[3]], None);
         assert_eq!(dist[&ids[1]], 1.0);
         assert_eq!(origin[&ids[1]], ids[0]);
         // c is equidistant from both sources (a–b–c = 3 = d–c); the

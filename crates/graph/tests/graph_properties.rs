@@ -102,7 +102,7 @@ fn keyword_index_matches_direct_search() {
         for node in g.iter() {
             let direct = sources
                 .iter()
-                .filter_map(|&s| distance(&g, node, s))
+                .filter_map(|s| distance(&g, node, s))
                 .fold(None::<f64>, |acc, d| Some(acc.map_or(d, |a| a.min(d))));
             assert_eq!(ix.dist(node, "kw"), direct, "node {node:?}");
         }

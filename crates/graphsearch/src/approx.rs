@@ -9,6 +9,7 @@
 //! essence of STAR's iterative path replacement.
 
 use crate::answer::{norm_edge, AnswerTree};
+use kwdb_common::index::Postings;
 use kwdb_graph::shortest::multi_source;
 use kwdb_graph::{DataGraph, NodeId};
 use std::collections::{HashMap, HashSet};
@@ -22,7 +23,7 @@ pub fn spt_heuristic<S: AsRef<str>>(g: &DataGraph, keywords: &[S]) -> Option<Ans
     }
     // Per-group distance fields (multi-source Dijkstra once per keyword).
     let mut fields = Vec::with_capacity(l);
-    let mut smallest: Option<(usize, &[NodeId])> = None;
+    let mut smallest: Option<(usize, Postings<'_, NodeId>)> = None;
     for (i, kw) in keywords.iter().enumerate() {
         let group = g.keyword_nodes(kw.as_ref());
         if group.is_empty() {
@@ -43,7 +44,7 @@ pub fn spt_heuristic<S: AsRef<str>>(g: &DataGraph, keywords: &[S]) -> Option<Ans
             }
         }
     };
-    for &r in roots {
+    for r in roots.iter() {
         try_root(r, &mut best);
     }
     // STAR-style improvement: re-root at every node of the current best tree
@@ -69,7 +70,7 @@ struct Field {
     pred: HashMap<NodeId, NodeId>,
 }
 
-fn multi_source_with_pred(g: &DataGraph, sources: &[NodeId]) -> Field {
+fn multi_source_with_pred(g: &DataGraph, sources: Postings<'_, NodeId>) -> Field {
     // multi_source tracks origins; we also need preds for path extraction,
     // so rebuild them: pred(v) = the neighbor u with dist(u) + w(u,v) = dist(v).
     let (dist, _origin) = multi_source(g, sources, None);

@@ -35,10 +35,10 @@ struct GroupExpansion {
 }
 
 impl GroupExpansion {
-    fn new(sources: &[NodeId]) -> Self {
+    fn new(sources: impl IntoIterator<Item = NodeId>) -> Self {
         let mut heap = BinaryHeap::new();
         let mut dist = HashMap::new();
-        for &s in sources {
+        for s in sources {
             dist.insert(s, 0.0);
             heap.push(std::cmp::Reverse((Score(0.0), s)));
         }

@@ -79,7 +79,7 @@ impl<'g> BanksII<'g> {
                 pred: HashMap::new(),
                 radius: 0.0,
             };
-            for &s in sources {
+            for s in sources.iter() {
                 e.dist.insert(s, 0.0);
                 let a = self.activation(0.0, self.g.degree(s), 0);
                 e.heap.push(std::cmp::Reverse((Score(-a), s)));

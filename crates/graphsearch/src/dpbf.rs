@@ -82,7 +82,7 @@ impl<'g> Dpbf<'g> {
             if group.is_empty() {
                 return (Vec::new(), truncation, stats);
             }
-            for &v in group {
+            for v in group.iter() {
                 let key = (v, 1 << i);
                 // A node may match several keywords; each gets its own
                 // initial state (merging will combine them at cost 0).
@@ -199,7 +199,7 @@ impl<'g> Dpbf<'g> {
 pub fn brute_force_gst_cost<S: AsRef<str>>(g: &DataGraph, keywords: &[S]) -> Option<f64> {
     let n = g.node_count();
     assert!(n <= 16, "brute force is for tiny graphs");
-    let groups: Vec<&[NodeId]> = keywords
+    let groups: Vec<_> = keywords
         .iter()
         .map(|k| g.keyword_nodes(k.as_ref()))
         .collect();
@@ -215,7 +215,7 @@ pub fn brute_force_gst_cost<S: AsRef<str>>(g: &DataGraph, keywords: &[S]) -> Opt
         // must cover every group
         if !groups
             .iter()
-            .all(|grp| grp.iter().any(|m| nodes.contains(m)))
+            .all(|grp| grp.iter().any(|m| nodes.contains(&m)))
         {
             continue;
         }

@@ -8,7 +8,6 @@
 //! once (maximality by node-set dedup). Scored by keyword proximity: the
 //! closer the matches sit to each other, the higher the score.
 
-use kwdb_common::index::kernels;
 use kwdb_graph::shortest::within_hops;
 use kwdb_graph::{DataGraph, NodeId};
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -60,7 +59,11 @@ pub fn search<S: AsRef<str>>(
         // node lists, so the shared intersection kernel applies directly
         let matches: Vec<Vec<NodeId>> = groups
             .iter()
-            .map(|grp| kernels::intersect(grp, &hood_sorted))
+            .map(|grp| {
+                let mut m = Vec::new();
+                grp.intersect_sorted_into(&hood_sorted, &mut m);
+                m
+            })
             .collect();
         if matches.iter().any(|m| m.is_empty()) {
             continue;

@@ -45,11 +45,11 @@ pub fn proximity_search(g: &DataGraph, find: &str, near: &str, k: usize) -> Vec<
     let mut hits: Vec<ProximityHit> = if near_nodes.len() <= 8 {
         let fields: Vec<std::collections::HashMap<NodeId, f64>> = near_nodes
             .iter()
-            .map(|&s| multi_source(g, &[s], None).0)
+            .map(|s| multi_source(g, [s], None).0)
             .collect();
         find_nodes
             .iter()
-            .filter_map(|&f| {
+            .filter_map(|f| {
                 let ds: Vec<f64> = fields
                     .iter()
                     .filter_map(|fld| fld.get(&f).copied())
@@ -69,7 +69,7 @@ pub fn proximity_search(g: &DataGraph, find: &str, near: &str, k: usize) -> Vec<
         let (dist, _) = multi_source(g, near_nodes, None);
         find_nodes
             .iter()
-            .filter_map(|&f| {
+            .filter_map(|f| {
                 let d = dist.get(&f).copied()?;
                 let (score, min_dist) = score_of(std::iter::once(d));
                 Some(ProximityHit {
@@ -103,10 +103,10 @@ pub fn proximity_search_indexed(
     let near_nodes = g.keyword_nodes(near);
     let mut hits: Vec<ProximityHit> = find_nodes
         .iter()
-        .filter_map(|&f| {
+        .filter_map(|f| {
             let ds: Vec<f64> = near_nodes
                 .iter()
-                .filter_map(|&n| index.distance(f, n))
+                .filter_map(|n| index.distance(f, n))
                 .collect();
             if ds.is_empty() {
                 return None;

@@ -52,6 +52,9 @@ pub mod families {
     pub const INDEX_POSTINGS: &str = "kwdb_index_postings";
     /// Gauge: approximate posting payload bytes of an index (label `index`).
     pub const INDEX_POSTING_BYTES: &str = "kwdb_index_posting_bytes";
+    /// Gauge: encoded posting blocks in an index (label `index`; zero on
+    /// the plain layout).
+    pub const INDEX_BLOCKS: &str = "kwdb_index_blocks";
     /// Counter: candidate networks actually joined during top-k evaluation.
     pub const CN_EVALUATED: &str = "kwdb_cn_evaluated_total";
     /// Counter: candidate networks skipped (bound-pruned or budget-cut);
@@ -98,6 +101,7 @@ pub fn record_query(
         ("rows_output", stats.operators.rows_output),
         ("sorted_accesses", stats.operators.sorted_accesses),
         ("random_accesses", stats.operators.random_accesses),
+        ("blocks_skipped", stats.operators.blocks_skipped),
     ] {
         reg.counter(
             families::OPERATORS,
@@ -152,6 +156,8 @@ pub fn record_index_stats(reg: &MetricsRegistry, index: &str, stats: &IndexStats
         .set(stats.postings as i64);
     reg.gauge(families::INDEX_POSTING_BYTES, &labels)
         .set(stats.posting_bytes as i64);
+    reg.gauge(families::INDEX_BLOCKS, &labels)
+        .set(stats.blocks as i64);
     if let Some(build) = stats.build {
         reg.histogram(families::INDEX_BUILD, &labels)
             .record_duration(build);
@@ -240,12 +246,7 @@ mod tests {
     #[test]
     fn record_index_stats_sets_gauges_and_build_histogram() {
         let reg = MetricsRegistry::new();
-        let stats = IndexStats {
-            terms: 12,
-            postings: 340,
-            posting_bytes: 340 * 16,
-            build: Some(Duration::from_micros(250)),
-        };
+        let stats = IndexStats::new(12, 340, 340 * 16).with_build(Some(Duration::from_micros(250)));
         record_index_stats(&reg, "relational_text", &stats);
         // a rebuild overwrites the gauges but accumulates in the histogram
         record_index_stats(&reg, "relational_text", &stats);
@@ -265,12 +266,7 @@ mod tests {
         assert_eq!(hist.1.count, 2);
 
         // an index with no recorded build time still reports sizes
-        let unbuilt = IndexStats {
-            terms: 1,
-            postings: 1,
-            posting_bytes: 8,
-            build: None,
-        };
+        let unbuilt = IndexStats::new(1, 1, 8);
         record_index_stats(&reg, "graph_keyword", &unbuilt);
         assert_eq!(
             reg.gauge(families::INDEX_TERMS, &[("index", "graph_keyword")])

@@ -3,6 +3,7 @@
 use crate::index::{InvertedIndex, Posting};
 use crate::schema::{SchemaEdge, SchemaGraph, TableBuilder, TableId};
 use crate::table::{Row, RowId, Table, TupleId};
+use kwdb_common::index::Layout;
 use kwdb_common::text::tokenize;
 use kwdb_common::{KwdbError, Result, Value};
 use std::collections::HashMap;
@@ -124,8 +125,15 @@ impl Database {
     /// (Re)build the full-text inverted index over all text columns,
     /// recording the build wall-clock in the index's stats.
     pub fn build_text_index(&mut self) {
+        self.build_text_index_with(Layout::default());
+    }
+
+    /// [`build_text_index`](Self::build_text_index) with an explicit posting
+    /// layout for the rebuilt index.
+    pub fn build_text_index_with(&mut self, layout: Layout) {
         let start = std::time::Instant::now();
         let mut ix = InvertedIndex::new();
+        ix.set_layout(layout);
         for t in &self.tables {
             ix.set_tuple_count(t.id, t.len());
             let text_cols: Vec<usize> = t.schema.text_columns().collect();
@@ -150,6 +158,15 @@ impl Database {
         ix.set_build_time(start.elapsed());
         self.text_index = ix;
         self.index_built = true;
+    }
+
+    /// Re-encode the (already built) text index into `layout`; contents are
+    /// unchanged. No-op on a stale index — pick the layout at the next
+    /// [`build_text_index_with`](Self::build_text_index_with) instead.
+    pub fn set_posting_layout(&mut self, layout: Layout) {
+        if self.index_built {
+            self.text_index.set_layout(layout);
+        }
     }
 
     /// The full-text index. Panics if [`build_text_index`](Self::build_text_index)

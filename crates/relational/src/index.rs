@@ -3,14 +3,15 @@
 //! Storage lives in the shared [`kwdb_common::index`] core: terms are
 //! interned into a dense-`Sym` dictionary (each distinct term allocated
 //! exactly once, however many occurrences the build sees) and postings sit
-//! in per-term sorted lists. Query paths resolve each keyword to a [`Sym`]
-//! once via [`InvertedIndex::sym`] and then fetch slices by dense id; the
-//! string-keyed methods remain as conveniences that do exactly one
-//! dictionary lookup.
+//! in per-term sorted lists behind the layout-agnostic [`Postings`] /
+//! cursor API (plain `Vec`s or compressed blocks, per [`Layout`]). Query
+//! paths resolve each keyword to a [`Sym`] once via [`InvertedIndex::sym`]
+//! and then fetch views by dense id; the string-keyed methods remain as
+//! conveniences that do exactly one dictionary lookup.
 
 use crate::schema::TableId;
 use crate::table::{RowId, TupleId};
-use kwdb_common::index::{IndexStats, PostingStore, TermStats};
+use kwdb_common::index::{IndexStats, Layout, PostingList, PostingStore, Postings, TermStats};
 use kwdb_common::intern::Sym;
 use std::collections::HashMap;
 use std::time::Duration;
@@ -28,8 +29,33 @@ pub struct Posting {
 impl kwdb_common::index::Posting for Posting {
     type SortKey = (TableId, RowId, usize);
 
+    /// Payload round-tripped by the block codec: column, then tf.
+    const EXTRA_FIELDS: usize = 2;
+
     fn sort_key(&self) -> Self::SortKey {
         (self.tuple.table, self.tuple.row, self.column)
+    }
+
+    /// `(table, row)` packed into one key. Deliberately column-blind:
+    /// cursors and WAND treat a tuple's occurrences across columns as one
+    /// logical document (they share a key and aggregate their impacts).
+    fn key64(&self) -> u64 {
+        tuple_key(self.tuple)
+    }
+
+    fn extra(&self, i: usize) -> u64 {
+        match i {
+            0 => self.column as u64,
+            _ => self.tf as u64,
+        }
+    }
+
+    fn from_parts(key: u64, extras: &[u64]) -> Self {
+        Posting {
+            tuple: TupleId::new(TableId((key >> 32) as u32), RowId(key as u32)),
+            column: extras[0] as usize,
+            tf: extras[1] as u32,
+        }
     }
 
     fn coalesce(&mut self, other: &Self) -> bool {
@@ -50,11 +76,23 @@ impl kwdb_common::index::Posting for Posting {
     }
 }
 
+/// The cursor key ([`kwdb_common::index::Posting::key64`]) of a tuple.
+pub fn tuple_key(tuple: TupleId) -> u64 {
+    ((tuple.table.0 as u64) << 32) | tuple.row.0 as u64
+}
+
+/// Half-open cursor-key range `[lo, hi)` covering every posting of `table`
+/// — the `seek` window for per-table scans and WAND over one table.
+pub fn table_key_range(table: TableId) -> (u64, u64) {
+    let lo = (table.0 as u64) << 32;
+    (lo, lo + (1u64 << 32))
+}
+
 /// Inverted index: keyword → postings, with a per-table view.
 ///
-/// Postings are stored sorted by `(table, row, column)` so per-table slices
-/// ("query tuple sets" in DISCOVER terms) are contiguous and extractable
-/// without allocation-heavy filtering.
+/// Postings are stored sorted by `(table, row, column)` so per-table runs
+/// are contiguous ("query tuple sets" in DISCOVER terms) and reachable by
+/// a single cursor `seek` into [`table_key_range`].
 #[derive(Debug, Clone, Default)]
 pub struct InvertedIndex {
     store: PostingStore<Posting>,
@@ -84,36 +122,58 @@ impl InvertedIndex {
         self.store.finalize();
     }
 
+    /// The configured physical layout.
+    pub fn layout(&self) -> Layout {
+        self.store.layout()
+    }
+
+    /// Re-encode the posting lists into `layout` (contents unchanged).
+    pub fn set_layout(&mut self, layout: Layout) {
+        self.store.set_layout(layout);
+    }
+
     /// Resolve a query term to its dense id — one dictionary lookup. Do this
     /// once per query term, then drive the query off the `Sym`.
     pub fn sym(&self, term: &str) -> Option<Sym> {
         self.store.sym(term)
     }
 
-    /// All postings for `term` (empty slice if absent).
-    pub fn postings(&self, term: &str) -> &[Posting] {
+    /// All postings for `term` (the empty view if absent).
+    pub fn postings(&self, term: &str) -> Postings<'_, Posting> {
         self.store.postings_str(term)
     }
 
     /// All postings for an already-resolved term.
-    pub fn postings_sym(&self, sym: Sym) -> &[Posting] {
+    pub fn postings_sym(&self, sym: Sym) -> Postings<'_, Posting> {
         self.store.postings(sym)
     }
 
-    /// Postings for `term` within one table.
-    pub fn postings_in(&self, term: &str, table: TableId) -> &[Posting] {
-        Self::table_slice(self.postings(term), table)
+    /// An already-resolved term's posting list, for cursor access.
+    pub fn list(&self, sym: Sym) -> &PostingList<Posting> {
+        self.store.list(sym)
     }
 
-    /// Postings for an already-resolved term within one table.
-    pub fn postings_in_sym(&self, sym: Sym, table: TableId) -> &[Posting] {
-        Self::table_slice(self.postings_sym(sym), table)
+    /// Postings for `term` within one table (decoded into a fresh `Vec`).
+    pub fn postings_in(&self, term: &str, table: TableId) -> Vec<Posting> {
+        self.sym(term)
+            .map_or_else(Vec::new, |s| self.postings_in_sym(s, table))
     }
 
-    fn table_slice(all: &[Posting], table: TableId) -> &[Posting] {
-        let lo = all.partition_point(|p| p.tuple.table < table);
-        let hi = all.partition_point(|p| p.tuple.table <= table);
-        &all[lo..hi]
+    /// Postings for an already-resolved term within one table: one cursor
+    /// `seek` to the table's key range, then a bounded scan.
+    pub fn postings_in_sym(&self, sym: Sym, table: TableId) -> Vec<Posting> {
+        let (lo, hi) = table_key_range(table);
+        let mut cursor = self.store.list(sym).cursor();
+        let mut out = Vec::new();
+        cursor.seek(lo);
+        while let Some(p) = cursor.peek() {
+            if kwdb_common::index::Posting::key64(&p) >= hi {
+                break;
+            }
+            out.push(p);
+            cursor.advance();
+        }
+        out
     }
 
     /// Distinct rows of `table` containing `term` (sorted, deduplicated).
@@ -160,10 +220,7 @@ impl InvertedIndex {
     /// Whole-index size figures, with the build wall-clock when the owner
     /// measured one.
     pub fn index_stats(&self) -> IndexStats {
-        IndexStats {
-            build: self.build_time,
-            ..self.store.index_stats()
-        }
+        self.store.index_stats().with_build(self.build_time)
     }
 }
 
@@ -193,7 +250,7 @@ mod tests {
     #[test]
     fn postings_sorted_and_merged() {
         let ix = index();
-        let ps = ix.postings("xml");
+        let ps = ix.postings("xml").to_vec();
         assert_eq!(ps.len(), 3);
         assert_eq!(ps[0].tf, 2);
         assert!(ps
@@ -260,5 +317,26 @@ mod tests {
         let stats = ix.term_stats(xml);
         assert_eq!(stats.df, 3);
         assert_eq!(stats.total_tf, 4); // tf=2 posting plus two tf=1 postings
+    }
+
+    #[test]
+    fn layout_switch_preserves_query_results() {
+        let mut ix = InvertedIndex::new();
+        for row in 0..2000u32 {
+            ix.add("dense", t(0, row, 0));
+            ix.add("dense", t(1, row / 2, 1));
+        }
+        ix.finalize();
+        let plain = ix.postings("dense").to_vec();
+        let plain_in: Vec<_> = ix.postings_in("dense", TableId(1));
+        let plain_bytes = ix.index_stats().posting_bytes;
+
+        ix.set_layout(Layout::Blocks);
+        assert_eq!(ix.layout(), Layout::Blocks);
+        assert_eq!(ix.postings("dense").to_vec(), plain);
+        assert_eq!(ix.postings_in("dense", TableId(1)), plain_in);
+        assert_eq!(ix.rows_in("dense", TableId(1)).len(), 1000);
+        assert!(ix.index_stats().posting_bytes < plain_bytes);
+        assert!(ix.index_stats().blocks > 0);
     }
 }

@@ -30,7 +30,10 @@ use crate::eval::JoinedResult;
 use crate::parallel::{estimate_cost, partition_sharing_aware};
 use crate::topk::{CnExecOutcome, RankedResult, TopKQuery};
 use crate::tupleset::TupleSets;
+use kwdb_common::index::kernels;
 use kwdb_common::{Budget, ScratchPool, SharedTopK, TruncationReason, Value};
+use kwdb_rank::tfidf::TfIdf;
+use kwdb_relational::index::table_key_range;
 use kwdb_relational::{Database, ExecStats, RowId, TableId, TupleId};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -287,6 +290,82 @@ pub fn evaluate_cn_pooled_until(
     results
 }
 
+/// Try the block-max WAND fast path for a single-node CN covering the full
+/// keyword mask. Such a CN's result set is exactly the keys present in
+/// *every* keyword's posting list within the table's key range (the exact
+/// subset cannot exceed the full mask), so it can be answered straight off
+/// the posting cursors — no tuple-set materialization, no joins — while
+/// block-max bounds let whole compressed blocks be skipped once the shared
+/// top-k threshold rises.
+///
+/// Returns `false` when the CN does not fit the pattern (caller falls back
+/// to the join evaluator); `true` when the CN was fully handled, including
+/// the provably-empty case of a keyword absent from the index.
+///
+/// Exactness: the single-node score is `Σ_k tf_weight(tf_k) · idf_k` with
+/// `tf_k` the tuple's occurrence total for keyword `k` — and block
+/// `max_impact` bounds per-key *group totals*, so
+/// `Σ_k tf_weight(block_max_k) · idf_k` upper-bounds every candidate in the
+/// current blocks. Pruning is strictly-below-threshold, matching
+/// `SharedTopK::would_accept`'s `score ≥ t` acceptance, so the emitted set
+/// restricted to the final top-k is identical to the unpruned path for any
+/// worker count and either posting layout.
+fn wand_try_single_node<S, D>(
+    q: &TopKQuery<'_, S, D>,
+    j: usize,
+    shared: &SharedTopK<(usize, JoinedResult)>,
+    w: usize,
+    stats: &ExecStats,
+) -> bool
+where
+    S: AsRef<str>,
+    D: Deref<Target = Database>,
+{
+    let cn = &q.cns[j];
+    let full = q.ts.full_mask();
+    if cn.nodes.len() != 1 || full == 0 || cn.nodes[0].mask != full {
+        return false;
+    }
+    let table = cn.nodes[0].table;
+    let ix = q.db.text_index();
+    let mut cursors = Vec::with_capacity(q.keywords.len());
+    let mut idfs = Vec::with_capacity(q.keywords.len());
+    for kw in q.keywords {
+        let kw = kw.as_ref();
+        let Some(sym) = ix.sym(kw) else {
+            return true; // keyword absent from the corpus: CN provably empty
+        };
+        cursors.push(ix.postings_sym(sym).cursor());
+        idfs.push(q.scorer.corpus().idf(kw));
+    }
+    let (lo, hi) = table_key_range(table);
+    for c in &mut cursors {
+        c.seek(lo);
+    }
+    let ws = kernels::wand_intersect(
+        &mut cursors,
+        hi,
+        |maxes| {
+            maxes
+                .iter()
+                .zip(&idfs)
+                .map(|(&m, idf)| TfIdf::tf_weight(m as usize) * idf)
+                .sum()
+        },
+        || shared.threshold(),
+        |key, _| {
+            let r = JoinedResult {
+                tuples: vec![TupleId::new(table, RowId(key as u32))],
+            };
+            let score = q.scorer.monotone_score(&r, q.keywords);
+            shared.push(w, score, (j, r));
+        },
+    );
+    stats.add_output(ws.emitted);
+    stats.add_blocks_skipped(ws.blocks_skipped);
+    true
+}
+
 /// Run the parallel CN executor: evaluate `q.cns` on `workers` threads
 /// sharing one top-k bound, under `budget`. Scratch state is checked out of
 /// `pool` (one `EvalScratch` per worker, returned on completion).
@@ -403,6 +482,12 @@ where
                 }
                 if !shared.would_accept(bounds[j]) {
                     continue; // strictly below the global k-th best: pruned
+                }
+                // Single-node full-mask CNs skip the join machinery and run
+                // straight off the posting cursors with block-max pruning.
+                if wand_try_single_node(q, j, &shared, w, stats) {
+                    evaluated.fetch_add(1, Ordering::Relaxed);
+                    continue;
                 }
                 // Abandon mid-evaluation once another worker raises the
                 // threshold past this CN's bound: everything it could still
@@ -552,6 +637,61 @@ mod tests {
                 assert_eq!(serial, scores, "k={k} workers={workers}");
                 assert!(out.truncation.is_none());
                 assert_eq!(out.cns_evaluated + out.cns_pruned, cns.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn wand_fast_path_matches_serial_across_layouts_and_workers() {
+        use kwdb_common::index::Layout;
+        let mut db = db();
+        // A row matching every keyword, so a single-node full-mask CN — the
+        // WAND fast path's target — exists and produces results.
+        db.insert(
+            "paper",
+            vec![14.into(), "Widom XML retrospective".into(), 2.into()],
+        )
+        .unwrap();
+        for layout in [Layout::Plain, Layout::Blocks] {
+            db.build_text_index_with(layout);
+            let (ts, cns) = setup(&db, &["widom", "xml"]);
+            assert!(
+                cns.iter()
+                    .any(|cn| cn.nodes.len() == 1 && cn.nodes[0].mask == ts.full_mask()),
+                "expected a single-node full-mask CN"
+            );
+            let scorer = ResultScorer::new(&db);
+            let keywords = ["widom", "xml"];
+            let q = TopKQuery {
+                db: &db,
+                ts: &ts,
+                cns: &cns,
+                scorer: &scorer,
+                keywords: &keywords,
+            };
+            let pool = ScratchPool::new();
+            let serial = global_pipeline(&q, 3, &ExecStats::new());
+            let serial_scores: Vec<f64> = serial.iter().map(|r| r.score).collect();
+            let mut serial_sets: Vec<_> = serial.iter().map(|r| r.result.tuples.clone()).collect();
+            serial_sets.sort();
+            for workers in [1, 8] {
+                let out = parallel_topk_budgeted(
+                    &q,
+                    3,
+                    &ExecStats::new(),
+                    &Budget::unlimited(),
+                    workers,
+                    &pool,
+                );
+                let scores: Vec<f64> = out.results.iter().map(|r| r.score).collect();
+                assert_eq!(serial_scores, scores, "layout={layout:?} workers={workers}");
+                let mut sets: Vec<_> = out
+                    .results
+                    .iter()
+                    .map(|r| r.result.tuples.clone())
+                    .collect();
+                sets.sort();
+                assert_eq!(serial_sets, sets, "layout={layout:?} workers={workers}");
             }
         }
     }

@@ -6,6 +6,7 @@
 //! (cover all keywords) and duplicate-free across CNs (a joining tree of
 //! tuples matches exactly one CN).
 
+use kwdb_common::index::kernels;
 use kwdb_relational::{Database, RowId, TableId};
 use std::collections::HashMap;
 
@@ -33,25 +34,37 @@ pub struct TupleSets {
 impl TupleSets {
     /// Partition every table's matching rows by exact keyword subset.
     /// Requires a fresh full-text index on `db`.
+    ///
+    /// Rides the k-way cursor union kernel: tuple keys `(table, row)` arrive
+    /// in ascending order with the bitmask of matching lists, so the
+    /// per-set and per-table row vectors come out sorted with no hashing
+    /// over postings and no post-sort — and the same code path serves both
+    /// the plain and the block-compressed layout.
     pub fn build<S: AsRef<str>>(db: &Database, keywords: &[S]) -> Self {
         assert!(keywords.len() <= 32, "at most 32 keywords");
         let ix = db.text_index();
         // One dictionary lookup per keyword up front; absent keywords have
         // no postings and simply contribute no mask bits.
-        let syms: Vec<_> = keywords.iter().map(|kw| ix.sym(kw.as_ref())).collect();
-        // (table, row) → mask
-        let mut masks: HashMap<(TableId, RowId), u32> = HashMap::new();
-        for (i, sym) in syms.into_iter().enumerate() {
-            let Some(sym) = sym else { continue };
-            for p in ix.postings_sym(sym) {
-                *masks.entry((p.tuple.table, p.tuple.row)).or_insert(0) |= 1 << i;
-            }
+        let mut cursors = Vec::with_capacity(keywords.len());
+        let mut bit_of = Vec::with_capacity(keywords.len());
+        for (i, kw) in keywords.iter().enumerate() {
+            let Some(sym) = ix.sym(kw.as_ref()) else {
+                continue;
+            };
+            cursors.push(ix.postings_sym(sym).cursor());
+            bit_of.push(i as u32);
         }
         let mut sets: HashMap<(TableId, u32), TupleSet> = HashMap::new();
         let mut matched: HashMap<TableId, Vec<RowId>> = HashMap::new();
-        let mut keys: Vec<((TableId, RowId), u32)> = masks.into_iter().collect();
-        keys.sort(); // deterministic row order
-        for ((table, row), mask) in keys {
+        kernels::for_each_union_key(&mut cursors, |key, cursor_mask| {
+            let mut mask = 0u32;
+            let mut rest = cursor_mask;
+            while rest != 0 {
+                mask |= 1 << bit_of[rest.trailing_zeros() as usize];
+                rest &= rest - 1;
+            }
+            let table = TableId((key >> 32) as u32);
+            let row = RowId(key as u32);
             sets.entry((table, mask))
                 .or_insert_with(|| TupleSet {
                     table,
@@ -61,10 +74,7 @@ impl TupleSets {
                 .rows
                 .push(row);
             matched.entry(table).or_default().push(row);
-        }
-        for rows in matched.values_mut() {
-            rows.sort();
-        }
+        });
         TupleSets {
             sets,
             matched,

@@ -3,15 +3,17 @@
 //! For each keyword the index stores the document-ordered list of nodes whose
 //! *direct* text contains it. Because [`NodeId`] order equals
 //! document order, the `lm`/`rm` probes the SLCA family needs are plain
-//! binary searches — served by the shared [`kwdb_common::index`] kernels.
+//! binary searches — served by the shared [`kwdb_common::index`] kernels on
+//! the plain layout and by the block skip directory on the compressed one.
 //!
 //! Storage lives in a [`PostingStore`] keyed by the term dictionary: every
 //! label and token is normalized through [`normalize_term`] and interned
 //! once, and query paths resolve each keyword to a [`Sym`] a single time
-//! via [`XmlIndex::sym`].
+//! via [`XmlIndex::sym`]. Lists are handed out as layout-agnostic
+//! [`Postings`] views supporting iteration, cursors, and the probes.
 
 use crate::tree::{NodeId, XmlTree};
-use kwdb_common::index::{kernels, IndexStats, PostingStore};
+use kwdb_common::index::{kernels, IndexStats, Layout, PostingStore, Postings};
 use kwdb_common::intern::Sym;
 use kwdb_common::text::{normalize_term, tokenize};
 use std::time::Duration;
@@ -22,6 +24,14 @@ impl kwdb_common::index::Posting for NodeId {
 
     fn sort_key(&self) -> NodeId {
         *self
+    }
+
+    fn key64(&self) -> u64 {
+        self.0 as u64
+    }
+
+    fn from_parts(key: u64, _extras: &[u64]) -> Self {
+        NodeId(key as u32)
     }
 
     fn coalesce(&mut self, other: &Self) -> bool {
@@ -46,6 +56,11 @@ impl XmlIndex {
     /// can match structure terms like `paper` — the tutorial's
     /// Q = {keyword, Mark} relies on label matches.
     pub fn build(tree: &XmlTree) -> Self {
+        Self::build_with(tree, Layout::default())
+    }
+
+    /// Build with an explicit posting-list [`Layout`].
+    pub fn build_with(tree: &XmlTree, layout: Layout) -> Self {
         let start = std::time::Instant::now();
         let mut store: PostingStore<NodeId> = PostingStore::new();
         for n in tree.iter() {
@@ -60,12 +75,23 @@ impl XmlIndex {
             }
         }
         // Pre-order iteration emits nodes in document order, so every list is
-        // already sorted and deduplicated; finalize just caches term stats.
-        store.finalize();
+        // already sorted and deduplicated; finalize caches term stats and
+        // applies the layout.
+        store.finalize_layout(layout);
         XmlIndex {
             store,
             build_time: Some(start.elapsed()),
         }
+    }
+
+    /// The configured physical layout.
+    pub fn layout(&self) -> Layout {
+        self.store.layout()
+    }
+
+    /// Re-encode the posting lists into `layout` (contents unchanged).
+    pub fn set_layout(&mut self, layout: Layout) {
+        self.store.set_layout(layout);
     }
 
     /// Resolve a query term to its dense id — one dictionary lookup. Do this
@@ -74,13 +100,13 @@ impl XmlIndex {
         self.store.sym(term)
     }
 
-    /// Document-ordered match list for `term` (empty if absent).
-    pub fn nodes(&self, term: &str) -> &[NodeId] {
+    /// Document-ordered match list for `term` (the empty view if absent).
+    pub fn nodes(&self, term: &str) -> Postings<'_, NodeId> {
         self.store.postings_str(term)
     }
 
     /// Document-ordered match list for an already-resolved term.
-    pub fn nodes_sym(&self, sym: Sym) -> &[NodeId] {
+    pub fn nodes_sym(&self, sym: Sym) -> Postings<'_, NodeId> {
         self.store.postings(sym)
     }
 
@@ -92,8 +118,11 @@ impl XmlIndex {
     /// Match lists for all `terms`, shortest first (the SLCA drivers iterate
     /// the smallest list). Returns `None` if any term has no matches —
     /// AND semantics make the result empty in that case.
-    pub fn lists_for<'a, S: AsRef<str>>(&'a self, terms: &[S]) -> Option<Vec<&'a [NodeId]>> {
-        let mut lists: Vec<&[NodeId]> = Vec::with_capacity(terms.len());
+    pub fn lists_for<'a, S: AsRef<str>>(
+        &'a self,
+        terms: &[S],
+    ) -> Option<Vec<Postings<'a, NodeId>>> {
+        let mut lists: Vec<Postings<'a, NodeId>> = Vec::with_capacity(terms.len());
         for t in terms {
             let l = self.nodes(t.as_ref());
             if l.is_empty() {
@@ -105,13 +134,16 @@ impl XmlIndex {
         Some(lists)
     }
 
-    /// Smallest node in `list` that is `≥ v` in document order (XKSearch's
-    /// *rm* probe). `None` if all nodes precede `v`.
+    /// Smallest node in a raw sorted `list` that is `≥ v` in document order
+    /// (XKSearch's *rm* probe). `None` if all nodes precede `v`. Slice
+    /// helper for algorithm-internal lists; index lists take the same probe
+    /// on their [`Postings`] view.
     pub fn right_match(list: &[NodeId], v: NodeId) -> Option<NodeId> {
         kernels::right_match(list, v)
     }
 
-    /// Largest node in `list` that is `≤ v` (XKSearch's *lm* probe).
+    /// Largest node in a raw sorted `list` that is `≤ v` (XKSearch's *lm*
+    /// probe).
     pub fn left_match(list: &[NodeId], v: NodeId) -> Option<NodeId> {
         kernels::left_match(list, v)
     }
@@ -123,10 +155,7 @@ impl XmlIndex {
 
     /// Whole-index size figures, including the build wall-clock.
     pub fn index_stats(&self) -> IndexStats {
-        IndexStats {
-            build: self.build_time,
-            ..self.store.index_stats()
-        }
+        self.store.index_stats().with_build(self.build_time)
     }
 }
 
@@ -153,7 +182,7 @@ mod tests {
     fn text_terms_indexed_in_doc_order() {
         let t = tree();
         let ix = XmlIndex::build(&t);
-        let kw = ix.nodes("keyword");
+        let kw = ix.nodes("keyword").to_vec();
         assert_eq!(kw.len(), 2);
         assert!(kw[0] < kw[1]);
         assert_eq!(ix.freq("mark"), 1);
@@ -220,5 +249,17 @@ mod tests {
             stats.postings * std::mem::size_of::<NodeId>()
         );
         assert!(stats.build.is_some(), "batch build is timed");
+    }
+
+    #[test]
+    fn block_layout_answers_identically() {
+        let t = tree();
+        let plain = XmlIndex::build(&t);
+        let blocks = XmlIndex::build_with(&t, Layout::Blocks);
+        assert_eq!(blocks.layout(), Layout::Blocks);
+        for term in plain.terms() {
+            assert_eq!(blocks.nodes(term).to_vec(), plain.nodes(term).to_vec());
+            assert_eq!(blocks.freq(term), plain.freq(term));
+        }
     }
 }

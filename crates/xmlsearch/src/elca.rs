@@ -14,6 +14,7 @@
 //! child-interval probes.
 
 use crate::slca::covering_nodes;
+use kwdb_common::index::Postings;
 use kwdb_common::Result;
 use kwdb_xml::{NodeId, XmlIndex, XmlTree};
 
@@ -41,7 +42,7 @@ pub fn elca<S: AsRef<str>>(
     // set ∪ slca({v}, rest) suffices; anchors from the *smallest* list.
     let (driver, others) = lists.split_first().expect("at least one keyword");
     let mut candidates: Vec<NodeId> = Vec::new();
-    for &v in *driver {
+    for v in driver.iter() {
         candidates.push(per_anchor_slca(tree, v, others));
     }
     candidates.sort();
@@ -51,7 +52,8 @@ pub fn elca<S: AsRef<str>>(
     // Verification: v is an ELCA iff every keyword has a match in span(v)
     // that is not inside any covering child-subtree of v. Lists are resolved
     // once here; verification below never touches the dictionary again.
-    let all_lists: Vec<&[NodeId]> = keywords.iter().map(|k| index.nodes(k.as_ref())).collect();
+    let all_lists: Vec<Postings<'_, NodeId>> =
+        keywords.iter().map(|k| index.nodes(k.as_ref())).collect();
     let mut out = Vec::new();
     for &v in &candidates {
         if verify_elca(tree, &sizes, &all_lists, v, &mut stats) {
@@ -69,13 +71,14 @@ pub fn elca_brute_force<S: AsRef<str>>(
 ) -> Vec<NodeId> {
     let covering: std::collections::HashSet<NodeId> =
         covering_nodes(tree, index, keywords).into_iter().collect();
-    let lists: Vec<&[NodeId]> = keywords.iter().map(|k| index.nodes(k.as_ref())).collect();
+    let lists: Vec<Postings<'_, NodeId>> =
+        keywords.iter().map(|k| index.nodes(k.as_ref())).collect();
     let mut out = Vec::new();
     for v in tree.iter() {
         // matches of each keyword in subtree(v), excluding matches under any
         // proper descendant of v that covers all keywords
         let ok = lists.iter().all(|list| {
-            list.iter().any(|&m| {
+            list.iter().any(|m| {
                 if !(tree.is_ancestor(v, m) || v == m) {
                     return false;
                 }
@@ -98,12 +101,12 @@ pub fn elca_brute_force<S: AsRef<str>>(
 }
 
 /// Deepest ancestor of `v` covering every other keyword via nearest matches.
-fn per_anchor_slca(tree: &XmlTree, v: NodeId, others: &[&[NodeId]]) -> NodeId {
+fn per_anchor_slca(tree: &XmlTree, v: NodeId, others: &[Postings<'_, NodeId>]) -> NodeId {
     let vd = tree.dewey(v);
     let mut best = vd.depth();
     for list in others {
-        let l = XmlIndex::left_match(list, v);
-        let r = XmlIndex::right_match(list, v);
+        let l = list.left_match(v);
+        let r = list.right_match(v);
         let lcp = [l, r]
             .iter()
             .flatten()
@@ -121,23 +124,31 @@ fn per_anchor_slca(tree: &XmlTree, v: NodeId, others: &[&[NodeId]]) -> NodeId {
 fn verify_elca(
     tree: &XmlTree,
     sizes: &[u32],
-    all_lists: &[&[NodeId]],
+    all_lists: &[Postings<'_, NodeId>],
     v: NodeId,
     stats: &mut ElcaStats,
 ) -> bool {
     let span_end = NodeId(v.0 + sizes[v.0 as usize]);
     all_lists.iter().all(|list| {
-        let lo = list.partition_point(|&x| x < v);
-        let hi = list.partition_point(|&x| x < span_end);
+        // cursor positioned at the first match ≥ v; witnesses live in
+        // [v, span_end)
+        let mut cur = list.cursor();
+        cur.seek(v.0 as u64);
         stats.probes += 2;
-        list[lo..hi].iter().any(|&m| {
+        while let Some(m) = cur.next() {
+            if m >= span_end {
+                break;
+            }
             if m == v {
                 return true; // match on v itself is always a witness
             }
             // the child of v on the path to m
             let child = child_toward(tree, v, m);
-            !covers_all(sizes, all_lists, child, stats)
-        })
+            if !covers_all(sizes, all_lists, child, stats) {
+                return true;
+            }
+        }
+        false
     })
 }
 
@@ -150,12 +161,16 @@ fn child_toward(tree: &XmlTree, v: NodeId, m: NodeId) -> NodeId {
 }
 
 /// Does `c`'s subtree contain a match of every keyword?
-fn covers_all(sizes: &[u32], all_lists: &[&[NodeId]], c: NodeId, stats: &mut ElcaStats) -> bool {
+fn covers_all(
+    sizes: &[u32],
+    all_lists: &[Postings<'_, NodeId>],
+    c: NodeId,
+    stats: &mut ElcaStats,
+) -> bool {
     let end = NodeId(c.0 + sizes[c.0 as usize]);
     all_lists.iter().all(|list| {
         stats.probes += 1;
-        let lo = list.partition_point(|&x| x < c);
-        lo < list.len() && list[lo] < end
+        list.right_match(c).is_some_and(|m| m < end)
     })
 }
 

@@ -60,6 +60,9 @@ pub fn search<S: AsRef<str>>(
     let Some(lists) = index.lists_for(keywords) else {
         return Ok(Vec::new());
     };
+    // The mixed-radix enumeration needs random access into every list, so
+    // decode the (possibly block-compressed) views once up front.
+    let lists: Vec<Vec<NodeId>> = lists.iter().map(|l| l.to_vec()).collect();
     let mut out = Vec::new();
     let mut combo = vec![0usize; lists.len()];
     'enumerate: loop {
@@ -116,8 +119,8 @@ mod tests {
     fn coauthors_are_interconnected() {
         let t = bib();
         let ix = XmlIndex::build(&t);
-        let alice = ix.nodes("alice")[0];
-        let bob = ix.nodes("bob")[0];
+        let alice = ix.nodes("alice").first().unwrap();
+        let bob = ix.nodes("bob").first().unwrap();
         assert!(interconnected(&t, alice, bob), "path: author-paper-author");
     }
 
@@ -125,8 +128,8 @@ mod tests {
     fn authors_of_different_papers_are_not() {
         let t = bib();
         let ix = XmlIndex::build(&t);
-        let alice = ix.nodes("alice")[0];
-        let carol = ix.nodes("carol")[0];
+        let alice = ix.nodes("alice").first().unwrap();
+        let carol = ix.nodes("carol").first().unwrap();
         // path crosses paper–conf–paper: "paper" repeats
         assert!(!interconnected(&t, alice, carol));
     }
@@ -146,7 +149,7 @@ mod tests {
     fn same_node_is_self_interconnected() {
         let t = bib();
         let ix = XmlIndex::build(&t);
-        let alice = ix.nodes("alice")[0];
+        let alice = ix.nodes("alice").first().unwrap();
         assert!(interconnected(&t, alice, alice));
     }
 

@@ -15,6 +15,7 @@
 //!
 //! [`slca_brute_force`] is the test oracle.
 
+use kwdb_common::index::Postings;
 use kwdb_common::{Budget, Result, TruncationReason};
 use kwdb_xml::{NodeId, XmlIndex, XmlTree};
 
@@ -55,7 +56,7 @@ pub fn slca_indexed_budgeted<S: AsRef<str>>(
     };
     let (driver, others) = lists.split_first().expect("at least one keyword");
     let mut candidates: Vec<NodeId> = Vec::new();
-    for &v in *driver {
+    for v in driver.iter() {
         if let Some(reason) = budget.truncation_at(stats.anchors as u64) {
             truncation = Some(reason);
             break;
@@ -77,21 +78,29 @@ pub fn slca_scan_eager<S: AsRef<str>>(
         return Ok((Vec::new(), stats));
     };
     let (driver, others) = lists.split_first().expect("at least one keyword");
-    // one cursor per other list, advanced monotonically with the anchors
-    let mut cursors = vec![0usize; others.len()];
+    // one cursor per other list, advanced monotonically with the anchors;
+    // each remembers the last node it stepped over (the left neighbor)
+    let mut cursors: Vec<_> = others
+        .iter()
+        .map(|l| (l.cursor(), None::<NodeId>))
+        .collect();
     let mut candidates: Vec<NodeId> = Vec::new();
-    for &v in *driver {
+    for v in driver.iter() {
         stats.anchors += 1;
         let mut best_prefix = usize::MAX;
         let vd = tree.dewey(v);
-        for (j, list) in others.iter().enumerate() {
+        for (cursor, passed) in cursors.iter_mut() {
             // advance cursor past nodes < v
-            while cursors[j] < list.len() && list[cursors[j]] < v {
-                cursors[j] += 1;
+            while let Some(u) = cursor.peek() {
+                if u >= v {
+                    break;
+                }
+                *passed = Some(u);
+                cursor.advance();
                 stats.probes += 1;
             }
-            let right = list.get(cursors[j]).copied();
-            let left = cursors[j].checked_sub(1).map(|i| list[i]);
+            let right = cursor.peek();
+            let left = *passed;
             let lcp = [left, right]
                 .iter()
                 .flatten()
@@ -123,15 +132,15 @@ pub fn multiway_slca<S: AsRef<str>>(
     let Some(lists) = index.lists_for(keywords) else {
         return Ok((Vec::new(), stats));
     };
-    let mut cursors = vec![0usize; lists.len()];
+    let mut cursors: Vec<_> = lists.iter().map(|l| l.cursor()).collect();
     let mut candidates: Vec<NodeId> = Vec::new();
     loop {
         // current heads; stop when any list is exhausted
         let mut anchor: Option<(NodeId, usize)> = None;
         let mut exhausted = false;
-        for (j, list) in lists.iter().enumerate() {
-            match list.get(cursors[j]) {
-                Some(&h) => {
+        for (j, cursor) in cursors.iter_mut().enumerate() {
+            match cursor.peek() {
+                Some(h) => {
                     if anchor.is_none_or(|(a, _)| h > a) {
                         anchor = Some((h, j));
                     }
@@ -147,7 +156,7 @@ pub fn multiway_slca<S: AsRef<str>>(
         }
         let (a, aj) = anchor.expect("nonempty lists");
         stats.anchors += 1;
-        let others: Vec<&[NodeId]> = lists
+        let others: Vec<Postings<'_, NodeId>> = lists
             .iter()
             .enumerate()
             .filter(|&(j, _)| j != aj)
@@ -155,8 +164,8 @@ pub fn multiway_slca<S: AsRef<str>>(
             .collect();
         candidates.push(anchor_candidate(tree, a, &others, &mut stats));
         // skip_after: advance every list past the anchor
-        for (j, list) in lists.iter().enumerate() {
-            cursors[j] = cursors[j].max(list.partition_point(|&u| u <= a));
+        for cursor in cursors.iter_mut() {
+            cursor.seek(a.0 as u64 + 1);
         }
     }
     Ok((antichain(tree, candidates), stats))
@@ -184,14 +193,14 @@ pub fn covering_nodes<S: AsRef<str>>(
 ) -> Vec<NodeId> {
     let sizes = tree.subtree_sizes();
     // One index lookup per keyword, not one per (node, keyword) pair.
-    let lists: Vec<&[NodeId]> = keywords.iter().map(|k| index.nodes(k.as_ref())).collect();
+    let lists: Vec<Postings<'_, NodeId>> =
+        keywords.iter().map(|k| index.nodes(k.as_ref())).collect();
     tree.iter()
         .filter(|&v| {
             let end = NodeId(v.0 + sizes[v.0 as usize]);
-            lists.iter().all(|list| {
-                let lo = list.partition_point(|&x| x < v);
-                lo < list.len() && list[lo] < end
-            })
+            lists
+                .iter()
+                .all(|list| list.right_match(v).is_some_and(|m| m < end))
         })
         .collect()
 }
@@ -201,15 +210,15 @@ pub fn covering_nodes<S: AsRef<str>>(
 fn anchor_candidate(
     tree: &XmlTree,
     v: NodeId,
-    others: &[&[NodeId]],
+    others: &[Postings<'_, NodeId>],
     stats: &mut SlcaStats,
 ) -> NodeId {
     let vd = tree.dewey(v);
     let mut best_prefix = vd.depth();
     for list in others {
         stats.probes += 2;
-        let left = XmlIndex::left_match(list, v);
-        let right = XmlIndex::right_match(list, v);
+        let left = list.left_match(v);
+        let right = list.right_match(v);
         let lcp = [left, right]
             .iter()
             .flatten()

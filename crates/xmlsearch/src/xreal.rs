@@ -90,9 +90,7 @@ pub fn score_instances<S: AsRef<str>>(
                 .iter()
                 .map(|k| {
                     let list = index.nodes(k.as_ref());
-                    let lo = list.partition_point(|&x| x < n);
-                    let hi = list.partition_point(|&x| x < end);
-                    let tf = (hi - lo) as f64;
+                    let tf = list.count_between(n, end) as f64;
                     if tf == 0.0 {
                         0.0
                     } else {

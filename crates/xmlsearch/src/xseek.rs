@@ -91,7 +91,7 @@ pub fn keyword_roles<S: AsRef<str>>(
             if matches.is_empty() {
                 return KeywordRole::Unmatched;
             }
-            let has_value_match = matches.iter().any(|&n| {
+            let has_value_match = matches.iter().any(|n| {
                 tree.text(n)
                     .map(|t| kwdb_common::text::tokenize(t).iter().any(|tok| tok == k))
                     .unwrap_or(false)
@@ -129,18 +129,14 @@ pub fn infer_return<S: AsRef<str>>(
                 let end = NodeId(s.0 + sizes[s.0 as usize]);
                 // the matching label nodes inside this result's subtree
                 let list = index.nodes(k);
-                let lo = list.partition_point(|&x| x < s);
-                let hi = list.partition_point(|&x| x < end);
-                let mut nodes: Vec<NodeId> = list[lo..hi].to_vec();
+                let mut nodes: Vec<NodeId> = list.collect_between(s, end);
                 if nodes.is_empty() {
                     // label lives outside the SLCA subtree (e.g. sibling
                     // attribute of the matched entity): take label nodes
                     // under the lowest entity instead
                     let ent = lowest_entity(tree, stats, s);
                     let e_end = NodeId(ent.0 + sizes[ent.0 as usize]);
-                    let lo = list.partition_point(|&x| x < ent);
-                    let hi = list.partition_point(|&x| x < e_end);
-                    nodes = list[lo..hi].to_vec();
+                    nodes = list.collect_between(ent, e_end);
                 }
                 out.push(ReturnSpec::Explicit {
                     label: k.to_string(),

@@ -40,6 +40,7 @@
 //! `kwdb_xmlsearch`) stay borrow-based — the zero-copy escape hatch when
 //! you hold the data on the stack and don't need to share the engine.
 
+use kwdb_common::index::Layout;
 use kwdb_common::text::parse_query;
 use kwdb_common::{Budget, QueryStats, Result, ScratchPool, Stopwatch, TruncationReason};
 use kwdb_graph::DataGraph;
@@ -73,6 +74,7 @@ use std::sync::{Arc, OnceLock, RwLock};
 /// assert_eq!(req.query(), "widom xml");
 /// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SearchRequest {
     query: String,
     k: usize,
@@ -147,7 +149,12 @@ impl SearchRequest {
 }
 
 /// The uniform response: ranked hits plus the execution record.
+///
+/// `#[non_exhaustive]`: construct one via an engine's `execute` (or
+/// [`SearchResponse::from_hits`] in tests/adapters) so response fields can
+/// grow without breaking downstream code.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SearchResponse<H> {
     /// Ranked hits, best first. Sorted even when truncated.
     pub hits: Vec<H>,
@@ -162,6 +169,17 @@ pub struct SearchResponse<H> {
 }
 
 impl<H> SearchResponse<H> {
+    /// A bare completed response: `hits` with default stats, no truncation,
+    /// no trace — for tests and adapters that wrap non-kwdb sources.
+    pub fn from_hits(hits: Vec<H>) -> Self {
+        SearchResponse {
+            hits,
+            stats: QueryStats::new(),
+            truncation: None,
+            trace: None,
+        }
+    }
+
     /// `true` when the budget was exhausted and `hits` is best-so-far.
     pub fn truncated(&self) -> bool {
         self.truncation.is_some()
@@ -298,6 +316,15 @@ pub struct RelationalConfig {
     /// pipeline. Either way the returned top-k is identical — the score
     /// model is monotone and the parallel merge is content-ordered.
     pub intra_query_workers: usize,
+    /// Physical layout of the full-text posting lists:
+    /// [`Layout::Plain`] (sorted arrays) or [`Layout::Blocks`]
+    /// (delta-encoded bit-packed blocks with skip + block-max metadata —
+    /// several-fold smaller, and the WAND fast path can skip whole blocks).
+    /// The returned top-k is identical either way. Applied at engine
+    /// construction when the engine is the database's sole owner; a shared
+    /// database keeps its current layout (re-encode it yourself via
+    /// [`Database::set_posting_layout`] before sharing).
+    pub posting_layout: Layout,
 }
 
 impl Default for RelationalConfig {
@@ -308,6 +335,7 @@ impl Default for RelationalConfig {
             scoring: Scoring::Monotone,
             max_cache_entries: 256,
             intra_query_workers: 0,
+            posting_layout: Layout::Plain,
         }
     }
 }
@@ -343,7 +371,14 @@ impl RelationalEngine {
     }
 
     pub fn with_config(db: impl Into<Arc<Database>>, cfg: RelationalConfig) -> Self {
-        let db = db.into();
+        let mut db = db.into();
+        if db.is_index_fresh() && db.text_index().layout() != cfg.posting_layout {
+            // Re-encode in place when we are the sole owner; a shared
+            // database keeps whatever layout its owner chose.
+            if let Some(owned) = Arc::get_mut(&mut db) {
+                owned.set_posting_layout(cfg.posting_layout);
+            }
+        }
         RelationalEngine {
             scorer: ResultScorer::new(Arc::clone(&db)),
             db,
@@ -486,6 +521,7 @@ impl RelationalEngine {
         stats.operators.joins_executed = snap.joins_executed;
         stats.operators.rows_output = snap.rows_output;
         stats.operators.join_probe_rows = snap.probe_rows;
+        stats.operators.blocks_skipped = snap.blocks_skipped;
         stats.cns_evaluated = cns_evaluated;
         stats.cns_pruned = cns_pruned;
         stats.candidates_pruned = stats.candidates_generated.saturating_sub(
@@ -655,6 +691,18 @@ impl GraphEngine {
         }
     }
 
+    /// Re-encode the graph's keyword→nodes index into `layout` — identical
+    /// results, several-fold smaller with [`Layout::Blocks`]. Applied only
+    /// when this engine is the graph's sole owner; a shared graph keeps its
+    /// current layout (re-encode it yourself via
+    /// [`DataGraph::set_keyword_index_layout`] before sharing).
+    pub fn with_posting_layout(mut self, layout: Layout) -> Self {
+        if let Some(g) = Arc::get_mut(&mut self.g) {
+            g.set_keyword_index_layout(layout);
+        }
+        self
+    }
+
     /// Record every query into `registry`, and publish the graph keyword
     /// index's size figures up front.
     pub fn with_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
@@ -810,6 +858,15 @@ impl XmlEngine {
         Self::new(tree, index)
     }
 
+    /// [`from_tree`](Self::from_tree) with an explicit posting [`Layout`]
+    /// for the keyword index. Results are identical across layouts;
+    /// [`Layout::Blocks`] trades a small decode cost for a several-fold
+    /// smaller index.
+    pub fn from_tree_with(tree: XmlTree, layout: Layout) -> Self {
+        let index = XmlIndex::build_with(&tree, layout);
+        Self::new(tree, index)
+    }
+
     /// Share an existing tree+index pair with other owners.
     pub fn from_arc(data: Arc<(XmlTree, XmlIndex)>) -> Self {
         XmlEngine {
@@ -890,8 +947,8 @@ fn execute_xml(
     tb.phase("evaluate");
     let sizes = tree.subtree_sizes();
     let avg_depth = tree.avg_leaf_depth();
-    // one dictionary lookup per keyword; scoring below probes these slices
-    let kw_lists: Vec<&[kwdb_xml::NodeId]> = keywords.iter().map(|kw| index.nodes(kw)).collect();
+    // one dictionary lookup per keyword; scoring below probes these views
+    let kw_lists: Vec<_> = keywords.iter().map(|kw| index.nodes(kw)).collect();
     let mut hits: Vec<XmlHit> = Vec::with_capacity(roots.len());
     for r in roots {
         if !hits.is_empty() {
@@ -905,9 +962,8 @@ fn execute_xml(
         let end = kwdb_xml::NodeId(r.0 + sizes[r.0 as usize]);
         let paths: Vec<Vec<u64>> = kw_lists
             .iter()
-            .filter_map(|&list| {
-                let lo = list.partition_point(|&x| x < r);
-                let m = *list.get(lo).filter(|&&m| m < end)?;
+            .filter_map(|list| {
+                let m = list.right_match(r).filter(|&m| m < end)?;
                 let mut path = vec![m.0 as u64];
                 let mut cur = m;
                 while cur != r {

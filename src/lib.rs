@@ -53,5 +53,6 @@ pub use kwdb_xmlsearch as xmlsearch;
 
 pub mod dispatch;
 pub mod engine;
+pub mod prelude;
 
 pub use common::{KwdbError, Result};
