@@ -147,6 +147,21 @@ fn dispatcher_smoke(registry: &Arc<MetricsRegistry>) {
         ),
         ("dblp_par".into(), SearchRequest::new("data query").k(3)),
         ("dblp_par".into(), SearchRequest::new("xml data").k(5)),
+        // Faceted queries (serial and parallel) so the exported snapshot
+        // carries the kwdb_facet_* families and a populated facets phase.
+        (
+            "dblp".into(),
+            SearchRequest::new("data query")
+                .k(3)
+                .facet(kwdb::common::FacetSpec::terms("conference.name", 5))
+                .summaries(3),
+        ),
+        (
+            "dblp_par".into(),
+            SearchRequest::new("data query")
+                .k(3)
+                .facet(kwdb::common::FacetSpec::terms("conference.name", 5)),
+        ),
     ];
     let out = Dispatcher::with_workers(catalog, 4)
         .with_registry(Arc::clone(registry))

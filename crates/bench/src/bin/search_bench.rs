@@ -2,41 +2,126 @@
 //!
 //! ```sh
 //! cargo run --release -p kwdb-bench --bin search_bench -- BENCH_search.json
+//! cargo run --release -p kwdb-bench --bin search_bench -- \
+//!     BENCH_search.json --compare BENCH_baseline_search.json
 //! ```
 //!
 //! Runs every top-k executor — naive, sparse, single pipeline, global
 //! pipeline, and the parallel CN executor — over frequent-term queries on a
 //! seeded DBLP database, recording per-query latency into
 //! `kwdb_search_latency_ns{executor,query}` histograms and printing
-//! p50/p90 latency plus CNs-evaluated counts per executor. The snapshot is
-//! the CI `search-bench` artifact; the printed speedup line documents the
-//! parallel executor beating the serial global pipeline wall-clock.
+//! p50/p90 latency plus CNs-evaluated counts per executor. A faceted row
+//! (`global_facets` / `parallel_facets`) runs the same queries through the
+//! exhaustive faceted executors with a terms facet on `conference.name` and
+//! a decade range facet on `conference.year`, asserting serial and parallel
+//! accumulation produce identical counts. The snapshot is the CI
+//! `search-bench` artifact; the printed speedup line documents the parallel
+//! executor beating the serial global pipeline wall-clock.
+//!
+//! With `--compare BASELINE`, deterministic work gauges (CNs per query,
+//! facet values counted) are checked against a previous snapshot within
+//! [`SIZE_DRIFT`], and latency means within [`TIMING_NOISE`]; violations
+//! fail the run.
 
-use kwdb_common::{Budget, ScratchPool};
+use kwdb_common::{Budget, FacetSpec, RangeBucket, ScratchPool};
 use kwdb_datasets::{generate_dblp, DblpConfig};
+use kwdb_obs::registry::Snapshot;
 use kwdb_obs::MetricsRegistry;
 use kwdb_relational::ExecStats;
 use kwdb_relsearch::cn::{CnGenConfig, CnGenerator, MaskOracle};
-use kwdb_relsearch::pexec::{parallel_topk_budgeted, EvalScratch};
+use kwdb_relsearch::facets::{resolve_facets, FacetAccum, FacetRequest};
+use kwdb_relsearch::pexec::{parallel_topk_budgeted, parallel_topk_faceted, EvalScratch};
 use kwdb_relsearch::topk::{
-    global_pipeline_counted, naive_counted, single_pipeline_counted, sparse_counted, CnExecOutcome,
-    TopKQuery,
+    global_pipeline_counted, global_pipeline_faceted, naive_counted, single_pipeline_counted,
+    sparse_counted, CnExecOutcome, TopKQuery,
 };
 use kwdb_relsearch::{ResultScorer, TupleSets};
+use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Histogram: one executor run over one query, labels `executor` × `query`.
 const SEARCH_LATENCY: &str = "kwdb_search_latency_ns";
+/// Gauge: candidate networks generated per query (deterministic).
+const SEARCH_CNS: &str = "kwdb_search_cns";
+/// Gauge: facet values counted per faceted query (deterministic).
+const SEARCH_FACET_VALUES: &str = "kwdb_search_facet_values";
 
 const K: usize = 20;
 const ROUNDS: usize = 30;
 const PARALLEL_WORKERS: usize = 4;
+/// A latency mean may grow this much over the baseline before the compare
+/// mode calls it a regression (micro-benchmarks on shared CI runners are
+/// noisy; work gauges are deterministic and compared much tighter).
+const TIMING_NOISE: f64 = 1.5;
+/// CN generation and facet counting are deterministic on the seeded
+/// dataset; allow a little drift for intentional generator/config tweaks.
+const SIZE_DRIFT: f64 = 0.10;
 
-fn main() {
-    let out = std::env::args()
-        .nth(1)
+/// Compare `current` against a `baseline` snapshot: work gauges within
+/// [`SIZE_DRIFT`], latency means within [`TIMING_NOISE`]. Returns the
+/// number of violations (also printed).
+fn compare_snapshots(current: &Snapshot, baseline: &Snapshot) -> usize {
+    let mut violations = 0usize;
+    for (id, base) in &baseline.gauges {
+        if id.name != SEARCH_CNS && id.name != SEARCH_FACET_VALUES {
+            continue;
+        }
+        let Some((_, cur)) = current.gauges.iter().find(|(cid, _)| cid == id) else {
+            println!("MISSING gauge {:?} {:?}", id.name, id.labels);
+            violations += 1;
+            continue;
+        };
+        let (b, c) = (*base as f64, *cur as f64);
+        if b > 0.0 && (c - b).abs() / b > SIZE_DRIFT {
+            println!(
+                "WORK DRIFT {:?} {:?}: baseline {} -> current {}",
+                id.name, id.labels, base, cur
+            );
+            violations += 1;
+        }
+    }
+    for (id, base) in &baseline.histograms {
+        if id.name != SEARCH_LATENCY || base.count == 0 {
+            continue;
+        }
+        let Some((_, cur)) = current.histograms.iter().find(|(cid, _)| cid == id) else {
+            println!("MISSING histogram {:?} {:?}", id.name, id.labels);
+            violations += 1;
+            continue;
+        };
+        if cur.count == 0 {
+            continue;
+        }
+        let base_mean = base.sum as f64 / base.count as f64;
+        let cur_mean = cur.sum as f64 / cur.count as f64;
+        if cur_mean > base_mean * TIMING_NOISE {
+            println!(
+                "TIMING REGRESSION {:?}: baseline mean {:.0}ns -> current {:.0}ns (> {:.1}x)",
+                id.labels, base_mean, cur_mean, TIMING_NOISE
+            );
+            violations += 1;
+        } else {
+            println!(
+                "timing ok {:?}: {:.0}ns vs baseline {:.0}ns",
+                id.labels, cur_mean, base_mean
+            );
+        }
+    }
+    violations
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = args
+        .first()
+        .cloned()
         .unwrap_or_else(|| "BENCH_search.json".into());
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--compare")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let reg = Arc::new(MetricsRegistry::new());
 
     let db = generate_dblp(&DblpConfig {
@@ -49,6 +134,24 @@ fn main() {
 
     // Frequent title/venue terms: each query yields a multi-CN workload.
     let queries = ["data query", "xml data", "search data", "query xml search"];
+
+    // The faceted row: every query also runs through the exhaustive faceted
+    // executors with this distribution request.
+    let facet_specs = [
+        FacetSpec::terms("conference.name", 10),
+        FacetSpec::range(
+            "conference.year",
+            (1970..2030)
+                .step_by(10)
+                .map(|y| RangeBucket::new(format!("{y}s"), y as f64, (y + 10) as f64))
+                .collect(),
+        ),
+    ];
+    let facets = resolve_facets(&db, &facet_specs).expect("facet attrs exist in the DBLP schema");
+    let freq = FacetRequest {
+        facets: &facets,
+        refinements: &[],
+    };
 
     type Runner =
         fn(&TopKQuery<'_, &str>, usize, &ExecStats, &ScratchPool<EvalScratch>) -> CnExecOutcome;
@@ -67,9 +170,9 @@ fn main() {
         }),
     ];
 
-    // per-executor totals across all queries × rounds
-    let mut total_ns = [0u128; 6];
-    let mut total_evaluated = [0u64; 6];
+    // per-executor totals across all queries × rounds (faceted rows last)
+    let mut total_ns = [0u128; 8];
+    let mut total_evaluated = [0u64; 8];
     let mut total_cns = 0u64;
 
     for query in queries {
@@ -87,6 +190,8 @@ fn main() {
         )
         .generate();
         total_cns += cns.len() as u64;
+        reg.gauge(SEARCH_CNS, &[("query", query)])
+            .set(cns.len() as i64);
         let q = TopKQuery {
             db: &db,
             ts: &ts,
@@ -116,12 +221,71 @@ fn main() {
             total_evaluated[ei] += evaluated;
             let snap = hist.snapshot();
             println!(
-                "  {name:<9} p50 {:>9} ns  p90 {:>9} ns  cns evaluated {:>4}/{}",
+                "  {name:<14} p50 {:>9} ns  p90 {:>9} ns  cns evaluated {:>4}/{}",
                 snap.p50(),
                 snap.p90(),
                 evaluated,
                 cns.len()
             );
+        }
+
+        // Faceted row: exhaustive executors, serial vs parallel, with the
+        // accumulated distributions asserted identical.
+        let mut serial_counts = Vec::new();
+        for (ei, name) in [(6usize, "global_facets"), (7, "parallel_facets")] {
+            let hist = reg.histogram(SEARCH_LATENCY, &[("executor", name), ("query", query)]);
+            let mut evaluated = 0;
+            let mut counts = Vec::new();
+            for _ in 0..ROUNDS {
+                let stats = ExecStats::new();
+                let start = Instant::now();
+                let (outcome, accum) = if name == "global_facets" {
+                    let mut accum = FacetAccum::new(facets.len());
+                    let o = global_pipeline_faceted(
+                        &q,
+                        K,
+                        &stats,
+                        &Budget::unlimited(),
+                        &freq,
+                        &mut accum,
+                    );
+                    (o, accum)
+                } else {
+                    parallel_topk_faceted(
+                        &q,
+                        K,
+                        &stats,
+                        &Budget::unlimited(),
+                        PARALLEL_WORKERS,
+                        &pool,
+                        &freq,
+                    )
+                };
+                let elapsed = start.elapsed();
+                hist.record_duration(elapsed);
+                total_ns[ei] += elapsed.as_nanos();
+                evaluated = outcome.cns_evaluated;
+                counts = accum.finish(&facets);
+            }
+            total_evaluated[ei] += evaluated;
+            let values: u64 = counts.iter().map(|c| c.total()).sum();
+            reg.gauge(SEARCH_FACET_VALUES, &[("executor", name), ("query", query)])
+                .set(values as i64);
+            let snap = hist.snapshot();
+            println!(
+                "  {name:<14} p50 {:>9} ns  p90 {:>9} ns  facet values {:>6}",
+                snap.p50(),
+                snap.p90(),
+                values,
+            );
+            if name == "global_facets" {
+                serial_counts = counts;
+            } else {
+                assert_eq!(
+                    serial_counts, counts,
+                    "{query:?}: parallel facet counts diverge from serial"
+                );
+            }
         }
     }
 
@@ -129,9 +293,19 @@ fn main() {
         "\ntotals over {} queries × {ROUNDS} rounds (k={K}):",
         queries.len()
     );
-    for (ei, (name, _)) in executors.iter().enumerate() {
+    let names = [
+        "naive",
+        "sparse",
+        "single",
+        "global",
+        "parallel1",
+        "parallel",
+        "global_facets",
+        "parallel_facets",
+    ];
+    for (ei, name) in names.iter().enumerate() {
         println!(
-            "  {name:<9} {:>12} ns total  cns evaluated {:>5}/{}",
+            "  {name:<15} {:>12} ns total  cns evaluated {:>5}/{}",
             total_ns[ei], total_evaluated[ei], total_cns
         );
     }
@@ -153,7 +327,22 @@ fn main() {
         );
     }
 
-    let json = kwdb_obs::export::to_json(&reg.snapshot());
+    let snapshot = reg.snapshot();
+    let json = kwdb_obs::export::to_json(&snapshot);
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     println!("search bench snapshot written to {out}");
+
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline = kwdb_obs::export::from_json(&text)
+            .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e:?}"));
+        let violations = compare_snapshots(&snapshot, &baseline);
+        if violations > 0 {
+            println!("{violations} regression(s) against {path}");
+            return ExitCode::FAILURE;
+        }
+        println!("no regressions against {path}");
+    }
+    ExitCode::SUCCESS
 }

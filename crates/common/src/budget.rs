@@ -167,12 +167,15 @@ pub struct PhaseTimings {
     pub plan: Duration,
     /// Top-k evaluation (the main loop).
     pub evaluate: Duration,
+    /// Facet-count finalization (sorting/truncating accumulated
+    /// distributions, rendering values); zero for non-faceted queries.
+    pub facets: Duration,
 }
 
 impl PhaseTimings {
     /// Sum over all phases.
     pub fn total(&self) -> Duration {
-        self.parse + self.build + self.plan + self.evaluate
+        self.parse + self.build + self.plan + self.evaluate + self.facets
     }
 }
 
@@ -244,6 +247,7 @@ impl QueryStats {
                     build,
                     plan,
                     evaluate,
+                    facets,
                 },
             operators:
                 OperatorCounts {
@@ -267,6 +271,7 @@ impl QueryStats {
         self.phases.build += *build;
         self.phases.plan += *plan;
         self.phases.evaluate += *evaluate;
+        self.phases.facets += *facets;
         self.operators.tuples_scanned += tuples_scanned;
         self.operators.join_probes += join_probes;
         self.operators.joins_executed += joins_executed;
@@ -352,6 +357,7 @@ mod tests {
                 build: Duration::from_millis(2),
                 plan: Duration::from_millis(3),
                 evaluate: Duration::from_millis(4),
+                facets: Duration::from_millis(5),
             },
             operators: OperatorCounts {
                 tuples_scanned: 1,
@@ -372,7 +378,7 @@ mod tests {
         };
         let b = a.clone();
         a.merge(&b);
-        assert_eq!(a.phases.total(), Duration::from_millis(20));
+        assert_eq!(a.phases.total(), Duration::from_millis(30));
         assert_eq!(a.operators.tuples_scanned, 2);
         assert_eq!(a.operators.random_accesses, 12);
         assert_eq!(a.operators.join_probe_rows, 14);
@@ -406,6 +412,7 @@ mod tests {
                 build: Duration::from_nanos(1),
                 plan: Duration::from_nanos(1),
                 evaluate: Duration::from_nanos(1),
+                facets: Duration::from_nanos(1),
             },
             operators: OperatorCounts {
                 tuples_scanned: 1,
@@ -427,7 +434,7 @@ mod tests {
         let mut acc = QueryStats::new();
         acc.merge(&unit);
         // every field of the all-ones record must land in the total
-        assert_eq!(acc.phases.total(), Duration::from_nanos(4));
+        assert_eq!(acc.phases.total(), Duration::from_nanos(5));
         let OperatorCounts {
             tuples_scanned,
             join_probes,

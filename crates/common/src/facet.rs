@@ -1,0 +1,160 @@
+//! Facet vocabulary types: what a caller asks for and what comes back.
+//!
+//! Faceted search (the exploration half of the tutorial, slides 140–166)
+//! annotates a result set with per-attribute value distributions so the user
+//! can drill down instead of reformulating. These types are the shared
+//! request/response vocabulary; the engines do the counting. Keeping them
+//! here — the dependency-free crate — lets the request surface
+//! (`SearchRequest`), the relational executors, and the exploration crate all
+//! speak them without a dependency cycle.
+
+/// One requested facet over a relational attribute.
+///
+/// Attributes are named `"table.column"` against the engine's schema; the
+/// engine resolves the name once per query and rejects unknown attributes
+/// at parse time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FacetSpec {
+    /// Count distinct values of a (typically categorical) column, returning
+    /// the `top_n` most frequent.
+    Terms { attr: String, top_n: usize },
+    /// Bucket a numeric column into caller-defined half-open ranges.
+    Range {
+        attr: String,
+        buckets: Vec<RangeBucket>,
+    },
+}
+
+impl FacetSpec {
+    /// Convenience constructor for a terms facet.
+    pub fn terms(attr: impl Into<String>, top_n: usize) -> Self {
+        FacetSpec::Terms {
+            attr: attr.into(),
+            top_n,
+        }
+    }
+
+    /// Convenience constructor for a range facet.
+    pub fn range(attr: impl Into<String>, buckets: Vec<RangeBucket>) -> Self {
+        FacetSpec::Range {
+            attr: attr.into(),
+            buckets,
+        }
+    }
+
+    /// The `"table.column"` attribute this facet counts.
+    pub fn attr(&self) -> &str {
+        match self {
+            FacetSpec::Terms { attr, .. } | FacetSpec::Range { attr, .. } => attr,
+        }
+    }
+}
+
+/// A half-open numeric bucket `[lo, hi)` for a range facet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeBucket {
+    /// Display label, e.g. `"2000-2009"`.
+    pub label: String,
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Exclusive upper bound.
+    pub hi: f64,
+}
+
+impl RangeBucket {
+    pub fn new(label: impl Into<String>, lo: f64, hi: f64) -> Self {
+        RangeBucket {
+            label: label.into(),
+            lo,
+            hi,
+        }
+    }
+
+    /// Whether `v` falls in this bucket.
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.lo && v < self.hi
+    }
+}
+
+/// One counted facet value (a distinct term or a range-bucket label).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FacetCount {
+    pub value: String,
+    pub count: u64,
+}
+
+/// The counted distribution for one requested facet, in the response.
+///
+/// Terms facets are sorted by descending count, ties broken by ascending
+/// value, and truncated to the requested `top_n`; range facets list every
+/// requested bucket in request order (zero counts included) so the caller
+/// can render a stable histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FacetCounts {
+    /// The `"table.column"` attribute counted.
+    pub attr: String,
+    /// Counted values, ordered as described above.
+    pub values: Vec<FacetCount>,
+}
+
+impl FacetCounts {
+    /// Total count across all listed values.
+    pub fn total(&self) -> u64 {
+        self.values.iter().map(|v| v.count).sum()
+    }
+
+    /// Look up one value's count (0 if absent or truncated away).
+    pub fn count_of(&self, value: &str) -> u64 {
+        self.values
+            .iter()
+            .find(|v| v.value == value)
+            .map_or(0, |v| v.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_bucket_is_half_open() {
+        let b = RangeBucket::new("2000s", 2000.0, 2010.0);
+        assert!(b.contains(2000.0));
+        assert!(b.contains(2009.9));
+        assert!(!b.contains(2010.0));
+        assert!(!b.contains(1999.9));
+    }
+
+    #[test]
+    fn facet_spec_attr_accessor() {
+        assert_eq!(
+            FacetSpec::terms("conference.name", 5).attr(),
+            "conference.name"
+        );
+        let r = FacetSpec::range(
+            "conference.year",
+            vec![RangeBucket::new("00s", 2000.0, 2010.0)],
+        );
+        assert_eq!(r.attr(), "conference.year");
+    }
+
+    #[test]
+    fn counts_lookup_and_total() {
+        let c = FacetCounts {
+            attr: "conference.name".into(),
+            values: vec![
+                FacetCount {
+                    value: "SIGMOD".into(),
+                    count: 3,
+                },
+                FacetCount {
+                    value: "VLDB".into(),
+                    count: 1,
+                },
+            ],
+        };
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.count_of("SIGMOD"), 3);
+        assert_eq!(c.count_of("ICDE"), 0);
+    }
+}

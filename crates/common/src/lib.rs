@@ -11,6 +11,7 @@
 
 pub mod budget;
 pub mod error;
+pub mod facet;
 pub mod index;
 pub mod intern;
 pub mod rng;
@@ -23,6 +24,7 @@ pub mod value;
 
 pub use budget::{Budget, OperatorCounts, PhaseTimings, QueryStats, Stopwatch, TruncationReason};
 pub use error::{KwdbError, Result};
+pub use facet::{FacetCount, FacetCounts, FacetSpec, RangeBucket};
 pub use rng::Rng;
 pub use scratch::{Scratch, ScratchPool};
 pub use shared_topk::SharedTopK;

@@ -87,7 +87,7 @@ pub fn co_occurring_terms<S: AsRef<str>>(
 
 fn rank(freq: HashMap<&str, f64>, k: usize) -> Vec<(String, f64)> {
     let mut v: Vec<(String, f64)> = freq.into_iter().map(|(t, f)| (t.to_string(), f)).collect();
-    v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     v.truncate(k);
     v
 }

@@ -44,7 +44,7 @@ pub fn cluster_by_context(tree: &XmlTree, results: &[(NodeId, f64)]) -> Vec<Clus
     let mut out: Vec<Cluster> = groups
         .into_iter()
         .map(|(path, mut members)| {
-            members.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            members.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
             let r = (avg.round() as usize).clamp(1, members.len());
             let score: f64 = members.iter().take(r).map(|&(_, s)| s).sum();
             Cluster {
@@ -56,8 +56,7 @@ pub fn cluster_by_context(tree: &XmlTree, results: &[(NodeId, f64)]) -> Vec<Clus
         .collect();
     out.sort_by(|a, b| {
         b.score
-            .partial_cmp(&a.score)
-            .unwrap()
+            .total_cmp(&a.score)
             .then(a.description.cmp(&b.description))
     });
     out

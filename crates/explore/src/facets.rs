@@ -17,7 +17,27 @@
 //! resulting cost. E15 compares greedy vs fixed attribute order vs a flat
 //! SHOWALL list.
 
+use kwdb_common::{KwdbError, Result};
+use kwdb_relational::{Database, TupleId};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Resolve `"table.column"` against a database schema.
+fn resolve_attr(db: &Database, attr: &str) -> Result<(kwdb_relational::TableId, usize)> {
+    let (tname, cname) = attr.split_once('.').ok_or_else(|| {
+        KwdbError::InvalidQuery(format!(
+            "facet attribute `{attr}` must be of the form table.column"
+        ))
+    })?;
+    let tid = db.table_id(tname)?;
+    let col = db
+        .table(tid)
+        .schema
+        .columns
+        .iter()
+        .position(|c| c.name == cname)
+        .ok_or_else(|| KwdbError::UnknownObject(format!("column `{cname}` of table `{tname}`")))?;
+    Ok((tid, col))
+}
 
 /// A result table: attribute names + rows of values.
 #[derive(Debug, Clone)]
@@ -33,6 +53,60 @@ impl FacetTable {
             "ragged rows"
         );
         FacetTable { attributes, rows }
+    }
+
+    /// Project engine results onto facet attributes: one row per result
+    /// (a joining tree of tuple IDs, e.g. `RelationalHit::tuples`), one
+    /// column per `"table.column"` attribute. A result's value for an
+    /// attribute is the rendered column value of its first tuple from that
+    /// table, or `""` when the result's tree does not touch the table —
+    /// so navigation trees are built over the *real* result multiset
+    /// rather than a hand-maintained copy of it.
+    pub fn from_results(
+        db: &Database,
+        attrs: &[&str],
+        results: &[Vec<TupleId>],
+    ) -> Result<FacetTable> {
+        let resolved: Vec<(kwdb_relational::TableId, usize)> = attrs
+            .iter()
+            .map(|a| resolve_attr(db, a))
+            .collect::<Result<_>>()?;
+        let rows = results
+            .iter()
+            .map(|tuples| {
+                resolved
+                    .iter()
+                    .map(|&(tid, col)| {
+                        tuples
+                            .iter()
+                            .find(|t| t.table == tid)
+                            .map(|t| db.table(tid).get(t.row, col).to_string())
+                            .unwrap_or_default()
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(FacetTable::new(
+            attrs.iter().map(|a| a.to_string()).collect(),
+            rows,
+        ))
+    }
+
+    /// Value distribution of `attr` over the rows: `(value, count)` sorted
+    /// count-descending then value-ascending — the same order the engine's
+    /// `FacetCounts` uses, so the two are directly comparable.
+    pub fn value_counts(&self, attr: &str) -> Vec<(String, usize)> {
+        let ai = self.attr_index(attr);
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for row in &self.rows {
+            *counts.entry(row[ai].as_str()).or_default() += 1;
+        }
+        let mut out: Vec<(String, usize)> = counts
+            .into_iter()
+            .map(|(v, n)| (v.to_string(), n))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
     }
 
     fn attr_index(&self, name: &str) -> usize {
@@ -459,6 +533,45 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn ragged_rows_rejected() {
         FacetTable::new(vec!["a".into()], vec![vec!["x".into(), "y".into()]]);
+    }
+
+    #[test]
+    fn from_results_projects_tuple_trees_onto_attributes() {
+        let mut db = kwdb_relational::Database::new();
+        kwdb_relational::database::dblp_schema(&mut db).unwrap();
+        let c1 = db
+            .insert("conference", vec![1.into(), "SIGMOD".into(), 2007.into()])
+            .unwrap();
+        let c2 = db
+            .insert("conference", vec![2.into(), "VLDB".into(), 2008.into()])
+            .unwrap();
+        let p1 = db
+            .insert("paper", vec![10.into(), "keyword search".into(), 1.into()])
+            .unwrap();
+        let p2 = db
+            .insert("paper", vec![11.into(), "query forms".into(), 2.into()])
+            .unwrap();
+        db.build_text_index();
+        // two joining trees and one conference-less "result"
+        let results = vec![vec![p1, c1], vec![p2, c2], vec![p1]];
+        let t = FacetTable::from_results(&db, &["conference.name", "conference.year"], &results)
+            .unwrap();
+        assert_eq!(t.attributes, vec!["conference.name", "conference.year"]);
+        assert_eq!(t.rows[0], vec!["SIGMOD", "2007"]);
+        assert_eq!(t.rows[1], vec!["VLDB", "2008"]);
+        assert_eq!(t.rows[2], vec!["", ""], "tree without the table → blank");
+        // the real distribution feeds the nav-tree builders directly
+        let counts = t.value_counts("conference.name");
+        assert_eq!(
+            counts,
+            vec![
+                (String::new(), 1),
+                ("SIGMOD".to_string(), 1),
+                ("VLDB".to_string(), 1)
+            ]
+        );
+        assert!(FacetTable::from_results(&db, &["conference.bogus"], &results).is_err());
+        assert!(FacetTable::from_results(&db, &["noperiod"], &results).is_err());
     }
 
     use std::collections::HashMap;

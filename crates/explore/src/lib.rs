@@ -21,6 +21,8 @@
 //!   (Tao & Yu, EDBT 09);
 //! * [`expand`] — cluster-describing query expansion maximizing F-measure
 //!   (slides 80–82; APX-hard, greedy here);
+//! * [`summary`] — size-*l* object summaries: a result presented as its
+//!   bounded FK-neighborhood (slides 143–148);
 //! * [`tableagg`] — aggregate keyword queries with minimal group-bys
 //!   (Zhou & Pei, EDBT 09; slides 16, 164–165);
 //! * [`textcube`] — TopCells keyword search in text cubes
@@ -31,7 +33,9 @@ pub mod cluster;
 pub mod diff;
 pub mod expand;
 pub mod facets;
+pub mod summary;
 pub mod tableagg;
 pub mod textcube;
 
 pub use diff::{differentiate, ComparisonTable, Feature};
+pub use summary::{object_summary, render_summary};

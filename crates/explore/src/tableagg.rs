@@ -10,6 +10,8 @@
 //! groups (no qualifying group with strictly more shared attributes and a
 //! subset of rows).
 
+use kwdb_common::{KwdbError, Result};
+use kwdb_relational::{Database, TupleId};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A table of rows: interesting attribute values + a free-text document.
@@ -20,6 +22,41 @@ pub struct AggTable {
     pub values: Vec<Vec<String>>,
     /// Per row: tokenized text (the searchable description etc.).
     pub text: Vec<Vec<String>>,
+}
+
+impl AggTable {
+    /// Build from a database table: `attrs` name the interesting columns;
+    /// a row's searchable text is the tokenized content of the table's
+    /// full-text columns ([`Database::tuple_tokens`]). This binds aggregate
+    /// keyword search to the same storage the engines query, instead of a
+    /// hand-maintained copy of the data.
+    pub fn from_database(db: &Database, table: &str, attrs: &[&str]) -> Result<AggTable> {
+        let tid = db.table_id(table)?;
+        let t = db.table(tid);
+        let cols: Vec<usize> = attrs
+            .iter()
+            .map(|a| {
+                t.schema
+                    .columns
+                    .iter()
+                    .position(|c| c.name == *a)
+                    .ok_or_else(|| {
+                        KwdbError::UnknownObject(format!("column `{a}` of table `{table}`"))
+                    })
+            })
+            .collect::<Result<_>>()?;
+        let mut values = Vec::with_capacity(t.len());
+        let mut text = Vec::with_capacity(t.len());
+        for (rid, row) in t.iter() {
+            values.push(cols.iter().map(|&c| row[c].to_string()).collect());
+            text.push(db.tuple_tokens(TupleId::new(tid, rid)));
+        }
+        Ok(AggTable {
+            attributes: attrs.iter().map(|a| a.to_string()).collect(),
+            values,
+            text,
+        })
+    }
 }
 
 /// One qualifying cluster: shared attribute values (None = `*`) plus member
@@ -222,6 +259,48 @@ mod tests {
             "{clusters:?}"
         );
         assert_eq!(clusters.len(), 2, "{clusters:?}");
+    }
+
+    #[test]
+    fn from_database_reproduces_the_events_scenario() {
+        use kwdb_relational::schema::{ColumnType, TableBuilder};
+        let mut db = Database::new();
+        db.create_table(
+            TableBuilder::new("event")
+                .column("id", ColumnType::Int)
+                .column_no_index("month", ColumnType::Text)
+                .column_no_index("state", ColumnType::Text)
+                .column("description", ColumnType::Text)
+                .primary_key("id"),
+        )
+        .unwrap();
+        for (i, (m, s, d)) in [
+            ("dec", "tx", "US Open Pool Best of 19 ranking"),
+            ("dec", "tx", "Cowboy dream run motorcycle beer"),
+            ("dec", "tx", "SPAM museum party classical american food"),
+            ("oct", "mi", "Motorcycle rallies tournament round robin"),
+            ("oct", "mi", "Michigan pool exhibition non-ranking"),
+            ("sep", "mi", "American food history best food from usa"),
+        ]
+        .iter()
+        .enumerate()
+        {
+            db.insert(
+                "event",
+                vec![(i as i64).into(), (*m).into(), (*s).into(), (*d).into()],
+            )
+            .unwrap();
+        }
+        db.build_text_index();
+        let table = AggTable::from_database(&db, "event", &["month", "state"]).unwrap();
+        assert_eq!(table.attributes, vec!["month", "state"]);
+        assert_eq!(table.values[0], vec!["dec", "tx"]);
+        let clusters = aggregate_search(&table, &query());
+        let rendered: Vec<String> = clusters.iter().map(|c| c.display()).collect();
+        assert!(rendered.contains(&"dec tx".to_string()), "{rendered:?}");
+        assert!(rendered.contains(&"* mi".to_string()), "{rendered:?}");
+        assert!(AggTable::from_database(&db, "event", &["bogus"]).is_err());
+        assert!(AggTable::from_database(&db, "nope", &["month"]).is_err());
     }
 
     #[test]

@@ -95,8 +95,7 @@ pub fn top_cells<S: AsRef<str>>(
     }
     cells.sort_by(|a, b| {
         b.score
-            .partial_cmp(&a.score)
-            .unwrap()
+            .total_cmp(&a.score)
             .then(b.support.cmp(&a.support))
             .then(a.coords.cmp(&b.coords))
     });

@@ -120,12 +120,7 @@ impl<'a> FormGenerator<'a> {
             .into_iter()
             .map(|tables| self.fill(tables, &eq))
             .collect();
-        forms.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap()
-                .then(a.tables.cmp(&b.tables))
-        });
+        forms.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.tables.cmp(&b.tables)));
         forms.truncate(self.cfg.max_forms);
         forms
     }
@@ -154,16 +149,8 @@ impl<'a> FormGenerator<'a> {
                 }
             }
         }
-        preds.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .unwrap()
-                .then((a.1, a.2).cmp(&(b.1, b.2)))
-        });
-        outs.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .unwrap()
-                .then((a.1, a.2).cmp(&(b.1, b.2)))
-        });
+        preds.sort_by(|a, b| b.0.total_cmp(&a.0).then((a.1, a.2).cmp(&(b.1, b.2))));
+        outs.sort_by(|a, b| b.0.total_cmp(&a.0).then((a.1, a.2).cmp(&(b.1, b.2))));
         let entity_score: f64 = tables
             .iter()
             .map(|t| eq.get(t).copied().unwrap_or(0.0))

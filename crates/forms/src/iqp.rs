@@ -220,8 +220,7 @@ impl<'a> Interpreter<'a> {
         }
         out.sort_by(|a, b| {
             b.score
-                .partial_cmp(&a.score)
-                .unwrap()
+                .total_cmp(&a.score)
                 .then(a.template.cmp(&b.template))
         });
         out.truncate(k);

@@ -70,7 +70,7 @@ impl WeightedSchema {
             .into_iter()
             .filter(|(n, w)| n != anchor && *w >= min_weight)
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         out.truncate(max_nodes);
         out
     }

@@ -113,7 +113,7 @@ pub fn search<'u, S: AsRef<str>>(
         })
         .map(|u| (u, scorer.score(keywords, &u.text)))
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.root.cmp(&b.0.root)));
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.root.cmp(&b.0.root)));
     scored.truncate(k);
     scored
 }

@@ -147,8 +147,7 @@ impl FormIndex {
         }
         out.sort_by(|a, b| {
             b.score
-                .partial_cmp(&a.score)
-                .unwrap()
+                .total_cmp(&a.score)
                 .then(a.form_index.cmp(&b.form_index))
         });
         out.truncate(k);

@@ -39,6 +39,6 @@ pub mod registry;
 pub mod trace;
 
 pub use hist::{Histogram, HistogramSnapshot};
-pub use record::{families, record_index_stats, record_query};
+pub use record::{families, record_facets, record_index_stats, record_query};
 pub use registry::{Counter, Gauge, Labels, MetricId, MetricsRegistry, Snapshot};
 pub use trace::{PhaseSpan, QueryTrace, TraceBuilder, TraceEvent, TraceLevel};

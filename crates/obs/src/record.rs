@@ -64,6 +64,16 @@ pub mod families {
     pub const JOIN_PROBE_ROWS: &str = "kwdb_join_probe_rows_total";
     /// Gauge: intra-query worker threads the relational engine runs with.
     pub const INTRA_WORKERS: &str = "kwdb_intra_query_workers";
+    /// Counter: faceted queries executed (queries whose request carried at
+    /// least one facet spec), by engine.
+    pub const FACET_QUERIES: &str = "kwdb_facet_queries_total";
+    /// Counter: facet values emitted across all faceted responses (the sum
+    /// of `FacetCounts::values.len()` per query), by engine.
+    pub const FACET_VALUES: &str = "kwdb_facet_values_total";
+    /// Counter: faceted queries whose counts were inexact — the budget
+    /// truncated the result multiset, or the scoring model counts only the
+    /// returned hits (SPARK), by engine.
+    pub const FACET_INEXACT: &str = "kwdb_facet_inexact_total";
 }
 
 /// Fold one query's stats into the registry under `engine × algorithm`.
@@ -83,6 +93,7 @@ pub fn record_query(
         ("build", stats.phases.build),
         ("plan", stats.phases.plan),
         ("evaluate", stats.phases.evaluate),
+        ("facets", stats.phases.facets),
     ] {
         reg.histogram(
             families::PHASE_LATENCY,
@@ -141,6 +152,22 @@ pub fn record_query(
             ],
         )
         .inc();
+    }
+}
+
+/// Record one faceted query's outcome: how many facet values the response
+/// carried and whether the counts were exact over the full result multiset.
+/// Engines call this only for requests that actually asked for facets, so
+/// `FACET_QUERIES` counts faceted queries, not all queries.
+pub fn record_facets(reg: &MetricsRegistry, engine: &str, values: u64, exact: bool) {
+    let labels = [("engine", engine)];
+    reg.counter(families::FACET_QUERIES, &labels).inc();
+    reg.counter(families::FACET_VALUES, &labels).add(values);
+    // Register the inexactness counter even at zero, so the family is
+    // always present in snapshots and dashboards can alert on it.
+    let inexact = reg.counter(families::FACET_INEXACT, &labels);
+    if !exact {
+        inexact.inc();
     }
 }
 
@@ -241,6 +268,17 @@ mod tests {
         assert!(snap.family_names().contains(&families::CN_EVALUATED));
         assert!(snap.family_names().contains(&families::CN_PRUNED));
         assert!(snap.family_names().contains(&families::JOIN_PROBE_ROWS));
+    }
+
+    #[test]
+    fn record_facets_counts_queries_values_and_inexactness() {
+        let reg = MetricsRegistry::new();
+        record_facets(&reg, "relational", 7, true);
+        record_facets(&reg, "relational", 3, false);
+        let labels = [("engine", "relational")];
+        assert_eq!(reg.counter_value(families::FACET_QUERIES, &labels), 2);
+        assert_eq!(reg.counter_value(families::FACET_VALUES, &labels), 10);
+        assert_eq!(reg.counter_value(families::FACET_INEXACT, &labels), 1);
     }
 
     #[test]

@@ -279,7 +279,9 @@ impl<'a> KeywordPlusPlus<'a> {
             rows.sort_by(|&a, &b| {
                 let va = t.get(a, *column).as_f64().unwrap_or(f64::NAN);
                 let vb = t.get(b, *column).as_f64().unwrap_or(f64::NAN);
-                let ord = va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal);
+                // total_cmp: non-numeric cells (NaN) order deterministically
+                // instead of collapsing to Equal and destabilizing the sort.
+                let ord = va.total_cmp(&vb);
                 if *ascending {
                     ord
                 } else {

@@ -107,12 +107,8 @@ impl SpellCorrector {
                 });
             }
         }
-        out.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap()
-                .then(a.word.cmp(&b.word))
-        });
+        // total_cmp: a NaN score must sort deterministically, not panic.
+        out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.word.cmp(&b.word)));
         out
     }
 

@@ -30,6 +30,7 @@
 pub mod cn;
 pub mod dbselect;
 pub mod eval;
+pub mod facets;
 pub mod mesh;
 pub mod parallel;
 pub mod pexec;
@@ -42,5 +43,6 @@ pub mod tupleset;
 
 pub use cn::{CandidateNetwork, CnGenConfig, CnGenerator};
 pub use eval::{evaluate_cn, JoinedResult};
+pub use facets::{FacetAccum, FacetRequest, Refinement, ResolvedFacet, ResolvedRefinement};
 pub use score::ResultScorer;
 pub use tupleset::{TupleSet, TupleSets};

@@ -27,6 +27,7 @@
 
 use crate::cn::CandidateNetwork;
 use crate::eval::JoinedResult;
+use crate::facets::{FacetAccum, FacetRequest};
 use crate::parallel::{estimate_cost, partition_sharing_aware};
 use crate::topk::{CnExecOutcome, RankedResult, TopKQuery};
 use crate::tupleset::TupleSets;
@@ -316,11 +317,14 @@ fn wand_try_single_node<S, D>(
     shared: &SharedTopK<(usize, JoinedResult)>,
     w: usize,
     stats: &ExecStats,
+    freq: &FacetRequest<'_>,
+    accum: &mut FacetAccum,
 ) -> bool
 where
     S: AsRef<str>,
     D: Deref<Target = Database>,
 {
+    let exhaustive = freq.exhaustive();
     let cn = &q.cns[j];
     let full = q.ts.full_mask();
     if cn.nodes.len() != 1 || full == 0 || cn.nodes[0].mask != full {
@@ -352,11 +356,25 @@ where
                 .map(|(&m, idf)| TfIdf::tf_weight(m as usize) * idf)
                 .sum()
         },
-        || shared.threshold(),
+        // Exhaustive (faceted) runs must see every matching tuple, so the
+        // pruning threshold is withheld and no block is ever skipped.
+        || {
+            if exhaustive {
+                None
+            } else {
+                shared.threshold()
+            }
+        },
         |key, _| {
             let r = JoinedResult {
                 tuples: vec![TupleId::new(table, RowId(key as u32))],
             };
+            if !freq.passes(q.db, &r) {
+                return;
+            }
+            if exhaustive {
+                accum.observe(q.db, freq.facets, &r);
+            }
             let score = q.scorer.monotone_score(&r, q.keywords);
             shared.push(w, score, (j, r));
         },
@@ -388,14 +406,49 @@ where
     S: AsRef<str> + Sync,
     D: Deref<Target = Database> + Sync,
 {
+    parallel_topk_faceted(q, k, stats, budget, workers, pool, &FacetRequest::none()).0
+}
+
+/// [`parallel_topk_budgeted`] extended with facet accumulation and
+/// drill-down refinement; returns the merged facet counts alongside the
+/// outcome.
+///
+/// With facets requested the executor runs *exhaustively*: the per-CN bound
+/// prune, the mid-evaluation cancellation probe, and the WAND block-max
+/// threshold are all disabled, so every CN considered is evaluated to
+/// completion exactly once (each job index is drawn from its queue by one
+/// `fetch_add` winner). Each worker counts into its own [`FacetAccum`] —
+/// piggybacked on the same pooled-`EvalScratch` evaluation pass that feeds
+/// the shared top-k — and the accumulators are merged after the thread scope
+/// drains. Merging is plain addition over a duplicate-free result multiset,
+/// so the counts are exact and identical for any worker count. Budget
+/// tickets are still drawn per CN; a truncated run leaves the counts partial
+/// (`facets_exact = truncation.is_none()` at the response layer).
+pub fn parallel_topk_faceted<S, D>(
+    q: &TopKQuery<'_, S, D>,
+    k: usize,
+    stats: &ExecStats,
+    budget: &Budget,
+    workers: usize,
+    pool: &ScratchPool<EvalScratch>,
+    freq: &FacetRequest<'_>,
+) -> (CnExecOutcome, FacetAccum)
+where
+    S: AsRef<str> + Sync,
+    D: Deref<Target = Database> + Sync,
+{
+    let exhaustive = freq.exhaustive();
     let n = q.cns.len();
     if n == 0 {
-        return CnExecOutcome {
-            results: Vec::new(),
-            truncation: budget.truncation(),
-            cns_evaluated: 0,
-            cns_pruned: 0,
-        };
+        return (
+            CnExecOutcome {
+                results: Vec::new(),
+                truncation: budget.truncation(),
+                cns_evaluated: 0,
+                cns_pruned: 0,
+            },
+            FacetAccum::new(freq.facets.len()),
+        );
     }
     let workers = workers.max(1);
 
@@ -457,6 +510,7 @@ where
     let run_worker = |w: usize| {
         let mut scratch = pool.checkout(EvalScratch::new);
         scratch.begin_query();
+        let mut accum = FacetAccum::new(freq.facets.len());
         'queues: for qi in 0..workers {
             let qidx = (w + qi) % workers; // own queue first, then steal
             let jobs = &queues[qidx];
@@ -480,40 +534,56 @@ where
                     abort.store(true, Ordering::Release);
                     break 'queues;
                 }
-                if !shared.would_accept(bounds[j]) {
+                if !exhaustive && !shared.would_accept(bounds[j]) {
                     continue; // strictly below the global k-th best: pruned
                 }
                 // Single-node full-mask CNs skip the join machinery and run
                 // straight off the posting cursors with block-max pruning.
-                if wand_try_single_node(q, j, &shared, w, stats) {
+                if wand_try_single_node(q, j, &shared, w, stats, freq, &mut accum) {
                     evaluated.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
                 // Abandon mid-evaluation once another worker raises the
                 // threshold past this CN's bound: everything it could still
-                // produce would be rejected.
+                // produce would be rejected. Faceted runs never abandon —
+                // every result still counts even when it can't be ranked.
                 let results =
                     evaluate_cn_pooled_until(q.db, &q.cns[j], q.ts, &mut scratch, stats, &|| {
-                        !shared.would_accept(bounds[j])
+                        !exhaustive && !shared.would_accept(bounds[j])
                     });
                 evaluated.fetch_add(1, Ordering::Relaxed);
                 for r in results {
+                    if !freq.passes(q.db, &r) {
+                        continue;
+                    }
+                    if exhaustive {
+                        accum.observe(q.db, freq.facets, &r);
+                    }
                     let score = q.scorer.monotone_score(&r, q.keywords);
                     shared.push(w, score, (j, r));
                 }
             }
         }
+        accum
     };
 
+    let mut accum = FacetAccum::new(freq.facets.len());
     if workers == 1 {
-        run_worker(0);
+        accum.merge(run_worker(0));
     } else {
         let run_worker = &run_worker;
-        std::thread::scope(|s| {
-            for w in 0..workers {
-                s.spawn(move || run_worker(w));
-            }
+        let worker_accums = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| s.spawn(move || run_worker(w)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect::<Vec<_>>()
         });
+        for a in worker_accums {
+            accum.merge(a);
+        }
     }
 
     let results = shared
@@ -526,12 +596,15 @@ where
         })
         .collect();
     let evaluated = evaluated.load(Ordering::Relaxed);
-    CnExecOutcome {
-        results,
-        truncation: truncation.into_inner().expect("truncation poisoned"),
-        cns_evaluated: evaluated,
-        cns_pruned: n as u64 - evaluated,
-    }
+    (
+        CnExecOutcome {
+            results,
+            truncation: truncation.into_inner().expect("truncation poisoned"),
+            cns_evaluated: evaluated,
+            cns_pruned: n as u64 - evaluated,
+        },
+        accum,
+    )
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@
 
 use crate::cn::CandidateNetwork;
 use crate::eval::{default_rows, evaluate_cn, evaluate_cn_with, JoinedResult};
+use crate::facets::{FacetAccum, FacetRequest};
 use crate::score::ResultScorer;
 use crate::tupleset::TupleSets;
 use kwdb_common::topk::TopK;
@@ -350,6 +351,41 @@ pub fn global_pipeline_counted<S: AsRef<str>, D: Deref<Target = Database>>(
     stats: &ExecStats,
     budget: &Budget,
 ) -> CnExecOutcome {
+    global_pipeline_faceted(
+        q,
+        k,
+        stats,
+        budget,
+        &FacetRequest::none(),
+        &mut FacetAccum::new(0),
+    )
+}
+
+/// [`global_pipeline_counted`] extended with facet accumulation and
+/// drill-down refinement.
+///
+/// With facets requested the pipeline runs *exhaustively*: the
+/// bound-vs-threshold early stop is disabled and every CN advances until its
+/// slices are spent, because facet counts cover the full result multiset,
+/// not just the top k. Each keyword-node combination is still evaluated
+/// exactly once (a combination is joined at the advance step that consumes
+/// its last element; all other prefixes were consumed strictly earlier), so
+/// the counts are exact. Budget tickets are still drawn per slice, and a
+/// truncated run leaves the counts partial — the caller reports that via
+/// `facets_exact = truncation.is_none()`.
+///
+/// Refinements filter each joined result before it is ranked *or* counted,
+/// so a drill-down query returns both hits and counts for the narrowed
+/// result set while reusing the unrefined CN plan.
+pub fn global_pipeline_faceted<S: AsRef<str>, D: Deref<Target = Database>>(
+    q: &TopKQuery<'_, S, D>,
+    k: usize,
+    stats: &ExecStats,
+    budget: &Budget,
+    freq: &FacetRequest<'_>,
+    accum: &mut FacetAccum,
+) -> CnExecOutcome {
+    let exhaustive = freq.exhaustive();
     let mut states: Vec<CnState> = q
         .cns
         .iter()
@@ -408,9 +444,11 @@ pub fn global_pipeline_counted<S: AsRef<str>, D: Deref<Target = Database>>(
             .filter_map(|(si, s)| s.bound().map(|(b, node)| (b, si, node)))
             .max_by(|a, b| a.0.total_cmp(&b.0));
         let Some((bound, si, adv)) = pick else { break };
-        if let Some(th) = topk.threshold() {
-            if bound <= th {
-                break;
+        if !exhaustive {
+            if let Some(th) = topk.threshold() {
+                if bound <= th {
+                    break;
+                }
             }
         }
         let st = &states[si];
@@ -436,6 +474,12 @@ pub fn global_pipeline_counted<S: AsRef<str>, D: Deref<Target = Database>>(
                 stats,
             );
             for r in results {
+                if !freq.passes(q.db, &r) {
+                    continue;
+                }
+                if exhaustive {
+                    accum.observe(q.db, freq.facets, &r);
+                }
                 let score = q.scorer.monotone_score(&r, q.keywords);
                 topk.push(score, (st.cn_idx, r));
             }

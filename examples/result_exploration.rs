@@ -1,6 +1,7 @@
-//! Exploring a result set: comparison tables, data clouds, faceted
-//! navigation and aggregate answers — the tutorial's "result analysis"
-//! track on the slide-16 events scenario.
+//! Exploring a result set: engine-side facets with drill-down, comparison
+//! tables, data clouds, faceted navigation and aggregate answers — the
+//! tutorial's "result analysis" track on the slide-16 events scenario,
+//! rebuilt on the engine API.
 //!
 //! ```sh
 //! cargo run --example result_exploration
@@ -11,9 +12,21 @@ use kwdb::explore::clouds::{co_occurring_terms, top_terms_popularity};
 use kwdb::explore::diff::{differentiate, Feature};
 use kwdb::explore::facets::{build_greedy, FacetTable, LogModel, LogQuery};
 use kwdb::explore::tableagg::{aggregate_search, AggTable};
+use kwdb::prelude::*;
+use kwdb::relational::{ColumnType, Database, TableBuilder, TupleId};
 
-fn main() {
-    // the slide-16 events table
+fn events_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableBuilder::new("event")
+            .column("id", ColumnType::Int)
+            .column_no_index("month", ColumnType::Text)
+            .column_no_index("state", ColumnType::Text)
+            .column_no_index("city", ColumnType::Text)
+            .column("description", ColumnType::Text)
+            .primary_key("id"),
+    )
+    .unwrap();
     let events: Vec<(&str, &str, &str, &str)> = vec![
         ("dec", "tx", "houston", "US Open Pool Best of 19 ranking"),
         ("dec", "tx", "dallas", "Cowboy dream run motorcycle beer"),
@@ -37,50 +50,118 @@ fn main() {
             "American food history best food from usa",
         ),
     ];
+    for (i, (m, s, c, d)) in events.iter().enumerate() {
+        db.insert(
+            "event",
+            vec![
+                (i as i64 + 1).into(),
+                (*m).into(),
+                (*s).into(),
+                (*c).into(),
+                (*d).into(),
+            ],
+        )
+        .unwrap();
+    }
+    db.build_text_index();
+    db
+}
 
-    // 1. aggregate keyword query: where can I get all three together?
-    let agg = AggTable {
-        attributes: vec!["month".into(), "state".into()],
-        values: events
+fn main() -> kwdb::Result<()> {
+    let engine = RelationalEngine::new(events_db());
+
+    // 1. a faceted keyword query: which months/states hold pool events?
+    let req = SearchRequest::new("pool")
+        .k(10)
+        .facet(FacetSpec::terms("event.month", 5))
+        .facet(FacetSpec::terms("event.state", 5))
+        .summaries(2);
+    let resp = engine.execute(&req)?;
+    println!(
+        "faceted query \"pool\": {} hits, exact counts: {}",
+        resp.hits.len(),
+        resp.facets_exact
+    );
+    for facet in &resp.facets {
+        let rendered: Vec<String> = facet
+            .values
             .iter()
-            .map(|(m, s, _, _)| vec![m.to_string(), s.to_string()])
-            .collect(),
-        text: events.iter().map(|(_, _, _, d)| tokenize(d)).collect(),
-    };
+            .map(|v| format!("{}({})", v.value, v.count))
+            .collect();
+        println!("  {:<14} {}", facet.attr, rendered.join("  "));
+    }
+    for hit in &resp.hits {
+        println!("  [{:.2}] {}", hit.score, hit.summary.join(" | "));
+    }
+
+    // 2. drill down on a facet click — same keywords, so the candidate
+    // network plan comes straight from the cache
+    let drilled = engine.execute(&req.clone().refine(Refinement::Term {
+        attr: "event.state".into(),
+        value: "mi".into(),
+    }))?;
+    println!(
+        "\ndrill-down state=mi: {} hit(s), plan cache hits {}",
+        drilled.hits.len(),
+        drilled.stats.cache_hits
+    );
+    for hit in &drilled.hits {
+        println!("  {}", hit.rendered);
+    }
+
+    // 3. aggregate keyword query straight off the stored table: where can
+    // I get all three together?
+    let db = engine.database();
+    let agg = AggTable::from_database(db, "event", &["month", "state"])?;
     let phrases = vec![
         tokenize("motorcycle"),
         tokenize("pool"),
         tokenize("american food"),
     ];
-    println!("aggregate answers for {{motorcycle, pool, american food}}:");
+    println!("\naggregate answers for {{motorcycle, pool, american food}}:");
     for c in aggregate_search(&agg, &phrases) {
         println!("  {:<10} rows {:?}", c.display(), c.rows);
     }
 
-    // 2. faceted navigation over the same rows
-    let table = FacetTable::new(
-        vec!["month".into(), "state".into(), "city".into()],
-        events
-            .iter()
-            .map(|(m, s, c, _)| vec![m.to_string(), s.to_string(), c.to_string()])
-            .collect(),
-    );
+    // 4. faceted navigation over the full result multiset, projected from
+    // engine tuple IDs rather than a hand-maintained copy
+    let event = db.table_id("event")?;
+    let all_events: Vec<Vec<TupleId>> = db
+        .table(event)
+        .iter()
+        .map(|(rid, _)| vec![TupleId::new(event, rid)])
+        .collect();
+    let table = FacetTable::from_results(
+        db,
+        &["event.month", "event.state", "event.city"],
+        &all_events,
+    )?;
     let log: Vec<LogQuery> = vec![
-        vec![("state".into(), "tx".into())],
-        vec![("state".into(), "mi".into())],
-        vec![("month".into(), "dec".into())],
-        vec![("state".into(), "tx".into())],
+        vec![("event.state".into(), "tx".into())],
+        vec![("event.state".into(), "mi".into())],
+        vec![("event.month".into(), "dec".into())],
+        vec![("event.state".into(), "tx".into())],
     ];
     let model = LogModel::new(&log);
-    let tree = build_greedy(&table, &model, (0..events.len()).collect(), 2);
+    let tree = build_greedy(&table, &model, (0..table.rows.len()).collect(), 2);
     println!(
         "\nfaceted navigation: expected cost {:.2} (flat list would cost {:.2})",
         tree.expected_cost(&model),
-        events.len() as f64
+        table.rows.len() as f64
     );
+    let months: Vec<String> = table
+        .value_counts("event.month")
+        .into_iter()
+        .map(|(v, n)| format!("{v}({n})"))
+        .collect();
+    println!("  month distribution: {}", months.join("  "));
 
-    // 3. data clouds: what other terms do the motorcycle events mention?
-    let docs: Vec<Vec<String>> = events.iter().map(|(_, _, _, d)| tokenize(d)).collect();
+    // 5. data clouds: what other terms do the motorcycle events mention?
+    let docs: Vec<Vec<String>> = db
+        .table(event)
+        .iter()
+        .map(|(rid, _)| db.tuple_tokens(TupleId::new(event, rid)))
+        .collect();
     println!("\ntop co-occurring terms with 'motorcycle':");
     for (t, f) in co_occurring_terms(&docs, &["motorcycle"], 4) {
         println!("  {t} ({f})");
@@ -90,7 +171,7 @@ fn main() {
         println!("  {t} ({f})");
     }
 
-    // 4. compare the two aggregate answers with a differentiation table
+    // 6. compare the two aggregate answers with a differentiation table
     let results: Vec<Vec<Feature>> = vec![
         vec![
             Feature::new("month", "december"),
@@ -112,4 +193,5 @@ fn main() {
             .collect();
         println!("  answer {}: {}", i + 1, cells.join(", "));
     }
+    Ok(())
 }

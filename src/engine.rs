@@ -42,19 +42,25 @@
 
 use kwdb_common::index::Layout;
 use kwdb_common::text::parse_query;
-use kwdb_common::{Budget, QueryStats, Result, ScratchPool, Stopwatch, TruncationReason};
+use kwdb_common::{
+    Budget, FacetCounts, FacetSpec, QueryStats, Result, ScratchPool, Stopwatch, TruncationReason,
+};
+use kwdb_explore::summary::{object_summary, render_summary};
 use kwdb_graph::DataGraph;
 use kwdb_graphsearch::{blinks::Blinks, AnswerTree, BanksI, Dpbf};
 use kwdb_obs::{
-    families, record_index_stats, record_query, MetricsRegistry, QueryTrace, TraceBuilder,
-    TraceLevel,
+    families, record_facets, record_index_stats, record_query, MetricsRegistry, QueryTrace,
+    TraceBuilder, TraceLevel,
 };
+use kwdb_qclean::segment::{clean_query, ValuePhraseModel};
+use kwdb_qclean::SpellCorrector;
 use kwdb_relational::{Database, ExecStats};
 use kwdb_relsearch::cn::{CandidateNetwork, CnGenConfig, CnGenerator, MaskOracle};
-use kwdb_relsearch::pexec::{parallel_topk_budgeted, EvalScratch};
+use kwdb_relsearch::facets::{resolve_facets, resolve_refinements, FacetAccum, FacetRequest};
+use kwdb_relsearch::pexec::{parallel_topk_faceted, EvalScratch};
 use kwdb_relsearch::spark::skyline_sweep_budgeted;
-use kwdb_relsearch::topk::{global_pipeline_counted, CnExecOutcome, TopKQuery};
-use kwdb_relsearch::{ResultScorer, TupleSets};
+use kwdb_relsearch::topk::{global_pipeline_faceted, CnExecOutcome, TopKQuery};
+use kwdb_relsearch::{Refinement, ResultScorer, TupleSets};
 use kwdb_xml::{XmlIndex, XmlTree};
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock, RwLock};
@@ -82,11 +88,15 @@ pub struct SearchRequest {
     scoring: Option<Scoring>,
     semantics: Option<GraphSemantics>,
     trace: TraceLevel,
+    facets: Vec<FacetSpec>,
+    refinements: Vec<Refinement>,
+    summaries: usize,
 }
 
 impl SearchRequest {
     /// A request for `query` with `k = 10`, an unlimited budget, tracing
-    /// off, and the engine's default scoring/semantics.
+    /// off, no facets or refinements, and the engine's default
+    /// scoring/semantics.
     pub fn new(query: impl Into<String>) -> Self {
         SearchRequest {
             query: query.into(),
@@ -95,6 +105,9 @@ impl SearchRequest {
             scoring: None,
             semantics: None,
             trace: TraceLevel::Off,
+            facets: Vec::new(),
+            refinements: Vec::new(),
+            summaries: 0,
         }
     }
 
@@ -131,6 +144,37 @@ impl SearchRequest {
         self
     }
 
+    /// Add one facet to count over the result multiset (relational engine;
+    /// graph/XML engines ignore facets). Attributes are `"table.column"`;
+    /// an unknown attribute fails the whole request with a typed error.
+    pub fn facet(mut self, spec: FacetSpec) -> Self {
+        self.facets.push(spec);
+        self
+    }
+
+    /// Replace the full facet list (see [`facet`](Self::facet)).
+    pub fn facets(mut self, specs: Vec<FacetSpec>) -> Self {
+        self.facets = specs;
+        self
+    }
+
+    /// Drill down: keep only results where some tuple of the refined table
+    /// matches. Refinements compose as AND and are applied *before* ranking
+    /// and facet counting — and they are deliberately not part of the CN
+    /// plan-cache key, so a drill-down of a cached query replans nothing.
+    pub fn refine(mut self, refinement: Refinement) -> Self {
+        self.refinements.push(refinement);
+        self
+    }
+
+    /// Attach a size-`l` object summary to every relational hit: the hit's
+    /// tuples plus breadth-first FK-neighborhood context, `l` tuples total
+    /// (`0`, the default, disables summaries).
+    pub fn summaries(mut self, l: usize) -> Self {
+        self.summaries = l;
+        self
+    }
+
     pub fn query(&self) -> &str {
         &self.query
     }
@@ -145,6 +189,19 @@ impl SearchRequest {
 
     pub fn trace_level(&self) -> TraceLevel {
         self.trace
+    }
+
+    pub fn facet_specs(&self) -> &[FacetSpec] {
+        &self.facets
+    }
+
+    pub fn refinement_list(&self) -> &[Refinement] {
+        &self.refinements
+    }
+
+    /// The requested per-hit summary size (`0` = summaries off).
+    pub fn summary_size(&self) -> usize {
+        self.summaries
     }
 }
 
@@ -166,17 +223,29 @@ pub struct SearchResponse<H> {
     /// The structured trace, when the request asked for one
     /// ([`SearchRequest::trace`]).
     pub trace: Option<QueryTrace>,
+    /// One [`FacetCounts`] per requested facet, in request order — empty
+    /// when the request carried no facets (or the engine has no facet
+    /// support, i.e. graph/XML).
+    pub facets: Vec<FacetCounts>,
+    /// Whether `facets` covers the *full* result multiset exactly. `false`
+    /// when the budget truncated evaluation or the scoring model counts
+    /// only the returned hits (SPARK); vacuously `true` for non-faceted
+    /// queries.
+    pub facets_exact: bool,
 }
 
 impl<H> SearchResponse<H> {
     /// A bare completed response: `hits` with default stats, no truncation,
-    /// no trace — for tests and adapters that wrap non-kwdb sources.
+    /// no trace, no facets — for tests and adapters that wrap non-kwdb
+    /// sources.
     pub fn from_hits(hits: Vec<H>) -> Self {
         SearchResponse {
             hits,
             stats: QueryStats::new(),
             truncation: None,
             trace: None,
+            facets: Vec::new(),
+            facets_exact: true,
         }
     }
 
@@ -194,6 +263,8 @@ impl<H> SearchResponse<H> {
             stats: self.stats,
             truncation: self.truncation,
             trace: self.trace,
+            facets: self.facets,
+            facets_exact: self.facets_exact,
         }
     }
 }
@@ -219,6 +290,8 @@ fn finish_response<H>(
         stats,
         truncation,
         trace: trace.finish(),
+        facets: Vec::new(),
+        facets_exact: true,
     }
 }
 
@@ -288,6 +361,10 @@ pub struct RelationalHit {
     /// The joining tree of tuples, rendered `table(v, …) ⋈ table(v, …)`.
     pub rendered: String,
     pub tuples: Vec<kwdb_relational::TupleId>,
+    /// The size-`l` object summary, one rendered tuple per line, when the
+    /// request asked for one ([`SearchRequest::summaries`]); empty
+    /// otherwise.
+    pub summary: Vec<String>,
 }
 
 /// Which scoring model the relational engine ranks with.
@@ -325,6 +402,14 @@ pub struct RelationalConfig {
     /// database keeps its current layout (re-encode it yourself via
     /// [`Database::set_posting_layout`] before sharing).
     pub posting_layout: Layout,
+    /// Opt-in query cleaning at the term-dictionary boundary: when a parsed
+    /// keyword has no entry in the text index, run the noisy-channel
+    /// spell/segmentation pass ([`kwdb_qclean`]) over the whole query and
+    /// search the cleaned keywords instead. The corrector and phrase model
+    /// are built once per engine, lazily, from the index vocabulary and the
+    /// full-text column values. Default `false`: unknown keywords simply
+    /// match nothing, as before.
+    pub clean_queries: bool,
 }
 
 impl Default for RelationalConfig {
@@ -336,6 +421,7 @@ impl Default for RelationalConfig {
             max_cache_entries: 256,
             intra_query_workers: 0,
             posting_layout: Layout::Plain,
+            clean_queries: false,
         }
     }
 }
@@ -361,6 +447,10 @@ pub struct RelationalEngine {
     /// Worker evaluation scratch (hash-table and buffer reuse), shared
     /// across queries — workers check out one `EvalScratch` each.
     scratch: ScratchPool<EvalScratch>,
+    /// Lazily built query-cleaning model ([`RelationalConfig::clean_queries`]):
+    /// a spelling corrector over the index vocabulary plus a phrase model
+    /// over the full-text column values. Built at most once per engine.
+    clean: OnceLock<(SpellCorrector, ValuePhraseModel)>,
 }
 
 impl RelationalEngine {
@@ -386,6 +476,7 @@ impl RelationalEngine {
             cn_cache: RwLock::new(HashMap::new()),
             registry: None,
             scratch: ScratchPool::new(),
+            clean: OnceLock::new(),
         }
     }
 
@@ -425,7 +516,9 @@ impl RelationalEngine {
         &self.db
     }
 
-    /// Execute a [`SearchRequest`]: budgeted, instrumented top-k search.
+    /// Execute a [`SearchRequest`]: budgeted, instrumented top-k search,
+    /// with optional facet counting, drill-down refinements, per-hit
+    /// object summaries, and (when configured) query cleaning.
     pub fn execute(&self, req: &SearchRequest) -> Result<SearchResponse<RelationalHit>> {
         let mut stats = QueryStats::new();
         let mut sw = Stopwatch::start();
@@ -452,20 +545,74 @@ impl RelationalEngine {
             ))
         };
 
+        // Facet and refinement attributes are schema references, not query
+        // keywords: resolve them up front so an unknown `table.column`
+        // fails the request with a typed error instead of silently counting
+        // nothing. Resolution is independent of the keyword set, so
+        // drill-downs reuse the CN plan cache untouched.
+        let facets = resolve_facets(&self.db, &req.facets)?;
+        let refinements = resolve_refinements(&self.db, &req.refinements)?;
+        let freq = FacetRequest {
+            facets: &facets,
+            refinements: &refinements,
+        };
+        let seal =
+            |mut resp: SearchResponse<RelationalHit>, counts: Vec<FacetCounts>, exact: bool| {
+                if let Some(reg) = reg {
+                    if !facets.is_empty() {
+                        let values = counts.iter().map(|f| f.values.len() as u64).sum();
+                        record_facets(reg, "relational", values, exact);
+                    }
+                }
+                resp.facets = counts;
+                resp.facets_exact = exact;
+                resp
+            };
+        // Zero counts for every requested facet — what an empty result set
+        // faceted over looks like; the early returns below hand these back.
+        let zero_counts = || FacetAccum::new(facets.len()).finish(&facets);
+
         tb.phase("parse");
-        let keywords = parse_query(&req.query);
+        let mut keywords = parse_query(&req.query);
+        if self.cfg.clean_queries && !keywords.is_empty() {
+            let ix = self.db.text_index();
+            if keywords.iter().any(|kw| ix.sym(kw).is_none()) {
+                // At least one keyword misses the term dictionary: run the
+                // noisy-channel spell + segmentation pass once, over the
+                // whole query, and search the cleaned tokens instead.
+                let (corrector, model) = self.clean_model();
+                if let Some(cleaned) = clean_query(corrector, model, &keywords, 2) {
+                    tb.event("query cleaned", || {
+                        vec![
+                            ("from".into(), keywords.join(" ")),
+                            ("to".into(), cleaned.display()),
+                        ]
+                    });
+                    keywords = cleaned.tokens().iter().map(|s| s.to_string()).collect();
+                }
+            }
+        }
         stats.phases.parse = sw.lap();
         tb.event("keywords", || {
             vec![("count".into(), keywords.len().to_string())]
         });
         if keywords.is_empty() {
-            return done(Vec::new(), stats, None, tb);
+            return Ok(seal(
+                done(Vec::new(), stats, None, tb)?,
+                zero_counts(),
+                true,
+            ));
         }
         if let Some(reason) = budget.truncation() {
             tb.event("budget verdict", || {
                 vec![("truncated".into(), reason.to_string())]
             });
-            return done(Vec::new(), stats, Some(reason), tb);
+            let exact = facets.is_empty();
+            return Ok(seal(
+                done(Vec::new(), stats, Some(reason), tb)?,
+                zero_counts(),
+                exact,
+            ));
         }
         tb.phase("build");
         let ts = TupleSets::build(&self.db, &keywords);
@@ -474,10 +621,19 @@ impl RelationalEngine {
             tb.event("tuple sets", || {
                 vec![("covers_all_keywords".into(), "false".into())]
             });
-            return done(Vec::new(), stats, None, tb);
+            return Ok(seal(
+                done(Vec::new(), stats, None, tb)?,
+                zero_counts(),
+                true,
+            ));
         }
         if let Some(reason) = budget.truncation() {
-            return done(Vec::new(), stats, Some(reason), tb);
+            let exact = facets.is_empty();
+            return Ok(seal(
+                done(Vec::new(), stats, Some(reason), tb)?,
+                zero_counts(),
+                exact,
+            ));
         }
         tb.phase("plan");
         let cns = self.plan(&keywords, &ts, &mut stats, &mut tb);
@@ -493,6 +649,7 @@ impl RelationalEngine {
             keywords: &keywords,
         };
         let exec = ExecStats::new();
+        let mut accum = FacetAccum::new(facets.len());
         let CnExecOutcome {
             results: ranked,
             truncation,
@@ -500,12 +657,27 @@ impl RelationalEngine {
             cns_pruned,
         } = match scoring {
             Scoring::Monotone if workers > 1 => {
-                parallel_topk_budgeted(&q, req.k, &exec, budget, workers, &self.scratch)
+                let (outcome, worker_accum) =
+                    parallel_topk_faceted(&q, req.k, &exec, budget, workers, &self.scratch, &freq);
+                accum = worker_accum;
+                outcome
             }
-            Scoring::Monotone => global_pipeline_counted(&q, req.k, &exec, budget),
+            Scoring::Monotone => {
+                global_pipeline_faceted(&q, req.k, &exec, budget, &freq, &mut accum)
+            }
             Scoring::Spark => {
-                // Skyline-Sweep has no CN-level accounting; it reports 0/0.
+                // Skyline-Sweep has no CN-level accounting (0/0) and no
+                // exhaustive mode: refinements filter the returned hits
+                // post-hoc and facet counts cover only what came back
+                // (`facets_exact` stays false for faceted SPARK queries).
                 let (results, truncation) = skyline_sweep_budgeted(&q, req.k, &exec, budget);
+                let results: Vec<_> = results
+                    .into_iter()
+                    .filter(|r| freq.passes(&self.db, &r.result))
+                    .collect();
+                for r in &results {
+                    accum.observe(&self.db, &facets, &r.result);
+                }
                 CnExecOutcome {
                     results,
                     truncation,
@@ -545,7 +717,15 @@ impl RelationalEngine {
             )]
         });
 
-        let hits = ranked
+        // Facet finalization + per-hit summaries. Counts are exact when the
+        // executor ran in exhaustive mode to completion: every CN evaluated
+        // fully, so the accumulated multiset is the full result multiset
+        // regardless of worker count or posting layout.
+        tb.phase("facets");
+        let facets_exact =
+            facets.is_empty() || (matches!(scoring, Scoring::Monotone) && truncation.is_none());
+        let facet_counts = accum.finish(&facets);
+        let hits: Vec<RelationalHit> = ranked
             .into_iter()
             .map(|r| RelationalHit {
                 score: r.score,
@@ -556,10 +736,39 @@ impl RelationalEngine {
                     .map(|&t| self.db.format_tuple(t))
                     .collect::<Vec<_>>()
                     .join(" ⋈ "),
+                summary: if req.summaries == 0 {
+                    Vec::new()
+                } else {
+                    render_summary(
+                        &self.db,
+                        &object_summary(&self.db, &r.result.tuples, req.summaries),
+                    )
+                },
                 tuples: r.result.tuples,
             })
             .collect();
-        done(hits, stats, truncation, tb)
+        if !facets.is_empty() {
+            tb.event("facets", || {
+                vec![
+                    ("requested".into(), facets.len().to_string()),
+                    (
+                        "values".into(),
+                        facet_counts
+                            .iter()
+                            .map(|f| f.values.len())
+                            .sum::<usize>()
+                            .to_string(),
+                    ),
+                    ("exact".into(), facets_exact.to_string()),
+                ]
+            });
+        }
+        stats.phases.facets = sw.lap();
+        Ok(seal(
+            done(hits, stats, truncation, tb)?,
+            facet_counts,
+            facets_exact,
+        ))
     }
 
     /// Generate (or fetch from the plan cache) the candidate networks for
@@ -646,6 +855,44 @@ impl RelationalEngine {
             ]
         });
         cns
+    }
+
+    /// The lazily built query-cleaning model: a noisy-channel
+    /// [`SpellCorrector`] whose vocabulary is the text index's term
+    /// dictionary (document frequency as the language-model prior) and a
+    /// [`ValuePhraseModel`] over the full-text column values (so
+    /// segmentation recovers multi-token values). Built at most once per
+    /// engine, on the first query that needs cleaning.
+    fn clean_model(&self) -> &(SpellCorrector, ValuePhraseModel) {
+        self.clean.get_or_init(|| {
+            let ix = self.db.text_index();
+            let vocab: Vec<(String, u64)> = ix
+                .terms()
+                .map(|t| {
+                    let df = ix.sym(t).map_or(1, |s| ix.term_stats(s).df);
+                    (t.to_string(), df.max(1))
+                })
+                .collect();
+            let mut values: Vec<String> = Vec::new();
+            for table in self.db.tables() {
+                let text_cols: Vec<usize> = table.schema.text_columns().collect();
+                if text_cols.is_empty() {
+                    continue;
+                }
+                for (_, row) in table.iter() {
+                    for &c in &text_cols {
+                        let v = &row[c];
+                        if !matches!(v, kwdb_common::Value::Null) {
+                            values.push(v.to_string());
+                        }
+                    }
+                }
+            }
+            (
+                SpellCorrector::from_vocab(vocab),
+                ValuePhraseModel::from_values(&values),
+            )
+        })
     }
 }
 

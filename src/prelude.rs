@@ -24,5 +24,9 @@ pub use crate::engine::{
     Scoring, SearchRequest, SearchResponse, XmlEngine, XmlHit,
 };
 pub use kwdb_common::index::{IndexStats, Layout};
-pub use kwdb_common::{Budget, KwdbError, QueryStats, Result, TruncationReason};
+pub use kwdb_common::{
+    Budget, FacetCount, FacetCounts, FacetSpec, KwdbError, QueryStats, RangeBucket, Result,
+    TruncationReason,
+};
 pub use kwdb_obs::{MetricsRegistry, QueryTrace, TraceLevel};
+pub use kwdb_relsearch::Refinement;

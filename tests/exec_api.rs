@@ -151,6 +151,6 @@ fn stats_phases_are_populated() {
         .unwrap();
     let p = resp.stats.phases;
     assert!(p.total() >= p.evaluate);
-    assert!(p.total() == p.parse + p.build + p.plan + p.evaluate);
+    assert!(p.total() == p.parse + p.build + p.plan + p.evaluate + p.facets);
     assert!(resp.stats.candidates_generated > 0);
 }
