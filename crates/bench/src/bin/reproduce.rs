@@ -11,13 +11,18 @@
 //! registry-wired engines covering all three data models — and writes the
 //! registry snapshot to `PATH` as the `kwdb-metrics-v1` JSON baseline that
 //! `metrics_check` (and CI) validates.
+//!
+//! With `--flight-out PATH` (requires `--metrics-out`) the smoke batch runs
+//! under an aggressive 1-in-2 trace sampling policy and the registry's
+//! flight-recorder ring is dumped to `PATH` as `kwdb-flightrec-v1` JSON —
+//! the input to `metrics_check --flight` and `kwdb-doctor`.
 
 use kwdb::dispatch::{Catalog, Dispatcher};
 use kwdb::engine::{
     GraphEngine, GraphSemantics, RelationalConfig, RelationalEngine, SearchRequest, XmlEngine,
 };
 use kwdb_datasets::{generate_dblp, DblpConfig};
-use kwdb_obs::MetricsRegistry;
+use kwdb_obs::{MetricsRegistry, SamplePolicy};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -26,20 +31,26 @@ const EXPERIMENT_LATENCY: &str = "kwdb_experiment_latency_ns";
 
 fn main() {
     let mut metrics_out: Option<String> = None;
+    let mut flight_out: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--metrics-out" {
+        if arg == "--metrics-out" || arg == "--flight-out" {
             match args.next() {
-                Some(path) => metrics_out = Some(path),
+                Some(path) if arg == "--metrics-out" => metrics_out = Some(path),
+                Some(path) => flight_out = Some(path),
                 None => {
-                    eprintln!("--metrics-out requires a path");
+                    eprintln!("{arg} requires a path");
                     std::process::exit(1);
                 }
             }
         } else {
             ids.push(arg);
         }
+    }
+    if flight_out.is_some() && metrics_out.is_none() {
+        eprintln!("--flight-out requires --metrics-out (the recorder lives on the registry)");
+        std::process::exit(1);
     }
 
     let registry = metrics_out
@@ -72,6 +83,11 @@ fn main() {
     }
 
     if let (Some(path), Some(reg)) = (metrics_out, registry) {
+        if flight_out.is_some() {
+            // Sample every 2nd smoke query up to a full trace, so the dump
+            // kwdb-doctor analyzes carries span trees to export.
+            reg.set_sample_policy(SamplePolicy::every(2));
+        }
         dispatcher_smoke(&reg);
         let json = kwdb_obs::export::to_json(&reg.snapshot());
         if let Err(e) = std::fs::write(&path, &json) {
@@ -79,6 +95,15 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("metrics snapshot written to {path}");
+        if let Some(fpath) = flight_out {
+            let dump = reg.flight().dump();
+            let n = dump.records.len();
+            if let Err(e) = std::fs::write(&fpath, dump.to_json()) {
+                eprintln!("failed to write {fpath}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("flight recorder dump ({n} records) written to {fpath}");
+        }
     }
 }
 

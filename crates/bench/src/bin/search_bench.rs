@@ -22,7 +22,12 @@
 //! facet values counted) are checked against a previous snapshot within
 //! [`SIZE_DRIFT`], and latency means within [`TIMING_NOISE`]; violations
 //! fail the run.
+//!
+//! An `engine_recorded` / `engine_bare` row pair additionally measures the
+//! always-on flight recorder's overhead: the full relational engine with a
+//! registry (and its recorder ring) attached vs the same engine bare.
 
+use kwdb::engine::{RelationalConfig, RelationalEngine, SearchRequest};
 use kwdb_common::{Budget, FacetSpec, RangeBucket, ScratchPool};
 use kwdb_datasets::{generate_dblp, DblpConfig};
 use kwdb_obs::registry::Snapshot;
@@ -287,6 +292,55 @@ fn main() -> ExitCode {
                 );
             }
         }
+    }
+
+    // Recorder-overhead evidence: the full relational engine with a
+    // registry attached (always-on flight recorder at default capacity,
+    // every query sealed into the ring) vs the same engine bare. Two new
+    // SEARCH_LATENCY rows — compare mode walks baseline entries, so the
+    // rows are compare-safe and become guarded once a baseline carries
+    // them.
+    {
+        let db_cfg = DblpConfig {
+            n_papers: 400,
+            n_authors: 150,
+            ..Default::default()
+        };
+        let engine_cfg = RelationalConfig {
+            intra_query_workers: 1,
+            ..Default::default()
+        };
+        let bare = RelationalEngine::with_config(generate_dblp(&db_cfg), engine_cfg);
+        let recorded = RelationalEngine::with_config(generate_dblp(&db_cfg), engine_cfg)
+            .with_registry(Arc::clone(&reg));
+        let mut ns = [0u128; 2];
+        for query in queries {
+            for (i, (name, engine)) in [("engine_bare", &bare), ("engine_recorded", &recorded)]
+                .iter()
+                .enumerate()
+            {
+                let hist = reg.histogram(SEARCH_LATENCY, &[("executor", name), ("query", query)]);
+                for _ in 0..ROUNDS {
+                    let start = Instant::now();
+                    engine
+                        .execute(&SearchRequest::new(query).k(K))
+                        .expect("bench query succeeds");
+                    let elapsed = start.elapsed();
+                    hist.record_duration(elapsed);
+                    ns[i] += elapsed.as_nanos();
+                }
+            }
+        }
+        println!(
+            "\nflight recorder overhead: recorded {} ns vs bare {} ns over {} queries × \
+             {ROUNDS} rounds ({:.3}x, ring at {} of {} capacity)",
+            ns[1],
+            ns[0],
+            queries.len(),
+            ns[1] as f64 / ns[0].max(1) as f64,
+            reg.flight().len(),
+            reg.flight().capacity(),
+        );
     }
 
     println!(

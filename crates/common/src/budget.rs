@@ -143,6 +143,16 @@ impl TruncationReason {
             TruncationReason::CandidateCapReached => "candidate_cap",
         }
     }
+
+    /// The inverse of [`as_str`](Self::as_str), for readers of serialized
+    /// records (the flight-recorder dump); `None` for unknown labels.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "deadline" => Some(TruncationReason::DeadlineExceeded),
+            "candidate_cap" => Some(TruncationReason::CandidateCapReached),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for TruncationReason {
@@ -489,6 +499,13 @@ mod tests {
             TruncationReason::CandidateCapReached.to_string(),
             "candidate_cap"
         );
+        for r in [
+            TruncationReason::DeadlineExceeded,
+            TruncationReason::CandidateCapReached,
+        ] {
+            assert_eq!(TruncationReason::parse(r.as_str()), Some(r));
+        }
+        assert_eq!(TruncationReason::parse("bogus"), None);
     }
 
     #[test]

@@ -18,6 +18,9 @@ pub fn to_prometheus(snapshot: &Snapshot) -> String {
     let mut out = String::new();
     let emit_header = |out: &mut String, prev: &mut String, name: &str, kind: &str| {
         if prev != name {
+            if let Some(help) = crate::record::families::help(name) {
+                let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+            }
             let _ = writeln!(out, "# TYPE {name} {kind}");
             *prev = name.to_string();
         }
@@ -92,6 +95,12 @@ fn escape_label(v: &str) -> String {
         .replace('\n', "\\n")
 }
 
+/// HELP text escaping per the exposition format: backslash and newline
+/// only (no quote escaping — HELP text is not quoted).
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
 /// Serialize a snapshot to the stable JSON schema (pretty enough to diff,
 /// compact enough to commit as a `BENCH_*.json` baseline).
 pub fn to_json(snapshot: &Snapshot) -> String {
@@ -114,7 +123,7 @@ pub fn to_json(snapshot: &Snapshot) -> String {
         .iter()
         .map(|(id, v)| {
             let mut o = id_obj(id);
-            o.push(("value".into(), Json::Num(*v as f64)));
+            o.push(("value".into(), Json::Int(*v as i128)));
             Json::Obj(o)
         })
         .collect();
@@ -123,7 +132,7 @@ pub fn to_json(snapshot: &Snapshot) -> String {
         .iter()
         .map(|(id, v)| {
             let mut o = id_obj(id);
-            o.push(("value".into(), Json::Num(*v as f64)));
+            o.push(("value".into(), Json::Int(*v as i128)));
             Json::Obj(o)
         })
         .collect();
@@ -132,18 +141,18 @@ pub fn to_json(snapshot: &Snapshot) -> String {
         .iter()
         .map(|(id, h)| {
             let mut o = id_obj(id);
-            o.push(("count".into(), Json::Num(h.count as f64)));
-            o.push(("sum".into(), Json::Num(h.sum as f64)));
-            o.push(("max".into(), Json::Num(h.max as f64)));
-            o.push(("p50".into(), Json::Num(h.p50() as f64)));
-            o.push(("p90".into(), Json::Num(h.p90() as f64)));
-            o.push(("p99".into(), Json::Num(h.p99() as f64)));
+            o.push(("count".into(), Json::Int(h.count as i128)));
+            o.push(("sum".into(), Json::Int(h.sum as i128)));
+            o.push(("max".into(), Json::Int(h.max as i128)));
+            o.push(("p50".into(), Json::Int(h.p50() as i128)));
+            o.push(("p90".into(), Json::Int(h.p90() as i128)));
+            o.push(("p99".into(), Json::Int(h.p99() as i128)));
             o.push((
                 "buckets".into(),
                 Json::Arr(
                     h.buckets
                         .iter()
-                        .map(|&(i, n)| Json::Arr(vec![Json::Num(i as f64), Json::Num(n as f64)]))
+                        .map(|&(i, n)| Json::Arr(vec![Json::Int(i as i128), Json::Int(n as i128)]))
                         .collect(),
                 ),
             ));
@@ -291,6 +300,11 @@ mod tests {
     #[test]
     fn prometheus_exposition_shape() {
         let text = to_prometheus(&sample_registry().snapshot());
+        // HELP precedes TYPE for every family with registered help text
+        assert!(text.contains(
+            "# HELP kwdb_queries_total Queries executed, by engine and algorithm.\n# TYPE kwdb_queries_total counter"
+        ));
+        assert!(text.contains("# HELP kwdb_query_latency_ns "));
         assert!(text.contains("# TYPE kwdb_queries_total counter"));
         assert!(text.contains(
             "kwdb_queries_total{algorithm=\"global_pipeline\",engine=\"relational\"} 17"
@@ -300,8 +314,19 @@ mod tests {
         assert!(text.contains("# TYPE kwdb_query_latency_ns histogram"));
         assert!(text.contains("kwdb_query_latency_ns_bucket{engine=\"relational\",le=\"+Inf\"} 4"));
         assert!(text.contains("kwdb_query_latency_ns_count{engine=\"relational\"} 4"));
-        // exactly one TYPE header per family
+        // exactly one TYPE/HELP header per family
         assert_eq!(text.matches("# TYPE kwdb_queries_total").count(), 1);
+        assert_eq!(text.matches("# HELP kwdb_queries_total").count(), 1);
+    }
+
+    #[test]
+    fn prometheus_help_only_for_known_families() {
+        let reg = MetricsRegistry::new();
+        reg.counter("bench_local_total", &[]).inc();
+        let text = to_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE bench_local_total counter"));
+        assert!(!text.contains("# HELP bench_local_total"));
+        assert_eq!(escape_help("a\\b\nc"), "a\\\\b\\nc");
     }
 
     #[test]

@@ -5,8 +5,10 @@
 //! snapshots and CI parses them back to validate the emitted families. This
 //! module implements just enough of RFC 8259 for that: objects, arrays,
 //! strings with escape sequences, integer and float numbers, booleans and
-//! null. Numbers are held as `f64`; integers round-trip exactly up to 2^53,
-//! far above any counter value a bench run can accumulate.
+//! null. Integer numerals are held as [`Json::Int`] (`i128`) and round-trip
+//! exactly at any magnitude a `u64` nanosecond count can reach — the trace
+//! and flight-recorder schemas depend on this. Fractional and exponent
+//! numerals are held as [`Json::Num`] (`f64`).
 
 use std::fmt::Write as _;
 
@@ -15,6 +17,11 @@ use std::fmt::Write as _;
 pub enum Json {
     Null,
     Bool(bool),
+    /// An integer numeral, exact. The parser produces this for any numeral
+    /// without a fraction or exponent; use it for nanosecond timestamps and
+    /// counters that must survive a round-trip bit-for-bit (`f64` rounds
+    /// above 2^53).
+    Int(i128),
     Num(f64),
     Str(String),
     Arr(Vec<Json>),
@@ -25,6 +32,7 @@ pub enum Json {
 impl Json {
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            Json::Int(i) if *i >= 0 && *i <= u64::MAX as i128 => Some(*i as u64),
             Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= (1u64 << 53) as f64 => {
                 Some(*n as u64)
             }
@@ -34,6 +42,7 @@ impl Json {
 
     pub fn as_i64(&self) -> Option<i64> {
         match self {
+            Json::Int(i) if *i >= i64::MIN as i128 && *i <= i64::MAX as i128 => Some(*i as i64),
             Json::Num(n) if n.fract() == 0.0 && n.abs() <= (1u64 << 53) as f64 => Some(*n as i64),
             _ => None,
         }
@@ -72,6 +81,9 @@ impl Json {
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
             Json::Num(n) => {
                 if n.fract() == 0.0 && n.abs() < 1e15 {
                     let _ = write!(out, "{}", *n as i64);
@@ -339,6 +351,13 @@ impl Parser<'_> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII");
+        // Fraction/exponent-free numerals parse to the exact integer
+        // variant; anything else (or an i128 overflow) falls back to f64.
+        if !text.contains(['.', 'e', 'E']) {
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(Json::Int(i));
+            }
+        }
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| self.err("invalid number"))
@@ -380,6 +399,17 @@ mod tests {
             let re = Json::parse(&v.to_string_compact()).unwrap();
             assert_eq!(re.as_u64(), Some(n));
         }
+        // Above 2^53 the f64 path would round; Int is exact to u64::MAX.
+        for n in [(1u64 << 53) + 1, u64::MAX - 1, u64::MAX] {
+            let v = Json::Int(n as i128);
+            let re = Json::parse(&v.to_string_compact()).unwrap();
+            assert_eq!(re, v);
+            assert_eq!(re.as_u64(), Some(n));
+        }
+        assert_eq!(
+            Json::parse("-9007199254740995").unwrap().as_i64(),
+            Some(-9_007_199_254_740_995)
+        );
     }
 
     #[test]

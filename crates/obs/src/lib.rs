@@ -17,9 +17,19 @@
 //!   cache outcomes), built through a [`TraceBuilder`] gated by the
 //!   [`TraceLevel`] knob on a request, rendered as an `EXPLAIN
 //!   ANALYZE`-style text tree or JSON.
-//! * Exporters — [`export::to_prometheus`] (text exposition format) and
-//!   [`export::to_json`]/[`export::from_json`] (an exact round-trip the
-//!   bench harness uses to emit `BENCH_*.json` perf baselines).
+//! * [`FlightRecorder`] — a bounded, lock-striped ring of the last N
+//!   queries, always on once a registry is attached: every sealed query
+//!   appends a compact [`QueryRecord`] (engine, executor, redacted digest,
+//!   per-phase durations, truncation/cache outcome, and the trace when one
+//!   exists). A [`SamplePolicy`] on the registry upgrades selected queries
+//!   to traced without the caller asking (1-in-N plus slow-query
+//!   promotion), so tail-latency forensics works after the fact — dump
+//!   with [`FlightDump::to_json`] and analyze offline with `kwdb-doctor`.
+//! * Exporters — [`export::to_prometheus`] (text exposition format with
+//!   `# HELP`/`# TYPE` headers), [`export::to_json`]/[`export::from_json`]
+//!   (an exact round-trip the bench harness uses to emit `BENCH_*.json`
+//!   perf baselines), and [`chrome::to_chrome_trace`] (Chrome/Perfetto
+//!   `trace_event` JSON for one query's span tree).
 //!
 //! ```
 //! use kwdb_obs::{MetricsRegistry, record_query};
@@ -31,13 +41,19 @@
 //! assert!(prom.contains("kwdb_queries_total"));
 //! ```
 
+pub mod chrome;
 pub mod export;
+pub mod flight;
 pub mod hist;
 pub mod json;
 pub mod record;
 pub mod registry;
 pub mod trace;
 
+pub use flight::{
+    query_digest, CacheOutcome, FlightDump, FlightRecorder, QueryRecord, SamplePolicy,
+    SlowThreshold,
+};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use record::{families, record_facets, record_index_stats, record_query};
 pub use registry::{Counter, Gauge, Labels, MetricId, MetricsRegistry, Snapshot};

@@ -74,6 +74,55 @@ pub mod families {
     /// truncated the result multiset, or the scoring model counts only the
     /// returned hits (SPARK), by engine.
     pub const FACET_INEXACT: &str = "kwdb_facet_inexact_total";
+    /// Counter: flight-recorder entries overwritten by ring wrap, labeled
+    /// by the *overwritten* record's engine — the recorder observing
+    /// itself, so dashboards can tell when the retained window is shorter
+    /// than the traffic they are diagnosing.
+    pub const FLIGHT_DROPPED: &str = "kwdb_flightrec_dropped_total";
+    /// Gauge: records currently held in the flight recorder ring.
+    pub const FLIGHT_ENTRIES: &str = "kwdb_flightrec_entries";
+    /// Counter: queries whose trace was promoted by the registry's
+    /// [`SamplePolicy`](crate::flight::SamplePolicy) rather than requested
+    /// by the caller, by engine.
+    pub const TRACE_SAMPLED: &str = "kwdb_trace_sampled_total";
+
+    /// The `# HELP` text for a family, used by the Prometheus exporter.
+    /// Every stable family above has an entry; `None` for foreign names
+    /// (bench-local families pass through without a HELP line).
+    pub fn help(family: &str) -> Option<&'static str> {
+        Some(match family {
+            QUERIES => "Queries executed, by engine and algorithm.",
+            QUERY_LATENCY => "End-to-end query latency in nanoseconds.",
+            PHASE_LATENCY => "Per-phase query latency in nanoseconds.",
+            OPERATORS => "Operator-level work counts (label op).",
+            CANDIDATES => "Candidates generated/pruned (label kind).",
+            PLAN_CACHE => "CN plan-cache lookups (label outcome).",
+            TRUNCATED => "Queries cut short by their budget (label reason).",
+            PLAN_CACHE_SIZE => "Current CN plan-cache entry count.",
+            PLAN_CACHE_GENERATIONS => "CN plans generated on cache misses.",
+            PLAN_CACHE_EVICTIONS => "CN plan-cache evictions.",
+            DISPATCH_QUEUE_WAIT => "Time a dispatched request waited before a worker claimed it.",
+            DISPATCH_INFLIGHT => "Requests currently executing inside a dispatcher.",
+            DISPATCH_REQUESTS => "Dispatched requests (label outcome).",
+            DISPATCH_WORKER_REQUESTS => "Dispatched requests per worker.",
+            INDEX_BUILD => "Index build wall-clock in nanoseconds (label index).",
+            INDEX_TERMS => "Distinct terms in an index (label index).",
+            INDEX_POSTINGS => "Stored postings in an index (label index).",
+            INDEX_POSTING_BYTES => "Approximate posting payload bytes of an index (label index).",
+            INDEX_BLOCKS => "Encoded posting blocks in an index (label index).",
+            CN_EVALUATED => "Candidate networks joined during top-k evaluation.",
+            CN_PRUNED => "Candidate networks skipped by bounds or budget.",
+            JOIN_PROBE_ROWS => "Rows matched by hash-join probes.",
+            INTRA_WORKERS => "Intra-query worker threads the relational engine runs with.",
+            FACET_QUERIES => "Queries that requested at least one facet.",
+            FACET_VALUES => "Facet values emitted across faceted responses.",
+            FACET_INEXACT => "Faceted queries whose counts were inexact.",
+            FLIGHT_DROPPED => "Flight-recorder entries overwritten by ring wrap, by the overwritten record's engine.",
+            FLIGHT_ENTRIES => "Records currently held in the flight recorder ring.",
+            TRACE_SAMPLED => "Queries whose trace was promoted by the sampling policy.",
+            _ => return None,
+        })
+    }
 }
 
 /// Fold one query's stats into the registry under `engine × algorithm`.

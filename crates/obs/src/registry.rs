@@ -11,7 +11,10 @@
 //! keep handles across queries or re-resolve them per query — either way
 //! concurrent workers never serialize on the registry.
 
+use crate::flight::{FlightRecorder, QueryRecord, SamplePolicy, SlowThreshold};
 use crate::hist::{Histogram, HistogramSnapshot};
+use crate::record::families;
+use crate::trace::TraceLevel;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -109,10 +112,17 @@ struct Families {
     histograms: BTreeMap<MetricKey, Arc<Histogram>>,
 }
 
-/// The thread-safe registry of all metric instruments.
+/// The thread-safe registry of all metric instruments — plus the query
+/// [`FlightRecorder`] and its [`SamplePolicy`], so flight recording is
+/// always on wherever a registry is attached (no per-engine plumbing).
 #[derive(Default)]
 pub struct MetricsRegistry {
     inner: RwLock<Families>,
+    flight: FlightRecorder,
+    policy: RwLock<SamplePolicy>,
+    /// Global arrival counter driving 1-in-N trace sampling; deterministic
+    /// under serial execution.
+    sample_seq: AtomicU64,
 }
 
 /// Double-checked get-or-create over one of the three family maps.
@@ -136,6 +146,134 @@ macro_rules! get_or_create {
 impl MetricsRegistry {
     pub fn new() -> Self {
         MetricsRegistry::default()
+    }
+
+    /// A registry whose flight recorder retains the last `capacity` queries
+    /// (default: [`crate::flight::DEFAULT_CAPACITY`]).
+    pub fn with_flight_capacity(capacity: usize) -> Self {
+        MetricsRegistry {
+            flight: FlightRecorder::with_capacity(capacity),
+            ..Default::default()
+        }
+    }
+
+    /// The always-on query flight recorder.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// The current trace sampling / slow-query policy.
+    pub fn sample_policy(&self) -> SamplePolicy {
+        *self.policy.read().expect("sample policy poisoned")
+    }
+
+    /// Replace the trace sampling / slow-query policy.
+    pub fn set_sample_policy(&self, policy: SamplePolicy) {
+        *self.policy.write().expect("sample policy poisoned") = policy;
+    }
+
+    /// Decide the effective trace level for one arriving query: the
+    /// caller's `requested` level, possibly upgraded to the policy's level.
+    /// Returns `(level, sampled)` where `sampled` marks a policy promotion
+    /// (counted into `kwdb_trace_sampled_total` at seal time).
+    ///
+    /// Promotion fires on the 1-in-N arrival counter, or — with a
+    /// [`SlowThreshold::Fixed`] policy — for every query of an
+    /// `engine × algorithm` class whose live p99 sits at or above the
+    /// threshold, so a currently-slow executor's queries arrive in the
+    /// recorder *with* their span trees. Requests already tracing at or
+    /// above the policy level pass through untouched and don't consume a
+    /// sampling tick.
+    pub fn sample_trace_level(
+        &self,
+        engine: &str,
+        algorithm: &str,
+        requested: TraceLevel,
+    ) -> (TraceLevel, bool) {
+        let p = self.sample_policy();
+        if p.level == TraceLevel::Off || requested >= p.level {
+            return (requested, false);
+        }
+        let mut promote = false;
+        if p.sample_every > 0 {
+            let n = self.sample_seq.fetch_add(1, Ordering::Relaxed) + 1;
+            promote = n.is_multiple_of(p.sample_every);
+        }
+        if !promote {
+            if let SlowThreshold::Fixed(d) = p.slow_threshold {
+                let (p99, count) = self.latency_p99(engine, algorithm);
+                promote = count > 0 && p99 >= d.as_nanos().min(u64::MAX as u128) as u64;
+            }
+        }
+        if promote {
+            (p.level, true)
+        } else {
+            (requested, false)
+        }
+    }
+
+    /// Seal-time flight recording: decide the record's slow flag against
+    /// the policy, append it to the ring, and keep the recorder's
+    /// self-metrics current (`kwdb_flightrec_entries`,
+    /// `kwdb_flightrec_dropped_total` by the overwritten record's engine,
+    /// `kwdb_trace_sampled_total`).
+    ///
+    /// Call *before* folding this query into the latency histogram
+    /// ([`crate::record_query`]) so an [`SlowThreshold::AutoP99`] threshold
+    /// compares the query against the traffic that preceded it.
+    pub fn record_flight(&self, mut rec: QueryRecord) {
+        let total_ns = rec.total().as_nanos().min(u64::MAX as u128) as u64;
+        rec.slow = match self.sample_policy().slow_threshold {
+            SlowThreshold::Off => false,
+            SlowThreshold::Fixed(d) => total_ns >= d.as_nanos().min(u64::MAX as u128) as u64,
+            SlowThreshold::AutoP99 => {
+                let (p99, count) = self.latency_p99(&rec.engine, &rec.algorithm);
+                count >= SamplePolicy::AUTO_MIN_SAMPLES && total_ns > p99
+            }
+        };
+        let engine = rec.engine.clone();
+        let engine_label = [("engine", engine.as_str())];
+        // Register the sampled counter even at zero so the family is always
+        // present in snapshots; increment only on actual promotions.
+        let sampled = self.counter(families::TRACE_SAMPLED, &engine_label);
+        if rec.sampled {
+            sampled.inc();
+        }
+        // Same zero-registration for drops, so `metrics_check` can require
+        // the family before the ring ever wraps.
+        let dropped = self.counter(families::FLIGHT_DROPPED, &engine_label);
+        if let Some(old) = self.flight.append(rec) {
+            if old.engine == engine {
+                dropped.inc();
+            } else {
+                self.counter(families::FLIGHT_DROPPED, &[("engine", old.engine.as_str())])
+                    .inc();
+            }
+        }
+        self.gauge(families::FLIGHT_ENTRIES, &[])
+            .set(self.flight.len() as i64);
+    }
+
+    /// The live p99 (and observation count) of the `engine × algorithm`
+    /// end-to-end latency histogram, without creating the instrument.
+    fn latency_p99(&self, engine: &str, algorithm: &str) -> (u64, u64) {
+        let key: MetricKey = (
+            families::QUERY_LATENCY.to_string(),
+            Labels::new(&[("engine", engine), ("algorithm", algorithm)]),
+        );
+        match self
+            .inner
+            .read()
+            .expect("metrics registry poisoned")
+            .histograms
+            .get(&key)
+        {
+            Some(h) => {
+                let snap = h.snapshot();
+                (snap.p99(), snap.count)
+            }
+            None => (0, 0),
+        }
     }
 
     /// The counter `name{labels}`, created on first use.
@@ -315,6 +453,84 @@ mod tests {
         sorted.sort();
         assert_eq!(names, sorted);
         assert_eq!(snap.family_names(), vec!["a", "z"]);
+    }
+
+    #[test]
+    fn sampling_promotes_every_nth_query_deterministically() {
+        let reg = MetricsRegistry::new();
+        reg.set_sample_policy(SamplePolicy::every(3));
+        let picks: Vec<bool> = (0..9)
+            .map(|_| {
+                reg.sample_trace_level("relational", "global_pipeline", TraceLevel::Off)
+                    .1
+            })
+            .collect();
+        assert_eq!(
+            picks,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+        // an already-traced request passes through and consumes no tick
+        let (level, sampled) =
+            reg.sample_trace_level("relational", "global_pipeline", TraceLevel::Full);
+        assert_eq!(level, TraceLevel::Full);
+        assert!(!sampled);
+        let (_, next) = reg.sample_trace_level("relational", "global_pipeline", TraceLevel::Off);
+        assert!(!next, "tick 10 of every(3) must not fire");
+    }
+
+    #[test]
+    fn record_flight_keeps_self_metrics_current() {
+        let reg = MetricsRegistry::with_flight_capacity(2);
+        let mut stats = kwdb_common::QueryStats::new();
+        stats.phases.evaluate = std::time::Duration::from_micros(50);
+        for i in 0..5 {
+            let rec = QueryRecord::new(
+                "relational",
+                "global_pipeline",
+                "data query",
+                3,
+                1,
+                &stats,
+                None,
+                i == 0,
+                None,
+            );
+            reg.record_flight(rec);
+        }
+        assert_eq!(reg.flight().len(), 2);
+        assert_eq!(
+            reg.counter_value(families::FLIGHT_DROPPED, &[("engine", "relational")]),
+            3
+        );
+        assert_eq!(reg.gauge(families::FLIGHT_ENTRIES, &[]).get(), 2);
+        assert_eq!(
+            reg.counter_value(families::TRACE_SAMPLED, &[("engine", "relational")]),
+            1
+        );
+    }
+
+    #[test]
+    fn fixed_threshold_flags_slow_queries() {
+        let reg = MetricsRegistry::new();
+        reg.set_sample_policy(SamplePolicy {
+            sample_every: 0,
+            slow_threshold: SlowThreshold::Fixed(std::time::Duration::from_micros(10)),
+            level: TraceLevel::Off,
+        });
+        let mut fast = kwdb_common::QueryStats::new();
+        fast.phases.evaluate = std::time::Duration::from_nanos(500);
+        let mut slow = kwdb_common::QueryStats::new();
+        slow.phases.evaluate = std::time::Duration::from_micros(20);
+        for stats in [&fast, &slow] {
+            reg.record_flight(QueryRecord::new(
+                "xml", "slca", "q", 1, 1, stats, None, false, None,
+            ));
+        }
+        let dump = reg.flight().dump();
+        assert_eq!(
+            dump.records.iter().map(|r| r.slow).collect::<Vec<_>>(),
+            vec![false, true]
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! Render with [`QueryTrace::render_text`] for humans or
 //! [`QueryTrace::to_json`] for tooling.
 
-use crate::json::Json;
+use crate::json::{Json, JsonError};
 use std::time::{Duration, Instant};
 
 /// How much tracing a request wants.
@@ -107,8 +107,16 @@ impl QueryTrace {
 
     /// The trace as a JSON document (stable schema: label, total_ns,
     /// phases[{name, start_ns, duration_ns, events[{at_ns, message,
-    /// fields{}}]}]).
+    /// fields{}}]}]). All `*_ns` fields are exact integers — `f64` would
+    /// silently round durations above 2^53 ns.
     pub fn to_json(&self) -> String {
+        self.to_json_value().to_string_compact()
+    }
+
+    /// [`to_json`](Self::to_json) as a [`Json`] value, for embedding the
+    /// trace inside a larger document (the flight-recorder dump).
+    pub fn to_json_value(&self) -> Json {
+        let ns = |d: Duration| Json::Int(d.as_nanos() as i128);
         let phases = self
             .phases
             .iter()
@@ -118,7 +126,7 @@ impl QueryTrace {
                     .iter()
                     .map(|e| {
                         Json::Obj(vec![
-                            ("at_ns".into(), Json::Num(e.at.as_nanos() as f64)),
+                            ("at_ns".into(), ns(e.at)),
                             ("message".into(), Json::Str(e.message.clone())),
                             (
                                 "fields".into(),
@@ -134,21 +142,114 @@ impl QueryTrace {
                     .collect();
                 Json::Obj(vec![
                     ("name".into(), Json::Str(p.name.clone())),
-                    ("start_ns".into(), Json::Num(p.start.as_nanos() as f64)),
-                    (
-                        "duration_ns".into(),
-                        Json::Num(p.duration.as_nanos() as f64),
-                    ),
+                    ("start_ns".into(), ns(p.start)),
+                    ("duration_ns".into(), ns(p.duration)),
                     ("events".into(), Json::Arr(events)),
                 ])
             })
             .collect();
         Json::Obj(vec![
             ("label".into(), Json::Str(self.label.clone())),
-            ("total_ns".into(), Json::Num(self.total.as_nanos() as f64)),
+            ("total_ns".into(), ns(self.total)),
             ("phases".into(), Json::Arr(phases)),
         ])
-        .to_string_compact()
+    }
+
+    /// Parse a trace serialized by [`to_json`](Self::to_json).
+    pub fn from_json(input: &str) -> Result<QueryTrace, JsonError> {
+        Self::from_json_value(&Json::parse(input)?)
+    }
+
+    /// Parse a trace from an already-parsed [`Json`] value.
+    pub fn from_json_value(doc: &Json) -> Result<QueryTrace, JsonError> {
+        let bad = |message: &str| JsonError {
+            offset: 0,
+            message: message.to_string(),
+        };
+        let ns = |v: Option<&Json>, what: &str| {
+            v.and_then(Json::as_u64)
+                .map(Duration::from_nanos)
+                .ok_or_else(|| bad(&format!("trace missing u64 \"{what}\"")))
+        };
+        let label = doc
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("trace missing \"label\""))?
+            .to_string();
+        let total = ns(doc.get("total_ns"), "total_ns")?;
+        let mut phases = Vec::new();
+        for p in doc
+            .get("phases")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("trace missing \"phases\" array"))?
+        {
+            let mut events = Vec::new();
+            for e in p
+                .get("events")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad("phase missing \"events\" array"))?
+            {
+                let fields = match e.get("fields") {
+                    Some(Json::Obj(pairs)) => pairs
+                        .iter()
+                        .map(|(k, v)| {
+                            v.as_str()
+                                .map(|s| (k.clone(), s.to_string()))
+                                .ok_or_else(|| bad("event field value must be a string"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => return Err(bad("event missing \"fields\" object")),
+                };
+                events.push(TraceEvent {
+                    at: ns(e.get("at_ns"), "at_ns")?,
+                    message: e
+                        .get("message")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| bad("event missing \"message\""))?
+                        .to_string(),
+                    fields,
+                });
+            }
+            phases.push(PhaseSpan {
+                name: p
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("phase missing \"name\""))?
+                    .to_string(),
+                start: ns(p.get("start_ns"), "start_ns")?,
+                duration: ns(p.get("duration_ns"), "duration_ns")?,
+                events,
+            });
+        }
+        Ok(QueryTrace {
+            label,
+            total,
+            phases,
+        })
+    }
+
+    /// Prepend a synthetic span of `duration` named `name` at offset zero,
+    /// shifting every existing phase (and its events) later by `duration`
+    /// and growing the total to match. The dispatcher uses this to splice
+    /// queue wait in front of the engine-side trace, so the rendered
+    /// timeline shows where a request sat before a worker picked it up.
+    pub fn prepend_span(&mut self, name: &str, duration: Duration) {
+        for p in &mut self.phases {
+            p.start += duration;
+            for e in &mut p.events {
+                e.at += duration;
+            }
+        }
+        self.phases.insert(
+            0,
+            PhaseSpan {
+                name: name.to_string(),
+                start: Duration::ZERO,
+                duration,
+                events: Vec::new(),
+            },
+        );
+        self.total += duration;
     }
 }
 
@@ -331,6 +432,66 @@ mod tests {
                 .as_str(),
             Some("42")
         );
+    }
+
+    #[test]
+    fn json_round_trips_exactly_above_2_pow_53_ns() {
+        // ~292 years in nanoseconds: far above 2^53, where the old f64
+        // encoding rounded. The schema must survive a round-trip exactly.
+        let big = Duration::from_nanos(u64::MAX / 2);
+        let trace = QueryTrace {
+            label: "relational/global_pipeline \"data\"".into(),
+            total: big + Duration::from_nanos(7),
+            phases: vec![PhaseSpan {
+                name: "evaluate".into(),
+                start: Duration::from_nanos((1 << 53) + 1),
+                duration: big,
+                events: vec![TraceEvent {
+                    at: Duration::from_nanos((1 << 60) + 3),
+                    message: "budget verdict".into(),
+                    fields: vec![("truncated".into(), "no".into())],
+                }],
+            }],
+        };
+        let back = QueryTrace::from_json(&trace.to_json()).unwrap();
+        assert_eq!(back, trace);
+        // and the wire format carries the exact digits, not a rounded f64
+        assert!(trace.to_json().contains(&big.as_nanos().to_string()));
+    }
+
+    #[test]
+    fn small_trace_round_trips_through_json() {
+        let mut tb = TraceBuilder::new(TraceLevel::Full, "xml/slca \"q\"");
+        tb.phase("parse");
+        tb.phase("evaluate");
+        tb.event("slca", || vec![("roots".into(), "4".into())]);
+        let trace = tb.finish().unwrap();
+        assert_eq!(QueryTrace::from_json(&trace.to_json()).unwrap(), trace);
+        assert!(QueryTrace::from_json("{\"label\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn prepend_span_shifts_phases_and_grows_total() {
+        let mut tb = TraceBuilder::new(TraceLevel::Full, "x");
+        tb.phase("parse");
+        tb.event("keywords", Vec::new);
+        tb.phase("evaluate");
+        let mut trace = tb.finish().unwrap();
+        let orig = trace.clone();
+        let wait = Duration::from_micros(250);
+        trace.prepend_span("queue_wait", wait);
+        assert_eq!(trace.phases.len(), orig.phases.len() + 1);
+        assert_eq!(trace.phases[0].name, "queue_wait");
+        assert_eq!(trace.phases[0].start, Duration::ZERO);
+        assert_eq!(trace.phases[0].duration, wait);
+        assert_eq!(trace.total, orig.total + wait);
+        for (shifted, o) in trace.phases[1..].iter().zip(&orig.phases) {
+            assert_eq!(shifted.start, o.start + wait);
+            assert_eq!(shifted.duration, o.duration);
+            for (se, oe) in shifted.events.iter().zip(&o.events) {
+                assert_eq!(se.at, oe.at + wait);
+            }
+        }
     }
 
     #[test]

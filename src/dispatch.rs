@@ -183,7 +183,8 @@ impl Dispatcher {
             .iter()
             .map(|(name, req)| {
                 let wait = started.elapsed();
-                let resp = self.catalog.execute(name, req);
+                let mut resp = self.catalog.execute(name, req);
+                Self::splice_queue_wait(&mut resp, wait);
                 self.record_request("serial", 0, wait, resp.is_ok());
                 resp
             })
@@ -228,10 +229,11 @@ impl Dispatcher {
                     if let Some(g) = &inflight {
                         g.inc();
                     }
-                    let resp = self.catalog.execute(name, req);
+                    let mut resp = self.catalog.execute(name, req);
                     if let Some(g) = &inflight {
                         g.dec();
                     }
+                    Self::splice_queue_wait(&mut resp, wait);
                     self.record_request("concurrent", worker, wait, resp.is_ok());
                     *slots[i].lock().expect("result slot poisoned") = Some(resp);
                 });
@@ -246,6 +248,18 @@ impl Dispatcher {
             })
             .collect();
         Self::outcome(responses)
+    }
+
+    /// Splice the time a request sat in the dispatch queue into its trace
+    /// as a synthetic leading `queue_wait` span, so a traced query's span
+    /// tree covers the full dispatch-to-response interval, not just engine
+    /// time. No-op for untraced or failed requests.
+    fn splice_queue_wait(resp: &mut Result<SearchResponse<Hit>>, wait: Duration) {
+        if let Ok(r) = resp {
+            if let Some(trace) = &mut r.trace {
+                trace.prepend_span("queue_wait", wait);
+            }
+        }
     }
 
     /// Fold one dispatched request into the registry, if one is attached.
@@ -340,6 +354,37 @@ mod tests {
         assert!(
             out.totals.operators.sorted_accesses > 0,
             "blinks + slca counted"
+        );
+    }
+
+    #[test]
+    fn queue_wait_span_leads_traced_responses() {
+        let d = Dispatcher::with_workers(catalog(), 2);
+        let batch = vec![
+            (
+                "dblp".to_string(),
+                SearchRequest::new("data query")
+                    .k(2)
+                    .trace(kwdb_obs::TraceLevel::Phases),
+            ),
+            ("bib".to_string(), SearchRequest::new("data query").k(2)),
+        ];
+        let out = d.execute_concurrent(&batch);
+        let trace = out.responses[0]
+            .as_ref()
+            .unwrap()
+            .trace
+            .as_ref()
+            .expect("traced request keeps its trace through dispatch");
+        assert_eq!(trace.phases[0].name, "queue_wait");
+        assert_eq!(trace.phases[0].start, Duration::ZERO);
+        assert!(
+            trace.total >= trace.phases[0].duration,
+            "queue wait counted into the trace total"
+        );
+        assert!(
+            out.responses[1].as_ref().unwrap().trace.is_none(),
+            "untraced requests stay untraced"
         );
     }
 

@@ -49,8 +49,8 @@ use kwdb_explore::summary::{object_summary, render_summary};
 use kwdb_graph::DataGraph;
 use kwdb_graphsearch::{blinks::Blinks, AnswerTree, BanksI, Dpbf};
 use kwdb_obs::{
-    families, record_facets, record_index_stats, record_query, MetricsRegistry, QueryTrace,
-    TraceBuilder, TraceLevel,
+    families, record_facets, record_index_stats, record_query, MetricsRegistry, QueryRecord,
+    QueryTrace, TraceBuilder, TraceLevel,
 };
 use kwdb_qclean::segment::{clean_query, ValuePhraseModel};
 use kwdb_qclean::SpellCorrector;
@@ -270,28 +270,62 @@ impl<H> SearchResponse<H> {
 }
 
 /// Seal a response: fold the stats into the registry (when the engine
-/// carries one) and close the trace. Every execute path — early return or
-/// full pipeline — goes through here, so registry totals always equal the
-/// sum of the per-query `QueryStats` handed back to callers.
+/// carries one), append the query's flight record, and close the trace.
+/// Every execute path — early return or full pipeline — goes through here,
+/// so registry totals always equal the sum of the per-query `QueryStats`
+/// handed back to callers, and the flight recorder sees every query.
+#[allow(clippy::too_many_arguments)]
 fn finish_response<H>(
     registry: Option<&MetricsRegistry>,
     engine: &'static str,
     algorithm: &'static str,
+    req: &SearchRequest,
+    workers: usize,
+    sampled: bool,
     hits: Vec<H>,
     stats: QueryStats,
     truncation: Option<TruncationReason>,
     trace: TraceBuilder,
 ) -> SearchResponse<H> {
+    let trace = trace.finish();
     if let Some(reg) = registry {
+        // Flight record first: an AutoP99 slow threshold then compares this
+        // query against the traffic recorded *before* it.
+        reg.record_flight(QueryRecord::new(
+            engine,
+            algorithm,
+            &req.query,
+            req.k,
+            workers,
+            &stats,
+            truncation,
+            sampled,
+            trace.clone(),
+        ));
         record_query(reg, engine, algorithm, &stats, truncation);
     }
     SearchResponse {
         hits,
         stats,
         truncation,
-        trace: trace.finish(),
+        trace,
         facets: Vec::new(),
         facets_exact: true,
+    }
+}
+
+/// The effective trace level for one arriving query: the requested level,
+/// possibly upgraded by the registry's sampling policy. Returns
+/// `(level, sampled)`; engines without a registry never promote.
+fn effective_trace(
+    registry: Option<&MetricsRegistry>,
+    engine: &str,
+    algorithm: &str,
+    requested: TraceLevel,
+) -> (TraceLevel, bool) {
+    match registry {
+        Some(reg) => reg.sample_trace_level(engine, algorithm, requested),
+        None => (requested, false),
     }
 }
 
@@ -530,14 +564,17 @@ impl RelationalEngine {
             Scoring::Monotone => "global_pipeline",
             Scoring::Spark => "spark",
         };
-        let mut tb =
-            TraceBuilder::new(req.trace, format!("relational/{algorithm} {:?}", req.query));
         let reg = self.registry.as_deref();
+        let (level, sampled) = effective_trace(reg, "relational", algorithm, req.trace);
+        let mut tb = TraceBuilder::new(level, format!("relational/{algorithm} {:?}", req.query));
         let done = |hits, stats, truncation, tb| {
             Ok(finish_response(
                 reg,
                 "relational",
                 algorithm,
+                req,
+                workers,
+                sampled,
                 hits,
                 stats,
                 truncation,
@@ -991,10 +1028,11 @@ fn execute_graph(
         GraphSemantics::Banks => "banks",
         GraphSemantics::DistinctRoot => "blinks",
     };
-    let mut tb = TraceBuilder::new(req.trace, format!("graph/{algorithm} {:?}", req.query));
+    let (level, sampled) = effective_trace(registry, "graph", algorithm, req.trace);
+    let mut tb = TraceBuilder::new(level, format!("graph/{algorithm} {:?}", req.query));
     let done = |hits, stats, truncation, tb| {
         Ok(finish_response(
-            registry, "graph", algorithm, hits, stats, truncation, tb,
+            registry, "graph", algorithm, req, 1, sampled, hits, stats, truncation, tb,
         ))
     };
 
@@ -1157,10 +1195,11 @@ fn execute_xml(
     let mut stats = QueryStats::new();
     let mut sw = Stopwatch::start();
     let budget = &req.budget;
-    let mut tb = TraceBuilder::new(req.trace, format!("xml/slca {:?}", req.query));
+    let (level, sampled) = effective_trace(registry, "xml", "slca", req.trace);
+    let mut tb = TraceBuilder::new(level, format!("xml/slca {:?}", req.query));
     let done = |hits, stats, truncation, tb| {
         Ok(finish_response(
-            registry, "xml", "slca", hits, stats, truncation, tb,
+            registry, "xml", "slca", req, 1, sampled, hits, stats, truncation, tb,
         ))
     };
 
