@@ -10,7 +10,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("autocomplete");
     for n in [100usize, 1000] {
         let (db, table) = generate_laptops(n, 9);
-        let ix = db.text_index();
+        let ix = db.text_index().expect("bench database is indexed");
         let trie = Trie::build(ix.terms().map(|t| t.to_string()));
         let mut fwd = ForwardIndex::new();
         for (rid, _) in db.table(table).iter() {

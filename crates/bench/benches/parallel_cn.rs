@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
         ..Default::default()
     });
     let keywords = vec!["data".to_string(), "query".to_string()];
-    let ts = TupleSets::build(&db, &keywords);
+    let ts = TupleSets::build(&db, &keywords).unwrap();
     let oracle = MaskOracle::from_tuplesets(&ts);
     let mut generator = CnGenerator::new(
         db.schema_graph(),

@@ -169,6 +169,31 @@ fn analyze(path: &str, top: usize, chrome_out: Option<&str>) {
         );
     }
 
+    // Per-engine generation and segment census: the newest record per
+    // engine carries the state the engine last served at; the generation
+    // span shows how much mutation the window covered.
+    let mut engines: Vec<&str> = dump.records.iter().map(|r| r.engine.as_str()).collect();
+    engines.sort();
+    engines.dedup();
+    println!("\n== per-engine generations ==");
+    println!(
+        "{:<14}  {:>10}  {:>10}  {:>9}  {:>7}",
+        "engine", "gen(first)", "gen(last)", "realtime", "sealed"
+    );
+    for engine in &engines {
+        let mut recs: Vec<&QueryRecord> = dump
+            .records
+            .iter()
+            .filter(|r| &r.engine == engine)
+            .collect();
+        recs.sort_by_key(|r| r.seq);
+        let (first, last) = (recs[0], recs[recs.len() - 1]);
+        println!(
+            "{:<14}  {:>10}  {:>10}  {:>9}  {:>7}",
+            engine, first.generation, last.generation, last.segments_realtime, last.segments_sealed
+        );
+    }
+
     // Truncation and cache outcome summaries.
     let truncated: Vec<&QueryRecord> = dump
         .records

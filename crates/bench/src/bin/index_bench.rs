@@ -223,10 +223,16 @@ fn main() -> ExitCode {
         ..Default::default()
     });
     assert!(db.is_index_fresh(), "generator must build the text index");
-    let rel_plain = db.text_index().index_stats();
+    let rel_plain = db
+        .text_index()
+        .expect("generator builds the index")
+        .index_stats();
     record_index_stats(&reg, "relational_text", &rel_plain);
     db.set_posting_layout(Layout::Blocks);
-    let rel_blocks = db.text_index().index_stats();
+    let rel_blocks = db
+        .text_index()
+        .expect("generator builds the index")
+        .index_stats();
     record_index_stats(&reg, "relational_text_blocks", &rel_blocks);
 
     // XML keyword index, both layouts.

@@ -87,6 +87,10 @@ fn main() {
         families::FLIGHT_DROPPED,
         families::FLIGHT_ENTRIES,
         families::TRACE_SAMPLED,
+        families::ENGINE_GENERATION,
+        families::SEGMENTS,
+        families::SEGMENT_MERGES,
+        families::INGESTED_TUPLES,
         "kwdb_experiment_latency_ns",
     ];
     let missing: Vec<&str> = required

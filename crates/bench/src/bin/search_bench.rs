@@ -182,7 +182,7 @@ fn main() -> ExitCode {
 
     for query in queries {
         let keywords: Vec<&str> = query.split_whitespace().collect();
-        let ts = TupleSets::build(&db, &keywords);
+        let ts = TupleSets::build(&db, &keywords).unwrap();
         let oracle = MaskOracle::from_tuplesets(&ts);
         let cns = CnGenerator::new(
             db.schema_graph(),

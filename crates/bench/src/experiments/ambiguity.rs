@@ -10,7 +10,7 @@ use kwdb_qclean::xclean::clean_with_guarantee;
 use kwdb_relational::TupleId;
 
 fn corrector(db: &kwdb_relational::Database) -> SpellCorrector {
-    let ix = db.text_index();
+    let ix = db.text_index().expect("bench database is indexed");
     SpellCorrector::from_vocab(ix.terms().map(|t| (t.to_string(), ix.doc_freq(t) as u64)))
 }
 
@@ -39,7 +39,7 @@ pub fn e08_query_cleaning() -> Report {
     // accuracy sweep on the generated product vocabulary
     let (db, _) = generate_laptops(60, 5);
     let sc2 = corrector(&db);
-    let ix = db.text_index();
+    let ix = db.text_index().expect("bench database is indexed");
     let (mut recovered, mut total) = (0, 0);
     for (i, term) in ix.terms().enumerate() {
         if term.len() < 4 {
@@ -112,7 +112,7 @@ pub fn e09_xclean_guarantee() -> Report {
 /// E10 (slides 72–73): TASTIER pruning power.
 pub fn e10_tastier() -> Report {
     let (db, table) = generate_laptops(200, 9);
-    let ix = db.text_index();
+    let ix = db.text_index().expect("bench database is indexed");
     let trie = Trie::build(ix.terms().map(|t| t.to_string()));
     let mut fwd = ForwardIndex::new();
     for (rid, _) in db.table(table).iter() {
@@ -202,7 +202,7 @@ pub fn e16_keywordpp() -> Report {
 pub fn e33_pipeline() -> Report {
     let (db, table) = generate_laptops(60, 7);
     let sc = corrector(&db);
-    let ix = db.text_index();
+    let ix = db.text_index().expect("bench database is indexed");
     let values: Vec<String> = db
         .table(table)
         .iter()

@@ -191,7 +191,7 @@ pub fn e39_timebound() -> Report {
         ..Default::default()
     });
     let keywords = vec!["data".to_string(), "query".to_string()];
-    let ts = TupleSets::build(&db, &keywords);
+    let ts = TupleSets::build(&db, &keywords).unwrap();
     let oracle = MaskOracle::from_tuplesets(&ts);
     let mut g = CnGenerator::new(
         db.schema_graph(),

@@ -65,7 +65,7 @@ pub fn e01_expected_surprise() -> Report {
     db.build_text_index();
 
     let keywords = vec!["seltzer".to_string(), "berkeley".to_string()];
-    let ts = TupleSets::build(&db, &keywords);
+    let ts = TupleSets::build(&db, &keywords).unwrap();
     let oracle = MaskOracle::from_tuplesets(&ts);
     let mut generator = CnGenerator::new(db.schema_graph(), &oracle, CnGenConfig::default());
     let cns = generator.generate();
@@ -158,7 +158,7 @@ fn setup_query(
     keywords: &[String],
     max_size: usize,
 ) -> (TupleSets, Vec<kwdb_relsearch::CandidateNetwork>) {
-    let ts = TupleSets::build(db, keywords);
+    let ts = TupleSets::build(db, keywords).unwrap();
     let oracle = MaskOracle::from_tuplesets(&ts);
     let mut generator = CnGenerator::new(
         db.schema_graph(),

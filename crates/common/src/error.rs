@@ -21,6 +21,21 @@ pub enum KwdbError {
     Parse(String),
     /// A query referenced something the engine cannot satisfy.
     InvalidQuery(String),
+    /// A text index was never built for data the query needs; call the
+    /// engine's build path before querying.
+    IndexNotBuilt,
+    /// The text index lags behind the data generation it is queried at:
+    /// mutations happened through a path that does not maintain the index
+    /// (e.g. raw `insert` after a build). Rebuild, or mutate via `ingest`.
+    IndexStale {
+        /// Generation the index was last built/maintained at.
+        indexed: u64,
+        /// Current data generation.
+        current: u64,
+    },
+    /// A mutation was routed to an engine registered read-only (no
+    /// `MutableEngine` surface). Register it via `register_mutable`.
+    ReadOnly(String),
     /// An internal invariant was violated; indicates a bug in kwdb.
     Internal(String),
 }
@@ -35,6 +50,20 @@ impl fmt::Display for KwdbError {
             KwdbError::Schema(msg) => write!(f, "schema error: {msg}"),
             KwdbError::Parse(msg) => write!(f, "parse error: {msg}"),
             KwdbError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            KwdbError::IndexNotBuilt => {
+                write!(f, "text index not built: build it before querying")
+            }
+            KwdbError::IndexStale { indexed, current } => write!(
+                f,
+                "text index is stale: built at generation {indexed}, data at {current} \
+                 (rebuild, or mutate via ingest)"
+            ),
+            KwdbError::ReadOnly(name) => {
+                write!(
+                    f,
+                    "engine {name} is read-only: register it as mutable to ingest"
+                )
+            }
             KwdbError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }

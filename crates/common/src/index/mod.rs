@@ -27,6 +27,7 @@ pub mod blocks;
 pub mod dict;
 pub mod kernels;
 pub mod posting;
+pub mod segment;
 
 pub use blocks::{BlockList, BlockMeta, BLOCK_SPAN};
 pub use dict::TermDict;
@@ -34,3 +35,4 @@ pub use posting::{
     IndexStats, Layout, Posting, PostingCursor, PostingIter, PostingList, PostingStore, Postings,
     TermStats,
 };
+pub use segment::{SegmentCounts, SegmentedIndex, TombstoneSet, MAX_SEGMENTS};

@@ -22,6 +22,7 @@
 use super::blocks::{BlockCursor, BlockIter, BlockList};
 use super::dict::TermDict;
 use super::kernels;
+use super::segment::{TombstoneSet, MAX_SEGMENTS};
 use crate::intern::Sym;
 use std::time::Duration;
 
@@ -184,6 +185,45 @@ impl<P: Posting> PostingList<P> {
         entries.push(p);
     }
 
+    /// Wrap a vec that is not necessarily sorted; callers must
+    /// [`finalize`](Self::finalize) before querying (segment merges do).
+    pub(crate) fn from_unsorted(entries: Vec<P>) -> Self {
+        PostingList {
+            repr: Repr::Plain(entries),
+        }
+    }
+
+    /// Insert `p` preserving sort order: the append/coalesce fast path when
+    /// `p` is in order (the common case — batch builds and single-table
+    /// ingest emit ascending keys), a binary-search insertion otherwise
+    /// (interleaved-table ingest into a realtime segment).
+    pub(crate) fn insert_coalesce(&mut self, p: P) {
+        let entries = self.make_plain();
+        if entries
+            .last()
+            .is_none_or(|last| last.sort_key() <= p.sort_key())
+        {
+            if let Some(last) = entries.last_mut() {
+                if last.coalesce(&p) {
+                    return;
+                }
+            }
+            entries.push(p);
+            return;
+        }
+        let i = entries.partition_point(|q| q.sort_key() < p.sort_key());
+        if i < entries.len() && entries[i].coalesce(&p) {
+            return;
+        }
+        entries.insert(i, p);
+    }
+
+    /// Drop postings failing the predicate (the tombstone purge of segment
+    /// commit/merge). Decodes block lists to plain.
+    pub(crate) fn retain(&mut self, f: impl FnMut(&P) -> bool) {
+        self.make_plain().retain(f);
+    }
+
     /// Decode to plain if needed and return the backing vec.
     fn make_plain(&mut self) -> &mut Vec<P> {
         if let Repr::Blocks(bl) = &self.repr {
@@ -199,7 +239,7 @@ impl<P: Posting> PostingList<P> {
     /// term's stats. Skips the sort when the list is already ordered (the
     /// common case for in-order builds). Leaves the list plain; the store
     /// re-applies its layout afterwards.
-    fn finalize(&mut self) -> TermStats {
+    pub(crate) fn finalize(&mut self) -> TermStats {
         let entries = self.make_plain();
         let sorted = entries
             .windows(2)
@@ -222,7 +262,7 @@ impl<P: Posting> PostingList<P> {
     }
 
     /// Compute stats by scanning the (sorted) list.
-    fn stats(&self) -> TermStats {
+    pub(crate) fn stats(&self) -> TermStats {
         let mut stats = TermStats::default();
         let mut prev: Option<P> = None;
         for p in self.iter() {
@@ -238,7 +278,7 @@ impl<P: Posting> PostingList<P> {
     /// Re-encode this (sorted) list to `layout`. Going to `Blocks` keeps
     /// the list plain when the encoded form would not be smaller, so tiny
     /// lists never pay metadata overhead.
-    fn apply_layout(&mut self, layout: Layout) {
+    pub(crate) fn apply_layout(&mut self, layout: Layout) {
         match layout {
             Layout::Plain => {
                 self.make_plain();
@@ -401,6 +441,7 @@ pub struct PostingIter<'a, P: Posting> {
 enum IterRepr<'a, P: Posting> {
     Plain(std::slice::Iter<'a, P>),
     Blocks(BlockIter<'a, P>),
+    Multi(Box<MultiIter<'a, P>>),
 }
 
 impl<P: Posting> Iterator for PostingIter<'_, P> {
@@ -411,6 +452,7 @@ impl<P: Posting> Iterator for PostingIter<'_, P> {
         match &mut self.inner {
             IterRepr::Plain(it) => it.next().copied(),
             IterRepr::Blocks(it) => it.next(),
+            IterRepr::Multi(it) => it.next(),
         }
     }
 
@@ -418,29 +460,156 @@ impl<P: Posting> Iterator for PostingIter<'_, P> {
         match &self.inner {
             IterRepr::Plain(it) => it.size_hint(),
             IterRepr::Blocks(it) => it.size_hint(),
+            IterRepr::Multi(it) => it.size_hint(),
         }
     }
 }
 
 impl<P: Posting> ExactSizeIterator for PostingIter<'_, P> {}
 
-/// The read view lookups hand out: a cheap `Copy` handle on a term's
-/// posting list (or on no list at all, for absent terms), with the
-/// slice-like conveniences callers actually need — `len`, `iter`,
-/// `cursor`, probes — but no layout commitment.
-#[derive(Debug, Clone, Copy)]
-pub struct Postings<'a, P> {
-    list: Option<&'a PostingList<P>>,
+/// K-way merge over per-segment posting iterators, filtering tombstoned
+/// keys. Segments are document-disjoint, so a linear min-scan over ≤
+/// [`MAX_SEGMENTS`] heads needs no cross-segment coalescing; the exact
+/// remaining count (for `ExactSizeIterator`) is taken from the view up
+/// front.
+#[derive(Debug, Clone)]
+struct MultiIter<'a, P: Posting> {
+    children: Vec<PostingIter<'a, P>>,
+    heads: Vec<Option<P>>,
+    tomb: Option<&'a TombstoneSet>,
+    remaining: usize,
 }
+
+impl<'a, P: Posting> MultiIter<'a, P> {
+    fn new(view: &Postings<'a, P>) -> Self {
+        let mut children: Vec<PostingIter<'a, P>> = view.children().map(|l| l.iter()).collect();
+        let tomb = view.tomb;
+        let heads = children.iter_mut().map(|c| Self::pull(c, tomb)).collect();
+        MultiIter {
+            children,
+            heads,
+            tomb,
+            remaining: view.len(),
+        }
+    }
+
+    /// Next non-tombstoned posting of one child.
+    fn pull(child: &mut PostingIter<'a, P>, tomb: Option<&TombstoneSet>) -> Option<P> {
+        child.find(|p| !tomb.is_some_and(|t| t.contains(p.key64())))
+    }
+}
+
+impl<P: Posting> Iterator for MultiIter<'_, P> {
+    type Item = P;
+
+    fn next(&mut self) -> Option<P> {
+        let mut best: Option<(usize, P)> = None;
+        for (i, h) in self.heads.iter().enumerate() {
+            let Some(p) = *h else { continue };
+            if best.is_none_or(|(_, b)| p.sort_key() < b.sort_key()) {
+                best = Some((i, p));
+            }
+        }
+        let (i, p) = best?;
+        self.heads[i] = Self::pull(&mut self.children[i], self.tomb);
+        self.remaining -= 1;
+        Some(p)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+/// The read view lookups hand out: a cheap `Copy` handle on a term's
+/// posting lists — one per live segment, plus the index's tombstone set —
+/// with the slice-like conveniences callers actually need (`len`, `iter`,
+/// `cursor`, probes) but no layout commitment.
+///
+/// A [`PostingStore`] hands out single-list views; a
+/// [`SegmentedIndex`](super::segment::SegmentedIndex) hands out views
+/// merging up to [`MAX_SEGMENTS`] document-disjoint sorted lists with
+/// tombstoned keys filtered out. Single-list tombstone-free views take the
+/// exact code paths they always did, so static indexes pay nothing for the
+/// generality.
+#[derive(Debug)]
+pub struct Postings<'a, P> {
+    lists: [Option<&'a PostingList<P>>; MAX_SEGMENTS],
+    n: u8,
+    tomb: Option<&'a TombstoneSet>,
+}
+
+impl<P> Clone for Postings<'_, P> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<P> Copy for Postings<'_, P> {}
 
 impl<'a, P: Posting> Postings<'a, P> {
     /// The empty view (absent term).
     pub fn empty() -> Self {
-        Postings { list: None }
+        Postings {
+            lists: [None; MAX_SEGMENTS],
+            n: 0,
+            tomb: None,
+        }
     }
 
+    /// A view over up to [`MAX_SEGMENTS`] document-disjoint sorted lists,
+    /// filtering postings whose [`Posting::key64`] is tombstoned. Empty
+    /// lists are skipped.
+    pub(crate) fn from_segments<I>(segments: I, tomb: Option<&'a TombstoneSet>) -> Self
+    where
+        I: IntoIterator<Item = &'a PostingList<P>>,
+    {
+        let mut v = Postings {
+            lists: [None; MAX_SEGMENTS],
+            n: 0,
+            tomb: tomb.filter(|t| !t.is_empty()),
+        };
+        for l in segments {
+            if l.is_empty() {
+                continue;
+            }
+            assert!(
+                (v.n as usize) < MAX_SEGMENTS,
+                "posting view over more than MAX_SEGMENTS segments"
+            );
+            v.lists[v.n as usize] = Some(l);
+            v.n += 1;
+        }
+        v
+    }
+
+    /// The sole backing list when this is a plain single-list view (one
+    /// segment, no tombstones) — the fast path every method dispatches on.
+    fn single(&self) -> Option<&'a PostingList<P>> {
+        if self.n == 1 && self.tomb.is_none() {
+            self.lists[0]
+        } else {
+            None
+        }
+    }
+
+    /// The populated segment lists.
+    fn children(&self) -> impl Iterator<Item = &'a PostingList<P>> + '_ {
+        self.lists[..self.n as usize]
+            .iter()
+            .map(|l| l.expect("populated segment slot"))
+    }
+
+    /// Live postings in the view (tombstoned postings excluded, which makes
+    /// this O(n) while tombstones are outstanding).
     pub fn len(&self) -> usize {
-        self.list.map_or(0, |l| l.len())
+        match self.tomb {
+            None => self.children().map(|l| l.len()).sum(),
+            Some(t) => self
+                .children()
+                .map(|l| l.iter().filter(|p| !t.contains(p.key64())).count())
+                .sum(),
+        }
     }
 
     pub fn is_empty(&self) -> bool {
@@ -448,20 +617,30 @@ impl<'a, P: Posting> Postings<'a, P> {
     }
 
     pub fn iter(&self) -> PostingIter<'a, P> {
-        match self.list {
-            Some(l) => l.iter(),
-            None => PostingIter {
+        if let Some(l) = self.single() {
+            return l.iter();
+        }
+        if self.n == 0 {
+            return PostingIter {
                 inner: IterRepr::Plain([].iter()),
-            },
+            };
+        }
+        PostingIter {
+            inner: IterRepr::Multi(Box::new(MultiIter::new(self))),
         }
     }
 
     pub fn cursor(&self) -> PostingCursor<'a, P> {
-        match self.list {
-            Some(l) => l.cursor(),
-            None => PostingCursor {
+        if let Some(l) = self.single() {
+            return l.cursor();
+        }
+        if self.n == 0 {
+            return PostingCursor {
                 inner: CursorRepr::Plain { list: &[], pos: 0 },
-            },
+            };
+        }
+        PostingCursor {
+            inner: CursorRepr::Multi(Box::new(MultiCursor::new(self))),
         }
     }
 
@@ -470,34 +649,75 @@ impl<'a, P: Posting> Postings<'a, P> {
     }
 
     pub fn to_vec(&self) -> Vec<P> {
-        self.list.map_or_else(Vec::new, |l| l.to_vec())
+        if let Some(l) = self.single() {
+            return l.to_vec();
+        }
+        self.iter().collect()
     }
 
-    /// The underlying list, when the term exists.
+    /// The underlying list, when this is a plain single-list view (one
+    /// segment, no tombstones). Multi-segment views return `None`; go
+    /// through [`iter`](Self::iter) / [`cursor`](Self::cursor) instead.
     pub fn as_list(&self) -> Option<&'a PostingList<P>> {
-        self.list
+        self.single()
     }
 }
 
 impl<'a, P: Posting + Ord> Postings<'a, P> {
     /// Smallest posting `≥ v` — the *rm* probe.
     pub fn right_match(&self, v: P) -> Option<P> {
-        self.list.and_then(|l| l.right_match(v))
+        if let Some(l) = self.single() {
+            return l.right_match(v);
+        }
+        let mut c = self.cursor();
+        c.seek(v.key64());
+        // key64 may be non-injective: postings sharing v's key can still
+        // order below it, so scan the key group forward.
+        while let Some(p) = c.peek() {
+            if p >= v {
+                return Some(p);
+            }
+            c.advance();
+        }
+        None
     }
 
     /// Largest posting `≤ v` — the *lm* probe.
     pub fn left_match(&self, v: P) -> Option<P> {
-        self.list.and_then(|l| l.left_match(v))
+        if let Some(l) = self.single() {
+            return l.left_match(v);
+        }
+        let mut best = None;
+        for p in self.iter() {
+            if p > v {
+                break;
+            }
+            best = Some(p);
+        }
+        best
     }
 
     pub fn contains(&self, v: &P) -> bool {
-        self.list.is_some_and(|l| l.contains(v))
+        if let Some(l) = self.single() {
+            return l.contains(v);
+        }
+        let mut c = self.cursor();
+        c.seek(v.key64());
+        while let Some(p) = c.peek() {
+            if p == *v {
+                return true;
+            }
+            if p > *v {
+                return false;
+            }
+            c.advance();
+        }
+        false
     }
 
     /// Number of postings in the half-open range `[lo, hi)`.
     pub fn count_between(&self, lo: P, hi: P) -> usize {
-        let Some(l) = self.list else { return 0 };
-        let mut c = l.cursor();
+        let mut c = self.cursor();
         c.seek(lo.key64());
         let mut n = 0usize;
         while let Some(p) = c.next() {
@@ -513,10 +733,7 @@ impl<'a, P: Posting + Ord> Postings<'a, P> {
 
     /// Postings in the half-open range `[lo, hi)`, decoded in order.
     pub fn collect_between(&self, lo: P, hi: P) -> Vec<P> {
-        let Some(l) = self.list else {
-            return Vec::new();
-        };
-        let mut c = l.cursor();
+        let mut c = self.cursor();
         c.seek(lo.key64());
         let mut out = Vec::new();
         while let Some(p) = c.next() {
@@ -534,8 +751,10 @@ impl<'a, P: Posting + Ord> Postings<'a, P> {
     /// (cleared first): galloping cursor-vs-slice merge, set semantics.
     pub fn intersect_sorted_into(&self, other: &[P], out: &mut Vec<P>) {
         out.clear();
-        let Some(l) = self.list else { return };
-        let mut c = l.cursor();
+        if self.is_empty() {
+            return;
+        }
+        let mut c = self.cursor();
         let mut j = 0usize;
         while let Some(x) = c.peek() {
             j = kernels::gallop_by(other, j, |y| *y >= x);
@@ -558,7 +777,13 @@ impl<'a, P: Posting + Ord> Postings<'a, P> {
 
 impl<'a, P: Posting> From<&'a PostingList<P>> for Postings<'a, P> {
     fn from(list: &'a PostingList<P>) -> Self {
-        Postings { list: Some(list) }
+        let mut lists = [None; MAX_SEGMENTS];
+        lists[0] = Some(list);
+        Postings {
+            lists,
+            n: 1,
+            tomb: None,
+        }
     }
 }
 
@@ -633,6 +858,64 @@ pub struct PostingCursor<'a, P: Posting> {
 enum CursorRepr<'a, P: Posting> {
     Plain { list: &'a [P], pos: usize },
     Blocks(BlockCursor<'a, P>),
+    Multi(Box<MultiCursor<'a, P>>),
+}
+
+/// K-way merged cursor over per-segment cursors, filtering tombstoned
+/// keys. Keeps the full cursor contract:
+///
+/// * `peek`/`advance`/`next` walk the merged sort order;
+/// * `seek(key)` seeks every child (each gallops independently);
+/// * `block_max` is the max over live children — any plain child (the
+///   realtime segment) reports `u64::MAX`, so WAND-style pruning stays
+///   sound and simply stops skipping while uncommitted postings exist;
+/// * `block_last_key` is the min over live children, so a pruning skip of
+///   `seek(block_last_key() + 1)` never jumps past any segment's block
+///   boundary.
+#[derive(Debug, Clone)]
+struct MultiCursor<'a, P: Posting> {
+    children: Vec<PostingCursor<'a, P>>,
+    tomb: Option<&'a TombstoneSet>,
+    /// Cached `(child index, posting)` of the current minimum; the child's
+    /// own cursor still has the posting under its head (it is consumed on
+    /// `advance`).
+    cur: Option<(usize, P)>,
+}
+
+impl<'a, P: Posting> MultiCursor<'a, P> {
+    fn new(view: &Postings<'a, P>) -> Self {
+        let mut c = MultiCursor {
+            children: view.children().map(|l| l.cursor()).collect(),
+            tomb: view.tomb,
+            cur: None,
+        };
+        c.normalize();
+        c
+    }
+
+    /// Re-derive the current minimum across children, advancing past
+    /// tombstoned keys.
+    fn normalize(&mut self) {
+        loop {
+            let mut best: Option<(usize, P)> = None;
+            for (i, c) in self.children.iter().enumerate() {
+                let Some(p) = c.peek() else { continue };
+                if best.is_none_or(|(_, b)| p.sort_key() < b.sort_key()) {
+                    best = Some((i, p));
+                }
+            }
+            let Some((i, p)) = best else {
+                self.cur = None;
+                return;
+            };
+            if self.tomb.is_some_and(|t| t.contains(p.key64())) {
+                self.children[i].advance();
+                continue;
+            }
+            self.cur = Some((i, p));
+            return;
+        }
+    }
 }
 
 impl<P: Posting> PostingCursor<'_, P> {
@@ -642,6 +925,7 @@ impl<P: Posting> PostingCursor<'_, P> {
         match &self.inner {
             CursorRepr::Plain { list, pos } => list.get(*pos).copied(),
             CursorRepr::Blocks(c) => c.peek(),
+            CursorRepr::Multi(m) => m.cur.map(|(_, p)| p),
         }
     }
 
@@ -655,6 +939,12 @@ impl<P: Posting> PostingCursor<'_, P> {
                 }
             }
             CursorRepr::Blocks(c) => c.advance(),
+            CursorRepr::Multi(m) => {
+                if let Some((i, _)) = m.cur {
+                    m.children[i].advance();
+                    m.normalize();
+                }
+            }
         }
     }
 
@@ -680,21 +970,39 @@ impl<P: Posting> PostingCursor<'_, P> {
                 list.get(*pos).copied()
             }
             CursorRepr::Blocks(c) => c.seek(key),
+            CursorRepr::Multi(m) => {
+                for c in &mut m.children {
+                    c.seek(key);
+                }
+                m.normalize();
+                m.cur.map(|(_, p)| p)
+            }
         }
     }
 
     /// Upper bound on [`Posting::impact`] over the current block
-    /// (`u64::MAX` on the plain layout: one infinite block).
+    /// (`u64::MAX` on the plain layout: one infinite block). On a merged
+    /// multi-segment cursor: the max over live segments — conservative,
+    /// hence sound for pruning.
     #[inline]
     pub fn block_max(&self) -> u64 {
         match &self.inner {
             CursorRepr::Plain { .. } => u64::MAX,
             CursorRepr::Blocks(c) => c.block_max(),
+            CursorRepr::Multi(m) => m
+                .children
+                .iter()
+                .filter(|c| !c.is_exhausted())
+                .map(|c| c.block_max())
+                .max()
+                .unwrap_or(u64::MAX),
         }
     }
 
     /// Last key of the current block — `seek(block_last_key() + 1)` is the
-    /// skip step of block-max pruning. `None` once exhausted.
+    /// skip step of block-max pruning. `None` once exhausted. On a merged
+    /// multi-segment cursor: the min over live segments, so a skip never
+    /// jumps past any segment's block boundary.
     #[inline]
     pub fn block_last_key(&self) -> Option<u64> {
         match &self.inner {
@@ -702,6 +1010,13 @@ impl<P: Posting> PostingCursor<'_, P> {
                 (*pos < list.len()).then(|| list[list.len() - 1].key64())
             }
             CursorRepr::Blocks(c) => c.peek().map(|_| c.block_last_key()),
+            CursorRepr::Multi(m) => {
+                if m.cur.is_none() {
+                    None
+                } else {
+                    m.children.iter().filter_map(|c| c.block_last_key()).min()
+                }
+            }
         }
     }
 
@@ -711,6 +1026,7 @@ impl<P: Posting> PostingCursor<'_, P> {
         match &self.inner {
             CursorRepr::Plain { .. } => 0,
             CursorRepr::Blocks(c) => c.blocks_skipped(),
+            CursorRepr::Multi(m) => m.children.iter().map(|c| c.blocks_skipped()).sum(),
         }
     }
 

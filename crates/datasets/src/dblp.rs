@@ -110,7 +110,9 @@ fn sample_count(rng: &mut Rng, mean: f64) -> usize {
 /// in the index, mixing common and rare ones.
 pub fn sample_queries(db: &Database, n: usize, len: usize, seed: u64) -> Vec<Vec<String>> {
     let mut rng = Rng::seed_from_u64(seed);
-    let ix = db.text_index();
+    let ix = db
+        .text_index()
+        .expect("query sampling requires a fresh text index");
     let mut terms: Vec<(String, usize)> = ix
         .terms()
         .map(|t| (t.to_string(), ix.doc_freq(t)))
@@ -194,7 +196,10 @@ mod tests {
         for q in &queries {
             assert_eq!(q.len(), 2);
             for t in q {
-                assert!(db.text_index().doc_freq(t) > 0, "term {t} not in index");
+                assert!(
+                    db.text_index().unwrap().doc_freq(t) > 0,
+                    "term {t} not in index"
+                );
             }
         }
     }

@@ -106,7 +106,7 @@ mod tests {
         let (db, t) = generate_laptops(25, 5);
         assert_eq!(db.table(t).len(), 25);
         // Lenovo rows mention "ibm" in descriptions
-        let ix = db.text_index();
+        let ix = db.text_index().unwrap();
         assert!(!ix.postings("ibm").is_empty());
         assert!(!ix.postings("laptop").is_empty());
     }

@@ -89,7 +89,10 @@ impl FormIndex {
     /// replaced by schema terms of the tables that contain them in the data
     /// (slide 57's "John" → "author").
     pub fn query_variants<S: AsRef<str>>(&self, db: &Database, query: &[S]) -> Vec<Vec<String>> {
-        let ix = db.text_index();
+        let Ok(ix) = db.text_index() else {
+            // No fresh index → no data evidence; keep the literal query.
+            return vec![query.iter().map(|k| k.as_ref().to_string()).collect()];
+        };
         let mut variants: Vec<Vec<String>> =
             vec![query.iter().map(|k| k.as_ref().to_string()).collect()];
         for (i, k) in query.iter().enumerate() {

@@ -1,6 +1,6 @@
 //! Weighted data graphs with keyword content.
 
-use kwdb_common::index::{IndexStats, Layout, PostingList, PostingStore, Postings};
+use kwdb_common::index::{IndexStats, Layout, Postings, SegmentCounts, SegmentedIndex};
 use kwdb_common::intern::{Interner, Sym};
 use kwdb_common::text::tokenize;
 use kwdb_relational::{Database, TupleId};
@@ -54,10 +54,15 @@ pub struct DataGraph {
     nodes: Vec<NodeData>,
     adj: Vec<Vec<(NodeId, f64)>>,
     kinds: Interner,
-    /// keyword → sorted node list. Nodes are appended in ascending id order,
-    /// so the store's lists stay sorted without ever finalizing.
-    kw_index: PostingStore<NodeId>,
+    /// keyword → sorted node list, segment-backed: appends land in the
+    /// realtime segment (node ids ascend, so lists stay sorted);
+    /// [`commit_keyword_index`](Self::commit_keyword_index) seals them.
+    kw_index: SegmentedIndex<NodeId>,
     edge_count: usize,
+    /// Bumped by every structural mutation (node or edge added), so
+    /// derived structures (BLINKS node→keyword index, hub distances) can
+    /// invalidate lazily instead of eagerly rebuilding.
+    generation: u64,
 }
 
 impl DataGraph {
@@ -79,6 +84,7 @@ impl DataGraph {
         }
         self.nodes.push(NodeData { kind, terms, tuple });
         self.adj.push(Vec::new());
+        self.generation += 1;
         id
     }
 
@@ -97,12 +103,21 @@ impl DataGraph {
                     .find(|(x, _)| *x == u)
                     .expect("undirected edge symmetric")
                     .1 = w;
+                self.generation += 1;
             }
             return;
         }
         self.adj[u.0 as usize].push((v, w));
         self.adj[v.0 as usize].push((u, w));
         self.edge_count += 1;
+        self.generation += 1;
+    }
+
+    /// The graph's data generation: bumped by every structural change
+    /// (node added, edge added, edge weight lowered). Derived structures
+    /// cache the generation they were built at and invalidate lazily.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     pub fn node_count(&self) -> usize {
@@ -156,11 +171,6 @@ impl DataGraph {
         self.kw_index.postings(sym)
     }
 
-    /// An already-resolved term's posting list, for cursor access.
-    pub fn keyword_list(&self, sym: Sym) -> &PostingList<NodeId> {
-        self.kw_index.list(sym)
-    }
-
     /// Does node `n` contain `term`?
     pub fn node_has_term(&self, n: NodeId, term: &str) -> bool {
         self.keyword_nodes(term).contains(&n)
@@ -183,6 +193,27 @@ impl DataGraph {
     /// unset: the graph index grows incrementally with the nodes.
     pub fn keyword_index_stats(&self) -> IndexStats {
         self.kw_index.index_stats()
+    }
+
+    /// Seal the keyword index's realtime segment into an immutable
+    /// compressed segment (folding at the segment cap).
+    pub fn commit_keyword_index(&mut self) -> SegmentCounts {
+        self.kw_index.commit()
+    }
+
+    /// Compact the keyword index's segments into one.
+    pub fn merge_keyword_index(&mut self) -> SegmentCounts {
+        self.kw_index.merge()
+    }
+
+    /// Realtime/sealed segment census of the keyword index.
+    pub fn keyword_segment_counts(&self) -> SegmentCounts {
+        self.kw_index.segment_counts()
+    }
+
+    /// Cumulative segment merges the keyword index has performed.
+    pub fn keyword_index_merges(&self) -> u64 {
+        self.kw_index.merges()
     }
 
     /// Iterate all node ids.

@@ -109,6 +109,13 @@ pub struct QueryRecord {
     pub sampled: bool,
     /// Whether the query met the slow threshold at seal time.
     pub slow: bool,
+    /// The engine's data generation this query executed against (0 for
+    /// engines without mutation support).
+    pub generation: u64,
+    /// Realtime segments in the engine's index at execution time.
+    pub segments_realtime: u64,
+    /// Sealed (immutable, compressed) segments at execution time.
+    pub segments_sealed: u64,
     pub trace: Option<QueryTrace>,
 }
 
@@ -146,8 +153,20 @@ impl QueryRecord {
             cache,
             sampled,
             slow: false,
+            generation: 0,
+            segments_realtime: 0,
+            segments_sealed: 0,
             trace,
         }
+    }
+
+    /// Stamp the engine's data generation and segment census at execution
+    /// time — `kwdb-doctor` reports these per engine from a dump.
+    pub fn with_generation(mut self, generation: u64, realtime: usize, sealed: usize) -> Self {
+        self.generation = generation;
+        self.segments_realtime = realtime as u64;
+        self.segments_sealed = sealed as u64;
+        self
     }
 
     /// End-to-end latency: the sum over phases, exactly what the latency
@@ -377,6 +396,14 @@ impl FlightDump {
                     ("cache".into(), Json::Str(r.cache.as_str().to_string())),
                     ("sampled".into(), Json::Bool(r.sampled)),
                     ("slow".into(), Json::Bool(r.slow)),
+                    ("generation".into(), Json::Int(r.generation as i128)),
+                    (
+                        "segments".into(),
+                        Json::Obj(vec![
+                            ("realtime".into(), Json::Int(r.segments_realtime as i128)),
+                            ("sealed".into(), Json::Int(r.segments_sealed as i128)),
+                        ]),
+                    ),
                 ];
                 o.push((
                     "trace".into(),
@@ -459,6 +486,19 @@ impl FlightDump {
                     .ok_or_else(|| bad("unknown \"cache\" outcome"))?,
                 sampled: matches!(r.get("sampled"), Some(Json::Bool(true))),
                 slow: matches!(r.get("slow"), Some(Json::Bool(true))),
+                // Generation fields default to 0 so pre-generational dumps
+                // still parse.
+                generation: r.get("generation").and_then(Json::as_u64).unwrap_or(0),
+                segments_realtime: r
+                    .get("segments")
+                    .and_then(|s| s.get("realtime"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                segments_sealed: r
+                    .get("segments")
+                    .and_then(|s| s.get("sealed"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
                 trace,
             };
             // total_ns is derived; verify it matches the phases it claims
@@ -549,7 +589,8 @@ mod tests {
                 total: Duration::from_nanos((1 << 60) + 17),
                 phases: vec![],
             }),
-        );
+        )
+        .with_generation(7, 1, 3);
         r.slow = true;
         rec.append(r);
         rec.append(record("xml", 420));

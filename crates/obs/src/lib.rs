@@ -55,6 +55,6 @@ pub use flight::{
     SlowThreshold,
 };
 pub use hist::{Histogram, HistogramSnapshot};
-pub use record::{families, record_facets, record_index_stats, record_query};
+pub use record::{families, record_facets, record_generation, record_index_stats, record_query};
 pub use registry::{Counter, Gauge, Labels, MetricId, MetricsRegistry, Snapshot};
 pub use trace::{PhaseSpan, QueryTrace, TraceBuilder, TraceEvent, TraceLevel};

@@ -85,6 +85,18 @@ pub mod families {
     /// [`SamplePolicy`](crate::flight::SamplePolicy) rather than requested
     /// by the caller, by engine.
     pub const TRACE_SAMPLED: &str = "kwdb_trace_sampled_total";
+    /// Gauge: a mutable engine's data generation — bumped by every
+    /// successful mutation (label `engine`).
+    pub const ENGINE_GENERATION: &str = "kwdb_engine_generation";
+    /// Gauge: index segments by lifecycle state (labels `engine`,
+    /// `state` = realtime|sealed).
+    pub const SEGMENTS: &str = "kwdb_segments";
+    /// Counter: segment merges — commit-cap folds plus explicit
+    /// compactions (label `engine`).
+    pub const SEGMENT_MERGES: &str = "kwdb_segment_merges_total";
+    /// Counter: tuples ingested through the incremental path (label
+    /// `engine`).
+    pub const INGESTED_TUPLES: &str = "kwdb_ingested_tuples_total";
 
     /// The `# HELP` text for a family, used by the Prometheus exporter.
     /// Every stable family above has an entry; `None` for foreign names
@@ -120,6 +132,10 @@ pub mod families {
             FLIGHT_DROPPED => "Flight-recorder entries overwritten by ring wrap, by the overwritten record's engine.",
             FLIGHT_ENTRIES => "Records currently held in the flight recorder ring.",
             TRACE_SAMPLED => "Queries whose trace was promoted by the sampling policy.",
+            ENGINE_GENERATION => "A mutable engine's data generation (bumped per mutation).",
+            SEGMENTS => "Index segments by lifecycle state (label state).",
+            SEGMENT_MERGES => "Segment merges: commit-cap folds plus explicit compactions.",
+            INGESTED_TUPLES => "Tuples ingested through the incremental path.",
             _ => return None,
         })
     }
@@ -218,6 +234,38 @@ pub fn record_facets(reg: &MetricsRegistry, engine: &str, values: u64, exact: bo
     if !exact {
         inexact.inc();
     }
+}
+
+/// Publish one mutable engine's generational figures: the generation gauge,
+/// the per-state segment gauges, and the cumulative merge counter (callers
+/// pass the *delta* of merges since they last recorded). Engines call this
+/// once at registry attach time (zero delta) and after every mutation, so
+/// all four families — including the ingest counter, touched here at zero —
+/// are present in snapshots before the first mutation.
+pub fn record_generation(
+    reg: &MetricsRegistry,
+    engine: &str,
+    generation: u64,
+    realtime: usize,
+    sealed: usize,
+    merge_delta: u64,
+) {
+    let labels = [("engine", engine)];
+    reg.gauge(families::ENGINE_GENERATION, &labels)
+        .set(generation as i64);
+    reg.gauge(
+        families::SEGMENTS,
+        &[("engine", engine), ("state", "realtime")],
+    )
+    .set(realtime as i64);
+    reg.gauge(
+        families::SEGMENTS,
+        &[("engine", engine), ("state", "sealed")],
+    )
+    .set(sealed as i64);
+    reg.counter(families::SEGMENT_MERGES, &labels)
+        .add(merge_delta);
+    let _ = reg.counter(families::INGESTED_TUPLES, &labels);
 }
 
 /// Record one substrate index's size figures (and, when known, its build

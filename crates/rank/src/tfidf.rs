@@ -37,9 +37,40 @@ impl CorpusStats {
         }
     }
 
+    /// Un-account one document given the same token list it was added with
+    /// (incremental maintenance under deletes). Zeroed terms are dropped
+    /// from the maps so the vocabulary shrinks back exactly.
+    pub fn remove_doc<S: AsRef<str>>(&mut self, tokens: &[S]) {
+        self.doc_count = self.doc_count.saturating_sub(1);
+        let mut seen = HashSet::new();
+        for t in tokens {
+            let t = t.as_ref();
+            if let Some(cf) = self.coll_freq.get_mut(t) {
+                *cf -= 1;
+                if *cf == 0 {
+                    self.coll_freq.remove(t);
+                }
+            }
+            self.total_tokens = self.total_tokens.saturating_sub(1);
+            if seen.insert(t) {
+                if let Some(df) = self.doc_freq.get_mut(t) {
+                    *df -= 1;
+                    if *df == 0 {
+                        self.doc_freq.remove(t);
+                    }
+                }
+            }
+        }
+    }
+
     /// Number of documents indexed.
     pub fn doc_count(&self) -> usize {
         self.doc_count
+    }
+
+    /// Total token occurrences across the corpus.
+    pub fn total_tokens(&self) -> u64 {
+        self.total_tokens
     }
 
     /// Number of documents containing `term`.
@@ -173,6 +204,21 @@ mod tests {
         assert!(hit > partial);
         assert!(partial > miss);
         assert_eq!(miss, 0.0);
+    }
+
+    #[test]
+    fn remove_doc_inverts_add_doc() {
+        let mut s = corpus();
+        s.add_doc(&["xml", "extra", "extra"]);
+        s.remove_doc(&["xml", "extra", "extra"]);
+        let fresh = corpus();
+        assert_eq!(s.doc_count(), fresh.doc_count());
+        assert_eq!(s.doc_freq("xml"), fresh.doc_freq("xml"));
+        assert_eq!(s.coll_freq("xml"), fresh.coll_freq("xml"));
+        assert_eq!(s.doc_freq("extra"), 0);
+        assert_eq!(s.coll_freq("extra"), 0);
+        assert_eq!(s.total_tokens(), fresh.total_tokens());
+        assert_eq!(s.terms().count(), fresh.terms().count(), "vocab shrinks");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::index::{InvertedIndex, Posting};
 use crate::schema::{SchemaEdge, SchemaGraph, TableBuilder, TableId};
 use crate::table::{Row, RowId, Table, TupleId};
-use kwdb_common::index::Layout;
+use kwdb_common::index::{Layout, SegmentCounts};
 use kwdb_common::text::tokenize;
 use kwdb_common::{KwdbError, Result, Value};
 use std::collections::HashMap;
@@ -13,13 +13,28 @@ use std::collections::HashMap;
 /// Construction order matters only for foreign keys: a referenced table must
 /// exist (with a primary key) before the referencing table is created, so the
 /// FK can be resolved into a [`SchemaGraph`] edge eagerly.
-#[derive(Debug, Default)]
+///
+/// # Generations
+///
+/// Every mutation bumps a monotonically increasing **generation counter**;
+/// `indexed_generation` records the generation the text index reflects.
+/// [`ingest`](Self::ingest) and [`delete`](Self::delete) maintain the index
+/// incrementally (realtime segment + tombstones), so they advance both
+/// counters together. Raw [`insert`](Self::insert) does **not** touch the
+/// index, leaving it behind until the next
+/// [`build_text_index`](Self::build_text_index) — queries in between get a
+/// typed
+/// [`KwdbError::IndexStale`] instead of silently missing rows.
+#[derive(Debug, Default, Clone)]
 pub struct Database {
     tables: Vec<Table>,
     by_name: HashMap<String, TableId>,
     schema_graph: SchemaGraph,
     text_index: InvertedIndex,
-    index_built: bool,
+    /// Bumped by every data mutation (`insert`/`ingest`/`delete`).
+    generation: u64,
+    /// Generation the text index reflects; `None` until the first build.
+    indexed_generation: Option<u64>,
 }
 
 impl Database {
@@ -62,12 +77,111 @@ impl Database {
         Ok(id)
     }
 
-    /// Insert a row into a table by name.
+    /// Insert a row into a table by name **without** maintaining the text
+    /// index: bumps the data generation and leaves the index behind. Use for
+    /// bulk loads that end with [`build_text_index`](Self::build_text_index),
+    /// or use [`ingest`](Self::ingest) to keep the index live.
     pub fn insert(&mut self, table: &str, row: Row) -> Result<TupleId> {
         let id = self.table_id(table)?;
-        self.index_built = false;
         let rid = self.tables[id.0 as usize].insert(row)?;
+        self.generation += 1;
         Ok(TupleId::new(id, rid))
+    }
+
+    /// Insert a row **and** index it incrementally: the tuple's text tokens
+    /// land in the index's realtime segment, visible to queries immediately
+    /// (no rebuild, no [`commit_index`](Self::commit_index) needed).
+    ///
+    /// Unlike [`insert`](Self::insert), `ingest` validates foreign keys: a
+    /// non-NULL FK value must resolve to an existing (live) referenced row.
+    ///
+    /// Requires a fresh index — build once (even over an empty database)
+    /// before switching to ingest. Raw `insert`s since the last build make
+    /// the index unmaintainable incrementally and yield the same typed error
+    /// a query would get.
+    pub fn ingest(&mut self, table: &str, row: Row) -> Result<TupleId> {
+        let id = self.table_id(table)?;
+        self.check_index_fresh()?;
+        // FK validation before any state changes.
+        for fk in self.schema_graph.edges().iter().filter(|e| e.from == id) {
+            let Some(key) = row.get(fk.fk_column) else {
+                continue; // arity error surfaces from Table::insert below
+            };
+            if key.is_null() {
+                continue;
+            }
+            let target = self.table(fk.to);
+            if target.lookup_pk(key).is_none() {
+                return Err(KwdbError::Schema(format!(
+                    "table {}: FK {} = {} has no match in {}",
+                    self.tables[id.0 as usize].schema.name,
+                    self.tables[id.0 as usize].schema.columns[fk.fk_column].name,
+                    key,
+                    target.schema.name
+                )));
+            }
+        }
+        let rid = self.tables[id.0 as usize].insert(row)?;
+        self.generation += 1;
+        self.indexed_generation = Some(self.generation);
+        let tid = TupleId::new(id, rid);
+        let t = &self.tables[id.0 as usize];
+        let text_cols: Vec<usize> = t.schema.text_columns().collect();
+        let mut additions: Vec<(String, Posting)> = Vec::new();
+        for &c in &text_cols {
+            if let Some(text) = t.get(rid, c).as_text() {
+                for tok in tokenize(text) {
+                    additions.push((
+                        tok,
+                        Posting {
+                            tuple: tid,
+                            column: c,
+                            tf: 1,
+                        },
+                    ));
+                }
+            }
+        }
+        for (tok, p) in additions {
+            self.text_index.add(&tok, p);
+        }
+        self.text_index.set_tuple_count(id, t.live_len());
+        Ok(tid)
+    }
+
+    /// Delete the row of `table` whose primary key equals `pk`: tombstones
+    /// the row slot and every index posting of the tuple. Effective on all
+    /// query paths immediately; the storage is reclaimed by the next
+    /// [`merge_index`](Self::merge_index). Requires a fresh index, like
+    /// [`ingest`](Self::ingest). No cascade: referencing rows keep their FK
+    /// value and simply lose the join partner.
+    pub fn delete(&mut self, table: &str, pk: &Value) -> Result<TupleId> {
+        let id = self.table_id(table)?;
+        self.check_index_fresh()?;
+        let t = &mut self.tables[id.0 as usize];
+        let rid = t.lookup_pk(pk).ok_or_else(|| {
+            KwdbError::UnknownObject(format!("{table} row with primary key {pk}"))
+        })?;
+        t.delete(rid);
+        let live = t.live_len();
+        let tid = TupleId::new(id, rid);
+        self.text_index.delete_tuple(tid);
+        self.text_index.set_tuple_count(id, live);
+        self.generation += 1;
+        self.indexed_generation = Some(self.generation);
+        Ok(tid)
+    }
+
+    /// Seal the index's realtime segment into an immutable compressed
+    /// segment (see [`kwdb_common::index::SegmentedIndex::commit`]).
+    pub fn commit_index(&mut self) -> SegmentCounts {
+        self.text_index.commit()
+    }
+
+    /// Fully compact the index: one sealed segment, tombstones purged,
+    /// exact stats (see [`kwdb_common::index::SegmentedIndex::merge`]).
+    pub fn merge_index(&mut self) -> SegmentCounts {
+        self.text_index.merge()
     }
 
     pub fn table_id(&self, name: &str) -> Result<TableId> {
@@ -93,9 +207,9 @@ impl Database {
         self.tables.len()
     }
 
-    /// Total number of tuples across all tables.
+    /// Total number of live tuples across all tables.
     pub fn tuple_count(&self) -> usize {
-        self.tables.iter().map(|t| t.len()).sum()
+        self.tables.iter().map(|t| t.live_len()).sum()
     }
 
     pub fn schema_graph(&self) -> &SchemaGraph {
@@ -135,7 +249,7 @@ impl Database {
         let mut ix = InvertedIndex::new();
         ix.set_layout(layout);
         for t in &self.tables {
-            ix.set_tuple_count(t.id, t.len());
+            ix.set_tuple_count(t.id, t.live_len());
             let text_cols: Vec<usize> = t.schema.text_columns().collect();
             for (rid, row) in t.iter() {
                 for &c in &text_cols {
@@ -157,32 +271,51 @@ impl Database {
         ix.finalize();
         ix.set_build_time(start.elapsed());
         self.text_index = ix;
-        self.index_built = true;
+        self.indexed_generation = Some(self.generation);
     }
 
     /// Re-encode the (already built) text index into `layout`; contents are
     /// unchanged. No-op on a stale index — pick the layout at the next
     /// [`build_text_index_with`](Self::build_text_index_with) instead.
     pub fn set_posting_layout(&mut self, layout: Layout) {
-        if self.index_built {
+        if self.is_index_fresh() {
             self.text_index.set_layout(layout);
         }
     }
 
-    /// The full-text index. Panics if [`build_text_index`](Self::build_text_index)
-    /// has not been called since the last mutation — searching a stale index
-    /// is a logic error, not a recoverable condition.
-    pub fn text_index(&self) -> &InvertedIndex {
-        assert!(
-            self.index_built,
-            "text index is stale: call build_text_index() first"
-        );
-        &self.text_index
+    /// The full-text index, or a typed error when it does not reflect the
+    /// current data: [`KwdbError::IndexNotBuilt`] before the first
+    /// [`build_text_index`](Self::build_text_index), [`KwdbError::IndexStale`]
+    /// after a raw [`insert`](Self::insert) left it behind.
+    pub fn text_index(&self) -> Result<&InvertedIndex> {
+        self.check_index_fresh()?;
+        Ok(&self.text_index)
+    }
+
+    fn check_index_fresh(&self) -> Result<()> {
+        match self.indexed_generation {
+            None => Err(KwdbError::IndexNotBuilt),
+            Some(g) if g != self.generation => Err(KwdbError::IndexStale {
+                indexed: g,
+                current: self.generation,
+            }),
+            Some(_) => Ok(()),
+        }
     }
 
     /// Whether the index reflects the current data.
     pub fn is_index_fresh(&self) -> bool {
-        self.index_built
+        self.indexed_generation == Some(self.generation)
+    }
+
+    /// Current data generation: bumped by every mutation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Generation the text index reflects; `None` until the first build.
+    pub fn indexed_generation(&self) -> Option<u64> {
+        self.indexed_generation
     }
 
     /// All tokens of a tuple's indexed text columns, for scoring.
@@ -359,7 +492,7 @@ mod tests {
     #[test]
     fn text_index_finds_keywords() {
         let db = small_db();
-        let ix = db.text_index();
+        let ix = db.text_index().unwrap();
         assert_eq!(ix.postings("widom").len(), 1);
         assert_eq!(ix.postings("xml").len(), 1);
         let author = db.table_id("author").unwrap();
@@ -367,12 +500,112 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "stale")]
-    fn stale_index_panics() {
+    fn never_built_index_is_typed_error() {
+        let mut db = Database::new();
+        dblp_schema(&mut db).unwrap();
+        db.insert("author", vec![1.into(), "Widom".into()]).unwrap();
+        assert_eq!(db.text_index().unwrap_err(), KwdbError::IndexNotBuilt);
+        assert!(!db.is_index_fresh());
+    }
+
+    #[test]
+    fn stale_index_is_typed_error() {
         let mut db = small_db();
+        let gen_at_build = db.generation();
         db.insert("author", vec![3.into(), "New Author".into()])
             .unwrap();
-        let _ = db.text_index();
+        match db.text_index() {
+            Err(KwdbError::IndexStale { indexed, current }) => {
+                assert_eq!(indexed, gen_at_build);
+                assert_eq!(current, gen_at_build + 1);
+            }
+            other => panic!("expected IndexStale, got {other:?}"),
+        }
+        // ingest refuses to maintain an index that is already behind
+        assert!(matches!(
+            db.ingest("author", vec![4.into(), "X".into()]),
+            Err(KwdbError::IndexStale { .. })
+        ));
+        // a rebuild restores freshness
+        db.build_text_index();
+        assert!(db.is_index_fresh());
+        assert!(db.text_index().is_ok());
+    }
+
+    #[test]
+    fn ingest_indexes_immediately_and_validates_fks() {
+        let mut db = small_db();
+        let t0 = db
+            .ingest("author", vec![3.into(), "Alan Turing".into()])
+            .unwrap();
+        assert!(db.is_index_fresh());
+        let ix = db.text_index().unwrap();
+        assert_eq!(ix.postings("turing").len(), 1, "visible without commit");
+        assert_eq!(ix.postings("turing").to_vec()[0].tuple, t0);
+        assert_eq!(ix.segment_counts().realtime, 1);
+
+        // dangling FK rejected, and nothing was inserted or indexed
+        let before = db.tuple_count();
+        assert!(matches!(
+            db.ingest("paper", vec![11.into(), "Bad ref".into(), 99.into()]),
+            Err(KwdbError::Schema(_))
+        ));
+        assert_eq!(db.tuple_count(), before);
+        assert!(db.text_index().unwrap().postings("bad").is_empty());
+        assert!(db.is_index_fresh(), "failed ingest does not dirty anything");
+
+        // valid FK accepted; NULL FK accepted
+        db.ingest("paper", vec![11.into(), "Turing award".into(), 1.into()])
+            .unwrap();
+        db.ingest("paper", vec![12.into(), "Orphan note".into(), Value::Null])
+            .unwrap();
+        assert_eq!(db.text_index().unwrap().postings("turing").len(), 2);
+
+        // commit seals realtime; results unchanged
+        let counts = db.commit_index();
+        assert_eq!(counts.realtime, 0);
+        assert_eq!(db.text_index().unwrap().postings("turing").len(), 2);
+    }
+
+    #[test]
+    fn delete_tombstones_row_and_postings() {
+        let mut db = small_db();
+        let author = db.table_id("author").unwrap();
+        let tid = db.delete("author", &2.into()).unwrap();
+        assert_eq!(tid, TupleId::new(author, RowId(1)));
+        assert!(db.is_index_fresh());
+        let ix = db.text_index().unwrap();
+        assert!(ix.postings("john").is_empty(), "postings hidden at once");
+        assert!(ix.rows_in("smith", author).is_empty());
+        assert_eq!(db.tuple_count(), 4);
+        assert!(db.scan_eq(author, 0, &2.into()).is_empty());
+        // unknown pk is a typed error
+        assert!(matches!(
+            db.delete("author", &99.into()),
+            Err(KwdbError::UnknownObject(_))
+        ));
+        // merge purges tombstones without changing results
+        db.merge_index();
+        assert!(db.text_index().unwrap().postings("john").is_empty());
+        assert_eq!(db.text_index().unwrap().doc_freq("widom"), 1);
+    }
+
+    #[test]
+    fn generation_counts_every_mutation() {
+        let mut db = Database::new();
+        dblp_schema(&mut db).unwrap();
+        assert_eq!(db.generation(), 0);
+        assert_eq!(db.indexed_generation(), None);
+        db.insert("author", vec![1.into(), "A".into()]).unwrap();
+        assert_eq!(db.generation(), 1);
+        db.build_text_index();
+        assert_eq!(db.indexed_generation(), Some(1));
+        db.ingest("author", vec![2.into(), "B".into()]).unwrap();
+        assert_eq!(db.generation(), 2);
+        assert_eq!(db.indexed_generation(), Some(2));
+        db.delete("author", &1.into()).unwrap();
+        assert_eq!(db.generation(), 3);
+        assert_eq!(db.indexed_generation(), Some(3));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use crate::schema::TableId;
 use crate::table::{RowId, TupleId};
-use kwdb_common::index::{IndexStats, Layout, PostingList, PostingStore, Postings, TermStats};
+use kwdb_common::index::{IndexStats, Layout, Postings, SegmentCounts, SegmentedIndex, TermStats};
 use kwdb_common::intern::Sym;
 use std::collections::HashMap;
 use std::time::Duration;
@@ -93,9 +93,15 @@ pub fn table_key_range(table: TableId) -> (u64, u64) {
 /// Postings are stored sorted by `(table, row, column)` so per-table runs
 /// are contiguous ("query tuple sets" in DISCOVER terms) and reachable by
 /// a single cursor `seek` into [`table_key_range`].
+///
+/// Storage is a generational [`SegmentedIndex`]: a batch build seals into a
+/// single compacted segment (identical to the old build-once store), while
+/// an `add` after a build lands in the realtime segment and
+/// `delete_tuple` tombstones — both visible to every
+/// query immediately, no rebuild required.
 #[derive(Debug, Clone, Default)]
 pub struct InvertedIndex {
-    store: PostingStore<Posting>,
+    store: SegmentedIndex<Posting>,
     /// Documents (tuples) per table, for IDF computation by callers.
     tuple_counts: HashMap<TableId, usize>,
     build_time: Option<Duration>,
@@ -118,8 +124,36 @@ impl InvertedIndex {
         self.build_time = Some(d);
     }
 
+    /// Seal + compact the batch build into one segment in the configured
+    /// layout.
     pub(crate) fn finalize(&mut self) {
-        self.store.finalize();
+        self.store.finalize_layout(self.store.layout());
+    }
+
+    /// Tombstone every posting of `tuple`, in every segment. Returns `false`
+    /// when the tuple was already dead.
+    pub(crate) fn delete_tuple(&mut self, tuple: TupleId) -> bool {
+        self.store.delete_key(tuple_key(tuple))
+    }
+
+    /// Seal the realtime segment (see [`SegmentedIndex::commit`]).
+    pub(crate) fn commit(&mut self) -> SegmentCounts {
+        self.store.commit()
+    }
+
+    /// Full compaction (see [`SegmentedIndex::merge`]).
+    pub(crate) fn merge(&mut self) -> SegmentCounts {
+        self.store.merge()
+    }
+
+    /// Current segment census (realtime/sealed).
+    pub fn segment_counts(&self) -> SegmentCounts {
+        self.store.segment_counts()
+    }
+
+    /// Completed segment-merge operations over this index's lifetime.
+    pub fn merges(&self) -> u64 {
+        self.store.merges()
     }
 
     /// The configured physical layout.
@@ -148,11 +182,6 @@ impl InvertedIndex {
         self.store.postings(sym)
     }
 
-    /// An already-resolved term's posting list, for cursor access.
-    pub fn list(&self, sym: Sym) -> &PostingList<Posting> {
-        self.store.list(sym)
-    }
-
     /// Postings for `term` within one table (decoded into a fresh `Vec`).
     pub fn postings_in(&self, term: &str, table: TableId) -> Vec<Posting> {
         self.sym(term)
@@ -163,7 +192,7 @@ impl InvertedIndex {
     /// `seek` to the table's key range, then a bounded scan.
     pub fn postings_in_sym(&self, sym: Sym, table: TableId) -> Vec<Posting> {
         let (lo, hi) = table_key_range(table);
-        let mut cursor = self.store.list(sym).cursor();
+        let mut cursor = self.store.postings(sym).cursor();
         let mut out = Vec::new();
         cursor.seek(lo);
         while let Some(p) = cursor.peek() {

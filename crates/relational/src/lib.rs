@@ -40,8 +40,14 @@
 //! db.insert("write", vec![1.into(), 10.into()]).unwrap();
 //! db.build_text_index();
 //!
-//! let hits = db.text_index().postings("widom");
+//! let hits = db.text_index().unwrap().postings("widom");
 //! assert_eq!(hits.len(), 1);
+//!
+//! // Incremental ingest: indexed immediately, no rebuild needed.
+//! db.ingest("author", vec![2.into(), "Alan Turing".into()]).unwrap();
+//! assert_eq!(db.text_index().unwrap().postings("turing").len(), 1);
+//! db.commit_index(); // seal the realtime segment
+//! assert_eq!(db.text_index().unwrap().postings("turing").len(), 1);
 //! ```
 
 pub mod database;

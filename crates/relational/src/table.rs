@@ -33,6 +33,11 @@ pub struct Table {
     rows: Vec<Row>,
     /// PK value → row, maintained when a primary key is declared.
     pk_index: HashMap<Value, RowId>,
+    /// Tombstone bitmap, one bit per row slot. Row ids are never reused:
+    /// deleted slots stay allocated so `RowId`s held by postings and FK
+    /// edges remain stable; iteration and scans skip dead slots.
+    deleted: Vec<u64>,
+    dead: u32,
 }
 
 impl Table {
@@ -42,6 +47,8 @@ impl Table {
             schema,
             rows: Vec::new(),
             pk_index: HashMap::new(),
+            deleted: Vec::new(),
+            dead: 0,
         }
     }
 
@@ -98,6 +105,35 @@ impl Table {
         Ok(rid)
     }
 
+    /// Tombstone a row: mark the slot dead and drop its PK entry. The slot
+    /// itself (and its `RowId`) stays allocated forever. Returns `false` if
+    /// the row was already dead.
+    pub fn delete(&mut self, id: RowId) -> bool {
+        let i = id.0 as usize;
+        assert!(i < self.rows.len(), "delete: row {i} out of bounds");
+        let (word, bit) = (i / 64, 1u64 << (i % 64));
+        if self.deleted.len() <= word {
+            self.deleted.resize(word + 1, 0);
+        }
+        if self.deleted[word] & bit != 0 {
+            return false;
+        }
+        self.deleted[word] |= bit;
+        self.dead += 1;
+        if let Some(pk) = self.schema.primary_key {
+            self.pk_index.remove(&self.rows[i][pk]);
+        }
+        true
+    }
+
+    /// Whether this row slot has been tombstoned by [`Table::delete`].
+    pub fn is_deleted(&self, id: RowId) -> bool {
+        let i = id.0 as usize;
+        self.deleted
+            .get(i / 64)
+            .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
+    }
+
     pub fn row(&self, id: RowId) -> &Row {
         &self.rows[id.0 as usize]
     }
@@ -111,20 +147,28 @@ impl Table {
         self.pk_index.get(key).copied()
     }
 
+    /// Number of row **slots** (including tombstoned ones); `RowId`s range
+    /// over `0..len()`.
     pub fn len(&self) -> usize {
         self.rows.len()
+    }
+
+    /// Number of live (non-deleted) rows.
+    pub fn live_len(&self) -> usize {
+        self.rows.len() - self.dead as usize
     }
 
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
 
-    /// Iterate `(RowId, &Row)` in insertion order.
+    /// Iterate `(RowId, &Row)` over **live** rows in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
         self.rows
             .iter()
             .enumerate()
             .map(|(i, r)| (RowId(i as u32), r))
+            .filter(|(id, _)| !self.is_deleted(*id))
     }
 }
 
@@ -177,6 +221,26 @@ mod tests {
         assert!(t.insert(vec![Value::Null, "c".into()]).is_err());
         assert_eq!(t.lookup_pk(&7.into()), Some(RowId(0)));
         assert_eq!(t.lookup_pk(&8.into()), None);
+    }
+
+    #[test]
+    fn delete_tombstones_and_frees_pk() {
+        let mut t = table();
+        let r0 = t.insert(vec![1.into(), "a".into()]).unwrap();
+        let r1 = t.insert(vec![2.into(), "b".into()]).unwrap();
+        assert!(t.delete(r0));
+        assert!(!t.delete(r0), "double delete is a no-op");
+        assert!(t.is_deleted(r0));
+        assert!(!t.is_deleted(r1));
+        assert_eq!(t.len(), 2, "slots stay allocated");
+        assert_eq!(t.live_len(), 1);
+        assert_eq!(t.lookup_pk(&1.into()), None, "PK entry dropped");
+        assert_eq!(t.lookup_pk(&2.into()), Some(r1));
+        let live: Vec<RowId> = t.iter().map(|(id, _)| id).collect();
+        assert_eq!(live, vec![r1], "iteration skips tombstones");
+        // The PK value of a deleted row may be inserted again (new slot).
+        let r2 = t.insert(vec![1.into(), "a2".into()]).unwrap();
+        assert_eq!(r2, RowId(2));
     }
 
     #[test]

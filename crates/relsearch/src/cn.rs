@@ -655,7 +655,7 @@ mod tests {
         db.insert("paper", vec![10.into(), "xml".into()]).unwrap();
         db.insert("write", vec![1.into(), 10.into()]).unwrap();
         db.build_text_index();
-        let ts = TupleSets::build(&db, &["widom", "xml"]);
+        let ts = TupleSets::build(&db, &["widom", "xml"]).unwrap();
         let oracle = MaskOracle::from_tuplesets(&ts);
         let mut g = CnGenerator::new(
             db.schema_graph(),

@@ -24,7 +24,9 @@ impl KeywordRelationshipSummary {
     /// Build the summary for one database. Vocabulary can be capped to the
     /// `max_terms` most frequent terms (summaries must stay small).
     pub fn build(db: &Database, d_max: u32, max_terms: usize) -> Self {
-        let ix = db.text_index();
+        let ix = db
+            .text_index()
+            .expect("summary construction requires a fresh text index");
         // choose the vocabulary
         let mut terms: Vec<(String, usize)> = ix
             .terms()

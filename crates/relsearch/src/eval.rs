@@ -219,7 +219,7 @@ mod tests {
     #[test]
     fn evaluates_joining_trees() {
         let db = db();
-        let ts = TupleSets::build(&db, &["widom", "xml"]);
+        let ts = TupleSets::build(&db, &["widom", "xml"]).unwrap();
         let cn = awp_cn(&db);
         let stats = ExecStats::new();
         let res = evaluate_cn(&db, &cn, &ts, &stats);
@@ -234,7 +234,7 @@ mod tests {
     #[test]
     fn empty_tuple_set_gives_no_results() {
         let db = db();
-        let ts = TupleSets::build(&db, &["widom", "zzzz"]);
+        let ts = TupleSets::build(&db, &["widom", "zzzz"]).unwrap();
         let cn = awp_cn(&db); // masks won't exist in ts
         let stats = ExecStats::new();
         let res = evaluate_cn(&db, &cn, &ts, &stats);
@@ -244,7 +244,7 @@ mod tests {
     #[test]
     fn row_restriction_narrows_results() {
         let db = db();
-        let ts = TupleSets::build(&db, &["abiteboul", "xml"]);
+        let ts = TupleSets::build(&db, &["abiteboul", "xml"]).unwrap();
         // author^{abiteboul} — W — paper^{xml}: Abiteboul co-wrote paper 10
         let cn = awp_cn(&db);
         let stats = ExecStats::new();
@@ -270,7 +270,7 @@ mod tests {
     fn self_join_cn_two_papers_one_author() {
         // paper^{xml} ← W → author^{abiteboul} ← W → paper^{web}
         let db = db();
-        let ts = TupleSets::build(&db, &["xml", "abiteboul", "web"]);
+        let ts = TupleSets::build(&db, &["xml", "abiteboul", "web"]).unwrap();
         let a = db.table_id("author").unwrap();
         let p = db.table_id("paper").unwrap();
         let w = db.table_id("write").unwrap();

@@ -44,5 +44,5 @@ pub mod tupleset;
 pub use cn::{CandidateNetwork, CnGenConfig, CnGenerator};
 pub use eval::{evaluate_cn, JoinedResult};
 pub use facets::{FacetAccum, FacetRequest, Refinement, ResolvedFacet, ResolvedRefinement};
-pub use score::ResultScorer;
+pub use score::{corpus_stats, ResultScorer};
 pub use tupleset::{TupleSet, TupleSets};

@@ -210,7 +210,7 @@ mod tests {
     }
 
     fn cns(db: &Database, kws: &[&str], max_size: usize) -> (TupleSets, Vec<CandidateNetwork>) {
-        let ts = TupleSets::build(db, kws);
+        let ts = TupleSets::build(db, kws).unwrap();
         let oracle = MaskOracle::from_tuplesets(&ts);
         let mut g = CnGenerator::new(
             db.schema_graph(),

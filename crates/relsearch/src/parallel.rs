@@ -289,7 +289,7 @@ mod tests {
     }
 
     fn jobs(db: &Database) -> (TupleSets, Vec<CandidateNetwork>) {
-        let ts = TupleSets::build(db, &["widom", "xml"]);
+        let ts = TupleSets::build(db, &["widom", "xml"]).unwrap();
         let oracle = MaskOracle::from_tuplesets(&ts);
         let mut g = CnGenerator::new(
             db.schema_graph(),
@@ -376,7 +376,7 @@ mod tests {
             .unwrap();
         }
         db.build_text_index();
-        let ts = TupleSets::build(&db, &["widom", "xml"]);
+        let ts = TupleSets::build(&db, &["widom", "xml"]).unwrap();
         let oracle = MaskOracle::from_tuplesets(&ts);
         let mut g = CnGenerator::new(
             db.schema_graph(),

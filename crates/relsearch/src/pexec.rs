@@ -331,7 +331,11 @@ where
         return false;
     }
     let table = cn.nodes[0].table;
-    let ix = q.db.text_index();
+    // Tuple sets were built from a fresh index; a stale one here means the
+    // caller mutated mid-query — fall back to the generic executor.
+    let Ok(ix) = q.db.text_index() else {
+        return false;
+    };
     let mut cursors = Vec::with_capacity(q.keywords.len());
     let mut idfs = Vec::with_capacity(q.keywords.len());
     for kw in q.keywords {
@@ -647,7 +651,7 @@ mod tests {
     }
 
     fn setup(db: &Database, keywords: &[&str]) -> (TupleSets, Vec<CandidateNetwork>) {
-        let ts = TupleSets::build(db, keywords);
+        let ts = TupleSets::build(db, keywords).unwrap();
         let oracle = MaskOracle::from_tuplesets(&ts);
         let mut generator = CnGenerator::new(
             db.schema_graph(),

@@ -58,7 +58,9 @@ fn pairs(
     for &(u, v) in edges {
         adj.entry(u).or_default().push(v);
     }
-    let ix = db.text_index();
+    let ix = db
+        .text_index()
+        .expect("distance materialization requires a fresh text index");
     let mut best: HashMap<TupleId, (u32, TupleId)> = HashMap::new();
     let mut delta: Vec<(TupleId, TupleId)> = Vec::new(); // (node, match)
     let mut last: Option<TupleId> = None;

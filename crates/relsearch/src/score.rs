@@ -16,6 +16,21 @@ use kwdb_rank::CorpusStats;
 use kwdb_relational::{Database, TupleId};
 use std::collections::HashMap;
 use std::ops::Deref;
+use std::sync::Arc;
+
+/// Corpus statistics over every live tuple of `db` — one "document" per
+/// tuple. This is the scan [`ResultScorer::new`] performs; the unified
+/// engine calls it once and then keeps the stats in lockstep with the
+/// database incrementally (`add_doc` on ingest, `remove_doc` on delete).
+pub fn corpus_stats(db: &Database) -> CorpusStats {
+    let mut stats = CorpusStats::new();
+    for t in db.tables() {
+        for (rid, _) in t.iter() {
+            stats.add_doc(&db.tuple_tokens(TupleId::new(t.id, rid)));
+        }
+    }
+    stats
+}
 
 /// SPARK's length-normalization slope (`s` in pivoted normalization).
 const SLOPE: f64 = 0.2;
@@ -30,28 +45,29 @@ const SLOPE: f64 = 0.2;
 #[derive(Debug)]
 pub struct ResultScorer<D: Deref<Target = Database> = std::sync::Arc<Database>> {
     db: D,
-    stats: CorpusStats,
+    stats: Arc<CorpusStats>,
     avg_len: f64,
 }
 
 impl<D: Deref<Target = Database>> ResultScorer<D> {
     /// Build corpus statistics over every tuple (one "document" per tuple).
     pub fn new(db: D) -> Self {
-        let mut stats = CorpusStats::new();
-        let mut total_len = 0usize;
-        let mut n_docs = 0usize;
-        for t in db.tables() {
-            for (rid, _) in t.iter() {
-                let toks = db.tuple_tokens(TupleId::new(t.id, rid));
-                total_len += toks.len();
-                n_docs += 1;
-                stats.add_doc(&toks);
-            }
-        }
-        let avg_len = if n_docs == 0 {
+        let stats = corpus_stats(&db);
+        Self::from_stats(db, Arc::new(stats))
+    }
+
+    /// Build a scorer from externally maintained corpus statistics — the
+    /// incremental-ingest path: the unified engine keeps one `CorpusStats`
+    /// in lockstep with the database and hands out per-query scorers
+    /// without rescanning. The average document length is derived from the
+    /// stats' totals, matching what [`new`](Self::new) computes over the
+    /// same corpus.
+    pub fn from_stats(db: D, stats: Arc<CorpusStats>) -> Self {
+        let n = stats.doc_count();
+        let avg_len = if n == 0 {
             1.0
         } else {
-            (total_len as f64 / n_docs as f64).max(1.0)
+            (stats.total_tokens() as f64 / n as f64).max(1.0)
         };
         ResultScorer { db, stats, avg_len }
     }

@@ -258,7 +258,7 @@ mod tests {
     }
 
     fn setup(db: &Database, keywords: &[&str]) -> (TupleSets, Vec<CandidateNetwork>) {
-        let ts = TupleSets::build(db, keywords);
+        let ts = TupleSets::build(db, keywords).unwrap();
         let oracle = MaskOracle::from_tuplesets(&ts);
         let mut g = CnGenerator::new(
             db.schema_graph(),

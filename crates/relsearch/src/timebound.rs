@@ -166,7 +166,7 @@ mod tests {
     }
 
     fn run(db: &Database, keywords: &[String], budget: u64) -> PartialSearch {
-        let ts = TupleSets::build(db, keywords);
+        let ts = TupleSets::build(db, keywords).unwrap();
         let oracle = MaskOracle::from_tuplesets(&ts);
         let mut g = CnGenerator::new(
             db.schema_graph(),
@@ -233,7 +233,7 @@ mod tests {
         // appear in the exhaustive run too)
         let (db, kws) = setup();
         let full = {
-            let ts = TupleSets::build(&db, &kws);
+            let ts = TupleSets::build(&db, &kws).unwrap();
             let oracle = MaskOracle::from_tuplesets(&ts);
             let mut g = CnGenerator::new(
                 db.schema_graph(),

@@ -7,6 +7,7 @@
 //! tuples matches exactly one CN).
 
 use kwdb_common::index::kernels;
+use kwdb_common::Result;
 use kwdb_relational::{Database, RowId, TableId};
 use std::collections::HashMap;
 
@@ -40,9 +41,9 @@ impl TupleSets {
     /// per-set and per-table row vectors come out sorted with no hashing
     /// over postings and no post-sort — and the same code path serves both
     /// the plain and the block-compressed layout.
-    pub fn build<S: AsRef<str>>(db: &Database, keywords: &[S]) -> Self {
+    pub fn build<S: AsRef<str>>(db: &Database, keywords: &[S]) -> Result<Self> {
         assert!(keywords.len() <= 32, "at most 32 keywords");
-        let ix = db.text_index();
+        let ix = db.text_index()?;
         // One dictionary lookup per keyword up front; absent keywords have
         // no postings and simply contribute no mask bits.
         let mut cursors = Vec::with_capacity(keywords.len());
@@ -75,11 +76,11 @@ impl TupleSets {
                 .push(row);
             matched.entry(table).or_default().push(row);
         });
-        TupleSets {
+        Ok(TupleSets {
             sets,
             matched,
             n_keywords: keywords.len(),
-        }
+        })
     }
 
     pub fn n_keywords(&self) -> usize {
@@ -123,16 +124,17 @@ impl TupleSets {
     /// Using the exact partition keeps joining trees duplicate-free across
     /// CNs — every tree's node masks are its tuples' exact keyword sets.
     pub fn free_rows(&self, db: &Database, table: TableId) -> Vec<RowId> {
-        let n = db.table(table).len() as u32;
+        let t = db.table(table);
         let matched = self
             .matched
             .get(&table)
             .map(|v| v.as_slice())
             .unwrap_or(&[]);
         let mut mi = 0;
-        let mut out = Vec::with_capacity(n as usize - matched.len());
-        for r in 0..n {
-            let rid = RowId(r);
+        let mut out = Vec::with_capacity(t.live_len() - matched.len());
+        // Live rows only: the table iterator skips tombstoned slots, and
+        // matched rows (from the index union) are always live.
+        for (rid, _) in t.iter() {
             if mi < matched.len() && matched[mi] == rid {
                 mi += 1;
             } else {
@@ -146,7 +148,7 @@ impl TupleSets {
     /// estimation and scheduling, which only need counts.
     pub fn free_row_count(&self, db: &Database, table: TableId) -> usize {
         let matched = self.matched.get(&table).map_or(0, |v| v.len());
-        db.table(table).len() - matched
+        db.table(table).live_len() - matched
     }
 
     /// Every keyword must match somewhere for AND semantics to be satisfiable.
@@ -197,7 +199,7 @@ mod tests {
     #[test]
     fn exact_subset_partition() {
         let db = db();
-        let ts = TupleSets::build(&db, &["widom", "xml"]);
+        let ts = TupleSets::build(&db, &["widom", "xml"]).unwrap();
         let author = db.table_id("author").unwrap();
         let paper = db.table_id("paper").unwrap();
         // author 1: {widom} → mask 0b01; author 2: {xml} → mask 0b10
@@ -213,7 +215,7 @@ mod tests {
     #[test]
     fn masks_for_table_sorted() {
         let db = db();
-        let ts = TupleSets::build(&db, &["widom", "xml"]);
+        let ts = TupleSets::build(&db, &["widom", "xml"]).unwrap();
         let paper = db.table_id("paper").unwrap();
         assert_eq!(ts.masks_for(paper), vec![0b10, 0b11]);
     }
@@ -221,14 +223,14 @@ mod tests {
     #[test]
     fn unmatched_keyword_detected() {
         let db = db();
-        let ts = TupleSets::build(&db, &["widom", "nonexistent"]);
+        let ts = TupleSets::build(&db, &["widom", "nonexistent"]).unwrap();
         assert!(!ts.covers_all_keywords());
     }
 
     #[test]
     fn free_rows_exclude_keyword_rows() {
         let db = db();
-        let ts = TupleSets::build(&db, &["widom", "xml"]);
+        let ts = TupleSets::build(&db, &["widom", "xml"]).unwrap();
         let paper = db.table_id("paper").unwrap();
         // both papers match a keyword → free set empty
         assert!(ts.free_rows(&db, paper).is_empty());
@@ -242,7 +244,7 @@ mod tests {
     #[test]
     fn empty_query() {
         let db = db();
-        let ts = TupleSets::build::<&str>(&db, &[]);
+        let ts = TupleSets::build::<&str>(&db, &[]).unwrap();
         assert!(ts.is_empty());
         assert_eq!(ts.full_mask(), 0);
         assert!(ts.covers_all_keywords());

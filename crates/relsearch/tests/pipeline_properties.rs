@@ -84,7 +84,7 @@ fn all_executors_agree() {
         let k = rng.gen_range(1usize..6);
         let db = random_db(&authors, &papers, &writes);
         let keywords = vec!["alpha".to_string(), "beta".to_string()];
-        let ts = TupleSets::build(&db, &keywords);
+        let ts = TupleSets::build(&db, &keywords).unwrap();
         let oracle = MaskOracle::from_tuplesets(&ts);
         let mut generator = CnGenerator::new(
             db.schema_graph(),
@@ -128,7 +128,7 @@ fn spark_sweeps_agree_with_naive() {
         let writes = rand_writes(&mut rng, 8);
         let db = random_db(&authors, &papers, &writes);
         let keywords = vec!["alpha".to_string(), "gamma".to_string()];
-        let ts = TupleSets::build(&db, &keywords);
+        let ts = TupleSets::build(&db, &keywords).unwrap();
         let oracle = MaskOracle::from_tuplesets(&ts);
         let mut generator = CnGenerator::new(
             db.schema_graph(),
@@ -175,7 +175,7 @@ fn results_are_duplicate_free_and_covering() {
         let writes = rand_writes(&mut rng, 8);
         let db = random_db(&authors, &papers, &writes);
         let keywords = vec!["alpha".to_string(), "beta".to_string()];
-        let ts = TupleSets::build(&db, &keywords);
+        let ts = TupleSets::build(&db, &keywords).unwrap();
         let oracle = MaskOracle::from_tuplesets(&ts);
         let mut generator = CnGenerator::new(
             db.schema_graph(),

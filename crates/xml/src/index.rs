@@ -6,14 +6,18 @@
 //! binary searches — served by the shared [`kwdb_common::index`] kernels on
 //! the plain layout and by the block skip directory on the compressed one.
 //!
-//! Storage lives in a [`PostingStore`] keyed by the term dictionary: every
+//! Storage lives in a [`SegmentedIndex`] keyed by the term dictionary: every
 //! label and token is normalized through [`normalize_term`] and interned
 //! once, and query paths resolve each keyword to a [`Sym`] a single time
 //! via [`XmlIndex::sym`]. Lists are handed out as layout-agnostic
-//! [`Postings`] views supporting iteration, cursors, and the probes.
+//! [`Postings`] views supporting iteration, cursors, and the probes. The
+//! batch build seals and compacts into exactly one immutable segment
+//! (`finalize_layout`), so the segment census reported by
+//! [`XmlIndex::segment_counts`] is `{realtime: 0, sealed: 1}` for any
+//! non-empty document.
 
 use crate::tree::{NodeId, XmlTree};
-use kwdb_common::index::{kernels, IndexStats, Layout, PostingStore, Postings};
+use kwdb_common::index::{kernels, IndexStats, Layout, Postings, SegmentCounts, SegmentedIndex};
 use kwdb_common::intern::Sym;
 use kwdb_common::text::{normalize_term, tokenize};
 use std::time::Duration;
@@ -46,7 +50,7 @@ impl kwdb_common::index::Posting for NodeId {
 /// Inverted index: keyword → sorted node list.
 #[derive(Debug, Clone, Default)]
 pub struct XmlIndex {
-    store: PostingStore<NodeId>,
+    store: SegmentedIndex<NodeId>,
     build_time: Option<Duration>,
 }
 
@@ -62,7 +66,7 @@ impl XmlIndex {
     /// Build with an explicit posting-list [`Layout`].
     pub fn build_with(tree: &XmlTree, layout: Layout) -> Self {
         let start = std::time::Instant::now();
-        let mut store: PostingStore<NodeId> = PostingStore::new();
+        let mut store: SegmentedIndex<NodeId> = SegmentedIndex::new();
         for n in tree.iter() {
             let label = normalize_term(tree.label(n));
             if !label.is_empty() {
@@ -75,8 +79,8 @@ impl XmlIndex {
             }
         }
         // Pre-order iteration emits nodes in document order, so every list is
-        // already sorted and deduplicated; finalize caches term stats and
-        // applies the layout.
+        // already sorted and deduplicated; finalize seals + compacts into a
+        // single immutable segment in the requested layout.
         store.finalize_layout(layout);
         XmlIndex {
             store,
@@ -156,6 +160,12 @@ impl XmlIndex {
     /// Whole-index size figures, including the build wall-clock.
     pub fn index_stats(&self) -> IndexStats {
         self.store.index_stats().with_build(self.build_time)
+    }
+
+    /// Realtime/sealed segment census. A batch-built index is fully
+    /// compacted: one sealed segment, nothing in realtime.
+    pub fn segment_counts(&self) -> SegmentCounts {
+        self.store.segment_counts()
     }
 }
 
@@ -249,6 +259,8 @@ mod tests {
             stats.postings * std::mem::size_of::<NodeId>()
         );
         assert!(stats.build.is_some(), "batch build is timed");
+        let segs = ix.segment_counts();
+        assert_eq!((segs.realtime, segs.sealed), (0, 1), "batch build compacts");
     }
 
     #[test]

@@ -14,7 +14,7 @@ use kwdb::qclean::spell::SpellCorrector;
 
 fn main() {
     let (db, table) = generate_laptops(40, 7);
-    let ix = db.text_index();
+    let ix = db.text_index().expect("index built above");
 
     // spelling model from the database vocabulary
     let corrector =

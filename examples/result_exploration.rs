@@ -112,6 +112,7 @@ fn main() -> kwdb::Result<()> {
     // 3. aggregate keyword query straight off the stored table: where can
     // I get all three together?
     let db = engine.database();
+    let db = &*db;
     let agg = AggTable::from_database(db, "event", &["month", "state"])?;
     let phrases = vec![
         tokenize("motorcycle"),

@@ -35,7 +35,10 @@
 //! assert_eq!(outcome.responses.len(), 2);
 //! ```
 
-use crate::engine::{Engine, Hit, SearchRequest, SearchResponse};
+use crate::engine::{
+    CommitOutcome, DeleteKey, Engine, Hit, IngestRecord, MutableEngine, SearchRequest,
+    SearchResponse,
+};
 use kwdb_common::{KwdbError, QueryStats, Result};
 use kwdb_obs::{families, MetricsRegistry};
 use std::collections::BTreeMap;
@@ -51,6 +54,10 @@ use std::time::{Duration, Instant};
 #[derive(Default, Clone)]
 pub struct Catalog {
     engines: BTreeMap<String, Arc<dyn Engine>>,
+    /// The subset of engines that also accept mutations. Entries here are
+    /// always mirrored in `engines` (upcast), so every mutable engine is
+    /// queryable under the same name.
+    mutable: BTreeMap<String, Arc<dyn MutableEngine>>,
 }
 
 impl Catalog {
@@ -64,9 +71,61 @@ impl Catalog {
         self.engines.insert(name.into(), engine.into_handle());
     }
 
+    /// Register a mutable engine under `name`: queryable through the usual
+    /// read surface *and* reachable by [`Catalog::ingest`] /
+    /// [`Catalog::delete`] / [`Catalog::commit`]. Replaces any previous
+    /// entry under the name.
+    pub fn register_mutable(
+        &mut self,
+        name: impl Into<String>,
+        engine: impl IntoMutableEngineHandle,
+    ) {
+        let name = name.into();
+        let handle = engine.into_mutable_handle();
+        self.engines
+            .insert(name.clone(), Arc::clone(&handle) as Arc<dyn Engine>);
+        self.mutable.insert(name, handle);
+    }
+
     /// Look up an engine by name.
     pub fn get(&self, name: &str) -> Option<&Arc<dyn Engine>> {
         self.engines.get(name)
+    }
+
+    /// Look up an engine's mutation surface by name.
+    pub fn get_mutable(&self, name: &str) -> Option<&Arc<dyn MutableEngine>> {
+        self.mutable.get(name)
+    }
+
+    /// Resolve `name` to its mutation surface, with typed errors: a name
+    /// absent from the whole catalog is [`KwdbError::UnknownObject`]; a name
+    /// registered read-only is [`KwdbError::ReadOnly`].
+    fn mutable_engine(&self, name: &str) -> Result<&Arc<dyn MutableEngine>> {
+        match self.mutable.get(name) {
+            Some(engine) => Ok(engine),
+            None if self.engines.contains_key(name) => {
+                Err(KwdbError::ReadOnly(format!("{name:?}")))
+            }
+            None => Err(KwdbError::UnknownObject(format!(
+                "no engine named {name:?} in catalog (have: {:?})",
+                self.names().collect::<Vec<_>>()
+            ))),
+        }
+    }
+
+    /// Ingest one record into the named engine's realtime segment.
+    pub fn ingest(&self, name: &str, record: IngestRecord) -> Result<()> {
+        self.mutable_engine(name)?.ingest(record)
+    }
+
+    /// Tombstone one document in the named engine.
+    pub fn delete(&self, name: &str, key: DeleteKey) -> Result<()> {
+        self.mutable_engine(name)?.delete(key)
+    }
+
+    /// Seal the named engine's realtime segment into an immutable one.
+    pub fn commit(&self, name: &str) -> Result<CommitOutcome> {
+        self.mutable_engine(name)?.commit()
     }
 
     /// Registered names, sorted.
@@ -107,6 +166,23 @@ impl<E: Engine + 'static> IntoEngineHandle for E {
 
 impl IntoEngineHandle for Arc<dyn Engine> {
     fn into_handle(self) -> Arc<dyn Engine> {
+        self
+    }
+}
+
+/// Everything `Catalog::register_mutable` accepts.
+pub trait IntoMutableEngineHandle {
+    fn into_mutable_handle(self) -> Arc<dyn MutableEngine>;
+}
+
+impl<E: MutableEngine + 'static> IntoMutableEngineHandle for E {
+    fn into_mutable_handle(self) -> Arc<dyn MutableEngine> {
+        Arc::new(self)
+    }
+}
+
+impl IntoMutableEngineHandle for Arc<dyn MutableEngine> {
+    fn into_mutable_handle(self) -> Arc<dyn MutableEngine> {
         self
     }
 }
@@ -173,6 +249,23 @@ impl Dispatcher {
 
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// Ingest one record into the named engine (see [`Catalog::ingest`]).
+    /// Concurrent with query dispatch: engines snapshot their state per
+    /// query, so in-flight requests see a consistent generation.
+    pub fn ingest(&self, name: &str, record: IngestRecord) -> Result<()> {
+        self.catalog.ingest(name, record)
+    }
+
+    /// Tombstone one document in the named engine.
+    pub fn delete(&self, name: &str, key: DeleteKey) -> Result<()> {
+        self.catalog.delete(name, key)
+    }
+
+    /// Seal the named engine's realtime segment.
+    pub fn commit(&self, name: &str) -> Result<CommitOutcome> {
+        self.catalog.commit(name)
     }
 
     /// Execute the whole batch on the calling thread. The reference
@@ -395,6 +488,58 @@ mod tests {
         assert!(out.responses.is_empty());
         assert_eq!(out.totals.operators.tuples_scanned, 0);
         assert_eq!(out.totals.cache_misses, 0);
+    }
+
+    #[test]
+    fn mutations_route_through_the_catalog() {
+        use crate::engine::IngestRecord;
+        let mut c = Catalog::new();
+        let mut db = kwdb_relational::Database::new();
+        kwdb_relational::database::dblp_schema(&mut db).unwrap();
+        db.build_text_index();
+        c.register_mutable("live", RelationalEngine::new(db));
+        c.register(
+            "frozen",
+            XmlEngine::from_tree(kwdb_datasets::generate_bib_xml(&Default::default())),
+        );
+        let d = Dispatcher::with_workers(c, 2);
+
+        // Ingest, then query the same name: the row is immediately visible.
+        d.ingest(
+            "live",
+            IngestRecord::Tuple {
+                table: "author".into(),
+                values: vec![1.into(), "Jennifer Widom".into()],
+            },
+        )
+        .unwrap();
+        let out = d.execute_concurrent(&[("live".to_string(), SearchRequest::new("widom").k(3))]);
+        assert_eq!(out.responses[0].as_ref().unwrap().hits.len(), 1);
+        let outcome = d.commit("live").unwrap();
+        assert_eq!(outcome.segments.realtime, 0);
+
+        // Typed errors: read-only engine vs unknown name.
+        let ro = d
+            .ingest(
+                "frozen",
+                IngestRecord::Tuple {
+                    table: "author".into(),
+                    values: vec![2.into(), "X".into()],
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(ro, KwdbError::ReadOnly(_)), "got {ro:?}");
+        assert!(matches!(
+            d.commit("nope").unwrap_err(),
+            KwdbError::UnknownObject(_)
+        ));
+
+        // The mutable handle is the same engine the read path serves.
+        assert!(d.catalog().get("live").is_some());
+        assert_eq!(
+            d.catalog().get_mutable("live").unwrap().generation(),
+            outcome.generation
+        );
     }
 
     #[test]

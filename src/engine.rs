@@ -27,9 +27,23 @@
 //! `'static`, `Send + Sync`, and can be stored in a long-lived registry and
 //! queried from many threads at once — `execute` takes `&self` and all
 //! per-query state (counters, heaps, cursors) lives on the query's own
-//! stack. The only shared mutable state is read-mostly and lock-guarded:
-//! the relational CN plan cache (an `RwLock` map) and the lazily built
-//! BLINKS index (a `OnceLock`).
+//! stack. Shared mutable state is read-mostly and lock-guarded: the
+//! relational engine's generational state (database handle + corpus
+//! statistics), its CN plan cache, and the graph engine's generation-tagged
+//! BLINKS index all live behind `RwLock`s.
+//!
+//! # Generations and mutation
+//!
+//! Mutable engines implement [`MutableEngine`]: `ingest`/`delete` apply a
+//! change *and* maintain the index incrementally (realtime segment,
+//! tombstones, corpus statistics), `commit` seals the realtime segment into
+//! a compressed sealed segment. Every successful mutation bumps a
+//! monotonic **generation counter** which keys the CN plan cache and the
+//! flight-recorder records, so cached plans and diagnostics can never
+//! silently describe an older database. A query holds the engine state's
+//! read lock end to end and therefore always sees one consistent
+//! generation; mutations copy-on-write when the data is shared
+//! ([`Arc::make_mut`]), so handles returned earlier keep their snapshot.
 //!
 //! The [`Engine`] trait erases the per-model hit types into the [`Hit`]
 //! enum so heterogeneous engines can live behind `Arc<dyn Engine>` in one
@@ -40,29 +54,32 @@
 //! `kwdb_xmlsearch`) stay borrow-based — the zero-copy escape hatch when
 //! you hold the data on the stack and don't need to share the engine.
 
-use kwdb_common::index::Layout;
+use kwdb_common::index::{Layout, SegmentCounts};
 use kwdb_common::text::parse_query;
 use kwdb_common::{
     Budget, FacetCounts, FacetSpec, QueryStats, Result, ScratchPool, Stopwatch, TruncationReason,
+    Value,
 };
 use kwdb_explore::summary::{object_summary, render_summary};
-use kwdb_graph::DataGraph;
+use kwdb_graph::{DataGraph, NodeId};
 use kwdb_graphsearch::{blinks::Blinks, AnswerTree, BanksI, Dpbf};
 use kwdb_obs::{
-    families, record_facets, record_index_stats, record_query, MetricsRegistry, QueryRecord,
-    QueryTrace, TraceBuilder, TraceLevel,
+    families, record_facets, record_generation, record_index_stats, record_query, MetricsRegistry,
+    QueryRecord, QueryTrace, TraceBuilder, TraceLevel,
 };
 use kwdb_qclean::segment::{clean_query, ValuePhraseModel};
 use kwdb_qclean::SpellCorrector;
-use kwdb_relational::{Database, ExecStats};
+use kwdb_rank::CorpusStats;
+use kwdb_relational::{Database, ExecStats, Row, TupleId};
 use kwdb_relsearch::cn::{CandidateNetwork, CnGenConfig, CnGenerator, MaskOracle};
 use kwdb_relsearch::facets::{resolve_facets, resolve_refinements, FacetAccum, FacetRequest};
 use kwdb_relsearch::pexec::{parallel_topk_faceted, EvalScratch};
 use kwdb_relsearch::spark::skyline_sweep_budgeted;
 use kwdb_relsearch::topk::{global_pipeline_faceted, CnExecOutcome, TopKQuery};
-use kwdb_relsearch::{Refinement, ResultScorer, TupleSets};
+use kwdb_relsearch::{corpus_stats, Refinement, ResultScorer, TupleSets};
 use kwdb_xml::{XmlIndex, XmlTree};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
 /// A uniform search request accepted by all three engines.
@@ -281,6 +298,8 @@ fn finish_response<H>(
     algorithm: &'static str,
     req: &SearchRequest,
     workers: usize,
+    generation: u64,
+    segments: SegmentCounts,
     sampled: bool,
     hits: Vec<H>,
     stats: QueryStats,
@@ -291,17 +310,20 @@ fn finish_response<H>(
     if let Some(reg) = registry {
         // Flight record first: an AutoP99 slow threshold then compares this
         // query against the traffic recorded *before* it.
-        reg.record_flight(QueryRecord::new(
-            engine,
-            algorithm,
-            &req.query,
-            req.k,
-            workers,
-            &stats,
-            truncation,
-            sampled,
-            trace.clone(),
-        ));
+        reg.record_flight(
+            QueryRecord::new(
+                engine,
+                algorithm,
+                &req.query,
+                req.k,
+                workers,
+                &stats,
+                truncation,
+                sampled,
+                trace.clone(),
+            )
+            .with_generation(generation, segments.realtime, segments.sealed),
+        );
         record_query(reg, engine, algorithm, &stats, truncation);
     }
     SearchResponse {
@@ -376,6 +398,55 @@ pub trait Engine: Send + Sync {
     /// Execute a budgeted, instrumented search; hits come back erased as
     /// [`Hit`]s.
     fn execute(&self, req: &SearchRequest) -> Result<SearchResponse<Hit>>;
+}
+
+/// A record accepted by [`MutableEngine::ingest`] — the erased counterpart
+/// of the typed per-engine ingest methods, so mutation can be driven
+/// through `Arc<dyn MutableEngine>` in a catalog.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum IngestRecord {
+    /// One relational tuple: column values for a row of `table`.
+    Tuple { table: String, values: Row },
+}
+
+/// What [`MutableEngine::delete`] removes.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum DeleteKey {
+    /// The row of `table` whose primary key equals `pk`.
+    TuplePk { table: String, pk: Value },
+}
+
+/// Report of a [`MutableEngine::commit`]: the engine's generation after the
+/// seal and the index's segment census.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitOutcome {
+    /// The engine's data generation at commit time.
+    pub generation: u64,
+    /// Realtime/sealed segment counts after the seal.
+    pub segments: SegmentCounts,
+}
+
+/// An engine that supports incremental mutation over its generational
+/// index: `ingest`/`delete` apply a change *and* maintain the index (no
+/// rebuild), `commit` seals the realtime segment. Every successful
+/// mutation bumps the engine's monotonic [`generation`](Self::generation).
+pub trait MutableEngine: Engine {
+    /// Ingest one record through the incremental path. Fails with a typed
+    /// error when the record's shape doesn't fit this engine, when
+    /// integrity checks (FKs, arity, types) reject it, or when the index
+    /// was never built / has gone stale behind out-of-band mutations.
+    fn ingest(&self, record: IngestRecord) -> Result<()>;
+
+    /// Delete by key: tombstone the data and drop it from the index.
+    fn delete(&self, key: DeleteKey) -> Result<()>;
+
+    /// Seal the realtime segment into an immutable compressed segment.
+    fn commit(&self) -> Result<CommitOutcome>;
+
+    /// The monotonic data generation: bumped by every successful mutation.
+    fn generation(&self) -> u64;
 }
 
 // Compile-time proof that every engine (and a trait object of them) can be
@@ -460,11 +531,22 @@ impl Default for RelationalConfig {
     }
 }
 
-/// Key of one CN plan-cache entry: schema fingerprint, the sorted keyword
-/// term set, and the generator configuration. The engine holds the database
-/// behind an `Arc` (shared, immutable access only), so tuple-set masks for
-/// a given term set cannot change underneath a cached plan.
-type CnCacheKey = (u64, Vec<String>, usize, usize);
+/// Key of one CN plan-cache entry: schema fingerprint, **data
+/// generation**, the sorted keyword term set, and the generator
+/// configuration. The generation component means a mutation can never
+/// serve a plan computed over older data — stale entries simply stop
+/// matching and age out through the bounded cache's eviction.
+type CnCacheKey = (u64, u64, Vec<String>, usize, usize);
+
+/// The relational engine's mutable core: the database handle plus the
+/// corpus statistics its scorer derives tf·idf weights from, kept in
+/// lockstep by the mutation path (`add_doc` on ingest, `remove_doc` on
+/// delete). Queries hold the read lock end to end, so a mutation never
+/// swaps state underneath a running query.
+struct EngineState {
+    db: Arc<Database>,
+    corpus: Arc<CorpusStats>,
+}
 
 /// DISCOVER-style keyword search over a relational database: tuple sets →
 /// candidate networks → bound-driven top-k evaluation.
@@ -473,8 +555,8 @@ type CnCacheKey = (u64, Vec<String>, usize, usize);
 /// one instance can serve concurrent queries; the CN plan cache is a
 /// read-mostly `RwLock` map, so repeat queries don't serialize.
 pub struct RelationalEngine {
-    db: Arc<Database>,
-    scorer: ResultScorer,
+    /// Generational state: swapped copy-on-write by the mutation path.
+    state: RwLock<EngineState>,
     cfg: RelationalConfig,
     cn_cache: RwLock<HashMap<CnCacheKey, Arc<Vec<CandidateNetwork>>>>,
     registry: Option<Arc<MetricsRegistry>>,
@@ -485,6 +567,9 @@ pub struct RelationalEngine {
     /// a spelling corrector over the index vocabulary plus a phrase model
     /// over the full-text column values. Built at most once per engine.
     clean: OnceLock<(SpellCorrector, ValuePhraseModel)>,
+    /// Cumulative segment merges already published to the registry, so the
+    /// merge counter advances by exact deltas.
+    merges_seen: AtomicU64,
 }
 
 impl RelationalEngine {
@@ -496,21 +581,26 @@ impl RelationalEngine {
 
     pub fn with_config(db: impl Into<Arc<Database>>, cfg: RelationalConfig) -> Self {
         let mut db = db.into();
-        if db.is_index_fresh() && db.text_index().layout() != cfg.posting_layout {
+        if db
+            .text_index()
+            .is_ok_and(|ix| ix.layout() != cfg.posting_layout)
+        {
             // Re-encode in place when we are the sole owner; a shared
             // database keeps whatever layout its owner chose.
             if let Some(owned) = Arc::get_mut(&mut db) {
                 owned.set_posting_layout(cfg.posting_layout);
             }
         }
+        let merges_seen = db.text_index().map_or(0, |ix| ix.merges());
+        let corpus = Arc::new(corpus_stats(&db));
         RelationalEngine {
-            scorer: ResultScorer::new(Arc::clone(&db)),
-            db,
+            state: RwLock::new(EngineState { db, corpus }),
             cfg,
             cn_cache: RwLock::new(HashMap::new()),
             registry: None,
             scratch: ScratchPool::new(),
             clean: OnceLock::new(),
+            merges_seen: AtomicU64::new(merges_seen),
         }
     }
 
@@ -529,13 +619,25 @@ impl RelationalEngine {
     }
 
     /// Record every query (and plan-cache activity) into `registry`, and
-    /// publish the text index's build/size figures up front.
+    /// publish the text index's build/size figures, the engine generation,
+    /// and the segment census up front.
     pub fn with_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
-        if self.db.is_index_fresh() {
-            record_index_stats(
+        {
+            let st = self.state.read().expect("engine state poisoned");
+            if let Ok(ix) = st.db.text_index() {
+                record_index_stats(&registry, "relational_text", &ix.index_stats());
+            }
+            let segments = st
+                .db
+                .text_index()
+                .map_or(SegmentCounts::default(), |ix| ix.segment_counts());
+            record_generation(
                 &registry,
-                "relational_text",
-                &self.db.text_index().index_stats(),
+                "relational",
+                st.db.generation(),
+                segments.realtime,
+                segments.sealed,
+                0,
             );
         }
         registry
@@ -545,15 +647,133 @@ impl RelationalEngine {
         self
     }
 
-    /// The shared database this engine queries.
-    pub fn database(&self) -> &Arc<Database> {
-        &self.db
+    /// A handle to the database this engine queries — a snapshot of the
+    /// current generation. Mutations after this call copy-on-write, so
+    /// the returned handle keeps observing the state it was taken at.
+    pub fn database(&self) -> Arc<Database> {
+        Arc::clone(&self.state.read().expect("engine state poisoned").db)
+    }
+
+    /// The engine's data generation (bumped by every successful mutation).
+    pub fn generation(&self) -> u64 {
+        self.state
+            .read()
+            .expect("engine state poisoned")
+            .db
+            .generation()
+    }
+
+    /// Realtime/sealed segment census of the text index (zeros when the
+    /// index was never built).
+    pub fn segment_counts(&self) -> SegmentCounts {
+        self.state
+            .read()
+            .expect("engine state poisoned")
+            .db
+            .text_index()
+            .map_or(SegmentCounts::default(), |ix| ix.segment_counts())
+    }
+
+    /// Ingest one tuple through the incremental path: FK-validate, append
+    /// to the table, index into the realtime segment, and keep the
+    /// scorer's corpus statistics in lockstep — no rebuild, no rescan.
+    /// Requires a fresh index (build once, then ingest); a shared database
+    /// is copy-on-written, so handles returned by
+    /// [`database`](Self::database) before the call keep their snapshot.
+    pub fn ingest_tuple(&self, table: &str, row: Row) -> Result<TupleId> {
+        let mut guard = self.state.write().expect("engine state poisoned");
+        let st = &mut *guard;
+        let db = Arc::make_mut(&mut st.db);
+        let id = db.ingest(table, row)?;
+        Arc::make_mut(&mut st.corpus).add_doc(&db.tuple_tokens(id));
+        if let Some(reg) = &self.registry {
+            reg.counter(families::INGESTED_TUPLES, &[("engine", "relational")])
+                .inc();
+        }
+        self.publish_generation(db);
+        Ok(id)
+    }
+
+    /// Delete the row of `table` whose primary key equals `pk`: tombstone
+    /// the row, drop its postings (realtime removal + sealed-segment
+    /// tombstones), and back its tokens out of the corpus statistics.
+    pub fn delete_tuple(&self, table: &str, pk: &Value) -> Result<TupleId> {
+        let mut guard = self.state.write().expect("engine state poisoned");
+        let st = &mut *guard;
+        let db = Arc::make_mut(&mut st.db);
+        let id = db.delete(table, pk)?;
+        // Row payloads stay in place under the tombstone, so the deleted
+        // tuple's tokens are still readable here.
+        Arc::make_mut(&mut st.corpus).remove_doc(&db.tuple_tokens(id));
+        self.publish_generation(db);
+        Ok(id)
+    }
+
+    /// Seal the realtime segment into an immutable compressed segment
+    /// (folding the two smallest sealed segments when at the cap).
+    pub fn commit(&self) -> Result<CommitOutcome> {
+        let mut guard = self.state.write().expect("engine state poisoned");
+        let st = &mut *guard;
+        let db = Arc::make_mut(&mut st.db);
+        db.text_index()?; // nothing to seal without a fresh index
+        let segments = db.commit_index();
+        let outcome = CommitOutcome {
+            generation: db.generation(),
+            segments,
+        };
+        self.publish_generation(db);
+        Ok(outcome)
+    }
+
+    /// Compact every sealed segment (and any realtime postings) into one,
+    /// dropping tombstoned entries and re-aggregating exact term stats.
+    pub fn merge(&self) -> Result<CommitOutcome> {
+        let mut guard = self.state.write().expect("engine state poisoned");
+        let st = &mut *guard;
+        let db = Arc::make_mut(&mut st.db);
+        db.text_index()?;
+        let segments = db.merge_index();
+        let outcome = CommitOutcome {
+            generation: db.generation(),
+            segments,
+        };
+        self.publish_generation(db);
+        Ok(outcome)
+    }
+
+    /// Push the generation gauge, segment gauges, and merge-counter delta
+    /// after a mutation.
+    fn publish_generation(&self, db: &Database) {
+        let (segments, merges) = db.text_index().map_or((SegmentCounts::default(), 0), |ix| {
+            (ix.segment_counts(), ix.merges())
+        });
+        let seen = self.merges_seen.swap(merges, Ordering::Relaxed);
+        if let Some(reg) = &self.registry {
+            record_generation(
+                reg,
+                "relational",
+                db.generation(),
+                segments.realtime,
+                segments.sealed,
+                merges.saturating_sub(seen),
+            );
+        }
     }
 
     /// Execute a [`SearchRequest`]: budgeted, instrumented top-k search,
     /// with optional facet counting, drill-down refinements, per-hit
     /// object summaries, and (when configured) query cleaning.
     pub fn execute(&self, req: &SearchRequest) -> Result<SearchResponse<RelationalHit>> {
+        // Hold the read lock end to end: the whole query sees one
+        // generation; concurrent queries share the lock, only mutations
+        // take it exclusively.
+        let state = self.state.read().expect("engine state poisoned");
+        let st = &*state;
+        let generation = st.db.generation();
+        let segments = st
+            .db
+            .text_index()
+            .map_or(SegmentCounts::default(), |ix| ix.segment_counts());
         let mut stats = QueryStats::new();
         let mut sw = Stopwatch::start();
         let budget = &req.budget;
@@ -574,6 +794,8 @@ impl RelationalEngine {
                 algorithm,
                 req,
                 workers,
+                generation,
+                segments,
                 sampled,
                 hits,
                 stats,
@@ -587,8 +809,8 @@ impl RelationalEngine {
         // fails the request with a typed error instead of silently counting
         // nothing. Resolution is independent of the keyword set, so
         // drill-downs reuse the CN plan cache untouched.
-        let facets = resolve_facets(&self.db, &req.facets)?;
-        let refinements = resolve_refinements(&self.db, &req.refinements)?;
+        let facets = resolve_facets(&st.db, &req.facets)?;
+        let refinements = resolve_refinements(&st.db, &req.refinements)?;
         let freq = FacetRequest {
             facets: &facets,
             refinements: &refinements,
@@ -612,12 +834,12 @@ impl RelationalEngine {
         tb.phase("parse");
         let mut keywords = parse_query(&req.query);
         if self.cfg.clean_queries && !keywords.is_empty() {
-            let ix = self.db.text_index();
+            let ix = st.db.text_index()?;
             if keywords.iter().any(|kw| ix.sym(kw).is_none()) {
                 // At least one keyword misses the term dictionary: run the
                 // noisy-channel spell + segmentation pass once, over the
                 // whole query, and search the cleaned tokens instead.
-                let (corrector, model) = self.clean_model();
+                let (corrector, model) = self.clean_model(&st.db);
                 if let Some(cleaned) = clean_query(corrector, model, &keywords, 2) {
                     tb.event("query cleaned", || {
                         vec![
@@ -652,7 +874,7 @@ impl RelationalEngine {
             ));
         }
         tb.phase("build");
-        let ts = TupleSets::build(&self.db, &keywords);
+        let ts = TupleSets::build(&st.db, &keywords)?;
         stats.phases.build = sw.lap();
         if !ts.covers_all_keywords() {
             tb.event("tuple sets", || {
@@ -673,16 +895,19 @@ impl RelationalEngine {
             ));
         }
         tb.phase("plan");
-        let cns = self.plan(&keywords, &ts, &mut stats, &mut tb);
+        let cns = self.plan(&st.db, &keywords, &ts, &mut stats, &mut tb);
         stats.phases.plan = sw.lap();
         stats.candidates_generated = cns.len() as u64;
 
         tb.phase("evaluate");
+        // Per-query scorer over the incrementally maintained corpus stats:
+        // two Arc clones, no corpus rescan.
+        let scorer = ResultScorer::from_stats(Arc::clone(&st.db), Arc::clone(&st.corpus));
         let q = TopKQuery {
-            db: &self.db,
+            db: &st.db,
             ts: &ts,
             cns: &cns,
-            scorer: &self.scorer,
+            scorer: &scorer,
             keywords: &keywords,
         };
         let exec = ExecStats::new();
@@ -710,10 +935,10 @@ impl RelationalEngine {
                 let (results, truncation) = skyline_sweep_budgeted(&q, req.k, &exec, budget);
                 let results: Vec<_> = results
                     .into_iter()
-                    .filter(|r| freq.passes(&self.db, &r.result))
+                    .filter(|r| freq.passes(&st.db, &r.result))
                     .collect();
                 for r in &results {
-                    accum.observe(&self.db, &facets, &r.result);
+                    accum.observe(&st.db, &facets, &r.result);
                 }
                 CnExecOutcome {
                     results,
@@ -770,15 +995,15 @@ impl RelationalEngine {
                     .result
                     .tuples
                     .iter()
-                    .map(|&t| self.db.format_tuple(t))
+                    .map(|&t| st.db.format_tuple(t))
                     .collect::<Vec<_>>()
                     .join(" ⋈ "),
                 summary: if req.summaries == 0 {
                     Vec::new()
                 } else {
                     render_summary(
-                        &self.db,
-                        &object_summary(&self.db, &r.result.tuples, req.summaries),
+                        &st.db,
+                        &object_summary(&st.db, &r.result.tuples, req.summaries),
                     )
                 },
                 tuples: r.result.tuples,
@@ -820,6 +1045,7 @@ impl RelationalEngine {
     /// with size/generation/eviction reported to the registry.
     fn plan(
         &self,
+        db: &Database,
         keywords: &[String],
         ts: &TupleSets,
         stats: &mut QueryStats,
@@ -829,7 +1055,8 @@ impl RelationalEngine {
         terms.sort();
         terms.dedup();
         let key: CnCacheKey = (
-            self.db.schema_fingerprint(),
+            db.schema_fingerprint(),
+            db.generation(),
             terms,
             self.cfg.max_cn_size,
             self.cfg.max_cns,
@@ -859,7 +1086,7 @@ impl RelationalEngine {
         stats.cache_misses = 1;
         let oracle = MaskOracle::from_tuplesets(ts);
         let mut generator = CnGenerator::new(
-            self.db.schema_graph(),
+            db.schema_graph(),
             &oracle,
             CnGenConfig {
                 max_size: self.cfg.max_cn_size,
@@ -900,9 +1127,9 @@ impl RelationalEngine {
     /// [`ValuePhraseModel`] over the full-text column values (so
     /// segmentation recovers multi-token values). Built at most once per
     /// engine, on the first query that needs cleaning.
-    fn clean_model(&self) -> &(SpellCorrector, ValuePhraseModel) {
+    fn clean_model(&self, db: &Database) -> &(SpellCorrector, ValuePhraseModel) {
         self.clean.get_or_init(|| {
-            let ix = self.db.text_index();
+            let ix = db.text_index().expect("caller verified a fresh text index");
             let vocab: Vec<(String, u64)> = ix
                 .terms()
                 .map(|t| {
@@ -911,7 +1138,7 @@ impl RelationalEngine {
                 })
                 .collect();
             let mut values: Vec<String> = Vec::new();
-            for table in self.db.tables() {
+            for table in db.tables() {
                 let text_cols: Vec<usize> = table.schema.text_columns().collect();
                 if text_cols.is_empty() {
                     continue;
@@ -939,6 +1166,34 @@ impl Engine for RelationalEngine {
     }
 }
 
+impl MutableEngine for RelationalEngine {
+    fn ingest(&self, record: IngestRecord) -> Result<()> {
+        match record {
+            IngestRecord::Tuple { table, values } => {
+                self.ingest_tuple(&table, values)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn delete(&self, key: DeleteKey) -> Result<()> {
+        match key {
+            DeleteKey::TuplePk { table, pk } => {
+                self.delete_tuple(&table, &pk)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn commit(&self) -> Result<CommitOutcome> {
+        RelationalEngine::commit(self)
+    }
+
+    fn generation(&self) -> u64 {
+        RelationalEngine::generation(self)
+    }
+}
+
 /// Graph answer semantics selectable on a [`SearchRequest`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GraphSemantics {
@@ -951,27 +1206,41 @@ pub enum GraphSemantics {
 }
 
 /// Keyword search on a data graph under the chosen semantics, with the
-/// BLINKS node→keyword index built once per engine and reused across
-/// queries.
+/// BLINKS node→keyword index built lazily and invalidated by generation.
 ///
 /// Owns its graph behind an `Arc`; the underlying BANKS/DPBF/BLINKS
 /// engines are stateless (`&self`, per-query counters returned with the
-/// results), so one `GraphEngine` serves concurrent queries.
+/// results), so one `GraphEngine` serves concurrent queries. Graph
+/// mutations ([`add_node`](Self::add_node)/[`add_edge`](Self::add_edge))
+/// bump the graph's generation; a cached BLINKS index whose build
+/// generation lags by more than the **staleness bound** is rebuilt on the
+/// next DistinctRoot query — within the bound it keeps serving, trading
+/// bounded staleness for rebuild cost.
 pub struct GraphEngine {
-    g: Arc<DataGraph>,
-    /// Full-vocabulary BLINKS index, built on first DistinctRoot query.
-    index: OnceLock<kwdb_graph::NodeKeywordIndex>,
+    g: RwLock<Arc<DataGraph>>,
+    /// Full-vocabulary BLINKS index tagged with the graph generation it
+    /// was built at; rebuilt lazily past the staleness bound.
+    index: RwLock<Option<(u64, Arc<kwdb_graph::NodeKeywordIndex>)>>,
+    /// How many generations the cached BLINKS index may lag before a
+    /// DistinctRoot query rebuilds it. `0` (default) = any change rebuilds.
+    staleness_bound: u64,
     registry: Option<Arc<MetricsRegistry>>,
+    /// Cumulative keyword-index merges already published to the registry.
+    merges_seen: AtomicU64,
 }
 
 impl GraphEngine {
     /// Build an engine owning `g` (pass a `DataGraph` to move it in, or an
     /// `Arc<DataGraph>` to share it with other owners).
     pub fn new(g: impl Into<Arc<DataGraph>>) -> Self {
+        let g = g.into();
+        let merges_seen = g.keyword_index_merges();
         GraphEngine {
-            g: g.into(),
-            index: OnceLock::new(),
+            g: RwLock::new(g),
+            index: RwLock::new(None),
+            staleness_bound: 0,
             registry: None,
+            merges_seen: AtomicU64::new(merges_seen),
         }
     }
 
@@ -981,28 +1250,135 @@ impl GraphEngine {
     /// current layout (re-encode it yourself via
     /// [`DataGraph::set_keyword_index_layout`] before sharing).
     pub fn with_posting_layout(mut self, layout: Layout) -> Self {
-        if let Some(g) = Arc::get_mut(&mut self.g) {
+        let g = self.g.get_mut().expect("graph state poisoned");
+        if let Some(g) = Arc::get_mut(g) {
             g.set_keyword_index_layout(layout);
         }
         self
     }
 
+    /// Let DistinctRoot queries keep serving a BLINKS index up to `bound`
+    /// generations stale instead of rebuilding on every graph change —
+    /// answers may miss (or over-include) at most the last `bound`
+    /// mutations' keywords, which is often acceptable while ingesting.
+    pub fn with_staleness_bound(mut self, bound: u64) -> Self {
+        self.staleness_bound = bound;
+        self
+    }
+
     /// Record every query into `registry`, and publish the graph keyword
-    /// index's size figures up front.
+    /// index's size figures, generation, and segment census up front.
     pub fn with_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
-        record_index_stats(&registry, "graph_keyword", &self.g.keyword_index_stats());
+        {
+            let g = self.g.read().expect("graph state poisoned");
+            record_index_stats(&registry, "graph_keyword", &g.keyword_index_stats());
+            let segments = g.keyword_segment_counts();
+            record_generation(
+                &registry,
+                "graph",
+                g.generation(),
+                segments.realtime,
+                segments.sealed,
+                0,
+            );
+        }
         self.registry = Some(registry);
         self
     }
 
-    /// The shared data graph this engine queries.
-    pub fn graph(&self) -> &Arc<DataGraph> {
-        &self.g
+    /// A handle to the data graph this engine queries — a snapshot of the
+    /// current generation (mutations copy-on-write).
+    pub fn graph(&self) -> Arc<DataGraph> {
+        Arc::clone(&self.g.read().expect("graph state poisoned"))
+    }
+
+    /// The graph's data generation (bumped by every node/edge added).
+    pub fn generation(&self) -> u64 {
+        self.g.read().expect("graph state poisoned").generation()
+    }
+
+    /// Add a node of `kind` with tokenized `content` — indexed into the
+    /// keyword index's realtime segment immediately.
+    pub fn add_node(&self, kind: &str, content: &str) -> NodeId {
+        let mut g = self.g.write().expect("graph state poisoned");
+        let id = Arc::make_mut(&mut g).add_node(kind, content);
+        self.publish_generation(&g);
+        id
+    }
+
+    /// Add an undirected edge of weight `w` between existing nodes.
+    pub fn add_edge(&self, u: NodeId, v: NodeId, w: f64) {
+        let mut g = self.g.write().expect("graph state poisoned");
+        Arc::make_mut(&mut g).add_edge(u, v, w);
+        self.publish_generation(&g);
+    }
+
+    /// Seal the keyword index's realtime segment into a compressed sealed
+    /// segment.
+    pub fn commit(&self) -> CommitOutcome {
+        let mut g = self.g.write().expect("graph state poisoned");
+        let segments = Arc::make_mut(&mut g).commit_keyword_index();
+        self.publish_generation(&g);
+        CommitOutcome {
+            generation: g.generation(),
+            segments,
+        }
+    }
+
+    fn publish_generation(&self, g: &DataGraph) {
+        let merges = g.keyword_index_merges();
+        let seen = self.merges_seen.swap(merges, Ordering::Relaxed);
+        if let Some(reg) = &self.registry {
+            let segments = g.keyword_segment_counts();
+            record_generation(
+                reg,
+                "graph",
+                g.generation(),
+                segments.realtime,
+                segments.sealed,
+                merges.saturating_sub(seen),
+            );
+        }
+    }
+
+    /// The BLINKS index for the current query: serve the cached one while
+    /// it is within the staleness bound, else rebuild under the write lock
+    /// (double-checked, so racing queries build once). Returns the index
+    /// and whether it was a cache hit.
+    fn blinks_index(
+        &self,
+        g: &DataGraph,
+        blinks: &Blinks<'_>,
+    ) -> (Arc<kwdb_graph::NodeKeywordIndex>, bool) {
+        let generation = g.generation();
+        let fresh_enough = |built: u64| generation.saturating_sub(built) <= self.staleness_bound;
+        if let Some((built, ix)) = self.index.read().expect("blinks cache poisoned").as_ref() {
+            if fresh_enough(*built) {
+                return (Arc::clone(ix), true);
+            }
+        }
+        let mut slot = self.index.write().expect("blinks cache poisoned");
+        if let Some((built, ix)) = slot.as_ref() {
+            if fresh_enough(*built) {
+                return (Arc::clone(ix), true);
+            }
+        }
+        let ix = Arc::new(blinks.build_full_index());
+        *slot = Some((generation, Arc::clone(&ix)));
+        (ix, false)
     }
 
     /// Execute a [`SearchRequest`] under `req.semantics` (default BANKS).
     pub fn execute(&self, req: &SearchRequest) -> Result<SearchResponse<AnswerTree>> {
-        execute_graph(&self.g, &self.index, req, self.registry.as_deref())
+        // Snapshot the graph handle; the query runs against one generation
+        // even if a mutation lands mid-flight (copy-on-write).
+        let g = self.graph();
+        execute_graph(
+            &g,
+            |blinks| self.blinks_index(&g, blinks),
+            req,
+            self.registry.as_deref(),
+        )
     }
 }
 
@@ -1012,10 +1388,12 @@ impl Engine for GraphEngine {
     }
 }
 
-/// The graph execution pipeline on borrowed data.
+/// The graph execution pipeline on borrowed data. `blinks_index` resolves
+/// the node→keyword index for DistinctRoot queries (the engine's
+/// generation-aware cache) and reports whether it was a cache hit.
 fn execute_graph(
     g: &DataGraph,
-    index: &OnceLock<kwdb_graph::NodeKeywordIndex>,
+    blinks_index: impl Fn(&Blinks<'_>) -> (Arc<kwdb_graph::NodeKeywordIndex>, bool),
     req: &SearchRequest,
     registry: Option<&MetricsRegistry>,
 ) -> Result<SearchResponse<AnswerTree>> {
@@ -1028,11 +1406,14 @@ fn execute_graph(
         GraphSemantics::Banks => "banks",
         GraphSemantics::DistinctRoot => "blinks",
     };
+    let generation = g.generation();
+    let segments = g.keyword_segment_counts();
     let (level, sampled) = effective_trace(registry, "graph", algorithm, req.trace);
     let mut tb = TraceBuilder::new(level, format!("graph/{algorithm} {:?}", req.query));
     let done = |hits, stats, truncation, tb| {
         Ok(finish_response(
-            registry, "graph", algorithm, req, 1, sampled, hits, stats, truncation, tb,
+            registry, "graph", algorithm, req, 1, generation, segments, sampled, hits, stats,
+            truncation, tb,
         ))
     };
 
@@ -1072,8 +1453,7 @@ fn execute_graph(
         GraphSemantics::DistinctRoot => {
             tb.phase("build");
             let blinks = Blinks::new(g);
-            let prebuilt = index.get().is_some();
-            let ix = index.get_or_init(|| blinks.build_full_index());
+            let (ix, prebuilt) = blinks_index(&blinks);
             if prebuilt {
                 stats.cache_hits = 1;
             } else {
@@ -1090,7 +1470,7 @@ fn execute_graph(
             });
             stats.phases.build = sw.lap();
             tb.phase("evaluate");
-            let (r, truncation, work) = blinks.search_budgeted(ix, &keywords, req.k, budget);
+            let (r, truncation, work) = blinks.search_budgeted(&ix, &keywords, req.k, budget);
             stats.operators.sorted_accesses = work.sorted_accesses as u64;
             stats.operators.random_accesses = work.random_accesses as u64;
             tb.event("threshold algorithm", || {
@@ -1195,11 +1575,14 @@ fn execute_xml(
     let mut stats = QueryStats::new();
     let mut sw = Stopwatch::start();
     let budget = &req.budget;
+    // XML trees are immutable here: generation 0, but the segment census
+    // is real (the keyword index is segment-backed like the others).
+    let segments = index.segment_counts();
     let (level, sampled) = effective_trace(registry, "xml", "slca", req.trace);
     let mut tb = TraceBuilder::new(level, format!("xml/slca {:?}", req.query));
     let done = |hits, stats, truncation, tb| {
         Ok(finish_response(
-            registry, "xml", "slca", req, 1, sampled, hits, stats, truncation, tb,
+            registry, "xml", "slca", req, 1, 0, segments, sampled, hits, stats, truncation, tb,
         ))
     };
 
@@ -1380,6 +1763,61 @@ mod tests {
         // second DistinctRoot query reuses the cached index
         let again = run(GraphSemantics::DistinctRoot);
         assert_eq!(again.stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn graph_engine_mutation_invalidates_within_staleness_bound() {
+        let g = kwdb_datasets::graphs::generate_graph(&Default::default());
+        let engine = GraphEngine::new(g); // bound 0: rebuild on any change
+        let run = |q: &str| {
+            engine
+                .execute(
+                    &SearchRequest::new(q)
+                        .k(3)
+                        .semantics(GraphSemantics::DistinctRoot),
+                )
+                .unwrap()
+        };
+        let g0 = engine.generation();
+        run("kw0 kw1");
+        assert_eq!(run("kw0 kw1").stats.cache_hits, 1, "unchanged graph caches");
+
+        let n = engine.add_node("person", "zzznew kw0");
+        let neighbor = NodeId(0);
+        engine.add_edge(n, neighbor, 1.0);
+        assert!(engine.generation() > g0, "mutations bump the generation");
+        let resp = run("zzznew");
+        assert_eq!(
+            resp.stats.cache_misses, 1,
+            "bound 0 rebuilds after mutation"
+        );
+        assert!(!resp.hits.is_empty(), "new node is findable immediately");
+
+        let outcome = engine.commit();
+        assert_eq!(outcome.generation, engine.generation());
+        assert_eq!(outcome.segments.realtime, 0, "commit seals realtime");
+    }
+
+    #[test]
+    fn graph_engine_serves_stale_within_bound() {
+        let g = kwdb_datasets::graphs::generate_graph(&Default::default());
+        let engine = GraphEngine::new(g).with_staleness_bound(1_000);
+        let run = |q: &str| {
+            engine
+                .execute(
+                    &SearchRequest::new(q)
+                        .k(3)
+                        .semantics(GraphSemantics::DistinctRoot),
+                )
+                .unwrap()
+        };
+        run("kw0 kw1"); // builds the BLINKS index at the current generation
+        engine.add_node("person", "zzznew kw0");
+        // Within the bound the engine keeps serving the stale index: cheap,
+        // and the brand-new keyword is simply not visible yet.
+        let resp = run("zzznew");
+        assert_eq!(resp.stats.cache_hits, 1, "stale-but-bounded index reused");
+        assert!(resp.hits.is_empty());
     }
 
     #[test]

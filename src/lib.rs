@@ -56,3 +56,4 @@ pub mod engine;
 pub mod prelude;
 
 pub use common::{KwdbError, Result};
+pub use engine::{CommitOutcome, DeleteKey, Engine, IngestRecord, MutableEngine};

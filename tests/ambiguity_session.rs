@@ -10,7 +10,7 @@ use kwdb::qclean::spell::SpellCorrector;
 use kwdb::qclean::xclean::clean_with_guarantee;
 
 fn corrector(db: &kwdb::relational::Database) -> SpellCorrector {
-    let ix = db.text_index();
+    let ix = db.text_index().expect("index built");
     SpellCorrector::from_vocab(ix.terms().map(|t| (t.to_string(), ix.doc_freq(t) as u64)))
 }
 
@@ -18,7 +18,7 @@ fn corrector(db: &kwdb::relational::Database) -> SpellCorrector {
 fn corrupted_vocabulary_words_are_recovered() {
     let (db, _) = generate_laptops(40, 5);
     let sc = corrector(&db);
-    let ix = db.text_index();
+    let ix = db.text_index().expect("index built");
     let mut recovered = 0;
     let mut total = 0;
     for (i, term) in ix.terms().enumerate().take(30) {
@@ -58,7 +58,7 @@ fn xclean_guarantee_holds_against_the_real_database() {
 #[test]
 fn autocomplete_prefix_query_over_products() {
     let (db, table) = generate_laptops(50, 9);
-    let ix = db.text_index();
+    let ix = db.text_index().expect("index built");
     let trie = Trie::build(ix.terms().map(|t| t.to_string()));
     let mut fwd = ForwardIndex::new();
     for (rid, _) in db.table(table).iter() {

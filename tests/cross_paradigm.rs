@@ -27,7 +27,7 @@ fn cn_results_appear_as_graph_answers() {
     let db = db();
     let query: Vec<String> = vec!["widom".into(), "xml".into()];
     // CN pipeline
-    let ts = TupleSets::build(&db, &query);
+    let ts = TupleSets::build(&db, &query).unwrap();
     if !ts.covers_all_keywords() {
         return; // seed produced no xml+widom pairing — nothing to compare
     }

@@ -118,7 +118,7 @@ fn facet_counts_are_invariant_and_match_naive_recomputation() {
             resp.hits.len() < 100_000,
             "k must exceed the result count for the naive recount to be total"
         );
-        let naive = naive_counts(engine.database(), &resp.hits, all.facet_specs());
+        let naive = naive_counts(&engine.database(), &resp.hits, all.facet_specs());
         assert_eq!(
             resp.facets, naive,
             "engine counts must equal per-hit recomputation"

@@ -20,7 +20,7 @@ fn relational_index_matches_naive_recomputation() {
         n_authors: 60,
         ..Default::default()
     });
-    let ix = db.text_index();
+    let ix = db.text_index().expect("index built");
 
     // Naive reference: term → tuple/column → tf, straight off the tables.
     type Key = (kwdb::relational::TableId, kwdb::relational::RowId, usize);
@@ -72,7 +72,7 @@ fn relational_index_matches_naive_recomputation() {
 #[test]
 fn relational_per_table_slices_match_full_lists() {
     let db = generate_dblp(&DblpConfig::default());
-    let ix = db.text_index();
+    let ix = db.text_index().expect("index built");
     for term in ix.terms().map(str::to_string).collect::<Vec<_>>() {
         let all = ix.postings(&term);
         let tables: std::collections::BTreeSet<_> = all.iter().map(|p| p.tuple.table).collect();
@@ -191,8 +191,8 @@ fn relational_layouts_store_identical_postings_in_less_space() {
         ..Default::default()
     });
     blocks_db.set_posting_layout(Layout::Blocks);
-    let plain = db.text_index();
-    let blocks = blocks_db.text_index();
+    let plain = db.text_index().expect("index built");
+    let blocks = blocks_db.text_index().expect("index built");
     assert_eq!(plain.layout(), Layout::Plain);
     assert_eq!(blocks.layout(), Layout::Blocks);
 
@@ -221,7 +221,7 @@ fn relational_layouts_store_identical_postings_in_less_space() {
 /// The three query top keywords of the generated corpus, by descending
 /// document frequency — guaranteed-non-empty queries with real overlap.
 fn top_terms(db: &kwdb::relational::Database) -> Vec<String> {
-    let ix = db.text_index();
+    let ix = db.text_index().expect("index built");
     let mut terms: Vec<(String, usize)> = ix
         .terms()
         .map(|t| (t.to_string(), ix.doc_freq(t)))
@@ -262,7 +262,14 @@ fn relational_engine_topk_identical_across_layouts_and_workers() {
                     ..Default::default()
                 },
             );
-            assert_eq!(engine.database().text_index().layout(), layout);
+            assert_eq!(
+                engine
+                    .database()
+                    .text_index()
+                    .expect("index built")
+                    .layout(),
+                layout
+            );
             let per_query: Vec<QueryOutcome> = queries
                 .iter()
                 .map(|q| {
@@ -359,7 +366,7 @@ fn index_stats_consistent_across_substrates() {
     let xix = XmlIndex::build(&tree);
     let g = generate_graph(&GraphConfig::default());
     for stats in [
-        db.text_index().index_stats(),
+        db.text_index().expect("index built").index_stats(),
         xix.index_stats(),
         g.keyword_index_stats(),
     ] {
@@ -368,7 +375,12 @@ fn index_stats_consistent_across_substrates() {
         assert!(stats.posting_bytes > 0);
     }
     // batch builds are timed; the graph's incremental index is not
-    assert!(db.text_index().index_stats().build.is_some());
+    assert!(db
+        .text_index()
+        .expect("index built")
+        .index_stats()
+        .build
+        .is_some());
     assert!(xix.index_stats().build.is_some());
     assert!(g.keyword_index_stats().build.is_none());
 }

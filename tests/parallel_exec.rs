@@ -28,7 +28,7 @@ fn dblp() -> Database {
 }
 
 fn setup(db: &Database, keywords: &[&str]) -> (TupleSets, Vec<CandidateNetwork>) {
-    let ts = TupleSets::build(db, keywords);
+    let ts = TupleSets::build(db, keywords).unwrap();
     let oracle = MaskOracle::from_tuplesets(&ts);
     let mut generator = CnGenerator::new(
         db.schema_graph(),

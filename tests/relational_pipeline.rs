@@ -16,7 +16,7 @@ fn setup(
     db: &kwdb::relational::Database,
     keywords: &[String],
 ) -> (TupleSets, Vec<CandidateNetwork>) {
-    let ts = TupleSets::build(db, keywords);
+    let ts = TupleSets::build(db, keywords).unwrap();
     let oracle = MaskOracle::from_tuplesets(&ts);
     let mut generator = CnGenerator::new(
         db.schema_graph(),
