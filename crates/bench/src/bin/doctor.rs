@@ -35,6 +35,7 @@ fn main() {
     let mut dump_path: Option<&str> = None;
     let mut top = 10usize;
     let mut chrome_out: Option<&str> = None;
+    let mut metrics_path: Option<&str> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -46,16 +47,22 @@ fn main() {
                 Some(p) => chrome_out = Some(p),
                 None => usage(),
             },
+            "--metrics" => match it.next() {
+                Some(p) => metrics_path = Some(p),
+                None => usage(),
+            },
             p if !p.starts_with("--") && dump_path.is_none() => dump_path = Some(p),
             _ => usage(),
         }
     }
     let Some(path) = dump_path else { usage() };
-    analyze(path, top, chrome_out);
+    analyze(path, top, chrome_out, metrics_path);
 }
 
 fn usage() -> ! {
-    eprintln!("usage: kwdb-doctor <flight.json> [--top N] [--chrome-out PATH]");
+    eprintln!(
+        "usage: kwdb-doctor <flight.json> [--top N] [--chrome-out PATH] [--metrics SNAPSHOT]"
+    );
     eprintln!("       kwdb-doctor --diff <old-metrics.json> <new-metrics.json>");
     std::process::exit(2);
 }
@@ -89,8 +96,9 @@ fn dominant_phase(r: &QueryRecord) -> (&'static str, Duration) {
     .unwrap_or(("parse", Duration::ZERO))
 }
 
-fn analyze(path: &str, top: usize, chrome_out: Option<&str>) {
+fn analyze(path: &str, top: usize, chrome_out: Option<&str>, metrics_path: Option<&str>) {
     let dump = load_dump(path);
+    let snapshot = metrics_path.map(load_snapshot);
     println!(
         "{path}: {} records (capacity {}, {} dropped)",
         dump.records.len(),
@@ -233,6 +241,74 @@ fn analyze(path: &str, top: usize, chrome_out: Option<&str>) {
         dump.records.iter().filter(|r| r.sampled).count(),
         dump.records.iter().filter(|r| r.slow).count(),
     );
+
+    // Per-engine result-cache census from the dump; with `--metrics` the
+    // eviction count and live entry/byte gauges from the same run's
+    // snapshot fill in the columns the records can't carry.
+    println!("\n== result cache ==");
+    println!(
+        "{:<14}  {:>8}  {:>6}  {:>6}  {:>8}  {:>8}  {:>9}  {:>7}  {:>10}",
+        "engine",
+        "consults",
+        "hits",
+        "misses",
+        "hit-rate",
+        "bypassed",
+        "evictions",
+        "entries",
+        "bytes"
+    );
+    for engine in &engines {
+        let outcome = |k: &str| -> u64 {
+            dump.records
+                .iter()
+                .filter(|r| &r.engine == engine && r.result_cache.as_str() == k)
+                .count() as u64
+        };
+        let (hits, misses, bypassed) = (outcome("hit"), outcome("miss"), outcome("none"));
+        let consults = hits + misses;
+        let rate = if consults > 0 {
+            format!("{:.1}%", 100.0 * hits as f64 / consults as f64)
+        } else {
+            "-".into()
+        };
+        let series = |family: &str, counters: bool| -> Option<i128> {
+            let snap = snapshot.as_ref()?;
+            let matches = |id: &MetricId| {
+                id.name == family
+                    && id
+                        .labels
+                        .iter()
+                        .any(|(k, v)| k == "engine" && v.as_str() == *engine)
+            };
+            Some(if counters {
+                snap.counters
+                    .iter()
+                    .filter(|(id, _)| matches(id))
+                    .map(|(_, v)| *v as i128)
+                    .sum()
+            } else {
+                snap.gauges
+                    .iter()
+                    .filter(|(id, _)| matches(id))
+                    .map(|(_, v)| *v as i128)
+                    .sum()
+            })
+        };
+        let opt = |v: Option<i128>| v.map(|n| n.to_string()).unwrap_or_else(|| "-".into());
+        println!(
+            "{:<14}  {:>8}  {:>6}  {:>6}  {:>8}  {:>8}  {:>9}  {:>7}  {:>10}",
+            engine,
+            consults,
+            hits,
+            misses,
+            rate,
+            bypassed,
+            opt(series(kwdb_obs::families::RESULT_CACHE_EVICTIONS, true)),
+            opt(series(kwdb_obs::families::RESULT_CACHE_ENTRIES, false)),
+            opt(series(kwdb_obs::families::RESULT_CACHE_BYTES, false)),
+        );
+    }
 
     // Chrome export: the slowest record that carries a span tree.
     if let Some(out) = chrome_out {

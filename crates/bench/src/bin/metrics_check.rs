@@ -91,6 +91,13 @@ fn main() {
         families::SEGMENTS,
         families::SEGMENT_MERGES,
         families::INGESTED_TUPLES,
+        families::RESULT_CACHE_HITS,
+        families::RESULT_CACHE_MISSES,
+        families::RESULT_CACHE_EVICTIONS,
+        families::RESULT_CACHE_ENTRIES,
+        families::RESULT_CACHE_BYTES,
+        families::TUPLESET_CACHE_HITS,
+        families::TUPLESET_CACHE_MISSES,
         "kwdb_experiment_latency_ns",
     ];
     let missing: Vec<&str> = required
@@ -143,6 +150,18 @@ fn main() {
             families::CN_EVALUATED,
             families::CN_PRUNED,
             families::CANDIDATES,
+        );
+        std::process::exit(1);
+    }
+
+    // Result-cache sanity: the smoke batch replays its queries, so a
+    // snapshot with no hits (or no misses) means the cache was silently
+    // disabled — or consulted queries stopped being counted.
+    let rc_hits = snapshot.counter_total(families::RESULT_CACHE_HITS);
+    let rc_misses = snapshot.counter_total(families::RESULT_CACHE_MISSES);
+    if rc_hits == 0 || rc_misses == 0 {
+        eprintln!(
+            "{path}: result cache recorded {rc_hits} hits / {rc_misses} misses — the replayed smoke batch must produce both"
         );
         std::process::exit(1);
     }
@@ -320,6 +339,52 @@ fn check_flight(fpath: &str, snapshot: &Snapshot) {
         }
         if failures > 0 {
             eprintln!("{fpath}: dump/registry disagreement ({failures} failures)");
+            std::process::exit(1);
+        }
+
+        // Result-cache accounting: every query that consulted the result
+        // cache sealed a record with a hit-or-miss outcome, and every
+        // bypass (disabled, traced, budget-capped) sealed `none`. With
+        // zero drops the ring holds all of them, so the per-engine outcome
+        // census must equal the counter families exactly.
+        let mut engines: Vec<String> = dump.records.iter().map(|r| r.engine.clone()).collect();
+        engines.sort();
+        engines.dedup();
+        let mut rc_failures = 0u32;
+        for engine in &engines {
+            let outcome_count = |o: kwdb_obs::CacheOutcome| -> u64 {
+                dump.records
+                    .iter()
+                    .filter(|r| &r.engine == engine && r.result_cache == o)
+                    .count() as u64
+            };
+            let counter = |family: &str| -> u64 {
+                snapshot
+                    .counters
+                    .iter()
+                    .filter(|(id, _)| {
+                        id.name == family && label(id, "engine").as_deref() == Some(engine.as_str())
+                    })
+                    .map(|(_, v)| *v)
+                    .sum()
+            };
+            for (family, outcome) in [
+                (families::RESULT_CACHE_HITS, kwdb_obs::CacheOutcome::Hit),
+                (families::RESULT_CACHE_MISSES, kwdb_obs::CacheOutcome::Miss),
+            ] {
+                let recs = outcome_count(outcome);
+                let total = counter(family);
+                if recs != total {
+                    eprintln!(
+                        "{fpath}: {engine}: {recs} records with result_cache={} but {family} = {total}",
+                        outcome.as_str()
+                    );
+                    rc_failures += 1;
+                }
+            }
+        }
+        if rc_failures > 0 {
+            eprintln!("{fpath}: result-cache outcome census disagrees ({rc_failures} failures)");
             std::process::exit(1);
         }
     }

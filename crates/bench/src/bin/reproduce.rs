@@ -188,11 +188,27 @@ fn dispatcher_smoke(registry: &Arc<MetricsRegistry>) {
                 .facet(kwdb::common::FacetSpec::terms("conference.name", 5)),
         ),
     ];
-    let out = Dispatcher::with_workers(catalog, 4)
-        .with_registry(Arc::clone(registry))
-        .execute_concurrent(&batch);
+    let dispatcher = Dispatcher::with_workers(catalog, 4).with_registry(Arc::clone(registry));
+    let out = dispatcher.execute_concurrent(&batch);
     assert!(
         out.responses.iter().all(|r| r.is_ok()),
         "dispatcher smoke batch must succeed"
     );
+    // Replay the same batch serially three times so the snapshot carries
+    // result-cache hits *and* misses for every engine. Under the 1-in-2
+    // sampling policy a promoted query bypasses the cache, but promotion
+    // parity flips between consecutive serial passes (9 queries per pass):
+    // each engine's repeated query consults the cache in the second AND
+    // fourth passes, so whichever of those runs first warms the entry and
+    // the other hits it — regardless of how the concurrent pass
+    // interleaved its ticks. The capped query keeps bypassing, so the
+    // truncation family stays populated, and 36 total records fit the
+    // default flight ring without drops.
+    for _ in 0..3 {
+        let replay = dispatcher.execute_serial(&batch);
+        assert!(
+            replay.responses.iter().all(|r| r.is_ok()),
+            "dispatcher smoke replay must succeed"
+        );
+    }
 }

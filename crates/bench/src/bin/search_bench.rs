@@ -26,9 +26,17 @@
 //! An `engine_recorded` / `engine_bare` row pair additionally measures the
 //! always-on flight recorder's overhead: the full relational engine with a
 //! registry (and its recorder ring) attached vs the same engine bare.
+//!
+//! `engine_topk_cold`/`engine_topk_cached` and `engine_facets_cold`/
+//! `engine_facets_cached` row pairs document the result cache: the cold
+//! rows run a cache-disabled engine, the cached rows a warmed default
+//! engine whose every timed round is asserted to be a hit, with the cached
+//! p50 asserted at least 10x below the cold p50. Compare mode polices the
+//! cold rows only — the microsecond hit path is guarded by that in-run
+//! ratio instead of cross-run timing noise.
 
 use kwdb::engine::{RelationalConfig, RelationalEngine, SearchRequest};
-use kwdb_common::{Budget, FacetSpec, RangeBucket, ScratchPool};
+use kwdb_common::{Budget, CacheConfig, FacetSpec, RangeBucket, ScratchPool};
 use kwdb_datasets::{generate_dblp, DblpConfig};
 use kwdb_obs::registry::Snapshot;
 use kwdb_obs::MetricsRegistry;
@@ -88,6 +96,16 @@ fn compare_snapshots(current: &Snapshot, baseline: &Snapshot) -> usize {
     }
     for (id, base) in &baseline.histograms {
         if id.name != SEARCH_LATENCY || base.count == 0 {
+            continue;
+        }
+        // Cached-row timings are microsecond-scale clone-and-stamp paths,
+        // jitter-dominated on shared runners; the in-run >=10x cold/cached
+        // p50 assertion guards them, so compare mode only polices cold rows.
+        if id
+            .labels
+            .iter()
+            .any(|(k, v)| k == "executor" && v.ends_with("_cached"))
+        {
             continue;
         }
         let Some((_, cur)) = current.histograms.iter().find(|(cid, _)| cid == id) else {
@@ -341,6 +359,95 @@ fn main() -> ExitCode {
             reg.flight().len(),
             reg.flight().capacity(),
         );
+    }
+
+    // Result-cache evidence: the same engine-level workload cold (cache
+    // disabled, every round recomputes) vs cached (default cache, warmed
+    // once, every timed round a hit). Four row pairs per query — plain
+    // top-k and faceted — with the cached p50 asserted at least 10x below
+    // the cold p50: a cache hit is a clone-and-stamp, so anything closer
+    // than an order of magnitude means the hit path started doing work.
+    {
+        let db_cfg = DblpConfig {
+            n_papers: 400,
+            n_authors: 150,
+            ..Default::default()
+        };
+        let cold = RelationalEngine::with_config(
+            generate_dblp(&db_cfg),
+            RelationalConfig {
+                intra_query_workers: 1,
+                result_cache: CacheConfig::disabled(),
+                ..Default::default()
+            },
+        );
+        let cached = RelationalEngine::with_config(
+            generate_dblp(&db_cfg),
+            RelationalConfig {
+                intra_query_workers: 1,
+                ..Default::default()
+            },
+        );
+        println!("\nresult cache (cold vs cached engine rows):");
+        for (row, with_facets) in [("engine_topk", false), ("engine_facets", true)] {
+            for query in queries {
+                let request = || {
+                    let mut req = SearchRequest::new(query).k(K);
+                    if with_facets {
+                        for spec in &facet_specs {
+                            req = req.facet(spec.clone());
+                        }
+                    }
+                    req
+                };
+                let cold_name = format!("{row}_cold");
+                let cold_hist = reg.histogram(
+                    SEARCH_LATENCY,
+                    &[("executor", cold_name.as_str()), ("query", query)],
+                );
+                for _ in 0..ROUNDS {
+                    let start = Instant::now();
+                    let resp = cold.execute(&request()).expect("cold bench query succeeds");
+                    cold_hist.record_duration(start.elapsed());
+                    assert_eq!(
+                        resp.stats.result_cache_hits + resp.stats.result_cache_misses,
+                        0,
+                        "{row}/{query}: disabled cache must never be consulted"
+                    );
+                }
+                let warm = cached.execute(&request()).expect("warming query succeeds");
+                assert_eq!(
+                    warm.stats.result_cache_misses, 1,
+                    "{row}/{query}: first cached-engine run must miss"
+                );
+                let cached_name = format!("{row}_cached");
+                let cached_hist = reg.histogram(
+                    SEARCH_LATENCY,
+                    &[("executor", cached_name.as_str()), ("query", query)],
+                );
+                for _ in 0..ROUNDS {
+                    let start = Instant::now();
+                    let resp = cached
+                        .execute(&request())
+                        .expect("cached bench query succeeds");
+                    cached_hist.record_duration(start.elapsed());
+                    assert_eq!(
+                        resp.stats.result_cache_hits, 1,
+                        "{row}/{query}: warmed run must hit"
+                    );
+                }
+                let (cold_p50, cached_p50) =
+                    (cold_hist.snapshot().p50(), cached_hist.snapshot().p50());
+                println!(
+                    "  {row:<13} {query:<18} cold p50 {cold_p50:>9} ns  cached p50 {cached_p50:>8} ns  ({:.1}x)",
+                    cold_p50 as f64 / cached_p50.max(1) as f64
+                );
+                assert!(
+                    cached_p50.saturating_mul(10) <= cold_p50,
+                    "{row}/{query}: cached p50 {cached_p50}ns not 10x under cold p50 {cold_p50}ns"
+                );
+            }
+        }
     }
 
     println!(

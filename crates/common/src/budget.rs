@@ -232,6 +232,13 @@ pub struct QueryStats {
     pub cache_hits: u64,
     /// Plan-cache misses for this query.
     pub cache_misses: u64,
+    /// Result-cache hits (1 when the whole sealed response came from the
+    /// engine's result cache; all other work counters are then near-zero).
+    pub result_cache_hits: u64,
+    /// Result-cache misses (1 when the result cache was consulted and the
+    /// response had to be computed). Queries that never consult the cache —
+    /// cache disabled, tracing on, constrained budget — report 0/0.
+    pub result_cache_misses: u64,
 }
 
 impl QueryStats {
@@ -276,6 +283,8 @@ impl QueryStats {
             cns_pruned,
             cache_hits,
             cache_misses,
+            result_cache_hits,
+            result_cache_misses,
         } = other;
         self.phases.parse += *parse;
         self.phases.build += *build;
@@ -296,6 +305,8 @@ impl QueryStats {
         self.cns_pruned += cns_pruned;
         self.cache_hits += cache_hits;
         self.cache_misses += cache_misses;
+        self.result_cache_hits += result_cache_hits;
+        self.result_cache_misses += result_cache_misses;
     }
 }
 
@@ -385,6 +396,8 @@ mod tests {
             cns_pruned: 12,
             cache_hits: 9,
             cache_misses: 10,
+            result_cache_hits: 15,
+            result_cache_misses: 16,
         };
         let b = a.clone();
         a.merge(&b);
@@ -399,6 +412,8 @@ mod tests {
         assert_eq!(a.cns_pruned, 24);
         assert_eq!(a.cache_hits, 18);
         assert_eq!(a.cache_misses, 20);
+        assert_eq!(a.result_cache_hits, 30);
+        assert_eq!(a.result_cache_misses, 32);
     }
 
     #[test]
@@ -440,6 +455,8 @@ mod tests {
             cns_pruned: 1,
             cache_hits: 1,
             cache_misses: 1,
+            result_cache_hits: 1,
+            result_cache_misses: 1,
         };
         let mut acc = QueryStats::new();
         acc.merge(&unit);
@@ -471,8 +488,10 @@ mod tests {
                 acc.cns_pruned,
                 acc.cache_hits,
                 acc.cache_misses,
+                acc.result_cache_hits,
+                acc.result_cache_misses,
             ],
-            [1; 14],
+            [1; 16],
             "merge dropped a counter"
         );
     }

@@ -1,0 +1,584 @@
+//! A lock-striped, byte-budgeted sharded LRU cache with a singleflight
+//! layer.
+//!
+//! This is the substrate for both inter-query caches the engines run on:
+//! the per-engine *result cache* (sealed responses keyed by generation +
+//! normalized query shape) and the relational *tupleset cache* (per-term
+//! tuple-key lists keyed by generation + term symbol). Invalidation is by
+//! construction — every key embeds the engine's data generation, so a
+//! mutation makes old entries unreachable and the LRU sweep reclaims them;
+//! nothing ever calls an explicit `invalidate`.
+//!
+//! Design:
+//!
+//! - **Striping.** `shard = hash(key) % stripes`, one `Mutex` per shard, so
+//!   concurrent lookups on different keys rarely contend. Hit/miss/eviction
+//!   counters and the byte/entry totals are process-global atomics read
+//!   without any lock.
+//! - **Byte budget.** Every insert carries the caller's byte estimate for
+//!   the value. When the global total exceeds `max_bytes` (or the entry
+//!   count exceeds `max_entries`), shards are probed cyclically starting at
+//!   the inserting shard and each probed shard evicts its own
+//!   least-recently-used entry until the totals are back under budget — a
+//!   strict global bound with per-shard LRU victim selection. A single
+//!   value larger than the whole byte budget is not stored at all.
+//! - **Singleflight.** [`ShardedCache::get_or_compute`] collapses N
+//!   concurrent misses on one key into a single compute: the first caller
+//!   becomes the *leader* and runs the closure; followers block on a
+//!   condvar. A leader publishes either the cacheable value (followers
+//!   share it and count as hits) or "not cacheable" (followers retry, and
+//!   the first retrier becomes the new leader — a truncated or failed
+//!   compute must never be handed to a caller with a different budget).
+//!
+//! Lock order: a shard mutex and the inflight-table mutex are never held at
+//! the same time as each other across a compute; the compute closure runs
+//! with no cache lock held.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Sizing and enablement knobs for one [`ShardedCache`].
+///
+/// `Copy` so engine configs embedding it stay `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Master switch: a disabled cache never stores and every lookup
+    /// misses (engines skip consulting it entirely).
+    pub enabled: bool,
+    /// Global budget for the sum of the callers' per-value byte estimates.
+    pub max_bytes: usize,
+    /// Global cap on the number of live entries.
+    pub max_entries: usize,
+    /// Number of lock stripes (clamped to at least 1).
+    pub stripes: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            enabled: true,
+            max_bytes: 32 << 20, // 32 MiB
+            max_entries: 4096,
+            stripes: 16,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A switched-off cache: the determinism suites pin this, mirroring
+    /// how they pin `intra_query_workers = 1`.
+    pub fn disabled() -> Self {
+        CacheConfig {
+            enabled: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// Point-in-time counters of one cache, all readable without a lock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub entries: usize,
+    pub bytes: usize,
+}
+
+struct Entry<V> {
+    value: V,
+    bytes: usize,
+    /// Recency stamp: the shard-local tick of the last touch, which is the
+    /// entry's key into the shard's `order` map.
+    tick: u64,
+}
+
+struct Shard<K, V> {
+    map: HashMap<K, Entry<V>>,
+    /// tick → key, ordered oldest-first: the shard's LRU queue.
+    order: std::collections::BTreeMap<u64, K>,
+    tick: u64,
+}
+
+impl<K: Hash + Eq + Clone, V> Shard<K, V> {
+    fn new() -> Self {
+        Shard {
+            map: HashMap::new(),
+            order: std::collections::BTreeMap::new(),
+            tick: 0,
+        }
+    }
+
+    fn touch(&mut self, key: &K) -> Option<&Entry<V>> {
+        let tick = self.tick;
+        self.tick += 1;
+        let entry = self.map.get_mut(key)?;
+        self.order.remove(&entry.tick);
+        entry.tick = tick;
+        self.order.insert(tick, key.clone());
+        Some(self.map.get(key).expect("entry just touched"))
+    }
+
+    /// Evict this shard's LRU entry; returns its byte estimate.
+    fn evict_lru(&mut self) -> Option<usize> {
+        let (&tick, _) = self.order.iter().next()?;
+        let key = self.order.remove(&tick).expect("tick just observed");
+        let entry = self.map.remove(&key).expect("order and map agree");
+        Some(entry.bytes)
+    }
+}
+
+/// A leader/followers rendezvous for one in-flight key: the leader
+/// publishes `Some(value)` (cacheable) or `None` (not cacheable — retry).
+struct Flight<V> {
+    done: Mutex<Option<Option<V>>>,
+    cv: Condvar,
+}
+
+/// Outcome of [`ShardedCache::get_or_compute`].
+pub enum Looked<R, V> {
+    /// This caller ran the compute closure; `R` is whatever it returned.
+    Computed(R),
+    /// The value came out of the cache (or from a concurrent leader's
+    /// compute); counted as a hit.
+    Cached(V),
+}
+
+/// The lock-striped LRU described in the [module docs](self).
+pub struct ShardedCache<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    inflight: Mutex<HashMap<K, Arc<Flight<V>>>>,
+    cfg: CacheConfig,
+    bytes: AtomicUsize,
+    entries: AtomicUsize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
+    pub fn new(cfg: CacheConfig) -> Self {
+        let stripes = cfg.stripes.max(1);
+        ShardedCache {
+            shards: (0..stripes).map(|_| Mutex::new(Shard::new())).collect(),
+            inflight: Mutex::new(HashMap::new()),
+            cfg,
+            bytes: AtomicUsize::new(0),
+            entries: AtomicUsize::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.entries.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shard_of(&self, key: &K) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    /// Plain lookup, counting a hit or miss. Disabled caches always miss
+    /// (without counting — callers are expected not to consult them).
+    pub fn get(&self, key: &K) -> Option<V> {
+        if !self.cfg.enabled {
+            return None;
+        }
+        let shard = &self.shards[self.shard_of(key)];
+        let got = shard
+            .lock()
+            .expect("cache shard poisoned")
+            .touch(key)
+            .map(|e| e.value.clone());
+        match &got {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    /// Insert `value` with the caller's byte estimate, then sweep shards
+    /// until the global budgets hold again. A value alone exceeding the
+    /// whole byte budget is rejected outright.
+    pub fn insert(&self, key: K, value: V, value_bytes: usize) {
+        if !self.cfg.enabled || value_bytes > self.cfg.max_bytes {
+            return;
+        }
+        let home = self.shard_of(&key);
+        {
+            let mut shard = self.shards[home].lock().expect("cache shard poisoned");
+            let tick = shard.tick;
+            shard.tick += 1;
+            if let Some(old) = shard.map.insert(
+                key.clone(),
+                Entry {
+                    value,
+                    bytes: value_bytes,
+                    tick,
+                },
+            ) {
+                shard.order.remove(&old.tick);
+                self.bytes.fetch_sub(old.bytes, Ordering::Relaxed);
+                self.entries.fetch_sub(1, Ordering::Relaxed);
+            }
+            shard.order.insert(tick, key);
+            self.bytes.fetch_add(value_bytes, Ordering::Relaxed);
+            self.entries.fetch_add(1, Ordering::Relaxed);
+        }
+        // Sweep: probe shards cyclically from the inserting one, evicting
+        // each probed shard's LRU, until both global budgets hold. Each
+        // probe drops at most one entry, so the loop terminates once the
+        // cache is empty even under adversarial byte estimates.
+        let mut probe = home;
+        while self.bytes.load(Ordering::Relaxed) > self.cfg.max_bytes
+            || self.entries.load(Ordering::Relaxed) > self.cfg.max_entries
+        {
+            let evicted = self.shards[probe]
+                .lock()
+                .expect("cache shard poisoned")
+                .evict_lru();
+            if let Some(freed) = evicted {
+                self.bytes.fetch_sub(freed, Ordering::Relaxed);
+                self.entries.fetch_sub(1, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            } else if self.entries.load(Ordering::Relaxed) == 0 {
+                break;
+            }
+            probe = (probe + 1) % self.shards.len();
+        }
+    }
+
+    /// Look `key` up; on a miss, collapse concurrent callers into one
+    /// *leader* that runs `compute` while followers wait.
+    ///
+    /// `compute` returns `(result, cacheable)`: the `result` is handed back
+    /// verbatim in [`Looked::Computed`], and `cacheable` is `Some((value,
+    /// bytes))` when the computed value may be shared — it is inserted and
+    /// published to the followers, who receive it as [`Looked::Cached`].
+    /// `None` marks the result non-cacheable (truncated, failed): nothing
+    /// is stored, and each follower retries the lookup from the top, the
+    /// first of them becoming the next leader. Followers count as hits,
+    /// the leader as a miss.
+    ///
+    /// The closure runs with no cache lock held. If it panics, the flight
+    /// is resolved as non-cacheable so followers are never stranded.
+    pub fn get_or_compute<R>(
+        &self,
+        key: K,
+        compute: impl FnOnce() -> (R, Option<(V, usize)>),
+    ) -> Looked<R, V> {
+        if !self.cfg.enabled {
+            let (result, _) = compute();
+            return Looked::Computed(result);
+        }
+        loop {
+            // Cache lookup and flight lookup happen under the inflight
+            // lock, and a leader inserts into the cache *before* removing
+            // its flight — so "no cached value and no flight" can only mean
+            // this caller really is first, never that it raced a leader's
+            // completion. (Lock order inflight → shard; nothing takes them
+            // the other way round.)
+            let flight = {
+                let mut inflight = self.inflight.lock().expect("inflight table poisoned");
+                let cached = self.shards[self.shard_of(&key)]
+                    .lock()
+                    .expect("cache shard poisoned")
+                    .touch(&key)
+                    .map(|e| e.value.clone());
+                if let Some(v) = cached {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Looked::Cached(v);
+                }
+                match inflight.get(&key) {
+                    Some(f) => Some(Arc::clone(f)),
+                    None => {
+                        // Leader-elect: this is the miss that stands.
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        inflight.insert(
+                            key.clone(),
+                            Arc::new(Flight {
+                                done: Mutex::new(None),
+                                cv: Condvar::new(),
+                            }),
+                        );
+                        None
+                    }
+                }
+            };
+            match flight {
+                None => {
+                    // Leader. The guard resolves the flight even if the
+                    // compute panics.
+                    struct Resolve<'a, K: Hash + Eq + Clone, V: Clone> {
+                        cache: &'a ShardedCache<K, V>,
+                        key: K,
+                        outcome: Option<V>,
+                    }
+                    impl<K: Hash + Eq + Clone, V: Clone> Drop for Resolve<'_, K, V> {
+                        fn drop(&mut self) {
+                            let flight = self
+                                .cache
+                                .inflight
+                                .lock()
+                                .expect("inflight table poisoned")
+                                .remove(&self.key);
+                            if let Some(f) = flight {
+                                *f.done.lock().expect("flight poisoned") =
+                                    Some(self.outcome.take());
+                                f.cv.notify_all();
+                            }
+                        }
+                    }
+                    let mut guard = Resolve {
+                        cache: self,
+                        key,
+                        outcome: None,
+                    };
+                    let (result, cacheable) = compute();
+                    if let Some((value, bytes)) = cacheable {
+                        guard.outcome = Some(value.clone());
+                        self.insert(guard.key.clone(), value, bytes);
+                    }
+                    return Looked::Computed(result);
+                }
+                Some(f) => {
+                    let mut done = f.done.lock().expect("flight poisoned");
+                    while done.is_none() {
+                        done = f.cv.wait(done).expect("flight poisoned");
+                    }
+                    match done.as_ref().expect("loop established Some") {
+                        Some(v) => {
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            return Looked::Cached(v.clone());
+                        }
+                        // Leader's result wasn't cacheable: retry; this
+                        // caller may become the next leader.
+                        None => continue,
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(max_bytes: usize, max_entries: usize, stripes: usize) -> ShardedCache<u64, String> {
+        ShardedCache::new(CacheConfig {
+            enabled: true,
+            max_bytes,
+            max_entries,
+            stripes,
+        })
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let c = cache(1024, 16, 4);
+        assert_eq!(c.get(&1), None);
+        c.insert(1, "one".into(), 3);
+        assert_eq!(c.get(&1).as_deref(), Some("one"));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!((s.entries, s.bytes), (1, 3));
+        // replacing a key swaps its bytes, not duplicates them
+        c.insert(1, "uno!".into(), 10);
+        let s = c.stats();
+        assert_eq!((s.entries, s.bytes), (1, 10));
+        assert_eq!(c.get(&1).as_deref(), Some("uno!"));
+    }
+
+    #[test]
+    fn byte_budget_is_a_strict_bound() {
+        // Every insert leaves total bytes ≤ max_bytes, across any number of
+        // shards, and evictions are accounted.
+        let c = cache(100, 1000, 4);
+        for i in 0..50u64 {
+            c.insert(i, format!("v{i}"), 10);
+            let s = c.stats();
+            assert!(s.bytes <= 100, "byte budget violated: {}", s.bytes);
+            assert_eq!(s.bytes, s.entries * 10);
+        }
+        let s = c.stats();
+        assert_eq!(s.entries, 10);
+        assert_eq!(s.evictions, 40);
+    }
+
+    #[test]
+    fn entry_budget_is_a_strict_bound() {
+        let c = cache(usize::MAX, 5, 2);
+        for i in 0..20u64 {
+            c.insert(i, "x".into(), 1);
+            assert!(c.stats().entries <= 5);
+        }
+        assert_eq!(c.stats().evictions, 15);
+    }
+
+    #[test]
+    fn eviction_prefers_least_recently_used() {
+        // One stripe makes the LRU order global and deterministic.
+        let c = cache(30, 1000, 1);
+        c.insert(1, "a".into(), 10);
+        c.insert(2, "b".into(), 10);
+        c.insert(3, "c".into(), 10);
+        assert_eq!(c.get(&1).as_deref(), Some("a")); // refresh 1
+        c.insert(4, "d".into(), 10); // evicts 2, the LRU
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1).as_deref(), Some("a"));
+        assert_eq!(c.get(&3).as_deref(), Some("c"));
+        assert_eq!(c.get(&4).as_deref(), Some("d"));
+    }
+
+    #[test]
+    fn oversized_value_is_not_stored() {
+        let c = cache(100, 16, 2);
+        c.insert(1, "small".into(), 10);
+        c.insert(2, "huge".into(), 101);
+        assert_eq!(c.get(&2), None);
+        // and it didn't evict the resident entry to make room
+        assert_eq!(c.get(&1).as_deref(), Some("small"));
+        assert_eq!(c.stats().entries, 1);
+    }
+
+    #[test]
+    fn disabled_cache_never_stores_and_always_computes() {
+        let c: ShardedCache<u64, String> = ShardedCache::new(CacheConfig::disabled());
+        c.insert(1, "x".into(), 1);
+        assert_eq!(c.get(&1), None);
+        let mut ran = false;
+        match c.get_or_compute(1, || {
+            ran = true;
+            (7u32, Some(("x".to_string(), 1)))
+        }) {
+            Looked::Computed(r) => assert_eq!(r, 7),
+            Looked::Cached(_) => panic!("disabled cache returned a value"),
+        }
+        assert!(ran);
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn singleflight_computes_once_under_contention() {
+        use std::sync::atomic::AtomicU32;
+        let c = Arc::new(cache(1024, 16, 4));
+        let computes = AtomicU32::new(0);
+        let barrier = std::sync::Barrier::new(8);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                let computes = &computes;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    let v = match c.get_or_compute(42, || {
+                        computes.fetch_add(1, Ordering::Relaxed);
+                        // widen the race window so followers really queue
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        ("val".to_string(), Some(("val".to_string(), 3)))
+                    }) {
+                        Looked::Computed(v) => v,
+                        Looked::Cached(v) => v,
+                    };
+                    assert_eq!(v, "val");
+                });
+            }
+        });
+        assert_eq!(computes.load(Ordering::Relaxed), 1, "exactly one compute");
+        let s = c.stats();
+        assert_eq!(s.misses, 1, "only the leader missed");
+        assert_eq!(s.hits, 7, "every follower shared the leader's result");
+    }
+
+    #[test]
+    fn non_cacheable_compute_is_retried_not_shared() {
+        let c = Arc::new(cache(1024, 16, 4));
+        let barrier = std::sync::Barrier::new(4);
+        let computes = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                let computes = &computes;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    match c.get_or_compute(7, || {
+                        computes.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                        ("truncated".to_string(), None)
+                    }) {
+                        Looked::Computed(v) => assert_eq!(v, "truncated"),
+                        Looked::Cached(_) => panic!("non-cacheable value was shared"),
+                    }
+                });
+            }
+        });
+        // every thread computed for itself (leaders in sequence)
+        assert_eq!(computes.load(Ordering::Relaxed), 4);
+        assert_eq!(c.get(&7), None, "nothing was stored");
+    }
+
+    #[test]
+    fn panicking_leader_does_not_strand_followers() {
+        let c = Arc::new(cache(1024, 16, 4));
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let leader = {
+            let c = Arc::clone(&c);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    c.get_or_compute(9, || {
+                        barrier.wait();
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        panic!("compute exploded");
+                        #[allow(unreachable_code)]
+                        ((), Some(("x".to_string(), 1)))
+                    })
+                }));
+            })
+        };
+        barrier.wait(); // the leader is inside its compute now
+        let got = c.get_or_compute(9, || ("recovered".to_string(), None));
+        match got {
+            Looked::Computed(v) => assert_eq!(v, "recovered"),
+            Looked::Cached(_) => panic!("panicked flight published a value"),
+        }
+        leader.join().unwrap();
+    }
+
+    #[test]
+    fn generation_in_the_key_invalidates_without_any_call() {
+        // The pattern every engine uses: (generation, term) keys. Bumping
+        // the generation makes old entries unreachable; LRU reclaims them.
+        let c: ShardedCache<(u64, u32), String> = ShardedCache::new(CacheConfig {
+            enabled: true,
+            max_bytes: 40,
+            max_entries: 4,
+            stripes: 2,
+        });
+        c.insert((0, 1), "gen0".into(), 10);
+        assert_eq!(c.get(&(0, 1)).as_deref(), Some("gen0"));
+        // generation bump: same term, new key — a miss, no invalidation API
+        assert_eq!(c.get(&(1, 1)), None);
+        for t in 0..4u32 {
+            c.insert((1, t), "gen1".into(), 10);
+        }
+        assert_eq!(c.get(&(0, 1)), None, "stale entry swept by LRU");
+    }
+}

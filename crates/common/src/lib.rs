@@ -10,6 +10,7 @@
 //! inverted index is built on.
 
 pub mod budget;
+pub mod cache;
 pub mod error;
 pub mod facet;
 pub mod index;
@@ -23,6 +24,7 @@ pub mod topk;
 pub mod value;
 
 pub use budget::{Budget, OperatorCounts, PhaseTimings, QueryStats, Stopwatch, TruncationReason};
+pub use cache::{CacheConfig, CacheStats, Looked, ShardedCache};
 pub use error::{KwdbError, Result};
 pub use facet::{FacetCount, FacetCounts, FacetSpec, RangeBucket};
 pub use rng::Rng;

@@ -44,13 +44,19 @@ pub const DEFAULT_CAPACITY: usize = 512;
 /// Number of mutex stripes guarding the ring's slots.
 const STRIPES: usize = 8;
 
-/// The plan-cache outcome of one query, folded from its `QueryStats`.
+/// A cache outcome of one query, folded from its `QueryStats`. Used for
+/// both of a record's cache verdicts: the CN plan cache
+/// ([`QueryRecord::cache`]) and the generation-keyed result cache
+/// ([`QueryRecord::result_cache`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheOutcome {
     Hit,
     Miss,
-    /// The query never consulted a plan cache (graph/XML engines, empty
-    /// queries).
+    /// The query never consulted this cache. For the plan cache that means
+    /// an engine without one (graph/XML) or an empty query; for the result
+    /// cache — every engine has one — it means the consult conditions
+    /// didn't hold: cache disabled, tracing on, empty query, or a
+    /// constrained budget.
     None,
 }
 
@@ -104,7 +110,10 @@ pub struct QueryRecord {
     /// Per-phase durations from the query's `QueryStats`.
     pub phases: PhaseTimings,
     pub truncation: Option<TruncationReason>,
+    /// CN plan-cache outcome.
     pub cache: CacheOutcome,
+    /// Result-cache outcome (the whole sealed response, generation-keyed).
+    pub result_cache: CacheOutcome,
     /// Whether the trace was policy-promoted rather than caller-requested.
     pub sampled: bool,
     /// Whether the query met the slow threshold at seal time.
@@ -134,13 +143,17 @@ impl QueryRecord {
         sampled: bool,
         trace: Option<QueryTrace>,
     ) -> Self {
-        let cache = if stats.cache_hits > 0 {
-            CacheOutcome::Hit
-        } else if stats.cache_misses > 0 {
-            CacheOutcome::Miss
-        } else {
-            CacheOutcome::None
+        let fold = |hits: u64, misses: u64| {
+            if hits > 0 {
+                CacheOutcome::Hit
+            } else if misses > 0 {
+                CacheOutcome::Miss
+            } else {
+                CacheOutcome::None
+            }
         };
+        let cache = fold(stats.cache_hits, stats.cache_misses);
+        let result_cache = fold(stats.result_cache_hits, stats.result_cache_misses);
         QueryRecord {
             seq: 0,
             engine: engine.to_string(),
@@ -151,6 +164,7 @@ impl QueryRecord {
             phases: stats.phases,
             truncation,
             cache,
+            result_cache,
             sampled,
             slow: false,
             generation: 0,
@@ -394,6 +408,10 @@ impl FlightDump {
                         },
                     ),
                     ("cache".into(), Json::Str(r.cache.as_str().to_string())),
+                    (
+                        "result_cache".into(),
+                        Json::Str(r.result_cache.as_str().to_string()),
+                    ),
                     ("sampled".into(), Json::Bool(r.sampled)),
                     ("slow".into(), Json::Bool(r.slow)),
                     ("generation".into(), Json::Int(r.generation as i128)),
@@ -484,6 +502,15 @@ impl FlightDump {
                 truncation,
                 cache: CacheOutcome::parse(&text(r.get("cache"), "cache")?)
                     .ok_or_else(|| bad("unknown \"cache\" outcome"))?,
+                // Defaults to None so pre-result-cache dumps still parse.
+                result_cache: match r.get("result_cache") {
+                    Some(v) => CacheOutcome::parse(
+                        v.as_str()
+                            .ok_or_else(|| bad("non-string \"result_cache\""))?,
+                    )
+                    .ok_or_else(|| bad("unknown \"result_cache\" outcome"))?,
+                    None => CacheOutcome::None,
+                },
                 sampled: matches!(r.get("sampled"), Some(Json::Bool(true))),
                 slow: matches!(r.get("slow"), Some(Json::Bool(true))),
                 // Generation fields default to 0 so pre-generational dumps
@@ -620,6 +647,42 @@ mod tests {
             None,
         );
         assert_eq!(r2.cache, CacheOutcome::None);
+        assert_eq!(r2.result_cache, CacheOutcome::None);
+
+        // The two outcomes are independent: a result-cache hit leaves the
+        // plan cache unconsulted, and vice versa.
+        let mut stats = QueryStats::new();
+        stats.result_cache_hits = 1;
+        let hit = QueryRecord::new("relational", "spark", "q", 1, 1, &stats, None, false, None);
+        assert_eq!(hit.cache, CacheOutcome::None);
+        assert_eq!(hit.result_cache, CacheOutcome::Hit);
+        let mut stats = QueryStats::new();
+        stats.cache_misses = 1;
+        stats.result_cache_misses = 1;
+        let miss = QueryRecord::new("relational", "spark", "q", 1, 1, &stats, None, false, None);
+        assert_eq!(miss.cache, CacheOutcome::Miss);
+        assert_eq!(miss.result_cache, CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn old_dumps_without_result_cache_still_parse() {
+        // A dump serialized before the result cache existed: the field is
+        // absent and must default to None, not fail the parse.
+        let rec = FlightRecorder::with_capacity(2);
+        rec.append(record("relational", 10));
+        let json = rec.dump().to_json();
+        let legacy = json.replace(",\"result_cache\":\"none\"", "");
+        assert!(
+            !legacy.contains("result_cache"),
+            "the test must actually strip the field"
+        );
+        let back = FlightDump::from_json(&legacy).unwrap();
+        assert_eq!(back.records[0].result_cache, CacheOutcome::None);
+        assert_eq!(back.records[0].cache, CacheOutcome::Hit);
+
+        // An unknown value is still a parse error, not a silent default.
+        let bad = json.replace("\"result_cache\":\"none\"", "\"result_cache\":\"bogus\"");
+        assert!(FlightDump::from_json(&bad).is_err());
     }
 
     #[test]

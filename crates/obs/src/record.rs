@@ -97,6 +97,25 @@ pub mod families {
     /// Counter: tuples ingested through the incremental path (label
     /// `engine`).
     pub const INGESTED_TUPLES: &str = "kwdb_ingested_tuples_total";
+    /// Counter: result-cache hits — queries answered entirely from the
+    /// generation-keyed result cache (label `engine`).
+    pub const RESULT_CACHE_HITS: &str = "kwdb_result_cache_hits_total";
+    /// Counter: result-cache misses — queries that consulted the result
+    /// cache and had to compute (label `engine`).
+    pub const RESULT_CACHE_MISSES: &str = "kwdb_result_cache_misses_total";
+    /// Counter: result-cache entries evicted by the byte/entry budget
+    /// (label `engine`).
+    pub const RESULT_CACHE_EVICTIONS: &str = "kwdb_result_cache_evictions_total";
+    /// Gauge: live result-cache entries (label `engine`).
+    pub const RESULT_CACHE_ENTRIES: &str = "kwdb_result_cache_entries";
+    /// Gauge: estimated bytes held by the result cache (label `engine`).
+    pub const RESULT_CACHE_BYTES: &str = "kwdb_result_cache_bytes";
+    /// Counter: relational tupleset-cache hits — per-term tuple-set
+    /// materializations reused across queries (label `engine`).
+    pub const TUPLESET_CACHE_HITS: &str = "kwdb_tupleset_cache_hits_total";
+    /// Counter: relational tupleset-cache misses — terms whose tuple sets
+    /// had to be scanned from postings (label `engine`).
+    pub const TUPLESET_CACHE_MISSES: &str = "kwdb_tupleset_cache_misses_total";
 
     /// The `# HELP` text for a family, used by the Prometheus exporter.
     /// Every stable family above has an entry; `None` for foreign names
@@ -136,6 +155,13 @@ pub mod families {
             SEGMENTS => "Index segments by lifecycle state (label state).",
             SEGMENT_MERGES => "Segment merges: commit-cap folds plus explicit compactions.",
             INGESTED_TUPLES => "Tuples ingested through the incremental path.",
+            RESULT_CACHE_HITS => "Queries answered entirely from the result cache.",
+            RESULT_CACHE_MISSES => "Queries that consulted the result cache and computed.",
+            RESULT_CACHE_EVICTIONS => "Result-cache entries evicted by the byte/entry budget.",
+            RESULT_CACHE_ENTRIES => "Live result-cache entries.",
+            RESULT_CACHE_BYTES => "Estimated bytes held by the result cache.",
+            TUPLESET_CACHE_HITS => "Per-term tuple sets reused from the tupleset cache.",
+            TUPLESET_CACHE_MISSES => "Terms whose tuple sets were scanned from postings.",
             _ => return None,
         })
     }
@@ -207,6 +233,13 @@ pub fn record_query(
         )
         .add(n);
     }
+    // Result-cache consults, same zero-registration pattern: both families
+    // exist in every snapshot that recorded a query, so `metrics_check` can
+    // require them before the first hit ever lands.
+    reg.counter(families::RESULT_CACHE_HITS, &[("engine", engine)])
+        .add(stats.result_cache_hits);
+    reg.counter(families::RESULT_CACHE_MISSES, &[("engine", engine)])
+        .add(stats.result_cache_misses);
     if let Some(reason) = truncation {
         reg.counter(
             families::TRUNCATED,

@@ -174,14 +174,34 @@ impl Database {
 
     /// Seal the index's realtime segment into an immutable compressed
     /// segment (see [`kwdb_common::index::SegmentedIndex::commit`]).
+    ///
+    /// Sealing restructures the physical index, so on a fresh index it
+    /// counts as a generation event like any other mutation: anything
+    /// keyed on the generation (plan cache, result cache, tuple-set
+    /// cache) recomputes over the sealed layout rather than serving a
+    /// response built against the pre-seal segments.
     pub fn commit_index(&mut self) -> SegmentCounts {
+        self.bump_sealed_generation();
         self.text_index.commit()
     }
 
     /// Fully compact the index: one sealed segment, tombstones purged,
     /// exact stats (see [`kwdb_common::index::SegmentedIndex::merge`]).
+    /// A generation event, like [`commit_index`](Self::commit_index).
     pub fn merge_index(&mut self) -> SegmentCounts {
+        self.bump_sealed_generation();
         self.text_index.merge()
+    }
+
+    /// Generation bump for seal/compact operations. Only meaningful when
+    /// the index is fresh — a stale database stays stale (the gap between
+    /// `generation` and `indexed_generation` is preserved) so sealing can
+    /// never mask a missing rebuild.
+    fn bump_sealed_generation(&mut self) {
+        if self.is_index_fresh() {
+            self.generation += 1;
+            self.indexed_generation = Some(self.generation);
+        }
     }
 
     pub fn table_id(&self, name: &str) -> Result<TableId> {

@@ -7,9 +7,16 @@
 //! tuples matches exactly one CN).
 
 use kwdb_common::index::kernels;
-use kwdb_common::Result;
+use kwdb_common::{Result, ShardedCache};
 use kwdb_relational::{Database, RowId, TableId};
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The relational engine's per-term tuple-set cache: materialized sorted
+/// `(table << 32 | row)` key lists, keyed by `(generation, term symbol)`.
+/// The generation in the key is the whole invalidation story — a commit
+/// bumps it, stale entries stop matching, and the LRU sweep reclaims them.
+pub type TermCache = ShardedCache<(u64, u32), Arc<Vec<u64>>>;
 
 /// One non-empty tuple set `R^K`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,6 +88,95 @@ impl TupleSets {
             matched,
             n_keywords: keywords.len(),
         })
+    }
+
+    /// [`TupleSets::build`] through the per-term cache: each keyword's
+    /// sorted tuple-key list is fetched from `cache` (keyed by the
+    /// database's current generation and the term's symbol) or materialized
+    /// from its postings and stored; the exact-subset partition is then a
+    /// k-way merge over the per-term lists. Returns the tuple sets plus
+    /// this query's (hit, miss) counts against the cache.
+    ///
+    /// Equivalent to `build` for any index state — proven by the cache
+    /// parity tests — because a list materialized at generation `g` can
+    /// only be observed while the index is still at `g`.
+    pub fn build_cached<S: AsRef<str>>(
+        db: &Database,
+        keywords: &[S],
+        cache: &TermCache,
+    ) -> Result<(Self, u64, u64)> {
+        assert!(keywords.len() <= 32, "at most 32 keywords");
+        let ix = db.text_index()?;
+        let generation = db.generation();
+        let (mut hits, mut misses) = (0u64, 0u64);
+        let mut lists: Vec<Arc<Vec<u64>>> = Vec::with_capacity(keywords.len());
+        let mut bit_of = Vec::with_capacity(keywords.len());
+        for (i, kw) in keywords.iter().enumerate() {
+            let Some(sym) = ix.sym(kw.as_ref()) else {
+                continue;
+            };
+            let key = (generation, sym.0);
+            let list = match cache.get(&key) {
+                Some(list) => {
+                    hits += 1;
+                    list
+                }
+                None => {
+                    misses += 1;
+                    let mut keys = Vec::new();
+                    let mut cursors = vec![ix.postings_sym(sym).cursor()];
+                    kernels::for_each_union_key(&mut cursors, |k, _| keys.push(k));
+                    let list = Arc::new(keys);
+                    cache.insert(key, Arc::clone(&list), list.len() * 8 + 48);
+                    list
+                }
+            };
+            lists.push(list);
+            bit_of.push(i as u32);
+        }
+        // K-way merge over the sorted per-term lists — the same ascending
+        // (key, mask) stream the cursor-union kernel produces in `build`.
+        let mut sets: HashMap<(TableId, u32), TupleSet> = HashMap::new();
+        let mut matched: HashMap<TableId, Vec<RowId>> = HashMap::new();
+        let mut idx = vec![0usize; lists.len()];
+        loop {
+            let mut min = u64::MAX;
+            for (i, list) in lists.iter().enumerate() {
+                if idx[i] < list.len() {
+                    min = min.min(list[idx[i]]);
+                }
+            }
+            if min == u64::MAX {
+                break;
+            }
+            let mut mask = 0u32;
+            for (i, list) in lists.iter().enumerate() {
+                if idx[i] < list.len() && list[idx[i]] == min {
+                    mask |= 1 << bit_of[i];
+                    idx[i] += 1;
+                }
+            }
+            let table = TableId((min >> 32) as u32);
+            let row = RowId(min as u32);
+            sets.entry((table, mask))
+                .or_insert_with(|| TupleSet {
+                    table,
+                    mask,
+                    rows: Vec::new(),
+                })
+                .rows
+                .push(row);
+            matched.entry(table).or_default().push(row);
+        }
+        Ok((
+            TupleSets {
+                sets,
+                matched,
+                n_keywords: keywords.len(),
+            },
+            hits,
+            misses,
+        ))
     }
 
     pub fn n_keywords(&self) -> usize {
@@ -248,6 +344,57 @@ mod tests {
         assert!(ts.is_empty());
         assert_eq!(ts.full_mask(), 0);
         assert!(ts.covers_all_keywords());
+    }
+
+    fn assert_same_partition(db: &Database, a: &TupleSets, b: &TupleSets) {
+        assert_eq!(a.n_keywords(), b.n_keywords());
+        assert_eq!(a.covers_all_keywords(), b.covers_all_keywords());
+        for table in ["conference", "author", "paper", "write"] {
+            let t = db.table_id(table).unwrap();
+            assert_eq!(a.masks_for(t), b.masks_for(t), "masks for {table}");
+            for mask in a.masks_for(t) {
+                assert_eq!(
+                    a.get(t, mask).unwrap().rows,
+                    b.get(t, mask).unwrap().rows,
+                    "rows for {table} mask {mask:b}"
+                );
+            }
+            assert_eq!(a.free_rows(db, t), b.free_rows(db, t), "free rows {table}");
+        }
+    }
+
+    #[test]
+    fn cached_build_matches_uncached_and_hits_on_repeat() {
+        let db = db();
+        let cache = TermCache::new(kwdb_common::CacheConfig::default());
+        let plain = TupleSets::build(&db, &["widom", "xml"]).unwrap();
+        let (cached, hits, misses) =
+            TupleSets::build_cached(&db, &["widom", "xml"], &cache).unwrap();
+        assert_eq!((hits, misses), (0, 2));
+        assert_same_partition(&db, &plain, &cached);
+        let (again, hits, misses) =
+            TupleSets::build_cached(&db, &["widom", "xml"], &cache).unwrap();
+        assert_eq!((hits, misses), (2, 0));
+        assert_same_partition(&db, &plain, &again);
+        // A query with an unknown term never touches the cache for it.
+        let (_, hits, misses) =
+            TupleSets::build_cached(&db, &["widom", "nonexistent"], &cache).unwrap();
+        assert_eq!((hits, misses), (1, 0));
+    }
+
+    #[test]
+    fn generation_bump_invalidates_cached_terms() {
+        let mut db = db();
+        let cache = TermCache::new(kwdb_common::CacheConfig::default());
+        let (_, _, misses) = TupleSets::build_cached(&db, &["xml"], &cache).unwrap();
+        assert_eq!(misses, 1);
+        db.insert("paper", vec![12.into(), "XML twig joins".into(), 1.into()])
+            .unwrap();
+        db.build_text_index();
+        let (fresh, hits, misses) = TupleSets::build_cached(&db, &["xml"], &cache).unwrap();
+        assert_eq!((hits, misses), (0, 1), "new generation must re-materialize");
+        let plain = TupleSets::build(&db, &["xml"]).unwrap();
+        assert_same_partition(&db, &plain, &fresh);
     }
 
     use kwdb_relational::RowId;

@@ -57,8 +57,8 @@
 use kwdb_common::index::{Layout, SegmentCounts};
 use kwdb_common::text::parse_query;
 use kwdb_common::{
-    Budget, FacetCounts, FacetSpec, QueryStats, Result, ScratchPool, Stopwatch, TruncationReason,
-    Value,
+    Budget, CacheConfig, FacetCounts, FacetSpec, Looked, QueryStats, Result, ScratchPool,
+    ShardedCache, Stopwatch, TruncationReason, Value,
 };
 use kwdb_explore::summary::{object_summary, render_summary};
 use kwdb_graph::{DataGraph, NodeId};
@@ -76,6 +76,7 @@ use kwdb_relsearch::facets::{resolve_facets, resolve_refinements, FacetAccum, Fa
 use kwdb_relsearch::pexec::{parallel_topk_faceted, EvalScratch};
 use kwdb_relsearch::spark::skyline_sweep_budgeted;
 use kwdb_relsearch::topk::{global_pipeline_faceted, CnExecOutcome, TopKQuery};
+use kwdb_relsearch::tupleset::TermCache;
 use kwdb_relsearch::{corpus_stats, Refinement, ResultScorer, TupleSets};
 use kwdb_xml::{XmlIndex, XmlTree};
 use std::collections::HashMap;
@@ -108,6 +109,7 @@ pub struct SearchRequest {
     facets: Vec<FacetSpec>,
     refinements: Vec<Refinement>,
     summaries: usize,
+    use_cache: bool,
 }
 
 impl SearchRequest {
@@ -125,6 +127,7 @@ impl SearchRequest {
             facets: Vec::new(),
             refinements: Vec::new(),
             summaries: 0,
+            use_cache: true,
         }
     }
 
@@ -219,6 +222,20 @@ impl SearchRequest {
     /// The requested per-hit summary size (`0` = summaries off).
     pub fn summary_size(&self) -> usize {
         self.summaries
+    }
+
+    /// Opt this one request in or out of the engines' result caches
+    /// (default `true`). A request with caching off neither reads nor
+    /// writes the cache — its stats report `result_cache` 0/0, exactly
+    /// like a query against an engine whose cache is disabled.
+    pub fn caching(mut self, on: bool) -> Self {
+        self.use_cache = on;
+        self
+    }
+
+    /// Whether this request participates in the engines' result caches.
+    pub fn caching_enabled(&self) -> bool {
+        self.use_cache
     }
 }
 
@@ -349,6 +366,137 @@ fn effective_trace(
         Some(reg) => reg.sample_trace_level(engine, algorithm, requested),
         None => (requested, false),
     }
+}
+
+/// Key of one result-cache entry. The **generation** component makes
+/// mutation the only invalidation protocol: a successful
+/// ingest/delete/commit bumps the engine's generation, stale entries stop
+/// matching, and the byte-budgeted LRU ages them out. `terms` is the
+/// normalized keyword **multiset** (sorted, duplicates kept) *after* query
+/// cleaning, so `"query data"`, `"data query"`, and a misspelling the
+/// cleaner maps onto the same terms all share one entry. Facet specs and
+/// refinements are canonicalized through their `Debug` rendering — they
+/// are plain data enums, so the rendering is total and injective enough
+/// for a cache key.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct ResultKey {
+    generation: u64,
+    terms: Vec<String>,
+    algorithm: &'static str,
+    k: usize,
+    layout: Layout,
+    facets: String,
+    refinements: String,
+    summaries: usize,
+}
+
+impl ResultKey {
+    fn new(
+        generation: u64,
+        keywords: &[String],
+        algorithm: &'static str,
+        layout: Layout,
+        req: &SearchRequest,
+    ) -> Self {
+        let mut terms = keywords.to_vec();
+        terms.sort();
+        ResultKey {
+            generation,
+            terms,
+            algorithm,
+            k: req.k,
+            layout,
+            facets: format!("{:?}", req.facets),
+            refinements: format!("{:?}", req.refinements),
+            summaries: req.summaries,
+        }
+    }
+}
+
+/// The cached portion of a sealed [`SearchResponse`]: the ranked hits and
+/// the facet verdict. Stats, truncation, and trace are *per-execution*
+/// observations and are never cached — a hit re-stamps fresh
+/// [`QueryStats`] (near-zero phase timings, `result_cache_hits = 1`).
+/// Only untruncated responses are stored, so `truncation` needs no slot.
+struct CachedSearch<H> {
+    hits: Vec<H>,
+    facets: Vec<FacetCounts>,
+    facets_exact: bool,
+}
+
+/// One engine's result cache: the sharded singleflight LRU plus the
+/// eviction high-water already published to the registry (so the eviction
+/// counter advances by exact deltas under concurrent queries).
+struct ResultCache<H> {
+    cache: ShardedCache<ResultKey, Arc<CachedSearch<H>>>,
+    evictions_seen: AtomicU64,
+}
+
+impl<H> ResultCache<H> {
+    fn new(cfg: CacheConfig) -> Self {
+        ResultCache {
+            cache: ShardedCache::new(cfg),
+            evictions_seen: AtomicU64::new(0),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.cache.config().enabled
+    }
+
+    /// Whether this request may be answered from (and written to) the
+    /// cache. Traced or trace-sampled queries bypass — a cached response
+    /// carries no trace, and serving one would silently drop the
+    /// observability the caller (or the sampling policy) asked for.
+    /// Budget-constrained queries bypass too: a deadline or candidate cap
+    /// makes the response a property of *this* execution's race against
+    /// the clock, not of the data, and a capped request must not be handed
+    /// a complete answer some uncapped twin computed.
+    fn admits(&self, req: &SearchRequest, level: TraceLevel) -> bool {
+        self.enabled() && req.use_cache && level == TraceLevel::Off && req.budget.is_unlimited()
+    }
+
+    /// Push the entries/bytes gauges and the eviction-counter delta after
+    /// a consult.
+    fn publish(&self, registry: Option<&MetricsRegistry>, engine: &'static str) {
+        let Some(reg) = registry else { return };
+        let stats = self.cache.stats();
+        let labels = [("engine", engine)];
+        reg.gauge(families::RESULT_CACHE_ENTRIES, &labels)
+            .set(stats.entries as i64);
+        reg.gauge(families::RESULT_CACHE_BYTES, &labels)
+            .set(stats.bytes as i64);
+        let seen = self.evictions_seen.swap(stats.evictions, Ordering::Relaxed);
+        reg.counter(families::RESULT_CACHE_EVICTIONS, &labels)
+            .add(stats.evictions.saturating_sub(seen));
+    }
+}
+
+/// Approximate heap footprint of a cached response, for the cache's byte
+/// budget. Estimates lean high-side: over-counting shrinks the effective
+/// cache, under-counting would overrun the budget.
+fn cached_bytes<H>(hits: &[H], per_hit: impl Fn(&H) -> usize, facets: &[FacetCounts]) -> usize {
+    let hit_bytes: usize = hits.iter().map(per_hit).sum();
+    let facet_bytes: usize = facets
+        .iter()
+        .map(|f| f.values.iter().map(|v| v.value.len() + 24).sum::<usize>() + 48)
+        .sum();
+    hit_bytes + facet_bytes + 96
+}
+
+fn relational_hit_bytes(h: &RelationalHit) -> usize {
+    h.rendered.len()
+        + h.summary.iter().map(|s| s.len() + 24).sum::<usize>()
+        + h.tuples.len() * 8
+        + 64
+}
+
+fn graph_hit_bytes(t: &AnswerTree) -> usize {
+    t.edges.len() * 8 + t.matches.len() * 4 + 48
+}
+
+fn xml_hit_bytes(h: &XmlHit) -> usize {
+    h.label_path.len() + 40
 }
 
 /// A hit from *some* engine: the erased result type of [`Engine::execute`].
@@ -515,6 +663,13 @@ pub struct RelationalConfig {
     /// full-text column values. Default `false`: unknown keywords simply
     /// match nothing, as before.
     pub clean_queries: bool,
+    /// The engine's generation-keyed query caches: one [`CacheConfig`]
+    /// sizes both the **result cache** (whole sealed responses, keyed by
+    /// generation + normalized terms + algorithm/k/layout/facets) and the
+    /// **tuple-set term cache** (per-term sorted tuple-key lists). Enabled
+    /// by default; pass [`CacheConfig::disabled`] for fully deterministic
+    /// per-query counters (benchmarks, determinism suites).
+    pub result_cache: CacheConfig,
 }
 
 impl Default for RelationalConfig {
@@ -527,6 +682,7 @@ impl Default for RelationalConfig {
             intra_query_workers: 0,
             posting_layout: Layout::Plain,
             clean_queries: false,
+            result_cache: CacheConfig::default(),
         }
     }
 }
@@ -570,6 +726,13 @@ pub struct RelationalEngine {
     /// Cumulative segment merges already published to the registry, so the
     /// merge counter advances by exact deltas.
     merges_seen: AtomicU64,
+    /// Generation-keyed whole-response cache with singleflight: repeat
+    /// queries skip build/plan/evaluate entirely, and N threads racing on
+    /// a cold key compute once.
+    result_cache: ResultCache<RelationalHit>,
+    /// Generation-keyed per-term tuple-set cache: materialized sorted
+    /// tuple-key lists shared across queries that mention the same term.
+    tupleset_cache: TermCache,
 }
 
 impl RelationalEngine {
@@ -601,6 +764,8 @@ impl RelationalEngine {
             scratch: ScratchPool::new(),
             clean: OnceLock::new(),
             merges_seen: AtomicU64::new(merges_seen),
+            result_cache: ResultCache::new(cfg.result_cache),
+            tupleset_cache: TermCache::new(cfg.result_cache),
         }
     }
 
@@ -873,164 +1038,237 @@ impl RelationalEngine {
                 exact,
             ));
         }
-        tb.phase("build");
-        let ts = TupleSets::build(&st.db, &keywords)?;
-        stats.phases.build = sw.lap();
-        if !ts.covers_all_keywords() {
-            tb.event("tuple sets", || {
-                vec![("covers_all_keywords".into(), "false".into())]
-            });
-            return Ok(seal(
-                done(Vec::new(), stats, None, tb)?,
-                zero_counts(),
-                true,
-            ));
-        }
-        if let Some(reason) = budget.truncation() {
-            let exact = facets.is_empty();
-            return Ok(seal(
-                done(Vec::new(), stats, Some(reason), tb)?,
-                zero_counts(),
-                exact,
-            ));
-        }
-        tb.phase("plan");
-        let cns = self.plan(&st.db, &keywords, &ts, &mut stats, &mut tb);
-        stats.phases.plan = sw.lap();
-        stats.candidates_generated = cns.len() as u64;
-
-        tb.phase("evaluate");
-        // Per-query scorer over the incrementally maintained corpus stats:
-        // two Arc clones, no corpus rescan.
-        let scorer = ResultScorer::from_stats(Arc::clone(&st.db), Arc::clone(&st.corpus));
-        let q = TopKQuery {
-            db: &st.db,
-            ts: &ts,
-            cns: &cns,
-            scorer: &scorer,
-            keywords: &keywords,
-        };
-        let exec = ExecStats::new();
-        let mut accum = FacetAccum::new(facets.len());
-        let CnExecOutcome {
-            results: ranked,
-            truncation,
-            cns_evaluated,
-            cns_pruned,
-        } = match scoring {
-            Scoring::Monotone if workers > 1 => {
-                let (outcome, worker_accum) =
-                    parallel_topk_faceted(&q, req.k, &exec, budget, workers, &self.scratch, &freq);
-                accum = worker_accum;
-                outcome
-            }
-            Scoring::Monotone => {
-                global_pipeline_faceted(&q, req.k, &exec, budget, &freq, &mut accum)
-            }
-            Scoring::Spark => {
-                // Skyline-Sweep has no CN-level accounting (0/0) and no
-                // exhaustive mode: refinements filter the returned hits
-                // post-hoc and facet counts cover only what came back
-                // (`facets_exact` stays false for faceted SPARK queries).
-                let (results, truncation) = skyline_sweep_budgeted(&q, req.k, &exec, budget);
-                let results: Vec<_> = results
-                    .into_iter()
-                    .filter(|r| freq.passes(&st.db, &r.result))
-                    .collect();
-                for r in &results {
-                    accum.observe(&st.db, &facets, &r.result);
+        // Everything below — tuple sets, planning, evaluation, facet
+        // finalization — is the cacheable unit: `run` computes one full
+        // sealed response from the query context it is handed. The
+        // non-caching path calls it directly; the caching path runs it as
+        // the singleflight leader's compute.
+        let run = |mut stats: QueryStats, mut sw: Stopwatch, mut tb: TraceBuilder| {
+            tb.phase("build");
+            let ts = if self.cfg.result_cache.enabled {
+                let (ts, ts_hits, ts_misses) =
+                    TupleSets::build_cached(&st.db, &keywords, &self.tupleset_cache)?;
+                if let Some(reg) = reg {
+                    let labels = [("engine", "relational")];
+                    reg.counter(families::TUPLESET_CACHE_HITS, &labels)
+                        .add(ts_hits);
+                    reg.counter(families::TUPLESET_CACHE_MISSES, &labels)
+                        .add(ts_misses);
                 }
-                CnExecOutcome {
-                    results,
-                    truncation,
-                    cns_evaluated: 0,
-                    cns_pruned: 0,
-                }
+                ts
+            } else {
+                TupleSets::build(&st.db, &keywords)?
+            };
+            stats.phases.build = sw.lap();
+            if !ts.covers_all_keywords() {
+                tb.event("tuple sets", || {
+                    vec![("covers_all_keywords".into(), "false".into())]
+                });
+                return Ok(seal(
+                    done(Vec::new(), stats, None, tb)?,
+                    zero_counts(),
+                    true,
+                ));
             }
-        };
-        stats.phases.evaluate = sw.lap();
-        let snap = exec.snapshot();
-        stats.operators.tuples_scanned = snap.tuples_scanned;
-        stats.operators.join_probes = snap.join_probes;
-        stats.operators.joins_executed = snap.joins_executed;
-        stats.operators.rows_output = snap.rows_output;
-        stats.operators.join_probe_rows = snap.probe_rows;
-        stats.operators.blocks_skipped = snap.blocks_skipped;
-        stats.cns_evaluated = cns_evaluated;
-        stats.cns_pruned = cns_pruned;
-        stats.candidates_pruned = stats.candidates_generated.saturating_sub(
-            ranked
-                .iter()
-                .map(|r| r.cn_index)
-                .collect::<std::collections::HashSet<_>>()
-                .len() as u64,
-        );
-        tb.event("operators", || {
-            vec![
-                ("tuples_scanned".into(), snap.tuples_scanned.to_string()),
-                ("join_probes".into(), snap.join_probes.to_string()),
-                ("rows_output".into(), snap.rows_output.to_string()),
-            ]
-        });
-        tb.event("budget verdict", || {
-            vec![(
-                "truncated".into(),
-                truncation.map_or("no".into(), |r| r.to_string()),
-            )]
-        });
+            if let Some(reason) = budget.truncation() {
+                let exact = facets.is_empty();
+                return Ok(seal(
+                    done(Vec::new(), stats, Some(reason), tb)?,
+                    zero_counts(),
+                    exact,
+                ));
+            }
+            tb.phase("plan");
+            let cns = self.plan(&st.db, &keywords, &ts, &mut stats, &mut tb);
+            stats.phases.plan = sw.lap();
+            stats.candidates_generated = cns.len() as u64;
 
-        // Facet finalization + per-hit summaries. Counts are exact when the
-        // executor ran in exhaustive mode to completion: every CN evaluated
-        // fully, so the accumulated multiset is the full result multiset
-        // regardless of worker count or posting layout.
-        tb.phase("facets");
-        let facets_exact =
-            facets.is_empty() || (matches!(scoring, Scoring::Monotone) && truncation.is_none());
-        let facet_counts = accum.finish(&facets);
-        let hits: Vec<RelationalHit> = ranked
-            .into_iter()
-            .map(|r| RelationalHit {
-                score: r.score,
-                rendered: r
-                    .result
-                    .tuples
+            tb.phase("evaluate");
+            // Per-query scorer over the incrementally maintained corpus stats:
+            // two Arc clones, no corpus rescan.
+            let scorer = ResultScorer::from_stats(Arc::clone(&st.db), Arc::clone(&st.corpus));
+            let q = TopKQuery {
+                db: &st.db,
+                ts: &ts,
+                cns: &cns,
+                scorer: &scorer,
+                keywords: &keywords,
+            };
+            let exec = ExecStats::new();
+            let mut accum = FacetAccum::new(facets.len());
+            let CnExecOutcome {
+                results: ranked,
+                truncation,
+                cns_evaluated,
+                cns_pruned,
+            } = match scoring {
+                Scoring::Monotone if workers > 1 => {
+                    let (outcome, worker_accum) = parallel_topk_faceted(
+                        &q,
+                        req.k,
+                        &exec,
+                        budget,
+                        workers,
+                        &self.scratch,
+                        &freq,
+                    );
+                    accum = worker_accum;
+                    outcome
+                }
+                Scoring::Monotone => {
+                    global_pipeline_faceted(&q, req.k, &exec, budget, &freq, &mut accum)
+                }
+                Scoring::Spark => {
+                    // Skyline-Sweep has no CN-level accounting (0/0) and no
+                    // exhaustive mode: refinements filter the returned hits
+                    // post-hoc and facet counts cover only what came back
+                    // (`facets_exact` stays false for faceted SPARK queries).
+                    let (results, truncation) = skyline_sweep_budgeted(&q, req.k, &exec, budget);
+                    let results: Vec<_> = results
+                        .into_iter()
+                        .filter(|r| freq.passes(&st.db, &r.result))
+                        .collect();
+                    for r in &results {
+                        accum.observe(&st.db, &facets, &r.result);
+                    }
+                    CnExecOutcome {
+                        results,
+                        truncation,
+                        cns_evaluated: 0,
+                        cns_pruned: 0,
+                    }
+                }
+            };
+            stats.phases.evaluate = sw.lap();
+            let snap = exec.snapshot();
+            stats.operators.tuples_scanned = snap.tuples_scanned;
+            stats.operators.join_probes = snap.join_probes;
+            stats.operators.joins_executed = snap.joins_executed;
+            stats.operators.rows_output = snap.rows_output;
+            stats.operators.join_probe_rows = snap.probe_rows;
+            stats.operators.blocks_skipped = snap.blocks_skipped;
+            stats.cns_evaluated = cns_evaluated;
+            stats.cns_pruned = cns_pruned;
+            stats.candidates_pruned = stats.candidates_generated.saturating_sub(
+                ranked
                     .iter()
-                    .map(|&t| st.db.format_tuple(t))
-                    .collect::<Vec<_>>()
-                    .join(" ⋈ "),
-                summary: if req.summaries == 0 {
-                    Vec::new()
-                } else {
-                    render_summary(
-                        &st.db,
-                        &object_summary(&st.db, &r.result.tuples, req.summaries),
-                    )
-                },
-                tuples: r.result.tuples,
-            })
-            .collect();
-        if !facets.is_empty() {
-            tb.event("facets", || {
+                    .map(|r| r.cn_index)
+                    .collect::<std::collections::HashSet<_>>()
+                    .len() as u64,
+            );
+            tb.event("operators", || {
                 vec![
-                    ("requested".into(), facets.len().to_string()),
-                    (
-                        "values".into(),
-                        facet_counts
-                            .iter()
-                            .map(|f| f.values.len())
-                            .sum::<usize>()
-                            .to_string(),
-                    ),
-                    ("exact".into(), facets_exact.to_string()),
+                    ("tuples_scanned".into(), snap.tuples_scanned.to_string()),
+                    ("join_probes".into(), snap.join_probes.to_string()),
+                    ("rows_output".into(), snap.rows_output.to_string()),
                 ]
             });
+            tb.event("budget verdict", || {
+                vec![(
+                    "truncated".into(),
+                    truncation.map_or("no".into(), |r| r.to_string()),
+                )]
+            });
+
+            // Facet finalization + per-hit summaries. Counts are exact when the
+            // executor ran in exhaustive mode to completion: every CN evaluated
+            // fully, so the accumulated multiset is the full result multiset
+            // regardless of worker count or posting layout.
+            tb.phase("facets");
+            let facets_exact =
+                facets.is_empty() || (matches!(scoring, Scoring::Monotone) && truncation.is_none());
+            let facet_counts = accum.finish(&facets);
+            let hits: Vec<RelationalHit> = ranked
+                .into_iter()
+                .map(|r| RelationalHit {
+                    score: r.score,
+                    rendered: r
+                        .result
+                        .tuples
+                        .iter()
+                        .map(|&t| st.db.format_tuple(t))
+                        .collect::<Vec<_>>()
+                        .join(" ⋈ "),
+                    summary: if req.summaries == 0 {
+                        Vec::new()
+                    } else {
+                        render_summary(
+                            &st.db,
+                            &object_summary(&st.db, &r.result.tuples, req.summaries),
+                        )
+                    },
+                    tuples: r.result.tuples,
+                })
+                .collect();
+            if !facets.is_empty() {
+                tb.event("facets", || {
+                    vec![
+                        ("requested".into(), facets.len().to_string()),
+                        (
+                            "values".into(),
+                            facet_counts
+                                .iter()
+                                .map(|f| f.values.len())
+                                .sum::<usize>()
+                                .to_string(),
+                        ),
+                        ("exact".into(), facets_exact.to_string()),
+                    ]
+                });
+            }
+            stats.phases.facets = sw.lap();
+            Ok(seal(
+                done(hits, stats, truncation, tb)?,
+                facet_counts,
+                facets_exact,
+            ))
+        };
+
+        if !self.result_cache.admits(req, level) {
+            return run(stats, sw, tb);
         }
-        stats.phases.facets = sw.lap();
-        Ok(seal(
-            done(hits, stats, truncation, tb)?,
-            facet_counts,
-            facets_exact,
-        ))
+        let key = ResultKey::new(
+            generation,
+            &keywords,
+            algorithm,
+            self.cfg.posting_layout,
+            req,
+        );
+        // The pre-consult context (parse timing already folded in) travels
+        // into whichever arm actually seals the response: the singleflight
+        // leader's compute, or the hit path below.
+        let mut ctx = Some((stats, sw, tb));
+        let outcome = self.result_cache.cache.get_or_compute(key, || {
+            let (mut stats, sw, tb) = ctx.take().expect("leader owns the query context");
+            stats.result_cache_misses = 1;
+            let result = run(stats, sw, tb);
+            let store = match &result {
+                // Only complete answers enter the cache; `admits` already
+                // keeps constrained budgets out, so truncation here is
+                // impossible — this is a belt-and-braces guard.
+                Ok(resp) if resp.truncation.is_none() => Some((
+                    Arc::new(CachedSearch {
+                        hits: resp.hits.clone(),
+                        facets: resp.facets.clone(),
+                        facets_exact: resp.facets_exact,
+                    }),
+                    cached_bytes(&resp.hits, relational_hit_bytes, &resp.facets),
+                )),
+                _ => None,
+            };
+            (result, store)
+        });
+        let resp = match outcome {
+            Looked::Computed(result) => result,
+            Looked::Cached(v) => {
+                let (mut stats, _sw, tb) = ctx.take().expect("a hit leaves the context untouched");
+                stats.result_cache_hits = 1;
+                done(v.hits.clone(), stats, None, tb)
+                    .map(|r| seal(r, v.facets.clone(), v.facets_exact))
+            }
+        };
+        self.result_cache.publish(reg, "relational");
+        resp
     }
 
     /// Generate (or fetch from the plan cache) the candidate networks for
@@ -1227,6 +1465,9 @@ pub struct GraphEngine {
     registry: Option<Arc<MetricsRegistry>>,
     /// Cumulative keyword-index merges already published to the registry.
     merges_seen: AtomicU64,
+    /// Generation-keyed whole-response cache (see
+    /// [`RelationalConfig::result_cache`] for the shared semantics).
+    result_cache: ResultCache<AnswerTree>,
 }
 
 impl GraphEngine {
@@ -1241,7 +1482,16 @@ impl GraphEngine {
             staleness_bound: 0,
             registry: None,
             merges_seen: AtomicU64::new(merges_seen),
+            result_cache: ResultCache::new(CacheConfig::default()),
         }
+    }
+
+    /// Reconfigure (or disable, via [`CacheConfig::disabled`]) the
+    /// generation-keyed result cache. On by default; any existing cached
+    /// entries are dropped.
+    pub fn with_result_cache(mut self, cfg: CacheConfig) -> Self {
+        self.result_cache = ResultCache::new(cfg);
+        self
     }
 
     /// Re-encode the graph's keyword→nodes index into `layout` — identical
@@ -1378,6 +1628,7 @@ impl GraphEngine {
             |blinks| self.blinks_index(&g, blinks),
             req,
             self.registry.as_deref(),
+            &self.result_cache,
         )
     }
 }
@@ -1390,12 +1641,14 @@ impl Engine for GraphEngine {
 
 /// The graph execution pipeline on borrowed data. `blinks_index` resolves
 /// the node→keyword index for DistinctRoot queries (the engine's
-/// generation-aware cache) and reports whether it was a cache hit.
+/// generation-aware cache) and reports whether it was a cache hit;
+/// `result_cache` is the engine's generation-keyed response cache.
 fn execute_graph(
     g: &DataGraph,
     blinks_index: impl Fn(&Blinks<'_>) -> (Arc<kwdb_graph::NodeKeywordIndex>, bool),
     req: &SearchRequest,
     registry: Option<&MetricsRegistry>,
+    result_cache: &ResultCache<AnswerTree>,
 ) -> Result<SearchResponse<AnswerTree>> {
     let mut stats = QueryStats::new();
     let mut sw = Stopwatch::start();
@@ -1429,68 +1682,105 @@ fn execute_graph(
         });
         return done(Vec::new(), stats, Some(reason), tb);
     }
-    let (hits, truncation) = match semantics {
-        GraphSemantics::SteinerExact => {
-            tb.phase("evaluate");
-            let dpbf = Dpbf::new(g);
-            let (r, truncation, work) = dpbf.search_budgeted(&keywords, req.k, budget);
-            stats.operators.tuples_scanned = work.states_popped as u64;
-            tb.event("expansion", || {
-                vec![("states_popped".into(), work.states_popped.to_string())]
-            });
-            (r, truncation)
-        }
-        GraphSemantics::Banks => {
-            tb.phase("evaluate");
-            let banks = BanksI::new(g);
-            let (r, truncation, work) = banks.search_budgeted(&keywords, req.k, budget);
-            stats.operators.tuples_scanned = work.nodes_expanded as u64;
-            tb.event("expansion", || {
-                vec![("nodes_expanded".into(), work.nodes_expanded.to_string())]
-            });
-            (r, truncation)
-        }
-        GraphSemantics::DistinctRoot => {
-            tb.phase("build");
-            let blinks = Blinks::new(g);
-            let (ix, prebuilt) = blinks_index(&blinks);
-            if prebuilt {
-                stats.cache_hits = 1;
-            } else {
-                stats.cache_misses = 1;
-                if let Some(reg) = registry {
-                    record_index_stats(reg, "graph_node2kw", &ix.index_stats());
-                }
+    let run = |mut stats: QueryStats, mut sw: Stopwatch, mut tb: TraceBuilder| {
+        let (hits, truncation) = match semantics {
+            GraphSemantics::SteinerExact => {
+                tb.phase("evaluate");
+                let dpbf = Dpbf::new(g);
+                let (r, truncation, work) = dpbf.search_budgeted(&keywords, req.k, budget);
+                stats.operators.tuples_scanned = work.states_popped as u64;
+                tb.event("expansion", || {
+                    vec![("states_popped".into(), work.states_popped.to_string())]
+                });
+                (r, truncation)
             }
-            tb.event("node-keyword index", || {
-                vec![(
-                    "outcome".into(),
-                    if prebuilt { "hit" } else { "miss" }.into(),
-                )]
-            });
-            stats.phases.build = sw.lap();
-            tb.phase("evaluate");
-            let (r, truncation, work) = blinks.search_budgeted(&ix, &keywords, req.k, budget);
-            stats.operators.sorted_accesses = work.sorted_accesses as u64;
-            stats.operators.random_accesses = work.random_accesses as u64;
-            tb.event("threshold algorithm", || {
-                vec![
-                    ("sorted_accesses".into(), work.sorted_accesses.to_string()),
-                    ("random_accesses".into(), work.random_accesses.to_string()),
-                ]
-            });
-            (r, truncation)
+            GraphSemantics::Banks => {
+                tb.phase("evaluate");
+                let banks = BanksI::new(g);
+                let (r, truncation, work) = banks.search_budgeted(&keywords, req.k, budget);
+                stats.operators.tuples_scanned = work.nodes_expanded as u64;
+                tb.event("expansion", || {
+                    vec![("nodes_expanded".into(), work.nodes_expanded.to_string())]
+                });
+                (r, truncation)
+            }
+            GraphSemantics::DistinctRoot => {
+                tb.phase("build");
+                let blinks = Blinks::new(g);
+                let (ix, prebuilt) = blinks_index(&blinks);
+                if prebuilt {
+                    stats.cache_hits = 1;
+                } else {
+                    stats.cache_misses = 1;
+                    if let Some(reg) = registry {
+                        record_index_stats(reg, "graph_node2kw", &ix.index_stats());
+                    }
+                }
+                tb.event("node-keyword index", || {
+                    vec![(
+                        "outcome".into(),
+                        if prebuilt { "hit" } else { "miss" }.into(),
+                    )]
+                });
+                stats.phases.build = sw.lap();
+                tb.phase("evaluate");
+                let (r, truncation, work) = blinks.search_budgeted(&ix, &keywords, req.k, budget);
+                stats.operators.sorted_accesses = work.sorted_accesses as u64;
+                stats.operators.random_accesses = work.random_accesses as u64;
+                tb.event("threshold algorithm", || {
+                    vec![
+                        ("sorted_accesses".into(), work.sorted_accesses.to_string()),
+                        ("random_accesses".into(), work.random_accesses.to_string()),
+                    ]
+                });
+                (r, truncation)
+            }
+        };
+        stats.phases.evaluate = sw.lap();
+        stats.candidates_generated = hits.len() as u64;
+        tb.event("budget verdict", || {
+            vec![(
+                "truncated".into(),
+                truncation.map_or("no".into(), |r| r.to_string()),
+            )]
+        });
+        done(hits, stats, truncation, tb)
+    };
+
+    if !result_cache.admits(req, level) {
+        return run(stats, sw, tb);
+    }
+    // The graph keyword index's layout is fixed at engine construction and
+    // the cache is per-engine, so the key's layout slot is a constant here.
+    let key = ResultKey::new(generation, &keywords, algorithm, Layout::Plain, req);
+    let mut ctx = Some((stats, sw, tb));
+    let outcome = result_cache.cache.get_or_compute(key, || {
+        let (mut stats, sw, tb) = ctx.take().expect("leader owns the query context");
+        stats.result_cache_misses = 1;
+        let result = run(stats, sw, tb);
+        let store = match &result {
+            Ok(resp) if resp.truncation.is_none() => Some((
+                Arc::new(CachedSearch {
+                    hits: resp.hits.clone(),
+                    facets: Vec::new(),
+                    facets_exact: true,
+                }),
+                cached_bytes(&resp.hits, graph_hit_bytes, &[]),
+            )),
+            _ => None,
+        };
+        (result, store)
+    });
+    let resp = match outcome {
+        Looked::Computed(result) => result,
+        Looked::Cached(v) => {
+            let (mut stats, _sw, tb) = ctx.take().expect("a hit leaves the context untouched");
+            stats.result_cache_hits = 1;
+            done(v.hits.clone(), stats, None, tb)
         }
     };
-    stats.phases.evaluate = sw.lap();
-    stats.candidates_generated = hits.len() as u64;
-    tb.event("budget verdict", || {
-        vec![(
-            "truncated".into(),
-            truncation.map_or("no".into(), |r| r.to_string()),
-        )]
-    });
-    done(hits, stats, truncation, tb)
+    result_cache.publish(registry, "graph");
+    resp
 }
 
 /// A ranked XML hit: a result subtree root.
@@ -1509,6 +1799,10 @@ pub struct XmlHit {
 pub struct XmlEngine {
     data: Arc<(XmlTree, XmlIndex)>,
     registry: Option<Arc<MetricsRegistry>>,
+    /// Whole-response cache (see [`RelationalConfig::result_cache`] for
+    /// the shared semantics). The tree is immutable, so entries only ever
+    /// age out through the LRU budget — generation is pinned to 0.
+    result_cache: ResultCache<XmlHit>,
 }
 
 impl XmlEngine {
@@ -1537,7 +1831,15 @@ impl XmlEngine {
         XmlEngine {
             data,
             registry: None,
+            result_cache: ResultCache::new(CacheConfig::default()),
         }
+    }
+
+    /// Reconfigure (or disable, via [`CacheConfig::disabled`]) the result
+    /// cache. On by default; any existing cached entries are dropped.
+    pub fn with_result_cache(mut self, cfg: CacheConfig) -> Self {
+        self.result_cache = ResultCache::new(cfg);
+        self
     }
 
     /// Record every query into `registry`, and publish the XML keyword
@@ -1555,7 +1857,13 @@ impl XmlEngine {
 
     /// Execute a [`SearchRequest`]: budgeted SLCA + proximity ranking.
     pub fn execute(&self, req: &SearchRequest) -> Result<SearchResponse<XmlHit>> {
-        execute_xml(&self.data.0, &self.data.1, req, self.registry.as_deref())
+        execute_xml(
+            &self.data.0,
+            &self.data.1,
+            req,
+            self.registry.as_deref(),
+            &self.result_cache,
+        )
     }
 }
 
@@ -1571,6 +1879,7 @@ fn execute_xml(
     index: &XmlIndex,
     req: &SearchRequest,
     registry: Option<&MetricsRegistry>,
+    result_cache: &ResultCache<XmlHit>,
 ) -> Result<SearchResponse<XmlHit>> {
     let mut stats = QueryStats::new();
     let mut sw = Stopwatch::start();
@@ -1598,72 +1907,108 @@ fn execute_xml(
         });
         return done(Vec::new(), stats, Some(reason), tb);
     }
-    tb.phase("build");
-    let (roots, slca_stats, mut truncation) =
-        kwdb_xmlsearch::slca_indexed_budgeted(tree, index, &keywords, budget)?;
-    stats.phases.build = sw.lap();
-    stats.operators.sorted_accesses = slca_stats.anchors as u64;
-    stats.operators.random_accesses = slca_stats.probes as u64;
-    stats.candidates_generated = roots.len() as u64;
-    tb.event("slca", || {
-        vec![
-            ("roots".into(), roots.len().to_string()),
-            ("anchors".into(), slca_stats.anchors.to_string()),
-            ("probes".into(), slca_stats.probes.to_string()),
-        ]
-    });
-
-    tb.phase("evaluate");
-    let sizes = tree.subtree_sizes();
-    let avg_depth = tree.avg_leaf_depth();
-    // one dictionary lookup per keyword; scoring below probes these views
-    let kw_lists: Vec<_> = keywords.iter().map(|kw| index.nodes(kw)).collect();
-    let mut hits: Vec<XmlHit> = Vec::with_capacity(roots.len());
-    for r in roots {
-        if !hits.is_empty() {
-            if let Some(reason) = budget.truncation_at(hits.len() as u64) {
-                truncation = Some(reason);
-                break;
-            }
-        }
-        // root→match path (node ids) for each keyword's first match
-        // inside the result subtree
-        let end = kwdb_xml::NodeId(r.0 + sizes[r.0 as usize]);
-        let paths: Vec<Vec<u64>> = kw_lists
-            .iter()
-            .filter_map(|list| {
-                let m = list.right_match(r).filter(|&m| m < end)?;
-                let mut path = vec![m.0 as u64];
-                let mut cur = m;
-                while cur != r {
-                    cur = tree.parent(cur).expect("r is an ancestor");
-                    path.push(cur.0 as u64);
-                }
-                path.reverse();
-                Some(path)
-            })
-            .collect();
-        hits.push(XmlHit {
-            score: kwdb_rank::proximity::proximity_score(&paths, avg_depth),
-            label_path: tree.label_path(r),
-            root: r,
+    let run = |mut stats: QueryStats, mut sw: Stopwatch, mut tb: TraceBuilder| {
+        tb.phase("build");
+        let (roots, slca_stats, mut truncation) =
+            kwdb_xmlsearch::slca_indexed_budgeted(tree, index, &keywords, budget)?;
+        stats.phases.build = sw.lap();
+        stats.operators.sorted_accesses = slca_stats.anchors as u64;
+        stats.operators.random_accesses = slca_stats.probes as u64;
+        stats.candidates_generated = roots.len() as u64;
+        tb.event("slca", || {
+            vec![
+                ("roots".into(), roots.len().to_string()),
+                ("anchors".into(), slca_stats.anchors.to_string()),
+                ("probes".into(), slca_stats.probes.to_string()),
+            ]
         });
+
+        tb.phase("evaluate");
+        let sizes = tree.subtree_sizes();
+        let avg_depth = tree.avg_leaf_depth();
+        // one dictionary lookup per keyword; scoring below probes these views
+        let kw_lists: Vec<_> = keywords.iter().map(|kw| index.nodes(kw)).collect();
+        let mut hits: Vec<XmlHit> = Vec::with_capacity(roots.len());
+        for r in roots {
+            if !hits.is_empty() {
+                if let Some(reason) = budget.truncation_at(hits.len() as u64) {
+                    truncation = Some(reason);
+                    break;
+                }
+            }
+            // root→match path (node ids) for each keyword's first match
+            // inside the result subtree
+            let end = kwdb_xml::NodeId(r.0 + sizes[r.0 as usize]);
+            let paths: Vec<Vec<u64>> = kw_lists
+                .iter()
+                .filter_map(|list| {
+                    let m = list.right_match(r).filter(|&m| m < end)?;
+                    let mut path = vec![m.0 as u64];
+                    let mut cur = m;
+                    while cur != r {
+                        cur = tree.parent(cur).expect("r is an ancestor");
+                        path.push(cur.0 as u64);
+                    }
+                    path.reverse();
+                    Some(path)
+                })
+                .collect();
+            hits.push(XmlHit {
+                score: kwdb_rank::proximity::proximity_score(&paths, avg_depth),
+                label_path: tree.label_path(r),
+                root: r,
+            });
+        }
+        // total_cmp: a NaN proximity score must sort deterministically (last),
+        // not panic the engine.
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.root.cmp(&b.root)));
+        stats.candidates_pruned = stats
+            .candidates_generated
+            .saturating_sub(hits.len().min(req.k) as u64);
+        hits.truncate(req.k);
+        stats.phases.evaluate = sw.lap();
+        tb.event("budget verdict", || {
+            vec![(
+                "truncated".into(),
+                truncation.map_or("no".into(), |r| r.to_string()),
+            )]
+        });
+        done(hits, stats, truncation, tb)
+    };
+
+    if !result_cache.admits(req, level) {
+        return run(stats, sw, tb);
     }
-    // total_cmp: a NaN proximity score must sort deterministically (last),
-    // not panic the engine.
-    hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.root.cmp(&b.root)));
-    stats.candidates_pruned = stats
-        .candidates_generated
-        .saturating_sub(hits.len().min(req.k) as u64);
-    hits.truncate(req.k);
-    stats.phases.evaluate = sw.lap();
-    tb.event("budget verdict", || {
-        vec![(
-            "truncated".into(),
-            truncation.map_or("no".into(), |r| r.to_string()),
-        )]
+    // Immutable tree → generation 0; the index layout is fixed per engine.
+    let key = ResultKey::new(0, &keywords, "slca", Layout::Plain, req);
+    let mut ctx = Some((stats, sw, tb));
+    let outcome = result_cache.cache.get_or_compute(key, || {
+        let (mut stats, sw, tb) = ctx.take().expect("leader owns the query context");
+        stats.result_cache_misses = 1;
+        let result = run(stats, sw, tb);
+        let store = match &result {
+            Ok(resp) if resp.truncation.is_none() => Some((
+                Arc::new(CachedSearch {
+                    hits: resp.hits.clone(),
+                    facets: Vec::new(),
+                    facets_exact: true,
+                }),
+                cached_bytes(&resp.hits, xml_hit_bytes, &[]),
+            )),
+            _ => None,
+        };
+        (result, store)
     });
-    done(hits, stats, truncation, tb)
+    let resp = match outcome {
+        Looked::Computed(result) => result,
+        Looked::Cached(v) => {
+            let (mut stats, _sw, tb) = ctx.take().expect("a hit leaves the context untouched");
+            stats.result_cache_hits = 1;
+            done(v.hits.clone(), stats, None, tb)
+        }
+    };
+    result_cache.publish(registry, "xml");
+    resp
 }
 
 #[cfg(test)]
@@ -1727,7 +2072,15 @@ mod tests {
             n_authors: 30,
             ..Default::default()
         });
-        let engine = RelationalEngine::new(db);
+        // Result cache off: this test watches the *plan* cache, and a
+        // repeat query must reach the planner to exercise it.
+        let engine = RelationalEngine::with_config(
+            db,
+            RelationalConfig {
+                result_cache: CacheConfig::disabled(),
+                ..Default::default()
+            },
+        );
         let req = SearchRequest::new("data query").k(3);
         let first = engine.execute(&req).unwrap();
         assert_eq!((first.stats.cache_hits, first.stats.cache_misses), (0, 1));
@@ -1743,7 +2096,9 @@ mod tests {
     #[test]
     fn graph_search_all_semantics() {
         let g = kwdb_datasets::graphs::generate_graph(&Default::default());
-        let engine = GraphEngine::new(g);
+        // Result cache off: the repeat DistinctRoot query below must reach
+        // the BLINKS index cache to observe its hit counter.
+        let engine = GraphEngine::new(g).with_result_cache(CacheConfig::disabled());
         let run = |sem| {
             engine
                 .execute(&SearchRequest::new("kw0 kw1").k(3).semantics(sem))
@@ -1768,7 +2123,9 @@ mod tests {
     #[test]
     fn graph_engine_mutation_invalidates_within_staleness_bound() {
         let g = kwdb_datasets::graphs::generate_graph(&Default::default());
-        let engine = GraphEngine::new(g); // bound 0: rebuild on any change
+        // bound 0: rebuild on any change; result cache off so the repeat
+        // query observes the BLINKS index cache, not the response cache
+        let engine = GraphEngine::new(g).with_result_cache(CacheConfig::disabled());
         let run = |q: &str| {
             engine
                 .execute(

@@ -6,7 +6,7 @@
 //! herd, per-query stats are race-free, and concurrent dispatch returns
 //! results identical to serial execution.
 
-use kwdb::common::{Budget, QueryStats};
+use kwdb::common::{Budget, CacheConfig, QueryStats};
 use kwdb::datasets::{self, generate_dblp, DblpConfig};
 use kwdb::dispatch::{Catalog, Dispatcher};
 use kwdb::engine::{
@@ -93,7 +93,15 @@ fn catalog_dispatches_all_three_models_through_the_trait() {
 
 #[test]
 fn cn_plan_cache_generates_exactly_once_under_contention() {
-    let engine = Arc::new(RelationalEngine::new(dblp()));
+    // Result cache off: this herd must contend on the *plan* cache, not be
+    // absorbed by the response cache one level up.
+    let engine = Arc::new(RelationalEngine::with_config(
+        dblp(),
+        RelationalConfig {
+            result_cache: CacheConfig::disabled(),
+            ..Default::default()
+        },
+    ));
     let n_threads = 8;
     let responses: Vec<_> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_threads)
@@ -144,9 +152,12 @@ fn graph_engine_counters_do_not_bleed_across_threads() {
     // concurrent queries would have added into the same counters. Now each
     // query gets its own: N identical queries must report identical,
     // serial-equal counts.
-    let engine = Arc::new(GraphEngine::new(datasets::graphs::generate_graph(
-        &Default::default(),
-    )));
+    // Result cache off: every thread must actually run the search to
+    // report its own counters.
+    let engine = Arc::new(
+        GraphEngine::new(datasets::graphs::generate_graph(&Default::default()))
+            .with_result_cache(CacheConfig::disabled()),
+    );
     let req = SearchRequest::new("kw0 kw1")
         .k(3)
         .semantics(GraphSemantics::DistinctRoot);
@@ -268,7 +279,10 @@ fn mixed_batch(n: usize) -> Vec<(String, SearchRequest)> {
 
 #[test]
 fn concurrent_dispatch_is_identical_to_serial() {
-    let dispatcher = Dispatcher::with_workers(catalog(), 8);
+    // Result caching off fleet-wide: the serial pass would otherwise warm
+    // the result caches and the concurrent pass would measure cache serving
+    // instead of concurrent execution (operator totals would collapse).
+    let dispatcher = Dispatcher::with_workers(catalog(), 8).with_result_caching(false);
     let batch = mixed_batch(64);
 
     let serial = dispatcher.execute_serial(&batch);
@@ -325,10 +339,12 @@ fn one_shared_engine_serves_eight_threads_times_fifty_queries() {
     // Both dispatchers share one database but get their own cold engine,
     // so the concurrent run can't coast on the serial run's warm plan cache.
     let db = Arc::new(dblp());
+    // Caching off: every one of the 400 queries must reach the planner for
+    // the plan-cache accounting below to be exhaustive.
     let dispatcher_for = |db: &Arc<kwdb::relational::Database>| {
         let mut c = Catalog::new();
         c.register("dblp", RelationalEngine::new(Arc::clone(db)));
-        Dispatcher::with_workers(c, 8)
+        Dispatcher::with_workers(c, 8).with_result_caching(false)
     };
 
     let queries = [

@@ -93,7 +93,15 @@ fn xml_budget_exhaustion_truncates_sorted() {
 
 #[test]
 fn repeated_query_hits_cn_cache_and_is_faster_to_plan() {
-    let engine = RelationalEngine::new(dblp());
+    // Result cache off: the repeat must re-execute to time the cached-plan
+    // phase rather than skip the planner entirely.
+    let engine = RelationalEngine::with_config(
+        dblp(),
+        kwdb::engine::RelationalConfig {
+            result_cache: kwdb::common::CacheConfig::disabled(),
+            ..Default::default()
+        },
+    );
     let req = SearchRequest::new("data query").k(5);
     let first = engine.execute(&req).unwrap();
     let second = engine.execute(&req).unwrap();

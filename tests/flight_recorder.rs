@@ -7,7 +7,7 @@
 //! point as registry recording — a serial and a concurrent run of the same
 //! deterministic batch leave identical record multisets behind.
 
-use kwdb::common::Budget;
+use kwdb::common::{Budget, CacheConfig};
 use kwdb::datasets::{self, generate_dblp, DblpConfig};
 use kwdb::dispatch::{Catalog, Dispatcher};
 use kwdb::engine::{
@@ -19,7 +19,9 @@ use std::sync::Arc;
 fn dblp_engine(registry: &Arc<MetricsRegistry>) -> RelationalEngine {
     // One intra-query worker keeps every request bit-for-bit reproducible
     // (and the algorithm label machine-independent) — same reasoning as
-    // tests/observability.rs.
+    // tests/observability.rs. The result cache is pinned off so record
+    // multisets don't depend on arrival order (a capped request and an
+    // uncapped twin share a term set; hit-vs-miss would flip truncation).
     RelationalEngine::with_config(
         generate_dblp(&DblpConfig {
             n_papers: 60,
@@ -28,6 +30,7 @@ fn dblp_engine(registry: &Arc<MetricsRegistry>) -> RelationalEngine {
         }),
         RelationalConfig {
             intra_query_workers: 1,
+            result_cache: CacheConfig::disabled(),
             ..Default::default()
         },
     )
@@ -40,11 +43,13 @@ fn catalog(registry: &Arc<MetricsRegistry>) -> Catalog {
     c.register(
         "social",
         GraphEngine::new(datasets::graphs::generate_graph(&Default::default()))
+            .with_result_cache(CacheConfig::disabled())
             .with_registry(Arc::clone(registry)),
     );
     c.register(
         "bib",
         XmlEngine::from_tree(datasets::generate_bib_xml(&Default::default()))
+            .with_result_cache(CacheConfig::disabled())
             .with_registry(Arc::clone(registry)),
     );
     c

@@ -323,7 +323,16 @@ fn segmented_index_seal_merge_round_trip() {
 #[test]
 fn generation_keys_the_plan_cache() {
     let rows = workload(3, 8, 20, 0x9E4);
-    let engine = build_incremental(&rows, rows.len() - 2, RelationalConfig::default());
+    // Result cache off: the repeat query below must reach the planner to
+    // observe the plan cache's generation keying.
+    let engine = build_incremental(
+        &rows,
+        rows.len() - 2,
+        RelationalConfig {
+            result_cache: kwdb_common::CacheConfig::disabled(),
+            ..Default::default()
+        },
+    );
     let req = SearchRequest::new("keyword search").k(5);
     let g0 = MutableEngine::generation(&engine);
     let first = engine.execute(&req).unwrap();

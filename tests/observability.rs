@@ -8,7 +8,7 @@
 //! asked for, and truncation must carry its reason into both the response
 //! and the `kwdb_queries_truncated_total` counter.
 
-use kwdb::common::{Budget, TruncationReason};
+use kwdb::common::{Budget, CacheConfig, TruncationReason};
 use kwdb::datasets::{self, generate_dblp, DblpConfig};
 use kwdb::dispatch::{Catalog, Dispatcher};
 use kwdb::engine::{
@@ -32,7 +32,10 @@ fn dblp() -> kwdb::relational::Database {
 /// under *truncating* budgets, where which CNs a parallel run reached
 /// before the cut is timing-dependent. One worker keeps every request
 /// bit-for-bit reproducible (the parallel path's untruncated results are
-/// identical anyway — see tests/parallel_exec.rs).
+/// identical anyway — see tests/parallel_exec.rs). Result caches are
+/// pinned off for the same reason: this suite asserts exact per-query
+/// counter and truncation totals, which must not depend on what an
+/// earlier request happened to leave in a cache.
 fn catalog(registry: &Arc<MetricsRegistry>) -> Catalog {
     let mut c = Catalog::new();
     c.register(
@@ -41,6 +44,7 @@ fn catalog(registry: &Arc<MetricsRegistry>) -> Catalog {
             dblp(),
             RelationalConfig {
                 intra_query_workers: 1,
+                result_cache: CacheConfig::disabled(),
                 ..Default::default()
             },
         )
@@ -49,11 +53,13 @@ fn catalog(registry: &Arc<MetricsRegistry>) -> Catalog {
     c.register(
         "social",
         GraphEngine::new(datasets::graphs::generate_graph(&Default::default()))
+            .with_result_cache(CacheConfig::disabled())
             .with_registry(Arc::clone(registry)),
     );
     c.register(
         "bib",
         XmlEngine::from_tree(datasets::generate_bib_xml(&Default::default()))
+            .with_result_cache(CacheConfig::disabled())
             .with_registry(Arc::clone(registry)),
     );
     c
